@@ -1,0 +1,75 @@
+//! Figures 5-7: the FWQ noise benchmark under Linux and CNK.
+//!
+//! Regenerates the data behind the three plots: 12,000 samples of the
+//! 658,958-cycle DAXPY quantum on each of the four cores, under the
+//! tuned Linux 2.6.16 model and under CNK. Prints per-core summaries
+//! (the paper's numbers in brackets) and a coarse histogram of the CNK
+//! samples at single-cycle resolution (the "zoomed Y axis" of Fig. 7).
+
+use bench::harness::{run_fwq, KernelKind};
+use bench::stats::Summary;
+use bench::table::render;
+
+fn main() {
+    let samples = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000u32);
+    println!("== FWQ (Fixed Work Quanta), {samples} samples/core, 4 cores, 1 node ==\n");
+
+    let mut rows = Vec::new();
+    let mut cnk_all: Vec<f64> = Vec::new();
+    for kind in [KernelKind::Fwk, KernelKind::Cnk] {
+        let rec = run_fwq(kind, samples, 0xF00D);
+        for core in 0..4 {
+            let s = rec.series(&format!("fwq_core{core}"));
+            let sum = Summary::of(&s);
+            if kind == KernelKind::Cnk {
+                cnk_all.extend_from_slice(&s);
+            }
+            rows.push(vec![
+                kind.label().to_string(),
+                format!("core {core}"),
+                format!("{:.0}", sum.min),
+                format!("{:.0}", sum.max),
+                format!("{:.0}", sum.max - sum.min),
+                format!("{:.4}%", sum.max_variation_frac() * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "kernel",
+                "core",
+                "min cycles",
+                "max cycles",
+                "max delta",
+                "max variation"
+            ],
+            &rows
+        )
+    );
+    println!("paper: min 658,958 on both kernels;");
+    println!("paper Linux max deltas: core0 38,076  core1 10,194  core2 42,000  core3 36,470 (>5% on 0,2,3)");
+    println!("paper CNK: maximum variation < 0.006%\n");
+
+    // Fig. 7: the zoomed view of CNK samples.
+    let min = cnk_all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut hist = [0usize; 5];
+    for &v in &cnk_all {
+        let d = (v - min) as usize;
+        hist[(d / 10).min(4)] += 1;
+    }
+    println!("CNK sample distribution above minimum (Fig. 7 zoom):");
+    for (i, h) in hist.iter().enumerate() {
+        let lo = i * 10;
+        let label = if i == 4 {
+            format!("{lo}+ cycles")
+        } else {
+            format!("{lo}-{} cycles", lo + 9)
+        };
+        println!("  +{label:<14} {h:>7} samples");
+    }
+}

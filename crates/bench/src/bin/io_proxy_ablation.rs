@@ -1,0 +1,74 @@
+//! §IV.A ablation: BG/P's dedicated per-process ioproxies vs a BG/L-style
+//! serialized CIOD.
+//!
+//! "A key difference from BG/L is that on BG/P each MPI process has a
+//! dedicated I/O proxy process ... increased the performance and
+//! scalability of I/O." With one service thread per I/O node (BG/L
+//! style), concurrent checkpoints from the pset queue behind each other;
+//! with per-process proxies they are serviced in parallel.
+
+use bench::stats::Summary;
+use bench::table::render;
+use bgsim::machine::{Machine, Recorder, Workload};
+use bgsim::MachineConfig;
+use cnk::{Cnk, CnkConfig};
+use dcmf::Dcmf;
+use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+use workloads::io_kernel::CheckpointApp;
+
+fn run(nodes: u32, bgl: bool) -> Vec<f64> {
+    let mut mcfg = MachineConfig::nodes(nodes).with_seed(0x10B);
+    mcfg.io_ratio = nodes; // one ION for the whole pset: worst case
+    let kcfg = CnkConfig {
+        bgl_io_mode: bgl,
+        ..CnkConfig::default()
+    };
+    let mut m = Machine::new(
+        mcfg,
+        Box::new(Cnk::new(kcfg)),
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("ckpt"), nodes, NodeMode::Smp),
+        &mut move |r: Rank| Box::new(CheckpointApp::new(r.0, 3, rec2.clone())) as Box<dyn Workload>,
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    (0..nodes)
+        .flat_map(|r| rec.series(&format!("ckpt_io_cycles_rank{r}")))
+        .collect()
+}
+
+fn main() {
+    println!("== §IV.A ablation: per-process ioproxies (BG/P) vs serialized CIOD (BG/L) ==");
+    println!("   (every rank checkpoints simultaneously through one I/O node)\n");
+    let mut rows = Vec::new();
+    for nodes in [2u32, 4, 8, 16] {
+        let bgp = Summary::of(&run(nodes, false));
+        let bgl = Summary::of(&run(nodes, true));
+        rows.push(vec![
+            nodes.to_string(),
+            format!("{:.0}", bgp.mean / 850.0),
+            format!("{:.0}", bgl.mean / 850.0),
+            format!("{:.1}x", bgl.mean / bgp.mean),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "ranks per ION",
+                "BG/P-style us/ckpt",
+                "BG/L-style us/ckpt",
+                "slowdown"
+            ],
+            &rows
+        )
+    );
+    println!("the 1-to-1 proxy mapping keeps checkpoint latency flat as the pset grows;");
+    println!("the serialized daemon degrades linearly — the §IV.A design change.");
+}

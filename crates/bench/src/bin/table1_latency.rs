@@ -1,0 +1,26 @@
+//! Table I: latency for various programming models in SMP mode.
+
+use bench::harness::{measure_latency_us, LatencyRow};
+use bench::table::render;
+
+fn main() {
+    println!("== Table I: Latency for various programming models (SMP mode) ==\n");
+    let rows: Vec<Vec<String>> = LatencyRow::ALL
+        .iter()
+        .map(|&row| {
+            let got = measure_latency_us(row);
+            let want = row.paper_us();
+            vec![
+                row.label().to_string(),
+                format!("{want:.1}"),
+                format!("{got:.2}"),
+                format!("{:+.1}%", (got - want) / want * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Protocol", "paper us", "measured us", "error"], &rows)
+    );
+    println!("2 nodes, nearest neighbors, 8-byte payload, CNK capabilities.");
+}

@@ -1,0 +1,43 @@
+//! Tables II and III: ease of using/implementing capabilities in CNK
+//! and Linux, regenerated from the kernels' encoded feature matrices.
+
+use bench::table::render;
+use bgsim::features::Capability;
+
+fn main() {
+    let cnk = cnk::features::matrix();
+    let linux = fwk::features::matrix();
+
+    println!("== Table II: Ease of using different capabilities ==\n");
+    let rows: Vec<Vec<String>> = Capability::ALL
+        .iter()
+        .map(|&cap| {
+            vec![
+                cap.description().to_string(),
+                cnk.get(cap).unwrap().use_ease.to_string(),
+                linux.get(cap).unwrap().use_ease.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["Description", "CNK", "Linux"], &rows));
+
+    println!("== Table III: Ease of implementing capabilities (where not available) ==\n");
+    let rows: Vec<Vec<String>> = Capability::ALL
+        .iter()
+        .filter_map(|&cap| {
+            let c = cnk.get(cap).unwrap();
+            let l = linux.get(cap).unwrap();
+            if c.implement_ease.is_none() && l.implement_ease.is_none() {
+                return None;
+            }
+            let show = |e: &bgsim::features::FeatureEntry| match e.implement_ease {
+                Some(x) => x.to_string(),
+                None => "avail".to_string(),
+            };
+            Some(vec![cap.description().to_string(), show(c), show(l)])
+        })
+        .collect();
+    println!("{}", render(&["Description", "CNK", "Linux"], &rows));
+    println!("(encoded from the kernels' feature matrices; cross-checked against kernel");
+    println!(" behaviour by the workspace test suite)");
+}

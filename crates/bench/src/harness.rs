@@ -1,0 +1,364 @@
+//! Shared experiment harness: one function per experiment, used by the
+//! per-figure binaries and by the regression tests.
+
+use bgsim::cycles::cycles_to_us;
+use bgsim::machine::{Machine, Recorder, Workload};
+use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
+use bgsim::script::wl;
+use bgsim::trace::TraceEvent;
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use dcmf::Dcmf;
+use fwk::{Fwk, FwkConfig};
+use sysabi::{AppImage, JobSpec, NodeId, NodeMode, Rank};
+use workloads::allreduce::AllreduceLoop;
+use workloads::fwq::{FwqConfig, FwqMain};
+use workloads::linpack::{LinpackConfig, LinpackRank};
+use workloads::nn_exchange::{throughput_mbs, NnExchange};
+
+/// Which kernel an experiment runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelKind {
+    Cnk,
+    Fwk,
+    /// FWK with all noise sources disabled (ablation).
+    FwkNoiseless,
+}
+
+impl KernelKind {
+    pub fn build(self) -> Box<dyn bgsim::Kernel> {
+        match self {
+            KernelKind::Cnk => Box::new(Cnk::with_defaults()),
+            KernelKind::Fwk => Box::new(Fwk::with_defaults()),
+            KernelKind::FwkNoiseless => Box::new(Fwk::new(FwkConfig::noiseless())),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Cnk => "CNK",
+            KernelKind::Fwk => "Linux",
+            KernelKind::FwkNoiseless => "Linux(no-noise)",
+        }
+    }
+}
+
+fn machine(kind: KernelKind, nodes: u32, seed: u64) -> Machine {
+    Machine::new(
+        MachineConfig::nodes(nodes).with_seed(seed),
+        kind.build(),
+        Box::new(Dcmf::with_defaults()),
+    )
+}
+
+// ---- Figs. 5-7: FWQ ---------------------------------------------------------
+
+/// Run FWQ (4 threads on 4 cores, one node); returns the recorder with
+/// series `fwq_core{0..3}` (per-sample cycles).
+pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> Recorder {
+    let mut m = machine(kind, 1, seed);
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("fwq"), 1, NodeMode::Smp),
+        &mut move |_r: Rank| {
+            Box::new(FwqMain::new(FwqConfig::quick(samples), rec2.clone(), 4)) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "FWQ did not complete: {out:?}");
+    rec
+}
+
+// ---- Table I: protocol latencies --------------------------------------------
+
+/// Rows of Table I with the paper's measured values (µs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LatencyRow {
+    DcmfEagerOneWay,
+    MpiEagerOneWay,
+    MpiRendezvousOneWay,
+    DcmfPut,
+    DcmfGet,
+    ArmciBlockingPut,
+    ArmciBlockingGet,
+}
+
+impl LatencyRow {
+    pub const ALL: [LatencyRow; 7] = [
+        LatencyRow::DcmfEagerOneWay,
+        LatencyRow::MpiEagerOneWay,
+        LatencyRow::MpiRendezvousOneWay,
+        LatencyRow::DcmfPut,
+        LatencyRow::DcmfGet,
+        LatencyRow::ArmciBlockingPut,
+        LatencyRow::ArmciBlockingGet,
+    ];
+
+    pub fn paper_us(self) -> f64 {
+        match self {
+            LatencyRow::DcmfEagerOneWay => 1.6,
+            LatencyRow::MpiEagerOneWay => 2.4,
+            LatencyRow::MpiRendezvousOneWay => 5.6,
+            LatencyRow::DcmfPut => 0.9,
+            LatencyRow::DcmfGet => 1.6,
+            LatencyRow::ArmciBlockingPut => 2.0,
+            LatencyRow::ArmciBlockingGet => 3.3,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyRow::DcmfEagerOneWay => "DCMF Eager One-way",
+            LatencyRow::MpiEagerOneWay => "MPI Eager One-way",
+            LatencyRow::MpiRendezvousOneWay => "MPI Rendezvous One-way",
+            LatencyRow::DcmfPut => "DCMF Put",
+            LatencyRow::DcmfGet => "DCMF Get",
+            LatencyRow::ArmciBlockingPut => "ARMCI blocking Put",
+            LatencyRow::ArmciBlockingGet => "ARMCI blocking Get",
+        }
+    }
+}
+
+/// Measure one Table I row on CNK, 2 nodes, SMP mode, 8-byte payload.
+pub fn measure_latency_us(row: LatencyRow) -> f64 {
+    const PAYLOAD: u64 = 8;
+    let mut m = Machine::new(
+        MachineConfig::nodes(2).with_seed(42).with_trace(),
+        Box::new(Cnk::with_defaults()),
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("lat"), 2, NodeMode::Smp),
+        &mut move |r: Rank| {
+            let rec = rec2.clone();
+            let mut step = 0;
+            wl(move |env| {
+                step += 1;
+                if r.0 == 1 {
+                    let is_send = matches!(
+                        row,
+                        LatencyRow::DcmfEagerOneWay
+                            | LatencyRow::MpiEagerOneWay
+                            | LatencyRow::MpiRendezvousOneWay
+                    );
+                    if !is_send {
+                        return Op::End;
+                    }
+                    return match step {
+                        1 => {
+                            let layer = if row == LatencyRow::DcmfEagerOneWay {
+                                ApiLayer::Dcmf
+                            } else {
+                                ApiLayer::Mpi
+                            };
+                            Op::Comm(CommOp::Recv {
+                                from: Some(Rank(0)),
+                                tag: 1,
+                                layer,
+                            })
+                        }
+                        _ => {
+                            rec.record("recv_done", env.now() as f64);
+                            Op::End
+                        }
+                    };
+                }
+                match step {
+                    1 => Op::Compute { cycles: 50_000 },
+                    2 => {
+                        rec.record("issue", env.now() as f64);
+                        match row {
+                            LatencyRow::DcmfEagerOneWay => Op::Comm(CommOp::Send {
+                                to: Rank(1),
+                                bytes: PAYLOAD,
+                                tag: 1,
+                                proto: Protocol::Eager,
+                                layer: ApiLayer::Dcmf,
+                            }),
+                            LatencyRow::MpiEagerOneWay => Op::Comm(CommOp::Send {
+                                to: Rank(1),
+                                bytes: PAYLOAD,
+                                tag: 1,
+                                proto: Protocol::Eager,
+                                layer: ApiLayer::Mpi,
+                            }),
+                            LatencyRow::MpiRendezvousOneWay => Op::Comm(CommOp::Send {
+                                to: Rank(1),
+                                bytes: PAYLOAD,
+                                tag: 1,
+                                proto: Protocol::Rendezvous,
+                                layer: ApiLayer::Mpi,
+                            }),
+                            LatencyRow::DcmfPut => Op::Comm(CommOp::Put {
+                                to: Rank(1),
+                                bytes: PAYLOAD,
+                                layer: ApiLayer::Dcmf,
+                                blocking: false,
+                            }),
+                            LatencyRow::DcmfGet => Op::Comm(CommOp::Get {
+                                from: Rank(1),
+                                bytes: PAYLOAD,
+                                layer: ApiLayer::Dcmf,
+                            }),
+                            LatencyRow::ArmciBlockingPut => Op::Comm(CommOp::Put {
+                                to: Rank(1),
+                                bytes: PAYLOAD,
+                                layer: ApiLayer::Armci,
+                                blocking: true,
+                            }),
+                            LatencyRow::ArmciBlockingGet => Op::Comm(CommOp::Get {
+                                from: Rank(1),
+                                bytes: PAYLOAD,
+                                layer: ApiLayer::Armci,
+                            }),
+                        }
+                    }
+                    3 => {
+                        rec.record("op_done", env.now() as f64);
+                        // Non-blocking put: outlive the remote completion.
+                        Op::Compute { cycles: 20_000 }
+                    }
+                    _ => Op::End,
+                }
+            })
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{row:?}: {out:?}");
+    let issue = rec.series("issue")[0];
+    let cycles = match row {
+        LatencyRow::DcmfEagerOneWay
+        | LatencyRow::MpiEagerOneWay
+        | LatencyRow::MpiRendezvousOneWay => rec.series("recv_done")[0] - issue,
+        LatencyRow::DcmfGet | LatencyRow::ArmciBlockingPut | LatencyRow::ArmciBlockingGet => {
+            rec.series("op_done")[0] - issue
+        }
+        LatencyRow::DcmfPut => {
+            let arrival =
+                m.sc.trace
+                    .entries()
+                    .iter()
+                    .find_map(|e| match e.what {
+                        TraceEvent::MsgRecv { dst: 1, bytes, .. } if bytes == PAYLOAD => {
+                            Some(e.at as f64)
+                        }
+                        _ => None,
+                    })
+                    .expect("put data never arrived");
+            arrival - issue
+        }
+    };
+    cycles_to_us(cycles as u64)
+}
+
+// ---- Fig. 8: near-neighbor rendezvous throughput -----------------------------
+
+/// Run the exchange on `nodes` nodes at one message size; returns
+/// (aggregate MB/s per node, neighbor count).
+pub fn nn_throughput(kind: KernelKind, nodes: u32, bytes: u64, seed: u64) -> (f64, usize) {
+    let cfg = MachineConfig::nodes(nodes).with_seed(seed);
+    let torus = bgsim::torus::Torus::new(&cfg);
+    let nb = torus.neighbors(NodeId(0)).len();
+    let mut m = Machine::new(cfg, kind.build(), Box::new(Dcmf::with_defaults()));
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("nn"), nodes, NodeMode::Smp),
+        &mut move |r: Rank| {
+            let cfg = MachineConfig::nodes(nodes);
+            let torus = bgsim::torus::Torus::new(&cfg);
+            let neighbors: Vec<Rank> = torus
+                .neighbors(NodeId(r.0))
+                .into_iter()
+                .map(|n| Rank(n.0))
+                .collect();
+            Box::new(NnExchange::new(r, neighbors, bytes, rec2.clone())) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    let cycles = rec.series(&format!("nn_cycles_{bytes}"))[0];
+    (throughput_mbs(bytes, nb, cycles), nb)
+}
+
+// ---- §V.D stability ----------------------------------------------------------
+
+/// One LINPACK run; returns wall seconds (simulated).
+pub fn linpack_seconds(kind: KernelKind, nodes: u32, cfg: LinpackConfig, seed: u64) -> f64 {
+    let mut m = machine(kind, nodes, seed);
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("hpl"), nodes, NodeMode::Smp),
+        &mut move |r: Rank| Box::new(LinpackRank::new(cfg, r.0, rec2.clone())) as Box<dyn Workload>,
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    rec.series("linpack_rank0")[0] / 850e6
+}
+
+/// The allreduce loop; returns per-iteration times in µs.
+pub fn allreduce_samples_us(kind: KernelKind, nodes: u32, iters: u32, seed: u64) -> Vec<f64> {
+    let mut m = machine(kind, nodes, seed);
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("mpibench"), nodes, NodeMode::Smp),
+        &mut move |r: Rank| {
+            Box::new(AllreduceLoop::new(iters, r.0, rec2.clone())) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    rec.series("allreduce_cycles")
+        .iter()
+        .map(|c| c / 850.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn all_table1_rows_within_10_percent() {
+        for row in LatencyRow::ALL {
+            let got = measure_latency_us(row);
+            let want = row.paper_us();
+            let err = (got - want).abs() / want;
+            assert!(err < 0.10, "{}: {got:.3} vs {want} us", row.label());
+        }
+    }
+
+    #[test]
+    fn fwq_contrast_cnk_vs_fwk() {
+        let cnk = run_fwq(KernelKind::Cnk, 500, 1);
+        let fwk = run_fwq(KernelKind::Fwk, 500, 1);
+        let c0 = Summary::of(&cnk.series("fwq_core0"));
+        let f0 = Summary::of(&fwk.series("fwq_core0"));
+        assert!(c0.max_variation_frac() < 0.0001);
+        assert!(f0.max_variation_frac() > c0.max_variation_frac() * 10.0);
+    }
+
+    #[test]
+    fn noiseless_fwk_sits_between() {
+        let quiet = run_fwq(KernelKind::FwkNoiseless, 500, 2);
+        let s = Summary::of(&quiet.series("fwq_core0"));
+        // No daemons: variation collapses to the hardware jitter band.
+        assert!(s.max_variation_frac() < 0.0001, "{s:?}");
+    }
+}

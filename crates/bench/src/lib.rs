@@ -1,0 +1,6 @@
+//! Shared helpers for the benchmark harness binaries (summary statistics,
+//! table formatting). The per-figure binaries live in `src/bin/`.
+
+pub mod harness;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,84 @@
+//! Summary statistics for benchmark outputs.
+
+/// Basic summary of a sample vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+impl Summary {
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        let n = samples.len();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Summary {
+            n,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// (max - min) as a fraction of min — the paper's "maximum variation"
+    /// metric for FWQ and LINPACK stability.
+    pub fn max_variation_frac(&self) -> f64 {
+        if self.min == 0.0 {
+            return 0.0;
+        }
+        (self.max - self.min) / self.min
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets plus
+/// an overflow bucket.
+pub fn histogram(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    let mut h = vec![0usize; bins + 1];
+    let w = (hi - lo) / bins as f64;
+    for &s in samples {
+        if s < lo {
+            continue;
+        }
+        let i = ((s - lo) / w) as usize;
+        h[i.min(bins)] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.max_variation_frac() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = histogram(&[0.5, 1.5, 1.6, 9.9, 25.0], 0.0, 10.0, 10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[9], 1);
+        assert_eq!(h[10], 1); // overflow
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Plain-text table formatting for the harness binaries.
+
+/// Render rows as an aligned ASCII table with a header row.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$} | ", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render(
+            &["Protocol", "Latency(us)"],
+            &[
+                vec!["DCMF Put".into(), "0.9".into()],
+                vec!["MPI Rendezvous One-way".into(), "5.6".into()],
+            ],
+        );
+        assert!(s.contains("| Protocol"));
+        assert!(s.contains("| DCMF Put"));
+        // All lines same width.
+        let lens: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+}

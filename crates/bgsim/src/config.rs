@@ -1,0 +1,312 @@
+//! Chip and machine configuration.
+//!
+//! Section III of the paper: "The startup and runtime configuration of CNK
+//! contains independent control flags and configuration parameters that
+//! support it running even when many features of the BG/P hardware did not
+//! exist (during design) or were broken (during chip bringup)." Those
+//! flags are modeled here as [`UnitStatus`] per functional unit, and the
+//! L2-bank mapping knob the paper uses as its example is
+//! [`ChipConfig::l2_bank_map`].
+
+/// Health of one functional unit of the chip.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UnitStatus {
+    /// Fully functional.
+    #[default]
+    Present,
+    /// Not yet implemented in the current design drop (pre-silicon) —
+    /// any use must be avoided entirely.
+    Absent,
+    /// Present but known broken: usable only with a software work-around
+    /// that costs extra cycles per use.
+    Broken,
+}
+
+impl UnitStatus {
+    pub fn usable(self) -> bool {
+        !matches!(self, UnitStatus::Absent)
+    }
+}
+
+/// How physical addresses map onto the L2 cache banks (§III: "L2 Cache
+/// configuration parameters that control the mapping of physical memory to
+/// cache controllers and to memory banks within the cache").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L2BankMap {
+    /// Consecutive lines round-robin across banks — the production
+    /// setting; spreads traffic, minimal conflicts.
+    Interleaved,
+    /// Large consecutive blocks per bank — concentrates a streaming core
+    /// on one bank and creates conflicts under sharing.
+    Blocked,
+    /// A deliberately conflicting XOR-fold mapping used during
+    /// verification to create artificial bank conflicts.
+    ConflictStress,
+}
+
+/// One simulated BG/P-like chip (compute node SoC).
+#[derive(Clone, Debug)]
+pub struct ChipConfig {
+    /// Cores per node (BG/P: 4).
+    pub cores: u32,
+    /// Hardware threads per core the kernel may use. BG/P CNK started at
+    /// 1, later 3 (§VIII footnote); next-gen is compile-time variable.
+    pub threads_per_core: u32,
+    /// DRAM per node in bytes (BG/P: 2 GB or 4 GB).
+    pub dram_bytes: u64,
+    /// L1 data cache bytes per core (BG/P: 32 KB).
+    pub l1_bytes: u64,
+    /// L2 prefetch-buffer-ish per-core cache bytes.
+    pub l2_bytes: u64,
+    /// Shared L3 (eDRAM) bytes.
+    pub l3_bytes: u64,
+    /// Number of L2 banks.
+    pub l2_banks: u32,
+    /// Bank mapping under test.
+    pub l2_bank_map: L2BankMap,
+    /// TLB entries per core (PPC440/450 family: 64-entry software TLB).
+    pub tlb_entries: u32,
+    /// DAC (Debug Address Compare) register pairs per core.
+    pub dac_pairs: u32,
+    /// Cycles between DRAM refresh windows; refresh collisions are the
+    /// only residual jitter on CNK (sub-0.006%).
+    pub dram_refresh_interval: u64,
+    /// Worst-case cycles a load can stall on a refresh collision.
+    pub dram_refresh_stall_max: u64,
+
+    // Unit health flags, exercised during "bringup" tests.
+    pub torus_unit: UnitStatus,
+    pub collective_unit: UnitStatus,
+    pub barrier_unit: UnitStatus,
+    pub dma_unit: UnitStatus,
+    pub l3_unit: UnitStatus,
+    pub fpu_unit: UnitStatus,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig {
+            cores: 4,
+            threads_per_core: 1,
+            dram_bytes: 2 << 30,
+            l1_bytes: 32 << 10,
+            l2_bytes: 2 << 10,
+            l3_bytes: 8 << 20,
+            l2_banks: 8,
+            l2_bank_map: L2BankMap::Interleaved,
+            tlb_entries: 64,
+            dac_pairs: 4,
+            // ~7.8 us refresh interval at 850 MHz.
+            dram_refresh_interval: 6630,
+            dram_refresh_stall_max: 39,
+            torus_unit: UnitStatus::Present,
+            collective_unit: UnitStatus::Present,
+            barrier_unit: UnitStatus::Present,
+            dma_unit: UnitStatus::Present,
+            l3_unit: UnitStatus::Present,
+            fpu_unit: UnitStatus::Present,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// The BG/P production configuration.
+    pub fn bgp() -> ChipConfig {
+        ChipConfig::default()
+    }
+
+    /// BG/P with the late-2009 firmware that allowed 3 threads per core
+    /// (§VIII footnote 3).
+    pub fn bgp_multithread() -> ChipConfig {
+        ChipConfig {
+            threads_per_core: 3,
+            ..ChipConfig::default()
+        }
+    }
+
+    /// A pre-silicon "partial hardware" configuration: no torus, no DMA,
+    /// broken L3 — what early bringup looked like (§III).
+    pub fn bringup_partial() -> ChipConfig {
+        ChipConfig {
+            torus_unit: UnitStatus::Absent,
+            dma_unit: UnitStatus::Absent,
+            l3_unit: UnitStatus::Broken,
+            ..ChipConfig::default()
+        }
+    }
+}
+
+/// The whole simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub chip: ChipConfig,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Torus dimensions (x, y, z); product must equal `nodes`.
+    pub torus_dims: (u32, u32, u32),
+    /// Compute nodes per I/O node (BG/P pset ratios: 16..128).
+    pub io_ratio: u32,
+    /// Torus link bandwidth, MB/s per direction (BG/P: 425).
+    pub torus_link_mbs: f64,
+    /// Torus per-hop latency in ns (BG/P hardware ~ 64 ns/hop incl. wire).
+    pub torus_hop_ns: f64,
+    /// Collective (tree) network bandwidth, MB/s (BG/P: 850 ≈ 0.85 GB/s).
+    pub collective_mbs: f64,
+    /// Collective network one-way latency per tree stage, ns.
+    pub collective_stage_ns: f64,
+    /// Global barrier network round-trip latency, ns (BG/P: ~1.3 us
+    /// full-machine; small partitions far less).
+    pub barrier_ns: f64,
+    /// Master seed for all stochastic streams.
+    pub seed: u64,
+    /// Record a full event trace (needed by reproducibility tests and
+    /// scan-based debugging; small runs only).
+    pub trace_events: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            chip: ChipConfig::default(),
+            nodes: 1,
+            torus_dims: (1, 1, 1),
+            io_ratio: 16,
+            torus_link_mbs: 425.0,
+            torus_hop_ns: 64.0,
+            collective_mbs: 850.0,
+            collective_stage_ns: 120.0,
+            barrier_ns: 700.0,
+            seed: 0x5eed_cafe,
+            trace_events: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A single-node machine (the FWQ configuration).
+    pub fn single_node() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    /// An `n`-node machine arranged in the most cubic torus possible.
+    pub fn nodes(n: u32) -> MachineConfig {
+        let dims = cubish(n);
+        MachineConfig {
+            nodes: n,
+            torus_dims: dims,
+            ..MachineConfig::default()
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> MachineConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_trace(mut self) -> MachineConfig {
+        self.trace_events = true;
+        self
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.chip.cores
+    }
+
+    /// Number of I/O nodes serving this partition (at least one).
+    pub fn io_nodes(&self) -> u32 {
+        self.nodes.div_ceil(self.io_ratio)
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let (x, y, z) = self.torus_dims;
+        if x * y * z != self.nodes {
+            return Err(format!("torus {}x{}x{} != {} nodes", x, y, z, self.nodes));
+        }
+        if self.chip.cores == 0 || self.chip.threads_per_core == 0 {
+            return Err("chip must have cores and threads".into());
+        }
+        if self.io_ratio == 0 {
+            return Err("io_ratio must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Factor `n` into the most cubic (x, y, z) with x*y*z == n.
+pub fn cubish(n: u32) -> (u32, u32, u32) {
+    let mut best = (n, 1, 1);
+    let mut best_score = n; // max dimension; smaller is more cubic
+    for x in 1..=n {
+        if !n.is_multiple_of(x) {
+            continue;
+        }
+        let rest = n / x;
+        for y in 1..=rest {
+            if !rest.is_multiple_of(y) {
+                continue;
+            }
+            let z = rest / y;
+            let score = x.max(y).max(z);
+            if score < best_score {
+                best_score = score;
+                best = (x, y, z);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MachineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn cubish_factors() {
+        assert_eq!(cubish(1), (1, 1, 1));
+        assert_eq!(cubish(8), (2, 2, 2));
+        assert_eq!(cubish(64), (4, 4, 4));
+        let (x, y, z) = cubish(16);
+        assert_eq!(x * y * z, 16);
+        assert!(x.max(y).max(z) <= 4);
+        let (x, y, z) = cubish(12);
+        assert_eq!(x * y * z, 12);
+    }
+
+    #[test]
+    fn nodes_builder_is_valid() {
+        for n in [1u32, 2, 4, 12, 16, 64, 100] {
+            MachineConfig::nodes(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_dims_rejected() {
+        let mut c = MachineConfig::nodes(8);
+        c.torus_dims = (3, 1, 1);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn io_node_count() {
+        let mut c = MachineConfig::nodes(64);
+        c.io_ratio = 16;
+        assert_eq!(c.io_nodes(), 4);
+        c.io_ratio = 128;
+        assert_eq!(c.io_nodes(), 1);
+    }
+
+    #[test]
+    fn bringup_config_flags() {
+        let c = ChipConfig::bringup_partial();
+        assert!(!c.torus_unit.usable());
+        assert!(!c.dma_unit.usable());
+        assert!(c.l3_unit.usable()); // broken-but-usable with workaround
+        assert_eq!(c.l3_unit, UnitStatus::Broken);
+    }
+}

@@ -1,0 +1,143 @@
+//! Debug Address Compare (DAC) registers.
+//!
+//! §IV.C: "A useful memory protection feature is a guard page to prevent
+//! stack storage from descending into heap storage. CNK provides this
+//! functionality by using the Blue Gene Debug Address Compare (DAC)
+//! registers." Each core has a small number of DAC range pairs; a data
+//! access falling inside an armed range raises a debug exception, which
+//! CNK converts into a SIGSEGV-style guard fault.
+
+/// One armed DAC range on a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DacRange {
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+    /// Which watch slot this occupies.
+    pub slot: u32,
+}
+
+impl DacRange {
+    pub fn hit(&self, addr: u64) -> bool {
+        addr >= self.lo && addr < self.hi
+    }
+}
+
+/// The DAC register file of one core.
+#[derive(Clone, Debug)]
+pub struct DacFile {
+    ranges: Vec<Option<DacRange>>,
+}
+
+/// DAC programming errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DacError {
+    BadSlot,
+    EmptyRange,
+}
+
+impl DacFile {
+    pub fn new(pairs: u32) -> DacFile {
+        DacFile {
+            ranges: vec![None; pairs as usize],
+        }
+    }
+
+    pub fn pairs(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Arm slot `slot` to watch `[lo, hi)`.
+    pub fn arm(&mut self, slot: u32, lo: u64, hi: u64) -> Result<(), DacError> {
+        if hi <= lo {
+            return Err(DacError::EmptyRange);
+        }
+        let s = self
+            .ranges
+            .get_mut(slot as usize)
+            .ok_or(DacError::BadSlot)?;
+        *s = Some(DacRange { lo, hi, slot });
+        Ok(())
+    }
+
+    /// Disarm slot `slot`.
+    pub fn disarm(&mut self, slot: u32) -> Result<(), DacError> {
+        let s = self
+            .ranges
+            .get_mut(slot as usize)
+            .ok_or(DacError::BadSlot)?;
+        *s = None;
+        Ok(())
+    }
+
+    /// Check a data access; returns the slot that fired, if any.
+    pub fn check(&self, addr: u64) -> Option<u32> {
+        self.ranges
+            .iter()
+            .flatten()
+            .find(|r| r.hit(addr))
+            .map(|r| r.slot)
+    }
+
+    /// Currently armed ranges (scan/introspection).
+    pub fn armed(&self) -> Vec<DacRange> {
+        self.ranges.iter().flatten().copied().collect()
+    }
+
+    pub fn reset(&mut self) {
+        for r in &mut self.ranges {
+            *r = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_hit() {
+        let mut d = DacFile::new(4);
+        d.arm(0, 0x1000, 0x2000).unwrap();
+        assert_eq!(d.check(0x1000), Some(0));
+        assert_eq!(d.check(0x1fff), Some(0));
+        assert_eq!(d.check(0x2000), None);
+        assert_eq!(d.check(0x0fff), None);
+    }
+
+    #[test]
+    fn rearm_moves_the_watch() {
+        // The guard-repositioning IPI path (§IV.C) re-arms the same slot.
+        let mut d = DacFile::new(4);
+        d.arm(0, 0x1000, 0x2000).unwrap();
+        d.arm(0, 0x8000, 0x9000).unwrap();
+        assert_eq!(d.check(0x1800), None);
+        assert_eq!(d.check(0x8800), Some(0));
+    }
+
+    #[test]
+    fn disarm() {
+        let mut d = DacFile::new(2);
+        d.arm(1, 0, 100).unwrap();
+        d.disarm(1).unwrap();
+        assert_eq!(d.check(50), None);
+    }
+
+    #[test]
+    fn slot_bounds() {
+        let mut d = DacFile::new(2);
+        assert_eq!(d.arm(2, 0, 1), Err(DacError::BadSlot));
+        assert_eq!(d.arm(0, 5, 5), Err(DacError::EmptyRange));
+        assert_eq!(d.disarm(9), Err(DacError::BadSlot));
+    }
+
+    #[test]
+    fn multiple_slots_independent() {
+        let mut d = DacFile::new(4);
+        d.arm(0, 0x1000, 0x2000).unwrap();
+        d.arm(3, 0x5000, 0x6000).unwrap();
+        assert_eq!(d.check(0x1500), Some(0));
+        assert_eq!(d.check(0x5500), Some(3));
+        assert_eq!(d.armed().len(), 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! The discrete-event engine.
+//!
+//! A single binary-heap event queue ordered by `(cycle, sequence)`. The
+//! sequence number makes the ordering total and therefore the simulation
+//! deterministic — the foundation of the cycle-reproducibility property
+//! the paper's bringup methodology (§III) relies on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cycles::Cycle;
+
+/// An event payload. The machine layer interprets these; the engine only
+/// orders them.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EvKind {
+    /// The running op of thread `tid` completes (if `gen` still matches).
+    OpDone { tid: u32, gen: u32 },
+    /// A kernel-scheduled event (noise tick, daemon wake, timeslice, CIOD
+    /// service completion...). `tag` is kernel-private.
+    Kernel { node: u32, tag: u64 },
+    /// A network message delivery.
+    NetDeliver { msg_id: u64 },
+    /// An inter-processor interrupt arriving at a hardware core.
+    Ipi { core: u32, kind: u32 },
+    /// An injected hardware fault (e.g. L1 parity error) on a core.
+    Fault { core: u32, kind: u32 },
+    /// A collective operation completes for one participant.
+    CollDone { tid: u32, coll: u64 },
+}
+
+/// An ordered event.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Event {
+    pub at: Cycle,
+    pub seq: u64,
+    pub kind: EvKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue.
+#[derive(Debug, Default)]
+pub struct Engine {
+    heap: BinaryHeap<Reverse<Event>>,
+    now: Cycle,
+    seq: u64,
+    processed: u64,
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `kind` at absolute cycle `at`. Scheduling in the past is a
+    /// logic error in the caller.
+    pub fn schedule(&mut self, at: Cycle, kind: EvKind) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            at: at.max(self.now),
+            seq,
+            kind,
+        }));
+    }
+
+    /// Schedule `kind` `delta` cycles from now.
+    pub fn schedule_in(&mut self, delta: Cycle, kind: EvKind) {
+        self.schedule(self.now + delta, kind);
+    }
+
+    /// Pop the next event, advancing the clock. Returns `None` when the
+    /// queue is empty.
+    pub fn pop(&mut self) -> Option<Event> {
+        let Reverse(ev) = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        self.processed += 1;
+        Some(ev)
+    }
+
+    /// Pop the next event only if it fires at or before `bound`
+    /// (clock-stop support: run the machine to an exact cycle).
+    pub fn pop_until(&mut self, bound: Cycle) -> Option<Event> {
+        match self.heap.peek() {
+            Some(Reverse(ev)) if ev.at <= bound => self.pop(),
+            _ => {
+                // Nothing left in range; park the clock at the boundary.
+                if self.now < bound {
+                    self.now = bound;
+                }
+                None
+            }
+        }
+    }
+
+    /// True if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(30, EvKind::Kernel { node: 0, tag: 3 });
+        e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.schedule(20, EvKind::Kernel { node: 0, tag: 2 });
+        let tags: Vec<u64> = std::iter::from_fn(|| e.pop())
+            .map(|ev| match ev.kind {
+                EvKind::Kernel { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(e.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new();
+        for tag in 0..10 {
+            e.schedule(100, EvKind::Kernel { node: 0, tag });
+        }
+        let tags: Vec<u64> = std::iter::from_fn(|| e.pop())
+            .map(|ev| match ev.kind {
+                EvKind::Kernel { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_respects_bound() {
+        let mut e = Engine::new();
+        e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.schedule(50, EvKind::Kernel { node: 0, tag: 2 });
+        assert!(e.pop_until(20).is_some());
+        assert!(e.pop_until(20).is_none());
+        // Clock parks at the bound, not at the next event.
+        assert_eq!(e.now(), 20);
+        assert_eq!(e.pending(), 1);
+        assert!(e.pop_until(50).is_some());
+        assert_eq!(e.now(), 50);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.pop();
+        e.schedule_in(5, EvKind::Kernel { node: 0, tag: 2 });
+        let ev = e.pop().unwrap();
+        assert_eq!(ev.at, 15);
+    }
+
+    #[test]
+    fn processed_counter() {
+        let mut e = Engine::new();
+        e.schedule(1, EvKind::Kernel { node: 0, tag: 0 });
+        e.schedule(2, EvKind::Kernel { node: 0, tag: 0 });
+        assert_eq!(e.processed(), 0);
+        e.pop();
+        e.pop();
+        assert_eq!(e.processed(), 2);
+        assert!(e.is_idle());
+    }
+}

@@ -1,0 +1,166 @@
+//! The capability/ease matrices of Tables II and III.
+//!
+//! Tables II and III of the paper are qualitative: how easy is it to *use*
+//! a capability on CNK vs Linux, and — where it is not available — how
+//! hard it would be to *implement*. We encode them as data each kernel
+//! crate exposes, so the `bench` harness can regenerate the tables and
+//! the tests can cross-check claims against actual kernel behaviour
+//! (e.g. "No TLB misses: CNK easy" ⇔ the CNK TLB really never misses).
+
+use std::fmt;
+
+/// Ease of using or implementing a capability.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Ease {
+    Easy,
+    Medium,
+    Hard,
+    /// "not avail" in Table II.
+    NotAvailable,
+}
+
+impl fmt::Display for Ease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ease::Easy => "easy",
+            Ease::Medium => "medium",
+            Ease::Hard => "hard",
+            Ease::NotAvailable => "not avail",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A range of ease (the paper uses entries like "easy - hard").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EaseRange {
+    pub lo: Ease,
+    pub hi: Ease,
+}
+
+impl EaseRange {
+    pub const fn exact(e: Ease) -> EaseRange {
+        EaseRange { lo: e, hi: e }
+    }
+
+    pub const fn range(lo: Ease, hi: Ease) -> EaseRange {
+        EaseRange { lo, hi }
+    }
+
+    pub fn available(&self) -> bool {
+        self.lo != Ease::NotAvailable
+    }
+}
+
+impl fmt::Display for EaseRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{} - {}", self.lo, self.hi)
+        }
+    }
+}
+
+/// The capabilities enumerated by Table II (and the Table III subset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Capability {
+    LargePageUse,
+    MultipleLargePageSizes,
+    LargePhysContiguous,
+    NoTlbMisses,
+    FullMemoryProtection,
+    GeneralDynamicLinking,
+    FullMmap,
+    PredictableScheduling,
+    ThreadOvercommit,
+    PerformanceReproducible,
+    CycleReproducible,
+}
+
+impl Capability {
+    pub const ALL: [Capability; 11] = [
+        Capability::LargePageUse,
+        Capability::MultipleLargePageSizes,
+        Capability::LargePhysContiguous,
+        Capability::NoTlbMisses,
+        Capability::FullMemoryProtection,
+        Capability::GeneralDynamicLinking,
+        Capability::FullMmap,
+        Capability::PredictableScheduling,
+        Capability::ThreadOvercommit,
+        Capability::PerformanceReproducible,
+        Capability::CycleReproducible,
+    ];
+
+    pub fn description(self) -> &'static str {
+        match self {
+            Capability::LargePageUse => "Large page use",
+            Capability::MultipleLargePageSizes => "Using multiple large page sizes",
+            Capability::LargePhysContiguous => "Large physically contiguous memory",
+            Capability::NoTlbMisses => "No TLB misses",
+            Capability::FullMemoryProtection => "Full memory protection",
+            Capability::GeneralDynamicLinking => "General dynamic linking",
+            Capability::FullMmap => "Full mmap support",
+            Capability::PredictableScheduling => "Predictable scheduling",
+            Capability::ThreadOvercommit => "Over commit of threads",
+            Capability::PerformanceReproducible => "Performance reproducible",
+            Capability::CycleReproducible => "Cycle reproducible execution",
+        }
+    }
+}
+
+/// One kernel's answers for one capability.
+#[derive(Clone, Copy, Debug)]
+pub struct FeatureEntry {
+    pub cap: Capability,
+    /// Table II: ease of *using* the capability.
+    pub use_ease: EaseRange,
+    /// Table III: ease of *implementing* it where not available (None if
+    /// available, matching the paper's table structure).
+    pub implement_ease: Option<Ease>,
+}
+
+/// A kernel's full feature matrix.
+#[derive(Clone, Debug)]
+pub struct FeatureMatrix {
+    pub kernel: &'static str,
+    pub entries: Vec<FeatureEntry>,
+}
+
+impl FeatureMatrix {
+    pub fn get(&self, cap: Capability) -> Option<&FeatureEntry> {
+        self.entries.iter().find(|e| e.cap == cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ease_display() {
+        assert_eq!(Ease::Easy.to_string(), "easy");
+        assert_eq!(Ease::NotAvailable.to_string(), "not avail");
+        assert_eq!(
+            EaseRange::range(Ease::Easy, Ease::Hard).to_string(),
+            "easy - hard"
+        );
+        assert_eq!(EaseRange::exact(Ease::Medium).to_string(), "medium");
+    }
+
+    #[test]
+    fn availability() {
+        assert!(EaseRange::exact(Ease::Hard).available());
+        assert!(!EaseRange::exact(Ease::NotAvailable).available());
+    }
+
+    #[test]
+    fn all_capabilities_enumerated() {
+        // Table II has 11 rows.
+        assert_eq!(Capability::ALL.len(), 11);
+        for c in Capability::ALL {
+            assert!(!c.description().is_empty());
+        }
+    }
+}

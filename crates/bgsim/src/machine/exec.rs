@@ -1,0 +1,694 @@
+//! The machine executor: boot, launch, and the deterministic event loop.
+
+use std::collections::VecDeque;
+
+use sysabi::{CoreId, JobSpec, NodeId, ProcId, Sig, SysReq, SysRet, Tid};
+
+use crate::cycles::Cycle;
+use crate::engine::EvKind;
+use crate::machine::simcore::{NetDomain, SimCore};
+use crate::machine::thread::ThreadState;
+use crate::machine::{
+    BootReport, CommAction, CommModel, JobMap, Kernel, LaunchError, SyscallAction, WlEnv,
+    WorkloadFactory,
+};
+use crate::op::Op;
+use crate::scan::{ScanRecord, ScanTarget};
+use crate::trace::TraceEvent;
+
+/// Cycles charged to the interrupted thread per delivered IPI.
+const IPI_OVERHEAD: u64 = 80;
+
+/// Internal result of dispatching one op.
+enum Disp {
+    /// Zero-cost op — fetch the next op in the same cycle.
+    Continue,
+    /// A completion event was scheduled; the thread keeps its core.
+    Scheduled,
+    /// The thread gave up the core (blocked, yielded, or exited).
+    Released,
+}
+
+/// How a run ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// All job threads exited.
+    Completed { at: Cycle },
+    /// The clock-stop bound was reached.
+    ReachedCycle { at: Cycle },
+    /// The event queue drained with threads still blocked — a hang.
+    Deadlock { at: Cycle, blocked: Vec<Tid> },
+    /// Nothing to do (no job launched).
+    Idle { at: Cycle },
+}
+
+impl RunOutcome {
+    pub fn at(&self) -> Cycle {
+        match self {
+            RunOutcome::Completed { at }
+            | RunOutcome::ReachedCycle { at }
+            | RunOutcome::Deadlock { at, .. }
+            | RunOutcome::Idle { at } => *at,
+        }
+    }
+
+    pub fn completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+}
+
+/// A simulated machine: hardware state + a kernel + a messaging stack.
+pub struct Machine {
+    pub sc: SimCore,
+    kernel: Box<dyn Kernel>,
+    comm: Box<dyn CommModel>,
+    booted: bool,
+    has_job: bool,
+    boot_report: Option<BootReport>,
+}
+
+impl Machine {
+    pub fn new(
+        cfg: crate::config::MachineConfig,
+        kernel: Box<dyn Kernel>,
+        comm: Box<dyn CommModel>,
+    ) -> Machine {
+        Machine {
+            sc: SimCore::new(cfg),
+            kernel,
+            comm,
+            booted: false,
+            has_job: false,
+            boot_report: None,
+        }
+    }
+
+    pub fn now(&self) -> Cycle {
+        self.sc.now()
+    }
+
+    pub fn kernel(&self) -> &dyn Kernel {
+        &*self.kernel
+    }
+
+    pub fn kernel_mut(&mut self) -> &mut dyn Kernel {
+        &mut *self.kernel
+    }
+
+    pub fn comm(&self) -> &dyn CommModel {
+        &*self.comm
+    }
+
+    pub fn boot_report(&self) -> Option<&BootReport> {
+        self.boot_report.as_ref()
+    }
+
+    pub fn trace_digest(&self) -> u64 {
+        self.sc.trace.digest()
+    }
+
+    /// Cold boot.
+    pub fn boot(&mut self) -> &BootReport {
+        assert!(!self.booted, "already booted");
+        let report = self.kernel.boot(&mut self.sc, false);
+        self.booted = true;
+        self.boot_report = Some(report);
+        self.boot_report.as_ref().unwrap()
+    }
+
+    /// Launch a job: the kernel builds address spaces and threads, the
+    /// machine assigns ranks and queues the main threads for execution.
+    pub fn launch(
+        &mut self,
+        spec: &JobSpec,
+        factory: &mut dyn WorkloadFactory,
+    ) -> Result<JobMap, LaunchError> {
+        assert!(self.booted, "launch before boot");
+        if spec.nodes > self.sc.cfg.nodes {
+            return Err(LaunchError::BadSpec(format!(
+                "job wants {} nodes, machine has {}",
+                spec.nodes, self.sc.cfg.nodes
+            )));
+        }
+        let job = self.kernel.launch(&mut self.sc, spec, factory)?;
+        for ri in &job.ranks {
+            self.sc.threads[ri.main_tid.idx()].rank = Some(ri.rank);
+        }
+        let caps = job
+            .ranks
+            .first()
+            .map(|r| self.kernel.comm_caps(&self.sc, r.main_tid))
+            .unwrap_or_else(crate::machine::CommCaps::cnk);
+        self.comm.configure_job(&self.sc, &job, caps);
+        for ri in &job.ranks {
+            if self.sc.core_idle(self.sc.threads[ri.main_tid.idx()].core) {
+                self.sc.dispatch(ri.main_tid);
+            }
+        }
+        self.has_job = true;
+        Ok(job)
+    }
+
+    /// Inject a hardware fault (e.g. `FAULT_PARITY`) at an absolute cycle.
+    pub fn inject_fault(&mut self, at: Cycle, core: CoreId, kind: u32) {
+        self.sc
+            .engine
+            .schedule(at, EvKind::Fault { core: core.0, kind });
+    }
+
+    /// Run until the job completes or nothing can make progress.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_inner(None)
+    }
+
+    /// Clock-stop: run to an exact cycle (§III), leaving in-flight state
+    /// intact for scanning.
+    pub fn run_until(&mut self, bound: Cycle) -> RunOutcome {
+        self.run_inner(Some(bound))
+    }
+
+    fn run_inner(&mut self, bound: Option<Cycle>) -> RunOutcome {
+        // Livelock guard: a kernel with self-rescheduling events (noise
+        // ticks) keeps the queue non-empty forever even when every
+        // thread is deadlocked. Count consecutive kernel-private events
+        // processed while no thread runs and nothing drains; past the
+        // limit, report the deadlock instead of spinning.
+        const IDLE_KERNEL_EVENT_LIMIT: u32 = 200_000;
+        let mut idle_kernel_events: u32 = 0;
+        loop {
+            if self.drain() {
+                idle_kernel_events = 0;
+            }
+            if self.has_job && self.sc.live_threads() == 0 {
+                return RunOutcome::Completed { at: self.sc.now() };
+            }
+            if idle_kernel_events > IDLE_KERNEL_EVENT_LIMIT {
+                let blocked: Vec<Tid> = self
+                    .sc
+                    .threads
+                    .iter()
+                    .filter(|t| t.state.is_blocked())
+                    .map(|t| t.tid)
+                    .collect();
+                return RunOutcome::Deadlock {
+                    at: self.sc.now(),
+                    blocked,
+                };
+            }
+            let ev = match bound {
+                Some(b) => self.sc.engine.pop_until(b),
+                None => self.sc.engine.pop(),
+            };
+            let Some(ev) = ev else {
+                let at = self.sc.now();
+                if bound.is_some() {
+                    return RunOutcome::ReachedCycle { at };
+                }
+                let blocked: Vec<Tid> = self
+                    .sc
+                    .threads
+                    .iter()
+                    .filter(|t| t.state.is_blocked())
+                    .map(|t| t.tid)
+                    .collect();
+                return if !self.has_job || blocked.is_empty() {
+                    RunOutcome::Idle { at }
+                } else {
+                    RunOutcome::Deadlock { at, blocked }
+                };
+            };
+            let nothing_running = self.sc.running.iter().all(Option::is_none);
+            if nothing_running && matches!(ev.kind, EvKind::Kernel { .. }) {
+                idle_kernel_events += 1;
+            } else {
+                idle_kernel_events = 0;
+            }
+            self.handle(ev.kind);
+        }
+    }
+
+    /// Take a destructive logic scan: snapshot, then the machine is
+    /// consumed (scans destroy chip state, §III). For non-destructive
+    /// introspection in tests use `scan_ref`.
+    pub fn scan_destructive(self, target: ScanTarget) -> ScanRecord {
+        self.scan_ref(target)
+    }
+
+    /// Snapshot scan (the simulator can afford to be non-destructive, but
+    /// the bringup workflow treats it as destructive).
+    pub fn scan_ref(&self, target: ScanTarget) -> ScanRecord {
+        let (desc, digest, probes) = match target {
+            ScanTarget::Cores => ("cores", self.sc.trace.digest(), self.sc.probe_signals()),
+            ScanTarget::Network => {
+                let probes: Vec<(String, u64)> = self
+                    .sc
+                    .probe_signals()
+                    .into_iter()
+                    .filter(|(n, _)| n.starts_with("net."))
+                    .collect();
+                ("network", self.sc.trace.digest(), probes)
+            }
+            ScanTarget::Dram { addr, len } => {
+                let d = self.sc.dram[0].digest(addr, len);
+                ("dram", d, vec![("dram.window".to_string(), d)])
+            }
+            ScanTarget::Full => {
+                let mut probes = self.sc.probe_signals();
+                probes.push((
+                    "dram0.resident".to_string(),
+                    self.sc.dram[0].resident_granules() as u64,
+                ));
+                ("full", self.sc.trace.digest(), probes)
+            }
+        };
+        ScanRecord {
+            cycle: self.sc.now(),
+            target_desc: desc,
+            digest,
+            probes,
+        }
+    }
+
+    /// The §III reproducible reset: rendezvous cores, flush caches to
+    /// DDR, put DDR in self-refresh, toggle reset. DRAM contents survive;
+    /// everything else restarts from cycle 0. The kernel reboots on the
+    /// reproducible path (no service-node interaction).
+    pub fn reproducible_reset(&mut self) {
+        self.sc.barrier.prepare_reproducible_reboot();
+        let dram = std::mem::take(&mut self.sc.dram);
+        let mut barrier = self.sc.barrier.clone();
+        barrier.on_chip_reset();
+        let mut fresh = SimCore::new(self.sc.cfg.clone());
+        fresh.dram = dram;
+        fresh.barrier = barrier;
+        self.sc = fresh;
+        self.kernel.reset();
+        self.booted = true;
+        self.has_job = false;
+        self.boot_report = Some(self.kernel.boot(&mut self.sc, true));
+    }
+
+    // ---- event handling ---------------------------------------------------
+
+    fn handle(&mut self, kind: EvKind) {
+        match kind {
+            EvKind::OpDone { tid, gen } => self.on_op_done(Tid(tid), gen),
+            EvKind::Kernel { node, tag } => {
+                self.kernel.kernel_event(&mut self.sc, NodeId(node), tag);
+            }
+            EvKind::NetDeliver { msg_id } => {
+                let Some(msg) = self.sc.take_msg(msg_id) else {
+                    return;
+                };
+                self.sc.trace.record(
+                    self.sc.engine.now(),
+                    TraceEvent::MsgRecv {
+                        dst: msg.dst_node.0,
+                        bytes: msg.bytes,
+                        tag: msg.tag,
+                    },
+                );
+                match msg.domain {
+                    NetDomain::Torus => self.comm.net_deliver(&mut self.sc, msg),
+                    NetDomain::Collective => self.kernel.net_deliver(&mut self.sc, msg),
+                }
+            }
+            EvKind::Ipi { core, kind } => {
+                let core = CoreId(core);
+                self.sc
+                    .trace
+                    .record(self.sc.engine.now(), TraceEvent::Ipi { core: core.0, kind });
+                // The interrupted thread pays the IPI entry/exit cost.
+                self.sc
+                    .stretch_running(core, IPI_OVERHEAD, u64::from(kind) | 0x1000);
+                self.kernel.on_ipi(&mut self.sc, core, kind);
+            }
+            EvKind::Fault { core, kind } => {
+                let core = CoreId(core);
+                self.sc.stats.faults += 1;
+                self.sc.trace.record(
+                    self.sc.engine.now(),
+                    TraceEvent::Fault { core: core.0, kind },
+                );
+                self.kernel.on_fault(&mut self.sc, core, kind);
+            }
+            EvKind::CollDone { tid, coll: _ } => {
+                self.sc.defer_unblock(Tid(tid), Some(SysRet::Val(0)));
+            }
+        }
+    }
+
+    fn on_op_done(&mut self, tid: Tid, gen: u32) {
+        let t = &mut self.sc.threads[tid.idx()];
+        let ThreadState::Running {
+            gen: cur,
+            until,
+            started,
+        } = t.state
+        else {
+            return; // stale (thread blocked/killed since)
+        };
+        if cur != gen {
+            return; // stale (stretched or preempted since)
+        }
+        t.stats.busy_cycles += until.saturating_sub(started);
+        t.state = ThreadState::Ready;
+        self.sc
+            .trace
+            .record(self.sc.engine.now(), TraceEvent::OpEnd { tid: tid.0 });
+        // Non-preemptive continuation: the same thread keeps its core and
+        // fetches its next op immediately (CNK semantics; FWK timeslice
+        // switches happen via kernel events).
+        self.advance_thread(tid);
+    }
+
+    // ---- deferral queues ---------------------------------------------------
+
+    /// Drain the deferral queues; returns true if anything happened
+    /// (used by the livelock guard as a progress signal).
+    fn drain(&mut self) -> bool {
+        let mut did = false;
+        loop {
+            if let Some((proc, code)) = pop_front_vec(&mut self.sc.kill_q) {
+                self.kill_proc(proc, code);
+                did = true;
+                continue;
+            }
+            if let Some((tid, ret)) = pop_front_vec(&mut self.sc.unblock_q) {
+                self.handle_unblock(tid, ret);
+                did = true;
+                continue;
+            }
+            if let Some(tid) = pop_front_vec(&mut self.sc.dispatch_q) {
+                self.advance_thread(tid);
+                did = true;
+                continue;
+            }
+            break;
+        }
+        did
+    }
+
+    fn handle_unblock(&mut self, tid: Tid, ret: Option<SysRet>) {
+        let t = &mut self.sc.threads[tid.idx()];
+        if !t.state.is_live() {
+            return;
+        }
+        if let Some(r) = ret {
+            t.pending_ret = Some(r);
+        }
+        if t.state.is_blocked() {
+            t.state = ThreadState::Ready;
+        }
+        self.kernel.on_unblock(&mut self.sc, tid);
+    }
+
+    fn kill_proc(&mut self, proc: ProcId, code: i32) {
+        let tids: Vec<Tid> = self.sc.threads_of(proc).to_vec();
+        let mut freed_cores = Vec::new();
+        for tid in tids {
+            let core = self.sc.threads[tid.idx()].core;
+            let t = &mut self.sc.threads[tid.idx()];
+            if !t.state.is_live() {
+                continue;
+            }
+            t.next_gen(); // invalidate in-flight completions
+            t.state = ThreadState::Exited;
+            t.exit_code = Some(code);
+            if self.sc.running[core.idx()] == Some(tid) {
+                self.sc.running[core.idx()] = None;
+                freed_cores.push(core);
+            }
+            self.sc
+                .trace
+                .record(self.sc.engine.now(), TraceEvent::ThreadExit { tid: tid.0 });
+            self.kernel.on_exit(&mut self.sc, tid);
+        }
+        for core in freed_cores {
+            self.refill_core(core);
+        }
+    }
+
+    fn exit_thread(&mut self, tid: Tid, code: i32) {
+        let core = self.sc.threads[tid.idx()].core;
+        {
+            let t = &mut self.sc.threads[tid.idx()];
+            t.next_gen();
+            t.state = ThreadState::Exited;
+            t.exit_code = Some(code);
+        }
+        if self.sc.running[core.idx()] == Some(tid) {
+            self.sc.running[core.idx()] = None;
+        }
+        self.sc
+            .trace
+            .record(self.sc.engine.now(), TraceEvent::ThreadExit { tid: tid.0 });
+        self.kernel.on_exit(&mut self.sc, tid);
+        self.refill_core(core);
+    }
+
+    fn refill_core(&mut self, core: CoreId) {
+        if !self.sc.core_idle(core) {
+            return;
+        }
+        if let Some(next) = self.kernel.pick_next(&mut self.sc, core) {
+            if self.sc.core_idle(core) {
+                self.sc.dispatch(next);
+            }
+        }
+    }
+
+    // ---- op dispatch --------------------------------------------------------
+
+    /// Fetch and start the next op of `tid`. Zero-cost ops complete
+    /// inline (same cycle); timed ops schedule an `OpDone`.
+    fn advance_thread(&mut self, tid: Tid) {
+        loop {
+            {
+                let t = &self.sc.threads[tid.idx()];
+                if !t.state.is_live() {
+                    return;
+                }
+                debug_assert_eq!(
+                    self.sc.running[t.core.idx()],
+                    Some(tid),
+                    "advance_thread without core ownership"
+                );
+            }
+            // Resume a preempted compute op without consulting the
+            // workload.
+            if let Some(rem) = self.sc.threads[tid.idx()].resume_cycles.take() {
+                self.start_run(tid, rem, true);
+                return;
+            }
+            let mut wl = self.sc.threads[tid.idx()]
+                .workload
+                .take()
+                .expect("live thread without workload");
+            let op = {
+                let mut env = WlEnv {
+                    sc: &mut self.sc,
+                    kernel: &mut *self.kernel,
+                    tid,
+                };
+                wl.next(&mut env)
+            };
+            self.sc.threads[tid.idx()].workload = Some(wl);
+            self.sc.threads[tid.idx()].stats.ops += 1;
+            match self.dispatch_op(tid, op) {
+                Disp::Continue => continue,
+                Disp::Scheduled | Disp::Released => return,
+            }
+        }
+    }
+
+    fn dispatch_op(&mut self, tid: Tid, op: Op) -> Disp {
+        let opname = op.name();
+        // The streaming flag covers exactly the duration of a Stream op.
+        let core = self.sc.threads[tid.idx()].core;
+        self.sc.streaming[core.idx()] = matches!(op, Op::Stream { .. });
+        match op {
+            Op::Compute { .. } | Op::Daxpy { .. } | Op::Stream { .. } | Op::Flops { .. } => {
+                let cost = self.kernel.compute_cost(&mut self.sc, tid, &op);
+                self.trace_start(tid, opname, cost);
+                self.start_run(tid, cost, true);
+                Disp::Scheduled
+            }
+            Op::MemTouch {
+                vaddr,
+                bytes,
+                write,
+            } => {
+                let r = self
+                    .kernel
+                    .mem_touch(&mut self.sc, tid, vaddr, bytes, write);
+                self.trace_start(tid, opname, r.cost);
+                if r.cost == 0 {
+                    Disp::Continue
+                } else {
+                    self.start_run(tid, r.cost, false);
+                    Disp::Scheduled
+                }
+            }
+            Op::Syscall(req) => self.dispatch_syscall(tid, &req),
+            Op::Yield => self.dispatch_syscall(tid, &SysReq::SchedYield),
+            Op::Spawn {
+                args,
+                child,
+                core_hint,
+            } => {
+                let (ret, cost) = self
+                    .kernel
+                    .spawn(&mut self.sc, tid, &args, core_hint, child);
+                self.trace_start(tid, "spawn", cost);
+                self.sc.threads[tid.idx()].pending_ret = Some(ret);
+                if cost == 0 {
+                    Disp::Continue
+                } else {
+                    self.start_run(tid, cost, false);
+                    Disp::Scheduled
+                }
+            }
+            Op::Comm(cop) => {
+                let rank = match self.sc.threads[tid.idx()].rank {
+                    Some(r) => r,
+                    None => {
+                        // Communication from a thread with no rank is a
+                        // program error; fail the op.
+                        self.sc.threads[tid.idx()].pending_ret =
+                            Some(SysRet::Err(sysabi::Errno::EINVAL));
+                        return Disp::Continue;
+                    }
+                };
+                let caps = self.kernel.comm_caps(&self.sc, tid);
+                let action = self.comm.issue(&mut self.sc, &caps, tid, rank, &cop);
+                match action {
+                    CommAction::RunFor { cycles } => {
+                        self.trace_start(tid, opname, cycles);
+                        if cycles == 0 {
+                            Disp::Continue
+                        } else {
+                            self.start_run(tid, cycles, false);
+                            Disp::Scheduled
+                        }
+                    }
+                    CommAction::Block { kind } => {
+                        self.block_thread(tid, kind);
+                        Disp::Released
+                    }
+                }
+            }
+            Op::End => {
+                self.exit_thread(tid, 0);
+                Disp::Released
+            }
+        }
+    }
+
+    fn dispatch_syscall(&mut self, tid: Tid, req: &SysReq) -> Disp {
+        self.sc.threads[tid.idx()].stats.syscalls += 1;
+        self.sc.trace.record(
+            self.sc.engine.now(),
+            TraceEvent::SyscallEnter {
+                tid: tid.0,
+                name: req.name(),
+            },
+        );
+        let action = self.kernel.syscall(&mut self.sc, tid, req);
+        match action {
+            SyscallAction::Done { ret, cost } => {
+                let ok = !ret.is_err();
+                self.sc.trace.record(
+                    self.sc.engine.now(),
+                    TraceEvent::SyscallExit { tid: tid.0, ok },
+                );
+                self.sc.threads[tid.idx()].pending_ret = Some(ret);
+                if cost == 0 {
+                    Disp::Continue
+                } else {
+                    self.start_run(tid, cost, false);
+                    Disp::Scheduled
+                }
+            }
+            SyscallAction::Block { kind } => {
+                self.block_thread(tid, kind);
+                Disp::Released
+            }
+            SyscallAction::YieldCpu => {
+                let core = self.sc.threads[tid.idx()].core;
+                self.sc.threads[tid.idx()].state = ThreadState::Ready;
+                self.sc.running[core.idx()] = None;
+                self.refill_core(core);
+                Disp::Released
+            }
+            SyscallAction::ExitThread { code } => {
+                self.exit_thread(tid, code);
+                Disp::Released
+            }
+            SyscallAction::ExitProc { code } => {
+                let proc = self.sc.threads[tid.idx()].proc;
+                self.sc.defer_kill(proc, code);
+                Disp::Released
+            }
+        }
+    }
+
+    fn block_thread(&mut self, tid: Tid, kind: crate::machine::BlockKind) {
+        let core = self.sc.threads[tid.idx()].core;
+        let t = &mut self.sc.threads[tid.idx()];
+        t.state = ThreadState::Blocked(kind);
+        t.stats.blocks += 1;
+        self.sc.running[core.idx()] = None;
+        self.refill_core(core);
+    }
+
+    fn start_run(&mut self, tid: Tid, cost: u64, preemptible: bool) {
+        let now = self.sc.engine.now();
+        let t = &mut self.sc.threads[tid.idx()];
+        let gen = t.next_gen();
+        t.preemptible = preemptible;
+        t.state = ThreadState::Running {
+            gen,
+            until: now + cost,
+            started: now,
+        };
+        self.sc
+            .engine
+            .schedule(now + cost, EvKind::OpDone { tid: tid.0, gen });
+    }
+
+    fn trace_start(&mut self, tid: Tid, opname: &'static str, cost: u64) {
+        self.sc.trace.record(
+            self.sc.engine.now(),
+            TraceEvent::OpStart {
+                tid: tid.0,
+                opname,
+                cost,
+            },
+        );
+    }
+
+    /// Borrow a thread's workload for result extraction after a run.
+    pub fn workload_of(&self, tid: Tid) -> Option<&dyn crate::machine::Workload> {
+        self.sc.threads[tid.idx()].workload.as_deref()
+    }
+
+    /// Deliver a signal to a thread at its next op boundary (test and
+    /// fault-injection hook; kernels use `sc.post_signal` directly).
+    pub fn post_signal(&mut self, tid: Tid, sig: Sig) {
+        self.sc.post_signal(tid, sig);
+    }
+}
+
+fn pop_front_vec<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+// A VecDeque would avoid the O(n) remove, but the queues hold a handful
+// of entries; keeping them as Vec preserves FIFO order with less code.
+#[allow(dead_code)]
+type QueueNote = VecDeque<()>;

@@ -1,0 +1,582 @@
+//! `SimCore`: the mutable machine state handed to kernels and comm models.
+//!
+//! `SimCore` owns mechanics only — the event engine, thread table,
+//! physical memory, TLBs/DACs, networks, trace, and statistics. All
+//! *policy* stays in the `Kernel`/`CommModel` implementations, which
+//! receive `&mut SimCore` in their callbacks. Cross-component effects
+//! (waking a thread, killing a process, dispatching onto a core) go
+//! through deferral queues the executor drains after each event, which
+//! keeps the borrow structure simple and the event order deterministic.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+
+use sysabi::{CoreId, NodeId, ProcId, Sig, SysRet, Tid};
+
+use crate::barrier::BarrierNet;
+use crate::collective::CollectiveNet;
+use crate::config::MachineConfig;
+use crate::cycles::Cycle;
+use crate::engine::{Engine, EvKind};
+use crate::machine::thread::{Thread, ThreadState};
+use crate::machine::Workload;
+use crate::mem::PhysMem;
+use crate::rng::RngHub;
+use crate::torus::Torus;
+use crate::trace::{Trace, TraceEvent};
+
+/// Which network fabric carries a message, and therefore who receives it:
+/// torus traffic goes to the `CommModel`, collective traffic to the
+/// `Kernel` (function shipping).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetDomain {
+    Torus,
+    Collective,
+}
+
+/// An in-flight network message.
+#[derive(Clone, Debug)]
+pub struct NetMsg {
+    pub id: u64,
+    pub src_node: NodeId,
+    pub dst_node: NodeId,
+    pub domain: NetDomain,
+    /// Receiver-side demultiplexing tag (protocol-private).
+    pub tag: u64,
+    /// Modeled size (drives timing).
+    pub bytes: u64,
+    /// Marshaled payload, if the protocol carries real data
+    /// (function-ship requests/replies do; timing-only messages don't).
+    pub payload: Vec<u8>,
+}
+
+/// Whole-machine statistics.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MachineStats {
+    pub torus_msgs: u64,
+    pub torus_bytes: u64,
+    pub coll_msgs: u64,
+    pub coll_bytes: u64,
+    pub ipis: u64,
+    pub faults: u64,
+    pub noise_events: u64,
+}
+
+pub struct SimCore {
+    pub cfg: MachineConfig,
+    pub engine: Engine,
+    pub torus: Torus,
+    pub coll: CollectiveNet,
+    pub barrier: BarrierNet,
+    pub trace: Trace,
+    pub hub: RngHub,
+    pub threads: Vec<Thread>,
+    /// Per-node DRAM.
+    pub dram: Vec<PhysMem>,
+    /// Per-global-core TLB.
+    pub tlbs: Vec<crate::tlb::Tlb>,
+    /// Per-global-core DAC register file.
+    pub dacs: Vec<crate::dac::DacFile>,
+    /// Per-global-core currently running thread.
+    pub running: Vec<Option<Tid>>,
+    /// Per-global-core "currently executing a memory-streaming op" flag
+    /// (drives the L2 bank-conflict model, §III).
+    pub streaming: Vec<bool>,
+    /// Per-node DRAM-refresh jitter stream.
+    jitter: Vec<SmallRng>,
+    /// In-flight messages keyed by id.
+    msgs: HashMap<u64, NetMsg>,
+    next_msg: u64,
+    /// Threads of each process.
+    pub proc_threads: HashMap<ProcId, Vec<Tid>>,
+    pub stats: MachineStats,
+
+    // Deferral queues drained by the executor.
+    pub(crate) dispatch_q: Vec<Tid>,
+    pub(crate) unblock_q: Vec<(Tid, Option<SysRet>)>,
+    pub(crate) kill_q: Vec<(ProcId, i32)>,
+}
+
+impl SimCore {
+    pub fn new(cfg: MachineConfig) -> SimCore {
+        cfg.validate().expect("invalid machine config");
+        let cores = cfg.total_cores() as usize;
+        let hub = RngHub::new(cfg.seed);
+        let jitter = (0..cfg.nodes as u64)
+            .map(|n| hub.stream_for("dram-refresh", n))
+            .collect();
+        SimCore {
+            engine: Engine::new(),
+            torus: Torus::new(&cfg),
+            coll: CollectiveNet::new(&cfg),
+            barrier: BarrierNet::new(&cfg),
+            trace: Trace::new(cfg.trace_events),
+            hub: hub.clone(),
+            threads: Vec::new(),
+            dram: (0..cfg.nodes)
+                .map(|_| PhysMem::new(cfg.chip.dram_bytes))
+                .collect(),
+            tlbs: (0..cores)
+                .map(|_| crate::tlb::Tlb::new(cfg.chip.tlb_entries))
+                .collect(),
+            dacs: (0..cores)
+                .map(|_| crate::dac::DacFile::new(cfg.chip.dac_pairs))
+                .collect(),
+            running: vec![None; cores],
+            streaming: vec![false; cores],
+            jitter,
+            msgs: HashMap::new(),
+            next_msg: 0,
+            proc_threads: HashMap::new(),
+            stats: MachineStats::default(),
+            dispatch_q: Vec::new(),
+            unblock_q: Vec::new(),
+            kill_q: Vec::new(),
+            cfg,
+        }
+    }
+
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.engine.now()
+    }
+
+    pub fn cores_per_node(&self) -> u32 {
+        self.cfg.chip.cores
+    }
+
+    /// Global core id for a (node, local core).
+    pub fn core_of(&self, node: NodeId, local: u32) -> CoreId {
+        CoreId::global(node, local, self.cfg.chip.cores)
+    }
+
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        core.node(self.cfg.chip.cores)
+    }
+
+    // ---- thread lifecycle -------------------------------------------------
+
+    /// Create a thread (kernel calls this from launch/spawn). The thread
+    /// starts `Idle`; dispatch it to begin execution.
+    pub fn create_thread(
+        &mut self,
+        proc: ProcId,
+        node: NodeId,
+        core: CoreId,
+        workload: Box<dyn Workload>,
+    ) -> Tid {
+        let tid = Tid(self.threads.len() as u32);
+        self.threads
+            .push(Thread::new(tid, proc, node, core, workload));
+        self.proc_threads.entry(proc).or_default().push(tid);
+        tid
+    }
+
+    pub fn thread(&self, tid: Tid) -> &Thread {
+        &self.threads[tid.idx()]
+    }
+
+    pub fn thread_mut(&mut self, tid: Tid) -> &mut Thread {
+        &mut self.threads[tid.idx()]
+    }
+
+    /// Threads of a process.
+    pub fn threads_of(&self, proc: ProcId) -> &[Tid] {
+        self.proc_threads.get(&proc).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Cores of `node` currently executing a streaming op.
+    pub fn active_streams(&self, node: NodeId) -> u32 {
+        let cpn = self.cfg.chip.cores;
+        (0..cpn)
+            .filter(|&c| self.streaming[CoreId::global(node, c, cpn).idx()])
+            .count() as u32
+    }
+
+    /// Live threads on a given hardware core.
+    pub fn live_on_core(&self, core: CoreId) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.core == core && t.state.is_live())
+            .count()
+    }
+
+    /// Number of live (non-exited) threads.
+    pub fn live_threads(&self) -> usize {
+        self.threads.iter().filter(|t| t.state.is_live()).count()
+    }
+
+    /// Is the hardware core currently idle?
+    pub fn core_idle(&self, core: CoreId) -> bool {
+        self.running[core.idx()].is_none()
+    }
+
+    /// Claim a core for `tid` and queue it for execution. Panics if the
+    /// core is busy — kernels must check `core_idle` first.
+    pub fn dispatch(&mut self, tid: Tid) {
+        let core = self.threads[tid.idx()].core;
+        assert!(
+            self.running[core.idx()].is_none(),
+            "dispatch {tid} onto busy core {core}"
+        );
+        assert!(
+            matches!(
+                self.threads[tid.idx()].state,
+                ThreadState::Idle | ThreadState::Ready
+            ),
+            "dispatch {tid} in state {:?}",
+            self.threads[tid.idx()].state
+        );
+        self.running[core.idx()] = Some(tid);
+        self.dispatch_q.push(tid);
+    }
+
+    /// Queue a blocked thread to become Ready with result `ret`; the
+    /// executor will inform the kernel (`on_unblock`).
+    pub fn defer_unblock(&mut self, tid: Tid, ret: Option<SysRet>) {
+        self.unblock_q.push((tid, ret));
+    }
+
+    /// Queue a whole-process kill (guard-page fault default action,
+    /// exit_group, fatal signal).
+    pub fn defer_kill(&mut self, proc: ProcId, code: i32) {
+        self.kill_q.push((proc, code));
+    }
+
+    /// Post a signal for delivery at `tid`'s next op boundary.
+    pub fn post_signal(&mut self, tid: Tid, sig: Sig) {
+        self.threads[tid.idx()].sig_queue.push_back(sig);
+    }
+
+    // ---- noise ------------------------------------------------------------
+
+    /// Stretch whatever is running on `core` by `cycles` (a noise event:
+    /// tick, daemon, interrupt). No effect on an idle core. Returns true
+    /// if something was stretched.
+    pub fn stretch_running(&mut self, core: CoreId, cycles: u64, tag: u64) -> bool {
+        let Some(tid) = self.running[core.idx()] else {
+            return false;
+        };
+        let t = &mut self.threads[tid.idx()];
+        let ThreadState::Running { until, started, .. } = t.state else {
+            return false;
+        };
+        t.gen_ctr += 1;
+        let gen = t.gen_ctr;
+        let new_until = until + cycles;
+        t.state = ThreadState::Running {
+            gen,
+            until: new_until,
+            started,
+        };
+        t.stats.noise_cycles += cycles;
+        self.stats.noise_events += 1;
+        let node = self.node_of_core(core);
+        self.trace.record(
+            self.engine.now(),
+            TraceEvent::Noise {
+                node: node.0,
+                tag,
+                cycles,
+            },
+        );
+        self.engine
+            .schedule(new_until, EvKind::OpDone { tid: tid.0, gen });
+        true
+    }
+
+    /// Preempt the thread running on `core`, if it is mid-way through a
+    /// preemptible op: its remaining cycles are saved and it goes back to
+    /// Ready. Returns the preempted tid. Used by the FWK's timeslice
+    /// scheduler; CNK never calls this (non-preemptive, §IV.B.1).
+    pub fn preempt(&mut self, core: CoreId) -> Option<Tid> {
+        let tid = self.running[core.idx()]?;
+        let t = &mut self.threads[tid.idx()];
+        let ThreadState::Running { until, started, .. } = t.state else {
+            return None;
+        };
+        if !t.preemptible {
+            return None;
+        }
+        let now = self.engine.now();
+        let remaining = until.saturating_sub(now);
+        t.resume_cycles = Some(remaining);
+        t.stats.busy_cycles += now.saturating_sub(started);
+        // Any scheduled OpDone for the old generation becomes stale.
+        t.gen_ctr += 1;
+        t.state = ThreadState::Ready;
+        self.running[core.idx()] = None;
+        Some(tid)
+    }
+
+    /// One DRAM-refresh jitter draw for a node (the only CNK-visible
+    /// noise; bounded < 0.006% of the FWQ quantum).
+    pub fn refresh_jitter(&mut self, node: NodeId) -> u64 {
+        let max = self.cfg.chip.dram_refresh_stall_max;
+        crate::rng::uniform_incl(&mut self.jitter[node.idx()], 0, max)
+    }
+
+    // ---- kernel event scheduling -------------------------------------------
+
+    /// Schedule a kernel-private event on `node` at absolute cycle `at`.
+    pub fn schedule_kernel_event(&mut self, node: NodeId, tag: u64, at: Cycle) {
+        self.engine
+            .schedule(at, EvKind::Kernel { node: node.0, tag });
+    }
+
+    pub fn schedule_kernel_event_in(&mut self, node: NodeId, tag: u64, delta: Cycle) {
+        self.engine
+            .schedule_in(delta, EvKind::Kernel { node: node.0, tag });
+    }
+
+    /// Send an IPI to a core, arriving after the interconnect delay.
+    pub fn send_ipi(&mut self, core: CoreId, kind: u32) {
+        self.stats.ipis += 1;
+        // On-chip IPI latency: a handful of cycles.
+        self.engine
+            .schedule_in(12, EvKind::Ipi { core: core.0, kind });
+    }
+
+    // ---- networks ----------------------------------------------------------
+
+    fn enqueue_msg(&mut self, msg: NetMsg, arrival: Cycle) {
+        self.trace.record(
+            self.engine.now(),
+            TraceEvent::MsgSend {
+                src: msg.src_node.0,
+                dst: msg.dst_node.0,
+                bytes: msg.bytes,
+                tag: msg.tag,
+            },
+        );
+        let id = msg.id;
+        self.msgs.insert(id, msg);
+        self.engine
+            .schedule(arrival, EvKind::NetDeliver { msg_id: id });
+    }
+
+    fn next_msg_id(&mut self) -> u64 {
+        let id = self.next_msg;
+        self.next_msg += 1;
+        id
+    }
+
+    /// Inject a torus message; it will be delivered to the `CommModel`
+    /// after the hardware transfer time plus `extra_delay`.
+    pub fn torus_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+        payload: Vec<u8>,
+        extra_delay: Cycle,
+    ) -> u64 {
+        assert!(
+            self.cfg.chip.torus_unit.usable(),
+            "torus traffic on a chip without a torus unit"
+        );
+        let hops = self.torus.hops(src, dst);
+        let xfer = self.torus.transfer_cycles(bytes, hops);
+        let id = self.next_msg_id();
+        self.stats.torus_msgs += 1;
+        self.stats.torus_bytes += bytes;
+        let arrival = self.engine.now() + xfer + extra_delay;
+        self.enqueue_msg(
+            NetMsg {
+                id,
+                src_node: src,
+                dst_node: dst,
+                domain: NetDomain::Torus,
+                tag,
+                bytes,
+                payload,
+            },
+            arrival,
+        );
+        id
+    }
+
+    /// Send a collective-network message between a compute node and its
+    /// I/O node (either direction). Delivered to the `Kernel`.
+    pub fn coll_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: u64,
+        payload: Vec<u8>,
+        extra_delay: Cycle,
+    ) -> u64 {
+        assert!(
+            self.cfg.chip.collective_unit.usable(),
+            "collective traffic on a chip without a collective unit"
+        );
+        let xfer = self.coll.cn_ion_cycles(src, bytes);
+        let id = self.next_msg_id();
+        self.stats.coll_msgs += 1;
+        self.stats.coll_bytes += bytes;
+        let arrival = self.engine.now() + xfer + extra_delay;
+        self.enqueue_msg(
+            NetMsg {
+                id,
+                src_node: src,
+                dst_node: dst,
+                domain: NetDomain::Collective,
+                tag,
+                bytes,
+                payload,
+            },
+            arrival,
+        );
+        id
+    }
+
+    pub(crate) fn take_msg(&mut self, id: u64) -> Option<NetMsg> {
+        self.msgs.remove(&id)
+    }
+
+    /// Schedule a collective-completion wakeup for a blocked participant.
+    pub fn schedule_coll_done(&mut self, tid: Tid, coll: u64, at: Cycle) {
+        self.engine
+            .schedule(at, EvKind::CollDone { tid: tid.0, coll });
+    }
+
+    // ---- scan support ------------------------------------------------------
+
+    /// Snapshot the named probe signals (§III logic scan).
+    pub fn probe_signals(&self) -> Vec<(String, u64)> {
+        let mut v = Vec::new();
+        for (i, r) in self.running.iter().enumerate() {
+            v.push((
+                format!("core{i}.running_tid"),
+                r.map_or(u64::MAX, |t| t.0 as u64),
+            ));
+        }
+        for (i, t) in self.threads.iter().enumerate() {
+            let s = match t.state {
+                ThreadState::Idle => 0,
+                ThreadState::Ready => 1,
+                ThreadState::Running { .. } => 2,
+                ThreadState::Blocked(_) => 3,
+                ThreadState::Exited => 4,
+            };
+            v.push((format!("thread{i}.state"), s));
+        }
+        v.push(("net.inflight".to_string(), self.msgs.len() as u64));
+        v.push(("events.processed".to_string(), self.engine.processed()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{WlEnv, Workload};
+    use crate::op::Op;
+
+    struct Nop;
+    impl Workload for Nop {
+        fn next(&mut self, _e: &mut WlEnv<'_>) -> Op {
+            Op::End
+        }
+    }
+
+    fn sc(nodes: u32) -> SimCore {
+        SimCore::new(MachineConfig::nodes(nodes))
+    }
+
+    #[test]
+    fn thread_creation_and_lookup() {
+        let mut s = sc(1);
+        let t0 = s.create_thread(ProcId(0), NodeId(0), CoreId(0), Box::new(Nop));
+        let t1 = s.create_thread(ProcId(0), NodeId(0), CoreId(1), Box::new(Nop));
+        assert_eq!(t0, Tid(0));
+        assert_eq!(t1, Tid(1));
+        assert_eq!(s.threads_of(ProcId(0)), &[t0, t1]);
+        assert_eq!(s.live_threads(), 2);
+        assert_eq!(s.live_on_core(CoreId(0)), 1);
+    }
+
+    #[test]
+    fn dispatch_claims_core() {
+        let mut s = sc(1);
+        let t = s.create_thread(ProcId(0), NodeId(0), CoreId(2), Box::new(Nop));
+        assert!(s.core_idle(CoreId(2)));
+        s.dispatch(t);
+        assert!(!s.core_idle(CoreId(2)));
+        assert_eq!(s.dispatch_q, vec![t]);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy core")]
+    fn double_dispatch_panics() {
+        let mut s = sc(1);
+        let a = s.create_thread(ProcId(0), NodeId(0), CoreId(0), Box::new(Nop));
+        let b = s.create_thread(ProcId(0), NodeId(0), CoreId(0), Box::new(Nop));
+        s.dispatch(a);
+        s.dispatch(b);
+    }
+
+    #[test]
+    fn stretch_requires_running_thread() {
+        let mut s = sc(1);
+        let t = s.create_thread(ProcId(0), NodeId(0), CoreId(0), Box::new(Nop));
+        assert!(!s.stretch_running(CoreId(0), 100, 0));
+        s.running[0] = Some(t);
+        s.threads[0].state = ThreadState::Running {
+            gen: 0,
+            until: 500,
+            started: 0,
+        };
+        assert!(s.stretch_running(CoreId(0), 100, 0));
+        match s.threads[0].state {
+            ThreadState::Running { gen, until, .. } => {
+                assert_eq!(gen, 1);
+                assert_eq!(until, 600);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(s.threads[0].stats.noise_cycles, 100);
+    }
+
+    #[test]
+    fn torus_send_schedules_delivery() {
+        let mut s = sc(2);
+        let id = s.torus_send(NodeId(0), NodeId(1), 1024, 7, vec![], 0);
+        assert!(s.msgs.contains_key(&id));
+        assert_eq!(s.stats.torus_msgs, 1);
+        // The delivery event exists.
+        assert_eq!(s.engine.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a torus unit")]
+    fn torus_send_requires_unit() {
+        let mut cfg = MachineConfig::nodes(2);
+        cfg.chip.torus_unit = crate::config::UnitStatus::Absent;
+        let mut s = SimCore::new(cfg);
+        s.torus_send(NodeId(0), NodeId(1), 1, 0, vec![], 0);
+    }
+
+    #[test]
+    fn refresh_jitter_deterministic_per_seed() {
+        let mut a = sc(1);
+        let mut b = sc(1);
+        let ja: Vec<u64> = (0..32).map(|_| a.refresh_jitter(NodeId(0))).collect();
+        let jb: Vec<u64> = (0..32).map(|_| b.refresh_jitter(NodeId(0))).collect();
+        assert_eq!(ja, jb);
+        let mut c = SimCore::new(MachineConfig::nodes(1).with_seed(777));
+        let jc: Vec<u64> = (0..32).map(|_| c.refresh_jitter(NodeId(0))).collect();
+        assert_ne!(ja, jc);
+    }
+
+    #[test]
+    fn probe_signals_have_core_entries() {
+        let s = sc(1);
+        let probes = s.probe_signals();
+        assert!(probes.iter().any(|(n, _)| n == "core0.running_tid"));
+        assert!(probes.iter().any(|(n, _)| n == "net.inflight"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Thread table entries.
+
+use std::collections::VecDeque;
+
+use sysabi::{CoreId, NodeId, ProcId, Rank, Sig, SysRet, Tid};
+
+use crate::cycles::Cycle;
+use crate::machine::Workload;
+
+/// Why a thread is blocked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockKind {
+    /// Waiting on a futex word.
+    Futex,
+    /// Waiting for a function-shipped I/O reply (or local I/O service).
+    Io,
+    /// Waiting for a matching message.
+    Recv,
+    /// Waiting inside a collective.
+    Coll,
+    /// Waiting for remote completion of a one-sided op.
+    Rma,
+    /// Kernel-internal wait.
+    Other,
+}
+
+/// Scheduling state of a thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadState {
+    /// Created, never dispatched.
+    Idle,
+    /// Runnable, not on a core.
+    Ready,
+    /// On a core executing an op that completes at `until` (unless
+    /// stretched by noise; `gen` invalidates stale completion events).
+    Running {
+        gen: u32,
+        until: Cycle,
+        started: Cycle,
+    },
+    Blocked(BlockKind),
+    Exited,
+}
+
+impl ThreadState {
+    pub fn is_running(&self) -> bool {
+        matches!(self, ThreadState::Running { .. })
+    }
+
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, ThreadState::Blocked(_))
+    }
+
+    pub fn is_live(&self) -> bool {
+        !matches!(self, ThreadState::Exited)
+    }
+}
+
+/// Completion info of a receive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvInfo {
+    pub from: Rank,
+    pub bytes: u64,
+    pub tag: u32,
+}
+
+/// Per-thread accounting.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ThreadStats {
+    /// Cycles spent executing ops (including noise stretching).
+    pub busy_cycles: u64,
+    /// Cycles added by noise events while running.
+    pub noise_cycles: u64,
+    /// Ops issued.
+    pub ops: u64,
+    /// Syscalls issued.
+    pub syscalls: u64,
+    /// Times blocked.
+    pub blocks: u64,
+}
+
+/// A software thread.
+pub struct Thread {
+    pub tid: Tid,
+    pub proc: ProcId,
+    pub node: NodeId,
+    /// Fixed hardware-core affinity (CNK pins; FWK also pins in our model
+    /// to isolate noise effects, matching the paper's tuned-Linux setup).
+    pub core: CoreId,
+    pub state: ThreadState,
+    pub workload: Option<Box<dyn Workload>>,
+    /// Result of the last completed op, consumed by the workload.
+    pub pending_ret: Option<SysRet>,
+    pub pending_recv: Option<RecvInfo>,
+    pub sig_queue: VecDeque<Sig>,
+    /// Remaining cycles of a preempted compute op.
+    pub resume_cycles: Option<u64>,
+    /// Whether the current op may be preempted mid-flight.
+    pub preemptible: bool,
+    /// MPI rank (main threads only).
+    pub rank: Option<Rank>,
+    pub stats: ThreadStats,
+    pub exit_code: Option<i32>,
+    /// Monotonic run-generation counter (invalidates stale completions).
+    pub gen_ctr: u32,
+}
+
+impl Thread {
+    pub fn new(
+        tid: Tid,
+        proc: ProcId,
+        node: NodeId,
+        core: CoreId,
+        workload: Box<dyn Workload>,
+    ) -> Thread {
+        Thread {
+            tid,
+            proc,
+            node,
+            core,
+            state: ThreadState::Idle,
+            workload: Some(workload),
+            pending_ret: None,
+            pending_recv: None,
+            sig_queue: VecDeque::new(),
+            resume_cycles: None,
+            preemptible: false,
+            rank: None,
+            stats: ThreadStats::default(),
+            exit_code: None,
+            gen_ctr: 0,
+        }
+    }
+
+    /// Allocate a fresh run generation (stale completion events carry an
+    /// older generation and are ignored).
+    pub fn next_gen(&mut self) -> u32 {
+        self.gen_ctr += 1;
+        self.gen_ctr
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("tid", &self.tid)
+            .field("proc", &self.proc)
+            .field("node", &self.node)
+            .field("core", &self.core)
+            .field("state", &self.state)
+            .field("rank", &self.rank)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::WlEnv;
+    use crate::op::Op;
+
+    struct Nop;
+    impl Workload for Nop {
+        fn next(&mut self, _env: &mut WlEnv<'_>) -> Op {
+            Op::End
+        }
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(ThreadState::Running {
+            gen: 0,
+            until: 10,
+            started: 0
+        }
+        .is_running());
+        assert!(ThreadState::Blocked(BlockKind::Futex).is_blocked());
+        assert!(!ThreadState::Exited.is_live());
+        assert!(ThreadState::Idle.is_live());
+    }
+
+    #[test]
+    fn next_gen_is_monotonic() {
+        let mut t = Thread::new(Tid(0), ProcId(0), NodeId(0), CoreId(0), Box::new(Nop));
+        let g1 = t.next_gen();
+        let g2 = t.next_gen();
+        assert!(g2 > g1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-node physical memory.
+//!
+//! A sparse byte store with 4 KiB granules. Only data-plane contents are
+//! stored (futex words, persistent-memory structures, file buffers);
+//! compute ops are timing-only and never touch contents. Contents survive
+//! DDR self-refresh across a reproducible reset (§III) and job boundaries
+//! (the §IV.D persistent-memory feature), so the store lives at the node
+//! level, not the process level.
+
+use std::collections::BTreeMap;
+
+use crate::rng::fnv1a;
+
+const GRANULE: u64 = 4096;
+
+/// Sparse physical memory for one node.
+#[derive(Clone, Debug, Default)]
+pub struct PhysMem {
+    granules: BTreeMap<u64, Box<[u8; GRANULE as usize]>>,
+    limit: u64,
+}
+
+impl PhysMem {
+    pub fn new(limit_bytes: u64) -> PhysMem {
+        PhysMem {
+            granules: BTreeMap::new(),
+            limit: limit_bytes,
+        }
+    }
+
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr.checked_add(len).ok_or(MemError::OutOfRange)?;
+        if end > self.limit {
+            return Err(MemError::OutOfRange);
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at physical `addr`. Unwritten memory reads zero
+    /// (DDR is initialized by the boot sequence).
+    pub fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemError> {
+        self.check(addr, len)?;
+        let mut out = vec![0u8; len as usize];
+        let mut off = 0u64;
+        while off < len {
+            let a = addr + off;
+            let g = a / GRANULE;
+            let in_g = a % GRANULE;
+            let n = (GRANULE - in_g).min(len - off);
+            if let Some(gran) = self.granules.get(&g) {
+                out[off as usize..(off + n) as usize]
+                    .copy_from_slice(&gran[in_g as usize..(in_g + n) as usize]);
+            }
+            off += n;
+        }
+        Ok(out)
+    }
+
+    /// Write bytes at physical `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        self.check(addr, data.len() as u64)?;
+        let len = data.len() as u64;
+        let mut off = 0u64;
+        while off < len {
+            let a = addr + off;
+            let g = a / GRANULE;
+            let in_g = a % GRANULE;
+            let n = (GRANULE - in_g).min(len - off);
+            let gran = self
+                .granules
+                .entry(g)
+                .or_insert_with(|| Box::new([0u8; GRANULE as usize]));
+            gran[in_g as usize..(in_g + n) as usize]
+                .copy_from_slice(&data[off as usize..(off + n) as usize]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Read a 32-bit big-endian word (PPC450 is big-endian) — the futex
+    /// access path.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemError> {
+        let b = self.read(addr, 4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
+        self.write(addr, &v.to_be_bytes())
+    }
+
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
+        self.write(addr, &v.to_be_bytes())
+    }
+
+    /// Zero a range (job teardown clears non-persistent regions).
+    pub fn clear_range(&mut self, addr: u64, len: u64) -> Result<(), MemError> {
+        self.check(addr, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr + len;
+        // Drop whole granules...
+        let first_full = addr.div_ceil(GRANULE);
+        let last_full = end / GRANULE;
+        if first_full < last_full {
+            let keys: Vec<u64> = self
+                .granules
+                .range(first_full..last_full)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in keys {
+                self.granules.remove(&k);
+            }
+        }
+        // ...and zero the partial edges explicitly. `head_end` is where
+        // the first full granule begins (clamped to the range end, which
+        // also covers the whole-range-inside-one-granule case).
+        let head_end = (first_full * GRANULE).min(end);
+        if head_end > addr {
+            self.write(addr, &vec![0u8; (head_end - addr) as usize])?;
+        }
+        let tail_start = (last_full * GRANULE).max(head_end);
+        if tail_start < end {
+            self.write(tail_start, &vec![0u8; (end - tail_start) as usize])?;
+        }
+        Ok(())
+    }
+
+    /// Content digest of a range — the "logic scan" view of DRAM (§III).
+    pub fn digest(&self, addr: u64, len: u64) -> u64 {
+        match self.read(addr, len) {
+            Ok(bytes) => fnv1a(&bytes),
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of resident granules (memory-footprint introspection).
+    pub fn resident_granules(&self) -> usize {
+        self.granules.len()
+    }
+}
+
+/// Physical memory access error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    OutOfRange,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = PhysMem::new(1 << 20);
+        assert_eq!(m.read(0x1234, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_granules() {
+        let mut m = PhysMem::new(1 << 20);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write(GRANULE - 100, &data).unwrap();
+        assert_eq!(m.read(GRANULE - 100, data.len() as u64).unwrap(), data);
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut m = PhysMem::new(4096);
+        assert_eq!(m.write(4090, &[0; 10]), Err(MemError::OutOfRange));
+        assert_eq!(m.read(u64::MAX - 2, 8), Err(MemError::OutOfRange));
+        assert!(m.write(4088, &[1; 8]).is_ok());
+    }
+
+    #[test]
+    fn u32_big_endian() {
+        let mut m = PhysMem::new(1 << 16);
+        m.write_u32(0x100, 0xdead_beef).unwrap();
+        assert_eq!(m.read(0x100, 4).unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(m.read_u32(0x100).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn clear_range_zeroes() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write(1000, &[7u8; 20000]).unwrap();
+        m.clear_range(1100, 18000).unwrap();
+        assert_eq!(m.read(1000, 100).unwrap(), vec![7u8; 100]);
+        assert_eq!(m.read(1100, 18000).unwrap(), vec![0u8; 18000]);
+        assert_eq!(
+            m.read(1100 + 18000, 20000 - 18100).unwrap(),
+            vec![7u8; 1900]
+        );
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let mut m = PhysMem::new(1 << 16);
+        let d0 = m.digest(0, 4096);
+        m.write_u32(0, 1).unwrap();
+        let d1 = m.digest(0, 4096);
+        assert_ne!(d0, d1);
+        // Digest is a pure function of content.
+        let mut m2 = PhysMem::new(1 << 16);
+        m2.write_u32(0, 1).unwrap();
+        assert_eq!(m2.digest(0, 4096), d1);
+    }
+
+    #[test]
+    fn clear_releases_granules() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write(0, &[1u8; 64 * 1024]).unwrap();
+        let before = m.resident_granules();
+        m.clear_range(0, 64 * 1024).unwrap();
+        assert!(m.resident_granules() < before);
+    }
+}

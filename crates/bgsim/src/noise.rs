@@ -1,0 +1,114 @@
+//! Generic periodic noise-source descriptions.
+//!
+//! A noise source fires on a (period ± jitter) schedule and steals a
+//! duration drawn from a [min, max] range from whatever is running on
+//! its cores. The FWK uses these to model Linux's timer tick and
+//! daemons (§V.A); CNK accepts them as *injected* noise for
+//! kernel-policy studies — the paper's §I point that an LWK is "a more
+//! easily modifiable base" for exploring the effect of kernel policies
+//! on applications, and the methodology of the Ferreira et al. noise-
+//! injection study the paper cites.
+
+use rand::rngs::SmallRng;
+
+use crate::rng::uniform_incl;
+
+/// Which cores of a node a source interrupts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreSet {
+    All,
+    One(u32),
+    /// Every core except the given one.
+    AllBut(u32),
+}
+
+impl CoreSet {
+    pub fn contains(&self, core: u32) -> bool {
+        match *self {
+            CoreSet::All => true,
+            CoreSet::One(c) => c == core,
+            CoreSet::AllBut(c) => c != core,
+        }
+    }
+}
+
+/// A periodic noise source.
+#[derive(Clone, Debug)]
+pub struct NoiseSource {
+    pub name: &'static str,
+    /// Mean period in cycles.
+    pub period: u64,
+    /// Uniform jitter on the period, ± cycles.
+    pub period_jitter: u64,
+    /// Stolen cycles per firing, uniform in [min, max].
+    pub cost_min: u64,
+    pub cost_max: u64,
+    pub cores: CoreSet,
+}
+
+impl NoiseSource {
+    /// A synthetic injection source in the style of kernel-level noise
+    /// injection studies: fixed frequency (Hz) and duration (µs) on all
+    /// cores, no randomness beyond a small phase jitter.
+    pub fn injection(hz: f64, duration_us: f64) -> NoiseSource {
+        let period = (850e6 / hz) as u64;
+        let cost = (duration_us * 850.0) as u64;
+        NoiseSource {
+            name: "injected",
+            period,
+            period_jitter: period / 20,
+            cost_min: cost,
+            cost_max: cost,
+            cores: CoreSet::All,
+        }
+    }
+
+    /// Next firing delay from now.
+    pub fn next_delay(&self, rng: &mut SmallRng) -> u64 {
+        let lo = self.period.saturating_sub(self.period_jitter).max(1);
+        let hi = self.period + self.period_jitter;
+        uniform_incl(rng, lo, hi)
+    }
+
+    /// Cycles stolen by one firing.
+    pub fn cost(&self, rng: &mut SmallRng) -> u64 {
+        uniform_incl(rng, self.cost_min, self.cost_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngHub;
+
+    #[test]
+    fn injection_arithmetic() {
+        // 10 Hz, 1000 us: period 85M cycles, cost 850k cycles.
+        let s = NoiseSource::injection(10.0, 1000.0);
+        assert_eq!(s.period, 85_000_000);
+        assert_eq!(s.cost_min, 850_000);
+        assert_eq!(s.cost_min, s.cost_max);
+        assert!(s.cores.contains(0) && s.cores.contains(3));
+    }
+
+    #[test]
+    fn draws_bounded() {
+        let hub = RngHub::new(3);
+        let mut rng = hub.stream("n");
+        let s = NoiseSource {
+            name: "x",
+            period: 1000,
+            period_jitter: 100,
+            cost_min: 5,
+            cost_max: 9,
+            cores: CoreSet::One(2),
+        };
+        for _ in 0..500 {
+            let d = s.next_delay(&mut rng);
+            assert!((900..=1100).contains(&d));
+            let c = s.cost(&mut rng);
+            assert!((5..=9).contains(&c));
+        }
+        assert!(!s.cores.contains(0));
+    }
+}

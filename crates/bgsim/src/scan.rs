@@ -1,0 +1,165 @@
+//! Logic scans and waveform assembly (§III).
+//!
+//! "Reproducibility enables debugging the hardware via logic scans, which
+//! are destructive to the chip state. This technique requires performing
+//! logic scans on successive runs, each scan taken one cycle later than on
+//! the previous run. The scans are assembled into a logic waveform display
+//! that spans hundreds or thousands of cycles."
+//!
+//! A [`ScanRecord`] is the simulator's equivalent of one destructive scan:
+//! a snapshot of selected machine state at an exact cycle. A [`Waveform`]
+//! is the assembly of scans from successive reproducible runs.
+
+use crate::cycles::Cycle;
+
+/// Which part of the chip a scan chain reads out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanTarget {
+    /// Per-core pipeline state (running thread, op progress).
+    Cores,
+    /// Network interface state (in-flight message count, next arrival).
+    Network,
+    /// A window of DRAM contents.
+    Dram { addr: u64, len: u64 },
+    /// Everything at once (full-chip scan).
+    Full,
+}
+
+/// One destructive scan: the state digest plus a few named probe values
+/// a "logic designer" would inspect.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScanRecord {
+    pub cycle: Cycle,
+    pub target_desc: &'static str,
+    pub digest: u64,
+    /// Named probe signals, e.g. ("core0.running", tid).
+    pub probes: Vec<(String, u64)>,
+}
+
+/// A waveform assembled from per-cycle scans of successive runs.
+#[derive(Clone, Debug, Default)]
+pub struct Waveform {
+    scans: Vec<ScanRecord>,
+}
+
+/// Waveform assembly error: scans must come from *reproducible* runs, so
+/// cycles must be strictly increasing and contiguous enough to read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaveError {
+    OutOfOrder,
+}
+
+impl Waveform {
+    pub fn new() -> Waveform {
+        Waveform::default()
+    }
+
+    /// Append the scan from the next (one-cycle-later) run.
+    pub fn push(&mut self, scan: ScanRecord) -> Result<(), WaveError> {
+        if let Some(last) = self.scans.last() {
+            if scan.cycle <= last.cycle {
+                return Err(WaveError::OutOfOrder);
+            }
+        }
+        self.scans.push(scan);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.scans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty()
+    }
+
+    pub fn scans(&self) -> &[ScanRecord] {
+        &self.scans
+    }
+
+    /// The cycle at which a probe signal first changed value, if it did —
+    /// how a designer localizes "the point it diverged" (§III).
+    pub fn first_transition(&self, probe: &str) -> Option<Cycle> {
+        let mut prev: Option<u64> = None;
+        for s in &self.scans {
+            if let Some((_, v)) = s.probes.iter().find(|(n, _)| n == probe) {
+                match prev {
+                    Some(p) if p != *v => return Some(s.cycle),
+                    _ => prev = Some(*v),
+                }
+            }
+        }
+        None
+    }
+
+    /// The time series of one probe signal.
+    pub fn series(&self, probe: &str) -> Vec<(Cycle, u64)> {
+        self.scans
+            .iter()
+            .filter_map(|s| {
+                s.probes
+                    .iter()
+                    .find(|(n, _)| n == probe)
+                    .map(|(_, v)| (s.cycle, *v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(cycle: Cycle, v: u64) -> ScanRecord {
+        ScanRecord {
+            cycle,
+            target_desc: "cores",
+            digest: v.wrapping_mul(31),
+            probes: vec![("core0.sig".to_string(), v)],
+        }
+    }
+
+    #[test]
+    fn assembly_in_order() {
+        let mut w = Waveform::new();
+        for c in 100..110 {
+            w.push(scan(c, 0)).unwrap();
+        }
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut w = Waveform::new();
+        w.push(scan(100, 0)).unwrap();
+        assert_eq!(w.push(scan(100, 0)), Err(WaveError::OutOfOrder));
+        assert_eq!(w.push(scan(99, 0)), Err(WaveError::OutOfOrder));
+    }
+
+    #[test]
+    fn transition_detection() {
+        let mut w = Waveform::new();
+        for c in 0..50 {
+            w.push(scan(c, if c < 37 { 1 } else { 2 })).unwrap();
+        }
+        assert_eq!(w.first_transition("core0.sig"), Some(37));
+        assert_eq!(w.first_transition("missing"), None);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut w = Waveform::new();
+        w.push(scan(1, 5)).unwrap();
+        w.push(scan(2, 6)).unwrap();
+        assert_eq!(w.series("core0.sig"), vec![(1, 5), (2, 6)]);
+    }
+
+    #[test]
+    fn constant_signal_has_no_transition() {
+        let mut w = Waveform::new();
+        for c in 0..20 {
+            w.push(scan(c, 7)).unwrap();
+        }
+        assert_eq!(w.first_transition("core0.sig"), None);
+    }
+}

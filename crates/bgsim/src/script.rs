@@ -1,0 +1,112 @@
+//! Reusable scripted workloads for tests and examples.
+
+use crate::machine::{WlEnv, Workload};
+use crate::op::Op;
+
+/// A workload that yields a fixed vector of ops, then `End`.
+pub struct ScriptWorkload {
+    ops: Vec<Op>,
+    i: usize,
+    label: String,
+}
+
+impl ScriptWorkload {
+    pub fn new(ops: Vec<Op>) -> ScriptWorkload {
+        ScriptWorkload {
+            ops,
+            i: 0,
+            label: "script".to_string(),
+        }
+    }
+
+    pub fn labeled(ops: Vec<Op>, label: &str) -> ScriptWorkload {
+        ScriptWorkload {
+            ops,
+            i: 0,
+            label: label.to_string(),
+        }
+    }
+}
+
+impl Workload for ScriptWorkload {
+    fn next(&mut self, _env: &mut WlEnv<'_>) -> Op {
+        if self.i >= self.ops.len() {
+            return Op::End;
+        }
+        let op = std::mem::replace(&mut self.ops[self.i], Op::End);
+        self.i += 1;
+        op
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A workload driven by a closure — full access to the environment
+/// (previous results, memory, signals) at each op boundary.
+pub struct FnWorkload<F: FnMut(&mut WlEnv<'_>) -> Op> {
+    f: F,
+}
+
+impl<F: FnMut(&mut WlEnv<'_>) -> Op> FnWorkload<F> {
+    pub fn new(f: F) -> FnWorkload<F> {
+        FnWorkload { f }
+    }
+}
+
+impl<F: FnMut(&mut WlEnv<'_>) -> Op> Workload for FnWorkload<F> {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        (self.f)(env)
+    }
+
+    fn label(&self) -> &str {
+        "fn-workload"
+    }
+}
+
+/// Convenience constructor: a boxed closure workload.
+pub fn wl<F: FnMut(&mut WlEnv<'_>) -> Op + 'static>(f: F) -> Box<dyn Workload> {
+    Box::new(FnWorkload::new(f))
+}
+
+/// Convenience constructor: a boxed script workload.
+pub fn script(ops: Vec<Op>) -> Box<dyn Workload> {
+    Box::new(ScriptWorkload::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ade::{AdeKernel, FixedLatencyComm};
+    use crate::machine::Machine;
+    use crate::MachineConfig;
+    use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+    #[test]
+    fn fn_workload_counts_down() {
+        let mut m = Machine::new(
+            MachineConfig::single_node(),
+            Box::new(AdeKernel::new()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("t"), 1, NodeMode::Smp),
+            &mut |_r: Rank| {
+                let mut n = 3;
+                wl(move |_env| {
+                    if n == 0 {
+                        return Op::End;
+                    }
+                    n -= 1;
+                    Op::Compute { cycles: 100 }
+                })
+            },
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed());
+        assert_eq!(out.at(), 300);
+    }
+}

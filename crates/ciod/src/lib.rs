@@ -1,0 +1,38 @@
+//! `ciod` — the Control and I/O Daemon stack of the I/O nodes.
+//!
+//! Paper §IV.A: "When an application makes a system call that performs
+//! I/O, CNK marshals the parameters into a message and 'function-ships'
+//! that request to a Control and I/O Daemon (CIOD) running on an I/O
+//! node. ... CIOD retrieves messages from the collective network and
+//! directs them to an ioproxy program using a shared buffer. Each ioproxy
+//! process is associated with a specific process on a compute node. The
+//! ioproxy's filesystem state mirrors the CNK process's state (e.g., file
+//! seek offsets, current working directory, user/group permissions)."
+//!
+//! This crate implements exactly that pipeline, minus timing (which the
+//! kernels apply using [`ciod::service_cycles`]):
+//!
+//! * [`wire`] — the byte-level marshaling of syscall requests/replies;
+//! * [`vfs`] — the in-memory POSIX filesystem the ioproxies execute
+//!   against (standing in for the NFS/GPFS/PVFS/Lustre mounts of a real
+//!   I/O node);
+//! * [`ioproxy`] — one proxy per compute-node process, holding mirrored
+//!   fd/cwd/credential state;
+//! * [`ciod`] — the daemon: proxy dispatch and the service-time model.
+
+pub mod ciod;
+pub mod ioproxy;
+pub mod vfs;
+pub mod wire;
+
+pub use crate::ciod::{service_cycles, Ciod};
+pub use ioproxy::IoProxy;
+pub use vfs::Vfs;
+
+/// Uniform jitter in [0, 9000) cycles for Linux-side service time. Kept
+/// at crate root so both the CIOD (I/O node) and the FWK (compute node
+/// running Linux) draw the same distribution.
+pub fn vfs_jitter(rng: &mut rand::rngs::SmallRng) -> u64 {
+    use rand::Rng;
+    rng.gen_range(0..9_000)
+}

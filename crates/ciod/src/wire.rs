@@ -1,0 +1,481 @@
+//! The function-ship wire format.
+//!
+//! §IV.A: "a write system call sends a message containing the file
+//! descriptor number, length of the buffer, and the buffer data. ... The
+//! ioproxy decodes the message, demarshals the arguments, and performs
+//! the system call." This module is the marshal/demarshal layer: a
+//! compact, length-delimited binary encoding of [`SysReq`] and [`SysRet`]
+//! that actually travels over the simulated collective network.
+
+use sysabi::{Errno, Fd, FileKind, OpenFlags, SeekWhence, StatBuf, SysReq, SysRet, UtsName};
+
+/// Encoding/decoding failure (corrupt or truncated message).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    Truncated,
+    BadOpcode(u8),
+    BadField,
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(op: u8) -> Writer {
+        Writer { buf: vec![op] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadField)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadField)
+        }
+    }
+}
+
+// Request opcodes.
+const OP_OPEN: u8 = 1;
+const OP_CLOSE: u8 = 2;
+const OP_READ: u8 = 3;
+const OP_WRITE: u8 = 4;
+const OP_PREAD: u8 = 5;
+const OP_PWRITE: u8 = 6;
+const OP_LSEEK: u8 = 7;
+const OP_STAT: u8 = 8;
+const OP_FSTAT: u8 = 9;
+const OP_FTRUNCATE: u8 = 10;
+const OP_MKDIR: u8 = 11;
+const OP_UNLINK: u8 = 12;
+const OP_RMDIR: u8 = 13;
+const OP_RENAME: u8 = 14;
+const OP_CHDIR: u8 = 15;
+const OP_GETCWD: u8 = 16;
+const OP_DUP: u8 = 17;
+const OP_FSYNC: u8 = 18;
+
+// Reply opcodes.
+const RP_VAL: u8 = 100;
+const RP_DATA: u8 = 101;
+const RP_STAT: u8 = 102;
+const RP_ERR: u8 = 103;
+const RP_UNAME: u8 = 104;
+
+/// Marshal an I/O request. Panics if called with a non-I/O request —
+/// those never leave the compute node (§VI.A).
+pub fn encode_req(req: &SysReq) -> Vec<u8> {
+    assert!(
+        req.is_io(),
+        "only I/O requests are function-shipped: {}",
+        req.name()
+    );
+    let mut w;
+    match req {
+        SysReq::Open { path, flags, mode } => {
+            w = Writer::new(OP_OPEN);
+            w.str(path);
+            w.u32(flags.0);
+            w.u32(*mode);
+        }
+        SysReq::Close { fd } => {
+            w = Writer::new(OP_CLOSE);
+            w.u32(fd.0 as u32);
+        }
+        SysReq::Read { fd, len } => {
+            w = Writer::new(OP_READ);
+            w.u32(fd.0 as u32);
+            w.u64(*len);
+        }
+        SysReq::Write { fd, data } => {
+            w = Writer::new(OP_WRITE);
+            w.u32(fd.0 as u32);
+            w.bytes(data);
+        }
+        SysReq::Pread { fd, len, offset } => {
+            w = Writer::new(OP_PREAD);
+            w.u32(fd.0 as u32);
+            w.u64(*len);
+            w.u64(*offset);
+        }
+        SysReq::Pwrite { fd, data, offset } => {
+            w = Writer::new(OP_PWRITE);
+            w.u32(fd.0 as u32);
+            w.bytes(data);
+            w.u64(*offset);
+        }
+        SysReq::Lseek { fd, offset, whence } => {
+            w = Writer::new(OP_LSEEK);
+            w.u32(fd.0 as u32);
+            w.i64(*offset);
+            w.u8(*whence as u8);
+        }
+        SysReq::Stat { path } => {
+            w = Writer::new(OP_STAT);
+            w.str(path);
+        }
+        SysReq::Fstat { fd } => {
+            w = Writer::new(OP_FSTAT);
+            w.u32(fd.0 as u32);
+        }
+        SysReq::Ftruncate { fd, len } => {
+            w = Writer::new(OP_FTRUNCATE);
+            w.u32(fd.0 as u32);
+            w.u64(*len);
+        }
+        SysReq::Mkdir { path, mode } => {
+            w = Writer::new(OP_MKDIR);
+            w.str(path);
+            w.u32(*mode);
+        }
+        SysReq::Unlink { path } => {
+            w = Writer::new(OP_UNLINK);
+            w.str(path);
+        }
+        SysReq::Rmdir { path } => {
+            w = Writer::new(OP_RMDIR);
+            w.str(path);
+        }
+        SysReq::Rename { from, to } => {
+            w = Writer::new(OP_RENAME);
+            w.str(from);
+            w.str(to);
+        }
+        SysReq::Chdir { path } => {
+            w = Writer::new(OP_CHDIR);
+            w.str(path);
+        }
+        SysReq::Getcwd => {
+            w = Writer::new(OP_GETCWD);
+        }
+        SysReq::Dup { fd } => {
+            w = Writer::new(OP_DUP);
+            w.u32(fd.0 as u32);
+        }
+        SysReq::Fsync { fd } => {
+            w = Writer::new(OP_FSYNC);
+            w.u32(fd.0 as u32);
+        }
+        other => unreachable!("non-IO request {} slipped past is_io", other.name()),
+    }
+    w.buf
+}
+
+/// Demarshal an I/O request (ioproxy side).
+pub fn decode_req(buf: &[u8]) -> Result<SysReq, WireError> {
+    let mut r = Reader::new(buf);
+    let op = r.u8()?;
+    let req = match op {
+        OP_OPEN => SysReq::Open {
+            path: r.str()?,
+            flags: OpenFlags(r.u32()?),
+            mode: r.u32()?,
+        },
+        OP_CLOSE => SysReq::Close {
+            fd: Fd(r.u32()? as i32),
+        },
+        OP_READ => SysReq::Read {
+            fd: Fd(r.u32()? as i32),
+            len: r.u64()?,
+        },
+        OP_WRITE => SysReq::Write {
+            fd: Fd(r.u32()? as i32),
+            data: r.bytes()?,
+        },
+        OP_PREAD => SysReq::Pread {
+            fd: Fd(r.u32()? as i32),
+            len: r.u64()?,
+            offset: r.u64()?,
+        },
+        OP_PWRITE => SysReq::Pwrite {
+            fd: Fd(r.u32()? as i32),
+            data: r.bytes()?,
+            offset: r.u64()?,
+        },
+        OP_LSEEK => SysReq::Lseek {
+            fd: Fd(r.u32()? as i32),
+            offset: r.i64()?,
+            whence: SeekWhence::from_code(r.u8()? as u32).ok_or(WireError::BadField)?,
+        },
+        OP_STAT => SysReq::Stat { path: r.str()? },
+        OP_FSTAT => SysReq::Fstat {
+            fd: Fd(r.u32()? as i32),
+        },
+        OP_FTRUNCATE => SysReq::Ftruncate {
+            fd: Fd(r.u32()? as i32),
+            len: r.u64()?,
+        },
+        OP_MKDIR => SysReq::Mkdir {
+            path: r.str()?,
+            mode: r.u32()?,
+        },
+        OP_UNLINK => SysReq::Unlink { path: r.str()? },
+        OP_RMDIR => SysReq::Rmdir { path: r.str()? },
+        OP_RENAME => SysReq::Rename {
+            from: r.str()?,
+            to: r.str()?,
+        },
+        OP_CHDIR => SysReq::Chdir { path: r.str()? },
+        OP_GETCWD => SysReq::Getcwd,
+        OP_DUP => SysReq::Dup {
+            fd: Fd(r.u32()? as i32),
+        },
+        OP_FSYNC => SysReq::Fsync {
+            fd: Fd(r.u32()? as i32),
+        },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Marshal a reply (ioproxy → compute node).
+pub fn encode_ret(ret: &SysRet) -> Vec<u8> {
+    let mut w;
+    match ret {
+        SysRet::Val(v) => {
+            w = Writer::new(RP_VAL);
+            w.i64(*v);
+        }
+        SysRet::Data(d) => {
+            w = Writer::new(RP_DATA);
+            w.bytes(d);
+        }
+        SysRet::Stat(st) => {
+            w = Writer::new(RP_STAT);
+            w.u8(st.kind as u8);
+            w.u64(st.size);
+            w.u32(st.mode);
+            w.u32(st.uid);
+            w.u32(st.gid);
+            w.u64(st.ino);
+        }
+        SysRet::Err(e) => {
+            w = Writer::new(RP_ERR);
+            w.u32(e.code() as u32);
+        }
+        SysRet::Uname(u) => {
+            w = Writer::new(RP_UNAME);
+            w.str(&u.sysname);
+            w.str(&u.release.to_string());
+            w.str(&u.machine);
+        }
+        SysRet::StaticMap(_) => unreachable!("static-map results never cross the network"),
+    }
+    w.buf
+}
+
+/// Demarshal a reply (compute-node side).
+pub fn decode_ret(buf: &[u8]) -> Result<SysRet, WireError> {
+    let mut r = Reader::new(buf);
+    let op = r.u8()?;
+    let ret = match op {
+        RP_VAL => SysRet::Val(r.i64()?),
+        RP_DATA => SysRet::Data(r.bytes()?),
+        RP_STAT => SysRet::Stat(StatBuf {
+            kind: FileKind::from_code(r.u8()?).ok_or(WireError::BadField)?,
+            size: r.u64()?,
+            mode: r.u32()?,
+            uid: r.u32()?,
+            gid: r.u32()?,
+            ino: r.u64()?,
+        }),
+        RP_ERR => SysRet::Err(Errno::from_code(r.u32()? as i32).ok_or(WireError::BadField)?),
+        RP_UNAME => SysRet::Uname(UtsName {
+            sysname: r.str()?,
+            release: sysabi::uname::KernelVersion::parse(&r.str()?).ok_or(WireError::BadField)?,
+            machine: r.str()?,
+        }),
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: SysReq) {
+        let bytes = encode_req(&req);
+        let back = decode_req(&bytes).unwrap();
+        assert_eq!(req, back);
+    }
+
+    fn roundtrip_ret(ret: SysRet) {
+        let bytes = encode_ret(&ret);
+        let back = decode_ret(&bytes).unwrap();
+        assert_eq!(ret, back);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(SysReq::Open {
+            path: "/data/restart.0001".into(),
+            flags: OpenFlags::WRONLY | OpenFlags::CREAT,
+            mode: 0o644,
+        });
+        roundtrip_req(SysReq::Write {
+            fd: Fd(7),
+            data: (0..255u8).collect(),
+        });
+        roundtrip_req(SysReq::Read {
+            fd: Fd(3),
+            len: 1 << 20,
+        });
+        roundtrip_req(SysReq::Pread {
+            fd: Fd(3),
+            len: 42,
+            offset: 1234567,
+        });
+        roundtrip_req(SysReq::Pwrite {
+            fd: Fd(3),
+            data: vec![1, 2, 3],
+            offset: u64::MAX / 2,
+        });
+        roundtrip_req(SysReq::Lseek {
+            fd: Fd(5),
+            offset: -100,
+            whence: SeekWhence::End,
+        });
+        roundtrip_req(SysReq::Stat {
+            path: "/etc/motd".into(),
+        });
+        roundtrip_req(SysReq::Rename {
+            from: "a".into(),
+            to: "b/c".into(),
+        });
+        roundtrip_req(SysReq::Getcwd);
+        roundtrip_req(SysReq::Chdir { path: "..".into() });
+        roundtrip_req(SysReq::Dup { fd: Fd(1) });
+        roundtrip_req(SysReq::Fsync { fd: Fd(9) });
+        roundtrip_req(SysReq::Ftruncate { fd: Fd(4), len: 0 });
+        roundtrip_req(SysReq::Mkdir {
+            path: "/tmp/x".into(),
+            mode: 0o777,
+        });
+        roundtrip_req(SysReq::Unlink {
+            path: "gone".into(),
+        });
+        roundtrip_req(SysReq::Rmdir { path: "dir".into() });
+        roundtrip_req(SysReq::Close { fd: Fd(10) });
+        roundtrip_req(SysReq::Fstat { fd: Fd(0) });
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip_ret(SysRet::Val(-1));
+        roundtrip_ret(SysRet::Val(i64::MAX));
+        roundtrip_ret(SysRet::Data(vec![0u8; 4096]));
+        roundtrip_ret(SysRet::Err(Errno::ENOENT));
+        roundtrip_ret(SysRet::Stat(StatBuf {
+            kind: FileKind::Directory,
+            size: 12,
+            mode: 0o755,
+            uid: 1000,
+            gid: 100,
+            ino: 42,
+        }));
+        roundtrip_ret(SysRet::Uname(UtsName::cnk()));
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let bytes = encode_req(&SysReq::Write {
+            fd: Fd(1),
+            data: vec![9; 100],
+        });
+        for cut in [0usize, 1, 5, 50, bytes.len() - 1] {
+            assert!(decode_req(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_req(&SysReq::Getcwd);
+        bytes.push(0xff);
+        assert_eq!(decode_req(&bytes), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode_req(&[200]), Err(WireError::BadOpcode(200)));
+        assert_eq!(decode_ret(&[1]), Err(WireError::BadOpcode(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "function-shipped")]
+    fn non_io_requests_refused() {
+        encode_req(&SysReq::Brk { addr: 0 });
+    }
+}

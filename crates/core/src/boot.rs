@@ -1,0 +1,115 @@
+//! CNK boot sequences (§III).
+//!
+//! The boot model counts instructions per phase so the §III comparison
+//! can be regenerated: "During chip design the VHDL cycle-accurate
+//! simulator runs at 10HZ. In such an environment, CNK boots in a couple
+//! of hours, while Linux takes weeks."
+//!
+//! CNK's boot is small and configuration-flag driven: absent units are
+//! skipped entirely (pre-silicon drops), broken units get a work-around
+//! setup cost. The reproducible-restart path (§III) skips the
+//! service-node handshake and re-initializes everything locally.
+
+use bgsim::config::{ChipConfig, UnitStatus};
+use bgsim::machine::BootReport;
+
+/// Instruction budget per CNK boot phase (tuned so a healthy cold boot is
+/// ≈ 90 k instructions ⇒ 2.5 hours at 10 Hz).
+const LOWCORE: u64 = 8_000;
+const MEMORY_INIT: u64 = 22_000;
+const TLB_SETUP: u64 = 2_000;
+const TORUS_INIT: u64 = 12_000;
+const COLLECTIVE_INIT: u64 = 8_000;
+const BARRIER_INIT: u64 = 3_000;
+const DMA_INIT: u64 = 9_000;
+const L3_INIT: u64 = 4_000;
+const SERVICE_NODE: u64 = 18_000;
+const FINAL_SETUP: u64 = 4_000;
+/// Extra instructions to configure a software work-around for a broken
+/// unit (§III: "allowing quick work-arounds to hardware bugs").
+const WORKAROUND: u64 = 1_500;
+
+fn unit_cost(status: UnitStatus, healthy: u64) -> u64 {
+    match status {
+        UnitStatus::Present => healthy,
+        UnitStatus::Broken => healthy + WORKAROUND,
+        UnitStatus::Absent => 0,
+    }
+}
+
+/// The CNK boot report for a chip configuration.
+pub fn boot_report(chip: &ChipConfig, reproducible: bool) -> BootReport {
+    let mut phases: Vec<(&'static str, u64)> = vec![
+        ("lowcore", LOWCORE),
+        ("memory-init", MEMORY_INIT),
+        ("static-tlb", TLB_SETUP),
+        ("torus", unit_cost(chip.torus_unit, TORUS_INIT)),
+        (
+            "collective",
+            unit_cost(chip.collective_unit, COLLECTIVE_INIT),
+        ),
+        ("barrier", unit_cost(chip.barrier_unit, BARRIER_INIT)),
+        ("dma", unit_cost(chip.dma_unit, DMA_INIT)),
+        ("l3", unit_cost(chip.l3_unit, L3_INIT)),
+    ];
+    if reproducible {
+        // §III: "rather than interacting with the service node,
+        // initializes all functional units on the chip and takes the DDR
+        // out of self-refresh."
+        phases.push(("self-refresh-exit", 1_200));
+    } else {
+        phases.push(("service-node", SERVICE_NODE));
+    }
+    phases.push(("final", FINAL_SETUP));
+    phases.retain(|(_, c)| *c > 0);
+    let instructions = phases.iter().map(|(_, c)| c).sum();
+    BootReport {
+        kernel: "cnk",
+        instructions,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_boot_is_hours_at_10hz() {
+        let r = boot_report(&ChipConfig::bgp(), false);
+        let hours = r.vhdl_sim_seconds(10.0) / 3600.0;
+        // "a couple of hours"
+        assert!(
+            (1.0..8.0).contains(&hours),
+            "CNK boot {hours} hours at 10 Hz"
+        );
+    }
+
+    #[test]
+    fn reproducible_restart_is_cheaper() {
+        let cold = boot_report(&ChipConfig::bgp(), false);
+        let repro = boot_report(&ChipConfig::bgp(), true);
+        assert!(repro.instructions < cold.instructions);
+        assert!(repro.phases.iter().any(|(n, _)| *n == "self-refresh-exit"));
+        assert!(!repro.phases.iter().any(|(n, _)| *n == "service-node"));
+    }
+
+    #[test]
+    fn partial_hardware_boots_smaller() {
+        let full = boot_report(&ChipConfig::bgp(), false);
+        let partial = boot_report(&ChipConfig::bringup_partial(), false);
+        // Absent units are skipped; broken L3 pays the workaround.
+        assert!(partial.instructions < full.instructions);
+        assert!(!partial.phases.iter().any(|(n, _)| *n == "torus"));
+        let l3 = partial.phases.iter().find(|(n, _)| *n == "l3").unwrap().1;
+        assert_eq!(l3, L3_INIT + WORKAROUND);
+    }
+
+    #[test]
+    fn phases_sum_to_total() {
+        for repro in [false, true] {
+            let r = boot_report(&ChipConfig::bgp(), repro);
+            assert_eq!(r.instructions, r.phases.iter().map(|(_, c)| c).sum::<u64>());
+        }
+    }
+}

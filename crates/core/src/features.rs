@@ -1,0 +1,83 @@
+//! CNK's Table II / Table III feature matrix.
+
+use bgsim::features::{Capability, Ease, EaseRange, FeatureEntry, FeatureMatrix};
+
+/// The CNK column of Tables II and III.
+pub fn matrix() -> FeatureMatrix {
+    use Capability::*;
+    use Ease::*;
+    let e = |cap, use_ease, implement_ease| FeatureEntry {
+        cap,
+        use_ease,
+        implement_ease,
+    };
+    FeatureMatrix {
+        kernel: "CNK",
+        entries: vec![
+            e(LargePageUse, EaseRange::exact(Easy), None),
+            e(MultipleLargePageSizes, EaseRange::exact(Easy), None),
+            e(LargePhysContiguous, EaseRange::exact(Easy), None),
+            e(NoTlbMisses, EaseRange::exact(Easy), None),
+            // Table III: medium to implement in CNK.
+            e(
+                FullMemoryProtection,
+                EaseRange::exact(NotAvailable),
+                Some(Medium),
+            ),
+            e(
+                GeneralDynamicLinking,
+                EaseRange::exact(NotAvailable),
+                Some(Medium),
+            ),
+            e(FullMmap, EaseRange::exact(NotAvailable), Some(Hard)),
+            e(PredictableScheduling, EaseRange::exact(Easy), None),
+            // "easy - not avail": one thread per core is easy; beyond the
+            // fixed limit, unavailable (footnote 3).
+            e(ThreadOvercommit, EaseRange::range(Easy, NotAvailable), None),
+            e(PerformanceReproducible, EaseRange::exact(Easy), None),
+            e(CycleReproducible, EaseRange::exact(Easy), None),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_table_ii_rows() {
+        let m = matrix();
+        for cap in Capability::ALL {
+            assert!(m.get(cap).is_some(), "{cap:?} missing from CNK matrix");
+        }
+    }
+
+    #[test]
+    fn not_available_rows_have_impl_difficulty() {
+        // Table III lists implementation difficulty exactly for the
+        // rows Table II marks "not avail".
+        let m = matrix();
+        for e in &m.entries {
+            if !e.use_ease.available() {
+                assert!(e.implement_ease.is_some(), "{:?}", e.cap);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_row_spot_checks() {
+        let m = matrix();
+        assert_eq!(
+            m.get(Capability::NoTlbMisses).unwrap().use_ease,
+            EaseRange::exact(Ease::Easy)
+        );
+        assert_eq!(
+            m.get(Capability::FullMmap).unwrap().implement_ease,
+            Some(Ease::Hard)
+        );
+        assert_eq!(
+            m.get(Capability::CycleReproducible).unwrap().use_ease,
+            EaseRange::exact(Ease::Easy)
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The futex implementation (§IV.B.1).
+//!
+//! "For atomic operations, such as pthread_mutex, a full implementation
+//! of futex was needed." CNK's futexes key on the *physical* address of
+//! the futex word (translation is static, so this is exact) and support
+//! the operations NPTL issues: WAIT/WAKE, REQUEUE/CMP_REQUEUE, and the
+//! bitset variants.
+//!
+//! The value check happens against simulated DRAM through the caller, so
+//! the lost-wakeup race NPTL depends on the kernel to close is closed the
+//! same way here: check-and-block is atomic with respect to wakes because
+//! the kernel is single-threaded per node (non-preemptive, §VI.C).
+
+use std::collections::{HashMap, VecDeque};
+
+use sysabi::futex::FUTEX_BITSET_MATCH_ANY;
+use sysabi::Tid;
+
+/// One waiter parked on a futex word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Waiter {
+    pub tid: Tid,
+    pub bitset: u32,
+}
+
+/// A futex table (one per node; keys are physical addresses, so
+/// processes sharing memory share futexes — which is how shared-memory
+/// synchronization works in DUAL/VN mode).
+#[derive(Clone, Debug, Default)]
+pub struct FutexTable {
+    queues: HashMap<u64, VecDeque<Waiter>>,
+}
+
+impl FutexTable {
+    pub fn new() -> FutexTable {
+        FutexTable::default()
+    }
+
+    /// Park `tid` on `key` with a wake mask.
+    pub fn wait(&mut self, key: u64, tid: Tid, bitset: u32) {
+        self.queues
+            .entry(key)
+            .or_default()
+            .push_back(Waiter { tid, bitset });
+    }
+
+    /// Wake up to `count` waiters whose bitset intersects `mask`.
+    /// Returns the tids woken, FIFO order.
+    pub fn wake(&mut self, key: u64, count: u32, mask: u32) -> Vec<Tid> {
+        let mut woken = Vec::new();
+        if let Some(q) = self.queues.get_mut(&key) {
+            let mut rest = VecDeque::new();
+            while let Some(w) = q.pop_front() {
+                if woken.len() < count as usize && (w.bitset & mask) != 0 {
+                    woken.push(w.tid);
+                } else {
+                    rest.push_back(w);
+                }
+            }
+            *q = rest;
+            if q.is_empty() {
+                self.queues.remove(&key);
+            }
+        }
+        woken
+    }
+
+    /// Wake up to `wake` waiters and move up to `requeue` more to
+    /// `target` (condition-variable broadcast without thundering herd).
+    /// Returns (woken tids, requeued count).
+    pub fn requeue(&mut self, key: u64, wake: u32, requeue: u32, target: u64) -> (Vec<Tid>, u32) {
+        let woken = self.wake(key, wake, FUTEX_BITSET_MATCH_ANY);
+        let mut moved = 0u32;
+        if key != target {
+            if let Some(q) = self.queues.get_mut(&key) {
+                let mut to_move = Vec::new();
+                while moved < requeue {
+                    match q.pop_front() {
+                        Some(w) => {
+                            to_move.push(w);
+                            moved += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if q.is_empty() {
+                    self.queues.remove(&key);
+                }
+                self.queues.entry(target).or_default().extend(to_move);
+            }
+        }
+        (woken, moved)
+    }
+
+    /// Remove a specific waiter (signal interruption / thread kill).
+    /// Returns true if it was parked here.
+    pub fn remove(&mut self, tid: Tid) -> bool {
+        let mut found = false;
+        self.queues.retain(|_, q| {
+            let before = q.len();
+            q.retain(|w| w.tid != tid);
+            found |= q.len() != before;
+            !q.is_empty()
+        });
+        found
+    }
+
+    /// Waiters parked on `key`.
+    pub fn waiters(&self, key: u64) -> usize {
+        self.queues.get(&key).map_or(0, |q| q.len())
+    }
+
+    /// Total parked waiters.
+    pub fn total_waiters(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    pub fn clear(&mut self) {
+        self.queues.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ANY: u32 = FUTEX_BITSET_MATCH_ANY;
+
+    #[test]
+    fn wake_fifo_order() {
+        let mut f = FutexTable::new();
+        for i in 0..5 {
+            f.wait(0x100, Tid(i), ANY);
+        }
+        assert_eq!(f.wake(0x100, 2, ANY), vec![Tid(0), Tid(1)]);
+        assert_eq!(f.waiters(0x100), 3);
+        assert_eq!(f.wake(0x100, 10, ANY), vec![Tid(2), Tid(3), Tid(4)]);
+        assert_eq!(f.waiters(0x100), 0);
+    }
+
+    #[test]
+    fn wake_respects_bitset() {
+        let mut f = FutexTable::new();
+        f.wait(0x100, Tid(0), 0b01);
+        f.wait(0x100, Tid(1), 0b10);
+        f.wait(0x100, Tid(2), 0b11);
+        // Mask 0b10 skips tid 0.
+        assert_eq!(f.wake(0x100, 10, 0b10), vec![Tid(1), Tid(2)]);
+        assert_eq!(f.waiters(0x100), 1);
+        // tid 0 still wakeable by matching mask.
+        assert_eq!(f.wake(0x100, 1, ANY), vec![Tid(0)]);
+    }
+
+    #[test]
+    fn different_keys_independent() {
+        let mut f = FutexTable::new();
+        f.wait(0x100, Tid(0), ANY);
+        f.wait(0x200, Tid(1), ANY);
+        assert_eq!(f.wake(0x100, 10, ANY), vec![Tid(0)]);
+        assert_eq!(f.waiters(0x200), 1);
+    }
+
+    #[test]
+    fn requeue_moves_waiters() {
+        let mut f = FutexTable::new();
+        // Condvar broadcast: 1 woken, rest requeued to the mutex.
+        for i in 0..6 {
+            f.wait(0xC0, Tid(i), ANY);
+        }
+        let (woken, moved) = f.requeue(0xC0, 1, u32::MAX, 0x40);
+        assert_eq!(woken, vec![Tid(0)]);
+        assert_eq!(moved, 5);
+        assert_eq!(f.waiters(0xC0), 0);
+        assert_eq!(f.waiters(0x40), 5);
+        // Unlocking the mutex wakes them one at a time, FIFO.
+        assert_eq!(f.wake(0x40, 1, ANY), vec![Tid(1)]);
+    }
+
+    #[test]
+    fn requeue_to_same_key_only_wakes() {
+        let mut f = FutexTable::new();
+        f.wait(0x1, Tid(0), ANY);
+        f.wait(0x1, Tid(1), ANY);
+        let (woken, moved) = f.requeue(0x1, 1, u32::MAX, 0x1);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(moved, 0);
+        assert_eq!(f.waiters(0x1), 1);
+    }
+
+    #[test]
+    fn remove_for_cancellation() {
+        let mut f = FutexTable::new();
+        f.wait(0x1, Tid(0), ANY);
+        f.wait(0x1, Tid(1), ANY);
+        assert!(f.remove(Tid(0)));
+        assert!(!f.remove(Tid(0)));
+        assert_eq!(f.wake(0x1, 10, ANY), vec![Tid(1)]);
+        assert_eq!(f.total_waiters(), 0);
+    }
+
+    #[test]
+    fn wake_empty_key_is_noop() {
+        let mut f = FutexTable::new();
+        assert_eq!(f.wake(0xdead, 10, ANY), Vec::<Tid>::new());
+    }
+}

@@ -1,0 +1,1116 @@
+//! The CNK kernel object: `bgsim::Kernel` implementation tying together
+//! the partitioner, scheduler, futexes, guard pages, function shipping,
+//! and persistent memory.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+
+use bgsim::chip;
+use bgsim::machine::{
+    BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
+    SimCore, SyscallAction, Workload, WorkloadFactory, IPI_GUARD_REPOSITION,
+};
+use bgsim::noise::NoiseSource;
+use bgsim::op::{CloneArgs, Op};
+use bgsim::tlb::TlbEntry;
+use ciod::{service_cycles, Ciod, Vfs};
+use sysabi::{
+    CloneFlags, CoreId, Errno, FutexOp, JobSpec, MapFlags, NodeId, ProcId, Prot, Rank, Sig,
+    SigDisposition, SysReq, SysRet, Tid, UtsName,
+};
+
+use crate::boot;
+use crate::futex::FutexTable;
+use crate::mem::{partition_node, tracker_errno, AddressSpace, ProcRequirements, Region};
+use crate::persist::PersistRegistry;
+use crate::process::{Guard, Process};
+use crate::sched::{SchedError, Scheduler};
+
+// ---- timing constants (cycles) ---------------------------------------------
+
+/// Trap entry + exit for a local syscall.
+const SYSCALL_BASE: u64 = 140;
+/// Marshaling a function-ship request (fixed part).
+const FSHIP_MARSHAL: u64 = 700;
+/// Demarshaling a reply (fixed part).
+const FSHIP_DEMARSHAL: u64 = 450;
+/// Marshal/demarshal cost per 8 payload bytes.
+const FSHIP_PER_8B: u64 = 1;
+/// Thread creation (clone) cost.
+const CLONE_COST: u64 = 1_900;
+/// Machine-check handler cost charged on a parity fault (§V.B).
+const PARITY_HANDLER_COST: u64 = 2_200;
+
+/// CNK tunables.
+#[derive(Clone, Debug)]
+pub struct CnkConfig {
+    /// TLB entries available to the static map per core (the rest are
+    /// kernel-reserved).
+    pub tlb_budget: usize,
+    /// Physical bytes reserved for the kernel at the bottom of DRAM.
+    pub kernel_reserve: u64,
+    /// Physical bytes reserved for the persistent-memory arena at the
+    /// top of DRAM (§IV.D).
+    pub persist_reserve: u64,
+    /// Enable the §VIII extended thread affinity model.
+    pub affinity_extension: bool,
+    /// Guard range size at the heap boundary (§IV.C).
+    pub guard_bytes: u64,
+    /// Job credentials.
+    pub uid: u32,
+    pub gid: u32,
+    /// Research hook: synthetic noise sources injected into the kernel
+    /// (empty in production CNK — that emptiness *is* §V.A's result).
+    /// This is the §I "easily modifiable base" point and the Ferreira-
+    /// style noise-injection methodology the paper cites.
+    pub injected_noise: Vec<NoiseSource>,
+    /// BG/L-style I/O service: one CIOD thread per I/O node servicing
+    /// requests serially, instead of BG/P's dedicated ioproxy per
+    /// compute-node process (§IV.A: "A key difference from BG/L is that
+    /// on BG/P each MPI process has a dedicated I/O proxy process").
+    /// Used by the `io_proxy_ablation` bench.
+    pub bgl_io_mode: bool,
+}
+
+impl Default for CnkConfig {
+    fn default() -> Self {
+        CnkConfig {
+            tlb_budget: 60,
+            kernel_reserve: 16 << 20,
+            persist_reserve: 64 << 20,
+            affinity_extension: false,
+            guard_bytes: 64 << 10,
+            uid: 1000,
+            gid: 100,
+            injected_noise: Vec::new(),
+            bgl_io_mode: false,
+        }
+    }
+}
+
+/// What a pending function-ship request will do on completion.
+enum PendingIo {
+    /// Ordinary syscall: hand the demarshaled result to the thread.
+    Plain { tid: Tid },
+    /// An mmap-with-fd fill (§VI.A: "to mmap a file, CNK copies in the
+    /// data"): write the read data at `vaddr`, then return `vaddr`.
+    MmapFill { tid: Tid, vaddr: u64 },
+}
+
+/// The Compute Node Kernel.
+pub struct Cnk {
+    pub cfg: CnkConfig,
+    sched: Scheduler,
+    futexes: Vec<FutexTable>,
+    persist: Vec<PersistRegistry>,
+    procs: HashMap<ProcId, Process>,
+    next_proc: u32,
+    vfs: Vfs,
+    ciods: Vec<Ciod>,
+    ion_rng: Vec<SmallRng>,
+    pending_io: HashMap<u64, PendingIo>,
+    next_io: u64,
+    noise_rng: Vec<SmallRng>,
+    /// Per-ION serialization point for BG/L-style I/O service.
+    ion_busy_until: Vec<u64>,
+    booted: bool,
+}
+
+impl Cnk {
+    pub fn new(cfg: CnkConfig) -> Cnk {
+        Cnk {
+            cfg,
+            sched: Scheduler::new(0, 1),
+            futexes: Vec::new(),
+            persist: Vec::new(),
+            procs: HashMap::new(),
+            next_proc: 0,
+            vfs: Vfs::new(),
+            ciods: Vec::new(),
+            ion_rng: Vec::new(),
+            pending_io: HashMap::new(),
+            next_io: 0,
+            noise_rng: Vec::new(),
+            ion_busy_until: Vec::new(),
+            booted: false,
+        }
+    }
+
+    pub fn with_defaults() -> Cnk {
+        Cnk::new(CnkConfig::default())
+    }
+
+    /// The I/O-node filesystem (test setup: pre-populate input files).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// The ioproxy console output of a process (job stdout).
+    pub fn console_of(&self, sc: &SimCore, proc: ProcId) -> Option<Vec<u8>> {
+        let node = self.procs.get(&proc)?.node;
+        let ion = sc.coll.io_node_of(node) as usize;
+        self.ciods
+            .get(ion)?
+            .proxy(proc.0)
+            .map(|p| p.console.clone())
+    }
+
+    pub fn process(&self, proc: ProcId) -> Option<&Process> {
+        self.procs.get(&proc)
+    }
+
+    fn proc_of(&self, sc: &SimCore, tid: Tid) -> ProcId {
+        sc.thread(tid).proc
+    }
+
+    fn done(ret: SysRet, cost: u64) -> SyscallAction {
+        SyscallAction::Done { ret, cost }
+    }
+
+    fn err(e: Errno, cost: u64) -> SyscallAction {
+        SyscallAction::Done {
+            ret: SysRet::Err(e),
+            cost,
+        }
+    }
+
+    /// Pin a process's full static map into every one of its cores' TLBs.
+    fn pin_map(&self, sc: &mut SimCore, proc: &Process) -> Result<(), LaunchError> {
+        for &core in &proc.cores {
+            for r in proc
+                .aspace
+                .map
+                .regions
+                .iter()
+                .chain(proc.aspace.persist.iter())
+            {
+                for &(ps, va) in &r.pages {
+                    let pa = r.paddr + (va - r.vaddr);
+                    sc.tlbs[core.idx()]
+                        .pin(TlbEntry {
+                            vaddr: va,
+                            paddr: pa,
+                            size: ps,
+                            pinned: true,
+                        })
+                        .map_err(|e| {
+                            LaunchError::NoMemory(format!("TLB pin failed on {core}: {e:?}"))
+                        })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pin one extra region (persist attach at runtime).
+    fn pin_region(&self, sc: &mut SimCore, proc: &Process, r: &Region) -> Result<(), Errno> {
+        for &core in &proc.cores {
+            for &(ps, va) in &r.pages {
+                let pa = r.paddr + (va - r.vaddr);
+                if sc.tlbs[core.idx()]
+                    .pin(TlbEntry {
+                        vaddr: va,
+                        paddr: pa,
+                        size: ps,
+                        pinned: true,
+                    })
+                    .is_err()
+                {
+                    return Err(Errno::ENOMEM);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Arm (or re-arm) a guard range on a core's DAC.
+    fn arm_guard(sc: &mut SimCore, core: CoreId, slot: u32, lo: u64, hi: u64) {
+        sc.dacs[core.idx()]
+            .arm(slot, lo, hi)
+            .expect("DAC slot invalid");
+    }
+
+    /// Function-ship a request for `tid` (§IV.A). Marks the thread
+    /// pending and returns the marshal cost spent before blocking.
+    fn fship(&mut self, sc: &mut SimCore, tid: Tid, req: &SysReq, pending: PendingIo) {
+        let node = sc.thread(tid).node;
+        let proc = sc.thread(tid).proc;
+        let id = self.next_io;
+        self.next_io += 1;
+        let encoded = ciod::wire::encode_req(req);
+        let mut payload = proc.0.to_be_bytes().to_vec();
+        payload.extend_from_slice(&encoded);
+        let bytes = payload.len() as u64;
+        // Marshal cost is paid by the caller as message-send delay.
+        let marshal = FSHIP_MARSHAL + bytes / 8 * FSHIP_PER_8B;
+        self.pending_io.insert(id, pending);
+        sc.coll_send(node, node, bytes, id * 4 + 1, payload, marshal);
+    }
+
+    /// Service a request on the I/O node and send the reply back.
+    fn ion_service(&mut self, sc: &mut SimCore, msg: NetMsg) {
+        let id = msg.tag / 4;
+        let proc = u32::from_be_bytes(msg.payload[0..4].try_into().unwrap());
+        let req_bytes = &msg.payload[4..];
+        let ion = sc.coll.io_node_of(msg.src_node) as usize;
+        let (ret, service) = match ciod::wire::decode_req(req_bytes) {
+            Ok(req) => {
+                let ret = self.ciods[ion].service(&mut self.vfs, proc, &req);
+                (ret, service_cycles(&req))
+            }
+            Err(_) => (SysRet::Err(Errno::EINVAL), 1_000),
+        };
+        // The ION runs Linux: its service time jitters.
+        let jitter = Ciod::service_jitter(&mut self.ion_rng[ion]);
+        let mut delay = service + jitter;
+        if self.cfg.bgl_io_mode {
+            // BG/L-style single service thread: requests queue behind
+            // each other on the I/O node.
+            let now = sc.now();
+            let start = self.ion_busy_until[ion].max(now);
+            self.ion_busy_until[ion] = start + service;
+            delay += start - now;
+        }
+        let reply = ciod::wire::encode_ret(&ret);
+        let bytes = reply.len() as u64;
+        sc.coll_send(msg.dst_node, msg.src_node, bytes, id * 4 + 2, reply, delay);
+    }
+
+    /// A reply arrived back at the compute node.
+    fn cn_reply(&mut self, sc: &mut SimCore, msg: NetMsg) {
+        let id = msg.tag / 4;
+        let Some(pending) = self.pending_io.remove(&id) else {
+            return;
+        };
+        let ret = ciod::wire::decode_ret(&msg.payload).unwrap_or(SysRet::Err(Errno::EIO));
+        let demarshal = FSHIP_DEMARSHAL + msg.bytes / 8 * FSHIP_PER_8B;
+        match pending {
+            PendingIo::Plain { tid } => {
+                // The demarshal cost is modeled as already absorbed in the
+                // reply delay; unblock with the result.
+                let _ = demarshal;
+                sc.defer_unblock(tid, Some(ret));
+            }
+            PendingIo::MmapFill { tid, vaddr } => match ret {
+                SysRet::Data(data) => {
+                    let proc = sc.thread(tid).proc;
+                    let node = sc.thread(tid).node;
+                    if let Some(p) = self.procs.get(&proc) {
+                        if let Some(pa) = p.aspace.translate(vaddr) {
+                            let _ = sc.dram[node.idx()].write(pa, &data);
+                        }
+                    }
+                    sc.defer_unblock(tid, Some(SysRet::Val(vaddr as i64)));
+                }
+                SysRet::Err(e) => sc.defer_unblock(tid, Some(SysRet::Err(e))),
+                _ => sc.defer_unblock(tid, Some(SysRet::Err(Errno::EIO))),
+            },
+        }
+    }
+
+    /// Deliver a signal to a thread per process disposition. Returns true
+    /// if the signal was queued/acted on.
+    fn post_signal(&mut self, sc: &mut SimCore, tid: Tid, sig: Sig) {
+        let proc_id = sc.thread(tid).proc;
+        let node = sc.thread(tid).node;
+        let Some(p) = self.procs.get(&proc_id) else {
+            return;
+        };
+        match p.disposition(sig) {
+            SigDisposition::Ignore => {}
+            SigDisposition::Handler(_) => {
+                // Interrupt a futex wait with EINTR (NPTL cancellation
+                // depends on this).
+                if matches!(
+                    sc.thread(tid).state,
+                    bgsim::ThreadState::Blocked(BlockKind::Futex)
+                ) && self.futexes[node.idx()].remove(tid)
+                {
+                    sc.defer_unblock(tid, Some(SysRet::Err(Errno::EINTR)));
+                }
+                sc.post_signal(tid, sig);
+            }
+            SigDisposition::Default => {
+                if sig.default_fatal() || sig == Sig::Parity {
+                    // An unhandled machine-check is fatal (the
+                    // checkpoint/restart world of §V.B).
+                    sc.defer_kill(proc_id, 128 + sig as i32);
+                } else {
+                    // Non-fatal default: ignored.
+                }
+            }
+        }
+    }
+
+    fn schedule_noise(&mut self, sc: &mut SimCore, node: NodeId, src_idx: usize, core_local: u32) {
+        let delay = {
+            let src = &self.cfg.injected_noise[src_idx];
+            src.next_delay(&mut self.noise_rng[node.idx()])
+        };
+        sc.schedule_kernel_event_in(node, ((src_idx as u64) << 8) | core_local as u64, delay);
+    }
+
+    fn guard_hit(&mut self, sc: &mut SimCore, tid: Tid) {
+        // A DAC guard hit is delivered as SIGSEGV; default kills the
+        // process (stack smashed into the heap).
+        self.post_signal(sc, tid, Sig::Segv);
+    }
+}
+
+impl Kernel for Cnk {
+    fn name(&self) -> &'static str {
+        "cnk"
+    }
+
+    fn boot(&mut self, sc: &mut SimCore, reproducible: bool) -> BootReport {
+        let nodes = sc.cfg.nodes as usize;
+        let tpc = sc.cfg.chip.threads_per_core;
+        self.sched = Scheduler::new(sc.cfg.total_cores() as usize, tpc);
+        self.futexes = (0..nodes).map(|_| FutexTable::new()).collect();
+        if self.persist.len() != nodes {
+            // Persist registries survive reproducible resets (backed by
+            // self-refreshed DRAM); create only on first boot.
+            let dram = sc.cfg.chip.dram_bytes;
+            self.persist = (0..nodes)
+                .map(|_| PersistRegistry::new(dram - self.cfg.persist_reserve, dram))
+                .collect();
+        }
+        let ions = sc.cfg.io_nodes() as usize;
+        self.ion_busy_until = vec![0; ions];
+        if self.ciods.len() != ions {
+            self.ciods = (0..ions as u32).map(Ciod::new).collect();
+            self.ion_rng = (0..ions as u64)
+                .map(|i| sc.hub.stream_for("ion-service", i))
+                .collect();
+        }
+        // Research-mode injected noise (off by default).
+        if !self.cfg.injected_noise.is_empty() {
+            self.noise_rng = (0..nodes as u64)
+                .map(|n| sc.hub.stream_for("cnk-injected-noise", n))
+                .collect();
+            for node in 0..nodes as u32 {
+                for (i, src) in self.cfg.injected_noise.clone().iter().enumerate() {
+                    for core in 0..sc.cfg.chip.cores {
+                        if src.cores.contains(core) {
+                            self.schedule_noise(sc, NodeId(node), i, core);
+                        }
+                    }
+                }
+            }
+        }
+        self.booted = true;
+        boot::boot_report(&sc.cfg.chip, reproducible)
+    }
+
+    fn reset(&mut self) {
+        self.sched.reset();
+        self.futexes.clear();
+        self.procs.clear();
+        self.pending_io.clear();
+        self.booted = false;
+        // persist registries, vfs, and ciods survive (ION state and
+        // self-refreshed DRAM are not part of the compute-chip reset).
+    }
+
+    fn launch(
+        &mut self,
+        sc: &mut SimCore,
+        spec: &JobSpec,
+        factory: &mut dyn WorkloadFactory,
+    ) -> Result<JobMap, LaunchError> {
+        assert!(self.booted, "launch before boot");
+        // Tear down the previous job: clear private memory (clean slate),
+        // unpin TLBs, detach proxies.
+        let old: Vec<ProcId> = self.procs.keys().copied().collect();
+        for proc in old {
+            let p = self.procs.remove(&proc).unwrap();
+            for r in &p.aspace.map.regions {
+                let _ = sc.dram[p.node.idx()].clear_range(r.paddr, r.bytes);
+            }
+            let ion = sc.coll.io_node_of(p.node) as usize;
+            self.ciods[ion].detach_proc(proc.0);
+        }
+        for t in &mut sc.tlbs {
+            t.reset();
+        }
+        for d in &mut sc.dacs {
+            d.reset();
+        }
+        self.sched.reset();
+        for f in &mut self.futexes {
+            f.clear();
+        }
+
+        let ppn = spec.mode.procs_per_node();
+        let cpp = spec.mode.cores_per_proc();
+        let img = &spec.image;
+        let dynamic_bytes = if img.dynamic {
+            // A fixed window for ld.so + libraries, with slack for dlopen.
+            let need = img
+                .dynlibs
+                .iter()
+                .map(|l| l.text_bytes + l.data_bytes)
+                .sum::<u64>();
+            crate::mem::partition::align_up(need + (32 << 20), 16 << 20)
+        } else {
+            0
+        };
+        let req = ProcRequirements {
+            text_bytes: img.text_bytes,
+            data_bytes: img.data_bytes,
+            heap_stack_bytes: img.initial_heap + img.main_stack * 4,
+            shared_bytes: spec.shared_mem_bytes,
+            dynamic_bytes,
+        };
+        let maps = partition_node(
+            &req,
+            ppn,
+            sc.cfg.chip.dram_bytes,
+            self.cfg.kernel_reserve,
+            self.cfg.persist_reserve,
+            self.cfg.tlb_budget,
+        )
+        .map_err(|e| LaunchError::NoMemory(format!("{e:?}")))?;
+
+        // Pre-populate the ION filesystem with the dynamic libraries so
+        // the ld.so model can open them.
+        if img.dynamic {
+            let root = self.vfs.root();
+            let lib = match self.vfs.resolve(root, "/lib") {
+                Ok(i) => i,
+                Err(_) => self.vfs.mkdir_at(root, "lib", 0o755, 0, 0).unwrap(),
+            };
+            for l in &img.dynlibs {
+                if self.vfs.resolve(lib, &l.name).is_err() {
+                    let ino = self
+                        .vfs
+                        .create_at(lib, &l.name, 0o755, 0, 0)
+                        .expect("lib create");
+                    self.vfs
+                        .truncate(ino, l.text_bytes + l.data_bytes)
+                        .expect("lib size");
+                }
+            }
+        }
+
+        let mut ranks = Vec::new();
+        for node in 0..spec.nodes {
+            let node_id = NodeId(node);
+            let ion = sc.coll.io_node_of(node_id) as usize;
+            for pi in 0..ppn {
+                let rank = Rank(node * ppn + pi);
+                let proc = ProcId(self.next_proc);
+                self.next_proc += 1;
+                let cores: Vec<CoreId> = (0..cpp)
+                    .map(|c| sc.core_of(node_id, pi * cpp + c))
+                    .collect();
+                let aspace = AddressSpace::new(maps[pi as usize].clone(), img.main_stack);
+                let mut p = Process::new(
+                    proc,
+                    node_id,
+                    rank,
+                    cores.clone(),
+                    aspace,
+                    self.cfg.uid,
+                    self.cfg.gid,
+                );
+                p.persist_grants = spec.persist_grants.clone();
+
+                // Static core assignment (§VIII).
+                for &c in &cores {
+                    self.sched.assign_core(c, proc);
+                }
+                let main_core = cores[0];
+                self.sched
+                    .admit(main_core, proc)
+                    .map_err(|_| LaunchError::TooManyThreads)?;
+
+                let wl = factory.main_workload(rank);
+                let tid = sc.create_thread(proc, node_id, main_core, wl);
+                p.main_tid = tid;
+                p.live_threads = 1;
+
+                // Arm the main-thread guard at the heap boundary (§IV.C).
+                let brk0 = p.aspace.heap.brk_addr();
+                let slot = p
+                    .alloc_dac_slot(main_core, sc.cfg.chip.dac_pairs)
+                    .expect("fresh core has DAC slots");
+                Self::arm_guard(sc, main_core, slot, brk0, brk0 + self.cfg.guard_bytes);
+                p.guards.insert(
+                    tid,
+                    Guard {
+                        lo: brk0,
+                        hi: brk0 + self.cfg.guard_bytes,
+                        slot,
+                        tracks_heap: true,
+                    },
+                );
+
+                self.pin_map(sc, &p)?;
+                self.ciods[ion].attach_proc(&self.vfs, proc.0, p.uid, p.gid);
+                self.procs.insert(proc, p);
+                ranks.push(RankInfo {
+                    rank,
+                    proc,
+                    node: node_id,
+                    main_tid: tid,
+                });
+            }
+        }
+        Ok(JobMap { ranks })
+    }
+
+    fn syscall(&mut self, sc: &mut SimCore, tid: Tid, req: &SysReq) -> SyscallAction {
+        // Function-shipped I/O (§IV.A).
+        if req.is_io() {
+            if !sc.cfg.chip.collective_unit.usable() {
+                return Self::err(Errno::EIO, SYSCALL_BASE);
+            }
+            self.fship(sc, tid, req, PendingIo::Plain { tid });
+            return SyscallAction::Block {
+                kind: BlockKind::Io,
+            };
+        }
+
+        let proc_id = self.proc_of(sc, tid);
+        let node = sc.thread(tid).node;
+
+        match req {
+            SysReq::Brk { addr } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                let old = p.aspace.heap.brk_addr();
+                let newb = match p.aspace.heap.brk(*addr) {
+                    Ok(b) => b,
+                    Err(_) => return Self::done(SysRet::Val(old as i64), SYSCALL_BASE + 120),
+                };
+                // Heap grew: reposition the main-thread guard (§IV.C),
+                // via IPI if another thread moved the boundary.
+                if newb > old {
+                    let main_tid = p.main_tid;
+                    let main_core = p.cores[0];
+                    if let Some(g) = p.guards.get_mut(&main_tid) {
+                        if g.tracks_heap {
+                            g.lo = newb;
+                            g.hi = newb + self.cfg.guard_bytes;
+                            let (lo, hi, slot) = (g.lo, g.hi, g.slot);
+                            if tid == main_tid {
+                                Self::arm_guard(sc, main_core, slot, lo, hi);
+                            } else {
+                                // "CNK issues an inter-processor interrupt
+                                // to the main thread in order to reposition
+                                // the guard area."
+                                sc.send_ipi(main_core, IPI_GUARD_REPOSITION);
+                            }
+                        }
+                    }
+                }
+                Self::done(SysRet::Val(newb as i64), SYSCALL_BASE + 160)
+            }
+            SysReq::Mmap {
+                len,
+                prot,
+                flags,
+                fd,
+                offset,
+                ..
+            } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                match fd {
+                    None => match p.aspace.heap.mmap(*len, *prot) {
+                        Ok(addr) => Self::done(SysRet::Val(addr as i64), SYSCALL_BASE + 210),
+                        Err(e) => Self::err(tracker_errno(e), SYSCALL_BASE + 210),
+                    },
+                    Some(fd) => {
+                        // File mapping: read-only, full copy-in (§VI.A),
+                        // MAP_COPY style (§IV.B.2).
+                        if prot.contains(Prot::WRITE) && !flags.contains(MapFlags::PRIVATE) {
+                            return Self::err(Errno::EACCES, SYSCALL_BASE + 210);
+                        }
+                        // Library text goes into the fixed dynamic
+                        // window if present, else the heap arena.
+                        let vaddr = match p.aspace.alloc_dynamic(*len) {
+                            Ok(v) => v,
+                            Err(_) => match p.aspace.heap.mmap(*len, *prot) {
+                                Ok(v) => v,
+                                Err(e) => return Self::err(tracker_errno(e), SYSCALL_BASE + 210),
+                            },
+                        };
+                        let read = SysReq::Pread {
+                            fd: *fd,
+                            len: *len,
+                            offset: *offset,
+                        };
+                        self.fship(sc, tid, &read, PendingIo::MmapFill { tid, vaddr });
+                        SyscallAction::Block {
+                            kind: BlockKind::Io,
+                        }
+                    }
+                }
+            }
+            SysReq::Munmap { addr, len } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                match p.aspace.heap.munmap(*addr, *len) {
+                    Ok(()) => Self::done(SysRet::Val(0), SYSCALL_BASE + 170),
+                    Err(e) => Self::err(tracker_errno(e), SYSCALL_BASE + 170),
+                }
+            }
+            SysReq::Mprotect { addr, len, prot } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                // Record for the guard-page convention (§IV.C) even if
+                // the range is brk space.
+                p.last_mprotect = Some((*addr, *len));
+                match p.aspace.heap.mprotect(*addr, *len, *prot) {
+                    Ok(()) => Self::done(SysRet::Val(0), SYSCALL_BASE + 110),
+                    Err(e) => Self::err(tracker_errno(e), SYSCALL_BASE + 110),
+                }
+            }
+            SysReq::Clone { .. } => {
+                // Direct clone without a child program makes no sense in
+                // the simulation; NPTL goes through Op::Spawn.
+                Self::err(Errno::EINVAL, SYSCALL_BASE)
+            }
+            SysReq::SetTidAddress { addr } => {
+                if let Some(p) = self.procs.get_mut(&proc_id) {
+                    p.clear_tid_addr.insert(tid, *addr);
+                }
+                Self::done(SysRet::Val(tid.0 as i64), SYSCALL_BASE)
+            }
+            SysReq::Futex { uaddr, op } => self.sys_futex(sc, tid, proc_id, node, *uaddr, *op),
+            SysReq::SchedYield => {
+                let core = sc.thread(tid).core;
+                self.sched.enqueue(core, proc_id, tid);
+                SyscallAction::YieldCpu
+            }
+            SysReq::Sigaction { sig, disposition } => {
+                if !sig.catchable() && !matches!(disposition, SigDisposition::Default) {
+                    return Self::err(Errno::EINVAL, SYSCALL_BASE);
+                }
+                if let Some(p) = self.procs.get_mut(&proc_id) {
+                    p.sig.insert(*sig, *disposition);
+                }
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 60)
+            }
+            SysReq::Tgkill { tid: target, sig } => {
+                let target = Tid(*target);
+                if target.idx() >= sc.threads.len()
+                    || sc.thread(target).proc != proc_id
+                    || !sc.thread(target).state.is_live()
+                {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                }
+                self.post_signal(sc, target, *sig);
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 200)
+            }
+            SysReq::Gettid => Self::done(SysRet::Val(tid.0 as i64), SYSCALL_BASE),
+            SysReq::Getpid => Self::done(SysRet::Val(proc_id.0 as i64), SYSCALL_BASE),
+            SysReq::Uname => Self::done(SysRet::Uname(self.utsname()), SYSCALL_BASE + 80),
+            SysReq::ExitThread { code } => SyscallAction::ExitThread { code: *code },
+            SysReq::ExitGroup { code } => SyscallAction::ExitProc { code: *code },
+            // §VII.B: "MPI cannot spawn dynamic tasks because CNK does
+            // not allow fork/exec operations."
+            SysReq::Fork | SysReq::Exec { .. } => Self::err(Errno::ENOSYS, SYSCALL_BASE),
+            SysReq::PersistOpen { name, len } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                let granted = p.persist_grants.iter().any(|g| g == name);
+                let uid = p.uid;
+                match self.persist[node.idx()].open(name, *len, uid, granted) {
+                    Ok(r) => {
+                        let region = PersistRegistry::as_region(&r);
+                        // Already attached? (re-open in the same job)
+                        if p.aspace.persist.iter().any(|x| x.vaddr == region.vaddr) {
+                            return Self::done(SysRet::Val(r.vaddr as i64), SYSCALL_BASE + 300);
+                        }
+                        p.aspace.attach_persist(region.clone());
+                        let p_immutable = self.procs.get(&proc_id).unwrap();
+                        if let Err(e) = self.pin_region(sc, p_immutable, &region) {
+                            return Self::err(e, SYSCALL_BASE + 300);
+                        }
+                        Self::done(SysRet::Val(r.vaddr as i64), SYSCALL_BASE + 300)
+                    }
+                    Err(e) => Self::err(e, SYSCALL_BASE + 300),
+                }
+            }
+            SysReq::QueryStaticMap => {
+                let Some(p) = self.procs.get(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                Self::done(
+                    SysRet::StaticMap(p.aspace.map.as_triples()),
+                    SYSCALL_BASE + 150,
+                )
+            }
+            SysReq::AffinityPartner { local_core } => {
+                if !self.cfg.affinity_extension {
+                    return Self::err(Errno::ENOSYS, SYSCALL_BASE);
+                }
+                if *local_core >= sc.cfg.chip.cores {
+                    return Self::err(Errno::EINVAL, SYSCALL_BASE);
+                }
+                let core = sc.core_of(node, *local_core);
+                // Designating one's own core is pointless but harmless.
+                self.sched.set_remote_partner(core, proc_id);
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 120)
+            }
+            other => {
+                debug_assert!(!other.is_io());
+                Self::err(Errno::ENOSYS, SYSCALL_BASE)
+            }
+        }
+    }
+
+    fn spawn(
+        &mut self,
+        sc: &mut SimCore,
+        parent: Tid,
+        args: &CloneArgs,
+        core_hint: Option<u32>,
+        child: Box<dyn Workload>,
+    ) -> (SysRet, u64) {
+        let proc_id = sc.thread(parent).proc;
+        let node = sc.thread(parent).node;
+        // §IV.B.1: "The flags to clone are validated against the expected
+        // flags."
+        if args.flags != CloneFlags::NPTL_THREAD_FLAGS {
+            return (SysRet::Err(Errno::EINVAL), SYSCALL_BASE);
+        }
+        let Some(p) = self.procs.get(&proc_id) else {
+            return (SysRet::Err(Errno::ESRCH), SYSCALL_BASE);
+        };
+        let cores = p.cores.clone();
+        // Placement: explicit hint (node-local core index) or the
+        // least-loaded core of the process.
+        let core = match core_hint {
+            Some(local) => {
+                if local >= sc.cfg.chip.cores {
+                    return (SysRet::Err(Errno::EINVAL), SYSCALL_BASE);
+                }
+                sc.core_of(node, local)
+            }
+            None => {
+                let sched = &self.sched;
+                let mut best = cores[0];
+                let mut best_q = usize::MAX;
+                for &c in &cores {
+                    let q = sched.queued(c) + usize::from(!sc.core_idle(c));
+                    if q < best_q {
+                        best_q = q;
+                        best = c;
+                    }
+                }
+                best
+            }
+        };
+        match self.sched.admit(core, proc_id) {
+            Ok(()) => {}
+            Err(SchedError::CoreFull) => return (SysRet::Err(Errno::EAGAIN), CLONE_COST),
+            Err(_) => return (SysRet::Err(Errno::EPERM), SYSCALL_BASE),
+        }
+        let tid = sc.create_thread(proc_id, node, core, child);
+        let p = self.procs.get_mut(&proc_id).unwrap();
+        p.live_threads += 1;
+        if args.flags.contains(CloneFlags::CHILD_CLEARTID) {
+            p.clear_tid_addr.insert(tid, args.child_tid_addr);
+        }
+        // §IV.C: the last mprotect before clone becomes the new thread's
+        // stack guard.
+        if let Some((gaddr, glen)) = p.last_mprotect.take() {
+            if let Some(slot) = p.alloc_dac_slot(core, sc.cfg.chip.dac_pairs) {
+                p.guards.insert(
+                    tid,
+                    Guard {
+                        lo: gaddr,
+                        hi: gaddr + glen,
+                        slot,
+                        tracks_heap: false,
+                    },
+                );
+                Self::arm_guard(sc, core, slot, gaddr, gaddr + glen);
+            }
+        }
+        // CLONE_PARENT_SETTID: write the child's tid at the parent's
+        // address.
+        if args.flags.contains(CloneFlags::PARENT_SETTID) && args.parent_tid_addr != 0 {
+            if let Some(pa) = self.translate(sc, parent, args.parent_tid_addr) {
+                let _ = sc.dram[node.idx()].write_u32(pa, tid.0);
+            }
+        }
+        if sc.core_idle(core) {
+            sc.dispatch(tid);
+        } else {
+            self.sched.enqueue(core, proc_id, tid);
+        }
+        (SysRet::Val(tid.0 as i64), CLONE_COST)
+    }
+
+    fn compute_cost(&mut self, sc: &mut SimCore, tid: Tid, op: &Op) -> u64 {
+        let node = sc.thread(tid).node;
+        let chipc = &sc.cfg.chip;
+        match op {
+            Op::Compute { cycles } => *cycles,
+            Op::Daxpy { n, reps } => chip::daxpy_cycles(chipc, *n, *reps) + sc.refresh_jitter(node),
+            Op::Stream { bytes } => {
+                // Concurrent streams on the node contend in the L2 banks
+                // (§III); this core's own stream counts itself.
+                let streams = sc.active_streams(node).max(1);
+                chip::stream_cycles(chipc, *bytes, streams) + sc.refresh_jitter(node)
+            }
+            Op::Flops { flops } => chip::dgemm_cycles(chipc, *flops) + sc.refresh_jitter(node),
+            _ => 1,
+        }
+    }
+
+    fn mem_touch(
+        &mut self,
+        sc: &mut SimCore,
+        tid: Tid,
+        vaddr: u64,
+        bytes: u64,
+        _write: bool,
+    ) -> MemOpResult {
+        let proc_id = sc.thread(tid).proc;
+        let core = sc.thread(tid).core;
+        // DAC guard check first (the hardware watches the access).
+        let hit = sc.dacs[core.idx()].check(vaddr).is_some()
+            || (bytes > 1 && sc.dacs[core.idx()].check(vaddr + bytes - 1).is_some());
+        if hit {
+            self.guard_hit(sc, tid);
+            return MemOpResult {
+                cost: 420,
+                faulted: true,
+            };
+        }
+        let Some(p) = self.procs.get(&proc_id) else {
+            return MemOpResult {
+                cost: 1,
+                faulted: false,
+            };
+        };
+        if !p.aspace.mapped(vaddr) || (bytes > 1 && !p.aspace.mapped(vaddr + bytes - 1)) {
+            // No demand paging: an unmapped access is an immediate
+            // SIGSEGV (§VI.B).
+            self.post_signal(sc, tid, Sig::Segv);
+            return MemOpResult {
+                cost: 420,
+                faulted: true,
+            };
+        }
+        // Static TLB: never a miss (§VI.B / Table II "No TLB misses").
+        let cost = chip::stream_cycles(&sc.cfg.chip, bytes, 1).max(1);
+        MemOpResult {
+            cost,
+            faulted: false,
+        }
+    }
+
+    fn pick_next(&mut self, _sc: &mut SimCore, core: CoreId) -> Option<Tid> {
+        self.sched.pick(core)
+    }
+
+    fn on_unblock(&mut self, sc: &mut SimCore, tid: Tid) {
+        let core = sc.thread(tid).core;
+        let proc = sc.thread(tid).proc;
+        if sc.core_idle(core) {
+            sc.dispatch(tid);
+        } else {
+            self.sched.enqueue(core, proc, tid);
+        }
+    }
+
+    fn on_exit(&mut self, sc: &mut SimCore, tid: Tid) {
+        let core = sc.thread(tid).core;
+        let proc_id = sc.thread(tid).proc;
+        let node = sc.thread(tid).node;
+        self.sched.release(core);
+        self.sched.unqueue(tid);
+        self.futexes[node.idx()].remove(tid);
+        if let Some(p) = self.procs.get_mut(&proc_id) {
+            p.live_threads = p.live_threads.saturating_sub(1);
+            // CLONE_CHILD_CLEARTID: clear the tid word and wake joiners
+            // (this is what makes pthread_join return).
+            if let Some(addr) = p.clear_tid_addr.remove(&tid) {
+                if let Some(pa) = p.aspace.translate(addr) {
+                    let _ = sc.dram[node.idx()].write_u32(pa, 0);
+                    let woken = self.futexes[node.idx()].wake(pa, u32::MAX, u32::MAX);
+                    for t in woken {
+                        sc.defer_unblock(t, Some(SysRet::Val(0)));
+                    }
+                }
+            }
+            // Disarm the thread's guard.
+            if let Some(g) = p.guards.remove(&tid) {
+                let _ = sc.dacs[core.idx()].disarm(g.slot);
+            }
+        }
+    }
+
+    fn kernel_event(&mut self, sc: &mut SimCore, node: NodeId, tag: u64) {
+        // Production CNK schedules no periodic kernel work — that
+        // absence *is* the low-noise result of §V.A. Events only exist
+        // here when noise injection is configured for a study.
+        let src_idx = ((tag >> 8) & 0xffff) as usize;
+        let core_local = (tag & 0xff) as u32;
+        if src_idx >= self.cfg.injected_noise.len() {
+            return;
+        }
+        let cost = {
+            let src = &self.cfg.injected_noise[src_idx];
+            src.cost(&mut self.noise_rng[node.idx()])
+        };
+        let core = sc.core_of(node, core_local);
+        sc.stretch_running(core, cost, tag);
+        self.schedule_noise(sc, node, src_idx, core_local);
+    }
+
+    fn net_deliver(&mut self, sc: &mut SimCore, msg: NetMsg) {
+        match msg.tag % 4 {
+            1 => self.ion_service(sc, msg),
+            2 => self.cn_reply(sc, msg),
+            _ => {}
+        }
+    }
+
+    fn on_ipi(&mut self, sc: &mut SimCore, core: CoreId, kind: u32) {
+        if kind != IPI_GUARD_REPOSITION {
+            return;
+        }
+        let _node = sc.node_of_core(core);
+        let Some(proc_id) = self.sched.home_proc(core) else {
+            return;
+        };
+        let Some(p) = self.procs.get(&proc_id) else {
+            return;
+        };
+        if let Some(g) = p.guards.get(&p.main_tid) {
+            Self::arm_guard(sc, core, g.slot, g.lo, g.hi);
+        }
+    }
+
+    fn on_fault(&mut self, sc: &mut SimCore, core: CoreId, kind: u32) {
+        if kind != bgsim::machine::FAULT_PARITY {
+            return;
+        }
+        // §V.B: "CNK was able to handle L1 parity errors by signaling the
+        // application with the error to allow the application to perform
+        // recovery."
+        sc.stretch_running(core, PARITY_HANDLER_COST, 0x2000 | kind as u64);
+        if let Some(tid) = sc.running[core.idx()] {
+            self.post_signal(sc, tid, Sig::Parity);
+        }
+    }
+
+    fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64> {
+        let proc = sc.thread(tid).proc;
+        self.procs.get(&proc)?.aspace.translate(vaddr)
+    }
+
+    fn comm_caps(&self, _sc: &SimCore, _tid: Tid) -> CommCaps {
+        CommCaps::cnk()
+    }
+
+    fn utsname(&self) -> UtsName {
+        UtsName::cnk()
+    }
+
+    fn features(&self) -> bgsim::features::FeatureMatrix {
+        crate::features::matrix()
+    }
+}
+
+impl Cnk {
+    fn sys_futex(
+        &mut self,
+        sc: &mut SimCore,
+        tid: Tid,
+        proc_id: ProcId,
+        node: NodeId,
+        uaddr: u64,
+        op: FutexOp,
+    ) -> SyscallAction {
+        let Some(p) = self.procs.get(&proc_id) else {
+            return Self::err(Errno::ESRCH, SYSCALL_BASE);
+        };
+        let Some(pa) = p.aspace.translate(uaddr) else {
+            return Self::err(Errno::EFAULT, SYSCALL_BASE + 40);
+        };
+        let ft = &mut self.futexes[node.idx()];
+        let cost = SYSCALL_BASE + 90;
+        match op {
+            FutexOp::Wait { expected } | FutexOp::WaitBitset { expected, .. } => {
+                let cur = sc.dram[node.idx()].read_u32(pa).unwrap_or(0);
+                if cur != expected {
+                    return Self::err(Errno::EAGAIN, cost);
+                }
+                let bitset = match op {
+                    FutexOp::WaitBitset { bitset, .. } => bitset,
+                    _ => sysabi::futex::FUTEX_BITSET_MATCH_ANY,
+                };
+                ft.wait(pa, tid, bitset);
+                SyscallAction::Block {
+                    kind: BlockKind::Futex,
+                }
+            }
+            FutexOp::Wake { count } => {
+                let woken = ft.wake(pa, count, sysabi::futex::FUTEX_BITSET_MATCH_ANY);
+                let n = woken.len() as i64;
+                for t in woken {
+                    sc.defer_unblock(t, Some(SysRet::Val(0)));
+                }
+                Self::done(SysRet::Val(n), cost)
+            }
+            FutexOp::WakeBitset { count, bitset } => {
+                let woken = ft.wake(pa, count, bitset);
+                let n = woken.len() as i64;
+                for t in woken {
+                    sc.defer_unblock(t, Some(SysRet::Val(0)));
+                }
+                Self::done(SysRet::Val(n), cost)
+            }
+            FutexOp::Requeue {
+                wake,
+                requeue,
+                target_uaddr,
+            }
+            | FutexOp::CmpRequeue {
+                wake,
+                requeue,
+                target_uaddr,
+                ..
+            } => {
+                if let FutexOp::CmpRequeue { expected, .. } = op {
+                    let cur = sc.dram[node.idx()].read_u32(pa).unwrap_or(0);
+                    if cur != expected {
+                        return Self::err(Errno::EAGAIN, cost);
+                    }
+                }
+                let Some(tpa) = self
+                    .procs
+                    .get(&proc_id)
+                    .and_then(|p| p.aspace.translate(target_uaddr))
+                else {
+                    return Self::err(Errno::EFAULT, cost);
+                };
+                let (woken, moved) = self.futexes[node.idx()].requeue(pa, wake, requeue, tpa);
+                let total = woken.len() as i64 + moved as i64;
+                for t in woken {
+                    sc.defer_unblock(t, Some(SysRet::Val(0)));
+                }
+                Self::done(SysRet::Val(total), cost)
+            }
+        }
+    }
+}

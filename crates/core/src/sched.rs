@@ -1,0 +1,260 @@
+//! The CNK scheduler (§IV.B.1, §VI.C).
+//!
+//! "CNK provides a simple non-preemptive scheduler, with a small fixed
+//! number of threads per core." And: "Thread scheduling under CNK is
+//! non-preemptive with fixed affinity to a core. The 'scheduler' has a
+//! simple decision limited to threads sharing a core when a thread
+//! specifically blocks on a futex or explicitly yields."
+//!
+//! Cores are statically assigned to processes at job launch; the §VIII
+//! extension optionally designates one *remote* process whose pthreads a
+//! core may run when its home process has nothing runnable.
+
+use std::collections::VecDeque;
+
+use sysabi::{CoreId, ProcId, Tid};
+
+/// Per-core scheduling state.
+#[derive(Clone, Debug)]
+pub struct CoreSched {
+    /// The process this core belongs to (static assignment).
+    pub home_proc: Option<ProcId>,
+    /// §VIII extension: "a given core may alternate between executing a
+    /// pthread from its assigned process and executing a pthread from a
+    /// single designated 'remote' process."
+    pub remote_proc: Option<ProcId>,
+    /// Runnable home-process threads (FIFO).
+    home_q: VecDeque<Tid>,
+    /// Runnable remote-process threads (FIFO; only used with the
+    /// extension).
+    remote_q: VecDeque<Tid>,
+    /// Threads bound to this core (live, any state).
+    pub bound: u32,
+}
+
+impl CoreSched {
+    fn new() -> CoreSched {
+        CoreSched {
+            home_proc: None,
+            remote_proc: None,
+            home_q: VecDeque::new(),
+            remote_q: VecDeque::new(),
+            bound: 0,
+        }
+    }
+}
+
+/// Scheduler errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedError {
+    /// The core belongs to a different process and is not partnered with
+    /// the caller's (the §VIII static-affinity clash).
+    WrongProcess,
+    /// The fixed threads-per-core limit is exhausted (§IV.B.1).
+    CoreFull,
+    BadCore,
+}
+
+/// The per-node scheduler.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    cores: Vec<CoreSched>,
+    threads_per_core: u32,
+}
+
+impl Scheduler {
+    pub fn new(num_cores: usize, threads_per_core: u32) -> Scheduler {
+        Scheduler {
+            cores: (0..num_cores).map(|_| CoreSched::new()).collect(),
+            threads_per_core,
+        }
+    }
+
+    pub fn threads_per_core(&self) -> u32 {
+        self.threads_per_core
+    }
+
+    fn core(&self, c: CoreId) -> &CoreSched {
+        &self.cores[c.idx()]
+    }
+
+    fn core_mut(&mut self, c: CoreId) -> &mut CoreSched {
+        &mut self.cores[c.idx()]
+    }
+
+    /// Assign a core to a process at job launch.
+    pub fn assign_core(&mut self, core: CoreId, proc: ProcId) {
+        let c = self.core_mut(core);
+        c.home_proc = Some(proc);
+        c.remote_proc = None;
+        c.home_q.clear();
+        c.remote_q.clear();
+        c.bound = 0;
+    }
+
+    /// §VIII: designate the single remote partner process for a core.
+    pub fn set_remote_partner(&mut self, core: CoreId, proc: ProcId) {
+        self.core_mut(core).remote_proc = Some(proc);
+    }
+
+    pub fn home_proc(&self, core: CoreId) -> Option<ProcId> {
+        self.core(core).home_proc
+    }
+
+    pub fn remote_proc(&self, core: CoreId) -> Option<ProcId> {
+        self.core(core).remote_proc
+    }
+
+    /// Can `proc` place (another) thread on `core`? Enforces both the
+    /// ownership rule and the fixed thread limit.
+    pub fn admit(&mut self, core: CoreId, proc: ProcId) -> Result<(), SchedError> {
+        let tpc = self.threads_per_core;
+        let Some(c) = self.cores.get_mut(core.idx()) else {
+            return Err(SchedError::BadCore);
+        };
+        if c.home_proc != Some(proc) && c.remote_proc != Some(proc) {
+            return Err(SchedError::WrongProcess);
+        }
+        if c.bound >= tpc {
+            return Err(SchedError::CoreFull);
+        }
+        c.bound += 1;
+        Ok(())
+    }
+
+    /// A bound thread exited; release its slot.
+    pub fn release(&mut self, core: CoreId) {
+        let c = self.core_mut(core);
+        c.bound = c.bound.saturating_sub(1);
+    }
+
+    /// Enqueue a runnable thread of `proc` on its core.
+    pub fn enqueue(&mut self, core: CoreId, proc: ProcId, tid: Tid) {
+        let c = self.core_mut(core);
+        if c.home_proc == Some(proc) {
+            c.home_q.push_back(tid);
+        } else {
+            debug_assert_eq!(c.remote_proc, Some(proc), "enqueue from foreign process");
+            c.remote_q.push_back(tid);
+        }
+    }
+
+    /// Pick the next thread for a free core: home threads first, then —
+    /// with the §VIII extension — the designated remote process's.
+    pub fn pick(&mut self, core: CoreId) -> Option<Tid> {
+        let c = self.core_mut(core);
+        c.home_q.pop_front().or_else(|| c.remote_q.pop_front())
+    }
+
+    /// Remove a thread from any queue (kill path).
+    pub fn unqueue(&mut self, tid: Tid) {
+        for c in &mut self.cores {
+            c.home_q.retain(|&t| t != tid);
+            c.remote_q.retain(|&t| t != tid);
+        }
+    }
+
+    /// Queued runnable threads on a core.
+    pub fn queued(&self, core: CoreId) -> usize {
+        let c = self.core(core);
+        c.home_q.len() + c.remote_q.len()
+    }
+
+    pub fn reset(&mut self) {
+        for c in &mut self.cores {
+            *c = CoreSched::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_assignment_enforced() {
+        let mut s = Scheduler::new(4, 1);
+        s.assign_core(CoreId(0), ProcId(0));
+        s.assign_core(CoreId(1), ProcId(1));
+        assert!(s.admit(CoreId(0), ProcId(0)).is_ok());
+        // Another process cannot place a thread on core 0 (§VIII: "a
+        // given core executes only on behalf of the process to which it
+        // is assigned").
+        assert_eq!(s.admit(CoreId(0), ProcId(1)), Err(SchedError::WrongProcess));
+    }
+
+    #[test]
+    fn fixed_thread_limit() {
+        let mut s = Scheduler::new(4, 3);
+        s.assign_core(CoreId(0), ProcId(0));
+        for _ in 0..3 {
+            s.admit(CoreId(0), ProcId(0)).unwrap();
+        }
+        // BG/P late firmware: 3 threads/core; the 4th is refused — the
+        // §VII.B "no overcommit" con.
+        assert_eq!(s.admit(CoreId(0), ProcId(0)), Err(SchedError::CoreFull));
+        s.release(CoreId(0));
+        assert!(s.admit(CoreId(0), ProcId(0)).is_ok());
+    }
+
+    #[test]
+    fn fifo_pick() {
+        let mut s = Scheduler::new(1, 3);
+        s.assign_core(CoreId(0), ProcId(0));
+        s.enqueue(CoreId(0), ProcId(0), Tid(5));
+        s.enqueue(CoreId(0), ProcId(0), Tid(6));
+        assert_eq!(s.pick(CoreId(0)), Some(Tid(5)));
+        assert_eq!(s.pick(CoreId(0)), Some(Tid(6)));
+        assert_eq!(s.pick(CoreId(0)), None);
+    }
+
+    #[test]
+    fn remote_partner_runs_when_home_idle() {
+        let mut s = Scheduler::new(1, 3);
+        s.assign_core(CoreId(0), ProcId(0));
+        s.set_remote_partner(CoreId(0), ProcId(1));
+        // Remote admission now allowed.
+        assert!(s.admit(CoreId(0), ProcId(1)).is_ok());
+        s.enqueue(CoreId(0), ProcId(1), Tid(9));
+        s.enqueue(CoreId(0), ProcId(0), Tid(1));
+        // Home process has priority.
+        assert_eq!(s.pick(CoreId(0)), Some(Tid(1)));
+        assert_eq!(s.pick(CoreId(0)), Some(Tid(9)));
+    }
+
+    #[test]
+    fn only_one_remote_partner() {
+        let mut s = Scheduler::new(1, 3);
+        s.assign_core(CoreId(0), ProcId(0));
+        s.set_remote_partner(CoreId(0), ProcId(1));
+        s.set_remote_partner(CoreId(0), ProcId(2));
+        // "a single designated 'remote' process" — the newest designation
+        // replaces the old one.
+        assert_eq!(s.remote_proc(CoreId(0)), Some(ProcId(2)));
+        assert_eq!(s.admit(CoreId(0), ProcId(1)), Err(SchedError::WrongProcess));
+    }
+
+    #[test]
+    fn unqueue_removes_everywhere() {
+        let mut s = Scheduler::new(2, 3);
+        s.assign_core(CoreId(0), ProcId(0));
+        s.assign_core(CoreId(1), ProcId(0));
+        s.enqueue(CoreId(0), ProcId(0), Tid(1));
+        s.enqueue(CoreId(1), ProcId(0), Tid(2));
+        s.unqueue(Tid(1));
+        assert_eq!(s.pick(CoreId(0)), None);
+        assert_eq!(s.pick(CoreId(1)), Some(Tid(2)));
+    }
+
+    #[test]
+    fn reassignment_clears_state() {
+        let mut s = Scheduler::new(1, 1);
+        s.assign_core(CoreId(0), ProcId(0));
+        s.admit(CoreId(0), ProcId(0)).unwrap();
+        s.enqueue(CoreId(0), ProcId(0), Tid(1));
+        // Next job.
+        s.assign_core(CoreId(0), ProcId(5));
+        assert_eq!(s.queued(CoreId(0)), 0);
+        assert!(s.admit(CoreId(0), ProcId(5)).is_ok());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for CNK's kernel-internal structures: the persistent-
+//! memory registry and the scheduler's admission accounting.
+
+use proptest::prelude::*;
+
+use cnk::persist::PersistRegistry;
+use cnk::sched::{SchedError, Scheduler};
+use sysabi::{CoreId, ProcId, Tid};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Registry invariants: distinct names never overlap physically or
+    /// virtually; re-opens are stable; capacity is respected.
+    #[test]
+    fn persist_registry_no_overlap(
+        opens in prop::collection::vec(("[a-f]{1,3}", 1u64..8), 1..40)
+    ) {
+        let lo = (2u64 << 30) - (64 << 20);
+        let hi = 2u64 << 30;
+        let mut reg = PersistRegistry::new(lo, hi);
+        let mut seen: Vec<(String, u64, u64, u64)> = Vec::new();
+        for (name, mb) in opens {
+            match reg.open(&name, mb << 20, 0, true) {
+                Ok(r) => {
+                    prop_assert!(r.paddr >= lo && r.paddr + r.bytes <= hi);
+                    prop_assert!(r.bytes >= mb << 20);
+                    if let Some(prev) = seen.iter().find(|(n, ..)| *n == name) {
+                        // Re-open: identical placement (the §IV.D
+                        // pointer-preservation guarantee).
+                        prop_assert_eq!(prev.1, r.vaddr);
+                        prop_assert_eq!(prev.2, r.paddr);
+                    } else {
+                        // New region: no overlap with any existing one.
+                        for (_, v, p, b) in &seen {
+                            prop_assert!(
+                                r.vaddr + r.bytes <= *v || *v + *b <= r.vaddr,
+                                "virtual overlap"
+                            );
+                            prop_assert!(
+                                r.paddr + r.bytes <= *p || *p + *b <= r.paddr,
+                                "physical overlap"
+                            );
+                        }
+                        seen.push((name.clone(), r.vaddr, r.paddr, r.bytes));
+                    }
+                }
+                Err(sysabi::Errno::ENOMEM) => {
+                    // Arena genuinely full: total allocated must be near
+                    // capacity.
+                    let total: u64 = seen.iter().map(|(.., b)| b).sum();
+                    prop_assert!(total + (mb << 20) > hi - lo, "premature ENOMEM");
+                }
+                Err(sysabi::Errno::EINVAL) => {
+                    // Re-open with a larger length than the original.
+                    prop_assert!(seen.iter().any(|(n, .., b)| *n == name && mb << 20 > *b));
+                }
+                Err(e) => prop_assert!(false, "unexpected errno {e}"),
+            }
+        }
+    }
+
+    /// Scheduler admission is conserved: bound counts never exceed the
+    /// per-core limit and releases restore capacity exactly.
+    #[test]
+    fn scheduler_admission_conserved(
+        ops in prop::collection::vec((0u32..4, any::<bool>()), 1..100),
+        tpc in 1u32..4,
+    ) {
+        let mut s = Scheduler::new(4, tpc);
+        for c in 0..4 {
+            s.assign_core(CoreId(c), ProcId(0));
+        }
+        let mut bound = [0u32; 4];
+        for (core, admit) in ops {
+            if admit {
+                match s.admit(CoreId(core), ProcId(0)) {
+                    Ok(()) => {
+                        bound[core as usize] += 1;
+                        prop_assert!(bound[core as usize] <= tpc, "limit exceeded");
+                    }
+                    Err(SchedError::CoreFull) => {
+                        prop_assert_eq!(bound[core as usize], tpc, "spurious CoreFull");
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            } else if bound[core as usize] > 0 {
+                s.release(CoreId(core));
+                bound[core as usize] -= 1;
+            }
+        }
+        // After releasing everything, every core admits again.
+        for c in 0..4 {
+            for _ in 0..bound[c as usize] {
+                s.release(CoreId(c));
+            }
+            prop_assert!(s.admit(CoreId(c), ProcId(0)).is_ok());
+        }
+    }
+
+    /// Queue/pick round-trips preserve the thread set per core.
+    #[test]
+    fn scheduler_queue_conservation(
+        tids in prop::collection::vec(0u32..64, 1..40)
+    ) {
+        let mut s = Scheduler::new(1, 3);
+        s.assign_core(CoreId(0), ProcId(0));
+        let mut expected: Vec<Tid> = Vec::new();
+        for t in tids {
+            let tid = Tid(t);
+            if !expected.contains(&tid) {
+                s.enqueue(CoreId(0), ProcId(0), tid);
+                expected.push(tid);
+            }
+        }
+        let mut picked = Vec::new();
+        while let Some(t) = s.pick(CoreId(0)) {
+            picked.push(t);
+        }
+        prop_assert_eq!(picked, expected, "FIFO order broken");
+        prop_assert_eq!(s.queued(CoreId(0)), 0);
+    }
+}

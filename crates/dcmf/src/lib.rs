@@ -1,0 +1,24 @@
+//! `dcmf` — a model of the Deep Computing Messaging Framework stack.
+//!
+//! §V.C: "The Blue Gene DCMF relies on CNK's ability to allow the
+//! messaging hardware to be used from user space, the ability to know the
+//! virtual to physical mapping from user space, and the ability to have
+//! large physically contiguous chunks of memory available in user space."
+//!
+//! The crate provides the layered point-to-point protocols of Table I —
+//! raw DCMF (eager, rendezvous, put, get), MPI over DCMF, and ARMCI over
+//! DCMF — plus the collectives used by the stability experiments
+//! (barrier on the global-interrupt network, allreduce on the tree).
+//!
+//! The kernel's [`CommCaps`](bgsim::CommCaps) gate the fast paths: with
+//! CNK's capabilities, injection is a user-space descriptor write and
+//! payloads move zero-copy; with FWK's, every injection is a syscall and
+//! non-contiguous buffers pay per-segment descriptor programming — the
+//! §V.C point that this performance "came effectively for free with
+//! CNK's design" but would be hard on vanilla Linux.
+
+pub mod model;
+pub mod params;
+
+pub use model::Dcmf;
+pub use params::DcmfParams;

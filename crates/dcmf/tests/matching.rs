@@ -1,0 +1,140 @@
+//! Property test: MPI message matching is exact under arbitrary
+//! interleavings of sends and receives (tags, wildcard sources, eager
+//! and rendezvous mixed).
+
+use proptest::prelude::*;
+
+use bgsim::machine::{Machine, Recorder, Workload};
+use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
+use bgsim::script::wl;
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use dcmf::Dcmf;
+use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+/// A communication plan: rank 0 sends `msgs` in order; rank 1 receives
+/// them in a (possibly different) order by tag.
+#[derive(Clone, Debug)]
+struct Plan {
+    /// (tag, bytes, rendezvous?)
+    msgs: Vec<(u32, u64, bool)>,
+    /// Receive order: a permutation of msgs indices.
+    recv_order: Vec<usize>,
+    /// Use wildcard source on even receives.
+    wildcard: bool,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (1usize..8)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec((0u32..6, 8u64..40_000, any::<bool>()), n..=n),
+                Just((0..n).collect::<Vec<_>>()).prop_shuffle(),
+                any::<bool>(),
+            )
+        })
+        .prop_map(|(mut msgs, recv_order, wildcard)| {
+            // Distinct tags so matching is unambiguous (MPI ordering
+            // guarantees within a tag are a separate property).
+            for (i, m) in msgs.iter_mut().enumerate() {
+                m.0 = i as u32;
+            }
+            Plan {
+                msgs,
+                recv_order,
+                wildcard,
+            }
+        })
+}
+
+fn run_plan(plan: &Plan) -> Vec<(u32, u64)> {
+    let mut m = Machine::new(
+        MachineConfig::nodes(2).with_seed(77),
+        Box::new(Cnk::with_defaults()),
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    let plan = plan.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("match"), 2, NodeMode::Smp),
+        &mut move |r: Rank| -> Box<dyn Workload> {
+            let plan = plan.clone();
+            let rec = rec2.clone();
+            let mut i = 0usize;
+            if r.0 == 0 {
+                wl(move |_env| {
+                    if i >= plan.msgs.len() {
+                        return Op::End;
+                    }
+                    let (tag, bytes, rndzv) = plan.msgs[i];
+                    i += 1;
+                    Op::Comm(CommOp::Send {
+                        to: Rank(1),
+                        bytes,
+                        tag,
+                        proto: if rndzv {
+                            Protocol::Rendezvous
+                        } else {
+                            Protocol::Eager
+                        },
+                        layer: ApiLayer::Mpi,
+                    })
+                })
+            } else {
+                let mut pending: Option<(u32, usize)> = None;
+                wl(move |env| {
+                    if let Some((tag, _)) = pending.take() {
+                        let info = env.take_recv().expect("recv completed without info");
+                        assert_eq!(info.tag, tag);
+                        rec.record("got_tag", info.tag as f64);
+                        rec.record("got_bytes", info.bytes as f64);
+                    }
+                    if i >= plan.recv_order.len() {
+                        return Op::End;
+                    }
+                    let idx = plan.recv_order[i];
+                    let (tag, _, _) = plan.msgs[idx];
+                    let from = if plan.wildcard && i.is_multiple_of(2) {
+                        None
+                    } else {
+                        Some(Rank(0))
+                    };
+                    pending = Some((tag, idx));
+                    i += 1;
+                    Op::Comm(CommOp::Recv {
+                        from,
+                        tag,
+                        layer: ApiLayer::Mpi,
+                    })
+                })
+            }
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    rec.series("got_tag")
+        .iter()
+        .zip(rec.series("got_bytes").iter())
+        .map(|(&t, &b)| (t as u32, b as u64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matching_is_exact_under_any_interleaving(plan in plan_strategy()) {
+        let got = run_plan(&plan);
+        prop_assert_eq!(got.len(), plan.msgs.len());
+        // Each receive got the message with its tag and the right size.
+        for (i, &(tag, bytes)) in got.iter().enumerate() {
+            let idx = plan.recv_order[i];
+            let (want_tag, want_bytes, _) = plan.msgs[idx];
+            prop_assert_eq!(tag, want_tag, "receive {} matched wrong tag", i);
+            prop_assert_eq!(bytes, want_bytes, "receive {} got wrong size", i);
+        }
+    }
+}

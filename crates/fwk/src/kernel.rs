@@ -1,0 +1,862 @@
+//! The FWK kernel object.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rand::rngs::SmallRng;
+
+use bgsim::chip;
+use bgsim::machine::{
+    BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
+    SimCore, SyscallAction, Workload, WorkloadFactory,
+};
+use bgsim::op::{CloneArgs, Op};
+use bgsim::tlb::{TlbEntry, TLB_MISS_CYCLES};
+use ciod::{IoProxy, Vfs};
+use cnk::futex::FutexTable;
+use sysabi::{
+    CloneFlags, CoreId, Errno, FutexOp, JobSpec, NodeId, ProcId, Rank, Sig, SigDisposition, SysReq,
+    SysRet, Tid, UtsName,
+};
+
+use crate::noise::{linux_2_6_16_profile, NoiseSource};
+use crate::vm::{FwkAddressSpace, FAULT_COST, PAGE};
+
+/// Local syscall trap cost (Linux's heavier entry path).
+const SYSCALL_BASE: u64 = 260;
+/// Base local I/O service cost (VFS + page cache).
+const IO_BASE: u64 = 2_600;
+/// Extra for metadata operations that synchronously hit the NFS server.
+const IO_METADATA: u64 = 30_000;
+/// clone(2) on Linux.
+const CLONE_COST: u64 = 4_500;
+
+// Kernel event tag layout: kind in the top byte.
+const TAG_NOISE: u64 = 1 << 56;
+const TAG_TIMESLICE: u64 = 2 << 56;
+
+/// FWK tunables.
+#[derive(Clone, Debug)]
+pub struct FwkConfig {
+    /// Stripped-down image (affects boot length only).
+    pub stripped: bool,
+    /// Noise sources; default is the tuned 2.6.16 profile of Fig. 5.
+    pub noise: Vec<NoiseSource>,
+    /// Round-robin timeslice in cycles (Linux: ~10 ms à 850 MHz; FWQ's
+    /// quantum is shorter, so this mostly matters under overcommit).
+    pub timeslice: u64,
+    pub uid: u32,
+    pub gid: u32,
+}
+
+impl Default for FwkConfig {
+    fn default() -> Self {
+        FwkConfig {
+            stripped: true,
+            noise: linux_2_6_16_profile(),
+            timeslice: 8_500_000,
+            uid: 1000,
+            gid: 100,
+        }
+    }
+}
+
+impl FwkConfig {
+    /// A noiseless FWK (ablation: isolate paging/scheduling effects from
+    /// daemon noise).
+    pub fn noiseless() -> FwkConfig {
+        FwkConfig {
+            noise: Vec::new(),
+            ..FwkConfig::default()
+        }
+    }
+}
+
+struct FwkProcess {
+    node: NodeId,
+    aspace: FwkAddressSpace,
+    sig: HashMap<Sig, SigDisposition>,
+    clear_tid: HashMap<Tid, u64>,
+    live_threads: u32,
+}
+
+/// The Linux-like kernel.
+pub struct Fwk {
+    pub cfg: FwkConfig,
+    procs: HashMap<ProcId, FwkProcess>,
+    next_proc: u32,
+    /// Per-core ready queues (no thread limit: overcommit allowed).
+    ready: HashMap<u32, VecDeque<Tid>>,
+    /// Cores with a timeslice event in flight.
+    ts_pending: HashSet<u32>,
+    futexes: Vec<FutexTable>,
+    /// Next free physical frame per node.
+    next_frame: Vec<u64>,
+    frame_limit: u64,
+    /// The mounted network filesystem (shared by all nodes, like NFS).
+    vfs: Vfs,
+    proxies: HashMap<u32, IoProxy>,
+    noise_rng: Vec<SmallRng>,
+    io_rng: Vec<SmallRng>,
+    /// Dirty page-cache bytes per node, written back by the pdflush
+    /// noise source (couples application I/O to compute-core noise —
+    /// the coupling CNK's function shipping removes, §IV.A).
+    dirty_bytes: Vec<u64>,
+    booted: bool,
+}
+
+impl Fwk {
+    pub fn new(cfg: FwkConfig) -> Fwk {
+        Fwk {
+            cfg,
+            procs: HashMap::new(),
+            next_proc: 0,
+            ready: HashMap::new(),
+            ts_pending: HashSet::new(),
+            futexes: Vec::new(),
+            next_frame: Vec::new(),
+            frame_limit: 0,
+            vfs: Vfs::new(),
+            proxies: HashMap::new(),
+            noise_rng: Vec::new(),
+            io_rng: Vec::new(),
+            dirty_bytes: Vec::new(),
+            booted: false,
+        }
+    }
+
+    pub fn with_defaults() -> Fwk {
+        Fwk::new(FwkConfig::default())
+    }
+
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Console output of a process.
+    pub fn console_of(&self, proc: ProcId) -> Option<Vec<u8>> {
+        self.proxies.get(&proc.0).map(|p| p.console.clone())
+    }
+
+    fn done(ret: SysRet, cost: u64) -> SyscallAction {
+        SyscallAction::Done { ret, cost }
+    }
+
+    fn err(e: Errno, cost: u64) -> SyscallAction {
+        SyscallAction::Done {
+            ret: SysRet::Err(e),
+            cost,
+        }
+    }
+
+    fn alloc_frame(next_frame: &mut [u64], limit: u64, node: NodeId) -> Option<u64> {
+        let f = &mut next_frame[node.idx()];
+        if *f >= limit {
+            return None;
+        }
+        let frame = *f;
+        *f += 1;
+        Some(frame)
+    }
+
+    fn enqueue(&mut self, sc: &mut SimCore, core: CoreId, tid: Tid) {
+        self.ready.entry(core.0).or_default().push_back(tid);
+        // Contention: make sure the timeslice preemption runs.
+        if !sc.core_idle(core) && self.ts_pending.insert(core.0) {
+            let node = sc.node_of_core(core);
+            sc.schedule_kernel_event_in(node, TAG_TIMESLICE | core.0 as u64, self.cfg.timeslice);
+        }
+    }
+
+    fn schedule_noise(&mut self, sc: &mut SimCore, node: NodeId, src_idx: usize, core_local: u32) {
+        let delay = {
+            let src = &self.cfg.noise[src_idx];
+            src.next_delay(&mut self.noise_rng[node.idx()])
+        };
+        let tag = TAG_NOISE | ((src_idx as u64) << 8) | core_local as u64;
+        sc.schedule_kernel_event_in(node, tag, delay);
+    }
+
+    fn post_signal(&mut self, sc: &mut SimCore, tid: Tid, sig: Sig) {
+        let proc_id = sc.thread(tid).proc;
+        let node = sc.thread(tid).node;
+        let Some(p) = self.procs.get(&proc_id) else {
+            return;
+        };
+        match p.sig.get(&sig).copied().unwrap_or_default() {
+            SigDisposition::Ignore => {}
+            SigDisposition::Handler(_) => {
+                if matches!(
+                    sc.thread(tid).state,
+                    bgsim::ThreadState::Blocked(BlockKind::Futex)
+                ) && self.futexes[node.idx()].remove(tid)
+                {
+                    sc.defer_unblock(tid, Some(SysRet::Err(Errno::EINTR)));
+                }
+                sc.post_signal(tid, sig);
+            }
+            SigDisposition::Default => {
+                if sig.default_fatal() {
+                    sc.defer_kill(proc_id, 128 + sig as i32);
+                }
+            }
+        }
+    }
+
+    fn io_cost(&mut self, node: NodeId, req: &SysReq) -> u64 {
+        // Writes land in the page cache and must be written back later
+        // by pdflush — on the compute node's own cores.
+        self.dirty_bytes[node.idx()] =
+            self.dirty_bytes[node.idx()].saturating_add(req.outbound_bytes());
+        let payload = req.outbound_bytes() + req.inbound_bytes();
+        let mut c = IO_BASE + payload / 4 + ciod::vfs_jitter(&mut self.io_rng[node.idx()]);
+        if matches!(
+            req,
+            SysReq::Open { .. }
+                | SysReq::Stat { .. }
+                | SysReq::Mkdir { .. }
+                | SysReq::Unlink { .. }
+                | SysReq::Rmdir { .. }
+                | SysReq::Rename { .. }
+                | SysReq::Fsync { .. }
+        ) {
+            c += IO_METADATA;
+        }
+        c
+    }
+}
+
+impl Kernel for Fwk {
+    fn name(&self) -> &'static str {
+        "fwk"
+    }
+
+    fn boot(&mut self, sc: &mut SimCore, _reproducible: bool) -> BootReport {
+        let nodes = sc.cfg.nodes as usize;
+        self.futexes = (0..nodes).map(|_| FutexTable::new()).collect();
+        // Frames above a 32 MB kernel image.
+        self.next_frame = vec![(32 << 20) / PAGE; nodes];
+        self.frame_limit = sc.cfg.chip.dram_bytes / PAGE;
+        self.noise_rng = (0..nodes as u64)
+            .map(|n| sc.hub.stream_for("fwk-noise", n))
+            .collect();
+        self.io_rng = (0..nodes as u64)
+            .map(|n| sc.hub.stream_for("fwk-io", n))
+            .collect();
+        self.dirty_bytes = vec![0; nodes];
+        // Arm the noise machinery (§V.A: the daemons that "cannot be
+        // suspended").
+        for node in 0..nodes as u32 {
+            for (i, src) in self.cfg.noise.clone().iter().enumerate() {
+                for core in 0..sc.cfg.chip.cores {
+                    if src.cores.contains(core) {
+                        self.schedule_noise(sc, NodeId(node), i, core);
+                    }
+                }
+            }
+        }
+        self.booted = true;
+        crate::boot::boot_report(self.cfg.stripped)
+    }
+
+    fn reset(&mut self) {
+        self.procs.clear();
+        self.ready.clear();
+        self.ts_pending.clear();
+        self.futexes.clear();
+        self.proxies.clear();
+        self.booted = false;
+    }
+
+    fn launch(
+        &mut self,
+        sc: &mut SimCore,
+        spec: &JobSpec,
+        factory: &mut dyn WorkloadFactory,
+    ) -> Result<JobMap, LaunchError> {
+        assert!(self.booted, "launch before boot");
+        let old: Vec<ProcId> = self.procs.keys().copied().collect();
+        for proc in old {
+            self.procs.remove(&proc);
+            self.proxies.remove(&proc.0);
+        }
+        self.ready.clear();
+        for f in &mut self.futexes {
+            f.clear();
+        }
+
+        let ppn = spec.mode.procs_per_node();
+        let cpp = spec.mode.cores_per_proc();
+        let mut ranks = Vec::new();
+        for node in 0..spec.nodes {
+            let node_id = NodeId(node);
+            for pi in 0..ppn {
+                let rank = Rank(node * ppn + pi);
+                let proc = ProcId(self.next_proc);
+                self.next_proc += 1;
+                let main_core = sc.core_of(node_id, pi * cpp);
+                let wl = factory.main_workload(rank);
+                let tid = sc.create_thread(proc, node_id, main_core, wl);
+                self.procs.insert(
+                    proc,
+                    FwkProcess {
+                        node: node_id,
+                        aspace: FwkAddressSpace::new(),
+                        sig: HashMap::new(),
+                        clear_tid: HashMap::new(),
+                        live_threads: 1,
+                    },
+                );
+                self.proxies.insert(
+                    proc.0,
+                    IoProxy::new(proc.0, self.cfg.uid, self.cfg.gid, &self.vfs),
+                );
+                ranks.push(RankInfo {
+                    rank,
+                    proc,
+                    node: node_id,
+                    main_tid: tid,
+                });
+            }
+        }
+        Ok(JobMap { ranks })
+    }
+
+    fn syscall(&mut self, sc: &mut SimCore, tid: Tid, req: &SysReq) -> SyscallAction {
+        let proc_id = sc.thread(tid).proc;
+        let node = sc.thread(tid).node;
+
+        // I/O is serviced locally: the compute node *is* a filesystem
+        // client (the client-count problem of §VII.A).
+        if req.is_io() {
+            let cost = self.io_cost(node, req);
+            let Some(proxy) = self.proxies.get_mut(&proc_id.0) else {
+                return Self::err(Errno::ESRCH, SYSCALL_BASE);
+            };
+            let ret = proxy.execute(&mut self.vfs, req);
+            return Self::done(ret, SYSCALL_BASE + cost);
+        }
+
+        match req {
+            SysReq::Brk { addr } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                let b = p.aspace.brk(*addr);
+                Self::done(SysRet::Val(b as i64), SYSCALL_BASE + 240)
+            }
+            SysReq::Mmap {
+                len,
+                prot,
+                fd,
+                offset,
+                ..
+            } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                let Some(addr) = p.aspace.mmap(*len, *prot) else {
+                    return Self::err(Errno::ENOMEM, SYSCALL_BASE + 380);
+                };
+                match fd {
+                    None => Self::done(SysRet::Val(addr as i64), SYSCALL_BASE + 380),
+                    Some(fd) => {
+                        // Full mmap support: copy the file content in
+                        // eagerly (we do not model lazy file faults, but
+                        // protection is enforced — the part CNK lacks).
+                        let Some(proxy) = self.proxies.get_mut(&proc_id.0) else {
+                            return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                        };
+                        let data = match proxy.execute(
+                            &mut self.vfs,
+                            &SysReq::Pread {
+                                fd: *fd,
+                                len: *len,
+                                offset: *offset,
+                            },
+                        ) {
+                            SysRet::Data(d) => d,
+                            SysRet::Err(e) => return Self::err(e, SYSCALL_BASE + 380),
+                            _ => return Self::err(Errno::EIO, SYSCALL_BASE + 380),
+                        };
+                        // Fault the pages in and copy.
+                        let nf = &mut self.next_frame;
+                        let lim = self.frame_limit;
+                        let touch = p.aspace.touch(addr, (*len).max(1), true, || {
+                            Self::alloc_frame(nf, lim, node)
+                        });
+                        if touch.unmapped {
+                            return Self::err(Errno::ENOMEM, SYSCALL_BASE + 380);
+                        }
+                        let mut off = 0u64;
+                        while (off as usize) < data.len() {
+                            if let Some(pa) = p.aspace.translate(addr + off) {
+                                let n = (PAGE - (addr + off) % PAGE).min(data.len() as u64 - off);
+                                let _ = sc.dram[node.idx()]
+                                    .write(pa, &data[off as usize..(off + n) as usize]);
+                                off += n;
+                            } else {
+                                break;
+                            }
+                        }
+                        // Restore the requested protection after the copy
+                        // (the copy needed write access internally).
+                        p.aspace.mprotect(addr, *len, *prot);
+                        let copy_cost = data.len() as u64 / 4 + touch.faults as u64 * FAULT_COST;
+                        Self::done(SysRet::Val(addr as i64), SYSCALL_BASE + 380 + copy_cost)
+                    }
+                }
+            }
+            SysReq::Munmap { addr, len } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                p.aspace.munmap(*addr, *len);
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 300)
+            }
+            SysReq::Mprotect { addr, len, prot } => {
+                let Some(p) = self.procs.get_mut(&proc_id) else {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                };
+                p.aspace.mprotect(*addr, *len, *prot);
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 260)
+            }
+            SysReq::Clone { .. } => Self::err(Errno::EINVAL, SYSCALL_BASE),
+            SysReq::SetTidAddress { addr } => {
+                if let Some(p) = self.procs.get_mut(&proc_id) {
+                    p.clear_tid.insert(tid, *addr);
+                }
+                Self::done(SysRet::Val(tid.0 as i64), SYSCALL_BASE)
+            }
+            SysReq::Futex { uaddr, op } => self.sys_futex(sc, tid, proc_id, node, *uaddr, *op),
+            SysReq::SchedYield => {
+                let core = sc.thread(tid).core;
+                self.ready.entry(core.0).or_default().push_back(tid);
+                SyscallAction::YieldCpu
+            }
+            SysReq::Sigaction { sig, disposition } => {
+                if !sig.catchable() && !matches!(disposition, SigDisposition::Default) {
+                    return Self::err(Errno::EINVAL, SYSCALL_BASE);
+                }
+                if let Some(p) = self.procs.get_mut(&proc_id) {
+                    p.sig.insert(*sig, *disposition);
+                }
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 90)
+            }
+            SysReq::Tgkill { tid: target, sig } => {
+                let target = Tid(*target);
+                if target.idx() >= sc.threads.len()
+                    || sc.thread(target).proc != proc_id
+                    || !sc.thread(target).state.is_live()
+                {
+                    return Self::err(Errno::ESRCH, SYSCALL_BASE);
+                }
+                self.post_signal(sc, target, *sig);
+                Self::done(SysRet::Val(0), SYSCALL_BASE + 300)
+            }
+            SysReq::Gettid => Self::done(SysRet::Val(tid.0 as i64), SYSCALL_BASE),
+            SysReq::Getpid => Self::done(SysRet::Val(proc_id.0 as i64), SYSCALL_BASE),
+            SysReq::Uname => Self::done(SysRet::Uname(self.utsname()), SYSCALL_BASE + 110),
+            SysReq::ExitThread { code } => SyscallAction::ExitThread { code: *code },
+            SysReq::ExitGroup { code } => SyscallAction::ExitProc { code: *code },
+            // fork/exec as bare syscalls carry no program to run in this
+            // simulation; process creation goes through Op::Spawn with
+            // fork-style flags, which the FWK accepts (and CNK refuses).
+            SysReq::Fork | SysReq::Exec { .. } => Self::err(Errno::EINVAL, SYSCALL_BASE),
+            // CNK specials are absent on Linux.
+            SysReq::PersistOpen { .. }
+            | SysReq::QueryStaticMap
+            | SysReq::AffinityPartner { .. } => Self::err(Errno::ENOSYS, SYSCALL_BASE),
+            other => {
+                debug_assert!(!other.is_io());
+                Self::err(Errno::ENOSYS, SYSCALL_BASE)
+            }
+        }
+    }
+
+    fn spawn(
+        &mut self,
+        sc: &mut SimCore,
+        parent: Tid,
+        args: &CloneArgs,
+        core_hint: Option<u32>,
+        child: Box<dyn Workload>,
+    ) -> (SysRet, u64) {
+        let parent_proc = sc.thread(parent).proc;
+        let node = sc.thread(parent).node;
+        let is_thread = args.flags.contains(CloneFlags::THREAD);
+        // Placement: hint or least-loaded core on the node (Linux would
+        // balance; overcommit is allowed — Table II).
+        let core = match core_hint {
+            Some(local) if local < sc.cfg.chip.cores => sc.core_of(node, local),
+            Some(_) => return (SysRet::Err(Errno::EINVAL), SYSCALL_BASE),
+            None => {
+                let mut best = sc.core_of(node, 0);
+                let mut best_q = usize::MAX;
+                for local in 0..sc.cfg.chip.cores {
+                    let c = sc.core_of(node, local);
+                    let q =
+                        self.ready.get(&c.0).map_or(0, |q| q.len()) + usize::from(!sc.core_idle(c));
+                    if q < best_q {
+                        best_q = q;
+                        best = c;
+                    }
+                }
+                best
+            }
+        };
+        let (proc_id, cost) = if is_thread {
+            if args.flags != CloneFlags::NPTL_THREAD_FLAGS {
+                return (SysRet::Err(Errno::EINVAL), SYSCALL_BASE);
+            }
+            (parent_proc, CLONE_COST)
+        } else {
+            // fork+exec path: a new process with a fresh address space
+            // and ioproxy-equivalent local fd table.
+            let proc = ProcId(self.next_proc);
+            self.next_proc += 1;
+            self.procs.insert(
+                proc,
+                FwkProcess {
+                    node,
+                    aspace: FwkAddressSpace::new(),
+                    sig: HashMap::new(),
+                    clear_tid: HashMap::new(),
+                    live_threads: 0,
+                },
+            );
+            self.proxies.insert(
+                proc.0,
+                IoProxy::new(proc.0, self.cfg.uid, self.cfg.gid, &self.vfs),
+            );
+            (proc, CLONE_COST * 4)
+        };
+        let tid = sc.create_thread(proc_id, node, core, child);
+        if let Some(p) = self.procs.get_mut(&proc_id) {
+            p.live_threads += 1;
+            if args.flags.contains(CloneFlags::CHILD_CLEARTID) {
+                p.clear_tid.insert(tid, args.child_tid_addr);
+            }
+        }
+        if args.flags.contains(CloneFlags::PARENT_SETTID) && args.parent_tid_addr != 0 {
+            if let Some(pa) = self.translate(sc, parent, args.parent_tid_addr) {
+                let _ = sc.dram[node.idx()].write_u32(pa, tid.0);
+            }
+        }
+        if sc.core_idle(core) {
+            sc.dispatch(tid);
+        } else {
+            self.enqueue(sc, core, tid);
+        }
+        (SysRet::Val(tid.0 as i64), cost)
+    }
+
+    fn compute_cost(&mut self, sc: &mut SimCore, tid: Tid, op: &Op) -> u64 {
+        // Same hardware, same compute-cost model — the minimum FWQ
+        // sample is identical on both kernels (§V.A observes exactly
+        // this); the difference is the noise events stretching ops.
+        let node = sc.thread(tid).node;
+        let chipc = &sc.cfg.chip;
+        match op {
+            Op::Compute { cycles } => *cycles,
+            Op::Daxpy { n, reps } => chip::daxpy_cycles(chipc, *n, *reps) + sc.refresh_jitter(node),
+            Op::Stream { bytes } => {
+                // Concurrent streams on the node contend in the L2 banks
+                // (§III); this core's own stream counts itself.
+                let streams = sc.active_streams(node).max(1);
+                chip::stream_cycles(chipc, *bytes, streams) + sc.refresh_jitter(node)
+            }
+            Op::Flops { flops } => chip::dgemm_cycles(chipc, *flops) + sc.refresh_jitter(node),
+            _ => 1,
+        }
+    }
+
+    fn mem_touch(
+        &mut self,
+        sc: &mut SimCore,
+        tid: Tid,
+        vaddr: u64,
+        bytes: u64,
+        write: bool,
+    ) -> MemOpResult {
+        let proc_id = sc.thread(tid).proc;
+        let node = sc.thread(tid).node;
+        let core = sc.thread(tid).core;
+        let Some(p) = self.procs.get_mut(&proc_id) else {
+            return MemOpResult {
+                cost: 1,
+                faulted: false,
+            };
+        };
+        let nf = &mut self.next_frame;
+        let lim = self.frame_limit;
+        let out = p
+            .aspace
+            .touch(vaddr, bytes, write, || Self::alloc_frame(nf, lim, node));
+        if out.violation || out.unmapped {
+            self.post_signal(sc, tid, Sig::Segv);
+            return MemOpResult {
+                cost: 900,
+                faulted: true,
+            };
+        }
+        // Software TLB refills: fill 4 KiB entries per touched page that
+        // is not resident in the TLB (§IV.C: translation-miss noise).
+        let mut tlb_misses = 0u64;
+        let first = vaddr / PAGE;
+        let last = (vaddr + bytes.max(1) - 1) / PAGE;
+        for vp in first..=last {
+            let va = vp * PAGE;
+            if sc.tlbs[core.idx()].lookup(va).is_none() {
+                tlb_misses += 1;
+                if let Some(pa) = self.procs[&proc_id].aspace.translate(va) {
+                    let _ = sc.tlbs[core.idx()].fill(TlbEntry {
+                        vaddr: va,
+                        paddr: pa & !(PAGE - 1),
+                        size: PAGE,
+                        pinned: false,
+                    });
+                }
+            }
+        }
+        let cost = chip::stream_cycles(&sc.cfg.chip, bytes, 1).max(1)
+            + out.faults as u64 * FAULT_COST
+            + tlb_misses * TLB_MISS_CYCLES;
+        MemOpResult {
+            cost,
+            faulted: false,
+        }
+    }
+
+    fn pick_next(&mut self, _sc: &mut SimCore, core: CoreId) -> Option<Tid> {
+        self.ready.get_mut(&core.0)?.pop_front()
+    }
+
+    fn on_unblock(&mut self, sc: &mut SimCore, tid: Tid) {
+        let core = sc.thread(tid).core;
+        if sc.core_idle(core) {
+            sc.dispatch(tid);
+        } else {
+            self.enqueue(sc, core, tid);
+        }
+    }
+
+    fn on_exit(&mut self, sc: &mut SimCore, tid: Tid) {
+        let proc_id = sc.thread(tid).proc;
+        let node = sc.thread(tid).node;
+        for q in self.ready.values_mut() {
+            q.retain(|&t| t != tid);
+        }
+        self.futexes[node.idx()].remove(tid);
+        if let Some(p) = self.procs.get_mut(&proc_id) {
+            p.live_threads = p.live_threads.saturating_sub(1);
+            if let Some(addr) = p.clear_tid.remove(&tid) {
+                if let Some(pa) = p.aspace.translate(addr) {
+                    let _ = sc.dram[node.idx()].write_u32(pa, 0);
+                    let woken = self.futexes[node.idx()].wake(pa, u32::MAX, u32::MAX);
+                    for t in woken {
+                        sc.defer_unblock(t, Some(SysRet::Val(0)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn kernel_event(&mut self, sc: &mut SimCore, node: NodeId, tag: u64) {
+        match tag >> 56 {
+            1 => {
+                // Noise firing.
+                let src_idx = ((tag >> 8) & 0xffff) as usize;
+                let core_local = (tag & 0xff) as u32;
+                if src_idx >= self.cfg.noise.len() {
+                    return;
+                }
+                let mut cost = {
+                    let src = &self.cfg.noise[src_idx];
+                    src.cost(&mut self.noise_rng[node.idx()])
+                };
+                // The writeback daemon's firing grows with dirty data:
+                // ~1 extra cycle per 16 dirty bytes, split across its
+                // cores, capped at one long scan.
+                if self.cfg.noise[src_idx].name == "pdflush" {
+                    let dirty = &mut self.dirty_bytes[node.idx()];
+                    let extra = (*dirty / 16).min(120_000);
+                    *dirty = dirty.saturating_sub(extra * 16);
+                    cost += extra;
+                }
+                let core = sc.core_of(node, core_local);
+                sc.stretch_running(core, cost, tag);
+                self.schedule_noise(sc, node, src_idx, core_local);
+            }
+            2 => {
+                // Timeslice expiry on a core.
+                let core = CoreId((tag & 0xffff_ffff) as u32);
+                self.ts_pending.remove(&core.0);
+                let queued = self.ready.get(&core.0).map_or(0, |q| q.len());
+                if queued == 0 {
+                    return;
+                }
+                let prev_proc = sc.running[core.idx()].map(|t| sc.thread(t).proc);
+                if let Some(preempted) = sc.preempt(core) {
+                    self.ready.entry(core.0).or_default().push_back(preempted);
+                }
+                if sc.core_idle(core) {
+                    if let Some(next) = self.pick_next(sc, core) {
+                        // The PPC450 TLB is untagged: switching to a
+                        // different address space flushes the unpinned
+                        // entries (refilled on demand — more noise).
+                        if prev_proc.is_some() && prev_proc != Some(sc.thread(next).proc) {
+                            sc.tlbs[core.idx()].flush_unpinned();
+                        }
+                        sc.dispatch(next);
+                    }
+                }
+                // Keep slicing while there is still contention.
+                if self.ready.get(&core.0).map_or(0, |q| q.len()) > 0
+                    && self.ts_pending.insert(core.0)
+                {
+                    sc.schedule_kernel_event_in(
+                        node,
+                        TAG_TIMESLICE | core.0 as u64,
+                        self.cfg.timeslice,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn net_deliver(&mut self, _sc: &mut SimCore, _msg: NetMsg) {
+        // The FWK does no function shipping.
+    }
+
+    fn on_ipi(&mut self, _sc: &mut SimCore, _core: CoreId, _kind: u32) {}
+
+    fn on_fault(&mut self, sc: &mut SimCore, core: CoreId, kind: u32) {
+        if kind != bgsim::machine::FAULT_PARITY {
+            return;
+        }
+        // Linux cannot recover an L1 parity machine check: kernel panic,
+        // everything on the node dies (the contrast to §V.B).
+        let node = sc.node_of_core(core);
+        let victims: Vec<ProcId> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| p.node == node)
+            .map(|(id, _)| *id)
+            .collect();
+        for proc in victims {
+            sc.defer_kill(proc, 128 + Sig::Bus as i32);
+        }
+    }
+
+    fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64> {
+        let proc = sc.thread(tid).proc;
+        self.procs.get(&proc)?.aspace.translate(vaddr)
+    }
+
+    fn comm_caps(&self, _sc: &SimCore, _tid: Tid) -> CommCaps {
+        CommCaps::fwk()
+    }
+
+    fn utsname(&self) -> UtsName {
+        UtsName::linux_2_6_16()
+    }
+
+    fn features(&self) -> bgsim::features::FeatureMatrix {
+        crate::features::matrix()
+    }
+}
+
+impl Fwk {
+    fn sys_futex(
+        &mut self,
+        sc: &mut SimCore,
+        tid: Tid,
+        proc_id: ProcId,
+        node: NodeId,
+        uaddr: u64,
+        op: FutexOp,
+    ) -> SyscallAction {
+        let Some(p) = self.procs.get_mut(&proc_id) else {
+            return Self::err(Errno::ESRCH, SYSCALL_BASE);
+        };
+        let nf = &mut self.next_frame;
+        let lim = self.frame_limit;
+        let Some(pa) = p
+            .aspace
+            .translate_faulting(uaddr, || Self::alloc_frame(nf, lim, node))
+        else {
+            return Self::err(Errno::EFAULT, SYSCALL_BASE + 60);
+        };
+        let ft = &mut self.futexes[node.idx()];
+        let cost = SYSCALL_BASE + 140;
+        match op {
+            FutexOp::Wait { expected } | FutexOp::WaitBitset { expected, .. } => {
+                let cur = sc.dram[node.idx()].read_u32(pa).unwrap_or(0);
+                if cur != expected {
+                    return Self::err(Errno::EAGAIN, cost);
+                }
+                let bitset = match op {
+                    FutexOp::WaitBitset { bitset, .. } => bitset,
+                    _ => sysabi::futex::FUTEX_BITSET_MATCH_ANY,
+                };
+                ft.wait(pa, tid, bitset);
+                SyscallAction::Block {
+                    kind: BlockKind::Futex,
+                }
+            }
+            FutexOp::Wake { count } => {
+                let woken = ft.wake(pa, count, sysabi::futex::FUTEX_BITSET_MATCH_ANY);
+                let n = woken.len() as i64;
+                for t in woken {
+                    sc.defer_unblock(t, Some(SysRet::Val(0)));
+                }
+                Self::done(SysRet::Val(n), cost)
+            }
+            FutexOp::WakeBitset { count, bitset } => {
+                let woken = ft.wake(pa, count, bitset);
+                let n = woken.len() as i64;
+                for t in woken {
+                    sc.defer_unblock(t, Some(SysRet::Val(0)));
+                }
+                Self::done(SysRet::Val(n), cost)
+            }
+            FutexOp::Requeue {
+                wake,
+                requeue,
+                target_uaddr,
+            }
+            | FutexOp::CmpRequeue {
+                wake,
+                requeue,
+                target_uaddr,
+                ..
+            } => {
+                if let FutexOp::CmpRequeue { expected, .. } = op {
+                    let cur = sc.dram[node.idx()].read_u32(pa).unwrap_or(0);
+                    if cur != expected {
+                        return Self::err(Errno::EAGAIN, cost);
+                    }
+                }
+                let p = self.procs.get_mut(&proc_id).unwrap();
+                let nf = &mut self.next_frame;
+                let Some(tpa) = p
+                    .aspace
+                    .translate_faulting(target_uaddr, || Self::alloc_frame(nf, lim, node))
+                else {
+                    return Self::err(Errno::EFAULT, cost);
+                };
+                let (woken, moved) = self.futexes[node.idx()].requeue(pa, wake, requeue, tpa);
+                let total = woken.len() as i64 + moved as i64;
+                for t in woken {
+                    sc.defer_unblock(t, Some(SysRet::Val(0)));
+                }
+                Self::done(SysRet::Val(total), cost)
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Futex operation vocabulary.
+//!
+//! The paper (§IV.B.1): "For atomic operations, such as pthread_mutex, a
+//! full implementation of futex was needed." The operations below are the
+//! ones glibc's NPTL actually issues: WAIT/WAKE for mutexes and joins,
+//! REQUEUE/CMP_REQUEUE for condition variables, and the bitset variants
+//! used by modern NPTL for targeted wakeups.
+
+/// A futex operation, as carried by the `futex` system call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FutexOp {
+    /// Block if `*uaddr == expected`.
+    Wait { expected: u32 },
+    /// Wake up to `count` waiters.
+    Wake { count: u32 },
+    /// Wake up to `wake` waiters and requeue up to `requeue` more onto
+    /// `target_uaddr` (condition-variable broadcast).
+    Requeue {
+        wake: u32,
+        requeue: u32,
+        target_uaddr: u64,
+    },
+    /// Like `Requeue` but fails with EAGAIN if `*uaddr != expected`.
+    CmpRequeue {
+        wake: u32,
+        requeue: u32,
+        target_uaddr: u64,
+        expected: u32,
+    },
+    /// Block if `*uaddr == expected`, tagged with a wake mask.
+    WaitBitset { expected: u32, bitset: u32 },
+    /// Wake up to `count` waiters whose bitset intersects `bitset`.
+    WakeBitset { count: u32, bitset: u32 },
+}
+
+impl FutexOp {
+    /// Does this operation block the caller (potentially)?
+    pub fn is_wait(self) -> bool {
+        matches!(self, FutexOp::Wait { .. } | FutexOp::WaitBitset { .. })
+    }
+}
+
+/// The bitset that matches any waiter (FUTEX_BITSET_MATCH_ANY).
+pub const FUTEX_BITSET_MATCH_ANY: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_classification() {
+        assert!(FutexOp::Wait { expected: 0 }.is_wait());
+        assert!(FutexOp::WaitBitset {
+            expected: 0,
+            bitset: 1
+        }
+        .is_wait());
+        assert!(!FutexOp::Wake { count: 1 }.is_wait());
+        assert!(!FutexOp::Requeue {
+            wake: 1,
+            requeue: 1,
+            target_uaddr: 0
+        }
+        .is_wait());
+    }
+}

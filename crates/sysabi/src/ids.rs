@@ -1,0 +1,139 @@
+//! Typed identifiers for nodes, cores, processes, threads, and MPI ranks.
+//!
+//! All identifiers are small newtype wrappers so that the simulator cannot
+//! accidentally index a thread table with a node id. Conversions to `usize`
+//! are explicit via `.idx()`.
+
+use std::fmt;
+
+/// A compute or I/O node in the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A hardware core, identified globally as `node * cores_per_node + local`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Global core id for `local` core of `node` on a machine with
+    /// `cores_per_node` cores per node.
+    #[inline]
+    pub fn global(node: NodeId, local: u32, cores_per_node: u32) -> CoreId {
+        CoreId(node.0 * cores_per_node + local)
+    }
+
+    /// The node this core belongs to.
+    #[inline]
+    pub fn node(self, cores_per_node: u32) -> NodeId {
+        NodeId(self.0 / cores_per_node)
+    }
+
+    /// The core index within its node.
+    #[inline]
+    pub fn local(self, cores_per_node: u32) -> u32 {
+        self.0 % cores_per_node
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A process (an MPI task). Unique across the machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A software thread (pthread). Unique across the machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An MPI rank within a job. On our machine rank == ProcId for the single
+/// running job, but the types are kept distinct because messaging layers
+/// address ranks while kernels address processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_global_roundtrip() {
+        let cpn = 4;
+        for node in 0..8u32 {
+            for local in 0..cpn {
+                let c = CoreId::global(NodeId(node), local, cpn);
+                assert_eq!(c.node(cpn), NodeId(node));
+                assert_eq!(c.local(cpn), local);
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(CoreId(5).to_string(), "c5");
+        assert_eq!(ProcId(1).to_string(), "p1");
+        assert_eq!(Tid(9).to_string(), "t9");
+        assert_eq!(Rank(2).to_string(), "r2");
+    }
+}

@@ -1,0 +1,29 @@
+//! System-call ABI shared across the CNK reproduction workspace.
+//!
+//! This crate is the lowest layer of the stack: it defines the identifiers,
+//! error codes, and system-call request/response types that the kernels
+//! (`cnk`, `fwk`), the function-ship protocol (`ciod`), and the workload
+//! programs all agree on. It corresponds to the stable glibc ⇔ kernel
+//! boundary the paper highlights in Section IV: "the one advantage of
+//! drawing the line between glibc and the kernel is that that interface
+//! tends to be more stable".
+//!
+//! Nothing in this crate has timing or behaviour — it is pure vocabulary.
+
+pub mod app;
+pub mod errno;
+pub mod fs;
+pub mod futex;
+pub mod ids;
+pub mod signal;
+pub mod syscall;
+pub mod uname;
+
+pub use app::{AppImage, DynLib, JobSpec, NodeMode};
+pub use errno::Errno;
+pub use fs::{Fd, FileKind, OpenFlags, SeekWhence, StatBuf};
+pub use futex::FutexOp;
+pub use ids::{CoreId, NodeId, ProcId, Rank, Tid};
+pub use signal::{Sig, SigDisposition};
+pub use syscall::{CloneFlags, MapFlags, Prot, SysReq, SysRet};
+pub use uname::UtsName;

@@ -1,0 +1,110 @@
+//! Signal vocabulary.
+//!
+//! CNK implements `sigaction` because NPTL needs it "for thread signaling
+//! and cancellation" (§IV.B.1), and because the machine-check path that
+//! turned L1 parity errors into application-visible recovery events
+//! (§V.B, the 2007 Gordon Bell run) is delivered as a signal.
+
+/// Signals the CNK surface knows about (Linux numbering).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u32)]
+pub enum Sig {
+    /// Hangup — used by job control.
+    Hup = 1,
+    /// Interrupt.
+    Int = 2,
+    /// Illegal instruction.
+    Ill = 4,
+    /// Abort.
+    Abrt = 6,
+    /// Bus error — delivered on a DAC guard-page hit (§IV.C).
+    Bus = 7,
+    /// Kill (uncatchable).
+    Kill = 9,
+    /// User signal 1 — NPTL uses the RT range; we model cancellation here.
+    Usr1 = 10,
+    /// Segmentation violation.
+    Segv = 11,
+    /// User signal 2.
+    Usr2 = 12,
+    /// Termination.
+    Term = 15,
+    /// NPTL's internal cancel/setxid signal (SIGRTMIN = 32 on Linux/NPTL).
+    Cancel = 32,
+    /// Machine check: L1 parity error recovery notification (§V.B).
+    /// Real CNK used SIGBUS machine-check info; we keep it distinct so
+    /// tests can tell guard-page hits and parity events apart.
+    Parity = 33,
+}
+
+impl Sig {
+    pub fn from_code(c: u32) -> Option<Sig> {
+        use Sig::*;
+        Some(match c {
+            1 => Hup,
+            2 => Int,
+            4 => Ill,
+            6 => Abrt,
+            7 => Bus,
+            9 => Kill,
+            10 => Usr1,
+            11 => Segv,
+            12 => Usr2,
+            15 => Term,
+            32 => Cancel,
+            33 => Parity,
+            _ => return None,
+        })
+    }
+
+    /// Can user code install a handler for this signal?
+    pub fn catchable(self) -> bool {
+        self != Sig::Kill
+    }
+
+    /// Default disposition terminates the process.
+    pub fn default_fatal(self) -> bool {
+        !matches!(self, Sig::Usr1 | Sig::Usr2 | Sig::Cancel | Sig::Parity)
+    }
+}
+
+/// What a process has installed for a signal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SigDisposition {
+    /// Default action (`SIG_DFL`).
+    #[default]
+    Default,
+    /// Ignore (`SIG_IGN`).
+    Ignore,
+    /// A user handler, identified by a small integer the workload
+    /// understands (we do not simulate instruction pointers).
+    Handler(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for c in 0..64 {
+            if let Some(s) = Sig::from_code(c) {
+                assert_eq!(s as u32, c);
+            }
+        }
+    }
+
+    #[test]
+    fn kill_uncatchable() {
+        assert!(!Sig::Kill.catchable());
+        assert!(Sig::Bus.catchable());
+    }
+
+    #[test]
+    fn parity_not_fatal_by_default() {
+        // The Gordon Bell recovery story depends on the app surviving to
+        // handle the event.
+        assert!(!Sig::Parity.default_fatal());
+        assert!(Sig::Segv.default_fatal());
+    }
+}

@@ -1,0 +1,462 @@
+//! The system-call request/response surface.
+//!
+//! This is the complete syscall vocabulary of the reproduction. CNK
+//! implements the local subset (memory, threads, futex, signals) in the
+//! kernel and function-ships everything filesystem-shaped to CIOD
+//! (paper §IV.A, §VI.A). The Linux-like FWK baseline implements everything
+//! locally. `SysReq`/`SysRet` are deliberately self-contained values — the
+//! ciod crate serializes them byte-for-byte into the wire format.
+
+use crate::errno::Errno;
+use crate::fs::{Fd, OpenFlags, SeekWhence, StatBuf};
+use crate::futex::FutexOp;
+use crate::signal::{Sig, SigDisposition};
+use crate::uname::UtsName;
+
+/// mmap protection bits (Linux values).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Prot(pub u32);
+
+impl Prot {
+    pub const NONE: Prot = Prot(0);
+    pub const READ: Prot = Prot(1);
+    pub const WRITE: Prot = Prot(2);
+    pub const EXEC: Prot = Prot(4);
+
+    #[inline]
+    pub fn contains(self, o: Prot) -> bool {
+        self.0 & o.0 == o.0
+    }
+}
+
+impl std::ops::BitOr for Prot {
+    type Output = Prot;
+    fn bitor(self, rhs: Prot) -> Prot {
+        Prot(self.0 | rhs.0)
+    }
+}
+
+/// mmap flags. `MAP_COPY` is the ld.so requirement the paper calls out
+/// (§IV.B.2): map a file by copying it fully at map time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MapFlags(pub u32);
+
+impl MapFlags {
+    pub const PRIVATE: MapFlags = MapFlags(0x02);
+    pub const SHARED: MapFlags = MapFlags(0x01);
+    pub const FIXED: MapFlags = MapFlags(0x10);
+    pub const ANONYMOUS: MapFlags = MapFlags(0x20);
+    /// MAP_COPY: historic Linux flag (MAP_PRIVATE|MAP_DENYWRITE); ld.so
+    /// passes it when loading shared objects.
+    pub const COPY: MapFlags = MapFlags(0x0402);
+
+    #[inline]
+    pub fn contains(self, o: MapFlags) -> bool {
+        self.0 & o.0 == o.0
+    }
+}
+
+impl std::ops::BitOr for MapFlags {
+    type Output = MapFlags;
+    fn bitor(self, rhs: MapFlags) -> MapFlags {
+        MapFlags(self.0 | rhs.0)
+    }
+}
+
+/// clone(2) flags (Linux values). Paper §IV.B.1: "glibc uses the clone
+/// system call with a static set of flags. The flags to clone are
+/// validated against the expected flags."
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CloneFlags(pub u64);
+
+impl CloneFlags {
+    pub const VM: CloneFlags = CloneFlags(0x0000_0100);
+    pub const FS: CloneFlags = CloneFlags(0x0000_0200);
+    pub const FILES: CloneFlags = CloneFlags(0x0000_0400);
+    pub const SIGHAND: CloneFlags = CloneFlags(0x0000_0800);
+    pub const THREAD: CloneFlags = CloneFlags(0x0001_0000);
+    pub const SYSVSEM: CloneFlags = CloneFlags(0x0004_0000);
+    pub const SETTLS: CloneFlags = CloneFlags(0x0008_0000);
+    pub const PARENT_SETTID: CloneFlags = CloneFlags(0x0010_0000);
+    pub const CHILD_CLEARTID: CloneFlags = CloneFlags(0x0020_0000);
+
+    /// The exact flag set NPTL passes to clone for pthread_create.
+    pub const NPTL_THREAD_FLAGS: CloneFlags = CloneFlags(
+        0x0000_0100
+            | 0x0000_0200
+            | 0x0000_0400
+            | 0x0000_0800
+            | 0x0001_0000
+            | 0x0004_0000
+            | 0x0008_0000
+            | 0x0010_0000
+            | 0x0020_0000,
+    );
+
+    #[inline]
+    pub fn contains(self, o: CloneFlags) -> bool {
+        self.0 & o.0 == o.0
+    }
+}
+
+impl std::ops::BitOr for CloneFlags {
+    type Output = CloneFlags;
+    fn bitor(self, rhs: CloneFlags) -> CloneFlags {
+        CloneFlags(self.0 | rhs.0)
+    }
+}
+
+/// A system-call request.
+///
+/// Buffers travel inside the request/response values (as the paper
+/// describes for the function-ship protocol: "a write system call sends a
+/// message containing the file descriptor number, length of the buffer,
+/// and the buffer data").
+#[derive(Clone, PartialEq, Debug)]
+pub enum SysReq {
+    // ---- file I/O: function-shipped by CNK, local on FWK ----
+    Open {
+        path: String,
+        flags: OpenFlags,
+        mode: u32,
+    },
+    Close {
+        fd: Fd,
+    },
+    Read {
+        fd: Fd,
+        len: u64,
+    },
+    Write {
+        fd: Fd,
+        data: Vec<u8>,
+    },
+    Pread {
+        fd: Fd,
+        len: u64,
+        offset: u64,
+    },
+    Pwrite {
+        fd: Fd,
+        data: Vec<u8>,
+        offset: u64,
+    },
+    Lseek {
+        fd: Fd,
+        offset: i64,
+        whence: SeekWhence,
+    },
+    Stat {
+        path: String,
+    },
+    Fstat {
+        fd: Fd,
+    },
+    Ftruncate {
+        fd: Fd,
+        len: u64,
+    },
+    Mkdir {
+        path: String,
+        mode: u32,
+    },
+    Unlink {
+        path: String,
+    },
+    Rmdir {
+        path: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Chdir {
+        path: String,
+    },
+    Getcwd,
+    Dup {
+        fd: Fd,
+    },
+    Fsync {
+        fd: Fd,
+    },
+
+    // ---- memory: always local ----
+    /// brk(0) queries; otherwise sets the program break.
+    Brk {
+        addr: u64,
+    },
+    Mmap {
+        addr: u64,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+        fd: Option<Fd>,
+        offset: u64,
+    },
+    Munmap {
+        addr: u64,
+        len: u64,
+    },
+    Mprotect {
+        addr: u64,
+        len: u64,
+        prot: Prot,
+    },
+
+    // ---- threads / process ----
+    Clone {
+        flags: CloneFlags,
+        child_stack: u64,
+        tls: u64,
+        parent_tid_addr: u64,
+        child_tid_addr: u64,
+    },
+    SetTidAddress {
+        addr: u64,
+    },
+    Futex {
+        uaddr: u64,
+        op: FutexOp,
+    },
+    SchedYield,
+    Sigaction {
+        sig: Sig,
+        disposition: SigDisposition,
+    },
+    Tgkill {
+        tid: u32,
+        sig: Sig,
+    },
+    Gettid,
+    Getpid,
+    Uname,
+    ExitThread {
+        code: i32,
+    },
+    ExitGroup {
+        code: i32,
+    },
+
+    // ---- not in CNK (ENOSYS there, implemented by FWK) §VII.B ----
+    Fork,
+    Exec {
+        path: String,
+    },
+
+    // ---- CNK specials ----
+    /// Open (or re-attach) a named persistent-memory region (§IV.D).
+    PersistOpen {
+        name: String,
+        len: u64,
+    },
+    /// Query the static virtual→physical map (§IV.C: "a process can query
+    /// the static map during initialization").
+    QueryStaticMap,
+    /// §VIII extended thread affinity: designate the calling process as
+    /// the single "remote" partner of a core on its node (identified by
+    /// the node-local core index). The core may then alternate between
+    /// its home process's pthreads and the caller's.
+    AffinityPartner {
+        local_core: u32,
+    },
+}
+
+impl SysReq {
+    /// Is this one of the calls CNK offloads to the I/O node?
+    /// (Everything filesystem-shaped; cf. §IV.A and §VI.A.)
+    pub fn is_io(&self) -> bool {
+        use SysReq::*;
+        matches!(
+            self,
+            Open { .. }
+                | Close { .. }
+                | Read { .. }
+                | Write { .. }
+                | Pread { .. }
+                | Pwrite { .. }
+                | Lseek { .. }
+                | Stat { .. }
+                | Fstat { .. }
+                | Ftruncate { .. }
+                | Mkdir { .. }
+                | Unlink { .. }
+                | Rmdir { .. }
+                | Rename { .. }
+                | Chdir { .. }
+                | Getcwd
+                | Dup { .. }
+                | Fsync { .. }
+        )
+    }
+
+    /// Payload bytes that must travel to the I/O node with the request
+    /// (affects function-ship latency on the collective network).
+    pub fn outbound_bytes(&self) -> u64 {
+        use SysReq::*;
+        match self {
+            Write { data, .. } | Pwrite { data, .. } => data.len() as u64,
+            Open { path, .. }
+            | Stat { path }
+            | Chdir { path }
+            | Mkdir { path, .. }
+            | Unlink { path }
+            | Rmdir { path }
+            | Exec { path } => path.len() as u64,
+            Rename { from, to } => (from.len() + to.len()) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Payload bytes expected back from the I/O node.
+    pub fn inbound_bytes(&self) -> u64 {
+        use SysReq::*;
+        match self {
+            Read { len, .. } | Pread { len, .. } => *len,
+            Getcwd => 256,
+            Stat { .. } | Fstat { .. } => 64,
+            _ => 0,
+        }
+    }
+
+    /// Short mnemonic for tracing.
+    pub fn name(&self) -> &'static str {
+        use SysReq::*;
+        match self {
+            Open { .. } => "open",
+            Close { .. } => "close",
+            Read { .. } => "read",
+            Write { .. } => "write",
+            Pread { .. } => "pread",
+            Pwrite { .. } => "pwrite",
+            Lseek { .. } => "lseek",
+            Stat { .. } => "stat",
+            Fstat { .. } => "fstat",
+            Ftruncate { .. } => "ftruncate",
+            Mkdir { .. } => "mkdir",
+            Unlink { .. } => "unlink",
+            Rmdir { .. } => "rmdir",
+            Rename { .. } => "rename",
+            Chdir { .. } => "chdir",
+            Getcwd => "getcwd",
+            Dup { .. } => "dup",
+            Fsync { .. } => "fsync",
+            Brk { .. } => "brk",
+            Mmap { .. } => "mmap",
+            Munmap { .. } => "munmap",
+            Mprotect { .. } => "mprotect",
+            Clone { .. } => "clone",
+            SetTidAddress { .. } => "set_tid_address",
+            Futex { .. } => "futex",
+            SchedYield => "sched_yield",
+            Sigaction { .. } => "rt_sigaction",
+            Tgkill { .. } => "tgkill",
+            Gettid => "gettid",
+            Getpid => "getpid",
+            Uname => "uname",
+            ExitThread { .. } => "exit",
+            ExitGroup { .. } => "exit_group",
+            Fork => "fork",
+            Exec { .. } => "execve",
+            PersistOpen { .. } => "persist_open",
+            QueryStaticMap => "query_static_map",
+            AffinityPartner { .. } => "affinity_partner",
+        }
+    }
+}
+
+/// A system-call result.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SysRet {
+    /// Scalar success value (fd number, byte count, address, pid, ...).
+    Val(i64),
+    /// Data-carrying success (read, getcwd).
+    Data(Vec<u8>),
+    Stat(StatBuf),
+    Uname(UtsName),
+    /// The queried static map: (virtual start, physical start, bytes) per
+    /// region, in virtual-address order.
+    StaticMap(Vec<(u64, u64, u64)>),
+    Err(Errno),
+}
+
+impl SysRet {
+    pub fn is_err(&self) -> bool {
+        matches!(self, SysRet::Err(_))
+    }
+
+    /// Unwrap a scalar, panicking with context on mismatch. Test helper.
+    pub fn val(&self) -> i64 {
+        match self {
+            SysRet::Val(v) => *v,
+            other => panic!("expected SysRet::Val, got {other:?}"),
+        }
+    }
+
+    pub fn err(&self) -> Errno {
+        match self {
+            SysRet::Err(e) => *e,
+            other => panic!("expected SysRet::Err, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nptl_flags_contain_required_parts() {
+        let f = CloneFlags::NPTL_THREAD_FLAGS;
+        assert!(f.contains(CloneFlags::VM));
+        assert!(f.contains(CloneFlags::THREAD));
+        assert!(f.contains(CloneFlags::SETTLS));
+        assert!(f.contains(CloneFlags::CHILD_CLEARTID));
+        assert!(f.contains(CloneFlags::PARENT_SETTID));
+    }
+
+    #[test]
+    fn io_classification() {
+        assert!(SysReq::Write {
+            fd: Fd(1),
+            data: vec![0; 8]
+        }
+        .is_io());
+        assert!(SysReq::Getcwd.is_io());
+        assert!(!SysReq::Brk { addr: 0 }.is_io());
+        assert!(!SysReq::Futex {
+            uaddr: 0x1000,
+            op: FutexOp::Wake { count: 1 }
+        }
+        .is_io());
+        assert!(!SysReq::Fork.is_io());
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let w = SysReq::Write {
+            fd: Fd(1),
+            data: vec![0; 4096],
+        };
+        assert_eq!(w.outbound_bytes(), 4096);
+        assert_eq!(w.inbound_bytes(), 0);
+        let r = SysReq::Read {
+            fd: Fd(3),
+            len: 65536,
+        };
+        assert_eq!(r.outbound_bytes(), 0);
+        assert_eq!(r.inbound_bytes(), 65536);
+    }
+
+    #[test]
+    fn map_copy_includes_private() {
+        assert!(MapFlags::COPY.contains(MapFlags::PRIVATE));
+    }
+
+    #[test]
+    fn prot_bits() {
+        let rw = Prot::READ | Prot::WRITE;
+        assert!(rw.contains(Prot::READ));
+        assert!(!rw.contains(Prot::EXEC));
+    }
+}

@@ -1,0 +1,130 @@
+//! The `uname` result and the glibc version gate.
+//!
+//! Paper §IV.B.1: "The glibc library performs a uname system call to
+//! determine the kernel capabilities so we set CNK's version field in
+//! uname to 2.6.19.2 to indicate to glibc that we have the proper
+//! support." The NPTL model in `workloads` refuses to initialize threading
+//! if the kernel reports a release older than its minimum, exactly like
+//! real glibc.
+
+/// A kernel version triple with an optional patch component.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct KernelVersion {
+    pub major: u32,
+    pub minor: u32,
+    pub patch: u32,
+    pub sub: u32,
+}
+
+impl KernelVersion {
+    pub const fn new(major: u32, minor: u32, patch: u32, sub: u32) -> Self {
+        KernelVersion {
+            major,
+            minor,
+            patch,
+            sub,
+        }
+    }
+
+    /// The version CNK advertises (§IV.B.1).
+    pub const CNK_ADVERTISED: KernelVersion = KernelVersion::new(2, 6, 19, 2);
+
+    /// The minimum NPTL requires for the clone/futex/TLS feature set.
+    pub const NPTL_MINIMUM: KernelVersion = KernelVersion::new(2, 6, 16, 0);
+
+    /// Parse "a.b.c" or "a.b.c.d".
+    pub fn parse(s: &str) -> Option<KernelVersion> {
+        let mut parts = s.split('.');
+        let major = parts.next()?.parse().ok()?;
+        let minor = parts.next()?.parse().ok()?;
+        let patch = parts.next()?.parse().ok()?;
+        let sub = match parts.next() {
+            Some(p) => p.parse().ok()?,
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(KernelVersion {
+            major,
+            minor,
+            patch,
+            sub,
+        })
+    }
+}
+
+impl std::fmt::Display for KernelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.sub == 0 {
+            write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+        } else {
+            write!(
+                f,
+                "{}.{}.{}.{}",
+                self.major, self.minor, self.patch, self.sub
+            )
+        }
+    }
+}
+
+/// The `uname(2)` result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UtsName {
+    pub sysname: String,
+    pub release: KernelVersion,
+    pub machine: String,
+}
+
+impl UtsName {
+    /// What BG/P CNK reports.
+    pub fn cnk() -> UtsName {
+        UtsName {
+            sysname: "CNK".to_string(),
+            release: KernelVersion::CNK_ADVERTISED,
+            machine: "ppc450".to_string(),
+        }
+    }
+
+    /// What the SUSE-derived 2.6.16 Linux on BG/P I/O nodes reports
+    /// (the kernel used for the paper's Fig. 5 comparison).
+    pub fn linux_2_6_16() -> UtsName {
+        UtsName {
+            sysname: "Linux".to_string(),
+            release: KernelVersion::new(2, 6, 16, 0),
+            machine: "ppc450".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let v = KernelVersion::parse("2.6.19.2").unwrap();
+        assert_eq!(v, KernelVersion::CNK_ADVERTISED);
+        assert_eq!(v.to_string(), "2.6.19.2");
+        assert_eq!(
+            KernelVersion::parse("2.6.16").unwrap().to_string(),
+            "2.6.16"
+        );
+        assert!(KernelVersion::parse("2.6").is_none());
+        assert!(KernelVersion::parse("2.6.19.2.1").is_none());
+        assert!(KernelVersion::parse("a.b.c").is_none());
+    }
+
+    #[test]
+    fn cnk_version_satisfies_nptl() {
+        assert!(KernelVersion::CNK_ADVERTISED >= KernelVersion::NPTL_MINIMUM);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let old = KernelVersion::new(2, 4, 37, 0);
+        let new = KernelVersion::new(2, 6, 0, 0);
+        assert!(old < new);
+        assert!(KernelVersion::new(2, 6, 19, 2) > KernelVersion::new(2, 6, 19, 0));
+    }
+}

@@ -1,0 +1,112 @@
+//! The mpiBench_Allreduce stability loop (§V.D).
+//!
+//! "The test measured the time to perform a double-sum allreduce on 16
+//! Blue Gene/P nodes over one million iterations. Over this time the test
+//! produced a standard deviation of 0.0007 microseconds. ... A similar
+//! test was performed with Linux ... executing on only 4 Blue Gene/P I/O
+//! nodes over 100,000 iterations ... a standard deviation of 8.9
+//! microseconds."
+
+use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::op::{CommOp, Op};
+
+/// One rank of the allreduce loop. Rank 0 records per-iteration cycles
+/// into `allreduce_us` (all ranks leave the collective at the same cycle,
+/// so one recorder suffices, like mpiBench's root timing).
+pub struct AllreduceLoop {
+    rank: u32,
+    rec: Recorder,
+    remaining: u32,
+    t0: Option<u64>,
+}
+
+impl AllreduceLoop {
+    pub fn new(iters: u32, rank: u32, rec: Recorder) -> AllreduceLoop {
+        AllreduceLoop {
+            rank,
+            rec,
+            remaining: iters,
+            t0: None,
+        }
+    }
+}
+
+impl Workload for AllreduceLoop {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        if let Some(t0) = self.t0.take() {
+            if self.rank == 0 {
+                self.rec.record("allreduce_cycles", (env.now() - t0) as f64);
+            }
+            self.remaining -= 1;
+        }
+        if self.remaining == 0 {
+            return Op::End;
+        }
+        self.t0 = Some(env.now());
+        Op::Comm(CommOp::Allreduce { bytes: 8 })
+    }
+
+    fn label(&self) -> &str {
+        "allreduce-loop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::machine::Machine;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use dcmf::Dcmf;
+    use fwk::Fwk;
+    use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+    fn stddev_us(kernel: Box<dyn bgsim::Kernel>, nodes: u32, iters: u32, seed: u64) -> f64 {
+        let mut m = Machine::new(
+            MachineConfig::nodes(nodes).with_seed(seed),
+            kernel,
+            Box::new(Dcmf::with_defaults()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("mpibench"), nodes, NodeMode::Smp),
+            &mut move |r: Rank| {
+                Box::new(AllreduceLoop::new(iters, r.0, rec2.clone())) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        assert!(m.run().completed());
+        let s = rec.series("allreduce_cycles");
+        assert_eq!(s.len(), iters as usize);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / s.len() as f64;
+        var.sqrt() / 850.0 // cycles → us
+    }
+
+    #[test]
+    fn cnk_allreduce_stddev_effectively_zero() {
+        let sd = stddev_us(Box::new(Cnk::with_defaults()), 16, 400, 3);
+        // Paper: 0.0007 us (effectively 0).
+        assert!(sd < 0.01, "CNK allreduce stddev {sd} us");
+    }
+
+    #[test]
+    fn fwk_allreduce_stddev_is_microseconds() {
+        let sd = stddev_us(Box::new(Fwk::with_defaults()), 4, 2_000, 4);
+        // Paper: 8.9 us on 4 Linux nodes. Order of magnitude: > 1 us.
+        assert!(sd > 1.0, "FWK allreduce stddev {sd} us suspiciously low");
+        assert!(sd < 40.0, "FWK allreduce stddev {sd} us implausibly high");
+    }
+
+    #[test]
+    fn cnk_much_stabler_than_fwk() {
+        let cnk = stddev_us(Box::new(Cnk::with_defaults()), 4, 1_000, 5);
+        let fwk = stddev_us(Box::new(Fwk::with_defaults()), 4, 1_000, 5);
+        assert!(
+            fwk > cnk * 100.0,
+            "stability gap too small: cnk={cnk} fwk={fwk}"
+        );
+    }
+}

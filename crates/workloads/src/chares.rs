@@ -1,0 +1,276 @@
+//! User-mode threading over CNK's fixed thread model (§VII.B).
+//!
+//! "Some applications overcommit threads to cores for load balancing
+//! purposes, and the CNK threading model does not allow that, though
+//! Charm++ accomplishes this with a user-mode threading library."
+//!
+//! A [`CharesScheduler`] multiplexes many cooperative tasks ("chares")
+//! over one kernel thread: the kernel sees a single pthread issuing ops,
+//! while internally work migrates between unequal task queues — the
+//! load-balancing effect overcommit would have bought, without asking
+//! the kernel for more threads than cores.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::op::Op;
+
+/// One cooperative task: a list of work quanta (cycle costs).
+#[derive(Clone, Debug)]
+pub struct Chare {
+    pub id: u32,
+    pub quanta: VecDeque<u64>,
+}
+
+impl Chare {
+    pub fn new(id: u32, quanta: Vec<u64>) -> Chare {
+        Chare {
+            id,
+            quanta: quanta.into(),
+        }
+    }
+}
+
+/// A round-robin user-mode scheduler running chares on one kernel
+/// thread. Records each chare's completion cycle into
+/// `chare_done_{core}` (value = chare id) and `chare_done_at_{core}`.
+pub struct CharesScheduler {
+    run_q: VecDeque<Chare>,
+    rec: Recorder,
+    core_label: u32,
+    /// Ops issued (one per quantum) — the kernel-visible activity.
+    pub ops_issued: u64,
+}
+
+impl CharesScheduler {
+    pub fn new(chares: Vec<Chare>, core_label: u32, rec: Recorder) -> CharesScheduler {
+        CharesScheduler {
+            run_q: chares.into(),
+            rec,
+            core_label,
+            ops_issued: 0,
+        }
+    }
+}
+
+impl Workload for CharesScheduler {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        // Cooperative round robin: run the head chare's next quantum,
+        // then rotate. A finished chare retires.
+        while let Some(mut chare) = self.run_q.pop_front() {
+            match chare.quanta.pop_front() {
+                Some(cycles) => {
+                    self.run_q.push_back(chare);
+                    self.ops_issued += 1;
+                    return Op::Compute { cycles };
+                }
+                None => {
+                    self.rec
+                        .record(&format!("chare_done_{}", self.core_label), chare.id as f64);
+                    self.rec.record(
+                        &format!("chare_done_at_{}", self.core_label),
+                        env.now() as f64,
+                    );
+                }
+            }
+        }
+        Op::End
+    }
+
+    fn label(&self) -> &str {
+        "chares"
+    }
+}
+
+/// A work queue shared by several scheduler threads of one process —
+/// the user-mode load balancing Charm++-style runtimes layer over CNK's
+/// fixed thread model (§VII.B). `Rc` is sound because a simulation is
+/// single-threaded; interleaving happens only at op boundaries.
+pub type SharedQueue = Rc<RefCell<VecDeque<Chare>>>;
+
+/// Build a shared queue from a task list.
+pub fn shared_queue(chares: Vec<Chare>) -> SharedQueue {
+    Rc::new(RefCell::new(chares.into()))
+}
+
+/// A worker pthread pulling whole chares from the shared queue until it
+/// is empty. Records its own finish time into `finish_{id}`.
+pub struct QueueWorker {
+    queue: SharedQueue,
+    id: u32,
+    rec: Recorder,
+    current: Option<Chare>,
+}
+
+impl QueueWorker {
+    pub fn new(queue: SharedQueue, id: u32, rec: Recorder) -> QueueWorker {
+        QueueWorker {
+            queue,
+            id,
+            rec,
+            current: None,
+        }
+    }
+}
+
+impl Workload for QueueWorker {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        loop {
+            if self.current.is_none() {
+                self.current = self.queue.borrow_mut().pop_front();
+                if self.current.is_none() {
+                    self.rec
+                        .record(&format!("finish_{}", self.id), env.now() as f64);
+                    return Op::End;
+                }
+            }
+            match self.current.as_mut().unwrap().quanta.pop_front() {
+                Some(cycles) => return Op::Compute { cycles },
+                None => self.current = None,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "queue-worker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::ade::FixedLatencyComm;
+    use bgsim::machine::Machine;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+    #[test]
+    fn many_chares_on_one_kernel_thread() {
+        // 16 unequal tasks on a single core — the overcommit CNK's
+        // kernel refuses, done in user mode instead.
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(21),
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("charm"), 1, NodeMode::Smp),
+            &mut move |_r: Rank| {
+                let chares: Vec<Chare> = (0..16)
+                    .map(|i| Chare::new(i, vec![1_000 + 500 * i as u64; 3 + (i % 5) as usize]))
+                    .collect();
+                Box::new(CharesScheduler::new(chares, 0, rec2.clone())) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        // All 16 retired, on one kernel thread.
+        assert_eq!(rec.len("chare_done_0"), 16);
+        assert_eq!(m.sc.threads.len(), 1, "no kernel-level overcommit used");
+        // Round robin interleaves: short chares retire before the
+        // longest one finishes (load balancing, not FIFO).
+        let done_ids = rec.series("chare_done_0");
+        assert_ne!(done_ids[0], 15.0, "longest chare must not finish first");
+    }
+
+    #[test]
+    fn shared_queue_balances_unequal_tasks() {
+        // 16 tasks with cost ∝ (i+1), pulled by 4 workers: makespan near
+        // total/4 rather than the worst static partition.
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(23),
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("charm"), 1, NodeMode::Smp),
+            &mut move |_r: Rank| {
+                // Main thread: spawn 3 queue workers and become one.
+                let rec = rec2.clone();
+                let chares: Vec<Chare> = (0..16)
+                    .map(|i| Chare::new(i, vec![100_000 * (i as u64 + 1)]))
+                    .collect();
+                let q = shared_queue(chares);
+                let mut creates: Vec<crate::nptl::PthreadCreate> = (1..4)
+                    .map(|id| {
+                        crate::nptl::PthreadCreate::new(
+                            Box::new(QueueWorker::new(q.clone(), id, rec.clone())),
+                            Some(id),
+                        )
+                    })
+                    .collect();
+                let mut me: Option<QueueWorker> = None;
+                let q2 = q.clone();
+                bgsim::script::wl(move |env| {
+                    if me.is_none() {
+                        while let Some(c) = creates.first_mut() {
+                            if let Some(op) = c.step(env) {
+                                return op;
+                            }
+                            creates.remove(0);
+                        }
+                        me = Some(QueueWorker::new(q2.clone(), 0, rec.clone()));
+                    }
+                    me.as_mut().unwrap().next(env)
+                }) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        assert!(m.run().completed());
+        let finishes: Vec<f64> = (0..4)
+            .map(|i| rec.series(&format!("finish_{i}"))[0])
+            .collect();
+        let total: f64 = (1..=16).map(|i| 100_000.0 * i as f64).sum();
+        let ideal = total / 4.0;
+        let makespan = finishes.iter().cloned().fold(0.0f64, f64::max);
+        // Within 25% of the ideal balanced makespan (the largest single
+        // task is 1.6M of a 4.25M ideal, so perfect balance is
+        // impossible, but static contiguous partitioning would be ~55%
+        // over).
+        assert!(
+            makespan < ideal * 1.35,
+            "poor balance: makespan {makespan} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        // Equal chares finish in id order (round robin), and the spread
+        // of completion times is one quantum, not one whole chare.
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(22),
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("charm"), 1, NodeMode::Smp),
+            &mut move |_r: Rank| {
+                let chares: Vec<Chare> = (0..4).map(|i| Chare::new(i, vec![10_000; 8])).collect();
+                Box::new(CharesScheduler::new(chares, 0, rec2.clone())) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        assert!(m.run().completed());
+        let ids = rec.series("chare_done_0");
+        assert_eq!(ids, vec![0.0, 1.0, 2.0, 3.0]);
+        let ats = rec.series("chare_done_at_0");
+        // Adjacent completions differ by ~one quantum (10k + jitter),
+        // not by a whole chare (80k).
+        for w in ats.windows(2) {
+            assert!(w[1] - w[0] < 20_000.0, "uneven retirement: {ats:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! A Python/UMT-style dynamically linked application startup (§IV.B.2).
+//!
+//! "On BG/P we support Python. ... ld.so needed to statically load at a
+//! fixed virtual address ... and ld.so needed MAP_COPY support from the
+//! mmap() system call. ... a mapped file would always load the full
+//! library into memory ... this OS noise is contained in application
+//! startup or use of dlopen."
+//!
+//! The workload performs the ld.so sequence for each library: open,
+//! fstat (size), mmap with MAP_COPY (full copy-in on CNK), close — then
+//! runs a compute phase that *writes into library text*, which CNK
+//! permits (§IV.B.2's conscious decision not to honor page permissions)
+//! and a protection-enforcing kernel refuses.
+
+use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::op::Op;
+use sysabi::{DynLib, Fd, MapFlags, OpenFlags, Prot, SysReq, SysRet};
+
+/// Outcome summary of the dynamic-link startup, recorded per rank.
+pub struct DynlinkApp {
+    libs: Vec<DynLib>,
+    rec: Recorder,
+    state: u8,
+    lib_idx: usize,
+    fd: Fd,
+    lib_size: u64,
+    mapped_at: Vec<u64>,
+    t0: Option<u64>,
+    /// Try writing into mapped text at the end (the CNK-vs-Linux
+    /// protection contrast).
+    pub poke_text: bool,
+}
+
+impl DynlinkApp {
+    pub fn new(libs: Vec<DynLib>, rec: Recorder) -> DynlinkApp {
+        DynlinkApp {
+            libs,
+            rec,
+            state: 0,
+            lib_idx: 0,
+            fd: Fd(-1),
+            lib_size: 0,
+            mapped_at: Vec::new(),
+            t0: None,
+            poke_text: false,
+        }
+    }
+}
+
+impl Workload for DynlinkApp {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        loop {
+            match self.state {
+                // dlopen loop over libraries.
+                0 => {
+                    if self.t0.is_none() {
+                        self.t0 = Some(env.now());
+                    }
+                    if self.lib_idx >= self.libs.len() {
+                        // Startup complete: record the dlopen phase cost
+                        // ("noise contained in application startup").
+                        self.rec
+                            .record("dlopen_cycles", (env.now() - self.t0.unwrap()) as f64);
+                        self.state = 10;
+                        continue;
+                    }
+                    self.state = 1;
+                    return Op::Syscall(SysReq::Open {
+                        path: format!("/lib/{}", self.libs[self.lib_idx].name),
+                        flags: OpenFlags::RDONLY,
+                        mode: 0,
+                    });
+                }
+                1 => {
+                    let ret = env.take_ret().expect("open");
+                    self.fd = Fd(ret.val() as i32);
+                    self.state = 2;
+                    return Op::Syscall(SysReq::Fstat { fd: self.fd });
+                }
+                2 => {
+                    let ret = env.take_ret().expect("fstat");
+                    let SysRet::Stat(st) = ret else {
+                        panic!("fstat: {ret:?}")
+                    };
+                    self.lib_size = st.size;
+                    self.state = 3;
+                    // The MAP_COPY mapping (read+exec text).
+                    return Op::Syscall(SysReq::Mmap {
+                        addr: 0,
+                        len: self.lib_size,
+                        prot: Prot::READ | Prot::EXEC,
+                        flags: MapFlags::COPY,
+                        fd: Some(self.fd),
+                        offset: 0,
+                    });
+                }
+                3 => {
+                    let ret = env.take_ret().expect("mmap");
+                    match ret {
+                        SysRet::Val(a) => self.mapped_at.push(a as u64),
+                        SysRet::Err(e) => panic!("mmap of lib failed: {e}"),
+                        other => panic!("mmap: {other:?}"),
+                    }
+                    self.state = 4;
+                    return Op::Syscall(SysReq::Close { fd: self.fd });
+                }
+                4 => {
+                    let _ = env.take_ret();
+                    self.lib_idx += 1;
+                    self.state = 0;
+                }
+                // Compute phase (the Python-driven physics kernel).
+                10 => {
+                    self.state = if self.poke_text { 11 } else { 12 };
+                    return Op::Flops { flops: 1 << 22 };
+                }
+                // Optionally scribble on library text.
+                11 => {
+                    self.state = 12;
+                    let addr = self.mapped_at[0] + 128;
+                    return Op::MemTouch {
+                        vaddr: addr,
+                        bytes: 8,
+                        write: true,
+                    };
+                }
+                _ => {
+                    self.rec.record("dynlink_done", env.now() as f64);
+                    return Op::End;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "dynlink-app"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::ade::FixedLatencyComm;
+    use bgsim::machine::Machine;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use sysabi::{AppImage, JobSpec, NodeMode, Rank, Tid};
+
+    fn run(poke_text: bool) -> (Machine, Recorder) {
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(77),
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        let image = AppImage::umt_like();
+        let libs = image.dynlibs.clone();
+        m.launch(
+            &JobSpec::new(image, 1, NodeMode::Smp),
+            &mut move |_r: Rank| {
+                let mut app = DynlinkApp::new(libs.clone(), rec2.clone());
+                app.poke_text = poke_text;
+                Box::new(app) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        m.run();
+        (m, rec)
+    }
+
+    #[test]
+    fn umt_startup_loads_all_libs_on_cnk() {
+        let (m, rec) = run(false);
+        assert_eq!(rec.len("dynlink_done"), 1, "app did not finish");
+        assert!(rec.series("dlopen_cycles")[0] > 0.0);
+        assert_eq!(m.sc.thread(Tid(0)).exit_code, Some(0));
+    }
+
+    #[test]
+    fn cnk_permits_writes_to_library_text() {
+        // §IV.B.2: "applications could therefore unintentionally modify
+        // their text or read-only data. This was a conscious design
+        // decision."
+        let (m, rec) = run(true);
+        assert_eq!(rec.len("dynlink_done"), 1);
+        assert_eq!(m.sc.thread(Tid(0)).exit_code, Some(0), "CNK must not fault");
+    }
+}

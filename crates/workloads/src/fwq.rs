@@ -1,0 +1,284 @@
+//! The FWQ (Fixed Work Quanta) noise benchmark (§V.A, Figs. 5-7).
+//!
+//! "This is a single node benchmark ... that measures a fixed loop of
+//! work that, without noise, should take the same time to execute for
+//! each iteration. The configuration we used for CNK included 12,000
+//! timed samples of a DAXPY ... on a 256 element vector that fits in L1
+//! cache. The DAXPY operation was repeated 256 times to provide work that
+//! consumes approximately 0.0008 seconds (658K cycles) for each sample
+//! ... performed in parallel by a thread on each of the four cores."
+//!
+//! The main thread initializes NPTL, spawns one worker pthread per extra
+//! core, runs the sampling loop itself on core 0, then joins.
+
+use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::op::Op;
+
+use crate::nptl::{NptlInit, PthreadCreate, PthreadJoin};
+
+/// FWQ parameters (defaults = the paper's configuration).
+#[derive(Clone, Copy, Debug)]
+pub struct FwqConfig {
+    pub samples: u32,
+    pub vector_len: u64,
+    pub reps: u64,
+}
+
+impl Default for FwqConfig {
+    fn default() -> Self {
+        FwqConfig {
+            samples: 12_000,
+            vector_len: 256,
+            reps: 256,
+        }
+    }
+}
+
+impl FwqConfig {
+    /// A shortened run for tests.
+    pub fn quick(samples: u32) -> FwqConfig {
+        FwqConfig {
+            samples,
+            ..FwqConfig::default()
+        }
+    }
+}
+
+/// The per-core sampling loop: issues `samples` DAXPY quanta and records
+/// each duration (in cycles) into series `fwq_core{N}`.
+pub struct FwqSampler {
+    cfg: FwqConfig,
+    rec: Recorder,
+    series: String,
+    remaining: u32,
+    last_start: Option<u64>,
+}
+
+impl FwqSampler {
+    pub fn new(cfg: FwqConfig, rec: Recorder, core: u32) -> FwqSampler {
+        FwqSampler {
+            cfg,
+            rec,
+            series: format!("fwq_core{core}"),
+            remaining: cfg.samples,
+            last_start: None,
+        }
+    }
+
+    fn sample_op(&self) -> Op {
+        Op::Daxpy {
+            n: self.cfg.vector_len,
+            reps: self.cfg.reps,
+        }
+    }
+
+    /// Drive the loop; `None` when all samples are recorded.
+    pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
+        if let Some(t0) = self.last_start.take() {
+            self.rec.record(&self.series, (env.now() - t0) as f64);
+            self.remaining -= 1;
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        self.last_start = Some(env.now());
+        Some(self.sample_op())
+    }
+}
+
+impl Workload for FwqSampler {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        match self.step(env) {
+            Some(op) => op,
+            None => Op::End,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "fwq-worker"
+    }
+}
+
+/// The FWQ main thread: NPTL init, spawn workers on cores 1..cores,
+/// sample on core 0, join.
+pub struct FwqMain {
+    cfg: FwqConfig,
+    rec: Recorder,
+    cores: u32,
+    state: State,
+    init: NptlInit,
+    create: Option<PthreadCreate>,
+    created: Vec<(u32, u64)>,
+    join: Option<PthreadJoin>,
+    sampler: Option<FwqSampler>,
+    next_worker: u32,
+}
+
+enum State {
+    Init,
+    Spawning,
+    Sampling,
+    Joining,
+    Done,
+}
+
+impl FwqMain {
+    pub fn new(cfg: FwqConfig, rec: Recorder, cores: u32) -> FwqMain {
+        FwqMain {
+            cfg,
+            rec,
+            cores,
+            state: State::Init,
+            init: NptlInit::new(),
+            create: None,
+            created: Vec::new(),
+            join: None,
+            sampler: None,
+            next_worker: 1,
+        }
+    }
+}
+
+impl Workload for FwqMain {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        loop {
+            match self.state {
+                State::Init => {
+                    if let Some(op) = self.init.step(env) {
+                        return op;
+                    }
+                    self.state = State::Spawning;
+                }
+                State::Spawning => {
+                    if self.create.is_none() {
+                        if self.next_worker >= self.cores {
+                            self.sampler = Some(FwqSampler::new(self.cfg, self.rec.clone(), 0));
+                            self.state = State::Sampling;
+                            continue;
+                        }
+                        let core = self.next_worker;
+                        self.next_worker += 1;
+                        self.create = Some(PthreadCreate::new(
+                            Box::new(FwqSampler::new(self.cfg, self.rec.clone(), core)),
+                            Some(core),
+                        ));
+                    }
+                    if let Some(op) = self.create.as_mut().unwrap().step(env) {
+                        return op;
+                    }
+                    let done = self.create.take().unwrap();
+                    let (tid, word) = done
+                        .created
+                        .unwrap_or_else(|| panic!("pthread_create failed: {:?}", done.error));
+                    self.created.push((tid, word));
+                }
+                State::Sampling => {
+                    if let Some(op) = self.sampler.as_mut().unwrap().step(env) {
+                        return op;
+                    }
+                    self.state = State::Joining;
+                }
+                State::Joining => {
+                    if self.join.is_none() {
+                        match self.created.pop() {
+                            Some((tid, word)) => self.join = Some(PthreadJoin::new(tid, word)),
+                            None => {
+                                self.state = State::Done;
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(op) = self.join.as_mut().unwrap().step(env) {
+                        return op;
+                    }
+                    self.join = None;
+                }
+                State::Done => return Op::End,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "fwq-main"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::ade::FixedLatencyComm;
+    use bgsim::machine::Machine;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use fwk::{Fwk, FwkConfig};
+    use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+    fn run_fwq(kernel: Box<dyn bgsim::Kernel>, samples: u32, seed: u64) -> Recorder {
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(seed),
+            kernel,
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("fwq"), 1, NodeMode::Smp),
+            &mut move |_r: Rank| {
+                Box::new(FwqMain::new(FwqConfig::quick(samples), rec2.clone(), 4))
+                    as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        rec
+    }
+
+    #[test]
+    fn cnk_fwq_is_low_noise() {
+        let rec = run_fwq(Box::new(Cnk::with_defaults()), 300, 1);
+        for core in 0..4 {
+            let s = rec.series(&format!("fwq_core{core}"));
+            assert_eq!(s.len(), 300, "core {core} sample count");
+            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = s.iter().cloned().fold(0.0f64, f64::max);
+            assert_eq!(min, 658_958.0, "core {core}: the paper's exact minimum");
+            // §V.A: "The maximum variation is less than 0.006%."
+            assert!(
+                (max - min) / min < 0.00006,
+                "core {core}: variation {} too high",
+                (max - min) / min
+            );
+        }
+    }
+
+    #[test]
+    fn fwk_fwq_is_noisy_with_same_minimum() {
+        let rec = run_fwq(Box::new(Fwk::new(FwkConfig::default())), 2_000, 2);
+        let mut any_large_spike = false;
+        for core in 0..4 {
+            let s = rec.series(&format!("fwq_core{core}"));
+            assert_eq!(s.len(), 2_000);
+            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = s.iter().cloned().fold(0.0f64, f64::max);
+            // "The minimum time on any core for any iteration was 658,958
+            // processor cycles. This value was achieved both on Linux and
+            // on CNK."
+            assert_eq!(min, 658_958.0, "core {core} minimum");
+            if max - min > 20_000.0 {
+                any_large_spike = true;
+            }
+        }
+        assert!(any_large_spike, "Linux run shows no daemon spikes");
+    }
+
+    #[test]
+    fn fwq_deterministic_per_seed() {
+        let a = run_fwq(Box::new(Fwk::new(FwkConfig::default())), 200, 7);
+        let b = run_fwq(Box::new(Fwk::new(FwkConfig::default())), 200, 7);
+        assert_eq!(a.series("fwq_core0"), b.series("fwq_core0"));
+        let c = run_fwq(Box::new(Fwk::new(FwkConfig::default())), 200, 8);
+        assert_ne!(a.series("fwq_core0"), c.series("fwq_core0"));
+    }
+}

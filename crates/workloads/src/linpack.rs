@@ -1,0 +1,190 @@
+//! A blocked-LU LINPACK-like workload (§V.D).
+//!
+//! "To demonstrate performance stability we ran 36 runs of LINPACK on
+//! Blue Gene/P racks. ... The execution time varied from 16080.89 seconds
+//! to 16083.00 seconds, for a maximum variation of 2.11 seconds (.01%)."
+//!
+//! The workload follows HPL's structure at op granularity: for each of
+//! `nb` column-panel steps, the owning rank factors the panel, broadcasts
+//! it (modeled with the collective network), and everyone updates its
+//! trailing submatrix with a DGEMM-shaped `Flops` op. Total flop count is
+//! (2/3)·N³, split over steps with the shrinking-trailing-matrix profile
+//! of real LU.
+
+use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::op::{CommOp, Op};
+
+/// LINPACK parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinpackConfig {
+    /// Global matrix dimension.
+    pub n: u64,
+    /// Number of panel steps (blocking factor = n / nb).
+    pub nb: u32,
+    /// Participating ranks.
+    pub ranks: u32,
+}
+
+impl LinpackConfig {
+    /// A small problem that still runs hundreds of steps.
+    pub fn small(ranks: u32) -> LinpackConfig {
+        LinpackConfig {
+            n: 4096,
+            nb: 128,
+            ranks,
+        }
+    }
+
+    /// Total useful flops: (2/3)·N³ (+ lower-order terms ignored).
+    pub fn total_flops(&self) -> u64 {
+        2 * self.n * self.n * self.n / 3
+    }
+
+    /// Flops of step `k` (trailing-matrix update shrinks cubically).
+    fn step_flops(&self, k: u32) -> u64 {
+        let nb = self.nb as u64;
+        let k = k as u64;
+        // Σ over steps of ((nb-k)/nb)² weights, normalized to total.
+        let w = (nb - k) * (nb - k);
+        let norm: u64 = (1..=nb).map(|i| i * i).sum();
+        self.total_flops() * w / norm
+    }
+
+    /// Flops rank `r` performs in step `k` (block-cyclic split).
+    pub fn rank_step_flops(&self, _r: u32, k: u32) -> u64 {
+        (self.step_flops(k) / self.ranks as u64).max(1)
+    }
+}
+
+/// One rank of the LINPACK run. Records the run's total cycles into
+/// series `linpack_rank{r}` at completion.
+pub struct LinpackRank {
+    cfg: LinpackConfig,
+    rank: u32,
+    rec: Recorder,
+    step: u32,
+    phase: u8,
+    t0: Option<u64>,
+}
+
+impl LinpackRank {
+    pub fn new(cfg: LinpackConfig, rank: u32, rec: Recorder) -> LinpackRank {
+        LinpackRank {
+            cfg,
+            rank,
+            rec,
+            step: 0,
+            phase: 0,
+            t0: None,
+        }
+    }
+}
+
+impl Workload for LinpackRank {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        if self.t0.is_none() {
+            self.t0 = Some(env.now());
+        }
+        if self.step >= self.cfg.nb {
+            let t0 = self.t0.unwrap();
+            self.rec.record(
+                &format!("linpack_rank{}", self.rank),
+                (env.now() - t0) as f64,
+            );
+            return Op::End;
+        }
+        match self.phase {
+            // Panel broadcast + pivot exchange: a small allreduce
+            // stands in for the row swaps and panel broadcast.
+            0 => {
+                self.phase = 1;
+                Op::Comm(CommOp::Allreduce {
+                    bytes: 8 * self.cfg.nb as u64,
+                })
+            }
+            // Trailing update: the DGEMM bulk.
+            1 => {
+                self.phase = 2;
+                let f = self.cfg.rank_step_flops(self.rank, self.step);
+                Op::Flops { flops: f }
+            }
+            // Step barrier (HPL's look-ahead synchronization point).
+            _ => {
+                self.phase = 0;
+                self.step += 1;
+                Op::Comm(CommOp::Barrier)
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "linpack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::machine::Machine;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use dcmf::Dcmf;
+    use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+    fn run(seed: u64, cfg: LinpackConfig, nodes: u32) -> f64 {
+        let mut m = Machine::new(
+            MachineConfig::nodes(nodes).with_seed(seed),
+            Box::new(Cnk::with_defaults()),
+            Box::new(Dcmf::with_defaults()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("hpl"), nodes, NodeMode::Smp),
+            &mut move |r: Rank| {
+                Box::new(LinpackRank::new(cfg, r.0, rec2.clone())) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        rec.series("linpack_rank0")[0]
+    }
+
+    #[test]
+    fn flop_accounting_sums_to_total() {
+        let cfg = LinpackConfig::small(4);
+        let sum: u64 = (0..cfg.nb)
+            .map(|k| cfg.rank_step_flops(0, k) * cfg.ranks as u64)
+            .sum();
+        let total = cfg.total_flops();
+        let err = (sum as f64 - total as f64).abs() / total as f64;
+        assert!(err < 0.01, "flops {sum} vs {total}");
+    }
+
+    #[test]
+    fn steps_shrink() {
+        let cfg = LinpackConfig::small(4);
+        assert!(cfg.rank_step_flops(0, 0) > cfg.rank_step_flops(0, cfg.nb - 1) * 100);
+    }
+
+    #[test]
+    fn runs_to_completion_on_cnk_and_is_stable() {
+        let cfg = LinpackConfig {
+            n: 1024,
+            nb: 32,
+            ranks: 4,
+        };
+        let times: Vec<f64> = (0..5).map(|s| run(1000 + s, cfg, 4)).collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        // §V.D: 0.01% variation band on CNK (allow a little slack on a
+        // short run).
+        assert!(
+            (max - min) / min < 0.001,
+            "CNK LINPACK variation {} too high ({times:?})",
+            (max - min) / min
+        );
+    }
+}

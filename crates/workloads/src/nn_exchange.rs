@@ -1,0 +1,183 @@
+//! The near-neighbor rendezvous exchange of Fig. 8.
+//!
+//! "Fig. 8. Throughput of rendezvous protocol for near-neighbor exchange
+//! ... DCMF achieving maximum bandwidth by utilizing large physically
+//! contiguous memory." Every node exchanges a message of the sweep size
+//! with each of its (up to six) torus neighbors; the DMA engine drives
+//! all links concurrently, so aggregate throughput approaches the summed
+//! link bandwidth for large messages while handshake latency dominates
+//! small ones.
+
+use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
+use sysabi::Rank;
+
+/// One rank of the exchange. Records, on rank 0, the exchange duration
+/// in cycles into series `nn_cycles_{bytes}`.
+pub struct NnExchange {
+    rank: Rank,
+    neighbors: Vec<Rank>,
+    bytes: u64,
+    rec: Recorder,
+    state: u8,
+    sent: usize,
+    received: usize,
+    t0: u64,
+}
+
+impl NnExchange {
+    /// `neighbors` must be the torus neighbors of this rank's node (one
+    /// rank per node in SMP mode, so rank id == node id).
+    pub fn new(rank: Rank, neighbors: Vec<Rank>, bytes: u64, rec: Recorder) -> NnExchange {
+        NnExchange {
+            rank,
+            neighbors,
+            bytes,
+            rec,
+            state: 0,
+            sent: 0,
+            received: 0,
+            t0: 0,
+        }
+    }
+}
+
+impl Workload for NnExchange {
+    fn next(&mut self, env: &mut WlEnv<'_>) -> Op {
+        loop {
+            match self.state {
+                // Entry barrier: synchronized start.
+                0 => {
+                    self.state = 1;
+                    return Op::Comm(CommOp::Barrier);
+                }
+                1 => {
+                    self.t0 = env.now();
+                    self.state = 2;
+                }
+                // Sends to all neighbors (rendezvous, as in the figure).
+                2 => {
+                    if self.sent < self.neighbors.len() {
+                        let to = self.neighbors[self.sent];
+                        self.sent += 1;
+                        return Op::Comm(CommOp::Send {
+                            to,
+                            bytes: self.bytes,
+                            tag: 88,
+                            proto: Protocol::Rendezvous,
+                            layer: ApiLayer::Dcmf,
+                        });
+                    }
+                    self.state = 3;
+                }
+                // Receives from all neighbors.
+                3 => {
+                    if self.received < self.neighbors.len() {
+                        let from = self.neighbors[self.received];
+                        self.received += 1;
+                        return Op::Comm(CommOp::Recv {
+                            from: Some(from),
+                            tag: 88,
+                            layer: ApiLayer::Dcmf,
+                        });
+                    }
+                    self.state = 4;
+                    return Op::Comm(CommOp::Barrier);
+                }
+                // Exit barrier reached: everyone's exchange is complete.
+                _ => {
+                    if self.rank.0 == 0 {
+                        self.rec.record(
+                            &format!("nn_cycles_{}", self.bytes),
+                            (env.now() - self.t0) as f64,
+                        );
+                    }
+                    return Op::End;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "nn-exchange"
+    }
+}
+
+/// Aggregate per-node throughput in MB/s for an exchange of `bytes` per
+/// neighbor taking `cycles` (send+receive with `neighbors` neighbors;
+/// each node moves `2 · neighbors · bytes` through its links).
+pub fn throughput_mbs(bytes: u64, neighbors: usize, cycles: f64) -> f64 {
+    let total_bytes = (2 * neighbors as u64 * bytes) as f64;
+    total_bytes / (cycles / 850e6) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::machine::Machine;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use dcmf::Dcmf;
+    use sysabi::{AppImage, JobSpec, NodeId, NodeMode};
+
+    fn run_exchange(bytes: u64, nodes: u32) -> (f64, usize) {
+        let cfg = MachineConfig::nodes(nodes).with_seed(9);
+        let torus = bgsim::torus::Torus::new(&cfg);
+        let nb0 = torus.neighbors(NodeId(0)).len();
+        let mut m = Machine::new(
+            cfg,
+            Box::new(Cnk::with_defaults()),
+            Box::new(Dcmf::with_defaults()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("nn"), nodes, NodeMode::Smp),
+            &mut move |r: Rank| {
+                let cfg = MachineConfig::nodes(nodes);
+                let torus = bgsim::torus::Torus::new(&cfg);
+                let neighbors: Vec<Rank> = torus
+                    .neighbors(NodeId(r.0))
+                    .into_iter()
+                    .map(|n| Rank(n.0))
+                    .collect();
+                Box::new(NnExchange::new(r, neighbors, bytes, rec2.clone())) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        (rec.series(&format!("nn_cycles_{bytes}"))[0], nb0)
+    }
+
+    #[test]
+    fn exchange_completes_on_8_nodes() {
+        let (cycles, _) = run_exchange(4096, 8);
+        assert!(cycles > 0.0);
+    }
+
+    #[test]
+    fn throughput_rises_with_message_size() {
+        let (c_small, nb) = run_exchange(512, 8);
+        let (c_big, _) = run_exchange(1 << 20, 8);
+        let bw_small = throughput_mbs(512, nb, c_small);
+        let bw_big = throughput_mbs(1 << 20, nb, c_big);
+        assert!(
+            bw_big > bw_small * 4.0,
+            "no saturation shape: small {bw_small} MB/s, big {bw_big} MB/s"
+        );
+    }
+
+    #[test]
+    fn large_messages_approach_link_bandwidth() {
+        // 2x2x2 torus: 3 distinct neighbors; bidirectional exchange
+        // keeps each link busy both ways. Aggregate should approach
+        // 2 · 3 · 425 MB/s ≈ 2.5 GB/s per node (payload-rate ~94%).
+        let (cycles, nb) = run_exchange(4 << 20, 8);
+        let bw = throughput_mbs(4 << 20, nb, cycles);
+        let peak = 2.0 * nb as f64 * 425.0;
+        assert!(bw > peak * 0.75, "bw {bw} MB/s vs peak {peak}");
+        assert!(bw <= peak * 1.01, "bw {bw} exceeds hardware peak {peak}");
+    }
+}

@@ -1,0 +1,502 @@
+//! Futex-based pthread synchronization, as NPTL builds it (§IV.B.1:
+//! "For atomic operations, such as pthread_mutex, a full implementation
+//! of futex was needed").
+//!
+//! These are the real glibc algorithms at op granularity:
+//!
+//! * the 3-state mutex (0 unlocked / 1 locked / 2 locked-with-waiters)
+//!   with a syscall-free fast path;
+//! * the condition variable using a sequence word and
+//!   FUTEX_CMP_REQUEUE for broadcast (waiters move to the mutex queue
+//!   instead of thundering);
+//! * a pthread barrier composed from the two.
+//!
+//! All are resumable state machines driven from a workload's `next()`.
+//! Word reads/writes go through the data plane, which is atomic with
+//! respect to other threads because ops are the interleaving points.
+
+use bgsim::machine::WlEnv;
+use bgsim::op::Op;
+use sysabi::{FutexOp, SysReq, SysRet};
+
+fn futex(uaddr: u64, op: FutexOp) -> Op {
+    Op::Syscall(SysReq::Futex { uaddr, op })
+}
+
+/// pthread_mutex_lock on the 32-bit word at `addr`.
+pub struct MutexLock {
+    addr: u64,
+    state: u8,
+    /// The value written on acquisition: 1 for a plain lock, 2 for the
+    /// "acquire in contended mode" variant glibc's cond_wait uses to
+    /// reacquire after a requeue (other waiters may still be parked on
+    /// the mutex queue, so the next unlock must wake).
+    acquire_val: u32,
+}
+
+impl MutexLock {
+    pub fn new(addr: u64) -> MutexLock {
+        MutexLock {
+            addr,
+            state: 0,
+            acquire_val: 1,
+        }
+    }
+
+    /// glibc's `__pthread_mutex_cond_lock`: always acquires contended.
+    pub fn waiter(addr: u64) -> MutexLock {
+        MutexLock {
+            addr,
+            state: 0,
+            acquire_val: 2,
+        }
+    }
+
+    /// Drive; `None` = lock acquired.
+    pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
+        if self.state == 0 {
+            let v = env.mem_read_u32(self.addr).expect("mutex word unmapped");
+            if v == 0 {
+                // Fast path: uncontended, no syscall (the whole point of
+                // futexes).
+                env.mem_write_u32(self.addr, self.acquire_val);
+                return None;
+            }
+            // Contended: advertise a waiter and sleep.
+            env.mem_write_u32(self.addr, 2);
+            self.state = 1;
+            return Some(futex(self.addr, FutexOp::Wait { expected: 2 }));
+        }
+        // Woken (or the value changed under us: EAGAIN).
+        let ret = env.take_ret().expect("futex returned nothing");
+        match ret {
+            SysRet::Val(_) | SysRet::Err(sysabi::Errno::EAGAIN) => {
+                let v = env.mem_read_u32(self.addr).unwrap();
+                if v == 0 {
+                    // Acquire as a (possibly former) waiter: conservatively
+                    // mark contended — siblings may still be parked.
+                    env.mem_write_u32(self.addr, 2);
+                    return None;
+                }
+                // Re-mark contention before sleeping again, or the
+                // holder's unlock won't wake us.
+                env.mem_write_u32(self.addr, 2);
+                Some(futex(self.addr, FutexOp::Wait { expected: 2 }))
+            }
+            other => panic!("mutex futex: {other:?}"),
+        }
+    }
+}
+
+/// pthread_mutex_unlock.
+pub struct MutexUnlock {
+    addr: u64,
+    state: u8,
+}
+
+impl MutexUnlock {
+    pub fn new(addr: u64) -> MutexUnlock {
+        MutexUnlock { addr, state: 0 }
+    }
+
+    pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
+        match self.state {
+            0 => {
+                let v = env.mem_read_u32(self.addr).expect("mutex word unmapped");
+                env.mem_write_u32(self.addr, 0);
+                if v == 2 {
+                    // There were (possibly) waiters: wake one.
+                    self.state = 1;
+                    return Some(futex(self.addr, FutexOp::Wake { count: 1 }));
+                }
+                None
+            }
+            _ => {
+                let _ = env.take_ret();
+                None
+            }
+        }
+    }
+}
+
+/// pthread_cond_wait(cond @ `cond`, mutex @ `mutex`).
+pub struct CondWait {
+    cond: u64,
+    state: u8,
+    unlock: MutexUnlock,
+    lock: MutexLock,
+    seq: u32,
+}
+
+impl CondWait {
+    pub fn new(cond: u64, mutex: u64) -> CondWait {
+        let _ = mutex; // kept in the signature for API clarity
+        CondWait {
+            cond,
+            state: 0,
+            unlock: MutexUnlock::new(mutex),
+            // Reacquire in contended mode: requeued siblings may still
+            // be parked on the mutex.
+            lock: MutexLock::waiter(mutex),
+            seq: 0,
+        }
+    }
+
+    pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
+        loop {
+            match self.state {
+                0 => {
+                    // Snapshot the sequence while holding the mutex.
+                    self.seq = env.mem_read_u32(self.cond).expect("cond word unmapped");
+                    self.state = 1;
+                }
+                1 => match self.unlock.step(env) {
+                    Some(op) => return Some(op),
+                    None => self.state = 2,
+                },
+                2 => {
+                    self.state = 3;
+                    return Some(futex(self.cond, FutexOp::Wait { expected: self.seq }));
+                }
+                3 => {
+                    let ret = env.take_ret().expect("cond futex returned nothing");
+                    match ret {
+                        // Woken, requeued-and-woken, or raced with a
+                        // signal (EAGAIN: seq already moved) — either
+                        // way, reacquire the mutex.
+                        SysRet::Val(_) | SysRet::Err(sysabi::Errno::EAGAIN) => {
+                            self.state = 4;
+                        }
+                        other => panic!("cond futex: {other:?}"),
+                    }
+                }
+                _ => return self.lock.step(env),
+            }
+        }
+    }
+}
+
+/// pthread_cond_broadcast: bump the sequence, wake one waiter, requeue
+/// the rest onto the mutex (FUTEX_CMP_REQUEUE — no thundering herd).
+pub struct CondBroadcast {
+    cond: u64,
+    mutex: u64,
+    state: u8,
+}
+
+impl CondBroadcast {
+    pub fn new(cond: u64, mutex: u64) -> CondBroadcast {
+        CondBroadcast {
+            cond,
+            mutex,
+            state: 0,
+        }
+    }
+
+    pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
+        match self.state {
+            0 => {
+                let seq = env.mem_read_u32(self.cond).expect("cond word unmapped");
+                let new = seq.wrapping_add(1);
+                env.mem_write_u32(self.cond, new);
+                // Requeued waiters will sleep on the mutex word; mark it
+                // contended so the (current holder's) unlock wakes them —
+                // without this the wakeup is lost and the barrier hangs.
+                let m = env.mem_read_u32(self.mutex).unwrap_or(0);
+                if m != 0 {
+                    env.mem_write_u32(self.mutex, 2);
+                }
+                self.state = 1;
+                Some(futex(
+                    self.cond,
+                    FutexOp::CmpRequeue {
+                        wake: 1,
+                        requeue: u32::MAX,
+                        target_uaddr: self.mutex,
+                        expected: new,
+                    },
+                ))
+            }
+            _ => {
+                let _ = env.take_ret();
+                None
+            }
+        }
+    }
+}
+
+/// A pthread barrier for `n` threads, built from a mutex, a condvar, and
+/// a counter word (the classic two-word implementation with a generation
+/// sequence to avoid stragglers racing the reset).
+pub struct BarrierWait {
+    count: u64,
+    n: u32,
+    state: u8,
+    lock: MutexLock,
+    unlock: MutexUnlock,
+    wait: CondWait,
+    bcast: CondBroadcast,
+}
+
+impl BarrierWait {
+    /// The three words live at `base`, `base+4`, `base+8`.
+    pub fn new(base: u64, n: u32) -> BarrierWait {
+        BarrierWait {
+            count: base + 8,
+            n,
+            state: 0,
+            lock: MutexLock::new(base),
+            unlock: MutexUnlock::new(base),
+            wait: CondWait::new(base + 4, base),
+            bcast: CondBroadcast::new(base + 4, base),
+        }
+    }
+
+    pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
+        loop {
+            match self.state {
+                0 => match self.lock.step(env) {
+                    Some(op) => return Some(op),
+                    None => self.state = 1,
+                },
+                1 => {
+                    let c = env.mem_read_u32(self.count).expect("count unmapped") + 1;
+                    env.mem_write_u32(self.count, c);
+                    if c == self.n {
+                        // Last arriver: reset and release everyone.
+                        env.mem_write_u32(self.count, 0);
+                        self.state = 2;
+                    } else {
+                        self.state = 4;
+                    }
+                }
+                2 => match self.bcast.step(env) {
+                    Some(op) => return Some(op),
+                    None => self.state = 3,
+                },
+                3 => return self.unlock.step(env),
+                // Waiter path: cond_wait releases and reacquires the
+                // mutex, then we drop it and leave.
+                4 => match self.wait.step(env) {
+                    Some(op) => return Some(op),
+                    None => self.state = 5,
+                },
+                _ => return self.unlock.step(env),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nptl::PthreadCreate;
+    use bgsim::machine::{Machine, Recorder, Workload};
+    use bgsim::script::wl;
+    use bgsim::MachineConfig;
+    use cnk::Cnk;
+    use dcmf::Dcmf;
+    use fwk::Fwk;
+    use sysabi::{AppImage, JobSpec, MapFlags, NodeMode, Prot, Rank};
+
+    /// Shared setup: main thread maps a page for the sync words, spawns
+    /// 3 workers, and everyone runs `iters` rounds of
+    /// lock-increment-unlock plus a barrier, recording round exit times.
+    fn contended_counter(kernel: Box<dyn bgsim::Kernel>, iters: u32) -> (u32, Recorder) {
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(31),
+            kernel,
+            Box::new(Dcmf::with_defaults()),
+        );
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        let final_count = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let fc2 = final_count.clone();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("omp"), 1, NodeMode::Smp),
+            &mut move |_r: Rank| {
+                let rec = rec2.clone();
+                let fc = fc2.clone();
+                let mut step = 0;
+                let mut base = 0u64;
+                let mut creates: Vec<PthreadCreate> = Vec::new();
+                type Body = Box<dyn FnMut(&mut bgsim::WlEnv<'_>) -> Op>;
+                let mut body: Option<Body> = None;
+                wl(move |env| {
+                    if let Some(b) = body.as_mut() {
+                        return b(env);
+                    }
+                    step += 1;
+                    match step {
+                        1 => Op::Syscall(sysabi::SysReq::Mmap {
+                            addr: 0,
+                            len: 64 << 10,
+                            prot: Prot::READ | Prot::WRITE,
+                            flags: MapFlags::PRIVATE | MapFlags::ANONYMOUS,
+                            fd: None,
+                            offset: 0,
+                        }),
+                        2 => {
+                            base = env.take_ret().unwrap().val() as u64;
+                            Op::MemTouch {
+                                vaddr: base,
+                                bytes: 64,
+                                write: true,
+                            }
+                        }
+                        3 => {
+                            // words: mutex@base, cond@+4, count@+8,
+                            // shared counter@+16, barrier trio @+32.
+                            for off in [0u64, 4, 8, 16, 32, 36, 40] {
+                                env.mem_write_u32(base + off, 0);
+                            }
+                            for core in 1..4u32 {
+                                creates.push(PthreadCreate::new(
+                                    worker(base, iters, core, rec.clone()),
+                                    Some(core),
+                                ));
+                            }
+                            Op::Compute { cycles: 1 }
+                        }
+                        _ => {
+                            // Drive pending creates, then become worker 0.
+                            while let Some(c) = creates.first_mut() {
+                                if let Some(op) = c.step(env) {
+                                    return op;
+                                }
+                                let done = creates.remove(0);
+                                assert!(done.created.is_some(), "{:?}", done.error);
+                            }
+                            let fc = fc.clone();
+                            let rec = rec.clone();
+                            let mut w = WorkerState::new(base, iters, 0, rec);
+                            body = Some(Box::new(move |env| match w.step(env) {
+                                Some(op) => op,
+                                None => {
+                                    *fc.borrow_mut() = env.mem_read_u32(w.base + 16).unwrap();
+                                    Op::End
+                                }
+                            }));
+                            body.as_mut().unwrap()(env)
+                        }
+                    }
+                })
+            },
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        let n = *final_count.borrow();
+        (n, rec)
+    }
+
+    struct WorkerState {
+        base: u64,
+        iters: u32,
+        id: u32,
+        rec: Recorder,
+        round: u32,
+        phase: u8,
+        lock: MutexLock,
+        unlock: MutexUnlock,
+        barrier: BarrierWait,
+    }
+
+    impl WorkerState {
+        fn new(base: u64, iters: u32, id: u32, rec: Recorder) -> WorkerState {
+            WorkerState {
+                base,
+                iters,
+                id,
+                rec,
+                round: 0,
+                phase: 0,
+                lock: MutexLock::new(base),
+                unlock: MutexUnlock::new(base),
+                barrier: BarrierWait::new(base + 32, 4),
+            }
+        }
+
+        fn step(&mut self, env: &mut bgsim::WlEnv<'_>) -> Option<Op> {
+            loop {
+                if self.round >= self.iters {
+                    return None;
+                }
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        return Some(Op::Compute {
+                            cycles: 500 + self.id as u64 * 137,
+                        });
+                    }
+                    1 => match self.lock.step(env) {
+                        Some(op) => return Some(op),
+                        None => self.phase = 2,
+                    },
+                    2 => {
+                        // Critical section: increment the shared counter.
+                        let c = env.mem_read_u32(self.base + 16).unwrap();
+                        env.mem_write_u32(self.base + 16, c + 1);
+                        self.phase = 3;
+                    }
+                    3 => match self.unlock.step(env) {
+                        Some(op) => return Some(op),
+                        None => self.phase = 4,
+                    },
+                    4 => match self.barrier.step(env) {
+                        Some(op) => return Some(op),
+                        None => {
+                            self.rec
+                                .record(&format!("round_exit_{}", self.id), env.now() as f64);
+                            self.round += 1;
+                            self.phase = 0;
+                            self.lock = MutexLock::new(self.base);
+                            self.unlock = MutexUnlock::new(self.base);
+                            self.barrier = BarrierWait::new(self.base + 32, 4);
+                        }
+                    },
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn worker(base: u64, iters: u32, id: u32, rec: Recorder) -> Box<dyn Workload> {
+        let mut w = WorkerState::new(base, iters, id, rec);
+        wl(move |env| match w.step(env) {
+            Some(op) => op,
+            None => Op::End,
+        })
+    }
+
+    fn check(kernel: Box<dyn bgsim::Kernel>, name: &str) {
+        const ITERS: u32 = 25;
+        let (count, rec) = contended_counter(kernel, ITERS);
+        // Mutual exclusion: every increment survived.
+        assert_eq!(count, 4 * ITERS, "{name}: lost updates under contention");
+        // Barrier: all four threads leave each round together (same
+        // cycle for the broadcast wake, tiny skew for mutex handoff).
+        for round in 0..ITERS as usize {
+            let exits: Vec<f64> = (0..4)
+                .map(|id| rec.series(&format!("round_exit_{id}"))[round])
+                .collect();
+            let lo = exits.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = exits.iter().cloned().fold(0.0f64, f64::max);
+            assert!(
+                hi - lo < 100_000.0,
+                "{name}: round {round} exits too skewed: {exits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutex_condvar_barrier_on_cnk() {
+        check(Box::new(Cnk::with_defaults()), "cnk");
+    }
+
+    #[test]
+    fn mutex_condvar_barrier_on_fwk() {
+        check(Box::new(Fwk::with_defaults()), "fwk");
+    }
+}

@@ -1,0 +1,89 @@
+//! The Figs. 5-7 experience, interactively: run FWQ under the tuned
+//! Linux model and under CNK and render ASCII versions of the paper's
+//! three plots.
+//!
+//! Run: `cargo run --release --example fwq_noise [samples]`
+
+use bgsim::machine::{Machine, Recorder, Workload};
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use dcmf::Dcmf;
+use fwk::Fwk;
+use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+use workloads::fwq::{FwqConfig, FwqMain};
+
+fn run(kernel: Box<dyn bgsim::Kernel>, samples: u32) -> Vec<f64> {
+    let mut m = Machine::new(
+        MachineConfig::single_node().with_seed(55),
+        kernel,
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("fwq"), 1, NodeMode::Smp),
+        &mut move |_r: Rank| {
+            Box::new(FwqMain::new(FwqConfig::quick(samples), rec2.clone(), 4)) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    assert!(m.run().completed());
+    rec.series("fwq_core0")
+}
+
+/// Render a sample series as a downsampled ASCII scatter plot.
+fn plot(title: &str, samples: &[f64], y_max: f64) {
+    const COLS: usize = 76;
+    const ROWS: usize = 14;
+    let y_min = 658_958.0;
+    println!("{title}");
+    println!(
+        "  (Y: {y_min:.0}..{y_max:.0} cycles, X: {} samples)",
+        samples.len()
+    );
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    for (i, &v) in samples.iter().enumerate() {
+        let x = i * COLS / samples.len();
+        let frac = ((v - y_min) / (y_max - y_min)).clamp(0.0, 1.0);
+        let y = ROWS - 1 - ((frac * (ROWS - 1) as f64) as usize);
+        grid[y][x] = '*';
+    }
+    for row in grid {
+        println!("  |{}", row.into_iter().collect::<String>());
+    }
+    println!("  +{}", "-".repeat(COLS));
+}
+
+fn main() {
+    let samples = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000u32);
+    println!("== FWQ: {samples} samples of the 658,958-cycle quantum, core 0 ==\n");
+
+    let linux = run(Box::new(Fwk::with_defaults()), samples);
+    let cnk = run(Box::new(Cnk::with_defaults()), samples);
+
+    // Fig. 5: Linux, full scale.
+    plot("Fig. 5 — Linux, core 0", &linux, 705_000.0);
+    println!();
+    // Fig. 6: CNK on the same axes (visually flat).
+    plot("Fig. 6 — CNK, core 0 (same Y axis)", &cnk, 705_000.0);
+    println!();
+    // Fig. 7: CNK zoomed.
+    plot("Fig. 7 — CNK, core 0 (zoomed Y axis)", &cnk, 659_008.0);
+
+    let lmax = linux.iter().cloned().fold(0.0f64, f64::max);
+    let cmax = cnk.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nLinux max delta: {:.0} cycles ({:.2}%)",
+        lmax - 658_958.0,
+        (lmax / 658_958.0 - 1.0) * 100.0
+    );
+    println!(
+        "CNK   max delta: {:.0} cycles ({:.4}%)",
+        cmax - 658_958.0,
+        (cmax / 658_958.0 - 1.0) * 100.0
+    );
+}

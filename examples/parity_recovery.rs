@@ -1,0 +1,98 @@
+//! §V.B: the 2007 Gordon Bell resilience story. "CNK was able to handle
+//! L1 parity errors by signaling the application with the error to allow
+//! the application to perform recovery without need for heavy I/O-bound
+//! checkpoint/restart cycles."
+//!
+//! A molecular-dynamics-style stepping loop installs a parity handler;
+//! injected L1 parity faults cost one recomputed step instead of a job
+//! restart. The same fault on the Linux model panics the node.
+//!
+//! Run: `cargo run --example parity_recovery`
+
+use bgsim::machine::{Machine, Workload, FAULT_PARITY};
+use bgsim::op::Op;
+use bgsim::script::wl;
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use dcmf::Dcmf;
+use fwk::Fwk;
+use sysabi::{AppImage, CoreId, JobSpec, NodeMode, Rank, Sig, SigDisposition, SysReq, Tid};
+
+const STEPS: u32 = 40;
+const STEP_FLOPS: u64 = 1 << 22;
+
+fn md_app(install_handler: bool) -> Box<dyn Workload> {
+    let mut step = 0u32;
+    let mut recoveries = 0u32;
+    let mut initialized = false;
+    wl(move |env| {
+        if !initialized {
+            initialized = true;
+            if install_handler {
+                return Op::Syscall(SysReq::Sigaction {
+                    sig: Sig::Parity,
+                    disposition: SigDisposition::Handler(1),
+                });
+            }
+        }
+        if env.take_signal() == Some(Sig::Parity) {
+            recoveries += 1;
+            println!("   [app] parity error in step {step}: recomputing (recovery #{recoveries})");
+            // Redo the corrupted step.
+            return Op::Flops { flops: STEP_FLOPS };
+        }
+        if step >= STEPS {
+            println!("   [app] completed {STEPS} steps with {recoveries} in-place recoveries");
+            return Op::End;
+        }
+        step += 1;
+        Op::Flops { flops: STEP_FLOPS }
+    })
+}
+
+fn run(kernel: Box<dyn bgsim::Kernel>, handler: bool, label: &str) {
+    println!("--- {label} ---");
+    let mut m = Machine::new(
+        MachineConfig::single_node().with_seed(4242),
+        kernel,
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("md"), 1, NodeMode::Smp),
+        &mut move |_r: Rank| md_app(handler),
+    )
+    .unwrap();
+    // Two parity strikes mid-run.
+    m.inject_fault(8_000_000, CoreId(0), FAULT_PARITY);
+    m.inject_fault(31_000_000, CoreId(0), FAULT_PARITY);
+    let out = m.run();
+    let code = m.sc.thread(Tid(0)).exit_code;
+    println!("   outcome: {out:?}, exit code {code:?}");
+    match code {
+        Some(0) => println!("   => survived both faults, no checkpoint/restart\n"),
+        Some(c) => {
+            println!("   => job killed (code {c}); a restart from checkpoint would follow\n")
+        }
+        None => println!("   => job still alive?\n"),
+    }
+}
+
+fn main() {
+    println!("== §V.B: L1 parity error recovery ==\n");
+    run(
+        Box::new(Cnk::with_defaults()),
+        true,
+        "CNK, application handler installed",
+    );
+    run(
+        Box::new(Cnk::with_defaults()),
+        false,
+        "CNK, no handler (machine check is fatal)",
+    );
+    run(
+        Box::new(Fwk::with_defaults()),
+        true,
+        "Linux (parity machine check panics the node)",
+    );
+}

@@ -1,0 +1,131 @@
+//! The §III chip-bringup story as a walkthrough: a "borderline timing
+//! bug" that only manifests on some runs is hunted down with
+//! cycle-reproducible execution and destructive logic scans.
+//!
+//! Run: `cargo run --example reproducible_debug`
+
+use bgsim::machine::{Machine, Workload, FAULT_PARITY};
+use bgsim::op::Op;
+use bgsim::scan::{ScanTarget, Waveform};
+use bgsim::script::script;
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use dcmf::Dcmf;
+use sysabi::{AppImage, CoreId, JobSpec, NodeMode, Rank, Tid};
+
+/// Build the device-under-test: one node, a diagnostic kernel loop.
+/// `flaky` injects the intermittent hardware fault at a cycle that
+/// depends on "manufacturing variability" (the seed).
+fn build(seed: u64, flaky: bool) -> Machine {
+    let mut m = Machine::new(
+        MachineConfig::single_node().with_seed(seed).with_trace(),
+        Box::new(Cnk::with_defaults()),
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("diag"), 1, NodeMode::Smp),
+        &mut |_r: Rank| -> Box<dyn Workload> {
+            script(vec![
+                Op::Daxpy { n: 256, reps: 128 },
+                Op::Stream { bytes: 1 << 20 },
+                Op::Daxpy { n: 256, reps: 128 },
+            ])
+        },
+    )
+    .unwrap();
+    if flaky {
+        // The borderline timing bug: fires only on chips whose seed has
+        // certain low bits — "dependent both on manufacturing variability
+        // and on local temperature variations" (§III).
+        if seed.is_multiple_of(3) {
+            m.inject_fault(400_000, CoreId(0), FAULT_PARITY);
+        }
+    }
+    m
+}
+
+fn main() {
+    println!("== §III walkthrough: hunting an intermittent chip bug ==\n");
+
+    // Step 1: the bug does not reproduce on every chip/run.
+    println!("step 1 — screening chips (seeds): which runs fail?");
+    let mut failing_seed = None;
+    for seed in 1..=6u64 {
+        let mut m = build(seed, true);
+        m.run();
+        let died = m.sc.thread(Tid(0)).exit_code != Some(0);
+        println!(
+            "   chip seed {seed}: {}",
+            if died { "FAILS" } else { "passes" }
+        );
+        if died && failing_seed.is_none() {
+            failing_seed = Some(seed);
+        }
+    }
+    let seed = failing_seed.expect("no failing chip found");
+    println!("   -> chip {seed} exhibits the problem\n");
+
+    // Step 2: on the failing chip, the run is cycle-reproducible, so the
+    // failure happens at the same cycle every time.
+    println!("step 2 — reproducibility on the failing chip:");
+    let digests: Vec<u64> = (0..3)
+        .map(|_| {
+            let mut m = build(seed, true);
+            m.run();
+            m.trace_digest()
+        })
+        .collect();
+    println!("   3 reruns, digests {digests:x?}");
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    println!("   -> identical: scans from successive runs will line up\n");
+
+    // Step 3: bisect with destructive scans to find the divergence from
+    // a known-good chip.
+    println!("step 3 — compare against a healthy chip, scan by scan:");
+    let mut diverged_at = None;
+    for cycle in (0..=800_000u64).step_by(50_000) {
+        let mut bad = build(seed, true);
+        bad.run_until(cycle);
+        let bad_scan = bad.scan_destructive(ScanTarget::Cores);
+        let mut good = build(seed, false);
+        good.run_until(cycle);
+        let good_scan = good.scan_destructive(ScanTarget::Cores);
+        let same = bad_scan.digest == good_scan.digest;
+        println!(
+            "   cycle {cycle:>7}: {}",
+            if same { "states match" } else { "DIVERGED" }
+        );
+        if !same {
+            diverged_at = Some(cycle);
+            break;
+        }
+    }
+    let hi = diverged_at.expect("never diverged");
+    let lo = hi - 50_000;
+    println!("   -> divergence between cycles {lo} and {hi}\n");
+
+    // Step 4: single-cycle waveform over the narrowed window.
+    println!("step 4 — waveform at single-cycle resolution (destructive scans):");
+    let mut wave = Waveform::new();
+    // Sample every 1000 cycles over the window — 50 rebuilds.
+    let mut divergence_cycle = None;
+    for cycle in (lo..=hi).step_by(1_000) {
+        let mut bad = build(seed, true);
+        bad.run_until(cycle);
+        let scan = bad.scan_destructive(ScanTarget::Cores);
+        let mut good = build(seed, false);
+        good.run_until(cycle);
+        let good_scan = good.scan_destructive(ScanTarget::Cores);
+        if divergence_cycle.is_none() && scan.digest != good_scan.digest {
+            divergence_cycle = Some(cycle);
+        }
+        wave.push(scan).unwrap();
+    }
+    println!("   assembled {} scans into a waveform", wave.len());
+    println!(
+        "   first machine-state divergence at cycle ~{}",
+        divergence_cycle.unwrap_or(hi)
+    );
+    println!("   (the injected fault fired at cycle 400,000 — found it)");
+}

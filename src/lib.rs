@@ -1,0 +1,46 @@
+//! Meta-crate for the CNK reproduction workspace. Re-exports the member
+//! crates so integration tests and examples have one import root.
+//!
+//! # Quickstart
+//!
+//! Boot a simulated Blue Gene/P node under CNK and run a two-op program:
+//!
+//! ```
+//! use bgsim::machine::Machine;
+//! use bgsim::op::Op;
+//! use bgsim::script::script;
+//! use bgsim::MachineConfig;
+//! use cnk::Cnk;
+//! use dcmf::Dcmf;
+//! use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+//!
+//! let mut machine = Machine::new(
+//!     MachineConfig::single_node().with_seed(1),
+//!     Box::new(Cnk::with_defaults()),
+//!     Box::new(Dcmf::with_defaults()),
+//! );
+//! machine.boot();
+//! machine
+//!     .launch(
+//!         &JobSpec::new(AppImage::static_test("hello"), 1, NodeMode::Smp),
+//!         &mut |_rank: Rank| {
+//!             script(vec![
+//!                 // The paper's FWQ quantum: exactly 658,958 cycles.
+//!                 Op::Daxpy { n: 256, reps: 256 },
+//!                 Op::Compute { cycles: 1_000 },
+//!             ])
+//!         },
+//!     )
+//!     .unwrap();
+//! let outcome = machine.run();
+//! assert!(outcome.completed());
+//! // Quantum + compute + the bounded DRAM-refresh jitter (≤ 39 cycles).
+//! assert!((659_958..=659_997).contains(&outcome.at()));
+//! ```
+pub use bgsim;
+pub use ciod;
+pub use cnk;
+pub use dcmf;
+pub use fwk;
+pub use sysabi;
+pub use workloads;

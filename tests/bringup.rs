@@ -1,0 +1,161 @@
+//! §III bringup behaviours: running on partial or broken hardware, and
+//! the flag-driven boot that makes it possible.
+
+use bgsim::ade::FixedLatencyComm;
+use bgsim::config::UnitStatus;
+use bgsim::machine::Machine;
+use bgsim::op::Op;
+use bgsim::script::script;
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use sysabi::{AppImage, Fd, JobSpec, NodeMode, Rank, SysReq, Tid};
+
+#[test]
+fn compute_only_app_runs_without_torus_or_dma() {
+    // Pre-silicon drop: no torus, no DMA, broken L3. "CNK was designed
+    // to be functional without requiring the entire chip logic to be
+    // working."
+    let mut cfg = MachineConfig::single_node().with_seed(70);
+    cfg.chip = bgsim::ChipConfig::bringup_partial();
+    let mut m = Machine::new(
+        cfg,
+        Box::new(Cnk::with_defaults()),
+        Box::new(FixedLatencyComm::new()),
+    );
+    let boot = m.boot().clone();
+    // The boot skipped the absent units entirely.
+    assert!(!boot
+        .phases
+        .iter()
+        .any(|(n, _)| *n == "torus" || *n == "dma"));
+    m.launch(
+        &JobSpec::new(AppImage::static_test("kernel-extract"), 1, NodeMode::Smp),
+        &mut |_r: Rank| {
+            script(vec![
+                Op::Daxpy { n: 256, reps: 512 },
+                Op::Stream { bytes: 1 << 20 },
+            ])
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    assert_eq!(m.sc.thread(Tid(0)).exit_code, Some(0));
+}
+
+#[test]
+fn broken_l3_slows_but_does_not_stop() {
+    let run = |l3: UnitStatus| -> u64 {
+        let mut cfg = MachineConfig::single_node().with_seed(71);
+        cfg.chip.l3_unit = l3;
+        let mut m = Machine::new(
+            cfg,
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("stream"), 1, NodeMode::Smp),
+            &mut |_r: Rank| script(vec![Op::Stream { bytes: 8 << 20 }]),
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed());
+        out.at()
+    };
+    let healthy = run(UnitStatus::Present);
+    let broken = run(UnitStatus::Broken);
+    assert!(
+        broken > healthy * 2,
+        "workaround cost invisible: {healthy} vs {broken}"
+    );
+}
+
+#[test]
+fn io_without_collective_network_fails_cleanly() {
+    // Function shipping needs the collective network; with the unit
+    // absent, I/O syscalls fail with EIO instead of hanging or crashing
+    // the kernel.
+    let mut cfg = MachineConfig::single_node().with_seed(72);
+    cfg.chip.collective_unit = UnitStatus::Absent;
+    let mut m = Machine::new(
+        cfg,
+        Box::new(Cnk::with_defaults()),
+        Box::new(FixedLatencyComm::new()),
+    );
+    m.boot();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("io"), 1, NodeMode::Smp),
+        &mut |_r: Rank| {
+            let mut step = 0;
+            bgsim::script::wl(move |env| {
+                step += 1;
+                match step {
+                    1 => Op::Syscall(SysReq::Write {
+                        fd: Fd::STDOUT,
+                        data: vec![1, 2, 3],
+                    }),
+                    2 => {
+                        assert_eq!(env.take_ret().unwrap().err(), sysabi::Errno::EIO);
+                        Op::End
+                    }
+                    _ => Op::End,
+                }
+            })
+        },
+    )
+    .unwrap();
+    assert!(m.run().completed());
+}
+
+#[test]
+fn broken_fpu_runs_emulated() {
+    // Arithmetic on a broken FPU is emulated at ~24x cost — slow, but
+    // verification tests still run (the §III philosophy).
+    let run = |fpu: UnitStatus| -> u64 {
+        let mut cfg = MachineConfig::single_node().with_seed(73);
+        cfg.chip.fpu_unit = fpu;
+        let mut m = Machine::new(
+            cfg,
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("fpu"), 1, NodeMode::Smp),
+            &mut |_r: Rank| script(vec![Op::Daxpy { n: 256, reps: 64 }]),
+        )
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed());
+        out.at()
+    };
+    let healthy = run(UnitStatus::Present);
+    let broken = run(UnitStatus::Broken);
+    assert!(broken > healthy * 20, "{healthy} vs {broken}");
+}
+
+#[test]
+fn reproducible_runs_identical_on_partial_hardware() {
+    // Reproducibility holds regardless of chip health — the §III debug
+    // loop works on the bringup configurations where it matters most.
+    let digest = |seed: u64| -> u64 {
+        let mut cfg = MachineConfig::single_node().with_seed(seed).with_trace();
+        cfg.chip = bgsim::ChipConfig::bringup_partial();
+        let mut m = Machine::new(
+            cfg,
+            Box::new(Cnk::with_defaults()),
+            Box::new(FixedLatencyComm::new()),
+        );
+        m.boot();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("diag"), 1, NodeMode::Smp),
+            &mut |_r: Rank| script(vec![Op::Daxpy { n: 256, reps: 256 }]),
+        )
+        .unwrap();
+        m.run();
+        m.trace_digest()
+    };
+    assert_eq!(digest(9), digest(9));
+    assert_ne!(digest(9), digest(10));
+}

@@ -1,0 +1,147 @@
+//! Demand-paging and TLB-refill effects (§IV.C): "there is a performance
+//! penalty associated with the translation miss. Further, translation
+//! misses do not necessarily occur at the same time on all nodes, and
+//! become another contributor of OS noise."
+
+use bgsim::machine::{Machine, Recorder};
+use bgsim::op::Op;
+use bgsim::script::wl;
+use bgsim::{MachineConfig, Workload};
+use cnk::Cnk;
+use dcmf::Dcmf;
+use fwk::Fwk;
+use sysabi::{AppImage, JobSpec, MapFlags, NodeMode, Prot, Rank, SysReq};
+
+/// Touch an 8 MiB array three times; record each pass's cycles.
+fn three_passes(kernel: Box<dyn bgsim::Kernel>) -> Vec<f64> {
+    let mut m = Machine::new(
+        MachineConfig::single_node().with_seed(0x9A),
+        kernel,
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("paging"), 1, NodeMode::Smp),
+        &mut move |_r: Rank| {
+            let rec = rec2.clone();
+            let mut step = 0;
+            let mut base = 0u64;
+            let mut t0 = 0u64;
+            wl(move |env| {
+                step += 1;
+                match step {
+                    1 => Op::Syscall(SysReq::Mmap {
+                        addr: 0,
+                        len: 8 << 20,
+                        prot: Prot::READ | Prot::WRITE,
+                        flags: MapFlags::PRIVATE | MapFlags::ANONYMOUS,
+                        fd: None,
+                        offset: 0,
+                    }),
+                    2..=4 => {
+                        if step == 2 {
+                            base = env.take_ret().unwrap().val() as u64;
+                        } else {
+                            rec.record("pass", (env.now() - t0) as f64);
+                        }
+                        t0 = env.now();
+                        Op::MemTouch {
+                            vaddr: base,
+                            bytes: 8 << 20,
+                            write: true,
+                        }
+                    }
+                    5 => {
+                        rec.record("pass", (env.now() - t0) as f64);
+                        Op::End
+                    }
+                    _ => Op::End,
+                }
+            }) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    rec.series("pass")
+}
+
+#[test]
+fn first_touch_costs_extra_on_fwk_only() {
+    let fwk = three_passes(Box::new(Fwk::with_defaults()));
+    let cnk = three_passes(Box::new(Cnk::with_defaults()));
+    assert_eq!(fwk.len(), 3);
+    // FWK: pass 1 pays 2048 minor faults (8 MiB / 4 KiB) plus TLB
+    // refills; later passes still pay TLB refills (the 64-entry TLB
+    // cannot hold 2048 pages) but no faults.
+    assert!(
+        fwk[0] > fwk[1] * 1.5,
+        "first-touch penalty missing: {fwk:?}"
+    );
+    assert!(
+        fwk[1] > 0.0 && (fwk[1] - fwk[2]).abs() / fwk[1] < 0.05,
+        "{fwk:?}"
+    );
+    // CNK: statically mapped — all passes cost the same (± refresh
+    // jitter), and less than the FWK's warm passes (which still eat
+    // software TLB refills every pass).
+    let spread = (cnk[0] - cnk[2]).abs() / cnk[2];
+    assert!(spread < 0.001, "CNK passes differ: {cnk:?}");
+    assert!(
+        cnk[2] < fwk[2],
+        "CNK ({}) should beat even warm FWK ({}) — no TLB refills",
+        cnk[2],
+        fwk[2]
+    );
+}
+
+#[test]
+fn fwk_pays_tlb_misses_cnk_does_not() {
+    let count_misses = |kernel: Box<dyn bgsim::Kernel>| -> (u64, u64) {
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(0x9B),
+            kernel,
+            Box::new(Dcmf::with_defaults()),
+        );
+        m.boot();
+        m.launch(
+            &JobSpec::new(AppImage::static_test("tlb"), 1, NodeMode::Smp),
+            &mut |_r: Rank| {
+                let mut step = 0;
+                wl(move |env| {
+                    step += 1;
+                    match step {
+                        1 => Op::Syscall(SysReq::Mmap {
+                            addr: 0,
+                            len: 4 << 20,
+                            prot: Prot::READ | Prot::WRITE,
+                            flags: MapFlags::PRIVATE | MapFlags::ANONYMOUS,
+                            fd: None,
+                            offset: 0,
+                        }),
+                        2 => {
+                            let base = env.take_ret().unwrap().val() as u64;
+                            Op::MemTouch {
+                                vaddr: base,
+                                bytes: 4 << 20,
+                                write: true,
+                            }
+                        }
+                        _ => Op::End,
+                    }
+                }) as Box<dyn Workload>
+            },
+        )
+        .unwrap();
+        assert!(m.run().completed());
+        (m.sc.tlbs[0].misses, m.sc.tlbs[0].hits)
+    };
+    let (fwk_misses, _) = count_misses(Box::new(Fwk::with_defaults()));
+    let (cnk_misses, _) = count_misses(Box::new(Cnk::with_defaults()));
+    // 4 MiB / 4 KiB = 1024 pages, each a software TLB refill on the FWK.
+    assert!(fwk_misses >= 1024, "fwk misses {fwk_misses}");
+    // Table II "No TLB misses — CNK: easy": literally zero.
+    assert_eq!(cnk_misses, 0, "CNK took TLB misses");
+}

@@ -1,0 +1,196 @@
+//! The node-shared memory window (§IV.C region 4, §VII.B): in VN/DUAL
+//! mode the processes of a node share one physical range at one fixed
+//! virtual address, sized up-front at launch.
+
+use bgsim::ade::FixedLatencyComm;
+use bgsim::machine::Machine;
+use bgsim::op::Op;
+use bgsim::script::wl;
+use bgsim::MachineConfig;
+use cnk::Cnk;
+use sysabi::{AppImage, JobSpec, NodeMode, Rank, SysReq, SysRet, Tid};
+
+fn machine(seed: u64) -> Machine {
+    Machine::new(
+        MachineConfig::single_node().with_seed(seed),
+        Box::new(Cnk::with_defaults()),
+        Box::new(FixedLatencyComm::new()),
+    )
+}
+
+/// Find the shared window from the static map: it is the region at the
+/// highest virtual address.
+fn shared_base_from_map(triples: &[(u64, u64, u64)]) -> u64 {
+    triples.last().unwrap().0
+}
+
+#[test]
+fn vn_mode_processes_share_the_window() {
+    let mut m = machine(61);
+    m.boot();
+    let spec = JobSpec::new(AppImage::static_test("shm"), 1, NodeMode::Vn);
+    m.launch(&spec, &mut |r: Rank| {
+        let mut step = 0;
+        let mut base = 0u64;
+        wl(move |env| {
+            step += 1;
+            match step {
+                1 => Op::Syscall(SysReq::QueryStaticMap),
+                2 => {
+                    let SysRet::StaticMap(t) = env.take_ret().unwrap() else {
+                        panic!()
+                    };
+                    base = shared_base_from_map(&t);
+                    // Rank 0 writes a slot for each rank; others wait
+                    // long enough to read it.
+                    if r.0 == 0 {
+                        for peer in 0..4u32 {
+                            env.mem_write_u64(base + 8 * peer as u64, 0xBEE0 + peer as u64);
+                        }
+                        Op::Compute { cycles: 10 }
+                    } else {
+                        Op::Compute { cycles: 100_000 }
+                    }
+                }
+                3 => {
+                    if r.0 != 0 {
+                        // Read rank 0's writes through this process's
+                        // own mapping: same physical memory (§IV.C).
+                        let got = env.mem_read_u64(base + 8 * r.0 as u64);
+                        assert_eq!(got, Some(0xBEE0 + r.0 as u64), "rank {r} shared read");
+                    }
+                    Op::End
+                }
+                _ => Op::End,
+            }
+        })
+    })
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    for t in 0..4 {
+        assert_eq!(m.sc.thread(Tid(t)).exit_code, Some(0));
+    }
+}
+
+#[test]
+fn dual_mode_layout_and_sharing() {
+    let mut m = machine(62);
+    m.boot();
+    let spec = JobSpec::new(AppImage::static_test("dual"), 1, NodeMode::Dual);
+    let job = m
+        .launch(&spec, &mut |r: Rank| {
+            let mut step = 0;
+            wl(move |env| {
+                step += 1;
+                match step {
+                    1 => Op::Syscall(SysReq::QueryStaticMap),
+                    2 => {
+                        let SysRet::StaticMap(t) = env.take_ret().unwrap() else {
+                            panic!()
+                        };
+                        let base = shared_base_from_map(&t);
+                        if r.0 == 0 {
+                            env.mem_write_u32(base, 77);
+                            Op::Compute { cycles: 10 }
+                        } else {
+                            Op::Compute { cycles: 50_000 }
+                        }
+                    }
+                    3 => {
+                        if r.0 == 1 {
+                            assert_eq!(
+                                env.mem_read_u32(
+                                    // Recompute the base: same fixed vaddr.
+                                    0xF000_0000 - (16 << 20)
+                                ),
+                                Some(77)
+                            );
+                        }
+                        Op::End
+                    }
+                    _ => Op::End,
+                }
+            })
+        })
+        .unwrap();
+    assert_eq!(job.nranks(), 2);
+    // DUAL: two cores per process.
+    assert_eq!(
+        m.sc.thread(job.rank(Rank(0)).main_tid).core,
+        sysabi::CoreId(0)
+    );
+    assert_eq!(
+        m.sc.thread(job.rank(Rank(1)).main_tid).core,
+        sysabi::CoreId(2)
+    );
+    assert!(m.run().completed());
+}
+
+#[test]
+fn private_heaps_are_not_shared() {
+    // The flip side: each process's heap region maps distinct physical
+    // memory (the even split of §VII.B).
+    let mut m = machine(63);
+    m.boot();
+    let spec = JobSpec::new(AppImage::static_test("priv"), 1, NodeMode::Vn);
+    m.launch(&spec, &mut |r: Rank| {
+        let mut step = 0;
+        let mut brk = 0u64;
+        wl(move |env| {
+            step += 1;
+            match step {
+                1 => Op::Syscall(SysReq::Brk { addr: 0 }),
+                2 => {
+                    brk = env.take_ret().unwrap().val() as u64;
+                    // All ranks write to the SAME virtual address in
+                    // their own heaps.
+                    env.mem_write_u64(brk - 256, 0x1000 + r.0 as u64);
+                    Op::Compute { cycles: 100_000 }
+                }
+                3 => {
+                    // Everyone still sees their own value.
+                    assert_eq!(
+                        env.mem_read_u64(brk - 256),
+                        Some(0x1000 + r.0 as u64),
+                        "rank {r} heap was clobbered"
+                    );
+                    Op::End
+                }
+                _ => Op::End,
+            }
+        })
+    })
+    .unwrap();
+    assert!(m.run().completed());
+}
+
+#[test]
+fn shared_size_is_fixed_at_launch() {
+    // §VII.B: "CNK requires the user to define the size of the shared
+    // memory allocation up-front as the application is launched."
+    let mut m = machine(64);
+    m.boot();
+    let mut spec = JobSpec::new(AppImage::static_test("shm"), 1, NodeMode::Smp);
+    spec.shared_mem_bytes = 64 << 20;
+    m.launch(&spec, &mut |_r: Rank| {
+        let mut step = 0;
+        wl(move |env| {
+            step += 1;
+            match step {
+                1 => Op::Syscall(SysReq::QueryStaticMap),
+                2 => {
+                    let SysRet::StaticMap(t) = env.take_ret().unwrap() else {
+                        panic!()
+                    };
+                    let shared = t.last().unwrap();
+                    assert!(shared.2 >= 64 << 20, "shared region too small: {shared:?}");
+                    Op::End
+                }
+                _ => Op::End,
+            }
+        })
+    })
+    .unwrap();
+    assert!(m.run().completed());
+}
