@@ -126,8 +126,8 @@ fn bench_fwq_sim(c: &mut Criterion) {
     // End-to-end: how fast does the simulator run one FWQ sample set?
     c.bench_function("simulate_fwq_cnk_100_samples", |b| {
         b.iter(|| {
-            let rec = bench::harness::run_fwq(bench::harness::KernelKind::Cnk, 100, 1);
-            black_box(rec.len("fwq_core0"))
+            let run = bench::harness::run_fwq(bench::harness::KernelKind::Cnk, 100, 1);
+            black_box(run.rec.len("fwq_core0"))
         })
     });
 }

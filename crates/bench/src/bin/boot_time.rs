@@ -5,6 +5,8 @@
 //! weeks. Even stripped down, Linux takes days to boot, making it
 //! difficult to run verification tests."
 
+use bench::cli::Cli;
+use bench::report::Report;
 use bench::table::render;
 use bgsim::ChipConfig;
 
@@ -22,6 +24,7 @@ fn human(seconds: f64) -> String {
 
 fn main() {
     const HZ: f64 = 10.0;
+    let cli = Cli::parse();
     println!("== §III: boot time at {HZ} Hz (VHDL cycle-accurate simulation) ==\n");
 
     let reports = [
@@ -66,4 +69,14 @@ fn main() {
             human(*instr as f64 / HZ)
         );
     }
+
+    let mut report = Report::new("boot_time");
+    for (name, r) in &reports {
+        let key = name
+            .to_lowercase()
+            .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+        report.scalar(&format!("{key}.instructions"), r.instructions as f64);
+        report.scalar(&format!("{key}.vhdl_seconds"), r.vhdl_sim_seconds(HZ));
+    }
+    report.emit(&cli).expect("writing stats");
 }

@@ -5,37 +5,72 @@
 //! tuned Linux 2.6.16 model and under CNK. Prints per-core summaries
 //! (the paper's numbers in brackets) and a coarse histogram of the CNK
 //! samples at single-cycle resolution (the "zoomed Y axis" of Fig. 7).
+//!
+//! The table is computed from the runs' telemetry registries (the
+//! per-core `fwq.sample_cycles` histogram); `--stats-out <path>` dumps
+//! the same registries — including the kernels' own `noise.cycles`
+//! histograms — as JSON or gem5-style flat stats.
 
+use bench::cli::Cli;
 use bench::harness::{run_fwq, KernelKind};
-use bench::stats::Summary;
+use bench::report::Report;
 use bench::table::render;
 
 fn main() {
-    let samples = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12_000u32);
+    let cli = Cli::parse();
+    let samples = cli.pos(0).unwrap_or(12_000u32);
     println!("== FWQ (Fixed Work Quanta), {samples} samples/core, 4 cores, 1 node ==\n");
 
+    let mut report = Report::new("fig5_7_fwq");
     let mut rows = Vec::new();
     let mut cnk_all: Vec<f64> = Vec::new();
     for kind in [KernelKind::Fwk, KernelKind::Cnk] {
-        let rec = run_fwq(kind, samples, 0xF00D);
+        let run = run_fwq(kind, samples, 0xF00D);
+        let key = match kind {
+            KernelKind::Cnk => "cnk",
+            _ => "linux",
+        };
         for core in 0..4 {
-            let s = rec.series(&format!("fwq_core{core}"));
-            let sum = Summary::of(&s);
+            let h = run.core_hist(core);
+            let (min, max, delta) = (h.min(), h.max(), h.delta());
+            let variation = if min > 0 {
+                delta as f64 / min as f64
+            } else {
+                0.0
+            };
             if kind == KernelKind::Cnk {
-                cnk_all.extend_from_slice(&s);
+                cnk_all.extend_from_slice(&run.rec.series(&format!("fwq_core{core}")));
             }
+            report.scalar(&format!("{key}.core{core}.min_cycles"), min as f64);
+            report.scalar(&format!("{key}.core{core}.max_cycles"), max as f64);
+            report.scalar(&format!("{key}.core{core}.max_delta"), delta as f64);
             rows.push(vec![
                 kind.label().to_string(),
                 format!("core {core}"),
-                format!("{:.0}", sum.min),
-                format!("{:.0}", sum.max),
-                format!("{:.0}", sum.max - sum.min),
-                format!("{:.4}%", sum.max_variation_frac() * 100.0),
+                format!("{min}"),
+                format!("{max}"),
+                format!("{delta}"),
+                format!("{:.4}%", variation * 100.0),
             ]);
         }
+        if let Some(path) = &cli.trace_out {
+            // One Perfetto/Chrome trace per kernel; suffix the filename.
+            let mut p = path.clone();
+            let stem = p
+                .file_stem()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let ext = p.extension().map(|e| e.to_string_lossy().into_owned());
+            p.set_file_name(match ext {
+                Some(e) => format!("{stem}.{key}.{e}"),
+                None => format!("{stem}.{key}"),
+            });
+            std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&run.events))
+                .expect("writing trace");
+            eprintln!("trace written to {}", p.display());
+        }
+        report.registry(key, run.stats);
     }
     println!(
         "{}",
@@ -72,4 +107,5 @@ fn main() {
         };
         println!("  +{label:<14} {h:>7} samples");
     }
+    report.emit(&cli).expect("writing stats");
 }

@@ -4,19 +4,25 @@
 //! under vanilla-Linux capabilities (kernel-mediated injection, bounce
 //! copies, per-page descriptors).
 
+use bench::cli::Cli;
 use bench::harness::{nn_throughput, KernelKind};
+use bench::report::Report;
 use bench::table::render;
 
 fn main() {
+    let cli = Cli::parse();
     println!("== Fig. 8: rendezvous near-neighbor exchange throughput ==\n");
     let nodes = 64; // 4x4x4 torus: 6 distinct neighbors, the paper's case
     let sizes: Vec<u64> = (9..=22).map(|p| 1u64 << p).collect(); // 512 B .. 4 MB
+    let mut report = Report::new("fig8_throughput");
     let mut rows = Vec::new();
     let mut nb_seen = 0;
     for &bytes in &sizes {
         let (cnk_bw, nb) = nn_throughput(KernelKind::Cnk, nodes, bytes, 8);
         let (fwk_bw, _) = nn_throughput(KernelKind::Fwk, nodes, bytes, 8);
         nb_seen = nb;
+        report.scalar(&format!("cnk.mbs.{bytes}"), cnk_bw);
+        report.scalar(&format!("linux_caps.mbs.{bytes}"), fwk_bw);
         let bar_len = (cnk_bw / 60.0) as usize;
         rows.push(vec![
             human(bytes),
@@ -37,6 +43,8 @@ fn main() {
     println!("paper: DCMF reaches maximum bandwidth for large messages (Fig. 8 shape);");
     println!("       the Linux-capability curve shows what §V.C says would be lost without");
     println!("       user-space DMA over large physically contiguous memory.");
+    report.scalar("peak_mbs", peak);
+    report.emit(&cli).expect("writing stats");
 }
 
 fn human(b: u64) -> String {

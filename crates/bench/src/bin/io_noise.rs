@@ -80,11 +80,10 @@ fn run(kernel: Box<dyn bgsim::Kernel>, samples: u32, with_io: bool) -> Recorder 
 }
 
 fn main() {
-    let samples = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4_000u32);
+    let cli = bench::cli::Cli::parse();
+    let samples = cli.pos(0).unwrap_or(4_000u32);
     println!("== §IV.A: concurrent checkpoint I/O vs FWQ noise on cores 1-3 ==\n");
+    let mut report = bench::report::Report::new("io_noise");
     let mut rows = Vec::new();
     for (kname, mk) in [
         (
@@ -105,6 +104,14 @@ fn main() {
             ];
             for core in 1..4 {
                 let s = Summary::of(&rec.series(&format!("fwq_core{core}")));
+                report.scalar(
+                    &format!(
+                        "{}.{}.core{core}.max_delta",
+                        kname.to_lowercase(),
+                        if with_io { "checkpointing" } else { "quiet" }
+                    ),
+                    s.max - s.min,
+                );
                 row.push(format!("{:.0}", s.max - s.min));
             }
             rows.push(row);
@@ -151,4 +158,5 @@ fn main() {
             &rows
         )
     );
+    report.emit(&cli).expect("writing stats");
 }

@@ -44,12 +44,16 @@ fn run(nodes: u32, bgl: bool) -> Vec<f64> {
 }
 
 fn main() {
+    let cli = bench::cli::Cli::parse();
     println!("== §IV.A ablation: per-process ioproxies (BG/P) vs serialized CIOD (BG/L) ==");
     println!("   (every rank checkpoints simultaneously through one I/O node)\n");
+    let mut report = bench::report::Report::new("io_proxy_ablation");
     let mut rows = Vec::new();
     for nodes in [2u32, 4, 8, 16] {
         let bgp = Summary::of(&run(nodes, false));
         let bgl = Summary::of(&run(nodes, true));
+        report.scalar(&format!("bgp_us_per_ckpt.{nodes}"), bgp.mean / 850.0);
+        report.scalar(&format!("bgl_us_per_ckpt.{nodes}"), bgl.mean / 850.0);
         rows.push(vec![
             nodes.to_string(),
             format!("{:.0}", bgp.mean / 850.0),
@@ -71,4 +75,5 @@ fn main() {
     );
     println!("the 1-to-1 proxy mapping keeps checkpoint latency flat as the pset grows;");
     println!("the serialized daemon degrades linearly — the §IV.A design change.");
+    report.emit(&cli).expect("writing stats");
 }

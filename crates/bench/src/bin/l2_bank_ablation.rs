@@ -47,11 +47,13 @@ fn run(map: L2BankMap, streams: u32) -> u64 {
 }
 
 fn main() {
+    let cli = bench::cli::Cli::parse();
     println!("== §III: L2 bank-mapping sensitivity (64 MiB stream per core) ==\n");
     // The per-op stream cost model includes the conflict factor via the
     // chip configuration; show both the cost-model view and the end-to-
     // end run.
     let chip_base = bgsim::ChipConfig::bgp();
+    let mut report = bench::report::Report::new("l2_bank_ablation");
     let mut rows = Vec::new();
     for map in [
         L2BankMap::Interleaved,
@@ -63,6 +65,10 @@ fn main() {
         let model_1 = bgsim::chip::stream_cycles(&chip, 64 << 20, 1);
         let model_4 = bgsim::chip::stream_cycles(&chip, 64 << 20, 4);
         let run_cycles = run(map, 4);
+        let key = format!("{map:?}").to_lowercase();
+        report.scalar(&format!("{key}.stream1_cycles"), model_1 as f64);
+        report.scalar(&format!("{key}.stream4_cycles"), model_4 as f64);
+        report.scalar(&format!("{key}.end_to_end_cycles"), run_cycles as f64);
         rows.push(vec![
             format!("{map:?}"),
             format!("{model_1}"),
@@ -86,4 +92,5 @@ fn main() {
     );
     println!("the ConflictStress mapping is the verification configuration that creates");
     println!("artificial bank conflicts; Interleaved is the tuned production choice.");
+    report.emit(&cli).expect("writing stats");
 }

@@ -44,23 +44,35 @@ fn run_with(noise: Vec<fwk::noise::NoiseSource>, samples: u32) -> Vec<f64> {
 }
 
 fn main() {
-    let samples = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4_000u32);
+    let cli = bench::cli::Cli::parse();
+    let samples = cli.pos(0).unwrap_or(4_000u32);
     println!("== Noise ablation: per-core max FWQ perturbation (cycles), {samples} samples ==\n");
     let profile = linux_2_6_16_profile();
 
+    let mut report = bench::report::Report::new("noise_ablation");
+    let record = |report: &mut bench::report::Report, name: &str, v: &[f64]| {
+        let key = name
+            .to_lowercase()
+            .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+        for (core, x) in v.iter().enumerate() {
+            report.scalar(&format!("{key}.core{core}.max_delta"), *x);
+        }
+    };
     let mut rows = Vec::new();
     let all = run_with(profile.clone(), samples);
+    record(&mut report, "ALL sources", &all);
     rows.push(row("ALL sources", &all));
-    rows.push(row("none", &run_with(Vec::new(), samples)));
+    let none = run_with(Vec::new(), samples);
+    record(&mut report, "none", &none);
+    rows.push(row("none", &none));
     for (i, src) in profile.iter().enumerate() {
         let only = run_with(vec![src.clone()], samples);
+        record(&mut report, &format!("only {}", src.name), &only);
         rows.push(row(&format!("only {}", src.name), &only));
         let mut without = profile.clone();
         without.remove(i);
         let wo = run_with(without, samples);
+        record(&mut report, &format!("all minus {}", src.name), &wo);
         rows.push(row(&format!("all minus {}", src.name), &wo));
     }
     println!(
@@ -73,6 +85,7 @@ fn main() {
     println!("reading: the big core-0/2 spikes come from the irq bottom halves; core 3's");
     println!("from kswapd scans; core 1 only ever sees the tick and ksoftirqd — matching");
     println!("the paper's Fig. 5 per-core asymmetry.");
+    report.emit(&cli).expect("writing stats");
 }
 
 fn row(name: &str, v: &[f64]) -> Vec<String> {

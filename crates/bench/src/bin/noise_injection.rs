@@ -66,10 +66,8 @@ fn bsp_runtime(nodes: u32, noise: Vec<NoiseSource>, iters: u32) -> u64 {
 }
 
 fn main() {
-    let iters = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1500u32);
+    let cli = bench::cli::Cli::parse();
+    let iters = cli.pos(0).unwrap_or(1500u32);
     println!("== Noise injection on CNK: same 0.1% intensity, different granularity ==");
     println!("   (BSP loop: 1 ms compute + allreduce, {iters} iterations)\n");
 
@@ -91,19 +89,25 @@ fn main() {
     ];
 
     let node_counts = [1u32, 4, 16, 64];
+    let mut report = bench::report::Report::new("noise_injection");
     let mut rows = Vec::new();
     let mut base: Vec<u64> = Vec::new();
     for (name, noise) in &profiles {
+        let key = name
+            .split(':')
+            .next()
+            .unwrap()
+            .to_lowercase()
+            .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
         let mut row = vec![name.to_string()];
         for (i, &n) in node_counts.iter().enumerate() {
             let t = bsp_runtime(n, noise.clone(), iters);
             if base.len() <= i {
                 base.push(t);
             }
-            row.push(format!(
-                "{:+.2}%",
-                (t as f64 / base[i] as f64 - 1.0) * 100.0
-            ));
+            let slowdown = (t as f64 / base[i] as f64 - 1.0) * 100.0;
+            report.scalar(&format!("{key}.nodes{n}.slowdown_pct"), slowdown);
+            row.push(format!("{slowdown:+.2}%"));
         }
         rows.push(row);
     }
@@ -116,4 +120,5 @@ fn main() {
     println!("reading: identical average intensity, very different application impact —");
     println!("fine noise is absorbed, coarse noise is amplified by the collectives, and");
     println!("the penalty grows with node count (§V.A; Petrini et al.; Ferreira et al.).");
+    report.emit(&cli).expect("writing stats");
 }

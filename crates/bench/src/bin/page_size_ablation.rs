@@ -10,6 +10,7 @@ use bench::table::render;
 use cnk::mem::{partition_node, ProcRequirements};
 
 fn main() {
+    let cli = bench::cli::Cli::parse();
     println!("== Partitioner ablation: TLB budget vs min page size vs waste ==\n");
     let req = ProcRequirements {
         text_bytes: 24 << 20,
@@ -18,11 +19,28 @@ fn main() {
         shared_bytes: 16 << 20,
         dynamic_bytes: 64 << 20,
     };
+    let mut report = bench::report::Report::new("page_size_ablation");
     let mut rows = Vec::new();
     for budget in [64usize, 48, 32, 24, 16, 12, 8, 6] {
         match partition_node(&req, 1, 4 << 30, 16 << 20, 64 << 20, budget) {
             Ok(maps) => {
                 let m = &maps[0];
+                report.scalar(
+                    &format!("budget{budget}.entries_used"),
+                    m.tlb_entries as f64,
+                );
+                report.scalar(
+                    &format!("budget{budget}.min_page_mib"),
+                    (m.min_page >> 20) as f64,
+                );
+                report.scalar(
+                    &format!("budget{budget}.wasted_mib"),
+                    m.wasted_bytes as f64 / (1 << 20) as f64,
+                );
+                report.scalar(
+                    &format!("budget{budget}.mapped_mib"),
+                    m.mapped_bytes() as f64 / (1 << 20) as f64,
+                );
                 rows.push(vec![
                     budget.to_string(),
                     m.tlb_entries.to_string(),
@@ -32,6 +50,7 @@ fn main() {
                 ]);
             }
             Err(e) => {
+                report.scalar(&format!("budget{budget}.entries_used"), f64::NAN);
                 rows.push(vec![
                     budget.to_string(),
                     "-".into(),
@@ -51,4 +70,5 @@ fn main() {
     );
     println!("smaller budgets force coarser pages: fewer entries, more rounding waste —");
     println!("the §VII.B cost of never taking a TLB miss.");
+    report.emit(&cli).expect("writing stats");
 }

@@ -59,6 +59,8 @@ fn build() -> Machine {
 }
 
 fn main() {
+    let cli = bench::cli::Cli::parse();
+    let mut report = bench::report::Report::new("repro_bringup");
     println!("== §III: reproducibility & bringup workflow ==\n");
 
     // 1. Bit-identical reruns.
@@ -74,6 +76,7 @@ fn main() {
         println!("     {d:#018x}");
     }
     assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    report.scalar("digests_identical", 1.0);
     println!("   => bit-identical\n");
 
     // 2. The destructive-scan waveform: rebuild, run to cycle N, scan,
@@ -93,6 +96,7 @@ fn main() {
             })
             .expect("no arrival in probe run")
     };
+    report.scalar("probe_arrival_cycle", arrival_cycle as f64);
     let window = (arrival_cycle - 60)..(arrival_cycle + 60);
     let mut wave = Waveform::new();
     for cycle in window.clone() {
@@ -153,5 +157,7 @@ fn main() {
     println!("3. multichip coordinated reboot: packet arrival at chip 1, 3 reruns:");
     println!("     cycles {arrivals:?}");
     assert!(arrivals.windows(2).all(|w| w[0] == w[1]));
+    report.scalar("reboot_arrival_cycle", arrivals[0] as f64);
     println!("   => same cycle every run (cross-chip scans line up)");
+    report.emit(&cli).expect("writing stats");
 }

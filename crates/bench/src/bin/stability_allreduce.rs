@@ -9,11 +9,9 @@ use bench::stats::Summary;
 use bench::table::render;
 
 fn main() {
+    let cli = bench::cli::Cli::parse();
     // Iteration counts scaled down 20x by default; pass an arg to raise.
-    let scale: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let scale: u32 = cli.pos(0).unwrap_or(20);
     let cnk_iters = 1_000_000 / scale;
     let fwk_iters = 100_000 / scale;
     println!("== §V.D: mpiBench_Allreduce stability ==\n");
@@ -22,6 +20,13 @@ fn main() {
     let fwk = allreduce_samples_us(KernelKind::Fwk, 4, fwk_iters, 0xA11);
     let sc = Summary::of(&cnk);
     let sf = Summary::of(&fwk);
+    let mut report = bench::report::Report::new("stability_allreduce");
+    report.scalar("cnk.iterations", cnk_iters as f64);
+    report.scalar("cnk.mean_us", sc.mean);
+    report.scalar("cnk.stddev_us", sc.stddev);
+    report.scalar("linux.iterations", fwk_iters as f64);
+    report.scalar("linux.mean_us", sf.mean);
+    report.scalar("linux.stddev_us", sf.stddev);
     let rows = vec![
         vec![
             "CNK, 16 nodes (tree)".to_string(),
@@ -60,4 +65,5 @@ fn main() {
             sf.stddev / sc.stddev
         );
     }
+    report.emit(&cli).expect("writing stats");
 }

@@ -12,10 +12,8 @@ use bench::table::render;
 use workloads::linpack::LinpackConfig;
 
 fn main() {
-    let runs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(36);
+    let cli = bench::cli::Cli::parse();
+    let runs: u64 = cli.pos(0).unwrap_or(36);
     let nodes = 16;
     let cfg = LinpackConfig {
         n: 8192,
@@ -27,12 +25,22 @@ fn main() {
         cfg.n
     );
 
+    let mut report = bench::report::Report::new("stability_linpack");
     let mut rows = Vec::new();
     for kind in [KernelKind::Cnk, KernelKind::Fwk] {
         let times: Vec<f64> = (0..runs)
             .map(|s| linpack_seconds(kind, nodes, cfg, 0xB00 + s))
             .collect();
         let sum = Summary::of(&times);
+        let key = kind.label().to_lowercase();
+        report.scalar(&format!("{key}.min_s"), sum.min);
+        report.scalar(&format!("{key}.max_s"), sum.max);
+        report.scalar(&format!("{key}.spread_s"), sum.max - sum.min);
+        report.scalar(
+            &format!("{key}.max_variation_pct"),
+            sum.max_variation_frac() * 100.0,
+        );
+        report.scalar(&format!("{key}.stddev_s"), sum.stddev);
         rows.push(vec![
             kind.label().to_string(),
             format!("{:.6}", sum.min),
@@ -60,4 +68,5 @@ fn main() {
         "paper (CNK, full rack, 4h28m runs): spread 2.11 s of 16082 s = 0.013%, stddev < 1.14 s"
     );
     println!("the reproduction's CNK variation should sit near 0.01% and far below Linux's.");
+    report.emit(&cli).expect("writing stats");
 }

@@ -1,15 +1,25 @@
 //! Table I: latency for various programming models in SMP mode.
 
+use bench::cli::Cli;
 use bench::harness::{measure_latency_us, LatencyRow};
+use bench::report::Report;
 use bench::table::render;
 
 fn main() {
+    let cli = Cli::parse();
     println!("== Table I: Latency for various programming models (SMP mode) ==\n");
+    let mut report = Report::new("table1_latency");
     let rows: Vec<Vec<String>> = LatencyRow::ALL
         .iter()
         .map(|&row| {
             let got = measure_latency_us(row);
             let want = row.paper_us();
+            let key = row
+                .label()
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+            report.scalar(&format!("{key}.measured_us"), got);
+            report.scalar(&format!("{key}.paper_us"), want);
             vec![
                 row.label().to_string(),
                 format!("{want:.1}"),
@@ -23,4 +33,5 @@ fn main() {
         render(&["Protocol", "paper us", "measured us", "error"], &rows)
     );
     println!("2 nodes, nearest neighbors, 8-byte payload, CNK capabilities.");
+    report.emit(&cli).expect("writing stats");
 }

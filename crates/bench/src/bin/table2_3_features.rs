@@ -1,10 +1,13 @@
 //! Tables II and III: ease of using/implementing capabilities in CNK
 //! and Linux, regenerated from the kernels' encoded feature matrices.
 
+use bench::cli::Cli;
+use bench::report::Report;
 use bench::table::render;
 use bgsim::features::Capability;
 
 fn main() {
+    let cli = Cli::parse();
     let cnk = cnk::features::matrix();
     let linux = fwk::features::matrix();
 
@@ -40,4 +43,16 @@ fn main() {
     println!("{}", render(&["Description", "CNK", "Linux"], &rows));
     println!("(encoded from the kernels' feature matrices; cross-checked against kernel");
     println!(" behaviour by the workspace test suite)");
+
+    let mut report = Report::new("table2_3_features");
+    report.scalar("capabilities", Capability::ALL.len() as f64);
+    let avail = |m: &bgsim::features::FeatureMatrix| {
+        Capability::ALL
+            .iter()
+            .filter(|&&c| m.get(c).unwrap().use_ease.available())
+            .count() as f64
+    };
+    report.scalar("cnk.available", avail(&cnk));
+    report.scalar("linux.available", avail(&linux));
+    report.emit(&cli).expect("writing stats");
 }

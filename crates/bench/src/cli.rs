@@ -1,0 +1,102 @@
+//! Minimal flag parsing shared by every benchmark binary.
+//!
+//! All 14 bins accept the same observability flags on top of their
+//! positional arguments:
+//!
+//! * `--stats-out <path>` — write the run's [`crate::report::Report`]
+//!   to a file (`.txt` extension selects the gem5-style flat format,
+//!   anything else JSON);
+//! * `--json` — print the report as JSON on stdout (or force JSON for a
+//!   `.txt` stats path);
+//! * `--trace-out <path>` — where a bin records tracepoints, write the
+//!   Chrome/Perfetto trace-event JSON there.
+//!
+//! Hand-rolled because the workspace carries no external CLI dependency.
+
+use std::path::PathBuf;
+
+#[derive(Clone, Debug, Default)]
+pub struct Cli {
+    pub stats_out: Option<PathBuf>,
+    pub json: bool,
+    pub trace_out: Option<PathBuf>,
+    /// Positional arguments, in order (bins parse their own).
+    pub rest: Vec<String>,
+}
+
+impl Cli {
+    /// Parse the process arguments (skipping argv[0]).
+    pub fn parse() -> Cli {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Cli {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut flag_with_value = |prefix: &str, inline: Option<&str>| -> Option<PathBuf> {
+                match inline {
+                    Some(v) => Some(PathBuf::from(v)),
+                    None => {
+                        let v = it.next();
+                        assert!(v.is_some(), "{prefix} requires a value");
+                        v.map(PathBuf::from)
+                    }
+                }
+            };
+            if a == "--json" {
+                cli.json = true;
+            } else if a == "--stats-out" || a.starts_with("--stats-out=") {
+                cli.stats_out = flag_with_value("--stats-out", a.strip_prefix("--stats-out="));
+            } else if a == "--trace-out" || a.starts_with("--trace-out=") {
+                cli.trace_out = flag_with_value("--trace-out", a.strip_prefix("--trace-out="));
+            } else {
+                cli.rest.push(a);
+            }
+        }
+        cli
+    }
+
+    /// Positional argument `i` parsed as a number, for the bins whose
+    /// first argument overrides a sample/iteration count.
+    pub fn pos<T: std::str::FromStr>(&self, i: usize) -> Option<T> {
+        self.rest.get(i).and_then(|s| s.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let c = parse(&["500", "--stats-out", "out.json", "--json", "7"]);
+        assert_eq!(
+            c.stats_out.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+        assert!(c.json);
+        assert_eq!(c.rest, vec!["500", "7"]);
+        assert_eq!(c.pos::<u32>(0), Some(500));
+        assert_eq!(c.pos::<u32>(1), Some(7));
+        assert_eq!(c.pos::<u32>(2), None);
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let c = parse(&["--stats-out=s.txt", "--trace-out=t.json"]);
+        assert_eq!(c.stats_out.as_deref(), Some(std::path::Path::new("s.txt")));
+        assert_eq!(c.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+        assert!(!c.json);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn missing_value_panics() {
+        parse(&["--stats-out"]);
+    }
+}

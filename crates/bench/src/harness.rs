@@ -5,6 +5,7 @@ use bgsim::cycles::cycles_to_us;
 use bgsim::machine::{Machine, Recorder, Workload};
 use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
 use bgsim::script::wl;
+use bgsim::telemetry::{MetricsRegistry, Scope, Slot};
 use bgsim::trace::TraceEvent;
 use bgsim::MachineConfig;
 use cnk::Cnk;
@@ -53,10 +54,34 @@ fn machine(kind: KernelKind, nodes: u32, seed: u64) -> Machine {
 
 // ---- Figs. 5-7: FWQ ---------------------------------------------------------
 
-/// Run FWQ (4 threads on 4 cores, one node); returns the recorder with
-/// series `fwq_core{0..3}` (per-sample cycles).
-pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> Recorder {
-    let mut m = machine(kind, 1, seed);
+/// Output of one FWQ run: the raw sample recorder plus the run's
+/// telemetry registry, post-processed with a per-core
+/// `fwq.sample_cycles` histogram (whose exact min/max/delta reproduce
+/// the Fig. 5–7 max-delta table without touching the raw series).
+pub struct FwqRun {
+    pub rec: Recorder,
+    pub stats: MetricsRegistry,
+    /// Kernel tracepoints from the run (for `--trace-out` export).
+    pub events: Vec<bgsim::telemetry::Tracepoint>,
+}
+
+impl FwqRun {
+    /// Per-core sample histogram (`fwq.sample_cycles.core{c}`).
+    pub fn core_hist(&self, core: u32) -> &bgsim::telemetry::Hist {
+        self.stats
+            .hist("fwq.sample_cycles", Slot::Core(core))
+            .expect("fwq.sample_cycles registered by run_fwq")
+    }
+}
+
+/// Run FWQ (4 threads on 4 cores, one node) with telemetry enabled;
+/// the recorder carries series `fwq_core{0..3}` (per-sample cycles).
+pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> FwqRun {
+    let mut m = Machine::new(
+        MachineConfig::nodes(1).with_seed(seed).with_telemetry(),
+        kind.build(),
+        Box::new(Dcmf::with_defaults()),
+    );
     m.boot();
     let rec = Recorder::new();
     let rec2 = rec.clone();
@@ -69,7 +94,17 @@ pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> Recorder {
     .unwrap();
     let out = m.run();
     assert!(out.completed(), "FWQ did not complete: {out:?}");
-    rec
+    // Fold the recorded samples into a registry histogram so consumers
+    // (tables, --stats-out dumps) read one uniform source.
+    let mut stats = m.sc.tel.take_metrics();
+    let h = stats.histogram("fwq.sample_cycles", Scope::PerCore);
+    for core in 0..4u32 {
+        for v in rec.series(&format!("fwq_core{core}")) {
+            stats.record(h, Slot::Core(core), v as u64);
+        }
+    }
+    let events = m.sc.tel.events().to_vec();
+    FwqRun { rec, stats, events }
 }
 
 // ---- Table I: protocol latencies --------------------------------------------
@@ -348,16 +383,27 @@ mod tests {
     fn fwq_contrast_cnk_vs_fwk() {
         let cnk = run_fwq(KernelKind::Cnk, 500, 1);
         let fwk = run_fwq(KernelKind::Fwk, 500, 1);
-        let c0 = Summary::of(&cnk.series("fwq_core0"));
-        let f0 = Summary::of(&fwk.series("fwq_core0"));
+        let c0 = Summary::of(&cnk.rec.series("fwq_core0"));
+        let f0 = Summary::of(&fwk.rec.series("fwq_core0"));
         assert!(c0.max_variation_frac() < 0.0001);
         assert!(f0.max_variation_frac() > c0.max_variation_frac() * 10.0);
+        // The registry histogram agrees exactly with the raw series.
+        assert_eq!(fwk.core_hist(0).min(), f0.min as u64);
+        assert_eq!(fwk.core_hist(0).max(), f0.max as u64);
+        assert_eq!(fwk.core_hist(0).count(), f0.n as u64);
+        // The Linux run's kernel daemons show up in the noise metrics.
+        assert!(
+            fwk.stats
+                .value("noise.events", Slot::Node(0))
+                .is_some_and(|v| v > 0),
+            "FWK run recorded no noise events"
+        );
     }
 
     #[test]
     fn noiseless_fwk_sits_between() {
         let quiet = run_fwq(KernelKind::FwkNoiseless, 500, 2);
-        let s = Summary::of(&quiet.series("fwq_core0"));
+        let s = Summary::of(&quiet.rec.series("fwq_core0"));
         // No daemons: variation collapses to the hardware jitter band.
         assert!(s.max_variation_frac() < 0.0001, "{s:?}");
     }

@@ -1,6 +1,9 @@
 //! Shared helpers for the benchmark harness binaries (summary statistics,
-//! table formatting). The per-figure binaries live in `src/bin/`.
+//! table formatting, flag parsing, machine-readable reports). The
+//! per-figure binaries live in `src/bin/`.
 
+pub mod cli;
 pub mod harness;
+pub mod report;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,151 @@
+//! Machine-readable run reports for the benchmark binaries.
+//!
+//! A [`Report`] collects the scalar results a bin prints as its ASCII
+//! table plus any telemetry [`MetricsRegistry`] captured from the runs,
+//! and renders them as JSON or as a gem5-style flat `stats.txt` dump.
+//! Every bin builds one and hands it to [`Report::emit`] with its
+//! parsed [`Cli`], which is what gives the whole suite a uniform
+//! `--stats-out <path>` / `--json` interface.
+
+use std::io::Write;
+
+use bgsim::telemetry::{json_escape, stats_json, stats_txt, MetricsRegistry};
+
+use crate::cli::Cli;
+
+pub struct Report {
+    name: String,
+    scalars: Vec<(String, f64)>,
+    registries: Vec<(String, MetricsRegistry)>,
+}
+
+impl Report {
+    pub fn new(name: &str) -> Report {
+        Report {
+            name: name.to_string(),
+            scalars: Vec::new(),
+            registries: Vec::new(),
+        }
+    }
+
+    /// Record one scalar result under a dotted key (e.g.
+    /// `"linux.core0.max_delta"`).
+    pub fn scalar(&mut self, key: &str, v: f64) -> &mut Report {
+        self.scalars.push((key.to_string(), v));
+        self
+    }
+
+    /// Attach a telemetry registry captured from a run, labeled (e.g.
+    /// per kernel) so several runs can coexist in one report.
+    pub fn registry(&mut self, label: &str, reg: MetricsRegistry) -> &mut Report {
+        self.registries.push((label.to_string(), reg));
+        self
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"bench\":\"{}\",\"scalars\":{{", json_escape(&self.name));
+        for (i, (k, v)) in self.scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), json_number(*v)));
+        }
+        out.push_str("},\"metrics\":{");
+        for (i, (label, reg)) in self.registries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(label), stats_json(reg)));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    pub fn to_stats_txt(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.scalars {
+            out.push_str(&format!(
+                "{:<58} {:>16}\n",
+                format!("scalars.{k}"),
+                json_number(*v)
+            ));
+        }
+        for (label, reg) in &self.registries {
+            out.push_str(&format!("# registry: {label}\n"));
+            out.push_str(&stats_txt(reg));
+        }
+        out
+    }
+
+    /// Write the report where the flags ask: a `--stats-out` file
+    /// (`.txt` extension selects the flat format unless `--json` forces
+    /// JSON), and/or JSON on stdout under bare `--json`.
+    pub fn emit(&self, cli: &Cli) -> std::io::Result<()> {
+        if let Some(path) = &cli.stats_out {
+            let flat = path.extension().is_some_and(|e| e == "txt") && !cli.json;
+            let body = if flat {
+                self.to_stats_txt()
+            } else {
+                self.to_json()
+            };
+            let mut f = std::fs::File::create(path)?;
+            f.write_all(body.as_bytes())?;
+            if !body.ends_with('\n') {
+                f.write_all(b"\n")?;
+            }
+            eprintln!("stats written to {}", path.display());
+        }
+        if cli.json && cli.stats_out.is_none() {
+            println!("{}", self.to_json());
+        }
+        Ok(())
+    }
+}
+
+/// Render a scalar as a JSON-legal number (f64 `Display` never uses an
+/// exponent and integers drop the fraction via the `.0` check).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::telemetry::{Scope, Slot};
+
+    #[test]
+    fn json_shape_roundtrips_key_pieces() {
+        let mut reg = MetricsRegistry::new(1, 4);
+        let c = reg.counter("syscall.count", Scope::PerCore);
+        reg.add(c, Slot::Core(2), 9);
+        let mut r = Report::new("fig5_7_fwq");
+        r.scalar("linux.core0.max_delta", 38076.0);
+        r.registry("linux", reg);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"bench\":\"fig5_7_fwq\""));
+        assert!(j.contains("\"linux.core0.max_delta\":38076"));
+        assert!(j.contains("\"linux\":{\"syscall.count\""));
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn flat_format_lists_scalars_and_registries() {
+        let mut r = Report::new("x");
+        r.scalar("a.b", 1.5);
+        r.registry("cnk", MetricsRegistry::new(1, 1));
+        let t = r.to_stats_txt();
+        assert!(t.contains("scalars.a.b"));
+        assert!(t.contains("1.5"));
+        assert!(t.contains("# registry: cnk"));
+        assert!(t.contains("Begin Simulation Statistics"));
+    }
+
+    #[test]
+    fn non_finite_scalars_are_null() {
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(2.0), "2");
+    }
+}

@@ -162,6 +162,17 @@ pub struct MachineConfig {
     /// Record a full event trace (needed by reproducibility tests and
     /// scan-based debugging; small runs only).
     pub trace_events: bool,
+    /// Bound trace-entry retention to a ring of this many entries
+    /// (long-running benches). Implies entry keeping; the digest still
+    /// covers the whole stream.
+    pub trace_capacity: Option<usize>,
+    /// Enable the telemetry subsystem (metrics registry + tracepoints).
+    /// Determinism-neutral: enabling it cannot change trace digests or
+    /// cycle counts.
+    pub telemetry: bool,
+    /// Tracepoint buffer size when telemetry is enabled (preallocated;
+    /// overflow drops rather than reallocating).
+    pub telemetry_capacity: usize,
 }
 
 impl Default for MachineConfig {
@@ -178,6 +189,9 @@ impl Default for MachineConfig {
             barrier_ns: 700.0,
             seed: 0x5eed_cafe,
             trace_events: false,
+            trace_capacity: None,
+            telemetry: false,
+            telemetry_capacity: 1 << 16,
         }
     }
 }
@@ -205,6 +219,20 @@ impl MachineConfig {
 
     pub fn with_trace(mut self) -> MachineConfig {
         self.trace_events = true;
+        self
+    }
+
+    /// Keep only the most recent `n` trace entries (bounded memory for
+    /// long-running benches).
+    pub fn with_trace_capacity(mut self, n: usize) -> MachineConfig {
+        self.trace_events = true;
+        self.trace_capacity = Some(n);
+        self
+    }
+
+    /// Enable the telemetry subsystem (metrics + tracepoints).
+    pub fn with_telemetry(mut self) -> MachineConfig {
+        self.telemetry = true;
         self
     }
 

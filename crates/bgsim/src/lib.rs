@@ -37,6 +37,7 @@ pub mod op;
 pub mod rng;
 pub mod scan;
 pub mod script;
+pub mod telemetry;
 pub mod tlb;
 pub mod torus;
 pub mod trace;
@@ -49,3 +50,7 @@ pub use machine::{
     ThreadState, WlEnv, Workload, WorkloadFactory,
 };
 pub use op::{ApiLayer, CloneArgs, CommOp, Op, Protocol};
+pub use telemetry::{
+    first_divergence, DivergenceReport, Hist, MetricId, MetricsRegistry, Scope, Slot, Telemetry,
+    TpKind, Tracepoint,
+};

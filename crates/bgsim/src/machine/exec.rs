@@ -14,6 +14,7 @@ use crate::machine::{
 };
 use crate::op::Op;
 use crate::scan::{ScanRecord, ScanTarget};
+use crate::telemetry::{Slot, TpKind};
 use crate::trace::TraceEvent;
 
 /// Cycles charged to the interrupted thread per delivered IPI.
@@ -318,6 +319,19 @@ impl Machine {
                 self.sc
                     .trace
                     .record(self.sc.engine.now(), TraceEvent::Ipi { core: core.0, kind });
+                let node = self.sc.node_of_core(core);
+                self.sc
+                    .tel
+                    .count(self.sc.tel.ids.ipis, Slot::Core(core.0), 1);
+                self.sc.tel.tp(
+                    self.sc.engine.now(),
+                    node.0,
+                    core.0,
+                    TpKind::Ipi,
+                    "ipi",
+                    u64::from(kind),
+                    0,
+                );
                 // The interrupted thread pays the IPI entry/exit cost.
                 self.sc
                     .stretch_running(core, IPI_OVERHEAD, u64::from(kind) | 0x1000);
@@ -329,6 +343,19 @@ impl Machine {
                 self.sc.trace.record(
                     self.sc.engine.now(),
                     TraceEvent::Fault { core: core.0, kind },
+                );
+                let node = self.sc.node_of_core(core);
+                self.sc
+                    .tel
+                    .count(self.sc.tel.ids.hw_faults, Slot::Core(core.0), 1);
+                self.sc.tel.tp(
+                    self.sc.engine.now(),
+                    node.0,
+                    core.0,
+                    TpKind::HwFault,
+                    "parity",
+                    u64::from(kind),
+                    0,
                 );
                 self.kernel.on_fault(&mut self.sc, core, kind);
             }
@@ -422,6 +449,7 @@ impl Machine {
             self.sc
                 .trace
                 .record(self.sc.engine.now(), TraceEvent::ThreadExit { tid: tid.0 });
+            self.tp_thread_exit(tid, code);
             self.kernel.on_exit(&mut self.sc, tid);
         }
         for core in freed_cores {
@@ -443,8 +471,25 @@ impl Machine {
         self.sc
             .trace
             .record(self.sc.engine.now(), TraceEvent::ThreadExit { tid: tid.0 });
+        self.tp_thread_exit(tid, code);
         self.kernel.on_exit(&mut self.sc, tid);
         self.refill_core(core);
+    }
+
+    fn tp_thread_exit(&mut self, tid: Tid, code: i32) {
+        if self.sc.tel.enabled() {
+            let t = &self.sc.threads[tid.idx()];
+            let (node, core) = (t.node, t.core);
+            self.sc.tel.tp(
+                self.sc.engine.now(),
+                node.0,
+                core.0,
+                TpKind::ThreadExit,
+                "exit",
+                tid.0 as u64,
+                code as u64,
+            );
+        }
     }
 
     fn refill_core(&mut self, core: CoreId) {
@@ -453,6 +498,19 @@ impl Machine {
         }
         if let Some(next) = self.kernel.pick_next(&mut self.sc, core) {
             if self.sc.core_idle(core) {
+                self.sc
+                    .tel
+                    .count(self.sc.tel.ids.sched_picks, Slot::Core(core.0), 1);
+                let node = self.sc.node_of_core(core);
+                self.sc.tel.tp(
+                    self.sc.engine.now(),
+                    node.0,
+                    core.0,
+                    TpKind::SchedPick,
+                    "pick_next",
+                    next.0 as u64,
+                    0,
+                );
                 self.sc.dispatch(next);
             }
         }
@@ -594,6 +652,22 @@ impl Machine {
                 name: req.name(),
             },
         );
+        let (node, core) = {
+            let t = &self.sc.threads[tid.idx()];
+            (t.node, t.core)
+        };
+        self.sc
+            .tel
+            .count(self.sc.tel.ids.syscalls, Slot::Core(core.0), 1);
+        self.sc.tel.tp(
+            self.sc.engine.now(),
+            node.0,
+            core.0,
+            TpKind::SyscallEnter,
+            req.name(),
+            tid.0 as u64,
+            0,
+        );
         let action = self.kernel.syscall(&mut self.sc, tid, req);
         match action {
             SyscallAction::Done { ret, cost } => {
@@ -601,6 +675,18 @@ impl Machine {
                 self.sc.trace.record(
                     self.sc.engine.now(),
                     TraceEvent::SyscallExit { tid: tid.0, ok },
+                );
+                self.sc
+                    .tel
+                    .hist(self.sc.tel.ids.syscall_cycles, Slot::Core(core.0), cost);
+                self.sc.tel.tp(
+                    self.sc.engine.now(),
+                    node.0,
+                    core.0,
+                    TpKind::SyscallExit,
+                    req.name(),
+                    tid.0 as u64,
+                    cost,
                 );
                 self.sc.threads[tid.idx()].pending_ret = Some(ret);
                 if cost == 0 {
@@ -666,6 +752,19 @@ impl Machine {
                 cost,
             },
         );
+        if self.sc.tel.enabled() {
+            let t = &self.sc.threads[tid.idx()];
+            let (node, core) = (t.node, t.core);
+            self.sc.tel.tp(
+                self.sc.engine.now(),
+                node.0,
+                core.0,
+                TpKind::OpStart,
+                opname,
+                tid.0 as u64,
+                cost,
+            );
+        }
     }
 
     /// Borrow a thread's workload for result extraction after a run.

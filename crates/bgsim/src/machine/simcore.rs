@@ -23,6 +23,7 @@ use crate::machine::thread::{Thread, ThreadState};
 use crate::machine::Workload;
 use crate::mem::PhysMem;
 use crate::rng::RngHub;
+use crate::telemetry::{Slot, Telemetry, TpKind};
 use crate::torus::Torus;
 use crate::trace::{Trace, TraceEvent};
 
@@ -70,6 +71,8 @@ pub struct SimCore {
     pub coll: CollectiveNet,
     pub barrier: BarrierNet,
     pub trace: Trace,
+    /// The telemetry subsystem (no-op unless `cfg.telemetry`).
+    pub tel: Telemetry,
     pub hub: RngHub,
     pub threads: Vec<Thread>,
     /// Per-node DRAM.
@@ -111,7 +114,15 @@ impl SimCore {
             torus: Torus::new(&cfg),
             coll: CollectiveNet::new(&cfg),
             barrier: BarrierNet::new(&cfg),
-            trace: Trace::new(cfg.trace_events),
+            trace: match cfg.trace_capacity {
+                Some(n) => Trace::with_capacity(n),
+                None => Trace::new(cfg.trace_events),
+            },
+            tel: if cfg.telemetry {
+                Telemetry::standard(cfg.nodes, cfg.chip.cores, cfg.telemetry_capacity)
+            } else {
+                Telemetry::disabled()
+            },
             hub: hub.clone(),
             threads: Vec::new(),
             dram: (0..cfg.nodes)
@@ -281,6 +292,19 @@ impl SimCore {
                 cycles,
             },
         );
+        self.tel
+            .count(self.tel.ids.noise_events, Slot::Node(node.0), 1);
+        self.tel
+            .hist(self.tel.ids.noise_cycles, Slot::Core(core.0), cycles);
+        self.tel.tp(
+            self.engine.now(),
+            node.0,
+            core.0,
+            TpKind::Noise,
+            "stretch",
+            tag,
+            cycles,
+        );
         self.engine
             .schedule(new_until, EvKind::OpDone { tid: tid.0, gen });
         true
@@ -307,6 +331,17 @@ impl SimCore {
         t.gen_ctr += 1;
         t.state = ThreadState::Ready;
         self.running[core.idx()] = None;
+        let node = self.node_of_core(core);
+        self.tel.count(self.tel.ids.preempts, Slot::Core(core.0), 1);
+        self.tel.tp(
+            now,
+            node.0,
+            core.0,
+            TpKind::Preempt,
+            "timeslice",
+            tid.0 as u64,
+            remaining,
+        );
         Some(tid)
     }
 
@@ -382,6 +417,8 @@ impl SimCore {
         let id = self.next_msg_id();
         self.stats.torus_msgs += 1;
         self.stats.torus_bytes += bytes;
+        self.tel
+            .count(self.tel.ids.torus_sends, Slot::Node(src.0), 1);
         let arrival = self.engine.now() + xfer + extra_delay;
         self.enqueue_msg(
             NetMsg {
@@ -417,6 +454,8 @@ impl SimCore {
         let id = self.next_msg_id();
         self.stats.coll_msgs += 1;
         self.stats.coll_bytes += bytes;
+        self.tel
+            .count(self.tel.ids.coll_sends, Slot::Node(src.0), 1);
         let arrival = self.engine.now() + xfer + extra_delay;
         self.enqueue_msg(
             NetMsg {

@@ -1,0 +1,170 @@
+//! First-divergence reporter: given two traces recorded with entries
+//! kept, find the earliest differing [`TraceEntry`] and show it with
+//! surrounding context.
+//!
+//! This turns an opaque "digests differ" into an actionable location —
+//! the cycle, event type, and neighborhood where two supposedly
+//! identical runs first part ways (the debugging workflow §III's
+//! reproducible-reset methodology exists to enable).
+
+use crate::trace::{Trace, TraceEntry};
+
+/// The earliest difference between two traces.
+#[derive(Clone, Debug)]
+pub struct DivergenceReport {
+    /// Absolute index of the first differing entry (counting every
+    /// recorded event, including any that fell out of a bounded ring).
+    pub index: u64,
+    /// The entry on each side; `None` if that stream ended first.
+    pub a: Option<TraceEntry>,
+    pub b: Option<TraceEntry>,
+    /// Up to `context` matching entries immediately preceding the
+    /// divergence (taken from stream A; they are identical in B).
+    pub context: Vec<TraceEntry>,
+}
+
+impl DivergenceReport {
+    /// Human-readable rendering for bench/debug output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("first divergence at event index {}\n", self.index));
+        for e in &self.context {
+            out.push_str(&format!("    = {:>12}  {:?}\n", e.at, e.what));
+        }
+        match &self.a {
+            Some(e) => out.push_str(&format!("  A > {:>12}  {:?}\n", e.at, e.what)),
+            None => out.push_str("  A > <stream ended>\n"),
+        }
+        match &self.b {
+            Some(e) => out.push_str(&format!("  B > {:>12}  {:?}\n", e.at, e.what)),
+            None => out.push_str("  B > <stream ended>\n"),
+        }
+        out
+    }
+}
+
+/// Compare two traces entry-by-entry and report the first difference,
+/// with up to `context` preceding entries. Returns `None` if the
+/// overlapping recorded ranges are identical and equally long.
+///
+/// Both traces should have been recorded with entries kept
+/// (`trace_events` or a bounded ring). Bounded rings are aligned by
+/// absolute index; only the overlap both sides still hold is compared,
+/// so a divergence older than the ring capacity cannot be localized —
+/// re-run with a larger capacity.
+pub fn first_divergence(a: &Trace, b: &Trace, context: usize) -> Option<DivergenceReport> {
+    // Align by absolute index: entry i of a trace's buffer is absolute
+    // index dropped + i.
+    let start = a.dropped().max(b.dropped());
+    let a_off = (start - a.dropped()) as usize;
+    let b_off = (start - b.dropped()) as usize;
+    let a_len = a.entries().len().saturating_sub(a_off);
+    let b_len = b.entries().len().saturating_sub(b_off);
+    let common = a_len.min(b_len);
+    for i in 0..common {
+        let ea = &a.entries()[a_off + i];
+        let eb = &b.entries()[b_off + i];
+        if ea != eb {
+            let ctx_from = i.saturating_sub(context);
+            return Some(DivergenceReport {
+                index: start + i as u64,
+                a: Some(ea.clone()),
+                b: Some(eb.clone()),
+                context: (ctx_from..i)
+                    .map(|j| a.entries()[a_off + j].clone())
+                    .collect(),
+            });
+        }
+    }
+    if a_len == b_len {
+        return None;
+    }
+    // One stream is a strict prefix of the other: the divergence is the
+    // first entry past the shorter one.
+    let i = common;
+    let ctx_from = i.saturating_sub(context);
+    Some(DivergenceReport {
+        index: start + i as u64,
+        a: a.entries().get(a_off + i).cloned(),
+        b: b.entries().get(b_off + i).cloned(),
+        context: (ctx_from..i)
+            .map(|j| a.entries()[a_off + j].clone())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn noise(node: u32, cycles: u64) -> TraceEvent {
+        TraceEvent::Noise {
+            node,
+            tag: 0,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn identical_traces_no_divergence() {
+        let mut a = Trace::new(true);
+        let mut b = Trace::new(true);
+        for i in 0..50 {
+            a.record(i, noise(0, i));
+            b.record(i, noise(0, i));
+        }
+        assert!(first_divergence(&a, &b, 3).is_none());
+    }
+
+    #[test]
+    fn single_differing_event_is_located() {
+        let mut a = Trace::new(true);
+        let mut b = Trace::new(true);
+        for i in 0..50 {
+            a.record(i, noise(0, i));
+            // Run B has one extra-long noise event at index 20.
+            b.record(i, noise(0, if i == 20 { 9999 } else { i }));
+        }
+        let d = first_divergence(&a, &b, 3).expect("must diverge");
+        assert_eq!(d.index, 20);
+        assert_eq!(d.a.unwrap().what, noise(0, 20));
+        assert_eq!(d.b.unwrap().what, noise(0, 9999));
+        assert_eq!(d.context.len(), 3);
+        assert_eq!(d.context[2].what, noise(0, 19));
+    }
+
+    #[test]
+    fn prefix_stream_reports_end() {
+        let mut a = Trace::new(true);
+        let mut b = Trace::new(true);
+        for i in 0..10 {
+            a.record(i, noise(0, i));
+            if i < 8 {
+                b.record(i, noise(0, i));
+            }
+        }
+        let d = first_divergence(&a, &b, 2).expect("must diverge");
+        assert_eq!(d.index, 8);
+        assert!(d.a.is_some() && d.b.is_none());
+    }
+
+    #[test]
+    fn ring_buffers_align_by_absolute_index() {
+        // A keeps everything; B is a ring that dropped its prefix. The
+        // overlap matches except one event.
+        let mut a = Trace::new(true);
+        let mut b = Trace::with_capacity(16);
+        for i in 0..64 {
+            a.record(i, noise(0, i));
+            b.record(i, noise(0, if i == 60 { 1234 } else { i }));
+        }
+        assert_eq!(b.dropped(), 48);
+        let d = first_divergence(&a, &b, 2).expect("must diverge");
+        assert_eq!(d.index, 60);
+        assert_eq!(d.b.as_ref().unwrap().what, noise(0, 1234));
+        let r = d.render();
+        assert!(r.contains("index 60"));
+        assert!(r.contains("A >"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Exporters: Chrome/Perfetto trace-event JSON for timeline inspection
+//! and gem5-style flat `stats.txt` / JSON dumps of the metrics registry.
+//!
+//! All output is hand-rolled JSON (the workspace carries no serde); the
+//! shapes are small and fixed, so escaping strings is the only subtlety.
+
+use super::metrics::{MetricKind, MetricsRegistry};
+use super::tracepoint::{TpKind, Tracepoint, NO_CORE};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render tracepoints as a Chrome trace-event JSON document, viewable in
+/// `chrome://tracing` or [ui.perfetto.dev](https://ui.perfetto.dev).
+///
+/// Mapping: pid = node, tid = core, ts/dur = simulated cycles (the
+/// viewer labels them as microseconds; at 850 MHz divide by 850 for real
+/// microseconds). Ops render as complete ("X") slices so preemption and
+/// kills cannot unbalance begin/end pairs; function-ship request/reply
+/// pairs render as async ("b"/"e") spans keyed by request id; everything
+/// else is an instant ("i").
+pub fn chrome_trace_json(events: &[Tracepoint]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"cycles@850MHz\"},");
+    out.push_str("\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tid = if e.core == NO_CORE { 9999 } else { e.core };
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            json_escape(e.name),
+            e.kind.category(),
+            e.node,
+            tid,
+            e.at
+        );
+        match e.kind {
+            TpKind::OpStart => {
+                out.push_str(&format!(
+                    "{{{common},\"ph\":\"X\",\"dur\":{},\"args\":{{\"tid\":{}}}}}",
+                    e.b, e.a
+                ));
+            }
+            TpKind::FshipReq => {
+                out.push_str(&format!(
+                    "{{{common},\"ph\":\"b\",\"id\":{},\"args\":{{\"bytes\":{}}}}}",
+                    e.a, e.b
+                ));
+            }
+            TpKind::FshipRep => {
+                out.push_str(&format!(
+                    "{{{common},\"ph\":\"e\",\"id\":{},\"args\":{{\"latency_cycles\":{}}}}}",
+                    e.a, e.b
+                ));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "{{{common},\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+                    e.a, e.b
+                ));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render the registry as a gem5-style flat stats text dump: one
+/// `name.slot  value` line per scalar, histogram sub-statistics spelled
+/// out (`.count`, `.sum`, `.min`, `.max`, `.mean`, non-empty log2
+/// buckets as `.bucket<i>` covering `[2^(i-1), 2^i)`).
+pub fn stats_txt(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("---------- Begin Simulation Statistics ----------\n");
+    for m in reg.iter() {
+        match m.kind {
+            MetricKind::Histogram => {
+                for (i, h) in m.hists.iter().enumerate() {
+                    if h.count() == 0 {
+                        continue;
+                    }
+                    let slot = reg.slot_label(m.scope, i);
+                    let base = format!("{}.{}", m.name, slot);
+                    out.push_str(&format!(
+                        "{:<58} {:>16}\n",
+                        format!("{base}.count"),
+                        h.count()
+                    ));
+                    out.push_str(&format!("{:<58} {:>16}\n", format!("{base}.sum"), h.sum()));
+                    out.push_str(&format!("{:<58} {:>16}\n", format!("{base}.min"), h.min()));
+                    out.push_str(&format!("{:<58} {:>16}\n", format!("{base}.max"), h.max()));
+                    out.push_str(&format!(
+                        "{:<58} {:>16.2}\n",
+                        format!("{base}.mean"),
+                        h.mean()
+                    ));
+                    for (b, c) in h.nonzero_buckets() {
+                        out.push_str(&format!("{:<58} {:>16}\n", format!("{base}.bucket{b}"), c));
+                    }
+                }
+            }
+            _ => {
+                for (i, v) in m.vals.iter().enumerate() {
+                    if *v == 0 {
+                        continue;
+                    }
+                    let slot = reg.slot_label(m.scope, i);
+                    out.push_str(&format!(
+                        "{:<58} {:>16}\n",
+                        format!("{}.{}", m.name, slot),
+                        v
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("---------- End Simulation Statistics   ----------\n");
+    out
+}
+
+/// Render the registry as a JSON object: metric name → `{kind, scope,
+/// values}` where `values` maps slot labels to scalars or histogram
+/// objects (`{count, sum, min, max, mean, buckets: {i: count}}`).
+/// Zero-valued slots are elided to keep dumps proportional to activity.
+pub fn stats_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("{");
+    let mut first_metric = true;
+    for m in reg.iter() {
+        if !first_metric {
+            out.push(',');
+        }
+        first_metric = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"kind\":\"{}\",\"scope\":\"{}\",\"values\":{{",
+            json_escape(m.name),
+            m.kind.as_str(),
+            m.scope.as_str()
+        ));
+        let mut first_slot = true;
+        match m.kind {
+            MetricKind::Histogram => {
+                for (i, h) in m.hists.iter().enumerate() {
+                    if h.count() == 0 {
+                        continue;
+                    }
+                    if !first_slot {
+                        out.push(',');
+                    }
+                    first_slot = false;
+                    out.push_str(&format!(
+                        "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"buckets\":{{",
+                        reg.slot_label(m.scope, i),
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.mean()
+                    ));
+                    let mut first_b = true;
+                    for (b, c) in h.nonzero_buckets() {
+                        if !first_b {
+                            out.push(',');
+                        }
+                        first_b = false;
+                        out.push_str(&format!("\"{b}\":{c}"));
+                    }
+                    out.push_str("}}");
+                }
+            }
+            _ => {
+                for (i, v) in m.vals.iter().enumerate() {
+                    if *v == 0 {
+                        continue;
+                    }
+                    if !first_slot {
+                        out.push(',');
+                    }
+                    first_slot = false;
+                    out.push_str(&format!("\"{}\":{}", reg.slot_label(m.scope, i), v));
+                }
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::metrics::{Scope, Slot};
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_shapes() {
+        let events = [
+            Tracepoint {
+                at: 100,
+                node: 0,
+                core: 1,
+                kind: TpKind::OpStart,
+                name: "compute",
+                a: 3,
+                b: 500,
+            },
+            Tracepoint {
+                at: 200,
+                node: 0,
+                core: 0,
+                kind: TpKind::FshipReq,
+                name: "write",
+                a: 42,
+                b: 96,
+            },
+            Tracepoint {
+                at: 900,
+                node: 0,
+                core: 0,
+                kind: TpKind::FshipRep,
+                name: "write",
+                a: 42,
+                b: 700,
+            },
+            Tracepoint {
+                at: 950,
+                node: 0,
+                core: 2,
+                kind: TpKind::Noise,
+                name: "sshd",
+                a: 1,
+                b: 330,
+            },
+        ];
+        let j = chrome_trace_json(&events);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"ph\":\"X\"") && j.contains("\"dur\":500"));
+        assert!(j.contains("\"ph\":\"b\"") && j.contains("\"ph\":\"e\""));
+        assert!(j.contains("\"ph\":\"i\""));
+        assert!(j.contains("\"cat\":\"noise\""));
+    }
+
+    #[test]
+    fn stats_dumps_elide_zero_slots() {
+        let mut r = MetricsRegistry::new(1, 4);
+        let c = r.counter("syscall.count", Scope::PerCore);
+        let h = r.histogram("noise.cycles", Scope::PerCore);
+        r.add(c, Slot::Core(2), 5);
+        r.record(h, Slot::Core(2), 39);
+        let txt = stats_txt(&r);
+        assert!(txt.contains("syscall.count.core2"));
+        assert!(!txt.contains("core0"));
+        assert!(txt.contains("noise.cycles.core2.max"));
+        let json = stats_json(&r);
+        assert!(json.contains("\"core2\":5"));
+        assert!(json.contains("\"max\":39"));
+        assert!(!json.contains("core1"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The deterministic telemetry subsystem: a boot-allocated metrics
+//! registry, typed cycle-domain tracepoints, and exporters
+//! (Chrome/Perfetto trace JSON, gem5-style flat stats, first-divergence
+//! reporting).
+//!
+//! Determinism neutrality is by construction, not by luck:
+//!
+//! * every recorded value is a simulated-cycle count or a plain count —
+//!   no wall clock anywhere;
+//! * recording appends to telemetry-private buffers and never reads an
+//!   RNG stream, never schedules an event, and never mutates thread or
+//!   engine state;
+//! * all metric storage is allocated at boot (registration), so the
+//!   hot-path cost of a hook is an array index and an add — and when
+//!   telemetry is disabled, a single branch.
+//!
+//! The same run with telemetry enabled and disabled therefore produces
+//! bit-identical trace digests and final cycle counts; a test in
+//! `tests/cross_kernel.rs` enforces this for both kernels.
+
+mod divergence;
+mod export;
+mod metrics;
+mod tracepoint;
+
+pub use divergence::{first_divergence, DivergenceReport};
+pub use export::{chrome_trace_json, json_escape, stats_json, stats_txt};
+pub use metrics::{Hist, MetricId, MetricKind, MetricView, MetricsRegistry, Scope, Slot};
+pub use tracepoint::{TpKind, Tracepoint, NO_CORE};
+
+use crate::cycles::Cycle;
+
+/// Metric ids pre-registered at boot so simulator and kernel hooks pay
+/// no name lookups. Names follow a gem5-ish dotted convention; the
+/// catalog is documented in README.md ("Observability").
+#[derive(Clone, Copy, Debug)]
+pub struct WellKnownIds {
+    pub noise_events: MetricId,
+    pub noise_cycles: MetricId,
+    pub preempts: MetricId,
+    pub sched_picks: MetricId,
+    pub syscalls: MetricId,
+    pub syscall_cycles: MetricId,
+    pub ipis: MetricId,
+    pub hw_faults: MetricId,
+    pub guard_faults: MetricId,
+    pub segv_faults: MetricId,
+    pub page_faults: MetricId,
+    pub tlb_refills: MetricId,
+    pub futex_waits: MetricId,
+    pub futex_wakes: MetricId,
+    pub fship_requests: MetricId,
+    pub fship_latency: MetricId,
+    pub daemon_wakes: MetricId,
+    pub dcmf_eager: MetricId,
+    pub dcmf_rndzv: MetricId,
+    pub dcmf_put: MetricId,
+    pub dcmf_get: MetricId,
+    pub dcmf_coll: MetricId,
+    pub torus_sends: MetricId,
+    pub coll_sends: MetricId,
+}
+
+impl WellKnownIds {
+    fn register(reg: &mut MetricsRegistry) -> WellKnownIds {
+        WellKnownIds {
+            noise_events: reg.counter("noise.events", Scope::PerNode),
+            noise_cycles: reg.histogram("noise.cycles", Scope::PerCore),
+            preempts: reg.counter("sched.preempts", Scope::PerCore),
+            sched_picks: reg.counter("sched.picks", Scope::PerCore),
+            syscalls: reg.counter("syscall.count", Scope::PerCore),
+            syscall_cycles: reg.histogram("syscall.cycles", Scope::PerCore),
+            ipis: reg.counter("irq.ipis", Scope::PerCore),
+            hw_faults: reg.counter("fault.hw", Scope::PerCore),
+            guard_faults: reg.counter("fault.guard", Scope::PerCore),
+            segv_faults: reg.counter("fault.segv", Scope::PerCore),
+            page_faults: reg.counter("fault.page", Scope::PerCore),
+            tlb_refills: reg.counter("mem.tlb_refills", Scope::PerCore),
+            futex_waits: reg.counter("futex.waits", Scope::PerCore),
+            futex_wakes: reg.counter("futex.wakes", Scope::PerCore),
+            fship_requests: reg.counter("fship.requests", Scope::PerNode),
+            fship_latency: reg.histogram("fship.latency_cycles", Scope::PerNode),
+            daemon_wakes: reg.counter("noise.daemon_wakes", Scope::PerCore),
+            dcmf_eager: reg.counter("dcmf.eager", Scope::PerNode),
+            dcmf_rndzv: reg.counter("dcmf.rndzv", Scope::PerNode),
+            dcmf_put: reg.counter("dcmf.put", Scope::PerNode),
+            dcmf_get: reg.counter("dcmf.get", Scope::PerNode),
+            dcmf_coll: reg.counter("dcmf.collectives", Scope::PerNode),
+            torus_sends: reg.counter("net.torus_sends", Scope::PerNode),
+            coll_sends: reg.counter("net.coll_sends", Scope::PerNode),
+        }
+    }
+}
+
+/// The per-machine telemetry facade carried by `SimCore`. All recording
+/// methods are no-ops when disabled; hooks stay in place permanently
+/// and cost one predictable branch.
+pub struct Telemetry {
+    enabled: bool,
+    pub metrics: MetricsRegistry,
+    pub ids: WellKnownIds,
+    events: Vec<Tracepoint>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Telemetry {
+    /// The no-op telemetry every machine gets unless configured
+    /// otherwise (`MachineConfig::with_telemetry`).
+    pub fn disabled() -> Telemetry {
+        let mut metrics = MetricsRegistry::new(1, 1);
+        let ids = WellKnownIds::register(&mut metrics);
+        Telemetry {
+            enabled: false,
+            metrics,
+            ids,
+            events: Vec::new(),
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enabled telemetry for a machine shape, with the standard metric
+    /// catalog registered and a bounded tracepoint buffer preallocated
+    /// (recording past `capacity` counts drops instead of reallocating).
+    pub fn standard(nodes: u32, cores_per_node: u32, capacity: usize) -> Telemetry {
+        let mut metrics = MetricsRegistry::new(nodes, cores_per_node);
+        let ids = WellKnownIds::register(&mut metrics);
+        Telemetry {
+            enabled: true,
+            metrics,
+            ids,
+            events: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a tracepoint. Alloc-free: the buffer was preallocated and
+    /// overflow drops (counted) rather than growing.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn tp(
+        &mut self,
+        at: Cycle,
+        node: u32,
+        core: u32,
+        kind: TpKind,
+        name: &'static str,
+        a: u64,
+        b: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(Tracepoint {
+            at,
+            node,
+            core,
+            kind,
+            name,
+            a,
+            b,
+        });
+    }
+
+    /// Increment a counter.
+    #[inline]
+    pub fn count(&mut self, id: MetricId, slot: Slot, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.add(id, slot, v);
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn hist(&mut self, id: MetricId, slot: Slot, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.record(id, slot, v);
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge(&mut self, id: MetricId, slot: Slot, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.set(id, slot, v);
+    }
+
+    /// Recorded tracepoints, in record order.
+    pub fn events(&self) -> &[Tracepoint] {
+        &self.events
+    }
+
+    /// Tracepoints dropped because the buffer was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Move the metrics registry out (bench post-processing), leaving an
+    /// empty one behind.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        let nodes = self.metrics.nodes();
+        let cpn = self.metrics.cores_per_node();
+        let mut fresh = MetricsRegistry::new(nodes, cpn);
+        self.ids = WellKnownIds::register(&mut fresh);
+        std::mem::replace(&mut self.metrics, fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Telemetry::disabled();
+        t.count(t.ids.syscalls, Slot::Core(0), 1);
+        t.hist(t.ids.noise_cycles, Slot::Core(0), 39);
+        t.tp(5, 0, 0, TpKind::Noise, "x", 0, 0);
+        assert!(!t.enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.metrics.value("syscall.count", Slot::Core(0)), Some(0));
+        assert_eq!(t.dropped_events(), 0);
+    }
+
+    #[test]
+    fn standard_records_and_bounds() {
+        let mut t = Telemetry::standard(1, 4, 2);
+        t.count(t.ids.syscalls, Slot::Core(1), 3);
+        t.hist(t.ids.noise_cycles, Slot::Core(1), 17);
+        for i in 0..5 {
+            t.tp(i, 0, 1, TpKind::Noise, "n", i, 0);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped_events(), 3);
+        assert_eq!(t.metrics.value("syscall.count", Slot::Core(1)), Some(3));
+        assert_eq!(
+            t.metrics.hist("noise.cycles", Slot::Core(1)).unwrap().max(),
+            17
+        );
+    }
+
+    #[test]
+    fn take_metrics_leaves_working_registry() {
+        let mut t = Telemetry::standard(1, 4, 8);
+        t.count(t.ids.syscalls, Slot::Core(0), 2);
+        let taken = t.take_metrics();
+        assert_eq!(taken.value("syscall.count", Slot::Core(0)), Some(2));
+        // The replacement registry is fresh but fully registered.
+        t.count(t.ids.syscalls, Slot::Core(0), 1);
+        assert_eq!(t.metrics.value("syscall.count", Slot::Core(0)), Some(1));
+    }
+}

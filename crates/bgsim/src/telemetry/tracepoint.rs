@@ -1,0 +1,95 @@
+//! Tracepoints: typed, cycle-domain event records threaded through the
+//! kernels, the function-ship path, and the messaging stack.
+//!
+//! A tracepoint is strictly observational — recording one never reads an
+//! RNG stream and never mutates engine or thread state, so enabling
+//! telemetry cannot change a run's trace digest or final cycle count.
+
+use crate::cycles::Cycle;
+
+/// The tracepoint taxonomy. `a`/`b` in [`Tracepoint`] are
+/// kind-dependent operands (documented per variant).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TpKind {
+    /// An op began executing; `a` = tid, `b` = cost in cycles.
+    OpStart,
+    /// Syscall entry; `a` = tid.
+    SyscallEnter,
+    /// Syscall completion; `a` = tid, `b` = cost in cycles.
+    SyscallExit,
+    /// Scheduler placed a thread on a free core; `a` = tid.
+    SchedPick,
+    /// Timeslice preemption; `a` = tid, `b` = remaining cycles saved.
+    Preempt,
+    /// Futex wait (block); `a` = tid, `b` = futex address.
+    FutexWait,
+    /// Futex wake; `a` = waker tid, `b` = number of threads woken.
+    FutexWake,
+    /// DAC guard-page hit; `a` = tid, `b` = faulting address.
+    GuardFault,
+    /// Demand-paging fault(s) serviced; `a` = tid, `b` = fault count.
+    PageFault,
+    /// Software TLB refill(s); `a` = tid, `b` = miss count.
+    TlbRefill,
+    /// Protection violation / unmapped access; `a` = tid, `b` = address.
+    Segv,
+    /// Injected hardware fault (e.g. L1 parity); `a` = fault kind.
+    HwFault,
+    /// A kernel daemon/noise source fired; `a` = cost in cycles.
+    DaemonWake,
+    /// Generic noise stretch on a running thread; `a` = tag, `b` = cycles.
+    Noise,
+    /// Inter-processor interrupt delivered; `a` = kind.
+    Ipi,
+    /// Function-ship request left the compute node; `a` = request id,
+    /// `b` = marshaled bytes.
+    FshipReq,
+    /// Function-ship reply arrived back; `a` = request id,
+    /// `b` = round-trip latency in cycles.
+    FshipRep,
+    /// Messaging protocol phase transition; `a` = peer rank or message
+    /// id, `b` = bytes.
+    MsgPhase,
+    /// Thread exited; `a` = tid, `b` = exit code (as u64).
+    ThreadExit,
+}
+
+impl TpKind {
+    /// Category label for trace viewers.
+    pub fn category(self) -> &'static str {
+        match self {
+            TpKind::OpStart => "op",
+            TpKind::SyscallEnter | TpKind::SyscallExit => "syscall",
+            TpKind::SchedPick | TpKind::Preempt => "sched",
+            TpKind::FutexWait | TpKind::FutexWake => "futex",
+            TpKind::GuardFault
+            | TpKind::PageFault
+            | TpKind::TlbRefill
+            | TpKind::Segv
+            | TpKind::HwFault => "fault",
+            TpKind::DaemonWake | TpKind::Noise => "noise",
+            TpKind::Ipi => "irq",
+            TpKind::FshipReq | TpKind::FshipRep => "fship",
+            TpKind::MsgPhase => "dcmf",
+            TpKind::ThreadExit => "thread",
+        }
+    }
+}
+
+/// One recorded tracepoint, entirely in the cycle domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Tracepoint {
+    pub at: Cycle,
+    pub node: u32,
+    /// Global core id; u32::MAX when the event has no core affinity
+    /// (e.g. a node-level message phase).
+    pub core: u32,
+    pub kind: TpKind,
+    /// Static name: syscall name, noise-source name, protocol phase.
+    pub name: &'static str,
+    pub a: u64,
+    pub b: u64,
+}
+
+/// Core value for events without core affinity.
+pub const NO_CORE: u32 = u32::MAX;

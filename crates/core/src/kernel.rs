@@ -13,6 +13,7 @@ use bgsim::machine::{
 };
 use bgsim::noise::NoiseSource;
 use bgsim::op::{CloneArgs, Op};
+use bgsim::telemetry::{Slot, TpKind};
 use bgsim::tlb::TlbEntry;
 use ciod::{service_cycles, Ciod, Vfs};
 use sysabi::{
@@ -89,6 +90,13 @@ impl Default for CnkConfig {
     }
 }
 
+/// A function-shipped request in flight, stamped with its issue cycle so
+/// the reply can report round-trip latency to the telemetry registry.
+struct PendingReq {
+    issued: u64,
+    io: PendingIo,
+}
+
 /// What a pending function-ship request will do on completion.
 enum PendingIo {
     /// Ordinary syscall: hand the demarshaled result to the thread.
@@ -109,7 +117,7 @@ pub struct Cnk {
     vfs: Vfs,
     ciods: Vec<Ciod>,
     ion_rng: Vec<SmallRng>,
-    pending_io: HashMap<u64, PendingIo>,
+    pending_io: HashMap<u64, PendingReq>,
     next_io: u64,
     noise_rng: Vec<SmallRng>,
     /// Per-ION serialization point for BG/L-style I/O service.
@@ -248,7 +256,25 @@ impl Cnk {
         let bytes = payload.len() as u64;
         // Marshal cost is paid by the caller as message-send delay.
         let marshal = FSHIP_MARSHAL + bytes / 8 * FSHIP_PER_8B;
-        self.pending_io.insert(id, pending);
+        self.pending_io.insert(
+            id,
+            PendingReq {
+                issued: sc.now(),
+                io: pending,
+            },
+        );
+        sc.tel
+            .count(sc.tel.ids.fship_requests, Slot::Node(node.0), 1);
+        let core = sc.thread(tid).core;
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            core.0,
+            TpKind::FshipReq,
+            req.name(),
+            id,
+            bytes,
+        );
         sc.coll_send(node, node, bytes, id * 4 + 1, payload, marshal);
     }
 
@@ -284,9 +310,28 @@ impl Cnk {
     /// A reply arrived back at the compute node.
     fn cn_reply(&mut self, sc: &mut SimCore, msg: NetMsg) {
         let id = msg.tag / 4;
-        let Some(pending) = self.pending_io.remove(&id) else {
+        let Some(PendingReq {
+            issued,
+            io: pending,
+        }) = self.pending_io.remove(&id)
+        else {
             return;
         };
+        let latency = sc.now().saturating_sub(issued);
+        sc.tel.hist(
+            sc.tel.ids.fship_latency,
+            Slot::Node(msg.dst_node.0),
+            latency,
+        );
+        sc.tel.tp(
+            sc.now(),
+            msg.dst_node.0,
+            bgsim::telemetry::NO_CORE,
+            TpKind::FshipRep,
+            "reply",
+            id,
+            latency,
+        );
         let ret = ciod::wire::decode_ret(&msg.payload).unwrap_or(SysRet::Err(Errno::EIO));
         let demarshal = FSHIP_DEMARSHAL + msg.bytes / 8 * FSHIP_PER_8B;
         match pending {
@@ -355,7 +400,37 @@ impl Cnk {
         sc.schedule_kernel_event_in(node, ((src_idx as u64) << 8) | core_local as u64, delay);
     }
 
-    fn guard_hit(&mut self, sc: &mut SimCore, tid: Tid) {
+    fn tp_futex_wake(&mut self, sc: &mut SimCore, tid: Tid, node: NodeId, uaddr: u64, woken: i64) {
+        let core = sc.thread(tid).core;
+        sc.tel.count(
+            sc.tel.ids.futex_wakes,
+            Slot::Core(core.0),
+            woken.max(0) as u64,
+        );
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            core.0,
+            TpKind::FutexWake,
+            "wake",
+            uaddr,
+            woken.max(0) as u64,
+        );
+    }
+
+    fn guard_hit(&mut self, sc: &mut SimCore, tid: Tid, vaddr: u64) {
+        let core = sc.thread(tid).core;
+        let node = sc.thread(tid).node;
+        sc.tel.count(sc.tel.ids.guard_faults, Slot::Core(core.0), 1);
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            core.0,
+            TpKind::GuardFault,
+            "dac_guard",
+            tid.0 as u64,
+            vaddr,
+        );
         // A DAC guard hit is delivered as SIGSEGV; default kills the
         // process (stack smashed into the heap).
         self.post_signal(sc, tid, Sig::Segv);
@@ -888,7 +963,7 @@ impl Kernel for Cnk {
         let hit = sc.dacs[core.idx()].check(vaddr).is_some()
             || (bytes > 1 && sc.dacs[core.idx()].check(vaddr + bytes - 1).is_some());
         if hit {
-            self.guard_hit(sc, tid);
+            self.guard_hit(sc, tid, vaddr);
             return MemOpResult {
                 cost: 420,
                 faulted: true,
@@ -903,6 +978,17 @@ impl Kernel for Cnk {
         if !p.aspace.mapped(vaddr) || (bytes > 1 && !p.aspace.mapped(vaddr + bytes - 1)) {
             // No demand paging: an unmapped access is an immediate
             // SIGSEGV (§VI.B).
+            let node = sc.thread(tid).node;
+            sc.tel.count(sc.tel.ids.segv_faults, Slot::Core(core.0), 1);
+            sc.tel.tp(
+                sc.now(),
+                node.0,
+                core.0,
+                TpKind::Segv,
+                "unmapped",
+                tid.0 as u64,
+                vaddr,
+            );
             self.post_signal(sc, tid, Sig::Segv);
             return MemOpResult {
                 cost: 420,
@@ -967,11 +1053,21 @@ impl Kernel for Cnk {
         if src_idx >= self.cfg.injected_noise.len() {
             return;
         }
-        let cost = {
+        let (cost, src_name) = {
             let src = &self.cfg.injected_noise[src_idx];
-            src.cost(&mut self.noise_rng[node.idx()])
+            (src.cost(&mut self.noise_rng[node.idx()]), src.name)
         };
         let core = sc.core_of(node, core_local);
+        sc.tel.count(sc.tel.ids.daemon_wakes, Slot::Core(core.0), 1);
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            core.0,
+            TpKind::DaemonWake,
+            src_name,
+            src_idx as u64,
+            cost,
+        );
         sc.stretch_running(core, cost, tag);
         self.schedule_noise(sc, node, src_idx, core_local);
     }
@@ -1060,6 +1156,17 @@ impl Cnk {
                     _ => sysabi::futex::FUTEX_BITSET_MATCH_ANY,
                 };
                 ft.wait(pa, tid, bitset);
+                let core = sc.thread(tid).core;
+                sc.tel.count(sc.tel.ids.futex_waits, Slot::Core(core.0), 1);
+                sc.tel.tp(
+                    sc.now(),
+                    node.0,
+                    core.0,
+                    TpKind::FutexWait,
+                    "wait",
+                    tid.0 as u64,
+                    uaddr,
+                );
                 SyscallAction::Block {
                     kind: BlockKind::Futex,
                 }
@@ -1070,6 +1177,7 @@ impl Cnk {
                 for t in woken {
                     sc.defer_unblock(t, Some(SysRet::Val(0)));
                 }
+                self.tp_futex_wake(sc, tid, node, uaddr, n);
                 Self::done(SysRet::Val(n), cost)
             }
             FutexOp::WakeBitset { count, bitset } => {
@@ -1078,6 +1186,7 @@ impl Cnk {
                 for t in woken {
                     sc.defer_unblock(t, Some(SysRet::Val(0)));
                 }
+                self.tp_futex_wake(sc, tid, node, uaddr, n);
                 Self::done(SysRet::Val(n), cost)
             }
             FutexOp::Requeue {

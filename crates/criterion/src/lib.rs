@@ -1,0 +1,115 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the subset `benches/micro.rs` uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is deliberately simple — a
+//! fixed warmup, then wall-clock timing over enough iterations to pass a
+//! minimum measurement window — with one-line `name: ~N ns/iter` output.
+//! There is no statistical analysis, HTML report, or CLI; under
+//! `cargo test` (which runs `harness = false` benches with `--test`) each
+//! routine executes once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs each registered routine and reports a rough ns/iter figure.
+pub struct Criterion {
+    /// `cargo test` passes `--test`: run each routine once, don't measure.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.test_mode {
+            routine(&mut b);
+            println!("test {name} ... ok (bench smoke)");
+            return self;
+        }
+        // Warmup, then grow the iteration count until the measurement
+        // window is long enough to trust the clock.
+        routine(&mut b);
+        let mut iters = 1u64;
+        loop {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            routine(&mut b);
+            if b.elapsed >= Duration::from_millis(200) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<40} {per_iter:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Handed to each routine; `iter` times the supplied closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut n = 0u64;
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| n += 1);
+        assert_eq!(n, 10);
+    }
+}

@@ -10,6 +10,7 @@ use bgsim::machine::{
 };
 use bgsim::op::{ApiLayer, CommOp, Protocol};
 use bgsim::rng::uniform_incl;
+use bgsim::telemetry::{Slot, TpKind, NO_CORE};
 use sysabi::{NodeId, Rank, SysRet, Tid};
 
 use crate::params::DcmfParams;
@@ -323,6 +324,18 @@ impl CommModel for Dcmf {
                         },
                     );
                     self.sends += 1;
+                    sc.tel
+                        .count(sc.tel.ids.dcmf_eager, Slot::Node(src_node.0), 1);
+                    let core = sc.thread(tid).core;
+                    sc.tel.tp(
+                        sc.now(),
+                        src_node.0,
+                        core.0,
+                        TpKind::MsgPhase,
+                        "eager_send",
+                        to.0 as u64,
+                        *bytes,
+                    );
                     CommAction::RunFor { cycles: send_cost }
                 } else {
                     // Rendezvous: RTS → CTS → zero-copy bulk data. The
@@ -348,6 +361,18 @@ impl CommModel for Dcmf {
                     let id = sc.torus_send(src_node, dst_node, CTRL_BYTES, 0, vec![], extra);
                     self.inflight.insert(id, Inflight::Rts { rid });
                     self.sends += 1;
+                    sc.tel
+                        .count(sc.tel.ids.dcmf_rndzv, Slot::Node(src_node.0), 1);
+                    let core = sc.thread(tid).core;
+                    sc.tel.tp(
+                        sc.now(),
+                        src_node.0,
+                        core.0,
+                        TpKind::MsgPhase,
+                        "rts_send",
+                        to.0 as u64,
+                        *bytes,
+                    );
                     CommAction::RunFor { cycles: rts_cost }
                 }
             }
@@ -420,6 +445,18 @@ impl CommModel for Dcmf {
                     extra,
                 );
                 self.sends += 1;
+                let src_node = self.node_of(rank);
+                sc.tel.count(sc.tel.ids.dcmf_put, Slot::Node(src_node.0), 1);
+                let core = sc.thread(tid).core;
+                sc.tel.tp(
+                    sc.now(),
+                    src_node.0,
+                    core.0,
+                    TpKind::MsgPhase,
+                    "put_inject",
+                    to.0 as u64,
+                    *bytes,
+                );
                 let ack_extra = self.layer_recv(*layer);
                 self.inflight.insert(
                     id,
@@ -455,6 +492,18 @@ impl CommModel for Dcmf {
                     extra,
                 );
                 self.sends += 1;
+                let src_node = self.node_of(rank);
+                sc.tel.count(sc.tel.ids.dcmf_get, Slot::Node(src_node.0), 1);
+                let core = sc.thread(tid).core;
+                sc.tel.tp(
+                    sc.now(),
+                    src_node.0,
+                    core.0,
+                    TpKind::MsgPhase,
+                    "get_request",
+                    from.0 as u64,
+                    *bytes,
+                );
                 self.inflight.insert(
                     id,
                     Inflight::GetReq {
@@ -470,6 +519,18 @@ impl CommModel for Dcmf {
             CommOp::Barrier => {
                 self.coll.arrived.push(tid);
                 self.coll.is_reduce = false;
+                let node = self.node_of(rank);
+                sc.tel.count(sc.tel.ids.dcmf_coll, Slot::Node(node.0), 1);
+                let core = sc.thread(tid).core;
+                sc.tel.tp(
+                    sc.now(),
+                    node.0,
+                    core.0,
+                    TpKind::MsgPhase,
+                    "barrier_enter",
+                    rank.0 as u64,
+                    0,
+                );
                 self.finish_collective(sc);
                 CommAction::Block {
                     kind: BlockKind::Coll,
@@ -479,6 +540,18 @@ impl CommModel for Dcmf {
                 self.coll.arrived.push(tid);
                 self.coll.is_reduce = true;
                 self.coll.bytes_max = self.coll.bytes_max.max(*bytes);
+                let node = self.node_of(rank);
+                sc.tel.count(sc.tel.ids.dcmf_coll, Slot::Node(node.0), 1);
+                let core = sc.thread(tid).core;
+                sc.tel.tp(
+                    sc.now(),
+                    node.0,
+                    core.0,
+                    TpKind::MsgPhase,
+                    "allreduce_enter",
+                    rank.0 as u64,
+                    *bytes,
+                );
                 self.finish_collective(sc);
                 CommAction::Block {
                     kind: BlockKind::Coll,
@@ -534,6 +607,15 @@ impl CommModel for Dcmf {
                         self.unexpected.push(Unexpected::Rts { rid, src, dst, tag });
                     }
                 }
+                sc.tel.tp(
+                    sc.now(),
+                    msg.dst_node.0,
+                    NO_CORE,
+                    TpKind::MsgPhase,
+                    "cts_send",
+                    rid,
+                    CTRL_BYTES,
+                );
                 self.send_cts(sc, rid);
             }
             Inflight::Cts { rid } => {
@@ -558,11 +640,29 @@ impl CommModel for Dcmf {
                 );
                 self.inflight.insert(id, Inflight::RndzvData { rid });
                 self.sends += 1;
+                sc.tel.tp(
+                    sc.now(),
+                    msg.dst_node.0,
+                    NO_CORE,
+                    TpKind::MsgPhase,
+                    "rndzv_data_inject",
+                    rid,
+                    bytes,
+                );
             }
             Inflight::RndzvData { rid } => {
                 let Some(r) = self.rndzv.get_mut(&rid) else {
                     return;
                 };
+                sc.tel.tp(
+                    sc.now(),
+                    msg.dst_node.0,
+                    NO_CORE,
+                    TpKind::MsgPhase,
+                    "rndzv_data_landed",
+                    rid,
+                    r.bytes,
+                );
                 match r.receiver {
                     Some(recv_tid) => {
                         let r = self.rndzv.remove(&rid).unwrap();

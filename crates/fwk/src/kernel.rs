@@ -10,6 +10,7 @@ use bgsim::machine::{
     SimCore, SyscallAction, Workload, WorkloadFactory,
 };
 use bgsim::op::{CloneArgs, Op};
+use bgsim::telemetry::{Slot, TpKind};
 use bgsim::tlb::{TlbEntry, TLB_MISS_CYCLES};
 use ciod::{IoProxy, Vfs};
 use cnk::futex::FutexTable;
@@ -597,6 +598,20 @@ impl Kernel for Fwk {
             .aspace
             .touch(vaddr, bytes, write, || Self::alloc_frame(nf, lim, node));
         if out.violation || out.unmapped {
+            sc.tel.count(sc.tel.ids.segv_faults, Slot::Core(core.0), 1);
+            sc.tel.tp(
+                sc.now(),
+                node.0,
+                core.0,
+                TpKind::Segv,
+                if out.violation {
+                    "protection"
+                } else {
+                    "unmapped"
+                },
+                tid.0 as u64,
+                vaddr,
+            );
             self.post_signal(sc, tid, Sig::Segv);
             return MemOpResult {
                 cost: 900,
@@ -621,6 +636,35 @@ impl Kernel for Fwk {
                     });
                 }
             }
+        }
+        if out.faults > 0 {
+            sc.tel.count(
+                sc.tel.ids.page_faults,
+                Slot::Core(core.0),
+                out.faults as u64,
+            );
+            sc.tel.tp(
+                sc.now(),
+                node.0,
+                core.0,
+                TpKind::PageFault,
+                "demand_page",
+                tid.0 as u64,
+                out.faults as u64,
+            );
+        }
+        if tlb_misses > 0 {
+            sc.tel
+                .count(sc.tel.ids.tlb_refills, Slot::Core(core.0), tlb_misses);
+            sc.tel.tp(
+                sc.now(),
+                node.0,
+                core.0,
+                TpKind::TlbRefill,
+                "sw_refill",
+                tid.0 as u64,
+                tlb_misses,
+            );
         }
         let cost = chip::stream_cycles(&sc.cfg.chip, bytes, 1).max(1)
             + out.faults as u64 * FAULT_COST
@@ -688,6 +732,16 @@ impl Kernel for Fwk {
                     cost += extra;
                 }
                 let core = sc.core_of(node, core_local);
+                sc.tel.count(sc.tel.ids.daemon_wakes, Slot::Core(core.0), 1);
+                sc.tel.tp(
+                    sc.now(),
+                    node.0,
+                    core.0,
+                    TpKind::DaemonWake,
+                    self.cfg.noise[src_idx].name,
+                    src_idx as u64,
+                    cost,
+                );
                 sc.stretch_running(core, cost, tag);
                 self.schedule_noise(sc, node, src_idx, core_local);
             }
@@ -772,6 +826,24 @@ impl Kernel for Fwk {
 }
 
 impl Fwk {
+    fn tp_futex_wake(&mut self, sc: &mut SimCore, tid: Tid, node: NodeId, uaddr: u64, woken: i64) {
+        let core = sc.thread(tid).core;
+        sc.tel.count(
+            sc.tel.ids.futex_wakes,
+            Slot::Core(core.0),
+            woken.max(0) as u64,
+        );
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            core.0,
+            TpKind::FutexWake,
+            "wake",
+            uaddr,
+            woken.max(0) as u64,
+        );
+    }
+
     fn sys_futex(
         &mut self,
         sc: &mut SimCore,
@@ -805,6 +877,17 @@ impl Fwk {
                     _ => sysabi::futex::FUTEX_BITSET_MATCH_ANY,
                 };
                 ft.wait(pa, tid, bitset);
+                let core = sc.thread(tid).core;
+                sc.tel.count(sc.tel.ids.futex_waits, Slot::Core(core.0), 1);
+                sc.tel.tp(
+                    sc.now(),
+                    node.0,
+                    core.0,
+                    TpKind::FutexWait,
+                    "wait",
+                    tid.0 as u64,
+                    uaddr,
+                );
                 SyscallAction::Block {
                     kind: BlockKind::Futex,
                 }
@@ -815,6 +898,7 @@ impl Fwk {
                 for t in woken {
                     sc.defer_unblock(t, Some(SysRet::Val(0)));
                 }
+                self.tp_futex_wake(sc, tid, node, uaddr, n);
                 Self::done(SysRet::Val(n), cost)
             }
             FutexOp::WakeBitset { count, bitset } => {
@@ -823,6 +907,7 @@ impl Fwk {
                 for t in woken {
                     sc.defer_unblock(t, Some(SysRet::Val(0)));
                 }
+                self.tp_futex_wake(sc, tid, node, uaddr, n);
                 Self::done(SysRet::Val(n), cost)
             }
             FutexOp::Requeue {

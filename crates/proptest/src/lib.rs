@@ -1,0 +1,586 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the subset `tests/proptests.rs` uses: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`, integer-range / tuple / [`Just`] /
+//! [`prop_oneof!`] / [`collection::vec`] / char-class string strategies,
+//! [`any`], and the `prop_assert*` macros. Each test runs
+//! `ProptestConfig::cases` deterministic cases (the per-case RNG is seeded
+//! from the case index, so failures reproduce exactly); there is no
+//! shrinking — a failing case panics with its error message, and the
+//! offending inputs are reported via the assertion's own formatting.
+
+use std::fmt;
+
+pub use test_runner::TestRng;
+
+/// Runner settings; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (the real crate also models rejections; the stub
+/// never rejects).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-case deterministic RNG: case `i` of every run draws the same
+    /// inputs, so a failure message's case number reproduces it.
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        pub fn for_case(case: u32) -> TestRng {
+            TestRng(SmallRng::seed_from_u64(
+                0x7072_6f70_7465_7374 ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            ))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform-ish draw in `[0, n)`; modulo bias is irrelevant for
+        /// test-input generation.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.0.next_u64() % n
+        }
+    }
+}
+
+/// Input generators. Unlike the real crate there is no value tree or
+/// shrinking: a strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value (e.g. a length,
+    /// then collections of exactly that length).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Random permutation of a generated collection.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle(self)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S1: Strategy, S2: Strategy, F: Fn(S1::Value) -> S2> Strategy for FlatMap<S1, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Collections `prop_shuffle` can permute in place.
+pub trait Shuffleable {
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+pub struct Shuffle<S>(S);
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.0.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// String strategy from a character-class pattern. The real crate accepts
+/// any regex; the stub supports exactly the `[class]{lo,hi}` shape the
+/// test suite uses (ranges like `a-z` plus literals, `-` literal when
+/// last) and panics on anything else.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn unsupported_pattern(pat: &str) -> ! {
+    panic!("proptest stub supports only `[class]{{lo,hi}}` patterns, got {pat:?}")
+}
+
+fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let rest = pat
+        .strip_prefix('[')
+        .unwrap_or_else(|| unsupported_pattern(pat));
+    let (class, counts) = rest
+        .split_once(']')
+        .unwrap_or_else(|| unsupported_pattern(pat));
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            assert!(cs[i] <= cs[i + 2], "bad class range in {pat:?}");
+            chars.extend(cs[i]..=cs[i + 2]);
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty class in {pat:?}");
+    let counts = counts
+        .strip_prefix('{')
+        .and_then(|c| c.strip_suffix('}'))
+        .unwrap_or_else(|| unsupported_pattern(pat));
+    let (lo, hi) = counts.split_once(',').unwrap_or((counts, counts));
+    let lo: usize = lo
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| unsupported_pattern(pat));
+    let hi: usize = hi
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| unsupported_pattern(pat));
+    assert!(lo <= hi, "bad counts in {pat:?}");
+    (chars, lo, hi)
+}
+
+/// Uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    arms: Vec<OneOfArm<T>>,
+}
+
+type OneOfArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+impl<T> OneOf<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> OneOf<T> {
+        OneOf { arms: Vec::new() }
+    }
+
+    pub fn or<S>(mut self, s: S) -> OneOf<T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| s.generate(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! with no arms");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Full-domain generation (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Accepted length specs for [`vec`]; bounds are inclusive.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn run_cases<F>(config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for i in 0..config.cases {
+        let mut rng = TestRng::for_case(i);
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest case {i}/{} failed: {e}", config.cases);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    let __proptest_result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    __proptest_result
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.or($s))+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirrors the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn charclass_parsing() {
+        let (chars, lo, hi) = crate::parse_class_pattern("[a-z/._-]{1,40}");
+        assert_eq!(lo, 1);
+        assert_eq!(hi, 40);
+        assert!(chars.contains(&'a') && chars.contains(&'z'));
+        assert!(chars.contains(&'/') && chars.contains(&'-'));
+        assert_eq!(chars.len(), 26 + 4);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            let mut cfg_runs = 0;
+            crate::run_cases(ProptestConfig::with_cases(8), |rng| {
+                out.push(Strategy::generate(&(0u64..100), rng));
+                cfg_runs += 1;
+                Ok(())
+            });
+            assert_eq!(cfg_runs, 8);
+        }
+        assert_eq!(first, second);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_bounds(
+            x in 10u64..20,
+            (a, b) in (0u32..4, prop_oneof![Just(7u8), 1u8..3]),
+            v in prop::collection::vec(any::<u8>(), 1..5),
+            s in "[a-c]{2,4}",
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!(b == 7 || b < 3);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

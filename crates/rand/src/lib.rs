@@ -1,0 +1,298 @@
+//! Offline stand-in for the `rand` crate (0.8 line).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the minimal surface it actually uses instead of the real
+//! dependency. [`rngs::SmallRng`] is a faithful implementation of
+//! xoshiro256++ seeded by SplitMix64 — the exact algorithm behind rand
+//! 0.8's `SmallRng` on 64-bit targets — and [`Rng::gen_range`] uses the
+//! same widening-multiply rejection sampling, so every stream in the
+//! simulator produces sequences bit-identical to a build against the real
+//! crate. That matters because the repo's trace digests and figure tables
+//! are seed-addressed; swapping the PRNG would silently re-roll them all.
+//!
+//! Only what the workspace calls is provided: `SmallRng`,
+//! `SeedableRng::{from_seed, seed_from_u64}`, `Rng::gen` for unsigned
+//! integers, and `Rng::gen_range` over `Range`/`RangeInclusive` of
+//! `u32`/`u64`/`usize`.
+
+/// Core entropy source: everything is derived from 64-bit draws.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a range; panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm rand 0.8 uses for `SmallRng` on 64-bit
+    /// platforms. Sequences match the real crate bit-for-bit.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro256++ have weak linear artifacts, so
+            // (like upstream) 32-bit draws take the high half.
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            // The all-zero state is a fixed point of xoshiro; upstream
+            // remaps it through seed_from_u64(0).
+            if seed.iter().all(|&b| b == 0) {
+                return SmallRng::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *w = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+
+        /// SplitMix64 expansion of a 64-bit seed into full state, exactly
+        /// as upstream's `Xoshiro256PlusPlus::seed_from_u64`.
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            SmallRng::from_seed(seed)
+        }
+    }
+}
+
+pub mod distributions {
+    use crate::RngCore;
+
+    /// Types `Rng::gen` can draw uniformly from their whole domain.
+    /// (Upstream models this as `Distribution<T> for Standard`; the flat
+    /// trait keeps call sites source-compatible.)
+    pub trait Standard: Sized {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for usize {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            // Upstream: one high bit of a 32-bit draw.
+            (rng.next_u32() >> 31) != 0
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Range argument forms accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Widening-multiply rejection sampling (Lemire), as upstream's
+        /// `UniformInt<u64>`: draw `v`, keep `hi(v * range)` unless the low
+        /// half lands in the biased zone. `range == 0` means the full
+        /// 2^64-value domain.
+        #[inline]
+        fn u64_from(low: u64, range: u64, rng: &mut (impl RngCore + ?Sized)) -> u64 {
+            if range == 0 {
+                return rng.next_u64();
+            }
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v = rng.next_u64();
+                let m = (v as u128) * (range as u128);
+                if (m as u64) <= zone {
+                    return low.wrapping_add((m >> 64) as u64);
+                }
+            }
+        }
+
+        #[inline]
+        fn u32_from(low: u32, range: u32, rng: &mut (impl RngCore + ?Sized)) -> u32 {
+            if range == 0 {
+                return rng.next_u32();
+            }
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v = rng.next_u32();
+                let m = (v as u64) * (range as u64);
+                if (m as u32) <= zone {
+                    return low.wrapping_add((m >> 32) as u32);
+                }
+            }
+        }
+
+        impl SampleRange<u64> for core::ops::Range<u64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                u64_from(self.start, self.end - self.start, rng)
+            }
+        }
+
+        impl SampleRange<u64> for core::ops::RangeInclusive<u64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                u64_from(lo, hi.wrapping_sub(lo).wrapping_add(1), rng)
+            }
+        }
+
+        impl SampleRange<u32> for core::ops::Range<u32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                u32_from(self.start, self.end - self.start, rng)
+            }
+        }
+
+        impl SampleRange<u32> for core::ops::RangeInclusive<u32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                u32_from(lo, hi.wrapping_sub(lo).wrapping_add(1), rng)
+            }
+        }
+
+        impl SampleRange<usize> for core::ops::Range<usize> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+                assert!(self.start < self.end, "cannot sample empty range");
+                u64_from(self.start as u64, (self.end - self.start) as u64, rng) as usize
+            }
+        }
+
+        impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                u64_from(lo as u64, (hi - lo) as u64 + 1, rng) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn known_answer_matches_upstream_rand_08() {
+        // First three outputs of rand 0.8's SmallRng::seed_from_u64(0) on a
+        // 64-bit target (xoshiro256++ + SplitMix64). Pinning these guards
+        // the whole repo's seed-addressed reproducibility claims.
+        let mut r = SmallRng::seed_from_u64(0);
+        assert_eq!(r.gen::<u64>(), 0x5317_5d61_490b_23df);
+        assert_eq!(r.gen::<u64>(), 0x61da_6f3d_c380_d507);
+        assert_eq!(r.gen::<u64>(), 0x5c0f_df91_ec9a_7bfc);
+        let mut r = SmallRng::seed_from_u64(42);
+        assert_eq!(r.gen::<u64>(), 0xd076_4d4f_4476_689f);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SmallRng::seed_from_u64(0xdead_beef);
+        let mut b = SmallRng::seed_from_u64(0xdead_beef);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let w = r.gen_range(0u64..9_000);
+            assert!(w < 9_000);
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_range() {
+        let mut r = SmallRng::seed_from_u64(7);
+        assert_eq!(r.gen_range(5u64..=5), 5);
+    }
+
+    #[test]
+    fn zero_seed_not_fixed_point() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..4).map(|_| r.gen()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+    }
+}

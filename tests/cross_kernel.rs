@@ -388,6 +388,94 @@ fn cycle_reproducibility_contrast() {
 }
 
 #[test]
+fn telemetry_is_determinism_neutral() {
+    // The telemetry subsystem must be a pure observer: enabling
+    // tracepoints and metrics changes neither the event stream nor the
+    // final cycle count, on either kernel.
+    let run = |kernel: Box<dyn bgsim::Kernel>, telemetry: bool| -> (u64, u64) {
+        let mut cfg = MachineConfig::single_node().with_seed(0xDE7).with_trace();
+        if telemetry {
+            cfg = cfg.with_telemetry();
+        }
+        let mut m = Machine::new(cfg, kernel, Box::new(Dcmf::with_defaults()));
+        m.boot();
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        m.launch(&spec(1), &mut move |_r: Rank| {
+            Box::new(workloads::fwq::FwqMain::new(
+                workloads::fwq::FwqConfig::quick(80),
+                rec2.clone(),
+                4,
+            )) as Box<dyn Workload>
+        })
+        .unwrap();
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        (m.trace_digest(), out.at())
+    };
+    for (name, mk) in kernels() {
+        let off = run(mk(), false);
+        let on = run(mk(), true);
+        assert_eq!(off.0, on.0, "{name}: trace digest changed by telemetry");
+        assert_eq!(off.1, on.1, "{name}: final cycle changed by telemetry");
+    }
+}
+
+#[test]
+fn first_divergence_pinpoints_injected_fault() {
+    // Two otherwise-identical runs, one with a single injected parity
+    // fault: the divergence reporter must name exactly that event.
+    use bgsim::machine::FAULT_PARITY;
+    use bgsim::telemetry::first_divergence;
+    use bgsim::trace::TraceEvent;
+
+    let fault_at = 500_000;
+    let run = |inject: bool| -> Machine {
+        let mut m = Machine::new(
+            MachineConfig::single_node().with_seed(0xD1F).with_trace(),
+            Box::new(Cnk::with_defaults()),
+            Box::new(Dcmf::with_defaults()),
+        );
+        m.boot();
+        m.launch(&spec(1), &mut |_r: Rank| {
+            script(vec![Op::Daxpy { n: 256, reps: 512 }])
+        })
+        .unwrap();
+        if inject {
+            m.inject_fault(fault_at, sysabi::CoreId(1), FAULT_PARITY);
+        }
+        let out = m.run();
+        assert!(out.completed(), "{out:?}");
+        m
+    };
+    let clean = run(false);
+    let faulted = run(true);
+    assert!(
+        first_divergence(&clean.sc.trace, &clean.sc.trace, 3).is_none(),
+        "identical traces must not diverge"
+    );
+    let d = first_divergence(&clean.sc.trace, &faulted.sc.trace, 3)
+        .expect("fault run must diverge from clean run");
+    let entry = d.b.as_ref().expect("divergent side has an entry");
+    assert_eq!(entry.at, fault_at, "divergence at the injection cycle");
+    assert_eq!(
+        entry.what,
+        TraceEvent::Fault {
+            core: 1,
+            kind: FAULT_PARITY
+        },
+        "first divergent event is the injected fault itself"
+    );
+    // Context holds the matching entries before the divergence (fewer
+    // than requested if the streams diverge early).
+    assert!(
+        !d.context.is_empty() && d.context.len() <= 3,
+        "context entries captured: {}",
+        d.context.len()
+    );
+}
+
+#[test]
 fn uname_identifies_each_kernel() {
     for (name, mk) in kernels() {
         let mut m = machine(mk(), 1, 8);

@@ -12,13 +12,14 @@ use workloads::linpack::LinpackConfig;
 
 #[test]
 fn fig5_fwk_noise_shape() {
-    let rec = run_fwq(KernelKind::Fwk, 3_000, 0xF16);
+    let run = run_fwq(KernelKind::Fwk, 3_000, 0xF16);
     // Core 1 is the quiet core; 0, 2, 3 see daemon spikes (Fig. 5's
-    // per-core asymmetry).
+    // per-core asymmetry). The registry histogram is the same data the
+    // bins export via --stats-out.
     let delta = |c: u32| {
-        let s = Summary::of(&rec.series(&format!("fwq_core{c}")));
-        assert_eq!(s.min, 658_958.0, "core {c} misses the paper's minimum");
-        s.max - s.min
+        let h = run.core_hist(c);
+        assert_eq!(h.min(), 658_958, "core {c} misses the paper's minimum");
+        h.delta() as f64
     };
     let d: Vec<f64> = (0..4).map(delta).collect();
     assert!(d[1] < 15_000.0, "core1 delta {d:?}");
@@ -30,7 +31,7 @@ fn fig5_fwk_noise_shape() {
 
 #[test]
 fn fig6_fig7_cnk_noise_bound() {
-    let rec = run_fwq(KernelKind::Cnk, 3_000, 0xF17);
+    let rec = run_fwq(KernelKind::Cnk, 3_000, 0xF17).rec;
     for c in 0..4 {
         let s = Summary::of(&rec.series(&format!("fwq_core{c}")));
         assert_eq!(s.min, 658_958.0);
