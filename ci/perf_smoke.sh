@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Perf smoke: run the Fig. 8 near-neighbor sweep (64 nodes) sequentially
+# (--threads 1, the conformance oracle) and in parallel (--threads 4,
+# shard pool + windowed conservative driver) and fail if any trace
+# digest or final cycle diverges. Host-performance numbers (wall
+# seconds, events/sec) are recorded in the stats JSON artifacts; they
+# are informational only — shared CI runners are too noisy to gate on
+# a speedup ratio.
+set -euo pipefail
+
+out="${1:-perf-smoke}"
+mkdir -p "$out"
+
+bin=./target/release/fig8_throughput
+[ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
+
+"$bin" --threads 1 --stats-out "$out/fig8_t1.json"
+"$bin" --threads 4 --stats-out "$out/fig8_t4.json"
+
+# Compare every determinism-bearing field: the per-shard and combined
+# digests (strings section) and the final-cycle scalars. Host-perf
+# fields legitimately differ between runs, so filter to the stable keys.
+extract() {
+  python3 - "$1" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in sorted(r.get("strings", {})):
+    if k.startswith("digest."):
+        print(k, r["strings"][k])
+for k in sorted(r.get("scalars", {})):
+    if k.startswith("final_cycle."):
+        print(k, r["scalars"][k])
+EOF
+}
+
+extract "$out/fig8_t1.json" > "$out/t1.keys"
+extract "$out/fig8_t4.json" > "$out/t4.keys"
+
+if ! diff -u "$out/t1.keys" "$out/t4.keys"; then
+  echo "FAIL: parallel run diverged from the sequential oracle" >&2
+  exit 1
+fi
+[ -s "$out/t1.keys" ] || { echo "FAIL: no digests extracted" >&2; exit 1; }
+
+echo "perf smoke OK: $(grep -c '^digest\.' "$out/t1.keys") digests identical across --threads 1/4"

@@ -3,9 +3,21 @@
 //! user-space DMA over contiguous memory) and — as the §V.C contrast —
 //! under vanilla-Linux capabilities (kernel-mediated injection, bounce
 //! copies, per-page descriptors).
+//!
+//! Each (kernel, size) point is an independent deterministic
+//! simulation, so the sweep shards across a host worker pool
+//! (`--threads N`). With `--threads 1` every shard runs sequentially
+//! with `Machine::run()`; with more threads, shards run concurrently
+//! with the windowed conservative runner (`Machine::run_windowed`).
+//! Both paths must produce bit-identical trace digests and final
+//! cycles — the report carries per-shard digests plus a combined
+//! digest so CI can diff the two modes.
+
+use std::time::Instant;
 
 use bench::cli::Cli;
-use bench::harness::{nn_throughput, KernelKind};
+use bench::harness::{nn_throughput_run, KernelKind, SimRun};
+use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
 
@@ -14,22 +26,62 @@ fn main() {
     println!("== Fig. 8: rendezvous near-neighbor exchange throughput ==\n");
     let nodes = 64; // 4x4x4 torus: 6 distinct neighbors, the paper's case
     let sizes: Vec<u64> = (9..=22).map(|p| 1u64 << p).collect(); // 512 B .. 4 MB
+    let threads = cli.threads;
+    let windowed = threads > 1;
+
+    // One shard per (size, kernel), claimed by index so results land in
+    // deterministic order regardless of worker scheduling.
+    let mut shards: Vec<(u64, KernelKind)> = Vec::new();
+    for &bytes in &sizes {
+        shards.push((bytes, KernelKind::Cnk));
+        shards.push((bytes, KernelKind::Fwk));
+    }
+    let jobs: Vec<_> = shards
+        .iter()
+        .map(|&(bytes, kind)| move || nn_throughput_run(kind, nodes, bytes, 8, windowed))
+        .collect();
+    let t0 = Instant::now();
+    let results: Vec<SimRun> = run_shards(threads, jobs);
+    let wall = t0.elapsed().as_secs_f64();
+
     let mut report = Report::new("fig8_throughput");
     let mut rows = Vec::new();
     let mut nb_seen = 0;
-    for &bytes in &sizes {
-        let (cnk_bw, nb) = nn_throughput(KernelKind::Cnk, nodes, bytes, 8);
-        let (fwk_bw, _) = nn_throughput(KernelKind::Fwk, nodes, bytes, 8);
-        nb_seen = nb;
-        report.scalar(&format!("cnk.mbs.{bytes}"), cnk_bw);
-        report.scalar(&format!("linux_caps.mbs.{bytes}"), fwk_bw);
-        let bar_len = (cnk_bw / 60.0) as usize;
+    let mut all_digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut total_events = 0u64;
+    let mut total_cycles = 0u64;
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let cnk = &results[2 * i];
+        let fwk = &results[2 * i + 1];
+        nb_seen = cnk.neighbors;
+        report.scalar(&format!("cnk.mbs.{bytes}"), cnk.mbs);
+        report.scalar(&format!("linux_caps.mbs.{bytes}"), fwk.mbs);
+        report.string(
+            &format!("digest.cnk.{bytes}"),
+            &format!("{:016x}", cnk.digest),
+        );
+        report.string(
+            &format!("digest.linux_caps.{bytes}"),
+            &format!("{:016x}", fwk.digest),
+        );
+        report.scalar(&format!("final_cycle.cnk.{bytes}"), cnk.final_cycle as f64);
+        report.scalar(
+            &format!("final_cycle.linux_caps.{bytes}"),
+            fwk.final_cycle as f64,
+        );
+        let bar_len = (cnk.mbs / 60.0) as usize;
         rows.push(vec![
             human(bytes),
-            format!("{cnk_bw:.0}"),
-            format!("{fwk_bw:.0}"),
+            format!("{:.0}", cnk.mbs),
+            format!("{:.0}", fwk.mbs),
             "#".repeat(bar_len.min(60)),
         ]);
+    }
+    for r in &results {
+        all_digest ^= r.digest;
+        all_digest = all_digest.wrapping_mul(0x0000_0100_0000_01b3);
+        total_events += r.events;
+        total_cycles += r.final_cycle;
     }
     println!(
         "{}",
@@ -43,7 +95,21 @@ fn main() {
     println!("paper: DCMF reaches maximum bandwidth for large messages (Fig. 8 shape);");
     println!("       the Linux-capability curve shows what §V.C says would be lost without");
     println!("       user-space DMA over large physically contiguous memory.");
+    println!(
+        "host: {} shard(s) on {} thread(s), {:.3}s wall, {:.0} events/s, digest {:016x}",
+        results.len(),
+        threads,
+        wall,
+        if wall > 0.0 {
+            total_events as f64 / wall
+        } else {
+            0.0
+        },
+        all_digest
+    );
     report.scalar("peak_mbs", peak);
+    report.string("digest.all", &format!("{all_digest:016x}"));
+    report.host_perf(threads, wall, total_cycles, total_events);
     report.emit(&cli).expect("writing stats");
 }
 

@@ -4,7 +4,10 @@
 //! a standard deviation of 0.0007 µs (effectively zero); the same test on
 //! 4 Linux nodes over 10 GbE for 100k iterations gave 8.9 µs.
 
-use bench::harness::{allreduce_samples_us, KernelKind};
+use std::time::Instant;
+
+use bench::harness::{allreduce_run, KernelKind, SimRun};
+use bench::par::run_shards;
 use bench::stats::Summary;
 use bench::table::render;
 
@@ -16,8 +19,17 @@ fn main() {
     let fwk_iters = 100_000 / scale;
     println!("== §V.D: mpiBench_Allreduce stability ==\n");
 
-    let cnk = allreduce_samples_us(KernelKind::Cnk, 16, cnk_iters, 0xA11);
-    let fwk = allreduce_samples_us(KernelKind::Fwk, 4, fwk_iters, 0xA11);
+    // The two kernel runs are independent simulations: shard them.
+    let t0 = Instant::now();
+    type Shard = Box<dyn FnOnce() -> (Vec<f64>, SimRun) + Send>;
+    let jobs: Vec<Shard> = vec![
+        Box::new(move || allreduce_run(KernelKind::Cnk, 16, cnk_iters, 0xA11)),
+        Box::new(move || allreduce_run(KernelKind::Fwk, 4, fwk_iters, 0xA11)),
+    ];
+    let mut results = run_shards(cli.threads, jobs);
+    let wall = t0.elapsed().as_secs_f64();
+    let (fwk, fwk_run) = results.pop().expect("fwk shard");
+    let (cnk, cnk_run) = results.pop().expect("cnk shard");
     let sc = Summary::of(&cnk);
     let sf = Summary::of(&fwk);
     let mut report = bench::report::Report::new("stability_allreduce");
@@ -27,6 +39,14 @@ fn main() {
     report.scalar("linux.iterations", fwk_iters as f64);
     report.scalar("linux.mean_us", sf.mean);
     report.scalar("linux.stddev_us", sf.stddev);
+    report.string("digest.cnk", &format!("{:016x}", cnk_run.digest));
+    report.string("digest.linux", &format!("{:016x}", fwk_run.digest));
+    report.host_perf(
+        cli.threads,
+        wall,
+        cnk_run.final_cycle + fwk_run.final_cycle,
+        cnk_run.events + fwk_run.events,
+    );
     let rows = vec![
         vec![
             "CNK, 16 nodes (tree)".to_string(),

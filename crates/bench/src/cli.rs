@@ -9,19 +9,36 @@
 //! * `--json` — print the report as JSON on stdout (or force JSON for a
 //!   `.txt` stats path);
 //! * `--trace-out <path>` — where a bin records tracepoints, write the
-//!   Chrome/Perfetto trace-event JSON there.
+//!   Chrome/Perfetto trace-event JSON there;
+//! * `--threads <n>` — host worker threads for bins that shard their
+//!   independent simulations across a pool (`bench::par`). Results are
+//!   bit-identical for any value; 1 (the default) runs inline.
 //!
 //! Hand-rolled because the workspace carries no external CLI dependency.
 
 use std::path::PathBuf;
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Cli {
     pub stats_out: Option<PathBuf>,
     pub json: bool,
     pub trace_out: Option<PathBuf>,
+    /// Host worker threads for sharded bins (>= 1; 1 = inline).
+    pub threads: usize,
     /// Positional arguments, in order (bins parse their own).
     pub rest: Vec<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Cli {
+        Cli {
+            stats_out: None,
+            json: false,
+            trace_out: None,
+            threads: 1,
+            rest: Vec::new(),
+        }
+    }
 }
 
 impl Cli {
@@ -50,6 +67,12 @@ impl Cli {
                 cli.stats_out = flag_with_value("--stats-out", a.strip_prefix("--stats-out="));
             } else if a == "--trace-out" || a.starts_with("--trace-out=") {
                 cli.trace_out = flag_with_value("--trace-out", a.strip_prefix("--trace-out="));
+            } else if a == "--threads" || a.starts_with("--threads=") {
+                let v = flag_with_value("--threads", a.strip_prefix("--threads="));
+                let n: usize = v
+                    .and_then(|p| p.to_str().and_then(|s| s.parse().ok()))
+                    .expect("--threads requires a positive integer");
+                cli.threads = n.max(1);
             } else {
                 cli.rest.push(a);
             }
@@ -98,5 +121,14 @@ mod tests {
     #[should_panic(expected = "requires a value")]
     fn missing_value_panics() {
         parse(&["--stats-out"]);
+    }
+
+    #[test]
+    fn parses_threads() {
+        assert_eq!(parse(&[]).threads, 1);
+        assert_eq!(parse(&["--threads", "4"]).threads, 4);
+        assert_eq!(parse(&["--threads=8"]).threads, 8);
+        // 0 clamps to inline execution.
+        assert_eq!(parse(&["--threads", "0"]).threads, 1);
     }
 }

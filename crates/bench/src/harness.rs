@@ -298,6 +298,34 @@ pub fn measure_latency_us(row: LatencyRow) -> f64 {
 /// Run the exchange on `nodes` nodes at one message size; returns
 /// (aggregate MB/s per node, neighbor count).
 pub fn nn_throughput(kind: KernelKind, nodes: u32, bytes: u64, seed: u64) -> (f64, usize) {
+    let run = nn_throughput_run(kind, nodes, bytes, seed, false);
+    (run.mbs, run.neighbors)
+}
+
+/// Result of one near-neighbor-exchange simulation, carrying the
+/// determinism evidence (trace digest, final cycle) and the host-side
+/// accounting (events processed, simulated cycle span) alongside the
+/// figure's bandwidth number.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    pub mbs: f64,
+    pub neighbors: usize,
+    pub digest: u64,
+    pub final_cycle: u64,
+    pub events: u64,
+}
+
+/// One NN-exchange simulation. `windowed` selects the conservative
+/// epoch-window runner (`Machine::run_windowed`); digests and cycles
+/// are bit-identical either way — the sequential `run()` is the
+/// conformance oracle for the windowed mode.
+pub fn nn_throughput_run(
+    kind: KernelKind,
+    nodes: u32,
+    bytes: u64,
+    seed: u64,
+    windowed: bool,
+) -> SimRun {
     let cfg = MachineConfig::nodes(nodes).with_seed(seed);
     let torus = bgsim::torus::Torus::new(&cfg);
     let nb = torus.neighbors(NodeId(0)).len();
@@ -319,10 +347,16 @@ pub fn nn_throughput(kind: KernelKind, nodes: u32, bytes: u64, seed: u64) -> (f6
         },
     )
     .unwrap();
-    let out = m.run();
+    let out = if windowed { m.run_windowed() } else { m.run() };
     assert!(out.completed(), "{out:?}");
     let cycles = rec.series(&format!("nn_cycles_{bytes}"))[0];
-    (throughput_mbs(bytes, nb, cycles), nb)
+    SimRun {
+        mbs: throughput_mbs(bytes, nb, cycles),
+        neighbors: nb,
+        digest: m.trace_digest(),
+        final_cycle: out.at(),
+        events: m.sc.engine.processed(),
+    }
 }
 
 // ---- §V.D stability ----------------------------------------------------------
@@ -345,6 +379,12 @@ pub fn linpack_seconds(kind: KernelKind, nodes: u32, cfg: LinpackConfig, seed: u
 
 /// The allreduce loop; returns per-iteration times in µs.
 pub fn allreduce_samples_us(kind: KernelKind, nodes: u32, iters: u32, seed: u64) -> Vec<f64> {
+    allreduce_run(kind, nodes, iters, seed).0
+}
+
+/// Allreduce samples plus the run's determinism/host accounting: trace
+/// digest, final cycle, and engine events processed.
+pub fn allreduce_run(kind: KernelKind, nodes: u32, iters: u32, seed: u64) -> (Vec<f64>, SimRun) {
     let mut m = machine(kind, nodes, seed);
     m.boot();
     let rec = Recorder::new();
@@ -358,10 +398,19 @@ pub fn allreduce_samples_us(kind: KernelKind, nodes: u32, iters: u32, seed: u64)
     .unwrap();
     let out = m.run();
     assert!(out.completed(), "{out:?}");
-    rec.series("allreduce_cycles")
+    let samples = rec
+        .series("allreduce_cycles")
         .iter()
         .map(|c| c / 850.0)
-        .collect()
+        .collect();
+    let run = SimRun {
+        mbs: 0.0,
+        neighbors: 0,
+        digest: m.trace_digest(),
+        final_cycle: out.at(),
+        events: m.sc.engine.processed(),
+    };
+    (samples, run)
 }
 
 #[cfg(test)]

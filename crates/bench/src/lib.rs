@@ -4,6 +4,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod par;
 pub mod report;
 pub mod stats;
 pub mod table;

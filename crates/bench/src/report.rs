@@ -16,6 +16,7 @@ use crate::cli::Cli;
 pub struct Report {
     name: String,
     scalars: Vec<(String, f64)>,
+    strings: Vec<(String, String)>,
     registries: Vec<(String, MetricsRegistry)>,
 }
 
@@ -24,6 +25,7 @@ impl Report {
         Report {
             name: name.to_string(),
             scalars: Vec::new(),
+            strings: Vec::new(),
             registries: Vec::new(),
         }
     }
@@ -32,6 +34,35 @@ impl Report {
     /// `"linux.core0.max_delta"`).
     pub fn scalar(&mut self, key: &str, v: f64) -> &mut Report {
         self.scalars.push((key.to_string(), v));
+        self
+    }
+
+    /// Record a string result (values that must not be squeezed through
+    /// an f64 — notably 64-bit trace digests, reported as hex).
+    pub fn string(&mut self, key: &str, v: &str) -> &mut Report {
+        self.strings.push((key.to_string(), v.to_string()));
+        self
+    }
+
+    /// Record the standard host-performance block: how fast the *host*
+    /// simulated, for tracking simulator throughput across PRs.
+    /// `sim_cycles` is the simulated-cycle span covered and `events` the
+    /// engine events processed.
+    pub fn host_perf(
+        &mut self,
+        threads: usize,
+        wall_seconds: f64,
+        sim_cycles: u64,
+        events: u64,
+    ) -> &mut Report {
+        self.scalar("host.threads", threads as f64);
+        self.scalar("host.wall_seconds", wall_seconds);
+        self.scalar("host.sim_cycles", sim_cycles as f64);
+        self.scalar("host.events", events as f64);
+        if wall_seconds > 0.0 {
+            self.scalar("host.sim_cycles_per_sec", sim_cycles as f64 / wall_seconds);
+            self.scalar("host.events_per_sec", events as f64 / wall_seconds);
+        }
         self
     }
 
@@ -49,6 +80,13 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!("\"{}\":{}", json_escape(k), json_number(*v)));
+        }
+        out.push_str("},\"strings\":{");
+        for (i, (k, v)) in self.strings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
         }
         out.push_str("},\"metrics\":{");
         for (i, (label, reg)) in self.registries.iter().enumerate() {
@@ -69,6 +107,9 @@ impl Report {
                 format!("scalars.{k}"),
                 json_number(*v)
             ));
+        }
+        for (k, v) in &self.strings {
+            out.push_str(&format!("{:<58} {:>16}\n", format!("strings.{k}"), v));
         }
         for (label, reg) in &self.registries {
             out.push_str(&format!("# registry: {label}\n"));
@@ -147,5 +188,30 @@ mod tests {
     fn non_finite_scalars_are_null() {
         assert_eq!(json_number(f64::NAN), "null");
         assert_eq!(json_number(2.0), "2");
+    }
+
+    #[test]
+    fn strings_and_host_perf_round_trip() {
+        let mut r = Report::new("x");
+        r.string("digest.all", "00ff00ff00ff00ff");
+        r.host_perf(4, 2.0, 1_700_000, 500);
+        let j = r.to_json();
+        assert!(j.contains("\"strings\":{\"digest.all\":\"00ff00ff00ff00ff\"}"));
+        assert!(j.contains("\"host.threads\":4"));
+        assert!(j.contains("\"host.wall_seconds\":2"));
+        assert!(j.contains("\"host.sim_cycles_per_sec\":850000"));
+        assert!(j.contains("\"host.events_per_sec\":250"));
+        let t = r.to_stats_txt();
+        assert!(t.contains("strings.digest.all"));
+        assert!(t.contains("00ff00ff00ff00ff"));
+    }
+
+    #[test]
+    fn zero_wall_omits_rates() {
+        let mut r = Report::new("x");
+        r.host_perf(1, 0.0, 10, 10);
+        let j = r.to_json();
+        assert!(j.contains("\"host.events\":10"));
+        assert!(!j.contains("events_per_sec"));
     }
 }

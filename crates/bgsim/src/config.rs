@@ -173,6 +173,15 @@ pub struct MachineConfig {
     /// Tracepoint buffer size when telemetry is enabled (preallocated;
     /// overflow drops rather than reallocating).
     pub telemetry_capacity: usize,
+    /// Conservative-parallel lookahead override, in cycles. `None`
+    /// derives it from the minimum cross-node link latency
+    /// ([`MachineConfig::min_link_cycles`]); an explicit value is
+    /// clamped to at least 1. Smaller windows mean more epoch barriers;
+    /// windowing never changes results, only batching.
+    pub lookahead: Option<u64>,
+    /// Pre-size each event domain's queue for this many pending events
+    /// (steady-state scheduling then never reallocates).
+    pub event_capacity: usize,
 }
 
 impl Default for MachineConfig {
@@ -192,6 +201,8 @@ impl Default for MachineConfig {
             trace_capacity: None,
             telemetry: false,
             telemetry_capacity: 1 << 16,
+            lookahead: None,
+            event_capacity: 32,
         }
     }
 }
@@ -236,8 +247,35 @@ impl MachineConfig {
         self
     }
 
+    /// Fix the epoch window of the windowed/parallel runners to
+    /// `cycles` instead of deriving it from link latencies.
+    pub fn with_lookahead(mut self, cycles: u64) -> MachineConfig {
+        self.lookahead = Some(cycles);
+        self
+    }
+
     pub fn total_cores(&self) -> u32 {
         self.nodes * self.chip.cores
+    }
+
+    /// Minimum latency of any cross-node event in this configuration:
+    /// the smaller of the torus floor (DMA injection + one hop) and the
+    /// collective-network floor (one tree stage). Cross-node traffic —
+    /// `NetDeliver`, `CollDone`, CIOD function-ship replies — always
+    /// rides one of those networks, so this is a safe conservative
+    /// lookahead for parallel epochs.
+    pub fn min_link_cycles(&self) -> u64 {
+        let torus = crate::torus::Torus::new(self).min_latency_cycles();
+        let coll = crate::collective::CollectiveNet::new(self).min_latency_cycles();
+        torus.min(coll).max(1)
+    }
+
+    /// The epoch window actually used by windowed execution: the
+    /// explicit override if set, else the derived link floor.
+    pub fn effective_lookahead(&self) -> u64 {
+        self.lookahead
+            .unwrap_or_else(|| self.min_link_cycles())
+            .max(1)
     }
 
     /// Number of I/O nodes serving this partition (at least one).
@@ -327,6 +365,20 @@ mod tests {
         assert_eq!(c.io_nodes(), 4);
         c.io_ratio = 128;
         assert_eq!(c.io_nodes(), 1);
+    }
+
+    #[test]
+    fn lookahead_derivation() {
+        let c = MachineConfig::nodes(8);
+        // The CN stage floor (120 ns) undercuts the torus floor
+        // (inject + one 64 ns hop) at default link timings.
+        assert_eq!(c.min_link_cycles(), crate::cycles::ns_to_cycles(120.0));
+        assert_eq!(c.effective_lookahead(), c.min_link_cycles());
+        assert!(c.min_link_cycles() > 0);
+        let c = c.with_lookahead(0);
+        assert_eq!(c.effective_lookahead(), 1, "explicit 0 clamps to 1");
+        let c = c.with_lookahead(5000);
+        assert_eq!(c.effective_lookahead(), 5000);
     }
 
     #[test]

@@ -1,9 +1,32 @@
 //! The discrete-event engine.
 //!
-//! A single binary-heap event queue ordered by `(cycle, sequence)`. The
-//! sequence number makes the ordering total and therefore the simulation
-//! deterministic — the foundation of the cycle-reproducibility property
-//! the paper's bringup methodology (§III) relies on.
+//! Events live in **per-domain queues** (a domain is one node's share of
+//! the machine; single-domain engines collapse to the classic global
+//! heap). Ordering is still the total order `(cycle, sequence)` — the
+//! sequence counter is global, so the pop order is bit-identical to a
+//! single global heap and the simulation stays deterministic: the
+//! foundation of the cycle-reproducibility property the paper's bringup
+//! methodology (§III) relies on.
+//!
+//! Three hot-path properties distinguish this engine from a plain
+//! `BinaryHeap<Event>`:
+//!
+//! * **Payloads never move.** Heap entries are 24-byte `Copy` keys; the
+//!   `EvKind` payload sits in a slab and is written once at `schedule`
+//!   and read once at `pop`. Sift-up/sift-down shuffle keys only.
+//! * **Cancellation is O(1).** `schedule*` returns an [`EvHandle`];
+//!   [`Engine::cancel`] marks the slab slot dead without touching the
+//!   heap. Dead entries are discarded lazily at pop (counted) and the
+//!   queues are compacted wholesale when the dead fraction crosses a
+//!   threshold, so a reschedule-heavy workload (preempt/stretch storms)
+//!   no longer drags a tail of stale events through every heap
+//!   operation.
+//! * **The cross-domain merge is lazy.** A small "heads" heap holds at
+//!   most one candidate key per domain; popping validates the candidate
+//!   against the owning queue's real head and repairs stale candidates
+//!   on the fly. `pop_until(bound)` — the epoch-bound check of the
+//!   conservative parallel protocol — peeks this heads heap only, never
+//!   the per-domain queues.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -51,18 +74,121 @@ impl Ord for Event {
     }
 }
 
-/// The event queue.
-#[derive(Debug, Default)]
-pub struct Engine {
-    heap: BinaryHeap<Reverse<Event>>,
-    now: Cycle,
+/// Handle to a scheduled event, for O(1) cancellation. The `seq` guards
+/// against slot reuse: a handle kept past its event's pop (or past a
+/// cancel) simply stops matching.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvHandle {
+    slot: u32,
     seq: u64,
-    processed: u64,
+}
+
+/// Heap entry: the ordering key plus the slab slot of the payload.
+/// `Copy`, so heap sifts move 24 bytes and never touch a payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Key {
+    at: Cycle,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct SlabEntry {
+    kind: EvKind,
+    seq: u64,
+    dead: bool,
+}
+
+/// Engine occupancy / churn counters, exported to benches and telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events handed to `schedule*` since construction.
+    pub scheduled: u64,
+    /// Live events processed (excludes cancelled ones).
+    pub processed: u64,
+    /// Events cancelled via [`Engine::cancel`].
+    pub cancelled: u64,
+    /// Cancelled events discarded lazily at pop (cheap path).
+    pub stale_discarded: u64,
+    /// Whole-queue compactions triggered by the stale-fraction threshold.
+    pub compactions: u64,
+}
+
+/// Don't bother compacting tiny queues; below this many dead entries the
+/// lazy pop-time discard is cheaper than a rebuild.
+const COMPACT_MIN_DEAD: usize = 64;
+
+/// The event queue.
+#[derive(Debug)]
+pub struct Engine {
+    /// One min-heap of keys per domain.
+    queues: Vec<BinaryHeap<Reverse<Key>>>,
+    /// Lazy merge front: at most one *candidate* head per domain, as
+    /// `(at, seq, domain)`. Entries are validated against the owning
+    /// queue's head at pop time; stale candidates are dropped then.
+    heads: BinaryHeap<Reverse<(Cycle, u64, u32)>>,
+    /// Payload slab + free list. Heap keys index into this.
+    slots: Vec<Option<SlabEntry>>,
+    free: Vec<u32>,
+    now: Cycle,
+    /// Cycle of the last *processed* event. Unlike `now`, this never
+    /// parks at a `pop_until` bound, so windowed runners can report the
+    /// same end-of-run cycle a non-windowed run would.
+    last_event: Cycle,
+    seq: u64,
+    live: usize,
+    dead: usize,
+    stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
 }
 
 impl Engine {
+    /// A single-domain engine (the classic sequential configuration).
     pub fn new() -> Engine {
-        Engine::default()
+        Engine::with_shape(1, 0)
+    }
+
+    /// An engine sharded into `domains` queues, each pre-sized for
+    /// `capacity` pending events (so steady-state operation does not
+    /// reallocate). `domains` is clamped to at least 1.
+    pub fn with_shape(domains: u32, capacity: usize) -> Engine {
+        let domains = domains.max(1) as usize;
+        Engine {
+            queues: (0..domains)
+                .map(|_| BinaryHeap::with_capacity(capacity))
+                .collect(),
+            heads: BinaryHeap::with_capacity(domains),
+            slots: Vec::with_capacity(domains * capacity),
+            free: Vec::new(),
+            now: 0,
+            last_event: 0,
+            seq: 0,
+            live: 0,
+            dead: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of event domains.
+    pub fn domains(&self) -> u32 {
+        self.queues.len() as u32
     }
 
     /// Current simulated time.
@@ -71,68 +197,236 @@ impl Engine {
         self.now
     }
 
+    /// Cycle of the last processed event (never parked at a
+    /// `pop_until` bound, unlike [`Engine::now`]).
+    #[inline]
+    pub fn last_event_cycle(&self) -> Cycle {
+        self.last_event
+    }
+
     /// Number of events processed so far.
     #[inline]
     pub fn processed(&self) -> u64 {
-        self.processed
+        self.stats.processed
     }
 
-    /// Schedule `kind` at absolute cycle `at`. Scheduling in the past is a
-    /// logic error in the caller.
-    pub fn schedule(&mut self, at: Cycle, kind: EvKind) {
+    /// Occupancy / churn counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Schedule `kind` at absolute cycle `at` in domain 0. Scheduling in
+    /// the past is a logic error in the caller.
+    pub fn schedule(&mut self, at: Cycle, kind: EvKind) -> EvHandle {
+        self.schedule_dom(0, at, kind)
+    }
+
+    /// Schedule `kind` `delta` cycles from now, in domain 0.
+    pub fn schedule_in(&mut self, delta: Cycle, kind: EvKind) -> EvHandle {
+        self.schedule_dom(0, self.now + delta, kind)
+    }
+
+    /// Schedule `kind` at absolute cycle `at` in `domain` (clamped to the
+    /// engine's shape). Returns a handle usable with [`Engine::cancel`].
+    pub fn schedule_dom(&mut self, domain: u32, at: Cycle, kind: EvKind) -> EvHandle {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {} < {}",
             at,
             self.now
         );
+        let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event {
-            at: at.max(self.now),
-            seq,
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize] = Some(SlabEntry {
             kind,
-        }));
+            seq,
+            dead: false,
+        });
+        let d = (domain as usize).min(self.queues.len() - 1);
+        let q = &mut self.queues[d];
+        q.push(Reverse(Key { at, seq, slot }));
+        // Only refresh the merge front when this event became the
+        // domain's head; otherwise the existing candidate still wins.
+        if let Some(&Reverse(top)) = q.peek() {
+            if top.seq == seq {
+                self.heads.push(Reverse((at, seq, d as u32)));
+            }
+        }
+        self.live += 1;
+        self.stats.scheduled += 1;
+        EvHandle { slot, seq }
     }
 
-    /// Schedule `kind` `delta` cycles from now.
-    pub fn schedule_in(&mut self, delta: Cycle, kind: EvKind) {
-        self.schedule(self.now + delta, kind);
-    }
-
-    /// Pop the next event, advancing the clock. Returns `None` when the
-    /// queue is empty.
-    pub fn pop(&mut self) -> Option<Event> {
-        let Reverse(ev) = self.heap.pop()?;
-        debug_assert!(ev.at >= self.now);
-        self.now = ev.at;
-        self.processed += 1;
-        Some(ev)
-    }
-
-    /// Pop the next event only if it fires at or before `bound`
-    /// (clock-stop support: run the machine to an exact cycle).
-    pub fn pop_until(&mut self, bound: Cycle) -> Option<Event> {
-        match self.heap.peek() {
-            Some(Reverse(ev)) if ev.at <= bound => self.pop(),
-            _ => {
-                // Nothing left in range; park the clock at the boundary.
-                if self.now < bound {
-                    self.now = bound;
+    /// Cancel a scheduled event in O(1): the slab slot is marked dead and
+    /// the heap entry is discarded lazily at pop (or swept by a
+    /// compaction). Returns false if the handle no longer matches a live
+    /// pending event (already popped, cancelled, or slot reused).
+    pub fn cancel(&mut self, h: EvHandle) -> bool {
+        match self.slots.get_mut(h.slot as usize) {
+            Some(Some(e)) if e.seq == h.seq && !e.dead => {
+                e.dead = true;
+                self.live -= 1;
+                self.dead += 1;
+                self.stats.cancelled += 1;
+                if self.dead >= COMPACT_MIN_DEAD && self.dead > self.live {
+                    self.compact();
                 }
-                None
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Repair the merge front until its top candidate matches the real
+    /// head of its domain queue, and return that key (which may point at
+    /// a dead slab entry). `seq` uniqueness makes the match exact.
+    fn peek_valid(&mut self) -> Option<(Cycle, u64, u32)> {
+        while let Some(&Reverse((at, seq, d))) = self.heads.peek() {
+            match self.queues[d as usize].peek() {
+                Some(&Reverse(k)) if k.at == at && k.seq == seq => return Some((at, seq, d)),
+                _ => {
+                    self.heads.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop the validated head of `domain`. Returns `None` if it was a
+    /// cancelled (dead) entry, which is discarded and counted.
+    fn pop_head(&mut self, domain: u32) -> Option<Event> {
+        self.heads.pop();
+        let q = &mut self.queues[domain as usize];
+        let Reverse(k) = q.pop().expect("validated head must exist");
+        if let Some(&Reverse(next)) = q.peek() {
+            self.heads.push(Reverse((next.at, next.seq, domain)));
+        }
+        let entry = self.slots[k.slot as usize]
+            .take()
+            .expect("heap key must have a slab entry");
+        self.free.push(k.slot);
+        if entry.dead {
+            self.dead -= 1;
+            self.stats.stale_discarded += 1;
+            return None;
+        }
+        self.live -= 1;
+        debug_assert!(k.at >= self.now);
+        self.now = k.at;
+        self.last_event = k.at;
+        self.stats.processed += 1;
+        Some(Event {
+            at: k.at,
+            seq: k.seq,
+            kind: entry.kind,
+        })
+    }
+
+    /// Pop the next event, advancing the clock. Returns `None` when no
+    /// live events are pending. Cancelled events are skipped silently
+    /// and do not advance the clock.
+    pub fn pop(&mut self) -> Option<Event> {
+        loop {
+            let (_, _, d) = self.peek_valid()?;
+            if let Some(ev) = self.pop_head(d) {
+                return Some(ev);
             }
         }
     }
 
-    /// True if no events are pending.
-    pub fn is_idle(&self) -> bool {
-        self.heap.is_empty()
+    /// Pop the next event only if it fires at or before `bound`
+    /// (clock-stop support: run the machine to an exact cycle, and the
+    /// epoch-bound check of the conservative parallel protocol). When
+    /// nothing live remains in range, the clock parks at the boundary.
+    pub fn pop_until(&mut self, bound: Cycle) -> Option<Event> {
+        loop {
+            match self.peek_valid() {
+                Some((at, _, d)) if at <= bound => {
+                    if let Some(ev) = self.pop_head(d) {
+                        return Some(ev);
+                    }
+                }
+                _ => {
+                    if self.now < bound {
+                        self.now = bound;
+                    }
+                    return None;
+                }
+            }
+        }
     }
 
-    /// Pending event count.
+    /// Cycle of the next live pending event, without popping it.
+    /// Cancelled entries encountered on the way are discarded.
+    pub fn peek_at(&mut self) -> Option<Cycle> {
+        loop {
+            let (at, _, d) = self.peek_valid()?;
+            let head_dead = {
+                let q = &self.queues[d as usize];
+                let Reverse(k) = q.peek().expect("validated head");
+                self.slots[k.slot as usize]
+                    .as_ref()
+                    .map(|e| e.dead)
+                    .unwrap_or(true)
+            };
+            if head_dead {
+                self.pop_head(d);
+                continue;
+            }
+            return Some(at);
+        }
+    }
+
+    /// True if no live events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Pending live event count (cancelled-but-unswept events excluded).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.live
+    }
+
+    /// Drop every dead entry from every queue and rebuild the merge
+    /// front. Triggered when the dead fraction crosses the threshold in
+    /// [`Engine::cancel`]; also callable directly.
+    pub fn compact(&mut self) {
+        self.stats.compactions += 1;
+        for q in self.queues.iter_mut() {
+            if q.is_empty() {
+                continue;
+            }
+            let keep: Vec<Reverse<Key>> = q
+                .drain()
+                .filter(|&Reverse(k)| {
+                    let dead = self.slots[k.slot as usize]
+                        .as_ref()
+                        .map(|e| e.dead)
+                        .unwrap_or(true);
+                    if dead {
+                        self.slots[k.slot as usize] = None;
+                        self.free.push(k.slot);
+                    }
+                    !dead
+                })
+                .collect();
+            *q = BinaryHeap::from(keep);
+        }
+        self.heads.clear();
+        for (d, q) in self.queues.iter().enumerate() {
+            if let Some(&Reverse(k)) = q.peek() {
+                self.heads.push(Reverse((k.at, k.seq, d as u32)));
+            }
+        }
+        self.dead = 0;
     }
 }
 
@@ -205,5 +499,144 @@ mod tests {
         e.pop();
         assert_eq!(e.processed(), 2);
         assert!(e.is_idle());
+    }
+
+    #[test]
+    fn sharded_pop_order_matches_global_order() {
+        // The same schedule stream through a 1-domain and an 8-domain
+        // engine must pop in the identical (at, seq) order.
+        let mut seq1 = Engine::new();
+        let mut seq8 = Engine::with_shape(8, 4);
+        let ats = [40u64, 12, 12, 99, 5, 40, 77, 5, 63, 12, 100, 0];
+        for (i, &at) in ats.iter().enumerate() {
+            let kind = EvKind::Kernel {
+                node: i as u32,
+                tag: i as u64,
+            };
+            seq1.schedule(at, kind.clone());
+            seq8.schedule_dom(i as u32 % 8, at, kind);
+        }
+        loop {
+            let a = seq1.pop();
+            let b = seq8.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(seq1.now(), seq8.now());
+    }
+
+    #[test]
+    fn cancel_skips_event_and_counts() {
+        let mut e = Engine::new();
+        let h1 = e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.schedule(20, EvKind::Kernel { node: 0, tag: 2 });
+        assert_eq!(e.pending(), 2);
+        assert!(e.cancel(h1));
+        assert!(!e.cancel(h1), "double cancel must fail");
+        assert_eq!(e.pending(), 1);
+        let ev = e.pop().unwrap();
+        assert!(matches!(ev.kind, EvKind::Kernel { tag: 2, .. }));
+        // The cancelled event neither advanced the clock to 10 first nor
+        // counted as processed.
+        assert_eq!(e.now(), 20);
+        assert_eq!(e.processed(), 1);
+        assert_eq!(e.stats().cancelled, 1);
+        assert_eq!(e.stats().stale_discarded, 1);
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn cancelled_head_does_not_block_pop_until() {
+        let mut e = Engine::new();
+        let h = e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.schedule(50, EvKind::Kernel { node: 0, tag: 2 });
+        e.cancel(h);
+        // Dead head at 10 is within bound; it must be discarded without
+        // surfacing, and the live event at 50 stays for later.
+        assert!(e.pop_until(20).is_none());
+        assert_eq!(e.now(), 20);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.peek_at(), Some(50));
+    }
+
+    #[test]
+    fn handle_does_not_cancel_reused_slot() {
+        let mut e = Engine::new();
+        let h1 = e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.pop();
+        // Slot is recycled for a new event; the stale handle must not
+        // touch it.
+        let h2 = e.schedule(20, EvKind::Kernel { node: 0, tag: 2 });
+        assert!(!e.cancel(h1));
+        assert_eq!(e.pending(), 1);
+        assert!(e.cancel(h2));
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn threshold_compaction_sweeps_dead_entries() {
+        let mut e = Engine::new();
+        let handles: Vec<EvHandle> = (0..200)
+            .map(|i| e.schedule(i, EvKind::Kernel { node: 0, tag: i }))
+            .collect();
+        // Cancel from the back so the dead set exceeds the live set.
+        for h in handles.iter().skip(60).rev() {
+            e.cancel(*h);
+        }
+        assert!(e.stats().compactions >= 1, "threshold must trigger");
+        assert_eq!(e.pending(), 60);
+        let mut popped = 0;
+        while let Some(ev) = e.pop() {
+            assert!(matches!(ev.kind, EvKind::Kernel { tag, .. } if tag < 60));
+            popped += 1;
+        }
+        assert_eq!(popped, 60);
+        // Compaction swept the bulk of the dead entries wholesale; only
+        // the ones cancelled after the sweep hit the lazy pop path.
+        assert_eq!(e.stats().cancelled, 140);
+        assert!(e.stats().stale_discarded < e.stats().cancelled / 2);
+    }
+
+    #[test]
+    fn peek_at_reports_next_live_cycle() {
+        let mut e = Engine::with_shape(4, 0);
+        assert_eq!(e.peek_at(), None);
+        let h = e.schedule_dom(1, 7, EvKind::Kernel { node: 1, tag: 0 });
+        e.schedule_dom(3, 30, EvKind::Kernel { node: 3, tag: 1 });
+        assert_eq!(e.peek_at(), Some(7));
+        e.cancel(h);
+        assert_eq!(e.peek_at(), Some(30));
+        assert_eq!(e.pop().unwrap().at, 30);
+        assert_eq!(e.peek_at(), None);
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut e = Engine::new();
+        for round in 0..50u64 {
+            e.schedule(
+                round,
+                EvKind::Kernel {
+                    node: 0,
+                    tag: round,
+                },
+            );
+            e.pop();
+        }
+        // One slot in flight at a time: the slab must not grow past a
+        // single entry.
+        assert_eq!(e.slots.len(), 1);
+    }
+
+    #[test]
+    fn last_event_cycle_ignores_parking() {
+        let mut e = Engine::new();
+        e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        e.pop();
+        assert!(e.pop_until(500).is_none());
+        assert_eq!(e.now(), 500);
+        assert_eq!(e.last_event_cycle(), 10);
     }
 }

@@ -66,6 +66,12 @@ pub struct Machine {
     booted: bool,
     has_job: bool,
     boot_report: Option<BootReport>,
+    /// Livelock-guard state for the event loop. A Machine field (not a
+    /// run_inner local) so windowed execution carries it across epoch
+    /// boundaries instead of resetting every window.
+    idle_kernel_events: u32,
+    /// Epoch windows executed by `run_windowed`.
+    epochs: u64,
 }
 
 impl Machine {
@@ -81,6 +87,8 @@ impl Machine {
             booted: false,
             has_job: false,
             boot_report: None,
+            idle_kernel_events: 0,
+            epochs: 0,
         }
     }
 
@@ -152,20 +160,89 @@ impl Machine {
 
     /// Inject a hardware fault (e.g. `FAULT_PARITY`) at an absolute cycle.
     pub fn inject_fault(&mut self, at: Cycle, core: CoreId, kind: u32) {
+        let node = self.sc.node_of_core(core);
         self.sc
             .engine
-            .schedule(at, EvKind::Fault { core: core.0, kind });
+            .schedule_dom(node.0, at, EvKind::Fault { core: core.0, kind });
     }
 
     /// Run until the job completes or nothing can make progress.
     pub fn run(&mut self) -> RunOutcome {
-        self.run_inner(None)
+        self.idle_kernel_events = 0;
+        let out = self.run_inner(None);
+        self.publish_engine_telemetry();
+        out
     }
 
     /// Clock-stop: run to an exact cycle (§III), leaving in-flight state
     /// intact for scanning.
     pub fn run_until(&mut self, bound: Cycle) -> RunOutcome {
+        self.idle_kernel_events = 0;
         self.run_inner(Some(bound))
+    }
+
+    /// Run to completion in bounded epoch windows of
+    /// `cfg.effective_lookahead()` cycles — the execution mode of the
+    /// conservative parallel protocol, driven sequentially here. Events
+    /// pop in exactly the same `(cycle, seq)` order as `run()`, so the
+    /// outcome, final cycle, and trace digest are bit-identical; only
+    /// the batching differs. The sequential `run()` is the conformance
+    /// oracle for this path.
+    pub fn run_windowed(&mut self) -> RunOutcome {
+        self.idle_kernel_events = 0;
+        let lookahead = self.sc.cfg.effective_lookahead();
+        loop {
+            let bound = self.sc.now().saturating_add(lookahead);
+            match self.run_inner(Some(bound)) {
+                RunOutcome::ReachedCycle { .. } => {
+                    self.epochs += 1;
+                    if self.sc.engine.is_idle() {
+                        // Queue drained mid-window. Classify exactly as
+                        // run() would, at the last processed event (the
+                        // engine clock itself parked at the window
+                        // bound).
+                        let at = self.sc.engine.last_event_cycle();
+                        let blocked: Vec<Tid> = self
+                            .sc
+                            .threads
+                            .iter()
+                            .filter(|t| t.state.is_blocked())
+                            .map(|t| t.tid)
+                            .collect();
+                        let out = if !self.has_job || blocked.is_empty() {
+                            RunOutcome::Idle { at }
+                        } else {
+                            RunOutcome::Deadlock { at, blocked }
+                        };
+                        self.publish_engine_telemetry();
+                        return out;
+                    }
+                }
+                out => {
+                    self.publish_engine_telemetry();
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Epoch windows executed by `run_windowed` so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Export the engine's occupancy counters as telemetry gauges (a
+    /// no-op unless telemetry is enabled; gauges never feed back into
+    /// simulation state, preserving observer-neutrality).
+    fn publish_engine_telemetry(&mut self) {
+        let stats = self.sc.engine.stats();
+        let ids = self.sc.tel.ids;
+        self.sc
+            .tel
+            .gauge(ids.evq_stale_discards, Slot::Machine, stats.stale_discarded);
+        self.sc
+            .tel
+            .gauge(ids.evq_compactions, Slot::Machine, stats.compactions);
     }
 
     fn run_inner(&mut self, bound: Option<Cycle>) -> RunOutcome {
@@ -175,15 +252,14 @@ impl Machine {
         // processed while no thread runs and nothing drains; past the
         // limit, report the deadlock instead of spinning.
         const IDLE_KERNEL_EVENT_LIMIT: u32 = 200_000;
-        let mut idle_kernel_events: u32 = 0;
         loop {
             if self.drain() {
-                idle_kernel_events = 0;
+                self.idle_kernel_events = 0;
             }
             if self.has_job && self.sc.live_threads() == 0 {
                 return RunOutcome::Completed { at: self.sc.now() };
             }
-            if idle_kernel_events > IDLE_KERNEL_EVENT_LIMIT {
+            if self.idle_kernel_events > IDLE_KERNEL_EVENT_LIMIT {
                 let blocked: Vec<Tid> = self
                     .sc
                     .threads
@@ -220,9 +296,9 @@ impl Machine {
             };
             let nothing_running = self.sc.running.iter().all(Option::is_none);
             if nothing_running && matches!(ev.kind, EvKind::Kernel { .. }) {
-                idle_kernel_events += 1;
+                self.idle_kernel_events += 1;
             } else {
-                idle_kernel_events = 0;
+                self.idle_kernel_events = 0;
             }
             self.handle(ev.kind);
         }
@@ -373,13 +449,25 @@ impl Machine {
             started,
         } = t.state
         else {
-            return; // stale (thread blocked/killed since)
+            // Stale (thread blocked/killed since). Cancellation should
+            // have swallowed these; count the backstop hits.
+            let core = t.core;
+            self.sc
+                .tel
+                .count(self.sc.tel.ids.stale_opdone, Slot::Core(core.0), 1);
+            return;
         };
         if cur != gen {
-            return; // stale (stretched or preempted since)
+            // Stale (stretched or preempted since) — same backstop.
+            let core = t.core;
+            self.sc
+                .tel
+                .count(self.sc.tel.ids.stale_opdone, Slot::Core(core.0), 1);
+            return;
         }
         t.stats.busy_cycles += until.saturating_sub(started);
         t.state = ThreadState::Ready;
+        t.pending_done = None; // this event was the pending completion
         self.sc
             .trace
             .record(self.sc.engine.now(), TraceEvent::OpEnd { tid: tid.0 });
@@ -440,8 +528,10 @@ impl Machine {
                 continue;
             }
             t.next_gen(); // invalidate in-flight completions
+            let pd = t.pending_done.take();
             t.state = ThreadState::Exited;
             t.exit_code = Some(code);
+            self.cancel_pending_done(pd, core);
             if self.sc.running[core.idx()] == Some(tid) {
                 self.sc.running[core.idx()] = None;
                 freed_cores.push(core);
@@ -462,8 +552,10 @@ impl Machine {
         {
             let t = &mut self.sc.threads[tid.idx()];
             t.next_gen();
+            let pd = t.pending_done.take();
             t.state = ThreadState::Exited;
             t.exit_code = Some(code);
+            self.cancel_pending_done(pd, core);
         }
         if self.sc.running[core.idx()] == Some(tid) {
             self.sc.running[core.idx()] = None;
@@ -474,6 +566,19 @@ impl Machine {
         self.tp_thread_exit(tid, code);
         self.kernel.on_exit(&mut self.sc, tid);
         self.refill_core(core);
+    }
+
+    /// Cancel a thread's in-flight `OpDone` (kill/exit paths), counting
+    /// the cancellation against the core's node.
+    fn cancel_pending_done(&mut self, pd: Option<crate::engine::EvHandle>, core: CoreId) {
+        if let Some(h) = pd {
+            if self.sc.engine.cancel(h) {
+                let node = self.sc.node_of_core(core);
+                self.sc
+                    .tel
+                    .count(self.sc.tel.ids.evq_cancelled, Slot::Node(node.0), 1);
+            }
+        }
     }
 
     fn tp_thread_exit(&mut self, tid: Tid, code: i32) {
@@ -732,15 +837,18 @@ impl Machine {
         let now = self.sc.engine.now();
         let t = &mut self.sc.threads[tid.idx()];
         let gen = t.next_gen();
+        let node = t.node;
         t.preemptible = preemptible;
         t.state = ThreadState::Running {
             gen,
             until: now + cost,
             started: now,
         };
-        self.sc
+        let h = self
+            .sc
             .engine
-            .schedule(now + cost, EvKind::OpDone { tid: tid.0, gen });
+            .schedule_dom(node.0, now + cost, EvKind::OpDone { tid: tid.0, gen });
+        self.sc.threads[tid.idx()].pending_done = Some(h);
     }
 
     fn trace_start(&mut self, tid: Tid, opname: &'static str, cost: u64) {

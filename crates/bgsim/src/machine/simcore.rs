@@ -110,7 +110,9 @@ impl SimCore {
             .map(|n| hub.stream_for("dram-refresh", n))
             .collect();
         SimCore {
-            engine: Engine::new(),
+            // One event domain per node, each queue pre-sized so
+            // steady-state scheduling never reallocates.
+            engine: Engine::with_shape(cfg.nodes, cfg.event_capacity),
             torus: Torus::new(&cfg),
             coll: CollectiveNet::new(&cfg),
             barrier: BarrierNet::new(&cfg),
@@ -281,6 +283,7 @@ impl SimCore {
             until: new_until,
             started,
         };
+        let old_done = t.pending_done.take();
         t.stats.noise_cycles += cycles;
         self.stats.noise_events += 1;
         let node = self.node_of_core(core);
@@ -305,8 +308,19 @@ impl SimCore {
             tag,
             cycles,
         );
-        self.engine
-            .schedule(new_until, EvKind::OpDone { tid: tid.0, gen });
+        // The reschedule path: cancel the superseded completion in O(1)
+        // (no payload clone, no stale event left in the queue) and
+        // schedule the new one in this node's event domain.
+        if let Some(h) = old_done {
+            if self.engine.cancel(h) {
+                self.tel
+                    .count(self.tel.ids.evq_cancelled, Slot::Node(node.0), 1);
+            }
+        }
+        let h = self
+            .engine
+            .schedule_dom(node.0, new_until, EvKind::OpDone { tid: tid.0, gen });
+        self.threads[tid.idx()].pending_done = Some(h);
         true
     }
 
@@ -327,11 +341,19 @@ impl SimCore {
         let remaining = until.saturating_sub(now);
         t.resume_cycles = Some(remaining);
         t.stats.busy_cycles += now.saturating_sub(started);
-        // Any scheduled OpDone for the old generation becomes stale.
+        // Any scheduled OpDone for the old generation becomes stale;
+        // cancel it outright rather than leaving it to pop and discard.
         t.gen_ctr += 1;
+        let old_done = t.pending_done.take();
         t.state = ThreadState::Ready;
         self.running[core.idx()] = None;
         let node = self.node_of_core(core);
+        if let Some(h) = old_done {
+            if self.engine.cancel(h) {
+                self.tel
+                    .count(self.tel.ids.evq_cancelled, Slot::Node(node.0), 1);
+            }
+        }
         self.tel.count(self.tel.ids.preempts, Slot::Core(core.0), 1);
         self.tel.tp(
             now,
@@ -357,20 +379,24 @@ impl SimCore {
     /// Schedule a kernel-private event on `node` at absolute cycle `at`.
     pub fn schedule_kernel_event(&mut self, node: NodeId, tag: u64, at: Cycle) {
         self.engine
-            .schedule(at, EvKind::Kernel { node: node.0, tag });
+            .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag });
     }
 
     pub fn schedule_kernel_event_in(&mut self, node: NodeId, tag: u64, delta: Cycle) {
+        let at = self.engine.now() + delta;
         self.engine
-            .schedule_in(delta, EvKind::Kernel { node: node.0, tag });
+            .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag });
     }
 
     /// Send an IPI to a core, arriving after the interconnect delay.
     pub fn send_ipi(&mut self, core: CoreId, kind: u32) {
         self.stats.ipis += 1;
-        // On-chip IPI latency: a handful of cycles.
+        let node = self.node_of_core(core);
+        // On-chip IPI latency: a handful of cycles (intra-node, so it
+        // stays in the sender's event domain).
+        let at = self.engine.now() + 12;
         self.engine
-            .schedule_in(12, EvKind::Ipi { core: core.0, kind });
+            .schedule_dom(node.0, at, EvKind::Ipi { core: core.0, kind });
     }
 
     // ---- networks ----------------------------------------------------------
@@ -386,9 +412,13 @@ impl SimCore {
             },
         );
         let id = msg.id;
+        // Cross-domain event: delivery belongs to the destination
+        // node's domain, and `arrival` is at least one link latency out
+        // (the lookahead floor, `MachineConfig::min_link_cycles`).
+        let dst = msg.dst_node.0;
         self.msgs.insert(id, msg);
         self.engine
-            .schedule(arrival, EvKind::NetDeliver { msg_id: id });
+            .schedule_dom(dst, arrival, EvKind::NetDeliver { msg_id: id });
     }
 
     fn next_msg_id(&mut self) -> u64 {
@@ -476,10 +506,12 @@ impl SimCore {
         self.msgs.remove(&id)
     }
 
-    /// Schedule a collective-completion wakeup for a blocked participant.
+    /// Schedule a collective-completion wakeup for a blocked participant
+    /// (a cross-domain event: it lands in the participant's domain).
     pub fn schedule_coll_done(&mut self, tid: Tid, coll: u64, at: Cycle) {
+        let node = self.threads[tid.idx()].node;
         self.engine
-            .schedule(at, EvKind::CollDone { tid: tid.0, coll });
+            .schedule_dom(node.0, at, EvKind::CollDone { tid: tid.0, coll });
     }
 
     // ---- scan support ------------------------------------------------------

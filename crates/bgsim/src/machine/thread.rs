@@ -103,6 +103,11 @@ pub struct Thread {
     pub exit_code: Option<i32>,
     /// Monotonic run-generation counter (invalidates stale completions).
     pub gen_ctr: u32,
+    /// Handle of the in-flight `OpDone` event for the current run
+    /// generation, if any. Reschedule/preempt/kill paths cancel it in
+    /// O(1) instead of leaving a stale event to be popped and discarded;
+    /// the generation check stays as a backstop.
+    pub pending_done: Option<crate::engine::EvHandle>,
 }
 
 impl Thread {
@@ -129,6 +134,7 @@ impl Thread {
             stats: ThreadStats::default(),
             exit_code: None,
             gen_ctr: 0,
+            pending_done: None,
         }
     }
 

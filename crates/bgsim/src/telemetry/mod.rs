@@ -59,6 +59,11 @@ pub struct WellKnownIds {
     pub dcmf_coll: MetricId,
     pub torus_sends: MetricId,
     pub coll_sends: MetricId,
+    pub evq_cancelled: MetricId,
+    pub evq_stale_discards: MetricId,
+    pub evq_compactions: MetricId,
+    pub stale_opdone: MetricId,
+    pub stale_timeslice: MetricId,
 }
 
 impl WellKnownIds {
@@ -88,6 +93,11 @@ impl WellKnownIds {
             dcmf_coll: reg.counter("dcmf.collectives", Scope::PerNode),
             torus_sends: reg.counter("net.torus_sends", Scope::PerNode),
             coll_sends: reg.counter("net.coll_sends", Scope::PerNode),
+            evq_cancelled: reg.counter("engine.cancelled", Scope::PerNode),
+            evq_stale_discards: reg.gauge("engine.stale_discards", Scope::Machine),
+            evq_compactions: reg.gauge("engine.compactions", Scope::Machine),
+            stale_opdone: reg.counter("sched.stale_opdone", Scope::PerCore),
+            stale_timeslice: reg.counter("sched.stale_timeslice", Scope::PerNode),
         }
     }
 }

@@ -1,0 +1,205 @@
+//! Property tests for the parallel-simulation contract: for random
+//! configurations and workloads, the sharded conservative engine and the
+//! windowed machine driver must be bit-identical to the sequential
+//! reference — same trace digest, same final cycle, same event count —
+//! and telemetry must remain a pure observer in windowed mode.
+
+use proptest::prelude::*;
+
+use bgsim::ade::{AdeKernel, FixedLatencyComm};
+use bgsim::cycles::Cycle;
+use bgsim::engine::EvKind;
+use bgsim::machine::{Machine, WlEnv, Workload};
+use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
+use bgsim::parsim::{DomainLogic, Outbox, ParSim};
+use bgsim::MachineConfig;
+use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+
+/// Ring logic over random parameters: forward a TTL'd token to the next
+/// domain, spawning a local echo each hop.
+struct Ring {
+    me: u32,
+    n: u32,
+    delay: Cycle,
+}
+
+impl DomainLogic for Ring {
+    fn handle(&mut self, _now: Cycle, kind: &EvKind, out: &mut Outbox<'_>) {
+        if let EvKind::Kernel { tag, .. } = *kind {
+            if tag == 0 {
+                return;
+            }
+            out.local_in(
+                3,
+                EvKind::Kernel {
+                    node: self.me,
+                    tag: 0,
+                },
+            );
+            let nxt = (self.me + 1) % self.n;
+            out.send(
+                nxt,
+                self.delay,
+                EvKind::Kernel {
+                    node: nxt,
+                    tag: tag - 1,
+                },
+            );
+        }
+    }
+}
+
+fn ring_sim(
+    n: u32,
+    lookahead: Cycle,
+    extra: Cycle,
+    seeds: &[(u32, Cycle, u64)],
+    threads: usize,
+) -> ParSim {
+    let delay = lookahead + extra;
+    let logics: Vec<Box<dyn DomainLogic>> = (0..n)
+        .map(|me| Box::new(Ring { me, n, delay }) as Box<dyn DomainLogic>)
+        .collect();
+    let mut sim = ParSim::new(logics, lookahead, threads);
+    for &(dom, at, ttl) in seeds {
+        let dom = dom % n;
+        sim.schedule(
+            dom,
+            at,
+            EvKind::Kernel {
+                node: dom,
+                tag: ttl,
+            },
+        );
+    }
+    sim
+}
+
+/// A fixed op script (same shape as the executor tests).
+struct Script {
+    ops: Vec<Op>,
+    i: usize,
+}
+
+impl Workload for Script {
+    fn next(&mut self, _env: &mut WlEnv<'_>) -> Op {
+        if self.i >= self.ops.len() {
+            return Op::End;
+        }
+        let op = std::mem::replace(&mut self.ops[self.i], Op::End);
+        self.i += 1;
+        op
+    }
+}
+
+/// Build a machine running a random compute/ring-exchange workload.
+fn exchange_machine(
+    nodes: u32,
+    seed: u64,
+    lookahead: Option<u64>,
+    telemetry: bool,
+    cycles: &[u64],
+    bytes: u64,
+) -> Machine {
+    let mut cfg = MachineConfig::nodes(nodes).with_seed(seed).with_trace();
+    if let Some(la) = lookahead {
+        cfg = cfg.with_lookahead(la);
+    }
+    if telemetry {
+        cfg = cfg.with_telemetry();
+    }
+    let mut m = Machine::new(
+        cfg,
+        Box::new(AdeKernel::new()),
+        Box::new(FixedLatencyComm::new()),
+    );
+    m.boot();
+    let cycles = cycles.to_vec();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("prop"), nodes, NodeMode::Smp),
+        &mut move |r: Rank| {
+            let peer = Rank((r.0 + 1) % nodes);
+            let mut ops = Vec::new();
+            for (i, &c) in cycles.iter().enumerate() {
+                ops.push(Op::Compute { cycles: c });
+                ops.push(Op::Comm(CommOp::Send {
+                    to: peer,
+                    bytes,
+                    tag: i as u32,
+                    proto: Protocol::Eager,
+                    layer: ApiLayer::Dcmf,
+                }));
+                ops.push(Op::Comm(CommOp::Recv {
+                    from: None,
+                    tag: i as u32,
+                    layer: ApiLayer::Dcmf,
+                }));
+            }
+            Box::new(Script { ops, i: 0 }) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sharded substrate produces identical outcomes (global digest,
+    /// per-domain digests, final cycle, event and epoch counts) for any
+    /// worker count, across random topologies, lookaheads, and seeds.
+    #[test]
+    fn parsim_thread_count_invariant(
+        n in 2u32..10,
+        lookahead in 20u64..200,
+        extra in 0u64..100,
+        threads in 2usize..8,
+        seeds in prop::collection::vec((0u32..16, 1u64..500, 1u64..40), 1..6),
+    ) {
+        let seq = ring_sim(n, lookahead, extra, &seeds, 1).run();
+        let mut par_sim = ring_sim(n, lookahead, extra, &seeds, threads);
+        let par = par_sim.run();
+        prop_assert_eq!(par, seq, "threads={} diverged", threads);
+        let mut ref_sim = ring_sim(n, lookahead, extra, &seeds, 1);
+        ref_sim.run();
+        prop_assert_eq!(par_sim.cell_digests(), ref_sim.cell_digests());
+    }
+
+    /// The windowed machine driver (the `--threads N` execution mode) is
+    /// digest- and cycle-identical to `Machine::run`, for random node
+    /// counts, workloads, and lookahead overrides — including lookaheads
+    /// far larger or smaller than the derived link latency.
+    #[test]
+    fn machine_windowed_matches_sequential(
+        nodes in 2u32..5,
+        seed in 0u64..1_000_000,
+        lookahead in prop_oneof![Just(None), (1u64..5_000).prop_map(Some)],
+        cycles in prop::collection::vec(1u64..20_000, 1..5),
+        bytes in 1u64..65_536,
+    ) {
+        let mut a = exchange_machine(nodes, seed, lookahead, false, &cycles, bytes);
+        let out_a = a.run();
+        let mut b = exchange_machine(nodes, seed, lookahead, false, &cycles, bytes);
+        let out_b = b.run_windowed();
+        prop_assert!(out_a.completed(), "{:?}", out_a);
+        prop_assert_eq!(out_b.at(), out_a.at(), "final cycle diverged");
+        prop_assert_eq!(b.trace_digest(), a.trace_digest(), "digest diverged");
+        prop_assert!(b.epochs() >= 1);
+    }
+
+    /// Telemetry stays a pure observer under the windowed driver:
+    /// enabling metrics/tracepoints changes neither digest nor final
+    /// cycle of a windowed run.
+    #[test]
+    fn telemetry_observer_neutral_windowed(
+        seed in 0u64..1_000_000,
+        cycles in prop::collection::vec(1u64..20_000, 1..4),
+    ) {
+        let mut off = exchange_machine(2, seed, None, false, &cycles, 4096);
+        let out_off = off.run_windowed();
+        let mut on = exchange_machine(2, seed, None, true, &cycles, 4096);
+        let out_on = on.run_windowed();
+        prop_assert_eq!(out_on.at(), out_off.at());
+        prop_assert_eq!(on.trace_digest(), off.trace_digest());
+    }
+}

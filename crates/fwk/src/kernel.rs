@@ -751,6 +751,11 @@ impl Kernel for Fwk {
                 self.ts_pending.remove(&core.0);
                 let queued = self.ready.get(&core.0).map_or(0, |q| q.len());
                 if queued == 0 {
+                    // Stale expiry: the contention that armed this slice
+                    // drained before it fired. Counted so the event-queue
+                    // churn is visible (see `sched.stale_timeslice`).
+                    sc.tel
+                        .count(sc.tel.ids.stale_timeslice, Slot::Node(node.0), 1);
                     return;
                 }
                 let prev_proc = sc.running[core.idx()].map(|t| sc.thread(t).proc);
