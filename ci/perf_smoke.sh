@@ -2,8 +2,11 @@
 # Perf smoke: run the Fig. 8 near-neighbor sweep (64 nodes) sequentially
 # (--threads 1, the conformance oracle) and in parallel (--threads 4,
 # shard pool + windowed conservative driver) and fail if any trace
-# digest or final cycle diverges. Host-performance numbers (wall
-# seconds, events/sec) are recorded in the stats JSON artifacts; they
+# digest or final cycle diverges. Then run the FWQ figure (fig5_7) with
+# the event-reduction fast path on and off and fail if those digests
+# differ — the fast path must be bit-identical to the heap path.
+# Host-performance numbers (wall seconds, sim_cycles_per_sec) are
+# recorded in the stats JSON artifacts and printed for both modes; they
 # are informational only — shared CI runners are too noisy to gate on
 # a speedup ratio.
 set -euo pipefail
@@ -12,7 +15,9 @@ out="${1:-perf-smoke}"
 mkdir -p "$out"
 
 bin=./target/release/fig8_throughput
+fwq=./target/release/fig5_7_fwq
 [ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
+[ -x "$fwq" ] || { echo "error: $fwq not built (cargo build --release first)" >&2; exit 1; }
 
 "$bin" --threads 1 --stats-out "$out/fig8_t1.json"
 "$bin" --threads 4 --stats-out "$out/fig8_t4.json"
@@ -43,3 +48,31 @@ fi
 [ -s "$out/t1.keys" ] || { echo "FAIL: no digests extracted" >&2; exit 1; }
 
 echo "perf smoke OK: $(grep -c '^digest\.' "$out/t1.keys") digests identical across --threads 1/4"
+
+# Fast path conformance + throughput: same figure, event reduction on
+# (default) and off. Digests and final cycles must match exactly;
+# host.<kernel>.sim_cycles_per_sec shows what the fast path buys.
+"$fwq" --threads 1 --stats-out "$out/fwq_fast.json"
+"$fwq" --threads 1 --no-fast-path --stats-out "$out/fwq_heap.json"
+
+extract "$out/fwq_fast.json" > "$out/fast.keys"
+extract "$out/fwq_heap.json" > "$out/heap.keys"
+
+if ! diff -u "$out/heap.keys" "$out/fast.keys"; then
+  echo "FAIL: fast path diverged from the heap path" >&2
+  exit 1
+fi
+[ -s "$out/fast.keys" ] || { echo "FAIL: no FWQ digests extracted" >&2; exit 1; }
+
+python3 - "$out/fwq_fast.json" "$out/fwq_heap.json" <<'EOF'
+import json, sys
+fast = json.load(open(sys.argv[1]))["scalars"]
+heap = json.load(open(sys.argv[2]))["scalars"]
+for kernel in ("cnk", "linux"):
+    key = f"host.{kernel}.sim_cycles_per_sec"
+    f, h = fast.get(key, 0.0), heap.get(key, 0.0)
+    ratio = f / h if h else float("nan")
+    print(f"{key}: fast {f:.3e}  heap {h:.3e}  speedup {ratio:.2f}x")
+EOF
+
+echo "perf smoke OK: fast-path digests identical to the heap path"

@@ -10,28 +10,86 @@
 //! per-core `fwq.sample_cycles` histogram); `--stats-out <path>` dumps
 //! the same registries — including the kernels' own `noise.cycles`
 //! histograms — as JSON or gem5-style flat stats.
+//!
+//! The two kernel simulations are independent shards (`--threads 2`
+//! runs them concurrently, bit-identical to `--threads 1`). The report
+//! carries per-kernel `host.{linux,cnk}.sim_cycles_per_sec` and the
+//! runs' trace digests, so `--no-fast-path` baselines the speedup of
+//! the event-reduction fast path and cross-checks that its digests
+//! match the heap path exactly.
 
 use bench::cli::Cli;
-use bench::harness::{run_fwq, KernelKind};
+use bench::harness::{run_fwq_opts, KernelKind};
+use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
+use bgsim::telemetry::{MetricsRegistry, Slot, Tracepoint};
+
+/// The `Send` slice of one kernel's FWQ run (the raw [`bench::harness::FwqRun`]
+/// holds an `Rc`-based recorder and cannot cross the shard pool).
+struct KernelShard {
+    stats: MetricsRegistry,
+    series: Vec<Vec<f64>>,
+    events: Vec<Tracepoint>,
+    digest: u64,
+    final_cycle: u64,
+    sim_events: u64,
+    wall_seconds: f64,
+}
 
 fn main() {
     let cli = Cli::parse();
     let samples = cli.pos(0).unwrap_or(12_000u32);
-    println!("== FWQ (Fixed Work Quanta), {samples} samples/core, 4 cores, 1 node ==\n");
+    let fast = cli.fast_path;
+    println!(
+        "== FWQ (Fixed Work Quanta), {samples} samples/core, 4 cores, 1 node{} ==\n",
+        if fast { "" } else { " [no fast path]" }
+    );
+
+    const KINDS: [KernelKind; 2] = [KernelKind::Fwk, KernelKind::Cnk];
+    let t0 = std::time::Instant::now();
+    let shards = run_shards(
+        cli.threads,
+        KINDS
+            .iter()
+            .map(|&kind| {
+                move || {
+                    let run = run_fwq_opts(kind, samples, 0xF00D, fast);
+                    let series = (0..4)
+                        .map(|c| run.rec.series(&format!("fwq_core{c}")))
+                        .collect();
+                    KernelShard {
+                        stats: run.stats,
+                        series,
+                        events: run.events,
+                        digest: run.digest,
+                        final_cycle: run.final_cycle,
+                        sim_events: run.sim_events,
+                        wall_seconds: run.wall_seconds,
+                    }
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let total_wall = t0.elapsed().as_secs_f64();
 
     let mut report = Report::new("fig5_7_fwq");
+    report.scalar("config.fast_path", if fast { 1.0 } else { 0.0 });
     let mut rows = Vec::new();
     let mut cnk_all: Vec<f64> = Vec::new();
-    for kind in [KernelKind::Fwk, KernelKind::Cnk] {
-        let run = run_fwq(kind, samples, 0xF00D);
+    let (mut total_cycles, mut total_events) = (0u64, 0u64);
+    for (&kind, shard) in KINDS.iter().zip(shards) {
+        total_cycles += shard.final_cycle;
+        total_events += shard.sim_events;
         let key = match kind {
             KernelKind::Cnk => "cnk",
             _ => "linux",
         };
-        for core in 0..4 {
-            let h = run.core_hist(core);
+        for core in 0..4u32 {
+            let h = shard
+                .stats
+                .hist("fwq.sample_cycles", Slot::Core(core))
+                .expect("fwq.sample_cycles registered by run_fwq");
             let (min, max, delta) = (h.min(), h.max(), h.delta());
             let variation = if min > 0 {
                 delta as f64 / min as f64
@@ -39,7 +97,7 @@ fn main() {
                 0.0
             };
             if kind == KernelKind::Cnk {
-                cnk_all.extend_from_slice(&run.rec.series(&format!("fwq_core{core}")));
+                cnk_all.extend_from_slice(&shard.series[core as usize]);
             }
             report.scalar(&format!("{key}.core{core}.min_cycles"), min as f64);
             report.scalar(&format!("{key}.core{core}.max_cycles"), max as f64);
@@ -66,11 +124,24 @@ fn main() {
                 Some(e) => format!("{stem}.{key}.{e}"),
                 None => format!("{stem}.{key}"),
             });
-            std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&run.events))
+            std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&shard.events))
                 .expect("writing trace");
             eprintln!("trace written to {}", p.display());
         }
-        report.registry(key, run.stats);
+        // The determinism and host-throughput evidence, per kernel: the
+        // digest must be bit-identical with and without `--no-fast-path`,
+        // while `host.<kernel>.sim_cycles_per_sec` shows the speedup.
+        report.string(&format!("digest.{key}"), &format!("{:016x}", shard.digest));
+        report.scalar(&format!("host.{key}.wall_seconds"), shard.wall_seconds);
+        report.scalar(&format!("host.{key}.sim_cycles"), shard.final_cycle as f64);
+        report.scalar(&format!("host.{key}.events"), shard.sim_events as f64);
+        if shard.wall_seconds > 0.0 {
+            report.scalar(
+                &format!("host.{key}.sim_cycles_per_sec"),
+                shard.final_cycle as f64 / shard.wall_seconds,
+            );
+        }
+        report.registry(key, shard.stats);
     }
     println!(
         "{}",
@@ -107,5 +178,6 @@ fn main() {
         };
         println!("  +{label:<14} {h:>7} samples");
     }
+    report.host_perf(cli.threads, total_wall, total_cycles, total_events);
     report.emit(&cli).expect("writing stats");
 }

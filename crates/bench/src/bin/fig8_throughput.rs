@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use bench::cli::Cli;
-use bench::harness::{nn_throughput_run, KernelKind, SimRun};
+use bench::harness::{nn_throughput_run_opts, KernelKind, SimRun};
 use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
@@ -28,6 +28,7 @@ fn main() {
     let sizes: Vec<u64> = (9..=22).map(|p| 1u64 << p).collect(); // 512 B .. 4 MB
     let threads = cli.threads;
     let windowed = threads > 1;
+    let fast = cli.fast_path;
 
     // One shard per (size, kernel), claimed by index so results land in
     // deterministic order regardless of worker scheduling.
@@ -38,13 +39,14 @@ fn main() {
     }
     let jobs: Vec<_> = shards
         .iter()
-        .map(|&(bytes, kind)| move || nn_throughput_run(kind, nodes, bytes, 8, windowed))
+        .map(|&(bytes, kind)| move || nn_throughput_run_opts(kind, nodes, bytes, 8, windowed, fast))
         .collect();
     let t0 = Instant::now();
     let results: Vec<SimRun> = run_shards(threads, jobs);
     let wall = t0.elapsed().as_secs_f64();
 
     let mut report = Report::new("fig8_throughput");
+    report.scalar("config.fast_path", if fast { 1.0 } else { 0.0 });
     let mut rows = Vec::new();
     let mut nb_seen = 0;
     let mut all_digest: u64 = 0xcbf2_9ce4_8422_2325;

@@ -13,6 +13,9 @@
 //! * `--threads <n>` — host worker threads for bins that shard their
 //!   independent simulations across a pool (`bench::par`). Results are
 //!   bit-identical for any value; 1 (the default) runs inline.
+//! * `--no-fast-path` — disable the digest-identical event-reduction
+//!   fast path (`MachineConfig::fast_path`); used to baseline its
+//!   speedup and to cross-check trace digests against the heap path.
 //!
 //! Hand-rolled because the workspace carries no external CLI dependency.
 
@@ -25,6 +28,8 @@ pub struct Cli {
     pub trace_out: Option<PathBuf>,
     /// Host worker threads for sharded bins (>= 1; 1 = inline).
     pub threads: usize,
+    /// Event-reduction fast path (on unless `--no-fast-path`).
+    pub fast_path: bool,
     /// Positional arguments, in order (bins parse their own).
     pub rest: Vec<String>,
 }
@@ -36,6 +41,7 @@ impl Default for Cli {
             json: false,
             trace_out: None,
             threads: 1,
+            fast_path: true,
             rest: Vec::new(),
         }
     }
@@ -63,6 +69,8 @@ impl Cli {
             };
             if a == "--json" {
                 cli.json = true;
+            } else if a == "--no-fast-path" {
+                cli.fast_path = false;
             } else if a == "--stats-out" || a.starts_with("--stats-out=") {
                 cli.stats_out = flag_with_value("--stats-out", a.strip_prefix("--stats-out="));
             } else if a == "--trace-out" || a.starts_with("--trace-out=") {
@@ -121,6 +129,12 @@ mod tests {
     #[should_panic(expected = "requires a value")]
     fn missing_value_panics() {
         parse(&["--stats-out"]);
+    }
+
+    #[test]
+    fn parses_fast_path_toggle() {
+        assert!(parse(&[]).fast_path);
+        assert!(!parse(&["--no-fast-path"]).fast_path);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub struct FwqRun {
     pub stats: MetricsRegistry,
     /// Kernel tracepoints from the run (for `--trace-out` export).
     pub events: Vec<bgsim::telemetry::Tracepoint>,
+    /// Rolling trace digest — bit-identical fast path on or off.
+    pub digest: u64,
+    /// Final simulated cycle of the run.
+    pub final_cycle: u64,
+    /// Heap events actually processed (the fast path retires most
+    /// completions without one).
+    pub sim_events: u64,
+    /// Host wall seconds spent inside `Machine::run` only.
+    pub wall_seconds: f64,
 }
 
 impl FwqRun {
@@ -77,8 +86,26 @@ impl FwqRun {
 /// Run FWQ (4 threads on 4 cores, one node) with telemetry enabled;
 /// the recorder carries series `fwq_core{0..3}` (per-sample cycles).
 pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> FwqRun {
+    run_fwq_opts(kind, samples, seed, true)
+}
+
+/// [`run_fwq`] with the event-reduction fast path selectable, plus wall
+/// timing tightly around `Machine::run` — the measurement behind the
+/// fast-path speedup numbers (`--no-fast-path` baselines).
+pub fn run_fwq_opts(kind: KernelKind, samples: u32, seed: u64, fast_path: bool) -> FwqRun {
+    // Large runs get a small throwaway warmup first, so the timed run
+    // measures steady state rather than process cold-start (text page
+    // faults, allocator growth). Simulation outputs are deterministic
+    // and unaffected; only `wall_seconds` is de-noised.
+    if samples > 2_000 {
+        let warm = run_fwq_opts(kind, 2_000, seed, fast_path);
+        std::hint::black_box(warm.digest);
+    }
     let mut m = Machine::new(
-        MachineConfig::nodes(1).with_seed(seed).with_telemetry(),
+        MachineConfig::nodes(1)
+            .with_seed(seed)
+            .with_telemetry()
+            .with_fast_path(fast_path),
         kind.build(),
         Box::new(Dcmf::with_defaults()),
     );
@@ -92,7 +119,9 @@ pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> FwqRun {
         },
     )
     .unwrap();
+    let t0 = std::time::Instant::now();
     let out = m.run();
+    let wall_seconds = t0.elapsed().as_secs_f64();
     assert!(out.completed(), "FWQ did not complete: {out:?}");
     // Fold the recorded samples into a registry histogram so consumers
     // (tables, --stats-out dumps) read one uniform source.
@@ -104,7 +133,15 @@ pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> FwqRun {
         }
     }
     let events = m.sc.tel.events().to_vec();
-    FwqRun { rec, stats, events }
+    FwqRun {
+        rec,
+        stats,
+        events,
+        digest: m.trace_digest(),
+        final_cycle: out.at(),
+        sim_events: m.sc.engine.processed(),
+        wall_seconds,
+    }
 }
 
 // ---- Table I: protocol latencies --------------------------------------------
@@ -326,7 +363,22 @@ pub fn nn_throughput_run(
     seed: u64,
     windowed: bool,
 ) -> SimRun {
-    let cfg = MachineConfig::nodes(nodes).with_seed(seed);
+    nn_throughput_run_opts(kind, nodes, bytes, seed, windowed, true)
+}
+
+/// [`nn_throughput_run`] with the event-reduction fast path selectable
+/// (`--no-fast-path` digest cross-checks).
+pub fn nn_throughput_run_opts(
+    kind: KernelKind,
+    nodes: u32,
+    bytes: u64,
+    seed: u64,
+    windowed: bool,
+    fast_path: bool,
+) -> SimRun {
+    let cfg = MachineConfig::nodes(nodes)
+        .with_seed(seed)
+        .with_fast_path(fast_path);
     let torus = bgsim::torus::Torus::new(&cfg);
     let nb = torus.neighbors(NodeId(0)).len();
     let mut m = Machine::new(cfg, kind.build(), Box::new(Dcmf::with_defaults()));

@@ -11,6 +11,19 @@ use crate::config::MachineConfig;
 use crate::cycles::{self, Cycle};
 use sysabi::NodeId;
 
+/// Collective-network link packets carry up to 256 bytes of payload
+/// (the tree network's fixed packet size on BG/P).
+pub const PACKET_PAYLOAD: u64 = 256;
+
+/// Number of tree-network packets a `bytes` message occupies (at least
+/// 1; header-only for empty messages). The timing model streams the
+/// whole message through the tree as one leg — this accessor exists so
+/// the batching instrumentation can report how many per-packet events
+/// that single completion event replaces.
+pub fn packets(bytes: u64) -> u64 {
+    bytes.div_ceil(PACKET_PAYLOAD).max(1)
+}
+
 /// Timing model of the collective network for one partition.
 #[derive(Clone, Debug)]
 pub struct CollectiveNet {
@@ -49,9 +62,35 @@ impl CollectiveNet {
 
     /// Cycles for a `bytes` message from compute node `n` up to its I/O
     /// node (or back down).
+    ///
+    /// Batched form: one completion per leg, with every packet's
+    /// streaming folded into the closed-form transfer term. Licensed by
+    /// [`CollectiveNet::cn_ion_cycles_per_packet`] computing the same
+    /// value packet by packet.
     pub fn cn_ion_cycles(&self, n: NodeId, bytes: u64) -> Cycle {
         let stages = self.depth(n).max(1) as u64;
         stages * self.stage_cycles + cycles::transfer_cycles(bytes, self.bytes_per_cycle)
+    }
+
+    /// Unbatched reference: walk the message packet by packet as a
+    /// per-packet engine would and stream the accumulated payload
+    /// through the tree pipeline. Packets of one leg stream back to back
+    /// on the same tree path, so the per-stage latency is paid once and
+    /// the payloads serialize behind a single bytes→cycles ceiling —
+    /// exactly [`CollectiveNet::cn_ion_cycles`].
+    pub fn cn_ion_cycles_per_packet(&self, n: NodeId, bytes: u64) -> Cycle {
+        let stages = self.depth(n).max(1) as u64;
+        let mut streamed = 0u64;
+        let mut left = bytes;
+        loop {
+            let payload = left.min(PACKET_PAYLOAD);
+            streamed += payload;
+            left -= payload;
+            if left == 0 {
+                break;
+            }
+        }
+        stages * self.stage_cycles + cycles::transfer_cycles(streamed, self.bytes_per_cycle)
     }
 
     /// Cycles for a hardware tree reduction/broadcast of `bytes` over the
@@ -123,6 +162,21 @@ mod tests {
         // log2(64)=6 vs log2(2)=1: at most 6x the stage cost apart.
         assert!(r64 > r2);
         assert!(r64 < r2 * 8);
+    }
+
+    #[test]
+    fn per_packet_reference_matches_batched_model() {
+        let n = net(64, 16);
+        for bytes in [0u64, 1, 255, 256, 257, 4096, 65_536, 1 << 20] {
+            assert_eq!(
+                n.cn_ion_cycles(NodeId(3), bytes),
+                n.cn_ion_cycles_per_packet(NodeId(3), bytes),
+                "bytes={bytes}"
+            );
+        }
+        assert_eq!(packets(0), 1);
+        assert_eq!(packets(256), 1);
+        assert_eq!(packets(257), 2);
     }
 
     #[test]

@@ -182,6 +182,11 @@ pub struct MachineConfig {
     /// Pre-size each event domain's queue for this many pending events
     /// (steady-state scheduling then never reallocates).
     pub event_capacity: usize,
+    /// Enable the event-reduction fast path (op coalescing + quiescence
+    /// fast-forward). Digest-identical to the plain engine by
+    /// construction; disable (`--no-fast-path` on the bench bins) to
+    /// fall back to one heap event per completion when debugging.
+    pub fast_path: bool,
 }
 
 impl Default for MachineConfig {
@@ -203,6 +208,7 @@ impl Default for MachineConfig {
             telemetry_capacity: 1 << 16,
             lookahead: None,
             event_capacity: 32,
+            fast_path: true,
         }
     }
 }
@@ -251,6 +257,14 @@ impl MachineConfig {
     /// `cycles` instead of deriving it from link latencies.
     pub fn with_lookahead(mut self, cycles: u64) -> MachineConfig {
         self.lookahead = Some(cycles);
+        self
+    }
+
+    /// Toggle the event-reduction fast path (on by default). Either
+    /// setting produces bit-identical trace digests; `false` is the
+    /// reference mode for conformance checks and debugging.
+    pub fn with_fast_path(mut self, on: bool) -> MachineConfig {
+        self.fast_path = on;
         self
     }
 

@@ -83,6 +83,15 @@ pub struct EvHandle {
     seq: u64,
 }
 
+impl EvHandle {
+    /// The global sequence number of the scheduled event. The fast path
+    /// carries this through virtualization so a migrated event keeps its
+    /// exact position in the `(cycle, seq)` total order.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// Heap entry: the ordering key plus the slab slot of the payload.
 /// `Copy`, so heap sifts move 24 bytes and never touch a payload.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -124,6 +133,11 @@ pub struct EngineStats {
     pub stale_discarded: u64,
     /// Whole-queue compactions triggered by the stale-fraction threshold.
     pub compactions: u64,
+    /// Completions retired inline by the fast path (no heap traffic).
+    pub coalesced: u64,
+    /// Cycles the clock advanced via [`Engine::advance_inline`] instead
+    /// of through heap pops.
+    pub fastforward_cycles: u64,
 }
 
 /// Don't bother compacting tiny queues; below this many dead entries the
@@ -283,6 +297,94 @@ impl Engine {
             }
             _ => false,
         }
+    }
+
+    // ---- fast-path (event virtualization) support -------------------------
+    //
+    // The machine's quiescence fast path lifts pending completions out of
+    // the heap into a tiny run queue, retires them inline, and puts any
+    // survivors back on exit. Three invariants make that digest-safe:
+    // sequence numbers come from the same global counter (`alloc_seq`), a
+    // migrated event keeps its original `(at, seq)` key when restored, and
+    // the clock advance (`advance_inline`) mirrors exactly what popping
+    // the event would have done.
+
+    /// Allocate the next global sequence number without scheduling an
+    /// event. The fast path uses this so virtualized completions occupy
+    /// the same positions in the total order that `schedule_dom` would
+    /// have given them.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// True if `h` still refers to a live pending event.
+    pub fn is_live(&self, h: EvHandle) -> bool {
+        matches!(self.slots.get(h.slot as usize),
+                 Some(Some(e)) if e.seq == h.seq && !e.dead)
+    }
+
+    /// Migrate a pending event out of the engine: the slab entry is
+    /// marked dead (so the heap key is discarded when reached) but the
+    /// event is *not* counted as cancelled — the caller either retires it
+    /// inline or puts it back with [`Engine::restore`]. Returns false if
+    /// the handle no longer matches a live event.
+    pub fn decommit(&mut self, h: EvHandle) -> bool {
+        match self.slots.get_mut(h.slot as usize) {
+            Some(Some(e)) if e.seq == h.seq && !e.dead => {
+                e.dead = true;
+                self.live -= 1;
+                self.dead += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-insert a previously decommitted event with its *original*
+    /// sequence number, so it reclaims the exact slot in the `(at, seq)`
+    /// total order it held before migration. The dead twin left behind by
+    /// [`Engine::decommit`] compares equal and is skipped at pop.
+    pub fn restore(&mut self, domain: u32, at: Cycle, seq: u64, kind: EvKind) -> EvHandle {
+        debug_assert!(
+            at >= self.now,
+            "restoring into the past: {} < {}",
+            at,
+            self.now
+        );
+        let at = at.max(self.now);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize] = Some(SlabEntry {
+            kind,
+            seq,
+            dead: false,
+        });
+        let d = (domain as usize).min(self.queues.len() - 1);
+        self.queues[d].push(Reverse(Key { at, seq, slot }));
+        // Restores are rare (fast-path exit); unconditionally offering a
+        // merge-front candidate is cheaper than disambiguating the dead
+        // twin, and peek_valid drops stale candidates anyway.
+        self.heads.push(Reverse((at, seq, d as u32)));
+        self.live += 1;
+        EvHandle { slot, seq }
+    }
+
+    /// Fast-path clock advance: jump to `at` exactly as popping an event
+    /// there would have, counting the retired completion and the cycles
+    /// that never touched the heap.
+    pub fn advance_inline(&mut self, at: Cycle) {
+        debug_assert!(at >= self.now);
+        self.stats.fastforward_cycles += at.saturating_sub(self.now);
+        self.stats.coalesced += 1;
+        self.now = at;
+        self.last_event = at;
     }
 
     /// Repair the merge front until its top candidate matches the real
@@ -638,5 +740,84 @@ mod tests {
         assert!(e.pop_until(500).is_none());
         assert_eq!(e.now(), 500);
         assert_eq!(e.last_event_cycle(), 10);
+    }
+
+    #[test]
+    fn decommit_then_restore_reclaims_total_order_slot() {
+        // A migrated event put back with its original seq pops exactly
+        // where it would have without the round trip — including against
+        // a same-cycle rival scheduled later (higher seq).
+        let mut e = Engine::new();
+        e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
+        let h = e.schedule(20, EvKind::Kernel { node: 0, tag: 2 });
+        e.schedule(20, EvKind::Kernel { node: 0, tag: 3 });
+        let seq = h.seq();
+        assert!(e.decommit(h));
+        assert!(!e.is_live(h), "decommitted handle must read dead");
+        assert!(!e.decommit(h), "double decommit must fail");
+        assert_eq!(e.pending(), 2);
+        let h2 = e.restore(0, 20, seq, EvKind::Kernel { node: 0, tag: 2 });
+        assert!(e.is_live(h2));
+        assert_eq!(h2.seq(), seq);
+        assert_eq!(e.pending(), 3);
+        let tags: Vec<u64> = std::iter::from_fn(|| e.pop())
+            .map(|ev| match ev.kind {
+                EvKind::Kernel { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        // The dead twin was skipped silently: discarded, not cancelled.
+        assert_eq!(e.stats().stale_discarded, 1);
+        assert_eq!(e.stats().cancelled, 0);
+        assert_eq!(e.stats().processed, 3);
+    }
+
+    #[test]
+    fn decommitted_event_retired_inline_never_pops() {
+        let mut e = Engine::new();
+        let h = e.schedule(40, EvKind::Kernel { node: 0, tag: 7 });
+        e.schedule(50, EvKind::Kernel { node: 0, tag: 8 });
+        assert!(e.decommit(h));
+        // Inline retirement: the clock jumps as if the event popped.
+        e.advance_inline(40);
+        assert_eq!(e.now(), 40);
+        assert_eq!(e.last_event_cycle(), 40);
+        let ev = e.pop().expect("live rival still queued");
+        assert_eq!(ev.at, 50);
+        assert!(e.pop().is_none());
+        assert_eq!(e.stats().coalesced, 1);
+        assert_eq!(e.stats().fastforward_cycles, 40);
+        assert_eq!(e.stats().stale_discarded, 1);
+    }
+
+    #[test]
+    fn alloc_seq_shares_the_schedule_counter() {
+        // Virtualized completions draw from the same counter as real
+        // ones, so a later schedule always sorts after an earlier
+        // alloc_seq at the same cycle.
+        let mut e = Engine::new();
+        let s0 = e.alloc_seq();
+        let h = e.schedule(10, EvKind::Kernel { node: 0, tag: 0 });
+        assert_eq!(h.seq(), s0 + 1);
+        assert!(e.alloc_seq() > h.seq());
+        // And restoring at the reserved seq beats the scheduled rival.
+        e.restore(0, 10, s0, EvKind::Kernel { node: 0, tag: 99 });
+        let first = e.pop().unwrap();
+        assert!(matches!(first.kind, EvKind::Kernel { tag: 99, .. }));
+    }
+
+    #[test]
+    fn advance_inline_matches_pop_accounting() {
+        // Same clock positions whether an event pops or fast-forwards.
+        let mut popped = Engine::new();
+        popped.schedule(100, EvKind::Kernel { node: 0, tag: 0 });
+        popped.pop();
+        let mut inline = Engine::new();
+        let h = inline.schedule(100, EvKind::Kernel { node: 0, tag: 0 });
+        inline.decommit(h);
+        inline.advance_inline(100);
+        assert_eq!(inline.now(), popped.now());
+        assert_eq!(inline.last_event_cycle(), popped.last_event_cycle());
     }
 }

@@ -20,6 +20,27 @@ use crate::trace::TraceEvent;
 /// Cycles charged to the interrupted thread per delivered IPI.
 const IPI_OVERHEAD: u64 = 80;
 
+/// The fast path only engages when every pending event is a runnable
+/// thread's completion; above this many pending events the quiescence
+/// scan costs more than it saves (kernels with standing timers — noise
+/// daemons, timeslices — or large multi-node runs never qualify, and
+/// this cap keeps the rejection cheap for them).
+const FAST_MAX_PENDING: usize = 8;
+
+/// A virtualized `OpDone`: a pending completion lifted out of the event
+/// heap into the machine's micro run queue. Carries the event's original
+/// global sequence number so it occupies the exact slot in the
+/// `(cycle, seq)` total order the heap would have given it, plus the
+/// thread generation for the same staleness check `on_op_done` performs.
+#[derive(Clone, Copy, Debug)]
+struct FastSlot {
+    until: Cycle,
+    seq: u64,
+    tid: Tid,
+    gen: u32,
+    node: u32,
+}
+
 /// Internal result of dispatching one op.
 enum Disp {
     /// Zero-cost op — fetch the next op in the same cycle.
@@ -72,6 +93,11 @@ pub struct Machine {
     idle_kernel_events: u32,
     /// Epoch windows executed by `run_windowed`.
     epochs: u64,
+    /// The fast-path micro run queue: pending completions virtualized out
+    /// of the event heap while the machine is compute-quiescent.
+    fast: Vec<FastSlot>,
+    /// True while the micro run queue owns every pending event.
+    fast_active: bool,
 }
 
 impl Machine {
@@ -89,6 +115,8 @@ impl Machine {
             boot_report: None,
             idle_kernel_events: 0,
             epochs: 0,
+            fast: Vec::new(),
+            fast_active: false,
         }
     }
 
@@ -192,7 +220,24 @@ impl Machine {
         self.idle_kernel_events = 0;
         let lookahead = self.sc.cfg.effective_lookahead();
         loop {
-            let bound = self.sc.now().saturating_add(lookahead);
+            let bound = {
+                let base = self.sc.now().saturating_add(lookahead);
+                if self.sc.cfg.fast_path {
+                    // Quiescence fast-forward at the window level: if the
+                    // earliest pending event lies beyond the naive window,
+                    // every epoch until then would pop nothing. Jump the
+                    // window so it starts at that event — the same rule
+                    // parsim uses for its horizon (`min_at + lookahead`).
+                    // Pop order is untouched; only the number of empty
+                    // `ReachedCycle` epochs changes.
+                    match self.sc.engine.peek_at() {
+                        Some(at) if at > base => at.saturating_add(lookahead),
+                        _ => base,
+                    }
+                } else {
+                    base
+                }
+            };
             match self.run_inner(Some(bound)) {
                 RunOutcome::ReachedCycle { .. } => {
                     self.epochs += 1;
@@ -243,6 +288,19 @@ impl Machine {
         self.sc
             .tel
             .gauge(ids.evq_compactions, Slot::Machine, stats.compactions);
+        self.sc
+            .tel
+            .gauge(ids.coalesced_ops, Slot::Machine, stats.coalesced);
+        self.sc.tel.gauge(
+            ids.fastforward_cycles,
+            Slot::Machine,
+            stats.fastforward_cycles,
+        );
+        self.sc.tel.gauge(
+            ids.batched_packets,
+            Slot::Machine,
+            self.sc.stats.batched_packets,
+        );
     }
 
     fn run_inner(&mut self, bound: Option<Cycle>) -> RunOutcome {
@@ -271,6 +329,14 @@ impl Machine {
                     at: self.sc.now(),
                     blocked,
                 };
+            }
+            // Quiescence fast path: when every pending event is a running
+            // thread's own completion, retire them through the micro run
+            // queue instead of the heap. Digest-identical by
+            // construction; see `try_enter_fast`.
+            if self.sc.cfg.fast_path && self.try_enter_fast(bound) {
+                self.run_fast(bound);
+                continue;
             }
             let ev = match bound {
                 Some(b) => self.sc.engine.pop_until(b),
@@ -302,6 +368,191 @@ impl Machine {
             }
             self.handle(ev.kind);
         }
+    }
+
+    // ---- the event-reduction fast path -------------------------------------
+    //
+    // On CNK the machine spends almost all simulated time with every core
+    // inside a long, perfectly predictable compute quantum (the paper's
+    // noiselessness, §V.A). The heap then carries exactly one `OpDone`
+    // per running thread and nothing else — yet the baseline loop still
+    // pays a heap push + lazy-merge pop per quantum. The fast path
+    // detects that *compute-quiescent* state, lifts the pending
+    // completions into a tiny run queue (`fast`), and retires them
+    // inline: the clock jumps straight to each completion
+    // (`Engine::advance_inline`) and the next op's completion is
+    // virtualized without touching the heap (`alloc_seq` keeps its
+    // position in the global order).
+    //
+    // Digest identity with the heap path holds by construction:
+    //
+    // * Sequence numbers are allocated from the engine's own counter in
+    //   the same order `schedule_dom` would have, so the `(cycle, seq)`
+    //   total order over *all* events — virtual or real — is unchanged.
+    // * Retirement order is argmin over `(until, seq)`, i.e. exactly heap
+    //   pop order, and each retirement replays `on_op_done` verbatim
+    //   (same state transitions, same trace records at the same cycles).
+    // * The regime exits the moment anything else appears — a kernel
+    //   timer, a message delivery, a deferral-queue push, a window
+    //   bound — by restoring every survivor to the heap with its
+    //   *original* sequence number (`Engine::restore`), after which the
+    //   baseline loop drains events in the baseline order.
+    //
+    // Anything that could reorder events vetoes entry: preemption and
+    // stretching only run from event handlers (impossible while the heap
+    // is empty), and kills/unblocks route through the deferral queues,
+    // which both the entry gate and the retirement loop check.
+
+    /// Enter the compute-quiescent regime if every pending event is a
+    /// running thread's own completion (and, under a window bound, at
+    /// least one completion lands inside the window). On success the
+    /// completions are migrated out of the heap into `fast`.
+    fn try_enter_fast(&mut self, bound: Option<Cycle>) -> bool {
+        debug_assert!(!self.fast_active);
+        let pending = self.sc.engine.pending();
+        if pending == 0 || pending > FAST_MAX_PENDING {
+            return false;
+        }
+        if !self.sc.dispatch_q.is_empty()
+            || !self.sc.unblock_q.is_empty()
+            || !self.sc.kill_q.is_empty()
+        {
+            return false;
+        }
+        self.fast.clear();
+        let mut min_until = Cycle::MAX;
+        for slot in self.sc.running.iter() {
+            let Some(tid) = *slot else { continue };
+            let t = &self.sc.threads[tid.idx()];
+            let ThreadState::Running { gen, until, .. } = t.state else {
+                self.fast.clear();
+                return false;
+            };
+            let Some(h) = t.pending_done else {
+                self.fast.clear();
+                return false;
+            };
+            if !self.sc.engine.is_live(h) {
+                self.fast.clear();
+                return false;
+            }
+            self.fast.push(FastSlot {
+                until,
+                seq: h.seq(),
+                tid,
+                gen,
+                node: t.node.0,
+            });
+            min_until = min_until.min(until);
+        }
+        // Every pending event must be one of these completions; a kernel
+        // timer, net delivery, IPI, or any other foreign event vetoes.
+        if self.fast.len() != pending {
+            self.fast.clear();
+            return false;
+        }
+        if let Some(b) = bound {
+            if min_until > b {
+                // Empty window: let pop_until park the clock instead.
+                self.fast.clear();
+                return false;
+            }
+        }
+        for i in 0..self.fast.len() {
+            let tid = self.fast[i].tid;
+            let h = self.sc.threads[tid.idx()]
+                .pending_done
+                .take()
+                .expect("validated above");
+            let ok = self.sc.engine.decommit(h);
+            debug_assert!(ok, "validated handle must decommit");
+        }
+        self.fast_active = true;
+        true
+    }
+
+    /// Retire virtualized completions in `(until, seq)` order — exactly
+    /// heap pop order — until something foreign appears (engine event,
+    /// deferral push, window bound) or the run queue drains; then flush.
+    fn run_fast(&mut self, bound: Option<Cycle>) {
+        debug_assert!(self.fast_active);
+        loop {
+            if !self.sc.dispatch_q.is_empty()
+                || !self.sc.unblock_q.is_empty()
+                || !self.sc.kill_q.is_empty()
+                || self.sc.engine.pending() != 0
+                || self.fast.is_empty()
+            {
+                break;
+            }
+            let mut best = 0usize;
+            for i in 1..self.fast.len() {
+                let (a, b) = (&self.fast[i], &self.fast[best]);
+                if (a.until, a.seq) < (b.until, b.seq) {
+                    best = i;
+                }
+            }
+            if let Some(bnd) = bound {
+                if self.fast[best].until > bnd {
+                    break;
+                }
+            }
+            let s = self.fast.swap_remove(best);
+            // The staleness gate of `on_op_done`, checked *before* the
+            // clock moves: the heap path cancels a superseded completion
+            // and never advances time for it.
+            let stale = match self.sc.threads[s.tid.idx()].state {
+                ThreadState::Running { gen, .. } => gen != s.gen,
+                _ => true,
+            };
+            if stale {
+                continue;
+            }
+            self.sc.engine.advance_inline(s.until);
+            self.idle_kernel_events = 0;
+            let t = &mut self.sc.threads[s.tid.idx()];
+            let ThreadState::Running { until, started, .. } = t.state else {
+                unreachable!("staleness gate checked Running");
+            };
+            debug_assert_eq!(until, s.until);
+            t.stats.busy_cycles += until.saturating_sub(started);
+            t.state = ThreadState::Ready;
+            t.pending_done = None;
+            self.sc
+                .trace
+                .record(s.until, TraceEvent::OpEnd { tid: s.tid.0 });
+            self.advance_thread(s.tid);
+        }
+        self.flush_fast();
+    }
+
+    /// Exit the regime: every surviving virtual completion goes back on
+    /// the heap with its original `(cycle, seq)` key, and the thread gets
+    /// its cancellable handle back. Slots whose thread was superseded are
+    /// dropped (the heap path would have cancelled them).
+    fn flush_fast(&mut self) {
+        for i in 0..self.fast.len() {
+            let s = self.fast[i];
+            let valid = matches!(
+                self.sc.threads[s.tid.idx()].state,
+                ThreadState::Running { gen, .. } if gen == s.gen
+            );
+            if !valid {
+                continue;
+            }
+            let h = self.sc.engine.restore(
+                s.node,
+                s.until,
+                s.seq,
+                EvKind::OpDone {
+                    tid: s.tid.0,
+                    gen: s.gen,
+                },
+            );
+            self.sc.threads[s.tid.idx()].pending_done = Some(h);
+        }
+        self.fast.clear();
+        self.fast_active = false;
     }
 
     /// Take a destructive logic scan: snapshot, then the machine is
@@ -671,7 +922,11 @@ impl Machine {
         let core = self.sc.threads[tid.idx()].core;
         self.sc.streaming[core.idx()] = matches!(op, Op::Stream { .. });
         match op {
+            // Exactly the `Op::is_compute` classes (the compiler keeps
+            // this list exhaustive; the predicate keeps it honest for
+            // external callers).
             Op::Compute { .. } | Op::Daxpy { .. } | Op::Stream { .. } | Op::Flops { .. } => {
+                debug_assert!(op.is_compute());
                 let cost = self.kernel.compute_cost(&mut self.sc, tid, &op);
                 self.trace_start(tid, opname, cost);
                 self.start_run(tid, cost, true);
@@ -844,11 +1099,27 @@ impl Machine {
             until: now + cost,
             started: now,
         };
-        let h = self
-            .sc
-            .engine
-            .schedule_dom(node.0, now + cost, EvKind::OpDone { tid: tid.0, gen });
-        self.sc.threads[tid.idx()].pending_done = Some(h);
+        if self.fast_active && self.sc.engine.pending() == 0 {
+            // Virtual insert: the completion joins the micro run queue
+            // instead of the heap, carrying the sequence number the heap
+            // would have assigned — so if it is ever flushed back
+            // (`flush_fast`), it sorts exactly where the baseline put it.
+            let seq = self.sc.engine.alloc_seq();
+            self.sc.threads[tid.idx()].pending_done = None;
+            self.fast.push(FastSlot {
+                until: now + cost,
+                seq,
+                tid,
+                gen,
+                node: node.0,
+            });
+        } else {
+            let h = self
+                .sc
+                .engine
+                .schedule_dom(node.0, now + cost, EvKind::OpDone { tid: tid.0, gen });
+            self.sc.threads[tid.idx()].pending_done = Some(h);
+        }
     }
 
     fn trace_start(&mut self, tid: Tid, opname: &'static str, cost: u64) {

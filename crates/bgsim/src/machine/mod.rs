@@ -437,9 +437,35 @@ impl<'a> WlEnv<'a> {
 /// A shared sample sink workloads record measurements into; the harness
 /// keeps a clone and reads the series after the run. `Rc`-based because a
 /// simulation is strictly single-threaded.
+///
+/// Each series is itself reference-counted, so a hot sampling loop can
+/// hold a [`SeriesHandle`] and append without a name lookup per sample —
+/// the FWQ loop records one value per 658k-cycle quantum and the map
+/// probe used to be a measurable slice of the whole simulation.
 #[derive(Clone, Default)]
 pub struct Recorder {
-    inner: Rc<RefCell<BTreeMap<String, Vec<f64>>>>,
+    inner: Rc<RefCell<BTreeMap<String, Rc<RefCell<Vec<f64>>>>>>,
+}
+
+/// A direct handle to one recorder series: push-only, O(1), no lookup.
+#[derive(Clone)]
+pub struct SeriesHandle {
+    data: Rc<RefCell<Vec<f64>>>,
+}
+
+impl SeriesHandle {
+    #[inline]
+    pub fn push(&self, value: f64) {
+        self.data.borrow_mut().push(value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.borrow().is_empty()
+    }
 }
 
 impl Recorder {
@@ -448,15 +474,37 @@ impl Recorder {
     }
 
     pub fn record(&self, series: &str, value: f64) {
+        // Existing series: append without allocating a key.
+        if let Some(s) = self.inner.borrow().get(series) {
+            s.borrow_mut().push(value);
+            return;
+        }
         self.inner
             .borrow_mut()
             .entry(series.to_string())
             .or_default()
+            .borrow_mut()
             .push(value);
     }
 
+    /// A push-only handle to `name`, creating the (empty) series if it
+    /// does not exist yet.
+    pub fn series_handle(&self, name: &str) -> SeriesHandle {
+        let data = self
+            .inner
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .clone();
+        SeriesHandle { data }
+    }
+
     pub fn series(&self, name: &str) -> Vec<f64> {
-        self.inner.borrow().get(name).cloned().unwrap_or_default()
+        self.inner
+            .borrow()
+            .get(name)
+            .map(|s| s.borrow().clone())
+            .unwrap_or_default()
     }
 
     pub fn series_names(&self) -> Vec<String> {
@@ -464,7 +512,7 @@ impl Recorder {
     }
 
     pub fn len(&self, name: &str) -> usize {
-        self.inner.borrow().get(name).map_or(0, |v| v.len())
+        self.inner.borrow().get(name).map_or(0, |v| v.borrow().len())
     }
 
     pub fn is_empty(&self) -> bool {

@@ -62,6 +62,10 @@ pub struct MachineStats {
     pub ipis: u64,
     pub faults: u64,
     pub noise_events: u64,
+    /// Packet completions folded into single per-leg delivery events by
+    /// the batched network model (packets beyond the first of each
+    /// message leg — the events a per-packet engine would have popped).
+    pub batched_packets: u64,
 }
 
 pub struct SimCore {
@@ -377,15 +381,34 @@ impl SimCore {
     // ---- kernel event scheduling -------------------------------------------
 
     /// Schedule a kernel-private event on `node` at absolute cycle `at`.
-    pub fn schedule_kernel_event(&mut self, node: NodeId, tag: u64, at: Cycle) {
+    /// The handle supports O(1) cancellation when the kernel supersedes
+    /// the event (e.g. a timeslice re-arm) instead of letting it fire
+    /// stale.
+    pub fn schedule_kernel_event(
+        &mut self,
+        node: NodeId,
+        tag: u64,
+        at: Cycle,
+    ) -> crate::engine::EvHandle {
         self.engine
-            .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag });
+            .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag })
     }
 
-    pub fn schedule_kernel_event_in(&mut self, node: NodeId, tag: u64, delta: Cycle) {
+    pub fn schedule_kernel_event_in(
+        &mut self,
+        node: NodeId,
+        tag: u64,
+        delta: Cycle,
+    ) -> crate::engine::EvHandle {
         let at = self.engine.now() + delta;
         self.engine
-            .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag });
+            .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag })
+    }
+
+    /// Cancel a kernel-private event scheduled earlier; true if it was
+    /// still pending.
+    pub fn cancel_kernel_event(&mut self, h: crate::engine::EvHandle) -> bool {
+        self.engine.cancel(h)
     }
 
     /// Send an IPI to a core, arriving after the interconnect delay.
@@ -447,6 +470,7 @@ impl SimCore {
         let id = self.next_msg_id();
         self.stats.torus_msgs += 1;
         self.stats.torus_bytes += bytes;
+        self.stats.batched_packets += self.torus.packets(bytes).saturating_sub(1);
         self.tel
             .count(self.tel.ids.torus_sends, Slot::Node(src.0), 1);
         let arrival = self.engine.now() + xfer + extra_delay;
@@ -484,6 +508,7 @@ impl SimCore {
         let id = self.next_msg_id();
         self.stats.coll_msgs += 1;
         self.stats.coll_bytes += bytes;
+        self.stats.batched_packets += crate::collective::packets(bytes).saturating_sub(1);
         self.tel
             .count(self.tel.ids.coll_sends, Slot::Node(src.0), 1);
         let arrival = self.engine.now() + xfer + extra_delay;

@@ -138,6 +138,20 @@ pub enum Op {
 }
 
 impl Op {
+    /// True for the deterministic local-compute classes (`Compute`,
+    /// `Daxpy`, `Stream`, `Flops`): a fixed cost on the issuing core,
+    /// priced up front by `Kernel::compute_cost`, with no kernel or
+    /// network interaction while running. These are the ops whose
+    /// completions the machine's quiescence fast path may retire inline
+    /// (see `machine/exec.rs`), which is why they share one dispatch
+    /// arm.
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            Op::Compute { .. } | Op::Daxpy { .. } | Op::Stream { .. } | Op::Flops { .. }
+        )
+    }
+
     pub fn name(&self) -> &'static str {
         match self {
             Op::Compute { .. } => "compute",
@@ -208,5 +222,22 @@ mod tests {
         let a = CloneArgs::nptl(0x7000_0000, 0x6000_0000, 0x6000_0100);
         assert!(a.flags.contains(sysabi::CloneFlags::THREAD));
         assert_eq!(a.parent_tid_addr, a.child_tid_addr);
+    }
+
+    #[test]
+    fn compute_classifier_covers_the_fixed_cost_ops() {
+        assert!(Op::Compute { cycles: 1 }.is_compute());
+        assert!(Op::Daxpy { n: 8, reps: 1 }.is_compute());
+        assert!(Op::Stream { bytes: 64 }.is_compute());
+        assert!(Op::Flops { flops: 100 }.is_compute());
+        assert!(!Op::Yield.is_compute());
+        assert!(!Op::End.is_compute());
+        assert!(!Op::MemTouch {
+            vaddr: 0,
+            bytes: 8,
+            write: false
+        }
+        .is_compute());
+        assert!(!Op::Syscall(sysabi::SysReq::Gettid).is_compute());
     }
 }

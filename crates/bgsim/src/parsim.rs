@@ -195,6 +195,9 @@ pub struct ParSim {
     lookahead: Cycle,
     threads: usize,
     epochs: u64,
+    /// Epoch-barrier merge buffer, reused across epochs so the barrier
+    /// allocates only on high-water growth.
+    merge_scratch: Vec<(Cycle, u32, usize, RemoteEv)>,
 }
 
 impl ParSim {
@@ -217,6 +220,7 @@ impl ParSim {
             lookahead: lookahead.max(1),
             threads: threads.max(1),
             epochs: 0,
+            merge_scratch: Vec::new(),
         }
     }
 
@@ -246,6 +250,13 @@ impl ParSim {
             // event anywhere, plus the lookahead. Everything strictly
             // below it is safe to process in parallel, because no
             // cross-domain send emitted in-window can land before it.
+            //
+            // Anchoring the window at `min_at` (rather than at the
+            // current clock) is also a quiescence fast-forward: a sparse
+            // schedule jumps straight to the next event, so the epoch
+            // count scales with event density, never with the simulated
+            // cycle span. `Machine::run_windowed` derives its window
+            // bound by the same rule when the fast path is on.
             let min_at = self
                 .cells
                 .iter_mut()
@@ -278,17 +289,18 @@ impl ParSim {
             // domain, emission seq) order — a total order independent
             // of worker scheduling — so destination engines assign
             // arrival sequence numbers identically on every run.
-            let mut merged: Vec<(Cycle, u32, usize, RemoteEv)> = Vec::new();
+            let mut merged = std::mem::take(&mut self.merge_scratch);
             for (src, cell) in self.cells.iter_mut().enumerate() {
                 for (i, ev) in cell.outbox.drain(..).enumerate() {
                     merged.push((ev.at, src as u32, i, ev));
                 }
             }
             merged.sort_by_key(|&(at, src, i, _)| (at, src, i));
-            for (_, _, _, ev) in merged {
+            for (_, _, _, ev) in merged.drain(..) {
                 debug_assert!(ev.at >= horizon, "send violated the epoch horizon");
                 self.cells[ev.dst as usize].engine.schedule(ev.at, ev.kind);
             }
+            self.merge_scratch = merged;
         }
 
         let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
@@ -394,6 +406,25 @@ mod tests {
         let ob = b.run();
         assert_eq!(oa, ob);
         assert_eq!(a.cell_digests(), b.cell_digests());
+    }
+
+    #[test]
+    fn epochs_scale_with_events_not_cycle_span() {
+        // Quiescence fast-forward: the window anchors at the earliest
+        // pending event, so three events a billion cycles apart cost
+        // three epochs — no empty windows in between.
+        struct Absorb;
+        impl DomainLogic for Absorb {
+            fn handle(&mut self, _now: Cycle, _kind: &EvKind, _out: &mut Outbox<'_>) {}
+        }
+        let mut sim = ParSim::new(vec![Box::new(Absorb) as Box<dyn DomainLogic>], 10, 1);
+        for i in 0..3u64 {
+            sim.schedule(0, 1 + i * 1_000_000_000, EvKind::Kernel { node: 0, tag: i });
+        }
+        let out = sim.run();
+        assert_eq!(out.events, 3);
+        assert_eq!(out.epochs, 3);
+        assert_eq!(out.final_cycle, 1 + 2 * 1_000_000_000);
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct WellKnownIds {
     pub evq_compactions: MetricId,
     pub stale_opdone: MetricId,
     pub stale_timeslice: MetricId,
+    pub coalesced_ops: MetricId,
+    pub fastforward_cycles: MetricId,
+    pub batched_packets: MetricId,
 }
 
 impl WellKnownIds {
@@ -98,6 +101,9 @@ impl WellKnownIds {
             evq_compactions: reg.gauge("engine.compactions", Scope::Machine),
             stale_opdone: reg.counter("sched.stale_opdone", Scope::PerCore),
             stale_timeslice: reg.counter("sched.stale_timeslice", Scope::PerNode),
+            coalesced_ops: reg.gauge("engine.coalesced_ops", Scope::Machine),
+            fastforward_cycles: reg.gauge("engine.fastforward_cycles", Scope::Machine),
+            batched_packets: reg.gauge("engine.batched_packets", Scope::Machine),
         }
     }
 }

@@ -141,10 +141,44 @@ impl Torus {
         bytes + packets * self.packet_overhead
     }
 
+    /// Number of torus packets a `bytes` message occupies (at least 1 —
+    /// a zero-byte message still sends a header-only packet).
+    pub fn packets(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.packet_payload).max(1)
+    }
+
     /// Cycles from DMA injection to last-byte delivery for a `bytes`
     /// message over `hops` hops (cut-through: header latency + serialize).
+    ///
+    /// This is the *batched* form: one completion per message leg with
+    /// the serialization of all packets folded into a single closed-form
+    /// term, instead of one engine event per packet. The per-packet
+    /// reference model ([`Torus::transfer_cycles_per_packet`]) computes
+    /// the identical value, which is what licenses the batching.
     pub fn transfer_cycles(&self, bytes: u64, hops: u32) -> Cycle {
         let serialize = cycles::transfer_cycles(self.wire_bytes(bytes), self.link_bytes_per_cycle);
+        self.inject_cycles + self.hop_cycles * hops.max(1) as u64 + serialize
+    }
+
+    /// The unbatched reference model: walk the message packet by packet,
+    /// as an engine scheduling one event per packet would, accumulating
+    /// each packet's wire bytes, and serialize the summed wire traffic
+    /// behind the cut-through header latency. Exactly equal to
+    /// [`Torus::transfer_cycles`] for every `(bytes, hops)` — packets
+    /// stream back-to-back on one link, so their serialization times sum
+    /// before the single ceiling that converts bytes to cycles.
+    pub fn transfer_cycles_per_packet(&self, bytes: u64, hops: u32) -> Cycle {
+        let mut wire = 0u64;
+        let mut left = bytes;
+        loop {
+            let payload = left.min(self.packet_payload);
+            wire += payload + self.packet_overhead;
+            left -= payload;
+            if left == 0 {
+                break;
+            }
+        }
+        let serialize = cycles::transfer_cycles(wire, self.link_bytes_per_cycle);
         self.inject_cycles + self.hop_cycles * hops.max(1) as u64 + serialize
     }
 
@@ -239,6 +273,27 @@ mod tests {
         assert_eq!(t.wire_bytes(240), 256);
         // 241 bytes → 2 packets.
         assert_eq!(t.wire_bytes(241), 241 + 32);
+    }
+
+    #[test]
+    fn per_packet_reference_matches_batched_model() {
+        // The batched single-event-per-leg timing must equal the
+        // unbatched packet-by-packet walk for any size and distance —
+        // the equivalence that lets the engine skip per-packet events.
+        let t = t(64);
+        for bytes in [0u64, 1, 239, 240, 241, 480, 481, 4096, 65_536, (1 << 20) + 17] {
+            for hops in [0u32, 1, 3, 6] {
+                assert_eq!(
+                    t.transfer_cycles(bytes, hops),
+                    t.transfer_cycles_per_packet(bytes, hops),
+                    "bytes={bytes} hops={hops}"
+                );
+            }
+        }
+        assert_eq!(t.packets(0), 1);
+        assert_eq!(t.packets(240), 1);
+        assert_eq!(t.packets(241), 2);
+        assert_eq!(t.packets(1 << 20), 4370);
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct Trace {
     /// retained entry).
     dropped: u64,
     entries: VecDeque<TraceEntry>,
+    /// One-entry memo for the op-name hash: `(ptr, len, fnv1a)` of the
+    /// last `&'static str` hashed. The hot loop records the same op name
+    /// millions of times; interned statics make the pointer a reliable
+    /// cache key, and on a miss the hash is recomputed, so the digest is
+    /// unchanged either way.
+    name_memo: (usize, usize, u64),
 }
 
 impl Trace {
@@ -96,6 +102,7 @@ impl Trace {
             capacity: None,
             dropped: 0,
             entries: VecDeque::new(),
+            name_memo: (0, 0, 0),
         }
     }
 
@@ -110,24 +117,38 @@ impl Trace {
             capacity: Some(n),
             dropped: 0,
             entries: VecDeque::with_capacity(n),
+            name_memo: (0, 0, 0),
         }
     }
 
+    /// `fnv1a(name)` through the one-entry memo (same value, cheaper for
+    /// the repeated-name hot path).
+    fn name_hash(&mut self, name: &'static str) -> u64 {
+        let key = (name.as_ptr() as usize, name.len());
+        if (self.name_memo.0, self.name_memo.1) != key {
+            self.name_memo = (key.0, key.1, crate::rng::fnv1a(name.as_bytes()));
+        }
+        self.name_memo.2
+    }
+
+    #[inline]
     fn mix(&mut self, v: u64) {
         self.digest ^= v;
         self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
     /// Record an event at cycle `at`.
+    #[inline]
     pub fn record(&mut self, at: Cycle, what: TraceEvent) {
         self.count += 1;
         self.mix(at);
         // Fold the event discriminant and fields into the digest.
         match &what {
             TraceEvent::OpStart { tid, opname, cost } => {
+                let h = self.name_hash(opname);
                 self.mix(1);
                 self.mix(*tid as u64);
-                self.mix(crate::rng::fnv1a(opname.as_bytes()));
+                self.mix(h);
                 self.mix(*cost);
             }
             TraceEvent::OpEnd { tid } => {
@@ -135,9 +156,10 @@ impl Trace {
                 self.mix(*tid as u64);
             }
             TraceEvent::SyscallEnter { tid, name } => {
+                let h = self.name_hash(name);
                 self.mix(3);
                 self.mix(*tid as u64);
-                self.mix(crate::rng::fnv1a(name.as_bytes()));
+                self.mix(h);
             }
             TraceEvent::SyscallExit { tid, ok } => {
                 self.mix(4);

@@ -101,7 +101,24 @@ fn exchange_machine(
     cycles: &[u64],
     bytes: u64,
 ) -> Machine {
-    let mut cfg = MachineConfig::nodes(nodes).with_seed(seed).with_trace();
+    exchange_machine_fast(nodes, seed, lookahead, telemetry, cycles, bytes, true)
+}
+
+/// [`exchange_machine`] with the event-reduction fast path selectable.
+#[allow(clippy::too_many_arguments)]
+fn exchange_machine_fast(
+    nodes: u32,
+    seed: u64,
+    lookahead: Option<u64>,
+    telemetry: bool,
+    cycles: &[u64],
+    bytes: u64,
+    fast_path: bool,
+) -> Machine {
+    let mut cfg = MachineConfig::nodes(nodes)
+        .with_seed(seed)
+        .with_trace()
+        .with_fast_path(fast_path);
     if let Some(la) = lookahead {
         cfg = cfg.with_lookahead(la);
     }
@@ -185,6 +202,35 @@ proptest! {
         prop_assert_eq!(out_b.at(), out_a.at(), "final cycle diverged");
         prop_assert_eq!(b.trace_digest(), a.trace_digest(), "digest diverged");
         prop_assert!(b.epochs() >= 1);
+    }
+
+    /// The event-reduction fast path is digest- and cycle-identical to
+    /// the heap path, under both the sequential and the windowed
+    /// drivers, for random topologies, workloads, and lookaheads —
+    /// every combination must agree on one digest.
+    #[test]
+    fn fast_path_digest_invariant(
+        nodes in 2u32..5,
+        seed in 0u64..1_000_000,
+        lookahead in prop_oneof![Just(None), (1u64..5_000).prop_map(Some)],
+        cycles in prop::collection::vec(1u64..20_000, 1..5),
+        bytes in 1u64..65_536,
+    ) {
+        let mut on = exchange_machine_fast(nodes, seed, lookahead, false, &cycles, bytes, true);
+        let out_on = on.run();
+        let mut off = exchange_machine_fast(nodes, seed, lookahead, false, &cycles, bytes, false);
+        let out_off = off.run();
+        prop_assert!(out_on.completed(), "{:?}", out_on);
+        prop_assert_eq!(out_on.at(), out_off.at(), "final cycle diverged (run)");
+        prop_assert_eq!(on.trace_digest(), off.trace_digest(), "digest diverged (run)");
+        let mut won = exchange_machine_fast(nodes, seed, lookahead, false, &cycles, bytes, true);
+        let wout_on = won.run_windowed();
+        let mut woff = exchange_machine_fast(nodes, seed, lookahead, false, &cycles, bytes, false);
+        let wout_off = woff.run_windowed();
+        prop_assert_eq!(wout_on.at(), out_on.at(), "windowed fast-on final cycle diverged");
+        prop_assert_eq!(wout_off.at(), out_on.at(), "windowed fast-off final cycle diverged");
+        prop_assert_eq!(won.trace_digest(), on.trace_digest(), "windowed fast-on digest diverged");
+        prop_assert_eq!(woff.trace_digest(), on.trace_digest(), "windowed fast-off digest diverged");
     }
 
     /// Telemetry stays a pure observer under the windowed driver:

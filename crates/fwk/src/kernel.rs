@@ -1,10 +1,11 @@
 //! The FWK kernel object.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::SmallRng;
 
 use bgsim::chip;
+use bgsim::engine::EvHandle;
 use bgsim::machine::{
     BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
     SimCore, SyscallAction, Workload, WorkloadFactory,
@@ -87,8 +88,16 @@ pub struct Fwk {
     next_proc: u32,
     /// Per-core ready queues (no thread limit: overcommit allowed).
     ready: HashMap<u32, VecDeque<Tid>>,
-    /// Cores with a timeslice event in flight.
-    ts_pending: HashSet<u32>,
+    /// Cores with a timeslice event in flight, keyed to the handle so a
+    /// drained queue cancels the slice in O(1) instead of letting it
+    /// surface as a stale pop (`sched.stale_timeslice`).
+    ts_pending: HashMap<u32, EvHandle>,
+    /// Absolute deadline of each core's most recent arm. Kept across a
+    /// cancel: contention returning before the old expiry re-arms at
+    /// the original deadline, so preemption times are bit-identical to
+    /// the count-and-discard scheme this replaces (where the in-flight
+    /// event simply kept its timestamp).
+    ts_deadline: HashMap<u32, u64>,
     futexes: Vec<FutexTable>,
     /// Next free physical frame per node.
     next_frame: Vec<u64>,
@@ -112,7 +121,8 @@ impl Fwk {
             procs: HashMap::new(),
             next_proc: 0,
             ready: HashMap::new(),
-            ts_pending: HashSet::new(),
+            ts_pending: HashMap::new(),
+            ts_deadline: HashMap::new(),
             futexes: Vec::new(),
             next_frame: Vec::new(),
             frame_limit: 0,
@@ -166,9 +176,49 @@ impl Fwk {
     fn enqueue(&mut self, sc: &mut SimCore, core: CoreId, tid: Tid) {
         self.ready.entry(core.0).or_default().push_back(tid);
         // Contention: make sure the timeslice preemption runs.
-        if !sc.core_idle(core) && self.ts_pending.insert(core.0) {
-            let node = sc.node_of_core(core);
-            sc.schedule_kernel_event_in(node, TAG_TIMESLICE | core.0 as u64, self.cfg.timeslice);
+        if !sc.core_idle(core) {
+            self.arm_timeslice(sc, core);
+        }
+    }
+
+    /// Arm the round-robin slice for `core` unless one is in flight. A
+    /// slice cancelled on queue drain leaves its deadline behind, and
+    /// contention returning before that expiry re-arms at the original
+    /// deadline — exactly when the old in-flight event would have fired.
+    fn arm_timeslice(&mut self, sc: &mut SimCore, core: CoreId) {
+        if self.ts_pending.contains_key(&core.0) {
+            return;
+        }
+        let now = sc.now();
+        let at = match self.ts_deadline.get(&core.0) {
+            Some(&d) if d > now => d,
+            _ => now + self.cfg.timeslice,
+        };
+        let node = sc.node_of_core(core);
+        let h = sc.schedule_kernel_event(node, TAG_TIMESLICE | core.0 as u64, at);
+        self.ts_pending.insert(core.0, h);
+        self.ts_deadline.insert(core.0, at);
+    }
+
+    /// The core's ready queue drained: cancel the in-flight slice (O(1)
+    /// in the event slab) so it never surfaces as a stale pop.
+    fn cancel_timeslice(&mut self, sc: &mut SimCore, core_local: u32) {
+        if let Some(h) = self.ts_pending.remove(&core_local) {
+            sc.cancel_kernel_event(h);
+        }
+    }
+
+    /// Cancel slices whose queues are (now) empty — used after bulk
+    /// removals (`on_exit`'s retain, `launch`'s queue clear).
+    fn cancel_drained_timeslices(&mut self, sc: &mut SimCore) {
+        let drained: Vec<u32> = self
+            .ts_pending
+            .keys()
+            .copied()
+            .filter(|c| self.ready.get(c).map_or(true, |q| q.is_empty()))
+            .collect();
+        for c in drained {
+            self.cancel_timeslice(sc, c);
         }
     }
 
@@ -267,6 +317,7 @@ impl Kernel for Fwk {
         self.procs.clear();
         self.ready.clear();
         self.ts_pending.clear();
+        self.ts_deadline.clear();
         self.futexes.clear();
         self.proxies.clear();
         self.booted = false;
@@ -285,6 +336,7 @@ impl Kernel for Fwk {
             self.proxies.remove(&proc.0);
         }
         self.ready.clear();
+        self.cancel_drained_timeslices(sc);
         for f in &mut self.futexes {
             f.clear();
         }
@@ -675,8 +727,13 @@ impl Kernel for Fwk {
         }
     }
 
-    fn pick_next(&mut self, _sc: &mut SimCore, core: CoreId) -> Option<Tid> {
-        self.ready.get_mut(&core.0)?.pop_front()
+    fn pick_next(&mut self, sc: &mut SimCore, core: CoreId) -> Option<Tid> {
+        let q = self.ready.get_mut(&core.0)?;
+        let t = q.pop_front();
+        if t.is_some() && q.is_empty() {
+            self.cancel_timeslice(sc, core.0);
+        }
+        t
     }
 
     fn on_unblock(&mut self, sc: &mut SimCore, tid: Tid) {
@@ -694,6 +751,7 @@ impl Kernel for Fwk {
         for q in self.ready.values_mut() {
             q.retain(|&t| t != tid);
         }
+        self.cancel_drained_timeslices(sc);
         self.futexes[node.idx()].remove(tid);
         if let Some(p) = self.procs.get_mut(&proc_id) {
             p.live_threads = p.live_threads.saturating_sub(1);
@@ -774,14 +832,8 @@ impl Kernel for Fwk {
                     }
                 }
                 // Keep slicing while there is still contention.
-                if self.ready.get(&core.0).map_or(0, |q| q.len()) > 0
-                    && self.ts_pending.insert(core.0)
-                {
-                    sc.schedule_kernel_event_in(
-                        node,
-                        TAG_TIMESLICE | core.0 as u64,
-                        self.cfg.timeslice,
-                    );
+                if self.ready.get(&core.0).map_or(0, |q| q.len()) > 0 {
+                    self.arm_timeslice(sc, core);
                 }
             }
             _ => {}

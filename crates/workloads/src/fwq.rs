@@ -11,7 +11,7 @@
 //! The main thread initializes NPTL, spawns one worker pthread per extra
 //! core, runs the sampling loop itself on core 0, then joins.
 
-use bgsim::machine::{Recorder, WlEnv, Workload};
+use bgsim::machine::{Recorder, SeriesHandle, WlEnv, Workload};
 use bgsim::op::Op;
 
 use crate::nptl::{NptlInit, PthreadCreate, PthreadJoin};
@@ -48,8 +48,7 @@ impl FwqConfig {
 /// each duration (in cycles) into series `fwq_core{N}`.
 pub struct FwqSampler {
     cfg: FwqConfig,
-    rec: Recorder,
-    series: String,
+    series: SeriesHandle,
     remaining: u32,
     last_start: Option<u64>,
 }
@@ -58,8 +57,9 @@ impl FwqSampler {
     pub fn new(cfg: FwqConfig, rec: Recorder, core: u32) -> FwqSampler {
         FwqSampler {
             cfg,
-            rec,
-            series: format!("fwq_core{core}"),
+            // One lookup here; the sampling loop then appends through the
+            // handle (it runs once per 658k-cycle quantum).
+            series: rec.series_handle(&format!("fwq_core{core}")),
             remaining: cfg.samples,
             last_start: None,
         }
@@ -75,7 +75,7 @@ impl FwqSampler {
     /// Drive the loop; `None` when all samples are recorded.
     pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
         if let Some(t0) = self.last_start.take() {
-            self.rec.record(&self.series, (env.now() - t0) as f64);
+            self.series.push((env.now() - t0) as f64);
             self.remaining -= 1;
         }
         if self.remaining == 0 {

@@ -384,6 +384,63 @@ proptest! {
         let b = run(prog)?;
         prop_assert_eq!(a, b, "nondeterminism detected");
     }
+
+    /// The event-reduction fast path as a fuzzed property: any program,
+    /// either kernel, sequential or windowed driver — retiring
+    /// completions through the micro run queue must be bit-identical
+    /// (trace digest and final cycle) to draining them through the heap.
+    #[test]
+    fn fast_path_digest_identical_for_any_program(
+        prog in arb_program(),
+        seed in 0u64..1000,
+        kernel_pick in any::<bool>(),
+        windowed in any::<bool>(),
+    ) {
+        let run = |prog: Vec<u8>, fast: bool| -> Result<(u64, u64), TestCaseError> {
+            let kernel: Box<dyn bgsim::Kernel> = if kernel_pick {
+                Box::new(Cnk::with_defaults())
+            } else {
+                Box::new(Fwk::with_defaults())
+            };
+            let mut m = bgsim::machine::Machine::new(
+                MachineConfig::nodes(2)
+                    .with_seed(seed)
+                    .with_trace()
+                    .with_fast_path(fast),
+                kernel,
+                Box::new(dcmf::Dcmf::with_defaults()),
+            );
+            m.boot();
+            m.launch(
+                &sysabi::JobSpec::new(
+                    sysabi::AppImage::static_test("fuzz"),
+                    2,
+                    sysabi::NodeMode::Smp,
+                ),
+                &mut |_r: sysabi::Rank| {
+                    let prog = prog.clone();
+                    let mut i = 0usize;
+                    bgsim::script::wl(move |env| {
+                        let _ = env.take_ret();
+                        if i >= prog.len() {
+                            return bgsim::Op::End;
+                        }
+                        let op = decode_op(prog[i], i as u64);
+                        i += 1;
+                        op
+                    })
+                },
+            )
+            .unwrap();
+            let out = if windowed { m.run_windowed() } else { m.run() };
+            prop_assert!(out.completed(), "{out:?}");
+            Ok((out.at(), m.trace_digest()))
+        };
+
+        let on = run(prog.clone(), true)?;
+        let off = run(prog, false)?;
+        prop_assert_eq!(on, off, "fast path diverged (windowed={})", windowed);
+    }
 }
 
 use bgsim::MachineConfig;

@@ -72,6 +72,74 @@ fn fwk_timeslices_two_threads_on_one_core() {
 }
 
 #[test]
+fn fwk_timeslice_rearm_leaves_no_stale_events() {
+    // The slice re-arm path cancels the in-flight expiry the moment a
+    // core's ready queue drains (O(1) in the event slab) and re-arms at
+    // the remembered deadline when contention returns, so the
+    // count-and-discard backstop must never fire: preemptions happen,
+    // stale expiries do not.
+    let mut m = Machine::new(
+        MachineConfig::single_node().with_seed(0x5C).with_telemetry(),
+        Box::new(Fwk::with_defaults()),
+        Box::new(Dcmf::with_defaults()),
+    );
+    m.boot();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("slice"), 1, NodeMode::Smp),
+        &mut move |_r: Rank| {
+            let mut step = 0;
+            wl(move |env| {
+                step += 1;
+                match step {
+                    // Three CPU-bound threads on core 1 with different
+                    // lengths: queues drain at different times, so both
+                    // the pick_next drain-cancel and the exit-time
+                    // drain-cancel paths run.
+                    1 | 2 | 3 => {
+                        let mut chunks = 0;
+                        let quota = 10 * step;
+                        Op::Spawn {
+                            args: bgsim::CloneArgs::nptl(0x7800_0000 + step * 0x100000, 0, 0),
+                            child: wl(move |_| {
+                                if chunks == quota {
+                                    return Op::End;
+                                }
+                                chunks += 1;
+                                Op::Compute { cycles: 1_000_000 }
+                            }),
+                            core_hint: Some(1),
+                        }
+                    }
+                    4 => {
+                        let _ = env.take_ret();
+                        Op::End
+                    }
+                    _ => Op::End,
+                }
+            }) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "{out:?}");
+    let preempts = m
+        .sc
+        .tel
+        .metrics
+        .value("sched.preempts", bgsim::telemetry::Slot::Core(1))
+        .unwrap_or(0);
+    assert!(preempts > 0, "no timeslice preemptions on the shared core");
+    assert_eq!(
+        m.sc
+            .tel
+            .metrics
+            .value("sched.stale_timeslice", bgsim::telemetry::Slot::Node(0)),
+        Some(0),
+        "a timeslice expiry popped stale instead of being cancelled"
+    );
+}
+
+#[test]
 fn cnk_runs_to_block_without_preemption() {
     // The same two-threads-one-core setup is *rejected* by CNK's fixed
     // thread limit; with the 3-threads-per-core firmware it is allowed,
