@@ -78,5 +78,5 @@ fn main() {
         report.scalar(&format!("{key}.instructions"), r.instructions as f64);
         report.scalar(&format!("{key}.vhdl_seconds"), r.vhdl_sim_seconds(HZ));
     }
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -19,7 +19,7 @@
 //! match the heap path exactly.
 
 use bench::cli::Cli;
-use bench::harness::{run_fwq_opts, KernelKind};
+use bench::harness::{run_fwq_faulted, KernelKind};
 use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
@@ -41,6 +41,7 @@ fn main() {
     let cli = Cli::parse();
     let samples = cli.pos(0).unwrap_or(12_000u32);
     let fast = cli.fast_path;
+    let faults = cli.fault_spec();
     println!(
         "== FWQ (Fixed Work Quanta), {samples} samples/core, 4 cores, 1 node{} ==\n",
         if fast { "" } else { " [no fast path]" }
@@ -53,8 +54,9 @@ fn main() {
         KINDS
             .iter()
             .map(|&kind| {
+                let faults = faults.clone();
                 move || {
-                    let run = run_fwq_opts(kind, samples, 0xF00D, fast);
+                    let run = run_fwq_faulted(kind, samples, 0xF00D, fast, &faults);
                     let series = (0..4)
                         .map(|c| run.rec.series(&format!("fwq_core{c}")))
                         .collect();
@@ -124,8 +126,10 @@ fn main() {
                 Some(e) => format!("{stem}.{key}.{e}"),
                 None => format!("{stem}.{key}"),
             });
-            std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&shard.events))
-                .expect("writing trace");
+            if let Err(e) = std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&shard.events)) {
+                eprintln!("error: writing trace to {}: {e}", p.display());
+                std::process::exit(1);
+            }
             eprintln!("trace written to {}", p.display());
         }
         // The determinism and host-throughput evidence, per kernel: the
@@ -179,5 +183,5 @@ fn main() {
         println!("  +{label:<14} {h:>7} samples");
     }
     report.host_perf(cli.threads, total_wall, total_cycles, total_events);
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

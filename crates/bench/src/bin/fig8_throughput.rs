@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use bench::cli::Cli;
-use bench::harness::{nn_throughput_run_opts, KernelKind, SimRun};
+use bench::harness::{nn_throughput_run_faulted, KernelKind, SimRun};
 use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
@@ -29,6 +29,7 @@ fn main() {
     let threads = cli.threads;
     let windowed = threads > 1;
     let fast = cli.fast_path;
+    let faults = cli.fault_spec();
 
     // One shard per (size, kernel), claimed by index so results land in
     // deterministic order regardless of worker scheduling.
@@ -39,7 +40,10 @@ fn main() {
     }
     let jobs: Vec<_> = shards
         .iter()
-        .map(|&(bytes, kind)| move || nn_throughput_run_opts(kind, nodes, bytes, 8, windowed, fast))
+        .map(|&(bytes, kind)| {
+            let faults = faults.clone();
+            move || nn_throughput_run_faulted(kind, nodes, bytes, 8, windowed, fast, &faults)
+        })
         .collect();
     let t0 = Instant::now();
     let results: Vec<SimRun> = run_shards(threads, jobs);
@@ -112,7 +116,7 @@ fn main() {
     report.scalar("peak_mbs", peak);
     report.string("digest.all", &format!("{all_digest:016x}"));
     report.host_perf(threads, wall, total_cycles, total_events);
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }
 
 fn human(b: u64) -> String {

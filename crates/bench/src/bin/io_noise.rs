@@ -11,7 +11,9 @@
 
 use bench::stats::Summary;
 use bench::table::render;
+use bgsim::fault::FaultSpec;
 use bgsim::machine::{Machine, Recorder, Workload};
+use bgsim::telemetry::MetricsRegistry;
 use bgsim::MachineConfig;
 use cnk::Cnk;
 use dcmf::Dcmf;
@@ -21,9 +23,14 @@ use workloads::fwq::{FwqConfig, FwqSampler};
 use workloads::io_kernel::CheckpointApp;
 use workloads::nptl::PthreadCreate;
 
-fn run(kernel: Box<dyn bgsim::Kernel>, samples: u32, with_io: bool) -> Recorder {
+fn run(
+    kernel: Box<dyn bgsim::Kernel>,
+    samples: u32,
+    with_io: bool,
+    faults: &FaultSpec,
+) -> (Recorder, MetricsRegistry) {
     let mut m = Machine::new(
-        MachineConfig::single_node().with_seed(0x10),
+        faults.apply(MachineConfig::single_node().with_seed(0x10).with_telemetry()),
         kernel,
         Box::new(Dcmf::with_defaults()),
     );
@@ -75,13 +82,15 @@ fn run(kernel: Box<dyn bgsim::Kernel>, samples: u32, with_io: bool) -> Recorder 
     )
     .unwrap();
     let out = m.run();
-    assert!(out.completed(), "{out:?}");
-    rec
+    assert!(out.completed() || faults.is_active(), "{out:?}");
+    let stats = m.sc.tel.take_metrics();
+    (rec, stats)
 }
 
 fn main() {
     let cli = bench::cli::Cli::parse();
     let samples = cli.pos(0).unwrap_or(4_000u32);
+    let faults = cli.fault_spec();
     println!("== §IV.A: concurrent checkpoint I/O vs FWQ noise on cores 1-3 ==\n");
     let mut report = bench::report::Report::new("io_noise");
     let mut rows = Vec::new();
@@ -97,19 +106,16 @@ fn main() {
         ),
     ] {
         for with_io in [false, true] {
-            let rec = run(mk(), samples, with_io);
-            let mut row = vec![
-                kname.to_string(),
-                if with_io { "checkpointing" } else { "quiet" }.to_string(),
-            ];
+            let (rec, stats) = run(mk(), samples, with_io, &faults);
+            let mode = if with_io { "checkpointing" } else { "quiet" };
+            // Per-run telemetry (RAS/retry counters show up here on a
+            // `--fault-seed` run; `ci/perf_smoke.sh` greps for them).
+            report.registry(&format!("{}.{mode}", kname.to_lowercase()), stats);
+            let mut row = vec![kname.to_string(), mode.to_string()];
             for core in 1..4 {
                 let s = Summary::of(&rec.series(&format!("fwq_core{core}")));
                 report.scalar(
-                    &format!(
-                        "{}.{}.core{core}.max_delta",
-                        kname.to_lowercase(),
-                        if with_io { "checkpointing" } else { "quiet" }
-                    ),
+                    &format!("{}.{mode}.core{core}.max_delta", kname.to_lowercase()),
                     s.max - s.min,
                 );
                 row.push(format!("{:.0}", s.max - s.min));
@@ -158,5 +164,5 @@ fn main() {
             &rows
         )
     );
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

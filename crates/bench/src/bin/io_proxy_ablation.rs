@@ -75,5 +75,5 @@ fn main() {
     );
     println!("the 1-to-1 proxy mapping keeps checkpoint latency flat as the pset grows;");
     println!("the serialized daemon degrades linearly — the §IV.A design change.");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

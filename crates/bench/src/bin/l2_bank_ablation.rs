@@ -92,5 +92,5 @@ fn main() {
     );
     println!("the ConflictStress mapping is the verification configuration that creates");
     println!("artificial bank conflicts; Interleaved is the tuned production choice.");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

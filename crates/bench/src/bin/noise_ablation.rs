@@ -85,7 +85,7 @@ fn main() {
     println!("reading: the big core-0/2 spikes come from the irq bottom halves; core 3's");
     println!("from kswapd scans; core 1 only ever sees the tick and ksoftirqd — matching");
     println!("the paper's Fig. 5 per-core asymmetry.");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }
 
 fn row(name: &str, v: &[f64]) -> Vec<String> {

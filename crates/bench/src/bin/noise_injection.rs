@@ -120,5 +120,5 @@ fn main() {
     println!("reading: identical average intensity, very different application impact —");
     println!("fine noise is absorbed, coarse noise is amplified by the collectives, and");
     println!("the penalty grows with node count (§V.A; Petrini et al.; Ferreira et al.).");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -70,5 +70,5 @@ fn main() {
     );
     println!("smaller budgets force coarser pages: fewer entries, more rounding waste —");
     println!("the §VII.B cost of never taking a TLB miss.");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -159,5 +159,5 @@ fn main() {
     assert!(arrivals.windows(2).all(|w| w[0] == w[1]));
     report.scalar("reboot_arrival_cycle", arrivals[0] as f64);
     println!("   => same cycle every run (cross-chip scans line up)");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -85,5 +85,5 @@ fn main() {
             sf.stddev / sc.stddev
         );
     }
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -68,5 +68,5 @@ fn main() {
         "paper (CNK, full rack, 4h28m runs): spread 2.11 s of 16082 s = 0.013%, stddev < 1.14 s"
     );
     println!("the reproduction's CNK variation should sit near 0.01% and far below Linux's.");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -33,5 +33,5 @@ fn main() {
         render(&["Protocol", "paper us", "measured us", "error"], &rows)
     );
     println!("2 nodes, nearest neighbors, 8-byte payload, CNK capabilities.");
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

@@ -54,5 +54,5 @@ fn main() {
     };
     report.scalar("cnk.available", avail(&cnk));
     report.scalar("linux.available", avail(&linux));
-    report.emit(&cli).expect("writing stats");
+    report.emit_or_exit(&cli);
 }

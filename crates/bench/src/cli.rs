@@ -16,6 +16,11 @@
 //! * `--no-fast-path` — disable the digest-identical event-reduction
 //!   fast path (`MachineConfig::fast_path`); used to baseline its
 //!   speedup and to cross-check trace digests against the heap path.
+//! * `--fault-seed <u64>` — derive a survivable fault schedule from the
+//!   seed ([`bgsim::fault::FaultSchedule::from_seed`]);
+//! * `--fault-script <path>` — load an explicit fault schedule
+//!   (`<cycle> <node> <kind> [arg]` lines). Mutually exclusive with
+//!   `--fault-seed`.
 //!
 //! Hand-rolled because the workspace carries no external CLI dependency.
 
@@ -30,6 +35,10 @@ pub struct Cli {
     pub threads: usize,
     /// Event-reduction fast path (on unless `--no-fast-path`).
     pub fast_path: bool,
+    /// Seeded fault schedule (`--fault-seed`).
+    pub fault_seed: Option<u64>,
+    /// Explicit fault schedule file (`--fault-script`).
+    pub fault_script: Option<PathBuf>,
     /// Positional arguments, in order (bins parse their own).
     pub rest: Vec<String>,
 }
@@ -42,6 +51,8 @@ impl Default for Cli {
             trace_out: None,
             threads: 1,
             fast_path: true,
+            fault_seed: None,
+            fault_script: None,
             rest: Vec::new(),
         }
     }
@@ -81,11 +92,46 @@ impl Cli {
                     .and_then(|p| p.to_str().and_then(|s| s.parse().ok()))
                     .expect("--threads requires a positive integer");
                 cli.threads = n.max(1);
+            } else if a == "--fault-seed" || a.starts_with("--fault-seed=") {
+                let v = flag_with_value("--fault-seed", a.strip_prefix("--fault-seed="));
+                let n: u64 = v
+                    .and_then(|p| p.to_str().and_then(|s| s.parse().ok()))
+                    .expect("--fault-seed requires an unsigned integer");
+                cli.fault_seed = Some(n);
+            } else if a == "--fault-script" || a.starts_with("--fault-script=") {
+                cli.fault_script =
+                    flag_with_value("--fault-script", a.strip_prefix("--fault-script="));
             } else {
                 cli.rest.push(a);
             }
         }
         cli
+    }
+
+    /// Resolve the fault flags into a [`bgsim::fault::FaultSpec`]. Bad
+    /// input (both flags at once, unreadable or unparsable script) is a
+    /// usage error: message on stderr, exit code 2.
+    pub fn fault_spec(&self) -> bgsim::fault::FaultSpec {
+        use bgsim::fault::{FaultSchedule, FaultSpec};
+        match (self.fault_seed, &self.fault_script) {
+            (Some(_), Some(_)) => {
+                eprintln!("error: --fault-seed and --fault-script are mutually exclusive");
+                std::process::exit(2);
+            }
+            (Some(seed), None) => FaultSpec::Seed(seed),
+            (None, Some(path)) => {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("error: reading {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+                let sched = FaultSchedule::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("error: {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+                FaultSpec::Explicit(sched)
+            }
+            (None, None) => FaultSpec::None,
+        }
     }
 
     /// Positional argument `i` parsed as a number, for the bins whose

@@ -2,6 +2,7 @@
 //! per-figure binaries and by the regression tests.
 
 use bgsim::cycles::cycles_to_us;
+use bgsim::fault::FaultSpec;
 use bgsim::machine::{Machine, Recorder, Workload};
 use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
 use bgsim::script::wl;
@@ -93,19 +94,35 @@ pub fn run_fwq(kind: KernelKind, samples: u32, seed: u64) -> FwqRun {
 /// timing tightly around `Machine::run` — the measurement behind the
 /// fast-path speedup numbers (`--no-fast-path` baselines).
 pub fn run_fwq_opts(kind: KernelKind, samples: u32, seed: u64, fast_path: bool) -> FwqRun {
+    run_fwq_faulted(kind, samples, seed, fast_path, &FaultSpec::None)
+}
+
+/// [`run_fwq_opts`] under a fault schedule (`--fault-seed` /
+/// `--fault-script`). A faulted run is allowed to end without
+/// completing (a machine check can kill the job); the digest and
+/// counters are still meaningful outputs.
+pub fn run_fwq_faulted(
+    kind: KernelKind,
+    samples: u32,
+    seed: u64,
+    fast_path: bool,
+    faults: &FaultSpec,
+) -> FwqRun {
     // Large runs get a small throwaway warmup first, so the timed run
     // measures steady state rather than process cold-start (text page
     // faults, allocator growth). Simulation outputs are deterministic
     // and unaffected; only `wall_seconds` is de-noised.
     if samples > 2_000 {
-        let warm = run_fwq_opts(kind, 2_000, seed, fast_path);
+        let warm = run_fwq_faulted(kind, 2_000, seed, fast_path, faults);
         std::hint::black_box(warm.digest);
     }
     let mut m = Machine::new(
-        MachineConfig::nodes(1)
-            .with_seed(seed)
-            .with_telemetry()
-            .with_fast_path(fast_path),
+        faults.apply(
+            MachineConfig::nodes(1)
+                .with_seed(seed)
+                .with_telemetry()
+                .with_fast_path(fast_path),
+        ),
         kind.build(),
         Box::new(Dcmf::with_defaults()),
     );
@@ -122,7 +139,10 @@ pub fn run_fwq_opts(kind: KernelKind, samples: u32, seed: u64, fast_path: bool) 
     let t0 = std::time::Instant::now();
     let out = m.run();
     let wall_seconds = t0.elapsed().as_secs_f64();
-    assert!(out.completed(), "FWQ did not complete: {out:?}");
+    assert!(
+        out.completed() || faults.is_active(),
+        "FWQ did not complete: {out:?}"
+    );
     // Fold the recorded samples into a registry histogram so consumers
     // (tables, --stats-out dumps) read one uniform source.
     let mut stats = m.sc.tel.take_metrics();
@@ -376,9 +396,27 @@ pub fn nn_throughput_run_opts(
     windowed: bool,
     fast_path: bool,
 ) -> SimRun {
-    let cfg = MachineConfig::nodes(nodes)
-        .with_seed(seed)
-        .with_fast_path(fast_path);
+    nn_throughput_run_faulted(kind, nodes, bytes, seed, windowed, fast_path, &FaultSpec::None)
+}
+
+/// [`nn_throughput_run_opts`] under a fault schedule. With faults a
+/// rank can die before recording its sample; the bandwidth then reads
+/// 0 and the digest/cycle outputs remain the run's evidence.
+#[allow(clippy::too_many_arguments)]
+pub fn nn_throughput_run_faulted(
+    kind: KernelKind,
+    nodes: u32,
+    bytes: u64,
+    seed: u64,
+    windowed: bool,
+    fast_path: bool,
+    faults: &FaultSpec,
+) -> SimRun {
+    let cfg = faults.apply(
+        MachineConfig::nodes(nodes)
+            .with_seed(seed)
+            .with_fast_path(fast_path),
+    );
     let torus = bgsim::torus::Torus::new(&cfg);
     let nb = torus.neighbors(NodeId(0)).len();
     let mut m = Machine::new(cfg, kind.build(), Box::new(Dcmf::with_defaults()));
@@ -400,10 +438,10 @@ pub fn nn_throughput_run_opts(
     )
     .unwrap();
     let out = if windowed { m.run_windowed() } else { m.run() };
-    assert!(out.completed(), "{out:?}");
-    let cycles = rec.series(&format!("nn_cycles_{bytes}"))[0];
+    assert!(out.completed() || faults.is_active(), "{out:?}");
+    let cycles = rec.series(&format!("nn_cycles_{bytes}")).first().copied();
     SimRun {
-        mbs: throughput_mbs(bytes, nb, cycles),
+        mbs: cycles.map_or(0.0, |c| throughput_mbs(bytes, nb, c)),
         neighbors: nb,
         digest: m.trace_digest(),
         final_cycle: out.at(),

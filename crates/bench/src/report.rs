@@ -141,6 +141,22 @@ impl Report {
         }
         Ok(())
     }
+
+    /// [`Report::emit`], but a write failure (full disk, bad
+    /// `--stats-out` directory, permissions) reports the offending path
+    /// on stderr and exits nonzero instead of unwinding through a
+    /// panic. This is the call every bin's main ends with.
+    pub fn emit_or_exit(&self, cli: &Cli) {
+        if let Err(e) = self.emit(cli) {
+            let path = cli
+                .stats_out
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "<stdout>".to_string());
+            eprintln!("error: writing stats to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Render a scalar as a JSON-legal number (f64 `Display` never uses an

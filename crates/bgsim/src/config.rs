@@ -187,6 +187,10 @@ pub struct MachineConfig {
     /// construction; disable (`--no-fast-path` on the bench bins) to
     /// fall back to one heap event per completion when debugging.
     pub fast_path: bool,
+    /// RAS fault-injection schedule ([`crate::fault`]). Empty by
+    /// default, and an empty schedule schedules no events at all — such
+    /// runs are bit-identical to a build without fault injection.
+    pub faults: crate::fault::FaultSchedule,
 }
 
 impl Default for MachineConfig {
@@ -209,6 +213,7 @@ impl Default for MachineConfig {
             lookahead: None,
             event_capacity: 32,
             fast_path: true,
+            faults: crate::fault::FaultSchedule::default(),
         }
     }
 }
@@ -268,6 +273,12 @@ impl MachineConfig {
         self
     }
 
+    /// Install a RAS fault-injection schedule ([`crate::fault`]).
+    pub fn with_faults(mut self, faults: crate::fault::FaultSchedule) -> MachineConfig {
+        self.faults = faults;
+        self
+    }
+
     pub fn total_cores(&self) -> u32 {
         self.nodes * self.chip.cores
     }
@@ -308,6 +319,14 @@ impl MachineConfig {
         }
         if self.io_ratio == 0 {
             return Err("io_ratio must be positive".into());
+        }
+        if let Some(n) = self.faults.max_node() {
+            if n >= self.nodes {
+                return Err(format!(
+                    "fault schedule targets node {n}, machine has {}",
+                    self.nodes
+                ));
+            }
         }
         Ok(())
     }

@@ -50,6 +50,9 @@ pub enum EvKind {
     Fault { core: u32, kind: u32 },
     /// A collective operation completes for one participant.
     CollDone { tid: u32, coll: u64 },
+    /// A scheduled RAS fault fires; `idx` indexes the machine's sorted
+    /// fault schedule ([`crate::fault::FaultSchedule`]).
+    Ras { idx: u32 },
 }
 
 /// An ordered event.

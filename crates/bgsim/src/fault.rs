@@ -1,0 +1,352 @@
+//! Deterministic RAS fault injection (§V.B).
+//!
+//! Blue Gene treated survival as a first-class kernel feature: RAS
+//! events are reported and handled, the CIOD link can flap without
+//! taking the job down, and — crucially for bringup — everything stays
+//! reproducible. This module makes the *faults themselves*
+//! deterministic: a [`FaultSchedule`] pins every injected fault to an
+//! exact cycle and node, so a fault run is bit-reproducible and
+//! invariant under the windowed driver and host-thread sharding, the
+//! same way ordinary runs are.
+//!
+//! Faults become engine events in the target node's domain at boot.
+//! An **empty schedule schedules zero events**, which is what keeps
+//! no-fault runs digest-identical to a build without this module at
+//! all (any foreign pending event would also veto the event-reduction
+//! fast path).
+//!
+//! Fault semantics (who recovers, and how):
+//!
+//! - **Torus** faults model link-level CRC errors. The torus hardware
+//!   retransmits, so a drop or corruption never loses a message at the
+//!   messaging layer — it shows up as delivery delay plus
+//!   `torus.dropped_pkts`. Applications cannot deadlock on them.
+//! - **Collective** (CIOD) faults are real losses: the tree wire
+//!   protocol is validated in software, so drops, corruptions, and
+//!   short writes are recovered by the compute-node kernel's
+//!   retry/backoff machinery (or surface as a clean `EIO`).
+//! - **Machine checks** take the existing parity path: the kernel
+//!   signals the application, and the default disposition terminates
+//!   the job cleanly with an exit report.
+//! - **Guard storms** are spurious DAC guard violations: survivable
+//!   handler time on every core of the node.
+
+use rand::rngs::SmallRng;
+
+use crate::config::MachineConfig;
+use crate::cycles::Cycle;
+use crate::rng::{uniform_incl, RngHub};
+
+/// What kind of fault fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Torus link outage at the node for `arg` cycles: in-flight and
+    /// newly sent messages touching the node are retransmitted after
+    /// the outage (link-level CRC retry; never lost to software).
+    TorusDrop,
+    /// A torus CRC error: in-flight messages at the node bounce once
+    /// (retransmit delay), delivered clean.
+    TorusCorrupt,
+    /// Collective-tree outage (CIOD flap) for `arg` cycles: in-flight
+    /// and newly sent tree messages touching the node are lost.
+    CollDrop,
+    /// In-flight collective messages at the node are delayed `arg`
+    /// cycles (CIOD hiccup).
+    CollDelay,
+    /// In-flight collective payloads at the node are corrupted; the
+    /// receiver's wire validation drops them (then retry recovers).
+    CollCorrupt,
+    /// In-flight CIOD write requests at the node are truncated: the
+    /// application sees a genuine POSIX short write.
+    CiodShortWrite,
+    /// L1 parity machine check on local core `arg` of the node — the
+    /// fatal RAS path (clean job termination).
+    MachineCheck,
+    /// `arg` spurious DAC guard violations on every core of the node.
+    GuardStorm,
+}
+
+impl FaultKind {
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::TorusDrop,
+        FaultKind::TorusCorrupt,
+        FaultKind::CollDrop,
+        FaultKind::CollDelay,
+        FaultKind::CollCorrupt,
+        FaultKind::CiodShortWrite,
+        FaultKind::MachineCheck,
+        FaultKind::GuardStorm,
+    ];
+
+    /// Script/name form (`torus-drop`, `machine-check`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TorusDrop => "torus-drop",
+            FaultKind::TorusCorrupt => "torus-corrupt",
+            FaultKind::CollDrop => "coll-drop",
+            FaultKind::CollDelay => "coll-delay",
+            FaultKind::CollCorrupt => "coll-corrupt",
+            FaultKind::CiodShortWrite => "ciod-short-write",
+            FaultKind::MachineCheck => "machine-check",
+            FaultKind::GuardStorm => "guard-storm",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Stable numeric code (folded into the trace digest).
+    pub fn code(self) -> u32 {
+        0x100
+            + match self {
+                FaultKind::TorusDrop => 0,
+                FaultKind::TorusCorrupt => 1,
+                FaultKind::CollDrop => 2,
+                FaultKind::CollDelay => 3,
+                FaultKind::CollCorrupt => 4,
+                FaultKind::CiodShortWrite => 5,
+                FaultKind::MachineCheck => 6,
+                FaultKind::GuardStorm => 7,
+            }
+    }
+}
+
+/// One scheduled fault: a kind firing at an exact cycle on a node,
+/// with a kind-specific argument (outage window, delay, core, count).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    pub at: Cycle,
+    pub node: u32,
+    pub kind: FaultKind,
+    pub arg: u64,
+}
+
+/// The full fault plan for a run. Built from a seed
+/// ([`FaultSchedule::from_seed`]) or an explicit script
+/// ([`FaultSchedule::parse`]); empty by default (and an empty schedule
+/// injects nothing — runs are bit-identical to a fault-free build).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn push(&mut self, ev: FaultEvent) -> &mut FaultSchedule {
+        self.events.push(ev);
+        self
+    }
+
+    /// Generate a survivable fault mix from `seed`: link outages,
+    /// CIOD drops/delays/corruptions/short-writes spread over the
+    /// first ~12M cycles, one to two per node. Deliberately excludes
+    /// the fatal kinds (machine checks, guard storms) — those are
+    /// scripted, so a seeded sweep never turns into a kill sweep.
+    /// The RNG stream is derived the same way as every other
+    /// deterministic stream in the simulator (master seed + name), so
+    /// a (schedule seed, machine seed) pair pins the run exactly.
+    pub fn from_seed(cfg: &MachineConfig, seed: u64) -> FaultSchedule {
+        let mut rng = RngHub::new(seed).stream("fault-schedule");
+        let mut events = Vec::new();
+        for node in 0..cfg.nodes {
+            let n = uniform_incl(&mut rng, 1, 2);
+            for _ in 0..n {
+                events.push(Self::draw(&mut rng, node));
+            }
+        }
+        FaultSchedule { events }
+    }
+
+    fn draw(rng: &mut SmallRng, node: u32) -> FaultEvent {
+        let at = uniform_incl(rng, 200_000, 12_000_000);
+        let (kind, arg) = match uniform_incl(rng, 0, 7) {
+            0 | 1 => (FaultKind::CollDrop, uniform_incl(rng, 400_000, 1_200_000)),
+            2 => (FaultKind::CollDelay, uniform_incl(rng, 200_000, 800_000)),
+            3 => (FaultKind::CollCorrupt, 0),
+            4 => (FaultKind::CiodShortWrite, 0),
+            5 | 6 => (FaultKind::TorusDrop, uniform_incl(rng, 50_000, 200_000)),
+            _ => (FaultKind::TorusCorrupt, 0),
+        };
+        FaultEvent {
+            at,
+            node,
+            kind,
+            arg,
+        }
+    }
+
+    /// Parse a fault script: one `<cycle> <node> <kind> [arg]` per
+    /// line, `#` comments and blank lines ignored. Kinds are the
+    /// [`FaultKind::name`] forms.
+    ///
+    /// ```text
+    /// # CIOD flap on node 0, two million cycles in, link down 1.5ms
+    /// 2000000 0 coll-drop 1275000
+    /// 5000000 0 machine-check 2
+    /// ```
+    pub fn parse(script: &str) -> Result<FaultSchedule, String> {
+        let mut events = Vec::new();
+        for (lineno, raw) in script.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            let err = |what: &str| format!("fault script line {}: {what}: {raw:?}", lineno + 1);
+            let at: Cycle = f
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad cycle"))?;
+            let node: u32 = f
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad node"))?;
+            let kind = f
+                .next()
+                .and_then(FaultKind::parse)
+                .ok_or_else(|| err("unknown fault kind"))?;
+            let arg: u64 = match f.next() {
+                Some(s) => s.parse().map_err(|_| err("bad arg"))?,
+                None => 0,
+            };
+            if f.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            events.push(FaultEvent {
+                at,
+                node,
+                kind,
+                arg,
+            });
+        }
+        Ok(FaultSchedule { events })
+    }
+
+    /// The highest node index referenced (for config validation).
+    pub fn max_node(&self) -> Option<u32> {
+        self.events.iter().map(|e| e.node).max()
+    }
+}
+
+/// How a run wants its faults: nothing, a seeded schedule, or an
+/// explicit one. This is the value the bench `--fault-seed` /
+/// `--fault-script` flags produce; [`FaultSpec::apply`] resolves it
+/// against a machine config (seeded generation needs the node count).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum FaultSpec {
+    #[default]
+    None,
+    Seed(u64),
+    Explicit(FaultSchedule),
+}
+
+impl FaultSpec {
+    pub fn is_active(&self) -> bool {
+        match self {
+            FaultSpec::None => false,
+            FaultSpec::Seed(_) => true,
+            FaultSpec::Explicit(s) => !s.is_empty(),
+        }
+    }
+
+    pub fn resolve(&self, cfg: &MachineConfig) -> FaultSchedule {
+        match self {
+            FaultSpec::None => FaultSchedule::default(),
+            FaultSpec::Seed(s) => FaultSchedule::from_seed(cfg, *s),
+            FaultSpec::Explicit(s) => s.clone(),
+        }
+    }
+
+    /// Resolve against `cfg` and install the schedule on it.
+    pub fn apply(&self, cfg: MachineConfig) -> MachineConfig {
+        let sched = self.resolve(&cfg);
+        cfg.with_faults(sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn script_parses_comments_args_and_defaults() {
+        let s = FaultSchedule::parse(
+            "# header\n\
+             2000000 0 coll-drop 1275000\n\
+             \n\
+             5000000 1 machine-check 2  # inline comment\n\
+             7000000 1 torus-corrupt\n",
+        )
+        .unwrap();
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(
+            s.events[0],
+            FaultEvent {
+                at: 2_000_000,
+                node: 0,
+                kind: FaultKind::CollDrop,
+                arg: 1_275_000
+            }
+        );
+        assert_eq!(s.events[1].kind, FaultKind::MachineCheck);
+        assert_eq!(s.events[1].arg, 2);
+        assert_eq!(s.events[2].arg, 0);
+        assert_eq!(s.max_node(), Some(1));
+    }
+
+    #[test]
+    fn script_errors_name_the_line() {
+        let e = FaultSchedule::parse("10 0 coll-drop\nxx 0 coll-drop").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = FaultSchedule::parse("10 0 warp-core-breach").unwrap_err();
+        assert!(e.contains("unknown fault kind"), "{e}");
+        let e = FaultSchedule::parse("10 0 coll-drop 5 extra").unwrap_err();
+        assert!(e.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_survivable() {
+        let cfg = MachineConfig::nodes(8);
+        let a = FaultSchedule::from_seed(&cfg, 42);
+        let b = FaultSchedule::from_seed(&cfg, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_ne!(a, FaultSchedule::from_seed(&cfg, 43));
+        for ev in &a.events {
+            assert!(ev.node < 8);
+            assert!(
+                !matches!(ev.kind, FaultKind::MachineCheck | FaultKind::GuardStorm),
+                "seeded schedules must stay survivable: {ev:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_resolution() {
+        let cfg = MachineConfig::nodes(2);
+        assert!(!FaultSpec::None.is_active());
+        assert!(FaultSpec::None.resolve(&cfg).is_empty());
+        assert!(FaultSpec::Seed(1).is_active());
+        assert_eq!(
+            FaultSpec::Seed(1).resolve(&cfg),
+            FaultSchedule::from_seed(&cfg, 1)
+        );
+        let explicit = FaultSchedule::parse("5 1 guard-storm 3").unwrap();
+        let spec = FaultSpec::Explicit(explicit.clone());
+        assert!(spec.is_active());
+        assert_eq!(spec.apply(cfg).faults, explicit);
+        assert!(!FaultSpec::Explicit(FaultSchedule::default()).is_active());
+    }
+}

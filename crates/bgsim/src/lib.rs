@@ -29,6 +29,7 @@ pub mod config;
 pub mod cycles;
 pub mod dac;
 pub mod engine;
+pub mod fault;
 pub mod features;
 pub mod machine;
 pub mod mem;
@@ -44,6 +45,7 @@ pub mod torus;
 pub mod trace;
 
 pub use config::{ChipConfig, MachineConfig, UnitStatus};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
 pub use cycles::{Cycle, CLOCK_MHZ};
 pub use machine::{
     BlockKind, BootReport, CommAction, CommCaps, CommModel, JobMap, Kernel, KernelEventTag,

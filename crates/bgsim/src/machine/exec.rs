@@ -6,6 +6,7 @@ use sysabi::{CoreId, JobSpec, NodeId, ProcId, Sig, SysReq, SysRet, Tid};
 
 use crate::cycles::Cycle;
 use crate::engine::EvKind;
+use crate::fault::{FaultEvent, FaultKind};
 use crate::machine::simcore::{NetDomain, SimCore};
 use crate::machine::thread::ThreadState;
 use crate::machine::{
@@ -98,6 +99,9 @@ pub struct Machine {
     fast: Vec<FastSlot>,
     /// True while the micro run queue owns every pending event.
     fast_active: bool,
+    /// The resolved fault schedule, sorted by `(at, node)`; `EvKind::Ras`
+    /// events index into it. Empty when no faults are configured.
+    fault_events: Vec<FaultEvent>,
 }
 
 impl Machine {
@@ -117,6 +121,7 @@ impl Machine {
             epochs: 0,
             fast: Vec::new(),
             fast_active: false,
+            fault_events: Vec::new(),
         }
     }
 
@@ -150,7 +155,27 @@ impl Machine {
         let report = self.kernel.boot(&mut self.sc, false);
         self.booted = true;
         self.boot_report = Some(report);
+        self.schedule_faults();
         self.boot_report.as_ref().unwrap()
+    }
+
+    /// Turn the config's fault schedule into engine events, one per
+    /// fault, in the target node's event domain. An empty schedule
+    /// schedules nothing — the run stays bit-identical to a fault-free
+    /// build (and the event-reduction fast path stays eligible).
+    fn schedule_faults(&mut self) {
+        let mut events = self.sc.cfg.faults.events.clone();
+        if events.is_empty() {
+            self.fault_events = events;
+            return;
+        }
+        events.sort_by_key(|e| (e.at, e.node));
+        for (idx, ev) in events.iter().enumerate() {
+            self.sc
+                .engine
+                .schedule_dom(ev.node, ev.at, EvKind::Ras { idx: idx as u32 });
+        }
+        self.fault_events = events;
     }
 
     /// Launch a job: the kernel builds address spaces and threads, the
@@ -614,6 +639,7 @@ impl Machine {
         self.booted = true;
         self.has_job = false;
         self.boot_report = Some(self.kernel.boot(&mut self.sc, true));
+        self.schedule_faults();
     }
 
     // ---- event handling ---------------------------------------------------
@@ -665,31 +691,95 @@ impl Machine {
                 self.kernel.on_ipi(&mut self.sc, core, kind);
             }
             EvKind::Fault { core, kind } => {
-                let core = CoreId(core);
-                self.sc.stats.faults += 1;
-                self.sc.trace.record(
-                    self.sc.engine.now(),
-                    TraceEvent::Fault { core: core.0, kind },
-                );
-                let node = self.sc.node_of_core(core);
-                self.sc
-                    .tel
-                    .count(self.sc.tel.ids.hw_faults, Slot::Core(core.0), 1);
-                self.sc.tel.tp(
-                    self.sc.engine.now(),
-                    node.0,
-                    core.0,
-                    TpKind::HwFault,
-                    "parity",
-                    u64::from(kind),
-                    0,
-                );
-                self.kernel.on_fault(&mut self.sc, core, kind);
+                self.raise_fault(CoreId(core), kind);
             }
             EvKind::CollDone { tid, coll: _ } => {
                 self.sc.defer_unblock(Tid(tid), Some(SysRet::Val(0)));
             }
+            EvKind::Ras { idx } => self.on_ras_fault(idx),
         }
+    }
+
+    /// A hardware fault (parity machine check) hits a core: record it
+    /// and hand the kernel its fault path. Reached from direct
+    /// `inject_fault` events and from scheduled `MachineCheck` RAS
+    /// faults.
+    fn raise_fault(&mut self, core: CoreId, kind: u32) {
+        self.sc.stats.faults += 1;
+        self.sc.trace.record(
+            self.sc.engine.now(),
+            TraceEvent::Fault { core: core.0, kind },
+        );
+        let node = self.sc.node_of_core(core);
+        self.sc
+            .tel
+            .count(self.sc.tel.ids.hw_faults, Slot::Core(core.0), 1);
+        self.sc.tel.tp(
+            self.sc.engine.now(),
+            node.0,
+            core.0,
+            TpKind::HwFault,
+            "parity",
+            u64::from(kind),
+            0,
+        );
+        self.kernel.on_fault(&mut self.sc, core, kind);
+    }
+
+    /// A scheduled RAS fault fires: apply the hardware-level effects
+    /// here (network outages, in-flight mangling, parity injection),
+    /// then hand the kernel its RAS policy hook.
+    fn on_ras_fault(&mut self, idx: u32) {
+        let ev = self.fault_events[idx as usize];
+        let node = NodeId(ev.node);
+        let core0 = self.sc.core_of(node, 0);
+        self.sc.trace.record(
+            self.sc.engine.now(),
+            TraceEvent::Fault {
+                core: core0.0,
+                kind: ev.kind.code(),
+            },
+        );
+        self.sc
+            .tel
+            .count(self.sc.tel.ids.ras_events, Slot::Node(node.0), 1);
+        self.sc.tel.tp(
+            self.sc.engine.now(),
+            node.0,
+            core0.0,
+            TpKind::HwFault,
+            ev.kind.name(),
+            u64::from(ev.kind.code()),
+            ev.arg,
+        );
+        match ev.kind {
+            FaultKind::TorusDrop => {
+                self.sc.fault_link_outage(node, NetDomain::Torus, ev.arg);
+            }
+            FaultKind::TorusCorrupt => {
+                self.sc.fault_corrupt_inflight(node, NetDomain::Torus);
+            }
+            FaultKind::CollDrop => {
+                self.sc
+                    .fault_link_outage(node, NetDomain::Collective, ev.arg);
+            }
+            FaultKind::CollDelay => {
+                self.sc
+                    .fault_delay_inflight(node, NetDomain::Collective, ev.arg);
+            }
+            FaultKind::CollCorrupt => {
+                self.sc.fault_corrupt_inflight(node, NetDomain::Collective);
+            }
+            // Kernel-policy faults: the machine only reports them; the
+            // kernel's `on_ras` below does the work.
+            FaultKind::CiodShortWrite | FaultKind::GuardStorm => {}
+            FaultKind::MachineCheck => {
+                let local = (ev.arg as u32).min(self.sc.cores_per_node() - 1);
+                let core = self.sc.core_of(node, local);
+                self.raise_fault(core, crate::machine::FAULT_PARITY);
+            }
+        }
+        self.kernel.on_ras(&mut self.sc, node, &ev);
     }
 
     fn on_op_done(&mut self, tid: Tid, gen: u32) {

@@ -275,6 +275,13 @@ pub trait Kernel {
     /// hit a core (§V.B).
     fn on_fault(&mut self, sc: &mut SimCore, core: CoreId, kind: u32);
 
+    /// A scheduled RAS fault fired on `node`. The machine has already
+    /// applied the hardware-level effects (link outages, in-flight
+    /// corruption, parity injection); this is the kernel's chance to run
+    /// its RAS policy — log the event, start recovery daemons, shorten
+    /// in-flight writes. Default: no kernel-level reaction.
+    fn on_ras(&mut self, _sc: &mut SimCore, _node: NodeId, _ev: &crate::fault::FaultEvent) {}
+
     /// Data-plane address translation for `tid`.
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64>;
 

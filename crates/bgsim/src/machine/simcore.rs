@@ -18,7 +18,7 @@ use crate::barrier::BarrierNet;
 use crate::collective::CollectiveNet;
 use crate::config::MachineConfig;
 use crate::cycles::Cycle;
-use crate::engine::{Engine, EvKind};
+use crate::engine::{Engine, EvHandle, EvKind};
 use crate::machine::thread::{Thread, ThreadState};
 use crate::machine::Workload;
 use crate::mem::PhysMem;
@@ -66,6 +66,27 @@ pub struct MachineStats {
     /// the batched network model (packets beyond the first of each
     /// message leg — the events a per-packet engine would have popped).
     pub batched_packets: u64,
+    /// Torus messages hit by an injected link fault. The torus never
+    /// loses traffic — hardware CRC retry redelivers after the outage —
+    /// so these count retransmissions, not losses.
+    pub torus_dropped: u64,
+    /// Collective messages genuinely lost to an injected CIOD-link
+    /// fault; recovery, if any, is the kernel's software retry.
+    pub coll_dropped: u64,
+}
+
+/// Extra per-message latency modeling the torus hardware's CRC-triggered
+/// link-level retransmit (token resend + re-traverse).
+pub const TORUS_RETRANSMIT: Cycle = 4_000;
+
+/// An injected link outage: all traffic on `domain` touching `node` is
+/// affected until cycle `until` (torus: delayed past the outage;
+/// collective: lost).
+#[derive(Clone, Copy, Debug)]
+struct LinkOutage {
+    node: NodeId,
+    domain: NetDomain,
+    until: Cycle,
 }
 
 pub struct SimCore {
@@ -94,6 +115,12 @@ pub struct SimCore {
     jitter: Vec<SmallRng>,
     /// In-flight messages keyed by id.
     msgs: HashMap<u64, NetMsg>,
+    /// Delivery event and arrival cycle of each in-flight message, so
+    /// fault injection can bounce/drop/delay traffic already on the wire.
+    msg_deliveries: HashMap<u64, (EvHandle, Cycle)>,
+    /// Active injected link outages (empty unless faults fired; pruned
+    /// lazily).
+    outages: Vec<LinkOutage>,
     next_msg: u64,
     /// Threads of each process.
     pub proc_threads: HashMap<ProcId, Vec<Tid>>,
@@ -144,6 +171,8 @@ impl SimCore {
             streaming: vec![false; cores],
             jitter,
             msgs: HashMap::new(),
+            msg_deliveries: HashMap::new(),
+            outages: Vec::new(),
             next_msg: 0,
             proc_threads: HashMap::new(),
             stats: MachineStats::default(),
@@ -440,8 +469,10 @@ impl SimCore {
         // (the lookahead floor, `MachineConfig::min_link_cycles`).
         let dst = msg.dst_node.0;
         self.msgs.insert(id, msg);
-        self.engine
+        let h = self
+            .engine
             .schedule_dom(dst, arrival, EvKind::NetDeliver { msg_id: id });
+        self.msg_deliveries.insert(id, (h, arrival));
     }
 
     fn next_msg_id(&mut self) -> u64 {
@@ -473,7 +504,16 @@ impl SimCore {
         self.stats.batched_packets += self.torus.packets(bytes).saturating_sub(1);
         self.tel
             .count(self.tel.ids.torus_sends, Slot::Node(src.0), 1);
-        let arrival = self.engine.now() + xfer + extra_delay;
+        let mut arrival = self.engine.now() + xfer + extra_delay;
+        // An active injected outage on either endpoint: the hardware CRC
+        // catches the mangled packets and the link-level retry redelivers
+        // once the outage lifts — delayed, never lost.
+        if let Some(end) = self.outage_end(src, dst, NetDomain::Torus) {
+            arrival = arrival.max(end) + TORUS_RETRANSMIT;
+            self.stats.torus_dropped += 1;
+            self.tel
+                .count(self.tel.ids.torus_dropped_pkts, Slot::Node(src.0), 1);
+        }
         self.enqueue_msg(
             NetMsg {
                 id,
@@ -512,6 +552,24 @@ impl SimCore {
         self.tel
             .count(self.tel.ids.coll_sends, Slot::Node(src.0), 1);
         let arrival = self.engine.now() + xfer + extra_delay;
+        // An active injected outage on either endpoint: the collective
+        // link has no hardware retry toward the I/O node, so the message
+        // is genuinely lost. Recovery is the kernel's software retry.
+        if let Some(_end) = self.outage_end(src, dst, NetDomain::Collective) {
+            self.trace.record(
+                self.engine.now(),
+                TraceEvent::MsgSend {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                    tag,
+                },
+            );
+            self.stats.coll_dropped += 1;
+            self.tel
+                .count(self.tel.ids.coll_dropped_pkts, Slot::Node(src.0), 1);
+            return id;
+        }
         self.enqueue_msg(
             NetMsg {
                 id,
@@ -528,7 +586,152 @@ impl SimCore {
     }
 
     pub(crate) fn take_msg(&mut self, id: u64) -> Option<NetMsg> {
+        self.msg_deliveries.remove(&id);
         self.msgs.remove(&id)
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// End cycle of an active outage covering a link between `a` and `b`
+    /// on `domain`, if any. Lazily prunes expired outages.
+    fn outage_end(&mut self, a: NodeId, b: NodeId, domain: NetDomain) -> Option<Cycle> {
+        if self.outages.is_empty() {
+            return None;
+        }
+        let now = self.engine.now();
+        self.outages.retain(|o| o.until > now);
+        self.outages
+            .iter()
+            .filter(|o| o.domain == domain && (o.node == a || o.node == b))
+            .map(|o| o.until)
+            .max()
+    }
+
+    /// Ids of in-flight messages on `domain` touching `node`, sorted for
+    /// deterministic iteration (the backing map is a `HashMap`).
+    pub fn inflight_ids(&self, node: NodeId, domain: NetDomain) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .msgs
+            .values()
+            .filter(|m| m.domain == domain && (m.src_node == node || m.dst_node == node))
+            .map(|m| m.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Mutable access to an in-flight message's contents (fault paths:
+    /// payload corruption, short-write truncation).
+    pub fn inflight_msg_mut(&mut self, id: u64) -> Option<&mut NetMsg> {
+        self.msgs.get_mut(&id)
+    }
+
+    /// Cancel an in-flight message's delivery and reschedule it at `at`.
+    /// Returns false if the message is no longer in flight.
+    pub fn redeliver_at(&mut self, id: u64, at: Cycle) -> bool {
+        let Some(&(h, _)) = self.msg_deliveries.get(&id) else {
+            return false;
+        };
+        if !self.engine.cancel(h) {
+            return false;
+        }
+        let dst = self.msgs[&id].dst_node.0;
+        let nh = self
+            .engine
+            .schedule_dom(dst, at, EvKind::NetDeliver { msg_id: id });
+        self.msg_deliveries.insert(id, (nh, at));
+        true
+    }
+
+    /// Drop an in-flight message outright: cancel its delivery and forget
+    /// the payload. Returns false if it already arrived.
+    pub fn drop_inflight(&mut self, id: u64) -> bool {
+        let Some((h, _)) = self.msg_deliveries.remove(&id) else {
+            return false;
+        };
+        self.engine.cancel(h);
+        self.msgs.remove(&id);
+        true
+    }
+
+    /// Inject a link outage on `node`'s `domain` links for `window`
+    /// cycles. Torus traffic already on the wire bounces to after the
+    /// outage (CRC retry); collective traffic on the wire is lost.
+    pub fn fault_link_outage(&mut self, node: NodeId, domain: NetDomain, window: Cycle) {
+        let now = self.engine.now();
+        let until = now + window;
+        self.outages.push(LinkOutage {
+            node,
+            domain,
+            until,
+        });
+        for id in self.inflight_ids(node, domain) {
+            match domain {
+                NetDomain::Torus => {
+                    let arrival = self.msg_deliveries.get(&id).map_or(now, |&(_, at)| at);
+                    if self.redeliver_at(id, arrival.max(until) + TORUS_RETRANSMIT) {
+                        self.stats.torus_dropped += 1;
+                        self.tel
+                            .count(self.tel.ids.torus_dropped_pkts, Slot::Node(node.0), 1);
+                    }
+                }
+                NetDomain::Collective => {
+                    if self.drop_inflight(id) {
+                        self.stats.coll_dropped += 1;
+                        self.tel
+                            .count(self.tel.ids.coll_dropped_pkts, Slot::Node(node.0), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delay every in-flight message on `domain` touching `node` by
+    /// `extra` cycles. Returns how many were affected.
+    pub fn fault_delay_inflight(&mut self, node: NodeId, domain: NetDomain, extra: Cycle) -> u64 {
+        let mut n = 0;
+        for id in self.inflight_ids(node, domain) {
+            let Some(&(_, arrival)) = self.msg_deliveries.get(&id) else {
+                continue;
+            };
+            if self.redeliver_at(id, arrival + extra) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Corrupt in-flight traffic on `domain` touching `node`. Torus: the
+    /// CRC catches it, so the message bounces by one retransmit (never
+    /// lost). Collective: payload bytes past the 4-byte routing prefix
+    /// are XOR-mangled, so the receiver's decode fails and its own error
+    /// path runs. Returns how many messages were hit.
+    pub fn fault_corrupt_inflight(&mut self, node: NodeId, domain: NetDomain) -> u64 {
+        let mut n = 0;
+        for id in self.inflight_ids(node, domain) {
+            match domain {
+                NetDomain::Torus => {
+                    let Some(&(_, arrival)) = self.msg_deliveries.get(&id) else {
+                        continue;
+                    };
+                    if self.redeliver_at(id, arrival + TORUS_RETRANSMIT) {
+                        self.stats.torus_dropped += 1;
+                        self.tel
+                            .count(self.tel.ids.torus_dropped_pkts, Slot::Node(node.0), 1);
+                        n += 1;
+                    }
+                }
+                NetDomain::Collective => {
+                    if let Some(m) = self.msgs.get_mut(&id) {
+                        for b in m.payload.iter_mut().skip(4) {
+                            *b ^= 0xA5;
+                        }
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
     }
 
     /// Schedule a collective-completion wakeup for a blocked participant

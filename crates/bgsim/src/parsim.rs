@@ -172,6 +172,10 @@ fn ev_tag(kind: &EvKind) -> u64 {
             mix(tid as u64);
             mix(coll);
         }
+        EvKind::Ras { idx } => {
+            mix(7);
+            mix(idx as u64);
+        }
     }
     h
 }

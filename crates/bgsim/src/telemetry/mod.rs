@@ -67,6 +67,11 @@ pub struct WellKnownIds {
     pub coalesced_ops: MetricId,
     pub fastforward_cycles: MetricId,
     pub batched_packets: MetricId,
+    pub ras_events: MetricId,
+    pub ciod_retries: MetricId,
+    pub ciod_backoff_cycles: MetricId,
+    pub torus_dropped_pkts: MetricId,
+    pub coll_dropped_pkts: MetricId,
 }
 
 impl WellKnownIds {
@@ -104,6 +109,11 @@ impl WellKnownIds {
             coalesced_ops: reg.gauge("engine.coalesced_ops", Scope::Machine),
             fastforward_cycles: reg.gauge("engine.fastforward_cycles", Scope::Machine),
             batched_packets: reg.gauge("engine.batched_packets", Scope::Machine),
+            ras_events: reg.counter("ras.events", Scope::PerNode),
+            ciod_retries: reg.counter("ciod.retries", Scope::PerNode),
+            ciod_backoff_cycles: reg.counter("ciod.backoff_cycles", Scope::PerNode),
+            torus_dropped_pkts: reg.counter("torus.dropped_pkts", Scope::PerNode),
+            coll_dropped_pkts: reg.counter("coll.dropped_pkts", Scope::PerNode),
         }
     }
 }

@@ -20,13 +20,21 @@
 //!   fd/cwd/credential state;
 //! * [`ciod`] — the daemon: proxy dispatch and the service-time model.
 
+// The I/O-node stack must be panic-free on untrusted input (a corrupted
+// wire message cannot be allowed to take down the simulation); tests may
+// still unwrap. CI enforces this with a clippy run over the crate.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod ciod;
 pub mod ioproxy;
+pub mod retry;
 pub mod vfs;
 pub mod wire;
 
 pub use crate::ciod::{service_cycles, Ciod};
 pub use ioproxy::IoProxy;
+pub use retry::RetryPolicy;
 pub use vfs::Vfs;
 
 /// Uniform jitter in [0, 9000) cycles for Linux-side service time. Kept

@@ -1,0 +1,87 @@
+//! Retry/timeout/backoff policy for function-shipped I/O.
+//!
+//! The collective link between a compute node and its I/O node can
+//! flap: CIOD restarts, the tree drops packets, replies get mangled.
+//! The real CNK survives this with a bounded retry protocol; this
+//! module is that policy, kept in the `ciod` crate because it is part
+//! of the CN↔ION wire contract (the kernel consumes it via
+//! `CnkConfig::io_retry`).
+//!
+//! Timeouts and backoff are exponential and fully deterministic — pure
+//! functions of the attempt number, no jitter — so a fault run's digest
+//! is pinned by its schedule alone.
+
+/// Deterministic retry policy for one shipped request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Cycles to wait for the first reply. Doubles per retry. The
+    /// default is comfortably above the worst-case healthy round trip
+    /// (a 64 KiB chunked write lands in ~400K cycles), so a fault-free
+    /// run never arms a spurious retry.
+    pub base_timeout: u64,
+    /// Total send attempts (first try included) before the request
+    /// fails with a clean `EIO`.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base_timeout: 1_000_000,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Reply timeout for attempt `attempt` (0-based): `base << attempt`,
+    /// capped at 64× base.
+    pub fn timeout(&self, attempt: u32) -> u64 {
+        self.base_timeout << attempt.min(6)
+    }
+
+    /// Extra delay inserted before resend attempt `attempt` (0-based
+    /// count of completed attempts): half the matching timeout, so the
+    /// resend pressure decays as the link stays down.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        (self.base_timeout / 2) << attempt.min(6)
+    }
+
+    /// Have we used up the attempt budget?
+    pub fn exhausted(&self, attempts: u32) -> bool {
+        attempts >= self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeouts_double_and_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout(0), 1_000_000);
+        assert_eq!(p.timeout(1), 2_000_000);
+        assert_eq!(p.timeout(6), 64_000_000);
+        assert_eq!(p.timeout(40), 64_000_000);
+    }
+
+    #[test]
+    fn backoff_is_half_timeout() {
+        let p = RetryPolicy::default();
+        for a in 0..8 {
+            assert_eq!(p.backoff(a), p.timeout(a) / 2);
+        }
+    }
+
+    #[test]
+    fn attempt_budget() {
+        let p = RetryPolicy {
+            base_timeout: 10,
+            max_attempts: 3,
+        };
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(p.exhausted(4));
+    }
+}

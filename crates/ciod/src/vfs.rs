@@ -93,7 +93,7 @@ impl Vfs {
             nlink: 1,
             parent: dev,
         });
-        v.link(dev, "console", console).unwrap();
+        v.link(dev, "console", console).expect("link /dev/console");
         v
     }
 

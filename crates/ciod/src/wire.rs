@@ -76,15 +76,18 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_be_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_be_bytes(b))
     }
 
     fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(i64::from_be_bytes(b))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, WireError> {

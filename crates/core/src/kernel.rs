@@ -15,7 +15,9 @@ use bgsim::noise::NoiseSource;
 use bgsim::op::{CloneArgs, Op};
 use bgsim::telemetry::{Slot, TpKind};
 use bgsim::tlb::TlbEntry;
-use ciod::{service_cycles, Ciod, Vfs};
+use bgsim::engine::EvHandle;
+use bgsim::fault::{FaultEvent, FaultKind};
+use ciod::{service_cycles, Ciod, RetryPolicy, Vfs};
 use sysabi::{
     CloneFlags, CoreId, Errno, FutexOp, JobSpec, MapFlags, NodeId, ProcId, Prot, Rank, Sig,
     SigDisposition, SysReq, SysRet, Tid, UtsName,
@@ -42,6 +44,13 @@ const FSHIP_PER_8B: u64 = 1;
 const CLONE_COST: u64 = 1_900;
 /// Machine-check handler cost charged on a parity fault (§V.B).
 const PARITY_HANDLER_COST: u64 = 2_200;
+/// RAS handler cost per spurious DAC guard fault in an injected storm.
+const GUARD_STORM_COST: u64 = 420;
+
+/// Kernel-event tag namespace for function-ship retry timers. Kept out
+/// of the injected-noise tag space (which packs a source index and core
+/// into the low bits) by the top bit; the low 63 bits carry the io id.
+const TAG_IO_RETRY: u64 = 1 << 63;
 
 /// CNK tunables.
 #[derive(Clone, Debug)]
@@ -72,6 +81,10 @@ pub struct CnkConfig {
     /// on BG/P each MPI process has a dedicated I/O proxy process").
     /// Used by the `io_proxy_ablation` bench.
     pub bgl_io_mode: bool,
+    /// Retry/timeout/backoff policy for function-shipped I/O when the
+    /// CIOD link misbehaves. Timers are only armed when the machine has
+    /// a fault schedule — fault-free runs schedule no extra events.
+    pub io_retry: RetryPolicy,
 }
 
 impl Default for CnkConfig {
@@ -86,6 +99,7 @@ impl Default for CnkConfig {
             gid: 100,
             injected_noise: Vec::new(),
             bgl_io_mode: false,
+            io_retry: RetryPolicy::default(),
         }
     }
 }
@@ -95,6 +109,24 @@ impl Default for CnkConfig {
 struct PendingReq {
     issued: u64,
     io: PendingIo,
+    /// Send attempts so far (first try included).
+    attempts: u32,
+    /// The marshaled request, retained for resends. Empty when fault
+    /// injection is off (no retries can ever be needed).
+    payload: Vec<u8>,
+    /// The armed reply-timeout timer, when fault injection is on.
+    timer: Option<EvHandle>,
+}
+
+/// One entry of the kernel's RAS event log (§V: "RAS events are
+/// reported and handled").
+#[derive(Clone, Copy, Debug)]
+pub struct RasRecord {
+    pub at: u64,
+    pub node: u32,
+    /// Short event code (`coll-drop`, `io-retry`, `io-eio`, ...).
+    pub code: &'static str,
+    pub detail: u64,
 }
 
 /// What a pending function-ship request will do on completion.
@@ -122,6 +154,13 @@ pub struct Cnk {
     noise_rng: Vec<SmallRng>,
     /// Per-ION serialization point for BG/L-style I/O service.
     ion_busy_until: Vec<u64>,
+    /// At-most-once cache on the I/O node: replies already sent, keyed
+    /// by io id, so a retried request that was in fact serviced replays
+    /// the reply instead of re-running the side effect. Only populated
+    /// when fault injection is on.
+    served: HashMap<u64, Vec<u8>>,
+    /// The kernel RAS event log.
+    ras_log: Vec<RasRecord>,
     booted: bool,
 }
 
@@ -141,6 +180,8 @@ impl Cnk {
             next_io: 0,
             noise_rng: Vec::new(),
             ion_busy_until: Vec::new(),
+            served: HashMap::new(),
+            ras_log: Vec::new(),
             booted: false,
         }
     }
@@ -256,11 +297,21 @@ impl Cnk {
         let bytes = payload.len() as u64;
         // Marshal cost is paid by the caller as message-send delay.
         let marshal = FSHIP_MARSHAL + bytes / 8 * FSHIP_PER_8B;
+        // The retry machinery only exists under fault injection: a
+        // fault-free run arms no timer and retains no payload, so its
+        // event stream is untouched.
+        let faulty = !sc.cfg.faults.is_empty();
+        let timer = faulty.then(|| {
+            sc.schedule_kernel_event_in(node, TAG_IO_RETRY | id, self.cfg.io_retry.timeout(0))
+        });
         self.pending_io.insert(
             id,
             PendingReq {
                 issued: sc.now(),
                 io: pending,
+                attempts: 1,
+                payload: if faulty { payload.clone() } else { Vec::new() },
+                timer,
             },
         );
         sc.tel
@@ -278,10 +329,96 @@ impl Cnk {
         sc.coll_send(node, node, bytes, id * 4 + 1, payload, marshal);
     }
 
+    /// Append to the RAS log (and telemetry) — the §V "RAS events are
+    /// reported and handled" path.
+    fn ras(&mut self, sc: &mut SimCore, node: NodeId, code: &'static str, detail: u64) {
+        self.ras_log.push(RasRecord {
+            at: sc.now(),
+            node: node.0,
+            code,
+            detail,
+        });
+        sc.tel.count(sc.tel.ids.ras_events, Slot::Node(node.0), 1);
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            bgsim::telemetry::NO_CORE,
+            TpKind::HwFault,
+            code,
+            detail,
+            0,
+        );
+    }
+
+    /// A reply-timeout timer fired for io `id`: resend with exponential
+    /// backoff, or give up and fail the syscall with a clean `EIO`.
+    fn io_timeout(&mut self, sc: &mut SimCore, node: NodeId, id: u64) {
+        let policy = self.cfg.io_retry;
+        let Some(req) = self.pending_io.get_mut(&id) else {
+            // Reply won the race; the timer is stale.
+            return;
+        };
+        req.timer = None;
+        if policy.exhausted(req.attempts) {
+            let req = self
+                .pending_io
+                .remove(&id)
+                .expect("pending io vanished mid-timeout");
+            self.ras(sc, node, "io-eio", id);
+            let (PendingIo::Plain { tid } | PendingIo::MmapFill { tid, .. }) = req.io;
+            sc.defer_unblock(tid, Some(SysRet::Err(Errno::EIO)));
+            return;
+        }
+        let attempt = req.attempts;
+        req.attempts += 1;
+        let payload = req.payload.clone();
+        let bytes = payload.len() as u64;
+        let backoff = policy.backoff(attempt - 1);
+        let marshal = FSHIP_MARSHAL + bytes / 8 * FSHIP_PER_8B + backoff;
+        let timer =
+            sc.schedule_kernel_event_in(node, TAG_IO_RETRY | id, backoff + policy.timeout(attempt));
+        if let Some(req) = self.pending_io.get_mut(&id) {
+            req.timer = Some(timer);
+        }
+        sc.tel.count(sc.tel.ids.ciod_retries, Slot::Node(node.0), 1);
+        sc.tel
+            .count(sc.tel.ids.ciod_backoff_cycles, Slot::Node(node.0), backoff);
+        sc.tel.tp(
+            sc.now(),
+            node.0,
+            bgsim::telemetry::NO_CORE,
+            TpKind::FshipReq,
+            "retry",
+            id,
+            attempt as u64,
+        );
+        sc.coll_send(node, node, bytes, id * 4 + 1, payload, marshal);
+    }
+
     /// Service a request on the I/O node and send the reply back.
     fn ion_service(&mut self, sc: &mut SimCore, msg: NetMsg) {
         let id = msg.tag / 4;
-        let proc = u32::from_be_bytes(msg.payload[0..4].try_into().unwrap());
+        let faulty = !sc.cfg.faults.is_empty();
+        // At-most-once: a compute-node retry of a request we already
+        // serviced replays the cached reply — the side effect (write,
+        // unlink...) must not run twice. Cache only exists under fault
+        // injection; without it no request is ever sent twice.
+        if faulty {
+            if let Some(reply) = self.served.get(&id) {
+                let reply = reply.clone();
+                let bytes = reply.len() as u64;
+                sc.coll_send(msg.dst_node, msg.src_node, bytes, id * 4 + 2, reply, 1_000);
+                return;
+            }
+        }
+        // A mangled request (injected corruption) fails wire validation;
+        // the daemon logs and drops it — the compute node's retry timer
+        // recovers. Sending garbage back would be worse than silence.
+        let Some(prefix) = msg.payload.get(0..4) else {
+            self.ras(sc, msg.src_node, "ion-drop-corrupt", id);
+            return;
+        };
+        let proc = u32::from_be_bytes(prefix.try_into().unwrap_or([0; 4]));
         let req_bytes = &msg.payload[4..];
         let ion = sc.coll.io_node_of(msg.src_node) as usize;
         let (ret, service) = match ciod::wire::decode_req(req_bytes) {
@@ -289,7 +426,10 @@ impl Cnk {
                 let ret = self.ciods[ion].service(&mut self.vfs, proc, &req);
                 (ret, service_cycles(&req))
             }
-            Err(_) => (SysRet::Err(Errno::EINVAL), 1_000),
+            Err(_) => {
+                self.ras(sc, msg.src_node, "ion-drop-corrupt", id);
+                return;
+            }
         };
         // The ION runs Linux: its service time jitters.
         let jitter = Ciod::service_jitter(&mut self.ion_rng[ion]);
@@ -303,6 +443,9 @@ impl Cnk {
             delay += start - now;
         }
         let reply = ciod::wire::encode_ret(&ret);
+        if faulty {
+            self.served.insert(id, reply.clone());
+        }
         let bytes = reply.len() as u64;
         sc.coll_send(msg.dst_node, msg.src_node, bytes, id * 4 + 2, reply, delay);
     }
@@ -310,13 +453,32 @@ impl Cnk {
     /// A reply arrived back at the compute node.
     fn cn_reply(&mut self, sc: &mut SimCore, msg: NetMsg) {
         let id = msg.tag / 4;
-        let Some(PendingReq {
-            issued,
-            io: pending,
-        }) = self.pending_io.remove(&id)
-        else {
+        // Late duplicate (a retry raced the original reply): the request
+        // already completed; drop silently.
+        let Some(req) = self.pending_io.get(&id) else {
             return;
         };
+        // A mangled reply (injected corruption) fails wire validation.
+        // With a retry timer armed, leave the request pending — the
+        // timer resends and the ION replays its cached reply. Without
+        // one (fault injection off: unreachable), fall through and the
+        // decode below degrades to a clean `EIO`.
+        if ciod::wire::decode_ret(&msg.payload).is_err() && req.timer.is_some() {
+            self.ras(sc, msg.dst_node, "cn-drop-corrupt", id);
+            return;
+        }
+        let PendingReq {
+            issued,
+            io: pending,
+            timer,
+            ..
+        } = self
+            .pending_io
+            .remove(&id)
+            .expect("pending io vanished mid-reply");
+        if let Some(h) = timer {
+            sc.cancel_kernel_event(h);
+        }
         let latency = sc.now().saturating_sub(issued);
         sc.tel.hist(
             sc.tel.ids.fship_latency,
@@ -434,6 +596,68 @@ impl Cnk {
         // A DAC guard hit is delivered as SIGSEGV; default kills the
         // process (stack smashed into the heap).
         self.post_signal(sc, tid, Sig::Segv);
+    }
+
+    /// The kernel RAS event log, in record order.
+    pub fn ras_log(&self) -> &[RasRecord] {
+        &self.ras_log
+    }
+
+    /// Human-readable RAS exit report (one line per event), the §V
+    /// "report to the control system" stand-in.
+    pub fn ras_report(&self) -> String {
+        let mut s = String::new();
+        for r in &self.ras_log {
+            s.push_str(&format!(
+                "cycle {} node {} {} detail={}\n",
+                r.at, r.node, r.code, r.detail
+            ));
+        }
+        s
+    }
+
+    /// `CiodShortWrite`: truncate the data of every in-flight shipped
+    /// write touching `node` to half, re-marshaling the request — the
+    /// application sees a genuine POSIX short write and must continue
+    /// the write itself.
+    fn shorten_inflight_writes(&mut self, sc: &mut SimCore, node: NodeId) {
+        use bgsim::machine::NetDomain;
+        for id in sc.inflight_ids(node, NetDomain::Collective) {
+            let Some(m) = sc.inflight_msg_mut(id) else {
+                continue;
+            };
+            // Only requests (tag%4==1) with a decodable body are writes
+            // we can shorten.
+            if m.tag % 4 != 1 || m.payload.len() < 4 {
+                continue;
+            }
+            let prefix: Vec<u8> = m.payload[0..4].to_vec();
+            let Ok(req) = ciod::wire::decode_req(&m.payload[4..]) else {
+                continue;
+            };
+            let shortened = match req {
+                SysReq::Write { fd, data } if data.len() >= 2 => {
+                    let half = data.len() / 2;
+                    SysReq::Write {
+                        fd,
+                        data: data[..half].to_vec(),
+                    }
+                }
+                SysReq::Pwrite { fd, data, offset } if data.len() >= 2 => {
+                    let half = data.len() / 2;
+                    SysReq::Pwrite {
+                        fd,
+                        data: data[..half].to_vec(),
+                        offset,
+                    }
+                }
+                _ => continue,
+            };
+            let mut payload = prefix;
+            payload.extend_from_slice(&ciod::wire::encode_req(&shortened));
+            m.payload = payload;
+            self.ras(sc, node, "short-write", id);
+        }
     }
 }
 
@@ -1045,6 +1269,10 @@ impl Kernel for Cnk {
     }
 
     fn kernel_event(&mut self, sc: &mut SimCore, node: NodeId, tag: u64) {
+        if tag & TAG_IO_RETRY != 0 {
+            self.io_timeout(sc, node, tag & !TAG_IO_RETRY);
+            return;
+        }
         // Production CNK schedules no periodic kernel work — that
         // absence *is* the low-noise result of §V.A. Events only exist
         // here when noise injection is configured for a study.
@@ -1106,6 +1334,46 @@ impl Kernel for Cnk {
         sc.stretch_running(core, PARITY_HANDLER_COST, 0x2000 | kind as u64);
         if let Some(tid) = sc.running[core.idx()] {
             self.post_signal(sc, tid, Sig::Parity);
+        }
+    }
+
+    fn on_ras(&mut self, sc: &mut SimCore, node: NodeId, ev: &FaultEvent) {
+        // Every injected fault lands in the RAS log — that reporting is
+        // the point of the RAS subsystem, whatever the recovery is. The
+        // machine already counted/traced the event when it dispatched
+        // it (`ras.events`), so only the kernel-side record is added
+        // here.
+        self.ras_log.push(RasRecord {
+            at: sc.now(),
+            node: node.0,
+            code: ev.kind.name(),
+            detail: ev.arg,
+        });
+        match ev.kind {
+            FaultKind::CiodShortWrite => self.shorten_inflight_writes(sc, node),
+            FaultKind::GuardStorm => {
+                // A storm of spurious DAC guard violations: each one
+                // costs handler time on its core, none is a real
+                // protection fault, so nobody gets signaled. Survivable
+                // noise, visible in `fault.guard`.
+                for local in 0..sc.cores_per_node() {
+                    let core = sc.core_of(node, local);
+                    sc.tel.count(sc.tel.ids.guard_faults, Slot::Core(core.0), ev.arg);
+                    sc.tel.tp(
+                        sc.now(),
+                        node.0,
+                        core.0,
+                        TpKind::GuardFault,
+                        "dac_storm",
+                        ev.arg,
+                        0,
+                    );
+                    sc.stretch_running(core, ev.arg * GUARD_STORM_COST, 0x3000);
+                }
+            }
+            // Network faults were applied by the machine layer; machine
+            // checks arrive separately through `on_fault`.
+            _ => {}
         }
     }
 

@@ -35,6 +35,14 @@ const CLONE_COST: u64 = 4_500;
 // Kernel event tag layout: kind in the top byte.
 const TAG_NOISE: u64 = 1 << 56;
 const TAG_TIMESLICE: u64 = 2 << 56;
+const TAG_RECOVERY: u64 = 3 << 56;
+
+/// RAS recovery burst: after any injected fault, the logging/recovery
+/// daemons (mcelogd parse, EDAC scrub, syslog flush) fire three times
+/// at these offsets, stretching core 0 by the matching decaying cost.
+/// This is the Linux-side contrast to CNK's fire-and-forget RAS path.
+const RECOVERY_DELAY: [u64; 3] = [400_000, 900_000, 1_500_000];
+const RECOVERY_COST: [u64; 3] = [90_000, 45_000, 25_000];
 
 /// FWK tunables.
 #[derive(Clone, Debug)]
@@ -298,6 +306,13 @@ impl Kernel for Fwk {
             .map(|n| sc.hub.stream_for("fwk-io", n))
             .collect();
         self.dirty_bytes = vec![0; nodes];
+        // A fault-injected machine boots with the RAS logging daemons
+        // loaded too (guarded so a re-boot does not append twice).
+        if !sc.cfg.faults.is_empty() && !self.cfg.noise.iter().any(|s| s.name == "mcelogd") {
+            self.cfg
+                .noise
+                .extend(crate::noise::ras_recovery_daemons());
+        }
         // Arm the noise machinery (§V.A: the daemons that "cannot be
         // suspended").
         for node in 0..nodes as u32 {
@@ -836,6 +851,25 @@ impl Kernel for Fwk {
                     self.arm_timeslice(sc, core);
                 }
             }
+            3 => {
+                // RAS recovery burst firing: the logging daemons catch
+                // up on core 0, at a cost that decays as the backlog
+                // drains.
+                let i = (tag & 0xff) as usize % RECOVERY_COST.len();
+                let cost = RECOVERY_COST[i];
+                let core = sc.core_of(node, 0);
+                sc.tel.count(sc.tel.ids.daemon_wakes, Slot::Core(core.0), 1);
+                sc.tel.tp(
+                    sc.now(),
+                    node.0,
+                    core.0,
+                    TpKind::DaemonWake,
+                    "ras-recovery",
+                    i as u64,
+                    cost,
+                );
+                sc.stretch_running(core, cost, tag);
+            }
             _ => {}
         }
     }
@@ -845,6 +879,25 @@ impl Kernel for Fwk {
     }
 
     fn on_ipi(&mut self, _sc: &mut SimCore, _core: CoreId, _kind: u32) {}
+
+    fn on_ras(&mut self, sc: &mut SimCore, node: NodeId, ev: &bgsim::fault::FaultEvent) {
+        // Every RAS event — even one whose hardware effect Linux never
+        // sees, like a link drop absorbed by CRC retransmit — wakes the
+        // recovery daemons for a three-firing burst.
+        for (i, &d) in RECOVERY_DELAY.iter().enumerate() {
+            sc.schedule_kernel_event_in(node, TAG_RECOVERY | i as u64, d);
+        }
+        if ev.kind == bgsim::fault::FaultKind::GuardStorm {
+            // No DAC guard hardware on Linux: the storm lands as `arg`
+            // spurious DSIs per core, each at full page-fault-entry
+            // cost — the expensive path CNK's guard repositioning
+            // shortcut avoids.
+            for core_local in 0..sc.cfg.chip.cores {
+                let core = sc.core_of(node, core_local);
+                sc.stretch_running(core, ev.arg * FAULT_COST, 0x3000);
+            }
+        }
+    }
 
     fn on_fault(&mut self, sc: &mut SimCore, core: CoreId, kind: u32) {
         if kind != bgsim::machine::FAULT_PARITY {

@@ -77,6 +77,34 @@ pub fn linux_2_6_16_profile() -> Vec<NoiseSource> {
     ]
 }
 
+/// The daemons a fault-injected run wakes up on top of the base
+/// profile: the machine-check logger and the RAS event forwarder,
+/// polling their /dev interfaces whether or not anything new arrived.
+/// Linux cannot shed them once loaded, so a node that has *seen* faults
+/// stays noisier than a clean one — the contrast to CNK, whose RAS path
+/// costs nothing between events. Appended by `Fwk::boot` when the
+/// machine carries a fault schedule.
+pub fn ras_recovery_daemons() -> Vec<NoiseSource> {
+    vec![
+        NoiseSource {
+            name: "mcelogd",
+            period: 90 * MS,
+            period_jitter: 30 * MS,
+            cost_min: 6_000,
+            cost_max: 14_000,
+            cores: CoreSet::One(0),
+        },
+        NoiseSource {
+            name: "rasdaemon",
+            period: 150 * MS,
+            period_jitter: 50 * MS,
+            cost_min: 9_000,
+            cost_max: 21_000,
+            cores: CoreSet::One(2),
+        },
+    ]
+}
+
 /// Per-core worst-case single-event noise in the profile (test oracle).
 pub fn profile_worst_case(core: u32) -> u64 {
     linux_2_6_16_profile()

@@ -19,6 +19,9 @@ pub struct CheckpointApp {
     state: u8,
     phase: u32,
     chunk: u32,
+    /// Bytes of the current chunk already on disk — nonzero only after
+    /// a short write, when the remainder is reissued.
+    chunk_done: usize,
     fd: Fd,
     t_io: u64,
 }
@@ -35,6 +38,7 @@ impl CheckpointApp {
             state: 0,
             phase: 0,
             chunk: 0,
+            chunk_done: 0,
             fd: Fd(-1),
             t_io: 0,
         }
@@ -82,20 +86,31 @@ impl Workload for CheckpointApp {
                 4 => {
                     let ret = env.take_ret().expect("open");
                     match ret {
-                        SysRet::Val(v) => self.fd = Fd(v as i32),
-                        other => panic!("checkpoint open failed: {other:?}"),
+                        SysRet::Val(v) => {
+                            self.fd = Fd(v as i32);
+                            self.chunk = 0;
+                            self.chunk_done = 0;
+                            self.state = 5;
+                        }
+                        _ => {
+                            // Checkpoint target unreachable (e.g. the
+                            // I/O path is down and the kernel's retries
+                            // ran out): count it, skip this phase, keep
+                            // computing.
+                            self.rec
+                                .record(&format!("ckpt_io_errors_rank{}", self.rank), 1.0);
+                            self.phase += 1;
+                            self.state = 2;
+                        }
                     }
-                    self.chunk = 0;
-                    self.state = 5;
                 }
                 5 => {
                     if self.chunk < self.chunks {
-                        self.chunk += 1;
                         let fill = (self.rank as u8).wrapping_add(self.phase as u8);
                         self.state = 6;
                         return Op::Syscall(SysReq::Write {
                             fd: self.fd,
-                            data: vec![fill; self.chunk_bytes],
+                            data: vec![fill; self.chunk_bytes - self.chunk_done],
                         });
                     }
                     self.state = 7;
@@ -103,8 +118,29 @@ impl Workload for CheckpointApp {
                 }
                 6 => {
                     let ret = env.take_ret().expect("write");
-                    assert_eq!(ret.val(), self.chunk_bytes as i64, "short write");
-                    self.state = 5;
+                    match ret {
+                        SysRet::Val(n) if n > 0 => {
+                            // Short writes reissue the tail of the
+                            // chunk; the fault-free path always lands
+                            // whole chunks, so op sequences (and
+                            // digests) are unchanged without faults.
+                            self.chunk_done += n as usize;
+                            if self.chunk_done >= self.chunk_bytes {
+                                self.chunk_done = 0;
+                                self.chunk += 1;
+                            }
+                            self.state = 5;
+                        }
+                        _ => {
+                            // Write failed outright: salvage what made
+                            // it to disk (fsync + close) and move on.
+                            self.rec
+                                .record(&format!("ckpt_io_errors_rank{}", self.rank), 1.0);
+                            self.chunk = self.chunks;
+                            self.chunk_done = 0;
+                            self.state = 5;
+                        }
+                    }
                 }
                 7 => {
                     let _ = env.take_ret();

@@ -447,6 +447,99 @@ use bgsim::MachineConfig;
 use cnk::Cnk;
 use fwk::Fwk;
 
+// ---- fault injection ---------------------------------------------------------
+
+fn arb_fault_schedule() -> impl Strategy<Value = bgsim::FaultSchedule> {
+    use bgsim::{FaultEvent, FaultKind};
+    let kind = (0usize..FaultKind::ALL.len()).prop_map(|i| FaultKind::ALL[i]);
+    prop::collection::vec((100_000u64..8_000_000, 0u32..2, kind, any::<u64>()), 0..6).prop_map(
+        |evs| {
+            let mut s = bgsim::FaultSchedule::default();
+            for (at, node, kind, raw) in evs {
+                // Keep each kind's argument in its meaningful range.
+                let arg = match kind {
+                    FaultKind::TorusDrop => 10_000 + raw % 300_000,
+                    FaultKind::CollDrop | FaultKind::CollDelay => 50_000 + raw % 1_000_000,
+                    FaultKind::MachineCheck => raw % 4,
+                    FaultKind::GuardStorm => 1 + raw % 40,
+                    _ => 0,
+                };
+                s.push(FaultEvent {
+                    at,
+                    node,
+                    kind,
+                    arg,
+                });
+            }
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RAS determinism: ANY fault schedule — drops, corruptions,
+    /// machine checks, guard storms — yields bit-identical trace
+    /// digests and final cycles across the sequential driver, the
+    /// windowed conservative driver, and a 4-thread shard pool. A
+    /// faulted run may legitimately not complete (machine checks kill
+    /// jobs); it must still end at the same cycle with the same digest.
+    #[test]
+    fn fault_schedule_is_driver_invariant(
+        sched in arb_fault_schedule(),
+        seed in 0u64..100,
+        prog in arb_program(),
+    ) {
+        let run = |windowed: bool| {
+            let sched = sched.clone();
+            let prog = prog.clone();
+            let mut m = bgsim::machine::Machine::new(
+                MachineConfig::nodes(2)
+                    .with_seed(seed)
+                    .with_trace()
+                    .with_faults(sched),
+                Box::new(Cnk::with_defaults()),
+                Box::new(dcmf::Dcmf::with_defaults()),
+            );
+            m.boot();
+            m.launch(
+                &sysabi::JobSpec::new(
+                    sysabi::AppImage::static_test("fault-fuzz"),
+                    2,
+                    sysabi::NodeMode::Smp,
+                ),
+                &mut |_r: sysabi::Rank| {
+                    let prog = prog.clone();
+                    let mut i = 0usize;
+                    bgsim::script::wl(move |env| {
+                        let _ = env.take_ret();
+                        if i >= prog.len() {
+                            return bgsim::Op::End;
+                        }
+                        let op = decode_op(prog[i], i as u64);
+                        i += 1;
+                        op
+                    })
+                },
+            )
+            .unwrap();
+            let out = if windowed { m.run_windowed() } else { m.run() };
+            (out.at(), m.trace_digest())
+        };
+
+        let seq = run(false);
+        let win = run(true);
+        prop_assert_eq!(seq, win, "windowed driver diverged under faults");
+        // 4 identical shards on a 4-thread pool: every worker must
+        // reproduce the sequential result exactly.
+        let jobs: Vec<_> = (0..4).map(|_| || run(false)).collect();
+        for (i, r) in bench::par::run_shards(4, jobs).into_iter().enumerate() {
+            prop_assert_eq!(seq, r, "shard {} diverged under faults", i);
+        }
+    }
+}
+
 // ---- VFS / ioproxy -------------------------------------------------------------
 
 proptest! {
