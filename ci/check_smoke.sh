@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Differential-checker smoke: run bgcheck's self-test (the checker must
+# catch every deliberately injected canary mutation), replay the
+# checked-in seed corpus against its recorded digests under every
+# engine mode, and fuzz a bounded budget of freshly generated programs
+# across the {cnk,fwk} × {seq,windowed,shards} × {fast,heap} ×
+# {clean,faulted} matrix. Any divergence leaves a minimized, replayable
+# repro script in the artifacts directory (uploaded by CI on failure):
+#
+#   ./ci/check_smoke.sh [artifacts-dir] [fuzz-budget]
+set -euo pipefail
+
+out="${1:-check-smoke}"
+budget="${2:-150}"
+mkdir -p "$out"
+
+bin=./target/release/bgcheck
+[ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
+
+# 1) The checker checks itself: a checker that stopped detecting
+#    divergence would pass everything silently.
+"$bin" selftest
+
+# 2) Digest-pinned regression corpus: every script must replay to the
+#    exact (digest, final cycle) recorded when it was minted.
+"$bin" corpus tests/corpus
+
+# 3) Bounded fuzz over fresh programs; a failure writes a minimized
+#    repro into "$out" and exits nonzero.
+"$bin" fuzz --budget "$budget" --seed "${BGCHECK_SEED:-424242}" --out "$out" \
+  | tail -1
+
+echo "check smoke OK: selftest + corpus + $budget fuzzed programs clean"

@@ -19,8 +19,8 @@ fwq=./target/release/fig5_7_fwq
 [ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
 [ -x "$fwq" ] || { echo "error: $fwq not built (cargo build --release first)" >&2; exit 1; }
 
-"$bin" --threads 1 --stats-out "$out/fig8_t1.json"
-"$bin" --threads 4 --stats-out "$out/fig8_t4.json"
+"$bin" --threads 1 --force --stats-out "$out/fig8_t1.json"
+"$bin" --threads 4 --force --stats-out "$out/fig8_t4.json"
 
 # Compare every determinism-bearing field: the per-shard and combined
 # digests (strings section) and the final-cycle scalars. Host-perf
@@ -52,8 +52,8 @@ echo "perf smoke OK: $(grep -c '^digest\.' "$out/t1.keys") digests identical acr
 # Fast path conformance + throughput: same figure, event reduction on
 # (default) and off. Digests and final cycles must match exactly;
 # host.<kernel>.sim_cycles_per_sec shows what the fast path buys.
-"$fwq" --threads 1 --stats-out "$out/fwq_fast.json"
-"$fwq" --threads 1 --no-fast-path --stats-out "$out/fwq_heap.json"
+"$fwq" --threads 1 --force --stats-out "$out/fwq_fast.json"
+"$fwq" --threads 1 --no-fast-path --force --stats-out "$out/fwq_heap.json"
 
 extract "$out/fwq_fast.json" > "$out/fast.keys"
 extract "$out/fwq_heap.json" > "$out/heap.keys"
@@ -81,8 +81,8 @@ echo "perf smoke OK: fast-path digests identical to the heap path"
 # 1) A seeded fault schedule must itself be driver-invariant: fig8 with
 #    --fault-seed under --threads 1 and --threads 4 must agree on every
 #    digest and final cycle.
-"$bin" --threads 1 --fault-seed 13 --stats-out "$out/fig8_fault_t1.json"
-"$bin" --threads 4 --fault-seed 13 --stats-out "$out/fig8_fault_t4.json"
+"$bin" --threads 1 --fault-seed 13 --force --stats-out "$out/fig8_fault_t1.json"
+"$bin" --threads 4 --fault-seed 13 --force --stats-out "$out/fig8_fault_t4.json"
 
 extract "$out/fig8_fault_t1.json" > "$out/fault_t1.keys"
 extract "$out/fig8_fault_t4.json" > "$out/fault_t4.keys"
@@ -109,8 +109,8 @@ echo "perf smoke OK: faulted digests identical across --threads 1/4 (and differ 
 ion=./target/release/io_noise
 [ -x "$ion" ] || { echo "error: $ion not built (cargo build --release first)" >&2; exit 1; }
 
-"$ion" 800 --stats-out "$out/io_clean.json" >/dev/null
-"$ion" 800 --fault-seed 13 --stats-out "$out/io_fault.json" >/dev/null
+"$ion" 800 --force --stats-out "$out/io_clean.json" >/dev/null
+"$ion" 800 --fault-seed 13 --force --stats-out "$out/io_fault.json" >/dev/null
 
 python3 - "$out/io_fault.json" "$out/io_clean.json" <<'EOF'
 import json, sys
@@ -138,12 +138,12 @@ EOF
 
 echo "perf smoke OK: RAS fault smoke passed"
 
-# 3) Panic-free I/O-node stack: the ciod crate carries
+# 3) Panic-free kernel core: ciod, bgsim, cnk, and bgcheck all carry
 #    #![deny(clippy::unwrap_used)] in-source; a plain clippy run is the
 #    gate (a CLI -D flag would leak into vendored path deps).
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
-  cargo clippy -p ciod --release --quiet
-  echo "perf smoke OK: ciod clippy (unwrap_used deny) clean"
+  cargo clippy -p ciod -p bgsim -p cnk -p bgcheck --release --quiet
+  echo "perf smoke OK: clippy (unwrap_used deny) clean on ciod/bgsim/cnk/bgcheck"
 else
-  echo "note: clippy unavailable, skipping ciod unwrap gate"
+  echo "note: clippy unavailable, skipping unwrap gate"
 fi

@@ -232,12 +232,8 @@ fn bench_fast_path(c: &mut Criterion) {
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
-                let run = bench::harness::run_fwq_opts(
-                    bench::harness::KernelKind::Cnk,
-                    200,
-                    1,
-                    fast,
-                );
+                let run =
+                    bench::harness::run_fwq_opts(bench::harness::KernelKind::Cnk, 200, 1, fast);
                 black_box((run.digest, run.sim_events))
             })
         });

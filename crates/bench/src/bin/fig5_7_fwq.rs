@@ -41,7 +41,7 @@ fn main() {
     let cli = Cli::parse();
     let samples = cli.pos(0).unwrap_or(12_000u32);
     let fast = cli.fast_path;
-    let faults = cli.fault_spec();
+    let faults = cli.fault_spec_for(1); // single-node FWQ runs
     println!(
         "== FWQ (Fixed Work Quanta), {samples} samples/core, 4 cores, 1 node{} ==\n",
         if fast { "" } else { " [no fast path]" }
@@ -126,7 +126,10 @@ fn main() {
                 Some(e) => format!("{stem}.{key}.{e}"),
                 None => format!("{stem}.{key}"),
             });
-            if let Err(e) = std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&shard.events)) {
+            let write = bench::report::guard_overwrite(&p, cli.force).and_then(|()| {
+                std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&shard.events))
+            });
+            if let Err(e) = write {
                 eprintln!("error: writing trace to {}: {e}", p.display());
                 std::process::exit(1);
             }

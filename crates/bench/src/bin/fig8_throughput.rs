@@ -29,7 +29,7 @@ fn main() {
     let threads = cli.threads;
     let windowed = threads > 1;
     let fast = cli.fast_path;
-    let faults = cli.fault_spec();
+    let faults = cli.fault_spec_for(nodes);
 
     // One shard per (size, kernel), claimed by index so results land in
     // deterministic order regardless of worker scheduling.

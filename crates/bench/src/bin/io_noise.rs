@@ -30,7 +30,11 @@ fn run(
     faults: &FaultSpec,
 ) -> (Recorder, MetricsRegistry) {
     let mut m = Machine::new(
-        faults.apply(MachineConfig::single_node().with_seed(0x10).with_telemetry()),
+        faults.apply(
+            MachineConfig::single_node()
+                .with_seed(0x10)
+                .with_telemetry(),
+        ),
         kernel,
         Box::new(Dcmf::with_defaults()),
     );
@@ -90,7 +94,7 @@ fn run(
 fn main() {
     let cli = bench::cli::Cli::parse();
     let samples = cli.pos(0).unwrap_or(4_000u32);
-    let faults = cli.fault_spec();
+    let faults = cli.fault_spec_for(1); // single-node runs
     println!("== §IV.A: concurrent checkpoint I/O vs FWQ noise on cores 1-3 ==\n");
     let mut report = bench::report::Report::new("io_noise");
     let mut rows = Vec::new();

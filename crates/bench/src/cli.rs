@@ -10,9 +10,14 @@
 //!   `.txt` stats path);
 //! * `--trace-out <path>` — where a bin records tracepoints, write the
 //!   Chrome/Perfetto trace-event JSON there;
+//! * `--force` — allow `--stats-out`/`--trace-out` to overwrite an
+//!   existing file (refused otherwise, so a rerun cannot silently
+//!   clobber a previous run's evidence);
 //! * `--threads <n>` — host worker threads for bins that shard their
 //!   independent simulations across a pool (`bench::par`). Results are
-//!   bit-identical for any value; 1 (the default) runs inline.
+//!   bit-identical for any value; 1 (the default) runs inline. Zero is
+//!   rejected — an accidental `--threads 0` used to be silently clamped
+//!   to 1, masking the typo.
 //! * `--no-fast-path` — disable the digest-identical event-reduction
 //!   fast path (`MachineConfig::fast_path`); used to baseline its
 //!   speedup and to cross-check trace digests against the heap path.
@@ -21,6 +26,10 @@
 //! * `--fault-script <path>` — load an explicit fault schedule
 //!   (`<cycle> <node> <kind> [arg]` lines). Mutually exclusive with
 //!   `--fault-seed`.
+//!
+//! Bad flag input is a usage error: message on stderr, exit code 2 —
+//! never a panic (`Cli::parse_from` returns the error for callers that
+//! want to handle it themselves, e.g. tests).
 //!
 //! Hand-rolled because the workspace carries no external CLI dependency.
 
@@ -31,6 +40,8 @@ pub struct Cli {
     pub stats_out: Option<PathBuf>,
     pub json: bool,
     pub trace_out: Option<PathBuf>,
+    /// Allow output flags to overwrite existing files.
+    pub force: bool,
     /// Host worker threads for sharded bins (>= 1; 1 = inline).
     pub threads: usize,
     /// Event-reduction fast path (on unless `--no-fast-path`).
@@ -49,6 +60,7 @@ impl Default for Cli {
             stats_out: None,
             json: false,
             trace_out: None,
+            force: false,
             threads: 1,
             fast_path: true,
             fault_seed: None,
@@ -59,53 +71,75 @@ impl Default for Cli {
 }
 
 impl Cli {
-    /// Parse the process arguments (skipping argv[0]).
+    /// Parse the process arguments (skipping argv[0]). A malformed flag
+    /// is a usage error: message on stderr, exit code 2.
     pub fn parse() -> Cli {
-        Self::parse_from(std::env::args().skip(1))
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Cli {
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         let mut cli = Cli::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
-            let mut flag_with_value = |prefix: &str, inline: Option<&str>| -> Option<PathBuf> {
-                match inline {
-                    Some(v) => Some(PathBuf::from(v)),
-                    None => {
-                        let v = it.next();
-                        assert!(v.is_some(), "{prefix} requires a value");
-                        v.map(PathBuf::from)
+            let mut flag_with_value =
+                |prefix: &str, inline: Option<&str>| -> Result<PathBuf, String> {
+                    match inline {
+                        Some(v) => Ok(PathBuf::from(v)),
+                        None => it
+                            .next()
+                            .map(PathBuf::from)
+                            .ok_or_else(|| format!("{prefix} requires a value")),
                     }
-                }
-            };
+                };
             if a == "--json" {
                 cli.json = true;
+            } else if a == "--force" {
+                cli.force = true;
             } else if a == "--no-fast-path" {
                 cli.fast_path = false;
             } else if a == "--stats-out" || a.starts_with("--stats-out=") {
-                cli.stats_out = flag_with_value("--stats-out", a.strip_prefix("--stats-out="));
+                cli.stats_out = Some(flag_with_value(
+                    "--stats-out",
+                    a.strip_prefix("--stats-out="),
+                )?);
             } else if a == "--trace-out" || a.starts_with("--trace-out=") {
-                cli.trace_out = flag_with_value("--trace-out", a.strip_prefix("--trace-out="));
+                cli.trace_out = Some(flag_with_value(
+                    "--trace-out",
+                    a.strip_prefix("--trace-out="),
+                )?);
             } else if a == "--threads" || a.starts_with("--threads=") {
-                let v = flag_with_value("--threads", a.strip_prefix("--threads="));
-                let n: usize = v
-                    .and_then(|p| p.to_str().and_then(|s| s.parse().ok()))
-                    .expect("--threads requires a positive integer");
-                cli.threads = n.max(1);
+                let v = flag_with_value("--threads", a.strip_prefix("--threads="))?;
+                let s = v.to_string_lossy();
+                let n: usize = s
+                    .parse()
+                    .map_err(|_| format!("--threads requires a positive integer, got {s:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1 (got 0)".to_string());
+                }
+                cli.threads = n;
             } else if a == "--fault-seed" || a.starts_with("--fault-seed=") {
-                let v = flag_with_value("--fault-seed", a.strip_prefix("--fault-seed="));
-                let n: u64 = v
-                    .and_then(|p| p.to_str().and_then(|s| s.parse().ok()))
-                    .expect("--fault-seed requires an unsigned integer");
+                let v = flag_with_value("--fault-seed", a.strip_prefix("--fault-seed="))?;
+                let s = v.to_string_lossy();
+                let n: u64 = s
+                    .parse()
+                    .map_err(|_| format!("--fault-seed requires an unsigned integer, got {s:?}"))?;
                 cli.fault_seed = Some(n);
             } else if a == "--fault-script" || a.starts_with("--fault-script=") {
-                cli.fault_script =
-                    flag_with_value("--fault-script", a.strip_prefix("--fault-script="));
+                cli.fault_script = Some(flag_with_value(
+                    "--fault-script",
+                    a.strip_prefix("--fault-script="),
+                )?);
             } else {
                 cli.rest.push(a);
             }
         }
-        cli
+        Ok(cli)
     }
 
     /// Resolve the fault flags into a [`bgsim::fault::FaultSpec`]. Bad
@@ -134,6 +168,21 @@ impl Cli {
         }
     }
 
+    /// [`Cli::fault_spec`] for a bin that knows its machine size:
+    /// additionally rejects explicit scripts naming a node the machine
+    /// does not have (exit 2 with the offending id), instead of letting
+    /// the out-of-range id panic deep in machine construction.
+    pub fn fault_spec_for(&self, nodes: u32) -> bgsim::fault::FaultSpec {
+        let spec = self.fault_spec();
+        if let bgsim::fault::FaultSpec::Explicit(sched) = &spec {
+            if let Err(e) = sched.check_nodes(nodes) {
+                eprintln!("error: --fault-script: {e}");
+                std::process::exit(2);
+            }
+        }
+        spec
+    }
+
     /// Positional argument `i` parsed as a number, for the bins whose
     /// first argument overrides a sample/iteration count.
     pub fn pos<T: std::str::FromStr>(&self, i: usize) -> Option<T> {
@@ -146,7 +195,11 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Cli {
-        Cli::parse_from(args.iter().map(|s| s.to_string()))
+        Cli::parse_from(args.iter().map(|s| s.to_string())).expect("args parse")
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        Cli::parse_from(args.iter().map(|s| s.to_string())).expect_err("args should be rejected")
     }
 
     #[test]
@@ -169,12 +222,17 @@ mod tests {
         assert_eq!(c.stats_out.as_deref(), Some(std::path::Path::new("s.txt")));
         assert_eq!(c.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
         assert!(!c.json);
+        assert!(!c.force);
     }
 
     #[test]
-    #[should_panic(expected = "requires a value")]
-    fn missing_value_panics() {
-        parse(&["--stats-out"]);
+    fn missing_value_is_an_error_not_a_panic() {
+        let e = parse_err(&["--stats-out"]);
+        assert!(e.contains("--stats-out requires a value"), "{e}");
+        let e = parse_err(&["--trace-out"]);
+        assert!(e.contains("--trace-out requires a value"), "{e}");
+        let e = parse_err(&["--threads"]);
+        assert!(e.contains("--threads requires a value"), "{e}");
     }
 
     #[test]
@@ -184,11 +242,32 @@ mod tests {
     }
 
     #[test]
+    fn parses_force() {
+        assert!(!parse(&[]).force);
+        assert!(parse(&["--force"]).force);
+    }
+
+    #[test]
     fn parses_threads() {
         assert_eq!(parse(&[]).threads, 1);
         assert_eq!(parse(&["--threads", "4"]).threads, 4);
         assert_eq!(parse(&["--threads=8"]).threads, 8);
-        // 0 clamps to inline execution.
-        assert_eq!(parse(&["--threads", "0"]).threads, 1);
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage_threads() {
+        // 0 used to clamp silently to 1; it is now a usage error.
+        let e = parse_err(&["--threads", "0"]);
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse_err(&["--threads", "four"]);
+        assert!(e.contains("positive integer"), "{e}");
+        let e = parse_err(&["--threads=-2"]);
+        assert!(e.contains("positive integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_garbage_fault_seed() {
+        let e = parse_err(&["--fault-seed", "0x13"]);
+        assert!(e.contains("unsigned integer"), "{e}");
     }
 }

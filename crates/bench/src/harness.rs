@@ -396,7 +396,15 @@ pub fn nn_throughput_run_opts(
     windowed: bool,
     fast_path: bool,
 ) -> SimRun {
-    nn_throughput_run_faulted(kind, nodes, bytes, seed, windowed, fast_path, &FaultSpec::None)
+    nn_throughput_run_faulted(
+        kind,
+        nodes,
+        bytes,
+        seed,
+        windowed,
+        fast_path,
+        &FaultSpec::None,
+    )
 }
 
 /// [`nn_throughput_run_opts`] under a fault schedule. With faults a

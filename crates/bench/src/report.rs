@@ -120,7 +120,8 @@ impl Report {
 
     /// Write the report where the flags ask: a `--stats-out` file
     /// (`.txt` extension selects the flat format unless `--json` forces
-    /// JSON), and/or JSON on stdout under bare `--json`.
+    /// JSON), and/or JSON on stdout under bare `--json`. Refuses to
+    /// overwrite an existing stats file unless `--force` was given.
     pub fn emit(&self, cli: &Cli) -> std::io::Result<()> {
         if let Some(path) = &cli.stats_out {
             let flat = path.extension().is_some_and(|e| e == "txt") && !cli.json;
@@ -129,6 +130,7 @@ impl Report {
             } else {
                 self.to_json()
             };
+            guard_overwrite(path, cli.force)?;
             let mut f = std::fs::File::create(path)?;
             f.write_all(body.as_bytes())?;
             if !body.ends_with('\n') {
@@ -157,6 +159,20 @@ impl Report {
             std::process::exit(1);
         }
     }
+}
+
+/// Refuse to clobber an existing output file unless `--force` was
+/// given. Shared by `--stats-out` (via [`Report::emit`]) and the bins'
+/// `--trace-out` writers, so a rerun cannot silently overwrite a
+/// previous run's evidence.
+pub fn guard_overwrite(path: &std::path::Path, force: bool) -> std::io::Result<()> {
+    if !force && path.exists() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!("{} exists; pass --force to overwrite", path.display()),
+        ));
+    }
+    Ok(())
 }
 
 /// Render a scalar as a JSON-legal number (f64 `Display` never uses an
@@ -220,6 +236,29 @@ mod tests {
         let t = r.to_stats_txt();
         assert!(t.contains("strings.digest.all"));
         assert!(t.contains("00ff00ff00ff00ff"));
+    }
+
+    #[test]
+    fn overwrite_guard_requires_force() {
+        let dir = std::env::temp_dir().join(format!("bench_report_guard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        // Absent file: fine either way.
+        assert!(guard_overwrite(&path, false).is_ok());
+        std::fs::write(&path, "{}").unwrap();
+        let e = guard_overwrite(&path, false).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::AlreadyExists);
+        assert!(e.to_string().contains("--force"), "{e}");
+        assert!(guard_overwrite(&path, true).is_ok());
+        // emit() goes through the same guard.
+        let mut cli = Cli::default();
+        cli.stats_out = Some(path.clone());
+        let r = Report::new("guard");
+        let e = r.emit(&cli).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::AlreadyExists);
+        cli.force = true;
+        r.emit(&cli).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! `bgcheck` — differential determinism checker CLI.
+//!
+//! ```text
+//! bgcheck fuzz [--budget N] [--seed S] [--out DIR]   random programs, shrink + save repros
+//! bgcheck replay <script> [--record]                 replay one script; --record prints pins
+//! bgcheck corpus <dir>                               replay every *.bgck script in a directory
+//! bgcheck selftest                                   verify the checker catches its canaries
+//! ```
+//!
+//! Exit codes: 0 clean, 1 failure found, 2 usage error.
+
+#![deny(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bgcheck::runner::{mode_label, run_mode, CheckKernel, MODES};
+use bgcheck::{check_program, generate, parse_script, shrink, to_script_with_pins, DigestPin};
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bgcheck fuzz [--budget N] [--seed S] [--out DIR]\n       \
+         bgcheck replay <script> [--record]\n       \
+         bgcheck corpus <dir>\n       \
+         bgcheck selftest"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_u64(flag: &str, v: Option<String>) -> Result<u64, String> {
+    let Some(v) = v else {
+        return Err(format!("{flag} requires a value"));
+    };
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag} requires a number, got {v:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("fuzz") => {
+            let mut budget = 25u64;
+            let mut seed = 1u64;
+            let mut out = PathBuf::from("bgcheck-repro");
+            let mut rest = args;
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--budget" => match parse_u64("--budget", rest.next()) {
+                        Ok(v) => budget = v,
+                        Err(e) => return usage(&e),
+                    },
+                    "--seed" => match parse_u64("--seed", rest.next()) {
+                        Ok(v) => seed = v,
+                        Err(e) => return usage(&e),
+                    },
+                    "--out" => match rest.next() {
+                        Some(v) => out = PathBuf::from(v),
+                        None => return usage("--out requires a value"),
+                    },
+                    other => return usage(&format!("unknown fuzz flag {other:?}")),
+                }
+            }
+            fuzz(budget, seed, &out)
+        }
+        Some("replay") => {
+            let mut path = None;
+            let mut record = false;
+            for a in args {
+                match a.as_str() {
+                    "--record" => record = true,
+                    other if path.is_none() => path = Some(PathBuf::from(other)),
+                    other => return usage(&format!("unexpected replay argument {other:?}")),
+                }
+            }
+            let Some(path) = path else {
+                return usage("replay needs a script path");
+            };
+            replay(&path, record)
+        }
+        Some("corpus") => {
+            let Some(dir) = args.next() else {
+                return usage("corpus needs a directory");
+            };
+            corpus(Path::new(&dir))
+        }
+        Some("selftest") => match bgcheck::selftest() {
+            Ok(()) => {
+                println!("selftest: clean pass + all canaries detected");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => usage(&format!("unknown subcommand {other:?}")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn fuzz(budget: u64, seed0: u64, out: &Path) -> ExitCode {
+    for i in 0..budget {
+        let seed = seed0.wrapping_add(i);
+        let p = generate(seed);
+        match check_program(&p) {
+            Ok(_) => {
+                println!(
+                    "seed {seed}: ok ({} node(s), {} op(s), {} fault(s))",
+                    p.nodes,
+                    p.ops.len(),
+                    p.faults.events.len()
+                );
+            }
+            Err(first) => {
+                eprintln!("seed {seed}: FAILED\n{}", first.render());
+                eprintln!("shrinking...");
+                let min = shrink(&p, |q| check_program(q).is_err(), 60);
+                let fail = match check_program(&min) {
+                    Err(f) => f,
+                    // Shrinker invariant: the result still fails.
+                    Ok(_) => first,
+                };
+                let mut script = to_script_with_pins(&min, &[]);
+                script.push_str("# failure:\n");
+                for line in fail.render().lines() {
+                    script.push_str(&format!("#   {line}\n"));
+                }
+                if let Err(e) = std::fs::create_dir_all(out) {
+                    eprintln!("error: creating {}: {e}", out.display());
+                    return ExitCode::FAILURE;
+                }
+                let file = out.join(format!("fuzz-{seed}.bgck"));
+                match std::fs::write(&file, &script) {
+                    Ok(()) => eprintln!("minimized repro written to {}", file.display()),
+                    Err(e) => eprintln!("error: writing {}: {e}", file.display()),
+                }
+                eprintln!("minimized failure:\n{}", fail.render());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("fuzz: {budget} program(s) checked, no divergence");
+    ExitCode::SUCCESS
+}
+
+fn replay_file(path: &Path, record: bool) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let rep = parse_script(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    let records = check_program(&rep.program)
+        .map_err(|f| format!("{}: checker failure\n{}", path.display(), f.render()))?;
+
+    if record {
+        let mut pins = Vec::new();
+        for kernel in CheckKernel::ALL {
+            for (windowed, fast) in MODES {
+                let rec = run_mode(&rep.program, kernel, windowed, fast)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                pins.push(DigestPin {
+                    kernel: kernel.label().to_string(),
+                    mode: mode_label(windowed, fast),
+                    digest: rec.digest,
+                    final_cycle: rec.final_cycle,
+                });
+            }
+        }
+        print!("{}", to_script_with_pins(&rep.program, &pins));
+        return Ok(());
+    }
+
+    for pin in &rep.pins {
+        let Some(rec) = records
+            .iter()
+            .find(|r| r.kernel == pin.kernel && r.mode == pin.mode)
+        else {
+            return Err(format!(
+                "{}: pin for {}/{} has no matching run",
+                path.display(),
+                pin.kernel,
+                pin.mode
+            ));
+        };
+        if rec.digest != pin.digest || rec.final_cycle != pin.final_cycle {
+            return Err(format!(
+                "{}: {}/{} replayed to digest {:016x} cycle {}, pinned {:016x} cycle {}",
+                path.display(),
+                pin.kernel,
+                pin.mode,
+                rec.digest,
+                rec.final_cycle,
+                pin.digest,
+                pin.final_cycle
+            ));
+        }
+    }
+    println!(
+        "{}: ok ({} mode run(s), {} pin(s) verified)",
+        path.display(),
+        records.len(),
+        rep.pins.len()
+    );
+    Ok(())
+}
+
+fn replay(path: &Path, record: bool) -> ExitCode {
+    match replay_file(path, record) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn corpus(dir: &Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bgck"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("error: no .bgck scripts in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut failed = 0usize;
+    for p in &paths {
+        if let Err(e) = replay_file(p, false) {
+            eprintln!("error: {e}");
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("corpus: {failed}/{} script(s) FAILED", paths.len());
+        ExitCode::FAILURE
+    } else {
+        println!("corpus: {} script(s) ok", paths.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,64 @@
+//! The checker's own regression harness: deliberately injected
+//! mutations ([`Canary`]) that a working differential checker must
+//! catch, plus the clean-pass control.
+//!
+//! This is the "who watches the watchmen" test the tentpole demands: a
+//! checker that silently stops detecting divergence is worse than no
+//! checker, so the self-test runs the real mode matrix with one leg
+//! tampered and requires a failure verdict every time.
+
+pub use crate::runner::Canary;
+
+use crate::program::{POp, Program};
+use crate::runner::{check_program, check_program_tampered};
+
+/// The fixed self-test program: touches compute, shipped I/O, the
+/// clone/futex path, and both collective networks, on two nodes, so
+/// every canary has machinery to perturb.
+pub fn selftest_program() -> Program {
+    Program {
+        nodes: 2,
+        seed: 0x5E1F,
+        ops: vec![
+            POp::Compute { cycles: 20_000 },
+            POp::ConsoleWrite { bytes: 64 },
+            POp::FileRoundtrip { bytes: 256 },
+            POp::SpawnJoin { cycles: 10_000 },
+            POp::Allreduce { bytes: 8 },
+            POp::SendRing { bytes: 128 },
+            POp::Barrier,
+            POp::Gettid,
+        ],
+        faults: Default::default(),
+    }
+}
+
+/// Run the self-test: the clean program must pass the full matrix, and
+/// every canary mutation must be detected. Returns `Err` with a
+/// description of the first canary the checker failed to catch (or of
+/// a spurious failure on the clean program).
+pub fn selftest() -> Result<(), String> {
+    let p = selftest_program();
+    check_program(&p).map_err(|f| {
+        format!(
+            "clean self-test program failed the checker:\n{}",
+            f.render()
+        )
+    })?;
+    for c in Canary::ALL {
+        if check_program_tampered(&p, Some(c)).is_ok() {
+            return Err(format!("canary {c:?} was NOT detected by the checker"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_checker_catches_every_canary() {
+        selftest().expect("self-test");
+    }
+}

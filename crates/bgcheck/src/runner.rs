@@ -1,0 +1,403 @@
+//! The differential runner: one program, every engine mode, one
+//! verdict.
+//!
+//! For each kernel the sequential fast-path run is the oracle; the
+//! windowed driver, the heap scheduler (fast path off), and a
+//! 3-way repetition through the shard pool must all reproduce its
+//! (outcome, final cycle, digest) triple exactly. Every run is also
+//! swept by `Machine::check_invariants` — a mode can agree with the
+//! oracle bit-for-bit and still fail the check if kernel bookkeeping
+//! leaked (futex waiters, pending CIOD replies, partition overlap).
+
+use bgsim::machine::{Machine, RunOutcome};
+use bgsim::MachineConfig;
+
+use crate::program::Program;
+
+/// Which kernel a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKernel {
+    Cnk,
+    Fwk,
+}
+
+impl CheckKernel {
+    pub const ALL: [CheckKernel; 2] = [CheckKernel::Cnk, CheckKernel::Fwk];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckKernel::Cnk => "cnk",
+            CheckKernel::Fwk => "fwk",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<CheckKernel> {
+        CheckKernel::ALL.iter().copied().find(|k| k.label() == s)
+    }
+
+    fn build(self) -> Box<dyn bgsim::Kernel> {
+        match self {
+            CheckKernel::Cnk => Box::new(cnk::Cnk::with_defaults()),
+            CheckKernel::Fwk => Box::new(fwk::Fwk::with_defaults()),
+        }
+    }
+}
+
+/// The four single-machine modes as (windowed, fast-path) pairs. The
+/// first is the oracle.
+pub const MODES: [(bool, bool); 4] = [(false, true), (false, false), (true, true), (true, false)];
+
+/// Shard-pool width for the repetition leg.
+pub const SHARD_WAYS: usize = 3;
+
+pub fn mode_label(windowed: bool, fast: bool) -> String {
+    format!(
+        "{}+{}",
+        if windowed { "win" } else { "seq" },
+        if fast { "fast" } else { "heap" }
+    )
+}
+
+/// What one run produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunRecord {
+    pub kernel: &'static str,
+    pub mode: String,
+    /// Outcome class (`completed`, `deadlock/2`, ...).
+    pub outcome: String,
+    pub final_cycle: u64,
+    pub digest: u64,
+    pub violations: Vec<String>,
+}
+
+impl RunRecord {
+    /// The equality triple differential checking compares.
+    pub fn triple(&self) -> (String, u64, u64) {
+        (self.outcome.clone(), self.final_cycle, self.digest)
+    }
+}
+
+fn outcome_label(out: &RunOutcome) -> String {
+    match out {
+        RunOutcome::Completed { .. } => "completed".to_string(),
+        RunOutcome::ReachedCycle { .. } => "bound".to_string(),
+        RunOutcome::Deadlock { blocked, .. } => format!("deadlock/{}", blocked.len()),
+        RunOutcome::Idle { .. } => "idle".to_string(),
+    }
+}
+
+/// How the checker failed on a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// Two modes disagreed on (outcome, final cycle, digest).
+    Mismatch,
+    /// A run violated a kernel-semantic invariant.
+    Violation,
+    /// A run could not be constructed (config rejected, launch failed).
+    Error,
+}
+
+/// A checker failure, with enough context to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub kernel: &'static str,
+    /// The oracle mode (for mismatches) or the failing mode.
+    pub base_mode: String,
+    pub mode: String,
+    pub detail: String,
+    /// Rendered first-divergence report, when one could be produced.
+    pub divergence: Option<String>,
+}
+
+impl Failure {
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{:?} on kernel {} ({} vs {}):\n  {}",
+            self.kind, self.kernel, self.base_mode, self.mode, self.detail
+        );
+        if let Some(d) = &self.divergence {
+            s.push_str("\nfirst divergence:\n");
+            s.push_str(d);
+        }
+        s
+    }
+}
+
+fn build_machine(
+    p: &Program,
+    kernel: CheckKernel,
+    fast: bool,
+    keep_trace: bool,
+) -> Result<Machine, String> {
+    let mut cfg = MachineConfig::nodes(p.nodes)
+        .with_seed(p.seed)
+        .with_telemetry()
+        .with_fast_path(fast);
+    if keep_trace {
+        cfg = cfg.with_trace();
+    }
+    if !p.faults.is_empty() {
+        cfg = cfg.with_faults(p.faults.clone());
+    }
+    cfg.validate()?;
+    let mut m = Machine::new(cfg, kernel.build(), Box::new(dcmf::Dcmf::with_defaults()));
+    m.boot();
+    m.launch(&p.job_spec(), &mut p.factory())
+        .map_err(|e| format!("launch failed: {e:?}"))?;
+    Ok(m)
+}
+
+/// Run `p` once in the given mode. Returns the record and, when
+/// `keep_trace` is set, the machine itself (for divergence reports).
+fn run_one(
+    p: &Program,
+    kernel: CheckKernel,
+    windowed: bool,
+    fast: bool,
+    keep_trace: bool,
+) -> Result<(RunRecord, Machine), String> {
+    let mut m = build_machine(p, kernel, fast, keep_trace)?;
+    let out = if windowed { m.run_windowed() } else { m.run() };
+    let rec = RunRecord {
+        kernel: kernel.label(),
+        mode: mode_label(windowed, fast),
+        outcome: outcome_label(&out),
+        final_cycle: out.at(),
+        digest: m.trace_digest(),
+        violations: m.check_invariants(),
+    };
+    Ok((rec, m))
+}
+
+/// Public single-mode entry (replay/record paths).
+pub fn run_mode(
+    p: &Program,
+    kernel: CheckKernel,
+    windowed: bool,
+    fast: bool,
+) -> Result<RunRecord, String> {
+    run_one(p, kernel, windowed, fast, false).map(|(r, _)| r)
+}
+
+/// Re-run two modes with retained traces and render where they first
+/// diverge (entry index, both entries, surrounding context).
+fn diverge_report(
+    p: &Program,
+    kernel: CheckKernel,
+    a: (bool, bool),
+    b: (bool, bool),
+) -> Option<String> {
+    let (_, ma) = run_one(p, kernel, a.0, a.1, true).ok()?;
+    let (_, mb) = run_one(p, kernel, b.0, b.1, true).ok()?;
+    bgsim::first_divergence(&ma.sc.trace, &mb.sc.trace, 3).map(|d| d.render())
+}
+
+/// Deliberate checker-facing mutations for the self-test: a working
+/// checker must flag every one of these.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Canary {
+    /// One mode runs with a skewed machine seed.
+    SeedSkew,
+    /// One mode runs with an extra injected fault.
+    ExtraFault,
+    /// One mode runs a program missing its last op.
+    DropTailOp,
+    /// One mode's reported digest is flipped.
+    DigestXor,
+    /// One mode's reported final cycle is nudged.
+    CycleSkew,
+}
+
+impl Canary {
+    pub const ALL: [Canary; 5] = [
+        Canary::SeedSkew,
+        Canary::ExtraFault,
+        Canary::DropTailOp,
+        Canary::DigestXor,
+        Canary::CycleSkew,
+    ];
+
+    /// The canary perturbs the (fwk, win+fast) leg — fwk because its
+    /// noise model consumes the machine seed, so a seed skew is
+    /// guaranteed digest-visible.
+    fn applies(kernel: CheckKernel, windowed: bool, fast: bool) -> bool {
+        kernel == CheckKernel::Fwk && windowed && fast
+    }
+
+    fn tamper_program(self, p: &Program) -> Program {
+        let mut q = p.clone();
+        match self {
+            Canary::SeedSkew => q.seed = q.seed.wrapping_add(1),
+            Canary::ExtraFault => {
+                q.faults.push(bgsim::FaultEvent {
+                    at: 50_000,
+                    node: 0,
+                    kind: bgsim::FaultKind::GuardStorm,
+                    arg: 3,
+                });
+            }
+            Canary::DropTailOp => {
+                q.ops.pop();
+            }
+            Canary::DigestXor | Canary::CycleSkew => {}
+        }
+        q
+    }
+
+    fn tamper_record(self, rec: &mut RunRecord) {
+        match self {
+            Canary::DigestXor => rec.digest ^= 1,
+            Canary::CycleSkew => rec.final_cycle = rec.final_cycle.wrapping_add(1),
+            _ => {}
+        }
+    }
+}
+
+/// Check one program across the full mode matrix. `Ok` carries every
+/// run record (for digest recording); `Err` the first failure.
+pub fn check_program(p: &Program) -> Result<Vec<RunRecord>, Failure> {
+    check_program_tampered(p, None)
+}
+
+/// `check_program` with an optional canary mutation applied to one leg
+/// (self-test plumbing; `None` is the production path).
+pub fn check_program_tampered(
+    p: &Program,
+    canary: Option<Canary>,
+) -> Result<Vec<RunRecord>, Failure> {
+    let mut records = Vec::new();
+    for kernel in CheckKernel::ALL {
+        let mut base: Option<RunRecord> = None;
+        for (windowed, fast) in MODES {
+            let (prog, tamper_rec) = match canary {
+                Some(c) if Canary::applies(kernel, windowed, fast) => {
+                    (c.tamper_program(p), Some(c))
+                }
+                _ => (p.clone(), None),
+            };
+            let mut rec = run_one(&prog, kernel, windowed, fast, false)
+                .map_err(|e| Failure {
+                    kind: FailureKind::Error,
+                    kernel: kernel.label(),
+                    base_mode: mode_label(windowed, fast),
+                    mode: mode_label(windowed, fast),
+                    detail: e,
+                    divergence: None,
+                })?
+                .0;
+            if let Some(c) = tamper_rec {
+                c.tamper_record(&mut rec);
+            }
+            if !rec.violations.is_empty() {
+                return Err(Failure {
+                    kind: FailureKind::Violation,
+                    kernel: kernel.label(),
+                    base_mode: rec.mode.clone(),
+                    mode: rec.mode.clone(),
+                    detail: rec.violations.join("\n  "),
+                    divergence: None,
+                });
+            }
+            match &base {
+                None => base = Some(rec.clone()),
+                Some(b) => {
+                    if rec.triple() != b.triple() {
+                        let divergence = if b.digest != rec.digest && canary.is_none() {
+                            diverge_report(p, kernel, MODES[0], (windowed, fast))
+                        } else {
+                            None
+                        };
+                        return Err(Failure {
+                            kind: FailureKind::Mismatch,
+                            kernel: kernel.label(),
+                            base_mode: b.mode.clone(),
+                            mode: rec.mode.clone(),
+                            detail: format!(
+                                "{}: outcome={} cycle={} digest={:016x}\n  {}: outcome={} cycle={} digest={:016x}",
+                                b.mode, b.outcome, b.final_cycle, b.digest,
+                                rec.mode, rec.outcome, rec.final_cycle, rec.digest
+                            ),
+                            divergence,
+                        });
+                    }
+                }
+            }
+            records.push(rec);
+        }
+
+        // Shard-pool repetition: the same oracle mode run SHARD_WAYS
+        // times through the worker pool must stay bit-identical.
+        let jobs: Vec<_> = (0..SHARD_WAYS)
+            .map(|_| {
+                let prog = p.clone();
+                move || run_one(&prog, kernel, false, true, false).map(|(r, _)| r)
+            })
+            .collect();
+        let Some(b) = base else { continue };
+        for (i, res) in bench::par::run_shards(SHARD_WAYS, jobs)
+            .into_iter()
+            .enumerate()
+        {
+            let rec = res.map_err(|e| Failure {
+                kind: FailureKind::Error,
+                kernel: kernel.label(),
+                base_mode: b.mode.clone(),
+                mode: format!("shard{i}"),
+                detail: e,
+                divergence: None,
+            })?;
+            if rec.triple() != b.triple() {
+                return Err(Failure {
+                    kind: FailureKind::Mismatch,
+                    kernel: kernel.label(),
+                    base_mode: b.mode.clone(),
+                    mode: format!("shard{i}"),
+                    detail: format!(
+                        "shard repetition diverged: digest {:016x} vs {:016x}, cycle {} vs {}",
+                        b.digest, rec.digest, b.final_cycle, rec.final_cycle
+                    ),
+                    divergence: None,
+                });
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{generate, POp, Program};
+
+    #[test]
+    fn a_simple_program_passes_everywhere() {
+        let p = Program {
+            nodes: 2,
+            seed: 0x51,
+            ops: vec![
+                POp::Compute { cycles: 9_000 },
+                POp::Gettid,
+                POp::Allreduce { bytes: 8 },
+            ],
+            faults: Default::default(),
+        };
+        let recs = check_program(&p).expect("clean program must pass");
+        // 2 kernels × 4 modes.
+        assert_eq!(recs.len(), 8);
+        // Within a kernel all digests agree; across kernels they differ.
+        assert!(recs[..4].windows(2).all(|w| w[0].digest == w[1].digest));
+        assert!(recs[4..].windows(2).all(|w| w[0].digest == w[1].digest));
+        assert_ne!(recs[0].digest, recs[4].digest);
+    }
+
+    #[test]
+    fn generated_programs_pass() {
+        for seed in 0..3u64 {
+            let p = generate(seed);
+            if let Err(f) = check_program(&p) {
+                panic!("seed {seed} failed:\n{}", f.render());
+            }
+        }
+    }
+}

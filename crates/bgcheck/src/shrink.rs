@@ -1,0 +1,137 @@
+//! Repro minimization: a budgeted delta-debugging pass over a failing
+//! program.
+//!
+//! The shrinker only ever *removes* — op chunks (halving granularity,
+//! ddmin-style), then individual fault events, then machine size — so
+//! every candidate stays a well-formed program and the final result
+//! still fails the caller's predicate. The budget caps predicate
+//! invocations, since each one is a full mode-matrix check.
+
+use crate::program::Program;
+
+/// Shrink `p` while `still_fails` holds, spending at most `budget`
+/// predicate calls. Returns the smallest failing program found.
+pub fn shrink<F: FnMut(&Program) -> bool>(
+    p: &Program,
+    mut still_fails: F,
+    budget: usize,
+) -> Program {
+    let mut cur = p.clone();
+    let mut spent = 0usize;
+    let try_candidate = |cand: &Program, spent: &mut usize, fails: &mut F| -> bool {
+        if *spent >= budget {
+            return false;
+        }
+        *spent += 1;
+        fails(cand)
+    };
+
+    loop {
+        let mut progress = false;
+
+        // Pass 1: drop op chunks, from half the list down to singles.
+        let mut chunk = (cur.ops.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.ops.len() {
+                let mut cand = cur.clone();
+                let end = (i + chunk).min(cand.ops.len());
+                cand.ops.drain(i..end);
+                if try_candidate(&cand, &mut spent, &mut still_fails) {
+                    cur = cand;
+                    progress = true;
+                    // Re-test the same index: the list shifted left.
+                } else {
+                    i += chunk;
+                }
+                if spent >= budget {
+                    return cur;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Pass 2: drop fault events one at a time.
+        let mut i = 0;
+        while i < cur.faults.events.len() {
+            let mut cand = cur.clone();
+            cand.faults.events.remove(i);
+            if try_candidate(&cand, &mut spent, &mut still_fails) {
+                cur = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+            if spent >= budget {
+                return cur;
+            }
+        }
+
+        // Pass 3: halve the machine, dropping faults that now point
+        // past the end.
+        if cur.nodes > 1 {
+            let mut cand = cur.clone();
+            cand.nodes = cur.nodes / 2;
+            cand.faults.events.retain(|e| e.node < cand.nodes);
+            if try_candidate(&cand, &mut spent, &mut still_fails) {
+                cur = cand;
+                progress = true;
+            }
+            if spent >= budget {
+                return cur;
+            }
+        }
+
+        if !progress {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{generate, POp};
+
+    #[test]
+    fn shrinks_to_the_predicate_core() {
+        // Failure model: "any program with an allreduce on ≥2 nodes".
+        let mut p = generate(11);
+        p.nodes = 4;
+        p.ops = vec![
+            POp::Compute { cycles: 1000 },
+            POp::Gettid,
+            POp::Allreduce { bytes: 64 },
+            POp::Stream { bytes: 4096 },
+            POp::Barrier,
+        ];
+        let fails =
+            |q: &Program| q.nodes >= 2 && q.ops.iter().any(|o| matches!(o, POp::Allreduce { .. }));
+        assert!(fails(&p));
+        let min = shrink(&p, fails, 200);
+        assert_eq!(min.ops, vec![POp::Allreduce { bytes: 64 }]);
+        assert_eq!(min.nodes, 2);
+        assert!(min.faults.events.is_empty() || !p.faults.events.is_empty());
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let p = generate(12);
+        let mut calls = 0usize;
+        let _ = shrink(
+            &p,
+            |_| {
+                calls += 1;
+                true
+            },
+            10,
+        );
+        assert!(
+            calls <= 10,
+            "spent {calls} predicate calls on a budget of 10"
+        );
+    }
+}

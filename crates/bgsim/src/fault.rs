@@ -230,6 +230,19 @@ impl FaultSchedule {
     pub fn max_node(&self) -> Option<u32> {
         self.events.iter().map(|e| e.node).max()
     }
+
+    /// Check every referenced node against a machine size, naming the
+    /// offending id — the error CLI front ends surface instead of
+    /// letting machine construction panic on an out-of-range node.
+    pub fn check_nodes(&self, nodes: u32) -> Result<(), String> {
+        match self.max_node() {
+            Some(m) if m >= nodes => Err(format!(
+                "fault schedule names node {m}, but the machine has only {nodes} node(s) (0..={})",
+                nodes.saturating_sub(1)
+            )),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// How a run wants its faults: nothing, a seeded schedule, or an
@@ -304,6 +317,16 @@ mod tests {
         assert_eq!(s.events[1].arg, 2);
         assert_eq!(s.events[2].arg, 0);
         assert_eq!(s.max_node(), Some(1));
+    }
+
+    #[test]
+    fn check_nodes_names_the_offender() {
+        let s = FaultSchedule::parse("10 7 coll-drop 5").unwrap();
+        assert!(s.check_nodes(8).is_ok());
+        let e = s.check_nodes(4).unwrap_err();
+        assert!(e.contains("node 7"), "{e}");
+        assert!(e.contains("4 node(s)"), "{e}");
+        assert!(FaultSchedule::default().check_nodes(1).is_ok());
     }
 
     #[test]

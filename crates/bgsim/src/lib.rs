@@ -21,6 +21,13 @@
 //! which is the property Section III of the paper builds its chip-bringup
 //! methodology on.
 
+// The simulator core must be panic-free on untrusted input (malformed
+// fault scripts and CLI flags reach machine construction); tests may
+// still unwrap. Invariants that genuinely cannot fail use documented
+// `expect`/`assert` messages. CI enforces this with a clippy run.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod ade;
 pub mod barrier;
 pub mod chip;
@@ -45,8 +52,8 @@ pub mod torus;
 pub mod trace;
 
 pub use config::{ChipConfig, MachineConfig, UnitStatus};
-pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
 pub use cycles::{Cycle, CLOCK_MHZ};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
 pub use machine::{
     BlockKind, BootReport, CommAction, CommCaps, CommModel, JobMap, Kernel, KernelEventTag,
     LaunchError, Machine, NetDomain, NetMsg, RankInfo, Recorder, SimCore, SyscallAction, Thread,

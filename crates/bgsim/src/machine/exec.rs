@@ -154,9 +154,8 @@ impl Machine {
         assert!(!self.booted, "already booted");
         let report = self.kernel.boot(&mut self.sc, false);
         self.booted = true;
-        self.boot_report = Some(report);
         self.schedule_faults();
-        self.boot_report.as_ref().unwrap()
+        self.boot_report.insert(report)
     }
 
     /// Turn the config's fault schedule into engine events, one per
@@ -299,6 +298,83 @@ impl Machine {
     /// Epoch windows executed by `run_windowed` so far.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Machine-level invariant sweep plus the kernel's own
+    /// [`Kernel::check_invariants`] hook. Run at quiescence (after
+    /// `run()`/`run_windowed()` return); read-only. Returns one string
+    /// per violation — empty means every cross-check held.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        // Monotonic cycle time: retained trace entries must never go
+        // backwards (the digest covers the full stream, but only the
+        // retained window can be re-inspected here).
+        let mut last = 0u64;
+        for e in self.sc.trace.entries() {
+            if e.at < last {
+                v.push(format!(
+                    "trace time went backwards: entry at cycle {} after cycle {last}",
+                    e.at
+                ));
+                break;
+            }
+            last = e.at;
+        }
+        if last > self.sc.engine.now() {
+            v.push(format!(
+                "trace entry at cycle {last} is ahead of the engine clock {}",
+                self.sc.engine.now()
+            ));
+        }
+        // Running-slot cross-check: an occupied core slot must name a
+        // live thread bound to that core.
+        for (i, slot) in self.sc.running.iter().enumerate() {
+            let Some(tid) = slot else { continue };
+            match self.sc.threads.get(tid.idx()) {
+                None => v.push(format!("core {i} runs nonexistent tid {}", tid.0)),
+                Some(t) => {
+                    if t.core.idx() != i {
+                        v.push(format!(
+                            "core {i} runs tid {} whose thread is bound to core {}",
+                            tid.0, t.core.0
+                        ));
+                    }
+                    if !t.state.is_live() {
+                        v.push(format!(
+                            "core {i} runs tid {} in non-live state {:?}",
+                            tid.0, t.state
+                        ));
+                    }
+                }
+            }
+        }
+        // Telemetry counter sanity: histogram internals must be
+        // mutually consistent (count/min/max/sum cannot contradict).
+        for m in self.sc.tel.metrics.iter() {
+            for (slot, h) in m.hists.iter().enumerate() {
+                if h.count() == 0 {
+                    continue;
+                }
+                let lo = h.min() as u128;
+                let hi = h.max() as u128;
+                let n = h.count() as u128;
+                let sum = h.sum() as u128;
+                // `sum` saturates at u64::MAX, so only flag bounds the
+                // saturation cannot explain.
+                if lo > hi || sum < lo || (sum > n * hi && h.sum() != u64::MAX) {
+                    v.push(format!(
+                        "telemetry hist {}[{slot}] inconsistent: count={} min={} max={} sum={}",
+                        m.name,
+                        h.count(),
+                        h.min(),
+                        h.max(),
+                        h.sum()
+                    ));
+                }
+            }
+        }
+        v.extend(self.kernel.check_invariants(&self.sc));
+        v
     }
 
     /// Export the engine's occupancy counters as telemetry gauges (a
@@ -1204,10 +1280,10 @@ impl Machine {
                 node: node.0,
             });
         } else {
-            let h = self
-                .sc
-                .engine
-                .schedule_dom(node.0, now + cost, EvKind::OpDone { tid: tid.0, gen });
+            let h =
+                self.sc
+                    .engine
+                    .schedule_dom(node.0, now + cost, EvKind::OpDone { tid: tid.0, gen });
             self.sc.threads[tid.idx()].pending_done = Some(h);
         }
     }

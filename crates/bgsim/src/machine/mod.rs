@@ -282,6 +282,16 @@ pub trait Kernel {
     /// in-flight writes. Default: no kernel-level reaction.
     fn on_ras(&mut self, _sc: &mut SimCore, _node: NodeId, _ev: &crate::fault::FaultEvent) {}
 
+    /// Kernel-semantic invariant sweep, called by differential checkers
+    /// (`bgcheck`) at quiescence. Implementations cross-check their
+    /// private bookkeeping against the machine state and return one
+    /// human-readable string per violation (empty = healthy). Must not
+    /// mutate anything: the checker runs it after `run()` returns and
+    /// expects the digest to be unaffected. Default: no checks.
+    fn check_invariants(&self, _sc: &SimCore) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Data-plane address translation for `tid`.
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64>;
 
@@ -428,7 +438,7 @@ impl<'a> WlEnv<'a> {
 
     pub fn mem_read_u64(&mut self, vaddr: u64) -> Option<u64> {
         self.mem_read(vaddr, 8)
-            .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+            .map(|b| u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     pub fn mem_write_u64(&mut self, vaddr: u64, v: u64) -> bool {
@@ -451,8 +461,11 @@ impl<'a> WlEnv<'a> {
 /// probe used to be a measurable slice of the whole simulation.
 #[derive(Clone, Default)]
 pub struct Recorder {
-    inner: Rc<RefCell<BTreeMap<String, Rc<RefCell<Vec<f64>>>>>>,
+    inner: Rc<RefCell<BTreeMap<String, SeriesData>>>,
 }
+
+/// One recorder series: shared, interior-mutable sample vector.
+type SeriesData = Rc<RefCell<Vec<f64>>>;
 
 /// A direct handle to one recorder series: push-only, O(1), no lookup.
 #[derive(Clone)]
@@ -519,7 +532,10 @@ impl Recorder {
     }
 
     pub fn len(&self, name: &str) -> usize {
-        self.inner.borrow().get(name).map_or(0, |v| v.borrow().len())
+        self.inner
+            .borrow()
+            .get(name)
+            .map_or(0, |v| v.borrow().len())
     }
 
     pub fn is_empty(&self) -> bool {

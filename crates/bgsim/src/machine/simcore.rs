@@ -134,7 +134,13 @@ pub struct SimCore {
 
 impl SimCore {
     pub fn new(cfg: MachineConfig) -> SimCore {
-        cfg.validate().expect("invalid machine config");
+        // Invariant assert: front ends (CLI flag parsing, bgcheck's
+        // script loader) validate user-supplied configs before machine
+        // construction, so a failure here is a caller bug — surface the
+        // validator's reason rather than a bare panic.
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine config: {e}");
+        }
         let cores = cfg.total_cores() as usize;
         let hub = RngHub::new(cfg.seed);
         let jitter = (0..cfg.nodes as u64)

@@ -97,7 +97,9 @@ impl PhysMem {
 
     pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
         let b = self.read(addr, 8)?;
-        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {

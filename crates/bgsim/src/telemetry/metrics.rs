@@ -95,7 +95,9 @@ impl Hist {
     }
 
     pub fn record(&mut self, v: u64) {
-        self.count += 1;
+        // Saturating throughout: a pathological run (or a fuzzer) must
+        // clip telemetry at u64::MAX, never wrap or abort the run.
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         if v < self.lo {
             self.lo = v;
@@ -103,7 +105,8 @@ impl Hist {
         if v > self.hi {
             self.hi = v;
         }
-        self.buckets[Self::bucket_of(v)] += 1;
+        let b = &mut self.buckets[Self::bucket_of(v)];
+        *b = b.saturating_add(1);
     }
 
     pub fn count(&self) -> u64 {
@@ -271,7 +274,9 @@ impl MetricsRegistry {
                 Slot::Core(c) => c as usize,
             },
         };
-        m.vals[i] += v;
+        // Counters saturate rather than wrap: a wrapped counter reads
+        // as a tiny value and silently breaks downstream sanity checks.
+        m.vals[i] = m.vals[i].saturating_add(v);
     }
 
     /// Set a gauge to an absolute value.
@@ -368,6 +373,21 @@ mod tests {
         assert_eq!(Hist::bucket_of(u64::MAX), 63);
         // Empty hist reports min 0, not u64::MAX.
         assert_eq!(Hist::default().min(), 0);
+    }
+
+    #[test]
+    fn counters_and_hists_saturate_instead_of_wrapping() {
+        let mut r = MetricsRegistry::new(1, 1);
+        let c = r.counter("sat", Scope::Machine);
+        r.add(c, Slot::Machine, u64::MAX - 1);
+        r.add(c, Slot::Machine, 5);
+        assert_eq!(r.value("sat", Slot::Machine), Some(u64::MAX));
+        let mut h = Hist::default();
+        h.count = u64::MAX;
+        h.buckets[0] = u64::MAX;
+        h.record(0);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.nonzero_buckets().next(), Some((0, u64::MAX)));
     }
 
     #[test]

@@ -281,7 +281,18 @@ mod tests {
         // unbatched packet-by-packet walk for any size and distance —
         // the equivalence that lets the engine skip per-packet events.
         let t = t(64);
-        for bytes in [0u64, 1, 239, 240, 241, 480, 481, 4096, 65_536, (1 << 20) + 17] {
+        for bytes in [
+            0u64,
+            1,
+            239,
+            240,
+            241,
+            480,
+            481,
+            4096,
+            65_536,
+            (1 << 20) + 17,
+        ] {
             for hops in [0u32, 1, 3, 6] {
                 assert_eq!(
                     t.transfer_cycles(bytes, hops),

@@ -98,6 +98,19 @@ impl Ciod {
         self.proxies.len()
     }
 
+    /// Invariant sweep for differential checkers (`bgcheck`): every
+    /// proxy's descriptor table must be consistent with `vfs`.
+    /// Read-only; one string per violation.
+    pub fn check_invariants(&self, vfs: &Vfs) -> Vec<String> {
+        let mut v = Vec::new();
+        for p in self.proxies.values() {
+            for msg in p.check_fds(vfs) {
+                v.push(format!("ciod on ION {}: {msg}", self.ion));
+            }
+        }
+        v
+    }
+
     /// Service a marshaled request for `proc`: decode → execute in the
     /// proxy → encode the reply. Returns the reply bytes.
     ///

@@ -62,6 +62,33 @@ impl IoProxy {
         }
     }
 
+    /// Descriptor-table consistency sweep (bgcheck invariant hook):
+    /// every open fd must point at an allocated inode and std fds must
+    /// exist. Read-only; one string per violation.
+    pub fn check_fds(&self, vfs: &Vfs) -> Vec<String> {
+        let mut v = Vec::new();
+        for (fd, of) in &self.fds {
+            if of.ino.0 as usize >= vfs.inode_count() {
+                v.push(format!(
+                    "proc {}: fd {fd} points at unallocated inode {}",
+                    self.proc, of.ino.0
+                ));
+            }
+        }
+        for fd in 0..3 {
+            if !self.fds.contains_key(&fd) {
+                v.push(format!("proc {}: std fd {fd} missing", self.proc));
+            }
+        }
+        if self.cwd.0 as usize >= vfs.inode_count() {
+            v.push(format!(
+                "proc {}: cwd inode {} unallocated",
+                self.proc, self.cwd.0
+            ));
+        }
+        v
+    }
+
     /// Current working directory path (for getcwd).
     fn cwd_path(&self, vfs: &Vfs) -> String {
         vfs.path_of(self.cwd).unwrap_or_else(|| "/".to_string())

@@ -36,6 +36,18 @@ impl FutexTable {
         FutexTable::default()
     }
 
+    /// Every parked tid across all queues, in queue order (invariant
+    /// cross-checks: each must correspond to a futex-blocked thread).
+    pub fn waiter_tids(&self) -> Vec<Tid> {
+        let mut tids: Vec<Tid> = self
+            .queues
+            .values()
+            .flat_map(|q| q.iter().map(|w| w.tid))
+            .collect();
+        tids.sort_unstable_by_key(|t| t.0);
+        tids
+    }
+
     /// Park `tid` on `key` with a wake mask.
     pub fn wait(&mut self, key: u64, tid: Tid, bitset: u32) {
         self.queues

@@ -7,6 +7,8 @@ use std::collections::HashMap;
 use rand::rngs::SmallRng;
 
 use bgsim::chip;
+use bgsim::engine::EvHandle;
+use bgsim::fault::{FaultEvent, FaultKind};
 use bgsim::machine::{
     BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
     SimCore, SyscallAction, Workload, WorkloadFactory, IPI_GUARD_REPOSITION,
@@ -15,8 +17,6 @@ use bgsim::noise::NoiseSource;
 use bgsim::op::{CloneArgs, Op};
 use bgsim::telemetry::{Slot, TpKind};
 use bgsim::tlb::TlbEntry;
-use bgsim::engine::EvHandle;
-use bgsim::fault::{FaultEvent, FaultKind};
 use ciod::{service_cycles, Ciod, RetryPolicy, Vfs};
 use sysabi::{
     CloneFlags, CoreId, Errno, FutexOp, JobSpec, MapFlags, NodeId, ProcId, Prot, Rank, Sig,
@@ -727,7 +727,9 @@ impl Kernel for Cnk {
         // unpin TLBs, detach proxies.
         let old: Vec<ProcId> = self.procs.keys().copied().collect();
         for proc in old {
-            let p = self.procs.remove(&proc).unwrap();
+            let Some(p) = self.procs.remove(&proc) else {
+                continue;
+            };
             for r in &p.aspace.map.regions {
                 let _ = sc.dram[p.node.idx()].clear_range(r.paddr, r.bytes);
             }
@@ -782,7 +784,10 @@ impl Kernel for Cnk {
             let root = self.vfs.root();
             let lib = match self.vfs.resolve(root, "/lib") {
                 Ok(i) => i,
-                Err(_) => self.vfs.mkdir_at(root, "lib", 0o755, 0, 0).unwrap(),
+                Err(_) => self
+                    .vfs
+                    .mkdir_at(root, "lib", 0o755, 0, 0)
+                    .map_err(|e| LaunchError::BadSpec(format!("ION /lib create failed: {e:?}")))?,
             };
             for l in &img.dynlibs {
                 if self.vfs.resolve(lib, &l.name).is_err() {
@@ -1035,7 +1040,9 @@ impl Kernel for Cnk {
                             return Self::done(SysRet::Val(r.vaddr as i64), SYSCALL_BASE + 300);
                         }
                         p.aspace.attach_persist(region.clone());
-                        let p_immutable = self.procs.get(&proc_id).unwrap();
+                        let Some(p_immutable) = self.procs.get(&proc_id) else {
+                            return Self::err(Errno::ESRCH, SYSCALL_BASE + 300);
+                        };
                         if let Err(e) = self.pin_region(sc, p_immutable, &region) {
                             return Self::err(e, SYSCALL_BASE + 300);
                         }
@@ -1120,7 +1127,10 @@ impl Kernel for Cnk {
             Err(_) => return (SysRet::Err(Errno::EPERM), SYSCALL_BASE),
         }
         let tid = sc.create_thread(proc_id, node, core, child);
-        let p = self.procs.get_mut(&proc_id).unwrap();
+        let p = self
+            .procs
+            .get_mut(&proc_id)
+            .expect("invariant: spawn caller's process exists (it issued the clone)");
         p.live_threads += 1;
         if args.flags.contains(CloneFlags::CHILD_CLEARTID) {
             p.clear_tid_addr.insert(tid, args.child_tid_addr);
@@ -1358,7 +1368,8 @@ impl Kernel for Cnk {
                 // noise, visible in `fault.guard`.
                 for local in 0..sc.cores_per_node() {
                     let core = sc.core_of(node, local);
-                    sc.tel.count(sc.tel.ids.guard_faults, Slot::Core(core.0), ev.arg);
+                    sc.tel
+                        .count(sc.tel.ids.guard_faults, Slot::Core(core.0), ev.arg);
                     sc.tel.tp(
                         sc.now(),
                         node.0,
@@ -1375,6 +1386,142 @@ impl Kernel for Cnk {
             // checks arrive separately through `on_fault`.
             _ => {}
         }
+    }
+
+    fn check_invariants(&self, sc: &SimCore) -> Vec<String> {
+        use bgsim::machine::ThreadState;
+        let mut v = Vec::new();
+
+        // Futex wake accounting: the per-node tables and the thread
+        // states must agree exactly — every parked waiter is a
+        // futex-blocked thread on that node, each parked once, and
+        // every futex-blocked thread is parked somewhere.
+        let mut parked: HashMap<Tid, usize> = HashMap::new();
+        for (node_idx, table) in self.futexes.iter().enumerate() {
+            for tid in table.waiter_tids() {
+                *parked.entry(tid).or_insert(0) += 1;
+                match sc.threads.get(tid.idx()) {
+                    None => v.push(format!(
+                        "futex table node {node_idx}: waiter tid {} does not exist",
+                        tid.0
+                    )),
+                    Some(t) => {
+                        if t.node.idx() != node_idx {
+                            v.push(format!(
+                                "futex table node {node_idx}: waiter tid {} lives on node {}",
+                                tid.0, t.node.0
+                            ));
+                        }
+                        if t.state != ThreadState::Blocked(BlockKind::Futex) {
+                            v.push(format!(
+                                "futex waiter tid {} is not futex-blocked (state {:?})",
+                                tid.0, t.state
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (tid, n) in &parked {
+            if *n > 1 {
+                v.push(format!("tid {} parked on {n} futex queues", tid.0));
+            }
+        }
+        for t in &sc.threads {
+            if t.state == ThreadState::Blocked(BlockKind::Futex) && !parked.contains_key(&t.tid) {
+                v.push(format!(
+                    "tid {} is futex-blocked but parked in no futex table",
+                    t.tid.0
+                ));
+            }
+        }
+
+        // No lost CIOD replies: every pending function-ship request must
+        // still have its issuer waiting on it (a fatal machine check
+        // tears the job down with requests legitimately in flight).
+        let fatal = self.ras_log.iter().any(|r| r.code == "machine-check");
+        for (id, req) in &self.pending_io {
+            let (PendingIo::Plain { tid } | PendingIo::MmapFill { tid, .. }) = req.io;
+            match sc.threads.get(tid.idx()) {
+                None => v.push(format!(
+                    "pending io #{id}: issuer tid {} does not exist",
+                    tid.0
+                )),
+                Some(t) if t.state.is_live() && t.state != ThreadState::Blocked(BlockKind::Io) => {
+                    v.push(format!(
+                        "pending io #{id}: issuer tid {} is live but not io-blocked ({:?})",
+                        tid.0, t.state
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        if sc.live_threads() == 0 && !fatal && !self.pending_io.is_empty() {
+            v.push(format!(
+                "job finished cleanly with {} CIOD request(s) still pending (lost replies)",
+                self.pending_io.len()
+            ));
+        }
+
+        // Memory-partition conservation: within each process the static
+        // map plus attached persistent regions must tile without
+        // overlap, virtually and (for the map) physically.
+        for (pid, p) in &self.procs {
+            let mut vspans: Vec<(u64, u64, &'static str)> = Vec::new();
+            for r in &p.aspace.map.regions {
+                if r.bytes == 0 {
+                    v.push(format!("proc {}: zero-byte map region {:?}", pid.0, r.kind));
+                    continue;
+                }
+                vspans.push((r.vaddr, r.vend(), "map"));
+            }
+            for r in &p.aspace.persist {
+                vspans.push((r.vaddr, r.vend(), "persist"));
+            }
+            vspans.sort_unstable();
+            for w in vspans.windows(2) {
+                if w[1].0 < w[0].1 {
+                    v.push(format!(
+                        "proc {}: {} region [{:#x},{:#x}) overlaps {} region [{:#x},{:#x})",
+                        pid.0, w[0].2, w[0].0, w[0].1, w[1].2, w[1].0, w[1].1
+                    ));
+                }
+            }
+            let mut pspans: Vec<(u64, u64)> = p
+                .aspace
+                .map
+                .regions
+                .iter()
+                .filter(|r| r.bytes > 0)
+                .map(|r| (r.paddr, r.paddr + r.bytes))
+                .collect();
+            pspans.sort_unstable();
+            for w in pspans.windows(2) {
+                if w[1].0 < w[0].1 {
+                    v.push(format!(
+                        "proc {}: physical spans [{:#x},{:#x}) and [{:#x},{:#x}) overlap",
+                        pid.0, w[0].0, w[0].1, w[1].0, w[1].1
+                    ));
+                }
+            }
+            let live = sc
+                .threads
+                .iter()
+                .filter(|t| t.proc == *pid && t.state.is_live())
+                .count() as u32;
+            if live != p.live_threads {
+                v.push(format!(
+                    "proc {}: live_threads={} but {} live thread(s) in the machine",
+                    pid.0, p.live_threads, live
+                ));
+            }
+        }
+
+        // Function-ship plumbing on the I/O nodes.
+        for c in &self.ciods {
+            v.extend(c.check_invariants(&self.vfs));
+        }
+        v
     }
 
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64> {

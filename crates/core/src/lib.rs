@@ -26,6 +26,13 @@
 //!
 //! The entry point is [`Cnk`], a `bgsim::Kernel` implementation.
 
+// The kernel model must be panic-free on untrusted input (syscall
+// arguments and job specs come from generated programs); tests may
+// still unwrap. Invariants that genuinely cannot fail use documented
+// `expect`/`assert` messages. CI enforces this with a clippy run.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod boot;
 pub mod features;
 pub mod futex;

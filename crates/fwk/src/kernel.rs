@@ -223,7 +223,7 @@ impl Fwk {
             .ts_pending
             .keys()
             .copied()
-            .filter(|c| self.ready.get(c).map_or(true, |q| q.is_empty()))
+            .filter(|c| self.ready.get(c).is_none_or(|q| q.is_empty()))
             .collect();
         for c in drained {
             self.cancel_timeslice(sc, c);
@@ -309,9 +309,7 @@ impl Kernel for Fwk {
         // A fault-injected machine boots with the RAS logging daemons
         // loaded too (guarded so a re-boot does not append twice).
         if !sc.cfg.faults.is_empty() && !self.cfg.noise.iter().any(|s| s.name == "mcelogd") {
-            self.cfg
-                .noise
-                .extend(crate::noise::ras_recovery_daemons());
+            self.cfg.noise.extend(crate::noise::ras_recovery_daemons());
         }
         // Arm the noise machinery (§V.A: the daemons that "cannot be
         // suspended").
@@ -915,6 +913,101 @@ impl Kernel for Fwk {
         for proc in victims {
             sc.defer_kill(proc, 128 + Sig::Bus as i32);
         }
+    }
+
+    fn check_invariants(&self, sc: &SimCore) -> Vec<String> {
+        use bgsim::machine::ThreadState;
+        let mut v = Vec::new();
+
+        // Ready-queue accounting: every queued tid names an existing,
+        // runnable (Ready or never-dispatched Idle) thread, and no tid
+        // sits in two queues at once.
+        let mut queued: HashMap<Tid, usize> = HashMap::new();
+        for (core, q) in &self.ready {
+            for tid in q {
+                *queued.entry(*tid).or_insert(0) += 1;
+                match sc.threads.get(tid.idx()) {
+                    None => v.push(format!(
+                        "ready queue core {core}: tid {} does not exist",
+                        tid.0
+                    )),
+                    Some(t) if !matches!(t.state, ThreadState::Ready | ThreadState::Idle) => v
+                        .push(format!(
+                            "ready queue core {core}: tid {} is not runnable ({:?})",
+                            tid.0, t.state
+                        )),
+                    Some(_) => {}
+                }
+            }
+        }
+        for (tid, n) in &queued {
+            if *n > 1 {
+                v.push(format!("tid {} enqueued on {n} ready queues", tid.0));
+            }
+        }
+
+        // Futex wake accounting (same contract as CNK: table ⇔ thread
+        // states agree exactly).
+        let mut parked: HashMap<Tid, usize> = HashMap::new();
+        for (node_idx, table) in self.futexes.iter().enumerate() {
+            for tid in table.waiter_tids() {
+                *parked.entry(tid).or_insert(0) += 1;
+                match sc.threads.get(tid.idx()) {
+                    None => v.push(format!(
+                        "futex table node {node_idx}: waiter tid {} does not exist",
+                        tid.0
+                    )),
+                    Some(t) => {
+                        if t.node.idx() != node_idx {
+                            v.push(format!(
+                                "futex table node {node_idx}: waiter tid {} lives on node {}",
+                                tid.0, t.node.0
+                            ));
+                        }
+                        if t.state != ThreadState::Blocked(BlockKind::Futex) {
+                            v.push(format!(
+                                "futex waiter tid {} is not futex-blocked (state {:?})",
+                                tid.0, t.state
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (tid, n) in &parked {
+            if *n > 1 {
+                v.push(format!("tid {} parked on {n} futex queues", tid.0));
+            }
+        }
+        for t in &sc.threads {
+            if t.state == ThreadState::Blocked(BlockKind::Futex) && !parked.contains_key(&t.tid) {
+                v.push(format!(
+                    "tid {} is futex-blocked but parked in no futex table",
+                    t.tid.0
+                ));
+            }
+        }
+
+        // Per-process thread accounting and local-I/O proxy state.
+        for (pid, p) in &self.procs {
+            let live = sc
+                .threads
+                .iter()
+                .filter(|t| t.proc == *pid && t.state.is_live())
+                .count() as u32;
+            if live != p.live_threads {
+                v.push(format!(
+                    "proc {}: live_threads={} but {} live thread(s) in the machine",
+                    pid.0, p.live_threads, live
+                ));
+            }
+        }
+        for p in self.proxies.values() {
+            for msg in p.check_fds(&self.vfs) {
+                v.push(format!("fwk ioproxy: {msg}"));
+            }
+        }
+        v
     }
 
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64> {

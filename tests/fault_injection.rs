@@ -34,7 +34,10 @@ fn recorded_digest(file: &str, key: &str) -> String {
 /// (BENCH_baseline.json), on both kernels.
 #[test]
 fn empty_schedule_reproduces_recorded_bench_digests() {
-    for (file, fast) in [("BENCH_fastpath.json", true), ("BENCH_baseline.json", false)] {
+    for (file, fast) in [
+        ("BENCH_fastpath.json", true),
+        ("BENCH_baseline.json", false),
+    ] {
         for bytes in [512u64, 8192] {
             for (kind, key) in [(KernelKind::Cnk, "cnk"), (KernelKind::Fwk, "linux_caps")] {
                 let run =
@@ -50,7 +53,11 @@ fn empty_schedule_reproduces_recorded_bench_digests() {
     }
 }
 
-fn checkpoint_run(kernel: Box<dyn bgsim::Kernel>, script: &str, phases: u32) -> (Machine, Recorder) {
+fn checkpoint_run(
+    kernel: Box<dyn bgsim::Kernel>,
+    script: &str,
+    phases: u32,
+) -> (Machine, Recorder) {
     let faults = FaultSchedule::parse(script).expect("fault script");
     let mut m = Machine::new(
         MachineConfig::nodes(1)

@@ -79,7 +79,9 @@ fn fwk_timeslice_rearm_leaves_no_stale_events() {
     // count-and-discard backstop must never fire: preemptions happen,
     // stale expiries do not.
     let mut m = Machine::new(
-        MachineConfig::single_node().with_seed(0x5C).with_telemetry(),
+        MachineConfig::single_node()
+            .with_seed(0x5C)
+            .with_telemetry(),
         Box::new(Fwk::with_defaults()),
         Box::new(Dcmf::with_defaults()),
     );
@@ -122,16 +124,14 @@ fn fwk_timeslice_rearm_leaves_no_stale_events() {
     .unwrap();
     let out = m.run();
     assert!(out.completed(), "{out:?}");
-    let preempts = m
-        .sc
-        .tel
-        .metrics
-        .value("sched.preempts", bgsim::telemetry::Slot::Core(1))
-        .unwrap_or(0);
+    let preempts =
+        m.sc.tel
+            .metrics
+            .value("sched.preempts", bgsim::telemetry::Slot::Core(1))
+            .unwrap_or(0);
     assert!(preempts > 0, "no timeslice preemptions on the shared core");
     assert_eq!(
-        m.sc
-            .tel
+        m.sc.tel
             .metrics
             .value("sched.stale_timeslice", bgsim::telemetry::Slot::Node(0)),
         Some(0),
