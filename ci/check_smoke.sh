@@ -18,8 +18,17 @@ bin=./target/release/bgcheck
 [ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
 
 # 1) The checker checks itself: a checker that stopped detecting
-#    divergence would pass everything silently.
-"$bin" selftest
+#    divergence would pass everything silently. --out saves one
+#    annotated .bgck repro + flight-recorder dump per detected canary;
+#    a canary failure without both artifacts is a checker regression.
+"$bin" selftest --out "$out/selftest"
+for name in seedskew extrafault droptailop digestxor cycleskew; do
+  [ -s "$out/selftest/canary-$name.bgck" ] \
+    || { echo "FAIL: selftest wrote no canary-$name.bgck repro" >&2; exit 1; }
+  [ -s "$out/selftest/canary-$name.flight.txt" ] \
+    || { echo "FAIL: canary-$name detected without a flight-recorder dump" >&2; exit 1; }
+done
+echo "check smoke OK: 5 canary repros each carry a flight-recorder dump"
 
 # 2) Digest-pinned regression corpus: every script must replay to the
 #    exact (digest, final cycle) recorded when it was minted.

@@ -16,11 +16,35 @@ mkdir -p "$out"
 
 bin=./target/release/fig8_throughput
 fwq=./target/release/fig5_7_fwq
+bgtop=./target/release/bgtop
 [ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
 [ -x "$fwq" ] || { echo "error: $fwq not built (cargo build --release first)" >&2; exit 1; }
+[ -x "$bgtop" ] || { echo "error: $bgtop not built (cargo build --release first)" >&2; exit 1; }
 
 "$bin" --threads 1 --force --stats-out "$out/fig8_t1.json"
-"$bin" --threads 4 --force --stats-out "$out/fig8_t4.json"
+"$bin" --threads 4 --force --stats-out "$out/fig8_t4.json" \
+  --monitor-out "$out/fig8_mon.jsonl"
+
+# Schema gate: every stats report must carry schema_version 2, at least
+# one digest.* string, and host.* perf scalars — a report missing them
+# is not comparable and must be rejected, not silently diffed as empty.
+validate_schema() {
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+r = json.load(open(path))
+v = r.get("schema_version")
+assert v == 2, f"{path}: schema_version {v!r}, expected 2"
+assert any(k.startswith("digest.") for k in r.get("strings", {})), \
+    f"{path}: no digest.* keys in strings"
+assert any(k.startswith("host.") for k in r.get("scalars", {})), \
+    f"{path}: no host.* keys in scalars"
+assert any(k.startswith("profile.") for k in r.get("scalars", {})), \
+    f"{path}: no profile.* keys in scalars"
+EOF
+}
+validate_schema "$out/fig8_t1.json"
+validate_schema "$out/fig8_t4.json"
 
 # Compare every determinism-bearing field: the per-shard and combined
 # digests (strings section) and the final-cycle scalars. Host-perf
@@ -38,6 +62,19 @@ for k in sorted(r.get("scalars", {})):
 EOF
 }
 
+# Sim-side profile counters (profile.*) must also be bit-identical
+# across host thread counts — the cycle-accounting profiler observes the
+# deterministic simulation, never the host schedule.
+extract_profile() {
+  python3 - "$1" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in sorted(r.get("scalars", {})):
+    if k.startswith("profile."):
+        print(k, r["scalars"][k])
+EOF
+}
+
 extract "$out/fig8_t1.json" > "$out/t1.keys"
 extract "$out/fig8_t4.json" > "$out/t4.keys"
 
@@ -49,11 +86,30 @@ fi
 
 echo "perf smoke OK: $(grep -c '^digest\.' "$out/t1.keys") digests identical across --threads 1/4"
 
+extract_profile "$out/fig8_t1.json" > "$out/t1.profile"
+extract_profile "$out/fig8_t4.json" > "$out/t4.profile"
+if ! diff -u "$out/t1.profile" "$out/t4.profile"; then
+  echo "FAIL: profile counters diverged across --threads 1/4" >&2
+  exit 1
+fi
+[ -s "$out/t1.profile" ] || { echo "FAIL: no profile.* counters extracted" >&2; exit 1; }
+echo "perf smoke OK: $(wc -l < "$out/t1.profile") profile counters identical across --threads 1/4"
+
+# Live-monitor demo: the --threads 4 run streamed JSONL snapshots;
+# bgtop must parse the file and render the final table.
+[ -s "$out/fig8_mon.jsonl" ] || { echo "FAIL: fig8 wrote no monitor snapshots" >&2; exit 1; }
+"$bgtop" "$out/fig8_mon.jsonl" --once | tee "$out/bgtop.txt"
+grep -q "bgtop — fig8_throughput" "$out/bgtop.txt" \
+  || { echo "FAIL: bgtop rendered no header" >&2; exit 1; }
+echo "perf smoke OK: bgtop rendered $(wc -l < "$out/fig8_mon.jsonl") monitor snapshot(s)"
+
 # Fast path conformance + throughput: same figure, event reduction on
 # (default) and off. Digests and final cycles must match exactly;
 # host.<kernel>.sim_cycles_per_sec shows what the fast path buys.
 "$fwq" --threads 1 --force --stats-out "$out/fwq_fast.json"
 "$fwq" --threads 1 --no-fast-path --force --stats-out "$out/fwq_heap.json"
+validate_schema "$out/fwq_fast.json"
+validate_schema "$out/fwq_heap.json"
 
 extract "$out/fwq_fast.json" > "$out/fast.keys"
 extract "$out/fwq_heap.json" > "$out/heap.keys"
@@ -111,6 +167,8 @@ ion=./target/release/io_noise
 
 "$ion" 800 --force --stats-out "$out/io_clean.json" >/dev/null
 "$ion" 800 --fault-seed 13 --force --stats-out "$out/io_fault.json" >/dev/null
+validate_schema "$out/io_clean.json"
+validate_schema "$out/io_fault.json"
 
 python3 - "$out/io_fault.json" "$out/io_clean.json" <<'EOF'
 import json, sys

@@ -1,0 +1,109 @@
+//! `bgtop` — live state monitor for running benchmarks.
+//!
+//! Usage: `bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>]`
+//!
+//! Attach a benchmark with `--monitor-out <path>`; it appends one JSON
+//! line per finished work unit (shard, kernel, message size). `bgtop`
+//! tails that file and renders the most recent snapshot as a
+//! per-subsystem cycle-accounting table plus the hottest nodes. With
+//! `--once` it renders a single frame and exits (the CI demo mode);
+//! otherwise it polls until the snapshot reports all units done.
+//!
+//! A torn final line (the benchmark mid-append) is skipped in favor of
+//! the last complete one — the parser returns errors instead of
+//! panicking.
+
+use bench::monitor::{parse_json, render_snapshot, Json};
+
+struct Args {
+    path: std::path::PathBuf,
+    once: bool,
+    interval_ms: u64,
+    top_nodes: usize,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut path = None;
+    let mut once = false;
+    let mut interval_ms = 500u64;
+    let mut top_nodes = 8usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                interval_ms = v;
+            }
+            "--nodes" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                top_nodes = v;
+            }
+            _ if a.starts_with("--") => usage(),
+            _ => {
+                if path.replace(std::path::PathBuf::from(a)).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(path) = path else { usage() };
+    Args {
+        path,
+        once,
+        interval_ms,
+        top_nodes,
+    }
+}
+
+/// The last complete (parseable) snapshot line in the file, if any.
+fn last_snapshot(text: &str) -> Option<Json> {
+    text.lines().rev().find_map(|l| parse_json(l.trim()).ok())
+}
+
+fn main() {
+    let args = parse_args();
+    let mut last_seq = -1.0f64;
+    let mut waited_ms = 0u64;
+    loop {
+        let text = std::fs::read_to_string(&args.path).unwrap_or_default();
+        match last_snapshot(&text) {
+            Some(snap) => {
+                let seq = snap.path_num(&["seq"]).unwrap_or(0.0);
+                if seq != last_seq {
+                    last_seq = seq;
+                    print!("{}", render_snapshot(&snap, args.top_nodes));
+                    println!();
+                }
+                let done = snap.path_num(&["done"]).unwrap_or(0.0);
+                let total = snap.path_num(&["total"]).unwrap_or(f64::INFINITY);
+                if args.once || (total.is_finite() && done >= total) {
+                    return;
+                }
+            }
+            None if args.once => {
+                eprintln!("bgtop: no complete snapshot in {}", args.path.display());
+                std::process::exit(1);
+            }
+            None => {
+                // File absent or still empty: keep waiting, but give up
+                // after 30 s so a typo'd path cannot hang forever.
+                waited_ms += args.interval_ms;
+                if waited_ms > 30_000 {
+                    eprintln!("bgtop: no snapshot appeared in {}", args.path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms.max(50)));
+    }
+}

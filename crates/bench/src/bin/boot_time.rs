@@ -78,5 +78,8 @@ fn main() {
         report.scalar(&format!("{key}.instructions"), r.instructions as f64);
         report.scalar(&format!("{key}.vhdl_seconds"), r.vhdl_sim_seconds(HZ));
     }
+    // Boot reports are closed-form (no simulation runs); `--trace-out`
+    // still writes a valid empty trace for flag uniformity.
+    bench::report::emit_traces_or_exit(&cli, &[("", bgsim::telemetry::chrome_trace_json(&[]))]);
     report.emit_or_exit(&cli);
 }

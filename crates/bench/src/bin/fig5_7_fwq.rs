@@ -20,10 +20,11 @@
 
 use bench::cli::Cli;
 use bench::harness::{run_fwq_faulted, KernelKind};
+use bench::monitor::Monitor;
 use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
-use bgsim::telemetry::{MetricsRegistry, Slot, Tracepoint};
+use bgsim::telemetry::{MetricsRegistry, ProfileSnapshot, Slot, Tracepoint};
 
 /// The `Send` slice of one kernel's FWQ run (the raw [`bench::harness::FwqRun`]
 /// holds an `Rc`-based recorder and cannot cross the shard pool).
@@ -35,6 +36,7 @@ struct KernelShard {
     final_cycle: u64,
     sim_events: u64,
     wall_seconds: f64,
+    profile: ProfileSnapshot,
 }
 
 fn main() {
@@ -68,6 +70,7 @@ fn main() {
                         final_cycle: run.final_cycle,
                         sim_events: run.sim_events,
                         wall_seconds: run.wall_seconds,
+                        profile: run.profile,
                     }
                 }
             })
@@ -77,10 +80,13 @@ fn main() {
 
     let mut report = Report::new("fig5_7_fwq");
     report.scalar("config.fast_path", if fast { 1.0 } else { 0.0 });
+    let mut monitor = Monitor::from_cli_or_exit(&cli, "fig5_7_fwq");
+    let mut merged_profile = ProfileSnapshot::default();
+    let mut trace_parts: Vec<(&str, String)> = Vec::new();
     let mut rows = Vec::new();
     let mut cnk_all: Vec<f64> = Vec::new();
     let (mut total_cycles, mut total_events) = (0u64, 0u64);
-    for (&kind, shard) in KINDS.iter().zip(shards) {
+    for (ki, (&kind, shard)) in KINDS.iter().zip(shards).enumerate() {
         total_cycles += shard.final_cycle;
         total_events += shard.sim_events;
         let key = match kind {
@@ -113,27 +119,12 @@ fn main() {
                 format!("{:.4}%", variation * 100.0),
             ]);
         }
-        if let Some(path) = &cli.trace_out {
-            // One Perfetto/Chrome trace per kernel; suffix the filename.
-            let mut p = path.clone();
-            let stem = p
-                .file_stem()
-                .unwrap_or_default()
-                .to_string_lossy()
-                .into_owned();
-            let ext = p.extension().map(|e| e.to_string_lossy().into_owned());
-            p.set_file_name(match ext {
-                Some(e) => format!("{stem}.{key}.{e}"),
-                None => format!("{stem}.{key}"),
-            });
-            let write = bench::report::guard_overwrite(&p, cli.force).and_then(|()| {
-                std::fs::write(&p, bgsim::telemetry::chrome_trace_json(&shard.events))
-            });
-            if let Err(e) = write {
-                eprintln!("error: writing trace to {}: {e}", p.display());
-                std::process::exit(1);
-            }
-            eprintln!("trace written to {}", p.display());
+        // One Perfetto/Chrome trace per kernel; the shared helper
+        // suffixes the filename (`trace.cnk.json`, `trace.linux.json`).
+        trace_parts.push((key, bgsim::telemetry::chrome_trace_json(&shard.events)));
+        merged_profile.merge(&shard.profile);
+        if let Some(mon) = monitor.as_mut() {
+            mon.publish(ki + 1, KINDS.len(), &merged_profile);
         }
         // The determinism and host-throughput evidence, per kernel: the
         // digest must be bit-identical with and without `--no-fast-path`,
@@ -185,6 +176,8 @@ fn main() {
         };
         println!("  +{label:<14} {h:>7} samples");
     }
+    report.profile(&merged_profile);
     report.host_perf(cli.threads, total_wall, total_cycles, total_events);
+    bench::report::emit_traces_or_exit(&cli, &trace_parts);
     report.emit_or_exit(&cli);
 }

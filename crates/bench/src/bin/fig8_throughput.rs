@@ -13,13 +13,16 @@
 //! cycles — the report carries per-shard digests plus a combined
 //! digest so CI can diff the two modes.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use bench::cli::Cli;
 use bench::harness::{nn_throughput_run_faulted, KernelKind, SimRun};
+use bench::monitor::Monitor;
 use bench::par::run_shards;
 use bench::report::Report;
 use bench::table::render;
+use bgsim::telemetry::ProfileSnapshot;
 
 fn main() {
     let cli = Cli::parse();
@@ -38,11 +41,31 @@ fn main() {
         shards.push((bytes, KernelKind::Cnk));
         shards.push((bytes, KernelKind::Fwk));
     }
+    // Live monitor: each finished shard merges its profile into the
+    // accumulator and appends a snapshot line. Publish order follows
+    // host completion (advisory only); the *final* line merges every
+    // shard and merge is commutative, so its content is deterministic.
+    let monitor: Option<Mutex<(Monitor, ProfileSnapshot, usize)>> =
+        Monitor::from_cli_or_exit(&cli, "fig8_throughput")
+            .map(|m| Mutex::new((m, ProfileSnapshot::default(), 0)));
+    let total_shards = shards.len();
     let jobs: Vec<_> = shards
         .iter()
         .map(|&(bytes, kind)| {
             let faults = faults.clone();
-            move || nn_throughput_run_faulted(kind, nodes, bytes, 8, windowed, fast, &faults)
+            let monitor = &monitor;
+            move || {
+                let run = nn_throughput_run_faulted(kind, nodes, bytes, 8, windowed, fast, &faults);
+                if let Some(mon) = monitor {
+                    let mut g = mon.lock().expect("monitor lock");
+                    let (m, acc, done) = &mut *g;
+                    acc.merge(&run.profile);
+                    *done += 1;
+                    let (done, acc) = (*done, acc.clone());
+                    m.publish(done, total_shards, &acc);
+                }
+                run
+            }
         })
         .collect();
     let t0 = Instant::now();
@@ -83,11 +106,34 @@ fn main() {
             "#".repeat(bar_len.min(60)),
         ]);
     }
+    let mut merged_profile = ProfileSnapshot::default();
     for r in &results {
         all_digest ^= r.digest;
         all_digest = all_digest.wrapping_mul(0x0000_0100_0000_01b3);
         total_events += r.events;
         total_cycles += r.final_cycle;
+        merged_profile.merge(&r.profile);
+    }
+    // Perfetto/Chrome traces, one per (kernel, size) shard.
+    if cli.trace_out.is_some() {
+        let suffixes: Vec<String> = shards
+            .iter()
+            .map(|&(bytes, kind)| {
+                format!(
+                    "{}.{bytes}",
+                    match kind {
+                        KernelKind::Cnk => "cnk",
+                        _ => "linux_caps",
+                    }
+                )
+            })
+            .collect();
+        let parts: Vec<(&str, String)> = suffixes
+            .iter()
+            .zip(&results)
+            .map(|(s, r)| (s.as_str(), bgsim::telemetry::chrome_trace_json(&r.tps)))
+            .collect();
+        bench::report::emit_traces_or_exit(&cli, &parts);
     }
     println!(
         "{}",
@@ -115,6 +161,7 @@ fn main() {
     );
     report.scalar("peak_mbs", peak);
     report.string("digest.all", &format!("{all_digest:016x}"));
+    report.profile(&merged_profile);
     report.host_perf(threads, wall, total_cycles, total_events);
     report.emit_or_exit(&cli);
 }

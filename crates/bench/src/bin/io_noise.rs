@@ -23,12 +23,19 @@ use workloads::fwq::{FwqConfig, FwqSampler};
 use workloads::io_kernel::CheckpointApp;
 use workloads::nptl::PthreadCreate;
 
-fn run(
-    kernel: Box<dyn bgsim::Kernel>,
-    samples: u32,
-    with_io: bool,
-    faults: &FaultSpec,
-) -> (Recorder, MetricsRegistry) {
+/// One (kernel, io-mode) simulation's outputs: the FWQ sample recorder,
+/// the telemetry registry, and the determinism/profile evidence.
+struct IoRun {
+    rec: Recorder,
+    stats: MetricsRegistry,
+    digest: u64,
+    final_cycle: u64,
+    events: u64,
+    profile: bgsim::telemetry::ProfileSnapshot,
+    tps: Vec<bgsim::telemetry::Tracepoint>,
+}
+
+fn run(kernel: Box<dyn bgsim::Kernel>, samples: u32, with_io: bool, faults: &FaultSpec) -> IoRun {
     let mut m = Machine::new(
         faults.apply(
             MachineConfig::single_node()
@@ -87,8 +94,17 @@ fn run(
     .unwrap();
     let out = m.run();
     assert!(out.completed() || faults.is_active(), "{out:?}");
+    let tps = m.sc.tel.events().to_vec();
     let stats = m.sc.tel.take_metrics();
-    (rec, stats)
+    IoRun {
+        rec,
+        stats,
+        digest: m.trace_digest(),
+        final_cycle: out.at(),
+        events: m.sc.engine.processed(),
+        profile: m.profile_snapshot(),
+        tps,
+    }
 }
 
 fn main() {
@@ -97,6 +113,10 @@ fn main() {
     let faults = cli.fault_spec_for(1); // single-node runs
     println!("== §IV.A: concurrent checkpoint I/O vs FWQ noise on cores 1-3 ==\n");
     let mut report = bench::report::Report::new("io_noise");
+    let mut merged_profile = bgsim::telemetry::ProfileSnapshot::default();
+    let mut trace_parts: Vec<(String, String)> = Vec::new();
+    let (mut total_cycles, mut total_events) = (0u64, 0u64);
+    let t0 = std::time::Instant::now();
     let mut rows = Vec::new();
     for (kname, mk) in [
         (
@@ -110,18 +130,21 @@ fn main() {
         ),
     ] {
         for with_io in [false, true] {
-            let (rec, stats) = run(mk(), samples, with_io, &faults);
+            let r = run(mk(), samples, with_io, &faults);
             let mode = if with_io { "checkpointing" } else { "quiet" };
+            let key = format!("{}.{mode}", kname.to_lowercase());
             // Per-run telemetry (RAS/retry counters show up here on a
             // `--fault-seed` run; `ci/perf_smoke.sh` greps for them).
-            report.registry(&format!("{}.{mode}", kname.to_lowercase()), stats);
+            report.registry(&key, r.stats);
+            report.string(&format!("digest.{key}"), &format!("{:016x}", r.digest));
+            merged_profile.merge(&r.profile);
+            total_cycles += r.final_cycle;
+            total_events += r.events;
+            trace_parts.push((key.clone(), bgsim::telemetry::chrome_trace_json(&r.tps)));
             let mut row = vec![kname.to_string(), mode.to_string()];
             for core in 1..4 {
-                let s = Summary::of(&rec.series(&format!("fwq_core{core}")));
-                report.scalar(
-                    &format!("{}.{mode}.core{core}.max_delta", kname.to_lowercase()),
-                    s.max - s.min,
-                );
+                let s = Summary::of(&r.rec.series(&format!("fwq_core{core}")));
+                report.scalar(&format!("{key}.core{core}.max_delta"), s.max - s.min);
                 row.push(format!("{:.0}", s.max - s.min));
             }
             rows.push(row);
@@ -168,5 +191,12 @@ fn main() {
             &rows
         )
     );
+    let parts: Vec<(&str, String)> = trace_parts
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    bench::report::emit_traces_or_exit(&cli, &parts);
+    report.profile(&merged_profile);
+    report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
     report.emit_or_exit(&cli);
 }

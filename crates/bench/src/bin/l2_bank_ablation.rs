@@ -19,8 +19,8 @@ use bgsim::MachineConfig;
 use cnk::Cnk;
 use sysabi::{AppImage, JobSpec, NodeMode, Rank};
 
-fn run(map: L2BankMap, streams: u32) -> u64 {
-    let mut cfg = MachineConfig::single_node().with_seed(3);
+fn run(map: L2BankMap, streams: u32) -> (u64, Machine) {
+    let mut cfg = MachineConfig::single_node().with_seed(3).with_telemetry();
     cfg.chip.l2_bank_map = map;
     // Model concurrent streams through the shared-cost function directly:
     // run one VN-mode rank per core, each streaming.
@@ -43,7 +43,7 @@ fn run(map: L2BankMap, streams: u32) -> u64 {
     .unwrap();
     let out = m.run();
     assert!(out.completed());
-    out.at()
+    (out.at(), m)
 }
 
 fn main() {
@@ -54,6 +54,10 @@ fn main() {
     // end run.
     let chip_base = bgsim::ChipConfig::bgp();
     let mut report = bench::report::Report::new("l2_bank_ablation");
+    let mut merged_profile = bgsim::telemetry::ProfileSnapshot::default();
+    let mut trace_parts: Vec<(String, String)> = Vec::new();
+    let (mut total_cycles, mut total_events) = (0u64, 0u64);
+    let t0 = std::time::Instant::now();
     let mut rows = Vec::new();
     for map in [
         L2BankMap::Interleaved,
@@ -64,8 +68,19 @@ fn main() {
         chip.l2_bank_map = map;
         let model_1 = bgsim::chip::stream_cycles(&chip, 64 << 20, 1);
         let model_4 = bgsim::chip::stream_cycles(&chip, 64 << 20, 4);
-        let run_cycles = run(map, 4);
+        let (run_cycles, m) = run(map, 4);
         let key = format!("{map:?}").to_lowercase();
+        report.string(
+            &format!("digest.{key}"),
+            &format!("{:016x}", m.trace_digest()),
+        );
+        merged_profile.merge(&m.profile_snapshot());
+        total_cycles += run_cycles;
+        total_events += m.sc.engine.processed();
+        trace_parts.push((
+            key.clone(),
+            bgsim::telemetry::chrome_trace_json(m.sc.tel.events()),
+        ));
         report.scalar(&format!("{key}.stream1_cycles"), model_1 as f64);
         report.scalar(&format!("{key}.stream4_cycles"), model_4 as f64);
         report.scalar(&format!("{key}.end_to_end_cycles"), run_cycles as f64);
@@ -92,5 +107,12 @@ fn main() {
     );
     println!("the ConflictStress mapping is the verification configuration that creates");
     println!("artificial bank conflicts; Interleaved is the tuned production choice.");
+    let parts: Vec<(&str, String)> = trace_parts
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    bench::report::emit_traces_or_exit(&cli, &parts);
+    report.profile(&merged_profile);
+    report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
     report.emit_or_exit(&cli);
 }

@@ -14,13 +14,15 @@ use fwk::{Fwk, FwkConfig};
 use sysabi::{AppImage, JobSpec, NodeMode, Rank};
 use workloads::fwq::{FwqConfig, FwqMain};
 
-fn run_with(noise: Vec<fwk::noise::NoiseSource>, samples: u32) -> Vec<f64> {
+fn run_with(noise: Vec<fwk::noise::NoiseSource>, samples: u32) -> (Vec<f64>, u64, Machine) {
     let cfg = FwkConfig {
         noise,
         ..FwkConfig::default()
     };
     let mut m = Machine::new(
-        MachineConfig::single_node().with_seed(0xAB1A),
+        MachineConfig::single_node()
+            .with_seed(0xAB1A)
+            .with_telemetry(),
         Box::new(Fwk::new(cfg)),
         Box::new(Dcmf::with_defaults()),
     );
@@ -34,13 +36,15 @@ fn run_with(noise: Vec<fwk::noise::NoiseSource>, samples: u32) -> Vec<f64> {
         },
     )
     .unwrap();
-    assert!(m.run().completed());
-    (0..4)
+    let out = m.run();
+    assert!(out.completed());
+    let deltas = (0..4)
         .map(|c| {
             let s = Summary::of(&rec.series(&format!("fwq_core{c}")));
             s.max - s.min
         })
-        .collect()
+        .collect();
+    (deltas, out.at(), m)
 }
 
 fn main() {
@@ -58,22 +62,47 @@ fn main() {
             report.scalar(&format!("{key}.core{core}.max_delta"), *x);
         }
     };
+    let mut merged_profile = bgsim::telemetry::ProfileSnapshot::default();
+    let (mut total_cycles, mut total_events) = (0u64, 0u64);
+    let t0 = std::time::Instant::now();
     let mut rows = Vec::new();
-    let all = run_with(profile.clone(), samples);
+    let (all, cyc, m_all) = run_with(profile.clone(), samples);
     record(&mut report, "ALL sources", &all);
     rows.push(row("ALL sources", &all));
-    let none = run_with(Vec::new(), samples);
+    report.string(
+        "digest.all_sources",
+        &format!("{:016x}", m_all.trace_digest()),
+    );
+    merged_profile.merge(&m_all.profile_snapshot());
+    total_cycles += cyc;
+    total_events += m_all.sc.engine.processed();
+    // Representative trace: the full Linux noise profile.
+    bench::report::emit_traces_or_exit(
+        &cli,
+        &[(
+            "",
+            bgsim::telemetry::chrome_trace_json(m_all.sc.tel.events()),
+        )],
+    );
+    let (none, cyc, m_none) = run_with(Vec::new(), samples);
     record(&mut report, "none", &none);
     rows.push(row("none", &none));
+    merged_profile.merge(&m_none.profile_snapshot());
+    total_cycles += cyc;
+    total_events += m_none.sc.engine.processed();
     for (i, src) in profile.iter().enumerate() {
-        let only = run_with(vec![src.clone()], samples);
+        let (only, cyc1, m1) = run_with(vec![src.clone()], samples);
         record(&mut report, &format!("only {}", src.name), &only);
         rows.push(row(&format!("only {}", src.name), &only));
         let mut without = profile.clone();
         without.remove(i);
-        let wo = run_with(without, samples);
+        let (wo, cyc2, m2) = run_with(without, samples);
         record(&mut report, &format!("all minus {}", src.name), &wo);
         rows.push(row(&format!("all minus {}", src.name), &wo));
+        merged_profile.merge(&m1.profile_snapshot());
+        merged_profile.merge(&m2.profile_snapshot());
+        total_cycles += cyc1 + cyc2;
+        total_events += m1.sc.engine.processed() + m2.sc.engine.processed();
     }
     println!(
         "{}",
@@ -85,6 +114,8 @@ fn main() {
     println!("reading: the big core-0/2 spikes come from the irq bottom halves; core 3's");
     println!("from kswapd scans; core 1 only ever sees the tick and ksoftirqd — matching");
     println!("the paper's Fig. 5 per-core asymmetry.");
+    report.profile(&merged_profile);
+    report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
     report.emit_or_exit(&cli);
 }
 

@@ -19,14 +19,16 @@ use cnk::{Cnk, CnkConfig};
 use dcmf::Dcmf;
 use sysabi::{AppImage, JobSpec, NodeMode, Rank};
 
-/// Run the BSP loop; returns total cycles.
-fn bsp_runtime(nodes: u32, noise: Vec<NoiseSource>, iters: u32) -> u64 {
+/// Run the BSP loop; returns (total cycles, the finished machine).
+fn bsp_runtime(nodes: u32, noise: Vec<NoiseSource>, iters: u32) -> (u64, Machine) {
     let cfg = CnkConfig {
         injected_noise: noise,
         ..CnkConfig::default()
     };
     let mut m = Machine::new(
-        MachineConfig::nodes(nodes).with_seed(0x1723),
+        MachineConfig::nodes(nodes)
+            .with_seed(0x1723)
+            .with_telemetry(),
         Box::new(Cnk::new(cfg)),
         Box::new(Dcmf::with_defaults()),
     );
@@ -62,7 +64,7 @@ fn bsp_runtime(nodes: u32, noise: Vec<NoiseSource>, iters: u32) -> u64 {
     .unwrap();
     let out = m.run();
     assert!(out.completed(), "{out:?}");
-    rec.series("total")[0] as u64
+    (rec.series("total")[0] as u64, m)
 }
 
 fn main() {
@@ -90,6 +92,9 @@ fn main() {
 
     let node_counts = [1u32, 4, 16, 64];
     let mut report = bench::report::Report::new("noise_injection");
+    let mut merged_profile = bgsim::telemetry::ProfileSnapshot::default();
+    let (mut total_cycles, mut total_events) = (0u64, 0u64);
+    let t0 = std::time::Instant::now();
     let mut rows = Vec::new();
     let mut base: Vec<u64> = Vec::new();
     for (name, noise) in &profiles {
@@ -101,7 +106,18 @@ fn main() {
             .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
         let mut row = vec![name.to_string()];
         for (i, &n) in node_counts.iter().enumerate() {
-            let t = bsp_runtime(n, noise.clone(), iters);
+            let (t, m) = bsp_runtime(n, noise.clone(), iters);
+            merged_profile.merge(&m.profile_snapshot());
+            total_cycles += t;
+            total_events += m.sc.engine.processed();
+            if noise.is_empty() && n == 64 {
+                report.string("digest.no_noise_64", &format!("{:016x}", m.trace_digest()));
+                // Representative trace: the noise-free 64-node run.
+                bench::report::emit_traces_or_exit(
+                    &cli,
+                    &[("", bgsim::telemetry::chrome_trace_json(m.sc.tel.events()))],
+                );
+            }
             if base.len() <= i {
                 base.push(t);
             }
@@ -120,5 +136,7 @@ fn main() {
     println!("reading: identical average intensity, very different application impact —");
     println!("fine noise is absorbed, coarse noise is amplified by the collectives, and");
     println!("the penalty grows with node count (§V.A; Petrini et al.; Ferreira et al.).");
+    report.profile(&merged_profile);
+    report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
     report.emit_or_exit(&cli);
 }

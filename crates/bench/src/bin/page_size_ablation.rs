@@ -70,5 +70,8 @@ fn main() {
     );
     println!("smaller budgets force coarser pages: fewer entries, more rounding waste —");
     println!("the §VII.B cost of never taking a TLB miss.");
+    // The partitioner sweep is closed-form (no machine runs); write a
+    // valid empty trace so `--trace-out` behaves uniformly.
+    bench::report::emit_traces_or_exit(&cli, &[("", bgsim::telemetry::chrome_trace_json(&[]))]);
     report.emit_or_exit(&cli);
 }

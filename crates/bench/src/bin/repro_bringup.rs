@@ -22,7 +22,10 @@ use sysabi::{AppImage, JobSpec, NodeMode, Rank};
 
 fn build() -> Machine {
     let mut m = Machine::new(
-        MachineConfig::nodes(2).with_seed(0xCAFE).with_trace(),
+        MachineConfig::nodes(2)
+            .with_seed(0xCAFE)
+            .with_trace()
+            .with_telemetry(),
         Box::new(Cnk::with_defaults()),
         Box::new(Dcmf::with_defaults()),
     );
@@ -64,10 +67,17 @@ fn main() {
     println!("== §III: reproducibility & bringup workflow ==\n");
 
     // 1. Bit-identical reruns.
+    let mut probe_trace = String::new();
+    let mut merged_profile = bgsim::telemetry::ProfileSnapshot::default();
     let digests: Vec<u64> = (0..3)
-        .map(|_| {
+        .map(|i| {
             let mut m = build();
             m.run();
+            if i == 0 {
+                probe_trace = bgsim::telemetry::chrome_trace_json(m.sc.tel.events());
+                merged_profile.merge(&m.profile_snapshot());
+                report.string("digest.probe", &format!("{:016x}", m.trace_digest()));
+            }
             m.trace_digest()
         })
         .collect();
@@ -159,5 +169,7 @@ fn main() {
     assert!(arrivals.windows(2).all(|w| w[0] == w[1]));
     report.scalar("reboot_arrival_cycle", arrivals[0] as f64);
     println!("   => same cycle every run (cross-chip scans line up)");
+    bench::report::emit_traces_or_exit(&cli, &[("", probe_trace)]);
+    report.profile(&merged_profile);
     report.emit_or_exit(&cli);
 }

@@ -41,6 +41,16 @@ fn main() {
     report.scalar("linux.stddev_us", sf.stddev);
     report.string("digest.cnk", &format!("{:016x}", cnk_run.digest));
     report.string("digest.linux", &format!("{:016x}", fwk_run.digest));
+    let mut merged_profile = cnk_run.profile.clone();
+    merged_profile.merge(&fwk_run.profile);
+    report.profile(&merged_profile);
+    bench::report::emit_traces_or_exit(
+        &cli,
+        &[
+            ("cnk", bgsim::telemetry::chrome_trace_json(&cnk_run.tps)),
+            ("linux", bgsim::telemetry::chrome_trace_json(&fwk_run.tps)),
+        ],
+    );
     report.host_perf(
         cli.threads,
         wall,

@@ -10,6 +10,10 @@
 //!   `.txt` stats path);
 //! * `--trace-out <path>` — where a bin records tracepoints, write the
 //!   Chrome/Perfetto trace-event JSON there;
+//! * `--monitor-out <path>` — append live-progress snapshots (JSON
+//!   lines) there while the bin runs; `bgtop <path>` tails the file and
+//!   renders a per-node/per-subsystem view. Host-side observability
+//!   only — simulated results are unaffected;
 //! * `--force` — allow `--stats-out`/`--trace-out` to overwrite an
 //!   existing file (refused otherwise, so a rerun cannot silently
 //!   clobber a previous run's evidence);
@@ -40,6 +44,8 @@ pub struct Cli {
     pub stats_out: Option<PathBuf>,
     pub json: bool,
     pub trace_out: Option<PathBuf>,
+    /// Live-monitor snapshot file (`--monitor-out`), read by `bgtop`.
+    pub monitor_out: Option<PathBuf>,
     /// Allow output flags to overwrite existing files.
     pub force: bool,
     /// Host worker threads for sharded bins (>= 1; 1 = inline).
@@ -60,6 +66,7 @@ impl Default for Cli {
             stats_out: None,
             json: false,
             trace_out: None,
+            monitor_out: None,
             force: false,
             threads: 1,
             fast_path: true,
@@ -112,6 +119,11 @@ impl Cli {
                 cli.trace_out = Some(flag_with_value(
                     "--trace-out",
                     a.strip_prefix("--trace-out="),
+                )?);
+            } else if a == "--monitor-out" || a.starts_with("--monitor-out=") {
+                cli.monitor_out = Some(flag_with_value(
+                    "--monitor-out",
+                    a.strip_prefix("--monitor-out="),
                 )?);
             } else if a == "--threads" || a.starts_with("--threads=") {
                 let v = flag_with_value("--threads", a.strip_prefix("--threads="))?;
@@ -223,6 +235,23 @@ mod tests {
         assert_eq!(c.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
         assert!(!c.json);
         assert!(!c.force);
+    }
+
+    #[test]
+    fn parses_monitor_out() {
+        assert_eq!(parse(&[]).monitor_out, None);
+        let c = parse(&["--monitor-out", "m.jsonl"]);
+        assert_eq!(
+            c.monitor_out.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        let c = parse(&["--monitor-out=m2.jsonl"]);
+        assert_eq!(
+            c.monitor_out.as_deref(),
+            Some(std::path::Path::new("m2.jsonl"))
+        );
+        let e = parse_err(&["--monitor-out"]);
+        assert!(e.contains("--monitor-out requires a value"), "{e}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use bgsim::fault::FaultSpec;
 use bgsim::machine::{Machine, Recorder, Workload};
 use bgsim::op::{ApiLayer, CommOp, Op, Protocol};
 use bgsim::script::wl;
-use bgsim::telemetry::{MetricsRegistry, Scope, Slot};
+use bgsim::telemetry::{MetricsRegistry, ProfileSnapshot, Scope, Slot, Tracepoint};
 use bgsim::trace::TraceEvent;
 use bgsim::MachineConfig;
 use cnk::Cnk;
@@ -47,7 +47,7 @@ impl KernelKind {
 
 fn machine(kind: KernelKind, nodes: u32, seed: u64) -> Machine {
     Machine::new(
-        MachineConfig::nodes(nodes).with_seed(seed),
+        MachineConfig::nodes(nodes).with_seed(seed).with_telemetry(),
         kind.build(),
         Box::new(Dcmf::with_defaults()),
     )
@@ -73,6 +73,9 @@ pub struct FwqRun {
     pub sim_events: u64,
     /// Host wall seconds spent inside `Machine::run` only.
     pub wall_seconds: f64,
+    /// Cycle-accounting profile (simulated quantities only, so it is
+    /// bit-identical across host thread counts and profiler runs).
+    pub profile: ProfileSnapshot,
 }
 
 impl FwqRun {
@@ -161,6 +164,7 @@ pub fn run_fwq_faulted(
         final_cycle: out.at(),
         sim_events: m.sc.engine.processed(),
         wall_seconds,
+        profile: m.profile_snapshot(),
     }
 }
 
@@ -216,9 +220,19 @@ impl LatencyRow {
 
 /// Measure one Table I row on CNK, 2 nodes, SMP mode, 8-byte payload.
 pub fn measure_latency_us(row: LatencyRow) -> f64 {
+    measure_latency_run(row).0
+}
+
+/// [`measure_latency_us`] plus the run's determinism/profile evidence
+/// (digest, final cycle, events, tracepoints) for the Table I bin's
+/// report and `--trace-out`.
+pub fn measure_latency_run(row: LatencyRow) -> (f64, SimRun) {
     const PAYLOAD: u64 = 8;
     let mut m = Machine::new(
-        MachineConfig::nodes(2).with_seed(42).with_trace(),
+        MachineConfig::nodes(2)
+            .with_seed(42)
+            .with_trace()
+            .with_telemetry(),
         Box::new(Cnk::with_defaults()),
         Box::new(Dcmf::with_defaults()),
     );
@@ -347,7 +361,16 @@ pub fn measure_latency_us(row: LatencyRow) -> f64 {
             arrival - issue
         }
     };
-    cycles_to_us(cycles as u64)
+    let run = SimRun {
+        mbs: 0.0,
+        neighbors: 0,
+        digest: m.trace_digest(),
+        final_cycle: out.at(),
+        events: m.sc.engine.processed(),
+        profile: m.profile_snapshot(),
+        tps: m.sc.tel.events().to_vec(),
+    };
+    (cycles_to_us(cycles as u64), run)
 }
 
 // ---- Fig. 8: near-neighbor rendezvous throughput -----------------------------
@@ -370,6 +393,11 @@ pub struct SimRun {
     pub digest: u64,
     pub final_cycle: u64,
     pub events: u64,
+    /// Cycle-accounting profile of the run (simulated quantities only).
+    pub profile: ProfileSnapshot,
+    /// Kernel tracepoints, when the run had telemetry on (for
+    /// `--trace-out` export); empty otherwise.
+    pub tps: Vec<Tracepoint>,
 }
 
 /// One NN-exchange simulation. `windowed` selects the conservative
@@ -420,9 +448,13 @@ pub fn nn_throughput_run_faulted(
     fast_path: bool,
     faults: &FaultSpec,
 ) -> SimRun {
+    // Telemetry is pure observation (no event scheduling, no RNG), so
+    // turning it on here leaves the pinned BENCH_*.json digests intact —
+    // `tests/fault_injection.rs` re-checks that every run.
     let cfg = faults.apply(
         MachineConfig::nodes(nodes)
             .with_seed(seed)
+            .with_telemetry()
             .with_fast_path(fast_path),
     );
     let torus = bgsim::torus::Torus::new(&cfg);
@@ -454,6 +486,8 @@ pub fn nn_throughput_run_faulted(
         digest: m.trace_digest(),
         final_cycle: out.at(),
         events: m.sc.engine.processed(),
+        profile: m.profile_snapshot(),
+        tps: m.sc.tel.events().to_vec(),
     }
 }
 
@@ -461,6 +495,11 @@ pub fn nn_throughput_run_faulted(
 
 /// One LINPACK run; returns wall seconds (simulated).
 pub fn linpack_seconds(kind: KernelKind, nodes: u32, cfg: LinpackConfig, seed: u64) -> f64 {
+    linpack_run(kind, nodes, cfg, seed).0
+}
+
+/// [`linpack_seconds`] plus the run's determinism/profile evidence.
+pub fn linpack_run(kind: KernelKind, nodes: u32, cfg: LinpackConfig, seed: u64) -> (f64, SimRun) {
     let mut m = machine(kind, nodes, seed);
     m.boot();
     let rec = Recorder::new();
@@ -472,7 +511,16 @@ pub fn linpack_seconds(kind: KernelKind, nodes: u32, cfg: LinpackConfig, seed: u
     .unwrap();
     let out = m.run();
     assert!(out.completed(), "{out:?}");
-    rec.series("linpack_rank0")[0] / 850e6
+    let run = SimRun {
+        mbs: 0.0,
+        neighbors: 0,
+        digest: m.trace_digest(),
+        final_cycle: out.at(),
+        events: m.sc.engine.processed(),
+        profile: m.profile_snapshot(),
+        tps: m.sc.tel.events().to_vec(),
+    };
+    (rec.series("linpack_rank0")[0] / 850e6, run)
 }
 
 /// The allreduce loop; returns per-iteration times in µs.
@@ -507,6 +555,8 @@ pub fn allreduce_run(kind: KernelKind, nodes: u32, iters: u32, seed: u64) -> (Ve
         digest: m.trace_digest(),
         final_cycle: out.at(),
         events: m.sc.engine.processed(),
+        profile: m.profile_snapshot(),
+        tps: m.sc.tel.events().to_vec(),
     };
     (samples, run)
 }

@@ -4,6 +4,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod monitor;
 pub mod par;
 pub mod report;
 pub mod stats;

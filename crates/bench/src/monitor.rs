@@ -1,0 +1,478 @@
+//! Live state monitoring for long benchmark runs.
+//!
+//! A bin that accepts `--monitor-out <path>` builds a [`Monitor`] and
+//! calls [`Monitor::publish`] as shards complete. Each publish appends
+//! one JSON line describing overall progress plus the merged
+//! cycle-accounting profile so far (per-domain totals and per-node heat
+//! counters). `bgtop <path>` tails the file, parses the most recent
+//! line, and renders it as a per-subsystem / per-node table.
+//!
+//! This is strictly host-side observability: publishing reads finished
+//! [`ProfileSnapshot`]s, never the live simulation, so simulated
+//! results and trace digests are unaffected by whether a monitor is
+//! attached. Publish order follows host shard completion and is
+//! therefore *not* deterministic — only the final line (all shards
+//! done) is, which is what the CI demo checks.
+
+use std::io::Write;
+use std::path::Path;
+
+use bgsim::telemetry::{json_escape, ProfileSnapshot};
+
+use crate::report::SCHEMA_VERSION;
+
+/// An append-only JSONL publisher bound to a `--monitor-out` path.
+pub struct Monitor {
+    file: std::fs::File,
+    bench: String,
+    seq: u64,
+}
+
+impl Monitor {
+    /// Create (truncating) the snapshot file. Honors the same
+    /// overwrite guard as every other output flag; errors surface to
+    /// the caller (the bins exit nonzero like they do for stats).
+    pub fn create(path: &Path, bench: &str, force: bool) -> std::io::Result<Monitor> {
+        crate::report::guard_overwrite(path, force)?;
+        Ok(Monitor {
+            file: std::fs::File::create(path)?,
+            bench: bench.to_string(),
+            seq: 0,
+        })
+    }
+
+    /// [`Monitor::create`] from the parsed CLI; `None` when the flag is
+    /// absent. A create failure reports the path and exits nonzero.
+    pub fn from_cli_or_exit(cli: &crate::cli::Cli, bench: &str) -> Option<Monitor> {
+        let path = cli.monitor_out.as_deref()?;
+        match Monitor::create(path, bench, cli.force) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("error: creating monitor file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Append one snapshot line. `done`/`total` count finished work
+    /// units (shards, kernels, message sizes — whatever the bin
+    /// iterates); `snap` is the profile merged over everything finished
+    /// so far.
+    pub fn publish(&mut self, done: usize, total: usize, snap: &ProfileSnapshot) {
+        self.seq += 1;
+        let line = snapshot_json(&self.bench, self.seq, done, total, snap);
+        // A failed append must not kill the benchmark mid-run; the
+        // monitor is advisory. Note it once on stderr and move on.
+        if writeln!(self.file, "{line}").is_err() && self.seq == 1 {
+            eprintln!("warning: monitor snapshot write failed; live view will be stale");
+        }
+    }
+}
+
+/// Render one monitor snapshot as a single JSON line.
+pub fn snapshot_json(
+    bench: &str,
+    seq: u64,
+    done: usize,
+    total: usize,
+    snap: &ProfileSnapshot,
+) -> String {
+    let mut out = format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"bench\":\"{}\",\"seq\":{seq},\
+         \"done\":{done},\"total\":{total},\"profile\":{{\"enabled\":{},\"domains\":{{",
+        json_escape(bench),
+        snap.enabled
+    );
+    for (i, (label, d)) in snap.domains_labeled().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{label}\":{{\"events\":{},\"cycles\":{}}}",
+            d.events, d.cycles
+        ));
+    }
+    out.push_str(&format!(
+        "}},\"heat\":{{\"events\":{},\"cycles\":{},\"messages\":{},\"peak_live_msgs\":{}}},\"nodes\":[",
+        snap.total_events(),
+        snap.total_cycles(),
+        snap.total_messages(),
+        snap.peak_live_msgs()
+    ));
+    for (i, n) in snap.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"node\":{i},\"events\":{},\"cycles\":{},\"messages\":{},\"peak_live\":{}}}",
+            n.events, n.cycles, n.messages, n.peak_live_msgs
+        ));
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// A parsed JSON value — just enough of the grammar for `bgtop` to read
+/// monitor lines back without an external dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `obj.get(a).get(b)...num()` as one call, for dotted lookups.
+    pub fn path_num(&self, path: &[&str]) -> Option<f64> {
+        let mut v = self;
+        for k in path {
+            v = v.get(k)?;
+        }
+        v.num()
+    }
+}
+
+/// Parse one JSON document (object, array, or scalar). Returns an error
+/// string with a byte offset on malformed input — `bgtop` must not
+/// panic on a torn final line from a still-running benchmark.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut kvs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(kvs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let k = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                kvs.push((k, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(kvs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf8".to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match e {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            _ => {
+                // Re-sync to the char boundary for multi-byte UTF-8.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                let frag =
+                    std::str::from_utf8(&b[start..end]).map_err(|_| "bad utf8".to_string())?;
+                s.push_str(frag);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Render a parsed monitor snapshot as the `bgtop` terminal view:
+/// header with progress, per-subsystem table, and the `top_nodes`
+/// hottest nodes by attributed cycles.
+pub fn render_snapshot(snap: &Json, top_nodes: usize) -> String {
+    let bench = snap.get("bench").and_then(Json::str).unwrap_or("?");
+    let seq = snap.path_num(&["seq"]).unwrap_or(0.0) as u64;
+    let done = snap.path_num(&["done"]).unwrap_or(0.0) as u64;
+    let total = snap.path_num(&["total"]).unwrap_or(0.0) as u64;
+    let mut out = format!("bgtop — {bench}  (snapshot #{seq}, {done}/{total} units done)\n");
+    let Some(profile) = snap.get("profile") else {
+        out.push_str("  (no profile section)\n");
+        return out;
+    };
+    if profile.get("enabled") == Some(&Json::Bool(false)) {
+        out.push_str("  profiler disabled for this run\n");
+        return out;
+    }
+    let heat_cycles = profile.path_num(&["heat", "cycles"]).unwrap_or(0.0);
+    out.push_str(&format!(
+        "\n{:<14} {:>14} {:>18} {:>7}\n",
+        "subsystem", "events", "cycles", "share"
+    ));
+    if let Some(Json::Obj(domains)) = profile.get("domains") {
+        for (label, d) in domains {
+            let ev = d.path_num(&["events"]).unwrap_or(0.0);
+            let cy = d.path_num(&["cycles"]).unwrap_or(0.0);
+            let share = if heat_cycles > 0.0 {
+                100.0 * cy / heat_cycles
+            } else {
+                0.0
+            };
+            out.push_str(&format!("{label:<14} {ev:>14} {cy:>18} {share:>6.1}%\n"));
+        }
+    }
+    out.push_str(&format!(
+        "totals: events={} cycles={} messages={} peak_live_msgs={}\n",
+        profile.path_num(&["heat", "events"]).unwrap_or(0.0),
+        heat_cycles,
+        profile.path_num(&["heat", "messages"]).unwrap_or(0.0),
+        profile.path_num(&["heat", "peak_live_msgs"]).unwrap_or(0.0),
+    ));
+    if let Some(nodes) = profile.get("nodes").and_then(Json::arr) {
+        let mut ranked: Vec<&Json> = nodes.iter().collect();
+        ranked.sort_by(|a, b| {
+            let ca = a.path_num(&["cycles"]).unwrap_or(0.0);
+            let cb = b.path_num(&["cycles"]).unwrap_or(0.0);
+            cb.partial_cmp(&ca)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    let ia = a.path_num(&["node"]).unwrap_or(0.0);
+                    let ib = b.path_num(&["node"]).unwrap_or(0.0);
+                    ia.partial_cmp(&ib).unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+        out.push_str(&format!(
+            "\nhottest nodes ({} of {}):\n{:<6} {:>12} {:>16} {:>10} {:>10}\n",
+            top_nodes.min(ranked.len()),
+            ranked.len(),
+            "node",
+            "events",
+            "cycles",
+            "msgs",
+            "peak_live"
+        ));
+        for n in ranked.iter().take(top_nodes) {
+            out.push_str(&format!(
+                "{:<6} {:>12} {:>16} {:>10} {:>10}\n",
+                n.path_num(&["node"]).unwrap_or(0.0),
+                n.path_num(&["events"]).unwrap_or(0.0),
+                n.path_num(&["cycles"]).unwrap_or(0.0),
+                n.path_num(&["messages"]).unwrap_or(0.0),
+                n.path_num(&["peak_live"]).unwrap_or(0.0),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgsim::{Domain, Profiler};
+
+    fn sample_snapshot() -> ProfileSnapshot {
+        let mut p = Profiler::standard(3, 8);
+        p.span(Domain::Torus, 100, 0, "send", 250);
+        p.span(Domain::Sched, 200, 1, "noise_stretch", 750);
+        p.msg_enqueued(0, 2);
+        p.snapshot()
+    }
+
+    #[test]
+    fn snapshot_line_parses_back_to_the_same_numbers() {
+        let line = snapshot_json("fig8_throughput", 3, 5, 28, &sample_snapshot());
+        let v = parse_json(&line).expect("line parses");
+        assert_eq!(v.path_num(&["schema_version"]), Some(2.0));
+        assert_eq!(v.get("bench").and_then(Json::str), Some("fig8_throughput"));
+        assert_eq!(v.path_num(&["done"]), Some(5.0));
+        assert_eq!(
+            v.path_num(&["profile", "domains", "torus", "cycles"]),
+            Some(250.0)
+        );
+        assert_eq!(v.path_num(&["profile", "heat", "cycles"]), Some(1000.0));
+        assert_eq!(v.path_num(&["profile", "heat", "messages"]), Some(1.0));
+        let nodes = v
+            .get("profile")
+            .and_then(|p| p.get("nodes"))
+            .and_then(Json::arr)
+            .expect("nodes array");
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[1].path_num(&["cycles"]), Some(750.0));
+        assert_eq!(nodes[2].path_num(&["peak_live"]), Some(1.0));
+    }
+
+    #[test]
+    fn parser_rejects_torn_lines_without_panicking() {
+        assert!(parse_json("{\"a\":1").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\":1}x").is_err());
+        // Escapes and unicode round-trip.
+        let v = parse_json("{\"k\\n\":\"v\\u00e9\",\"n\":-1.5e2}").unwrap();
+        assert_eq!(v.get("k\n").and_then(Json::str), Some("vé"));
+        assert_eq!(v.path_num(&["n"]), Some(-150.0));
+    }
+
+    #[test]
+    fn render_ranks_nodes_by_cycles() {
+        let line = snapshot_json("demo", 1, 28, 28, &sample_snapshot());
+        let v = parse_json(&line).unwrap();
+        let view = render_snapshot(&v, 2);
+        assert!(view.contains("bgtop — demo"));
+        assert!(view.contains("28/28 units done"));
+        assert!(view.contains("sched"), "{view}");
+        // Node 1 (750 cycles) outranks node 0 (250).
+        let pos1 = view.find("\n1 ").expect("node 1 row");
+        let pos0 = view.find("\n0 ").expect("node 0 row");
+        assert!(pos1 < pos0, "{view}");
+    }
+
+    #[test]
+    fn monitor_appends_jsonl_and_guards_overwrite() {
+        let dir = std::env::temp_dir().join(format!("bench_monitor_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mon.jsonl");
+        let snap = sample_snapshot();
+        let mut m = Monitor::create(&path, "demo", false).unwrap();
+        m.publish(1, 2, &snap);
+        m.publish(2, 2, &snap);
+        // Existing file without --force is refused, like every output flag.
+        assert!(Monitor::create(&path, "demo", false).is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let last = parse_json(lines[1]).unwrap();
+        assert_eq!(last.path_num(&["seq"]), Some(2.0));
+        assert_eq!(last.path_num(&["done"]), Some(2.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,9 +9,15 @@
 
 use std::io::Write;
 
-use bgsim::telemetry::{json_escape, stats_json, stats_txt, MetricsRegistry};
+use bgsim::telemetry::{json_escape, stats_json, stats_txt, MetricsRegistry, ProfileSnapshot};
 
 use crate::cli::Cli;
+
+/// Version stamp every report carries (`"schema_version"` in JSON,
+/// `schema_version` line in the flat format). Bumped when the report
+/// layout changes shape; `ci/perf_smoke.sh` refuses reports that do
+/// not declare it.
+pub const SCHEMA_VERSION: u32 = 2;
 
 pub struct Report {
     name: String,
@@ -73,8 +79,31 @@ impl Report {
         self
     }
 
+    /// Record the standard `profile.*` block from a cycle-accounting
+    /// snapshot: per-domain event/cycle totals plus machine-wide heat
+    /// aggregates. All values are simulated quantities, so the block is
+    /// bit-identical across host thread counts and diff-able by CI.
+    pub fn profile(&mut self, snap: &ProfileSnapshot) -> &mut Report {
+        if !snap.enabled {
+            return self;
+        }
+        for (label, d) in snap.domains_labeled() {
+            self.scalar(&format!("profile.{label}.events"), d.events as f64);
+            self.scalar(&format!("profile.{label}.cycles"), d.cycles as f64);
+        }
+        self.scalar("profile.heat.events", snap.total_events() as f64);
+        self.scalar("profile.heat.cycles", snap.total_cycles() as f64);
+        self.scalar("profile.heat.messages", snap.total_messages() as f64);
+        self.scalar("profile.heat.peak_live_msgs", snap.peak_live_msgs() as f64);
+        self.scalar("profile.nodes", snap.nodes.len() as f64);
+        self
+    }
+
     pub fn to_json(&self) -> String {
-        let mut out = format!("{{\"bench\":\"{}\",\"scalars\":{{", json_escape(&self.name));
+        let mut out = format!(
+            "{{\"bench\":\"{}\",\"schema_version\":{SCHEMA_VERSION},\"scalars\":{{",
+            json_escape(&self.name)
+        );
         for (i, (k, v)) in self.scalars.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -101,6 +130,10 @@ impl Report {
 
     pub fn to_stats_txt(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!(
+            "{:<58} {:>16}\n",
+            "schema_version", SCHEMA_VERSION
+        ));
         for (k, v) in &self.scalars {
             out.push_str(&format!(
                 "{:<58} {:>16}\n",
@@ -161,6 +194,41 @@ impl Report {
     }
 }
 
+/// Write the Chrome/Perfetto trace bodies a bin captured to the
+/// `--trace-out` path, one file per `(suffix, body)` part. A no-op when
+/// `--trace-out` was not given. An empty suffix writes the path as-is;
+/// otherwise the suffix is inserted before the extension
+/// (`trace.json` + `"cnk"` → `trace.cnk.json`), which is how the
+/// multi-run bins keep their per-kernel traces apart. Honors the
+/// `--force` overwrite guard; a write failure reports the offending
+/// path on stderr and exits nonzero. Shared by all 14 bins so the flag
+/// behaves identically everywhere.
+pub fn emit_traces_or_exit(cli: &Cli, parts: &[(&str, String)]) {
+    let Some(path) = &cli.trace_out else { return };
+    for (suffix, body) in parts {
+        let mut p = path.clone();
+        if !suffix.is_empty() {
+            let stem = p
+                .file_stem()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let ext = p.extension().map(|e| e.to_string_lossy().into_owned());
+            p.set_file_name(match ext {
+                Some(e) => format!("{stem}.{suffix}.{e}"),
+                None => format!("{stem}.{suffix}"),
+            });
+        }
+        let write =
+            guard_overwrite(&p, cli.force).and_then(|()| std::fs::write(&p, body.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("error: writing trace to {}: {e}", p.display());
+            std::process::exit(1);
+        }
+        eprintln!("trace written to {}", p.display());
+    }
+}
+
 /// Refuse to clobber an existing output file unless `--force` was
 /// given. Shared by `--stats-out` (via [`Report::emit`]) and the bins'
 /// `--trace-out` writers, so a rerun cannot silently overwrite a
@@ -214,6 +282,60 @@ mod tests {
         assert!(t.contains("1.5"));
         assert!(t.contains("# registry: cnk"));
         assert!(t.contains("Begin Simulation Statistics"));
+    }
+
+    #[test]
+    fn schema_version_is_stamped_in_both_formats() {
+        let r = Report::new("x");
+        assert!(r
+            .to_json()
+            .starts_with("{\"bench\":\"x\",\"schema_version\":2,"));
+        assert!(r.to_stats_txt().starts_with("schema_version"));
+    }
+
+    #[test]
+    fn profile_block_emits_domain_and_heat_keys() {
+        let mut prof = bgsim::Profiler::standard(2, 8);
+        prof.span(bgsim::Domain::Torus, 10, 0, "send", 120);
+        prof.msg_enqueued(0, 1);
+        let mut r = Report::new("x");
+        r.profile(&prof.snapshot());
+        let j = r.to_json();
+        assert!(j.contains("\"profile.torus.events\":1"));
+        assert!(j.contains("\"profile.torus.cycles\":120"));
+        assert!(j.contains("\"profile.engine_heap.events\":0"));
+        assert!(j.contains("\"profile.heat.messages\":1"));
+        assert!(j.contains("\"profile.heat.peak_live_msgs\":1"));
+        assert!(j.contains("\"profile.nodes\":2"));
+        // A disabled profiler contributes nothing (no misleading zeros).
+        let mut r2 = Report::new("x");
+        r2.profile(&bgsim::Profiler::disabled().snapshot());
+        assert!(!r2.to_json().contains("profile."));
+    }
+
+    #[test]
+    fn trace_helper_suffixes_filenames_and_guards_overwrite() {
+        let dir = std::env::temp_dir().join(format!("bench_trace_helper_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cli = Cli::default();
+        cli.trace_out = Some(dir.join("trace.json"));
+        emit_traces_or_exit(&cli, &[("", "[]".to_string()), ("cnk", "[1]".to_string())]);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("trace.json")).unwrap(),
+            "[]"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("trace.cnk.json")).unwrap(),
+            "[1]"
+        );
+        // Re-running with --force overwrites in place.
+        cli.force = true;
+        emit_traces_or_exit(&cli, &[("cnk", "[2]".to_string())]);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("trace.cnk.json")).unwrap(),
+            "[2]"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! bgcheck fuzz [--budget N] [--seed S] [--out DIR]   random programs, shrink + save repros
 //! bgcheck replay <script> [--record]                 replay one script; --record prints pins
 //! bgcheck corpus <dir>                               replay every *.bgck script in a directory
-//! bgcheck selftest                                   verify the checker catches its canaries
+//! bgcheck selftest [--out DIR]                       verify the checker catches its canaries
 //! ```
+//!
+//! `fuzz` reports a coverage-digest novelty count per seed (how many of
+//! the run's telemetry-coverage fingerprints were not seen before); on a
+//! failure it writes the minimized `.bgck` repro plus the failing run's
+//! flight-recorder dump. `selftest --out` saves one annotated `.bgck` +
+//! flight dump per detected canary.
 //!
 //! Exit codes: 0 clean, 1 failure found, 2 usage error.
 
@@ -23,7 +29,7 @@ fn usage(msg: &str) -> ExitCode {
         "usage: bgcheck fuzz [--budget N] [--seed S] [--out DIR]\n       \
          bgcheck replay <script> [--record]\n       \
          bgcheck corpus <dir>\n       \
-         bgcheck selftest"
+         bgcheck selftest [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -84,29 +90,53 @@ fn main() -> ExitCode {
             };
             corpus(Path::new(&dir))
         }
-        Some("selftest") => match bgcheck::selftest() {
-            Ok(()) => {
-                println!("selftest: clean pass + all canaries detected");
-                ExitCode::SUCCESS
+        Some("selftest") => {
+            let mut out: Option<PathBuf> = None;
+            let mut rest = args;
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--out" => match rest.next() {
+                        Some(v) => out = Some(PathBuf::from(v)),
+                        None => return usage("--out requires a value"),
+                    },
+                    other => return usage(&format!("unknown selftest flag {other:?}")),
+                }
             }
-            Err(e) => {
-                eprintln!("selftest FAILED: {e}");
-                ExitCode::FAILURE
+            match bgcheck::selftest_with_artifacts(out.as_deref()) {
+                Ok(()) => {
+                    println!("selftest: clean pass + all canaries detected");
+                    if let Some(dir) = &out {
+                        println!(
+                            "selftest: canary repros + flight dumps in {}",
+                            dir.display()
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("selftest FAILED: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Some(other) => usage(&format!("unknown subcommand {other:?}")),
         None => usage("missing subcommand"),
     }
 }
 
 fn fuzz(budget: u64, seed0: u64, out: &Path) -> ExitCode {
+    // Coverage-digest novelty feedback: each run's telemetry coverage
+    // fingerprint tells the fuzzer whether a seed exercised machinery no
+    // earlier seed touched.
+    let mut seen = std::collections::HashSet::new();
     for i in 0..budget {
         let seed = seed0.wrapping_add(i);
         let p = generate(seed);
         match check_program(&p) {
-            Ok(_) => {
+            Ok(recs) => {
+                let fresh = recs.iter().filter(|r| seen.insert(r.coverage)).count();
                 println!(
-                    "seed {seed}: ok ({} node(s), {} op(s), {} fault(s))",
+                    "seed {seed}: ok ({} node(s), {} op(s), {} fault(s), {fresh} new coverage)",
                     p.nodes,
                     p.ops.len(),
                     p.faults.events.len()
@@ -135,12 +165,22 @@ fn fuzz(budget: u64, seed0: u64, out: &Path) -> ExitCode {
                     Ok(()) => eprintln!("minimized repro written to {}", file.display()),
                     Err(e) => eprintln!("error: writing {}: {e}", file.display()),
                 }
+                if let Some(flight) = &fail.flight {
+                    let fpath = out.join(format!("fuzz-{seed}.flight.txt"));
+                    match std::fs::write(&fpath, flight) {
+                        Ok(()) => eprintln!("flight-recorder dump written to {}", fpath.display()),
+                        Err(e) => eprintln!("error: writing {}: {e}", fpath.display()),
+                    }
+                }
                 eprintln!("minimized failure:\n{}", fail.render());
                 return ExitCode::FAILURE;
             }
         }
     }
-    println!("fuzz: {budget} program(s) checked, no divergence");
+    println!(
+        "fuzz: {budget} program(s) checked, no divergence, {} distinct coverage fingerprint(s)",
+        seen.len()
+    );
     ExitCode::SUCCESS
 }
 

@@ -9,8 +9,11 @@
 
 pub use crate::runner::Canary;
 
+use std::path::Path;
+
 use crate::program::{POp, Program};
-use crate::runner::{check_program, check_program_tampered};
+use crate::runner::{check_program, check_program_tampered, Failure};
+use crate::script::to_script_with_pins;
 
 /// The fixed self-test program: touches compute, shipped I/O, the
 /// clone/futex path, and both collective networks, on two nodes, so
@@ -38,6 +41,13 @@ pub fn selftest_program() -> Program {
 /// description of the first canary the checker failed to catch (or of
 /// a spurious failure on the clean program).
 pub fn selftest() -> Result<(), String> {
+    selftest_with_artifacts(None)
+}
+
+/// [`selftest`], optionally saving one `.bgck` script + flight-recorder
+/// dump per detected canary under `out` (CI keeps these as artifacts so
+/// a checker regression comes with the evidence attached).
+pub fn selftest_with_artifacts(out: Option<&Path>) -> Result<(), String> {
     let p = selftest_program();
     check_program(&p).map_err(|f| {
         format!(
@@ -46,10 +56,37 @@ pub fn selftest() -> Result<(), String> {
         )
     })?;
     for c in Canary::ALL {
-        if check_program_tampered(&p, Some(c)).is_ok() {
+        let Err(f) = check_program_tampered(&p, Some(c)) else {
             return Err(format!("canary {c:?} was NOT detected by the checker"));
+        };
+        if let Some(dir) = out {
+            write_canary_artifacts(dir, c, &p, &f)?;
         }
     }
+    Ok(())
+}
+
+/// Save `canary-<name>.bgck` (the self-test program annotated with the
+/// verdict) and `canary-<name>.flight.txt` (the failing run's flight-
+/// recorder dump) under `dir`.
+fn write_canary_artifacts(dir: &Path, c: Canary, p: &Program, f: &Failure) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let name = format!("{c:?}").to_lowercase();
+
+    let mut script = to_script_with_pins(p, &[]);
+    script.push_str(&format!("# canary: {c:?} (detected)\n"));
+    for line in f.render().lines() {
+        script.push_str(&format!("#   {line}\n"));
+    }
+    let spath = dir.join(format!("canary-{name}.bgck"));
+    std::fs::write(&spath, &script).map_err(|e| format!("writing {}: {e}", spath.display()))?;
+
+    let flight = f
+        .flight
+        .as_deref()
+        .unwrap_or("(no flight-recorder dump captured for this failure)");
+    let fpath = dir.join(format!("canary-{name}.flight.txt"));
+    std::fs::write(&fpath, flight).map_err(|e| format!("writing {}: {e}", fpath.display()))?;
     Ok(())
 }
 
@@ -59,6 +96,20 @@ mod tests {
 
     #[test]
     fn the_checker_catches_every_canary() {
-        selftest().expect("self-test");
+        let dir = std::env::temp_dir().join(format!("bgcheck-canary-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        selftest_with_artifacts(Some(&dir)).expect("self-test");
+        // Every detected canary left a repro script and a flight dump.
+        for c in Canary::ALL {
+            let name = format!("{c:?}").to_lowercase();
+            assert!(dir.join(format!("canary-{name}.bgck")).exists());
+            let flight = std::fs::read_to_string(dir.join(format!("canary-{name}.flight.txt")))
+                .expect("flight dump file");
+            assert!(
+                !flight.starts_with("(no flight"),
+                "canary {c:?} failure carried no flight dump"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -37,7 +37,7 @@ pub mod runner;
 pub mod script;
 pub mod shrink;
 
-pub use canary::{selftest, Canary};
+pub use canary::{selftest, selftest_with_artifacts, Canary};
 pub use program::{generate, POp, Program};
 pub use runner::{check_program, CheckKernel, Failure, FailureKind, RunRecord};
 pub use script::{parse_script, to_script, to_script_with_pins, DigestPin, Replay};

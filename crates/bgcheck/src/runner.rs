@@ -68,6 +68,10 @@ pub struct RunRecord {
     pub final_cycle: u64,
     pub digest: u64,
     pub violations: Vec<String>,
+    /// Coverage digest (telemetry counter vector + trace-digest prefix)
+    /// — the fuzzer's novelty signal. Not part of the equality triple:
+    /// it hashes *which* counters fired, not the canonical trace.
+    pub coverage: u64,
 }
 
 impl RunRecord {
@@ -108,6 +112,9 @@ pub struct Failure {
     pub detail: String,
     /// Rendered first-divergence report, when one could be produced.
     pub divergence: Option<String>,
+    /// Flight-recorder dump from the failing run's machine — the last
+    /// spans each subsystem executed before the failure was detected.
+    pub flight: Option<String>,
 }
 
 impl Failure {
@@ -119,6 +126,10 @@ impl Failure {
         if let Some(d) = &self.divergence {
             s.push_str("\nfirst divergence:\n");
             s.push_str(d);
+        }
+        if let Some(f) = &self.flight {
+            s.push_str("\nflight recorder:\n");
+            s.push_str(f);
         }
         s
     }
@@ -158,7 +169,29 @@ fn run_one(
     keep_trace: bool,
 ) -> Result<(RunRecord, Machine), String> {
     let mut m = build_machine(p, kernel, fast, keep_trace)?;
-    let out = if windowed { m.run_windowed() } else { m.run() };
+    // A panic mid-run must not lose the flight recorder: catch it, fold
+    // the dump into the error, and let the caller report it as a
+    // checker failure instead of tearing down the process.
+    let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if windowed {
+            m.run_windowed()
+        } else {
+            m.run()
+        }
+    })) {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return Err(format!(
+                "run panicked: {msg}\nflight recorder:\n{}",
+                m.flight_dump()
+            ));
+        }
+    };
     let rec = RunRecord {
         kernel: kernel.label(),
         mode: mode_label(windowed, fast),
@@ -166,6 +199,7 @@ fn run_one(
         final_cycle: out.at(),
         digest: m.trace_digest(),
         violations: m.check_invariants(),
+        coverage: m.coverage_digest(),
     };
     Ok((rec, m))
 }
@@ -256,12 +290,17 @@ impl Canary {
 
 /// Check one program across the full mode matrix. `Ok` carries every
 /// run record (for digest recording); `Err` the first failure.
+///
+/// The `Err` variant is deliberately fat (divergence report + flight
+/// dump): it is built at most once per check, on the cold path.
+#[allow(clippy::result_large_err)]
 pub fn check_program(p: &Program) -> Result<Vec<RunRecord>, Failure> {
     check_program_tampered(p, None)
 }
 
 /// `check_program` with an optional canary mutation applied to one leg
 /// (self-test plumbing; `None` is the production path).
+#[allow(clippy::result_large_err)]
 pub fn check_program_tampered(
     p: &Program,
     canary: Option<Canary>,
@@ -276,16 +315,16 @@ pub fn check_program_tampered(
                 }
                 _ => (p.clone(), None),
             };
-            let mut rec = run_one(&prog, kernel, windowed, fast, false)
-                .map_err(|e| Failure {
+            let (mut rec, m) =
+                run_one(&prog, kernel, windowed, fast, false).map_err(|e| Failure {
                     kind: FailureKind::Error,
                     kernel: kernel.label(),
                     base_mode: mode_label(windowed, fast),
                     mode: mode_label(windowed, fast),
                     detail: e,
                     divergence: None,
-                })?
-                .0;
+                    flight: None,
+                })?;
             if let Some(c) = tamper_rec {
                 c.tamper_record(&mut rec);
             }
@@ -297,6 +336,7 @@ pub fn check_program_tampered(
                     mode: rec.mode.clone(),
                     detail: rec.violations.join("\n  "),
                     divergence: None,
+                    flight: Some(m.flight_dump()),
                 });
             }
             match &base {
@@ -319,6 +359,7 @@ pub fn check_program_tampered(
                                 rec.mode, rec.outcome, rec.final_cycle, rec.digest
                             ),
                             divergence,
+                            flight: Some(m.flight_dump()),
                         });
                     }
                 }
@@ -346,6 +387,7 @@ pub fn check_program_tampered(
                 mode: format!("shard{i}"),
                 detail: e,
                 divergence: None,
+                flight: None,
             })?;
             if rec.triple() != b.triple() {
                 return Err(Failure {
@@ -358,6 +400,7 @@ pub fn check_program_tampered(
                         b.digest, rec.digest, b.final_cycle, rec.final_cycle
                     ),
                     divergence: None,
+                    flight: None,
                 });
             }
         }
@@ -389,6 +432,10 @@ mod tests {
         assert!(recs[..4].windows(2).all(|w| w[0].digest == w[1].digest));
         assert!(recs[4..].windows(2).all(|w| w[0].digest == w[1].digest));
         assert_ne!(recs[0].digest, recs[4].digest);
+        // Coverage digests are populated and distinguish the kernels
+        // (different subsystems fire different counters).
+        assert!(recs.iter().all(|r| r.coverage != 0));
+        assert_ne!(recs[0].coverage, recs[4].coverage);
     }
 
     #[test]

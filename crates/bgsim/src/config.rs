@@ -187,6 +187,14 @@ pub struct MachineConfig {
     /// construction; disable (`--no-fast-path` on the bench bins) to
     /// fall back to one heap event per completion when debugging.
     pub fast_path: bool,
+    /// Enable the cycle-accounting profiler + crash flight recorder
+    /// (`telemetry::Profiler`). On by default: like telemetry it is
+    /// determinism-neutral by construction, so keeping it on cannot
+    /// change trace digests or cycle counts.
+    pub profiler: bool,
+    /// Flight-recorder ring capacity per domain (spans retained for the
+    /// crash dump).
+    pub profiler_ring: usize,
     /// RAS fault-injection schedule ([`crate::fault`]). Empty by
     /// default, and an empty schedule schedules no events at all — such
     /// runs are bit-identical to a build without fault injection.
@@ -213,6 +221,8 @@ impl Default for MachineConfig {
             lookahead: None,
             event_capacity: 32,
             fast_path: true,
+            profiler: true,
+            profiler_ring: 64,
             faults: crate::fault::FaultSchedule::default(),
         }
     }
@@ -270,6 +280,15 @@ impl MachineConfig {
     /// reference mode for conformance checks and debugging.
     pub fn with_fast_path(mut self, on: bool) -> MachineConfig {
         self.fast_path = on;
+        self
+    }
+
+    /// Toggle the cycle-accounting profiler (on by default). Either
+    /// setting produces bit-identical trace digests; turning it off
+    /// only loses the `profile.*` report section and the crash
+    /// flight-recorder dump.
+    pub fn with_profiler(mut self, on: bool) -> MachineConfig {
+        self.profiler = on;
         self
     }
 

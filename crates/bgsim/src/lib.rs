@@ -61,6 +61,6 @@ pub use machine::{
 };
 pub use op::{ApiLayer, CloneArgs, CommOp, Op, Protocol};
 pub use telemetry::{
-    first_divergence, DivergenceReport, Hist, MetricId, MetricsRegistry, Scope, Slot, Telemetry,
-    TpKind, Tracepoint,
+    coverage_digest, first_divergence, DivergenceReport, Domain, Hist, MetricId, MetricsRegistry,
+    ProfileSnapshot, Profiler, Scope, Slot, Telemetry, TpKind, Tracepoint,
 };

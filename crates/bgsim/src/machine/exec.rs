@@ -15,7 +15,7 @@ use crate::machine::{
 };
 use crate::op::Op;
 use crate::scan::{ScanRecord, ScanTarget};
-use crate::telemetry::{Slot, TpKind};
+use crate::telemetry::{Domain, Slot, TpKind};
 use crate::trace::TraceEvent;
 
 /// Cycles charged to the interrupted thread per delivered IPI.
@@ -147,6 +147,23 @@ impl Machine {
 
     pub fn trace_digest(&self) -> u64 {
         self.sc.trace.digest()
+    }
+
+    /// Detached copy of the profiler's sim-side counters.
+    pub fn profile_snapshot(&self) -> crate::telemetry::ProfileSnapshot {
+        self.sc.prof.snapshot()
+    }
+
+    /// Render the crash flight recorder (recent spans per domain) for a
+    /// repro artifact or panic dump.
+    pub fn flight_dump(&self) -> String {
+        self.sc.prof.flight_dump()
+    }
+
+    /// Coverage signal for fuzzers: counter vector + trace-digest prefix
+    /// ([`crate::telemetry::coverage_digest`]).
+    pub fn coverage_digest(&self) -> u64 {
+        crate::telemetry::coverage_digest(&self.sc.tel.metrics, self.sc.trace.digest())
     }
 
     /// Cold boot.
@@ -622,6 +639,18 @@ impl Machine {
             self.sc
                 .trace
                 .record(s.until, TraceEvent::OpEnd { tid: s.tid.0 });
+            // Profiler attribution: this completion retired through the
+            // micro run queue, not a heap pop. The split is mode-stable —
+            // a windowed run defers a fast retirement across the window
+            // bound but re-enters the regime with identical state, so
+            // seq and windowed drivers attribute identically.
+            self.sc.prof.span(
+                Domain::FastPath,
+                s.until,
+                s.node,
+                "op_retire",
+                until.saturating_sub(started),
+            );
             self.advance_thread(s.tid);
         }
         self.flush_fast();
@@ -724,6 +753,9 @@ impl Machine {
         match kind {
             EvKind::OpDone { tid, gen } => self.on_op_done(Tid(tid), gen),
             EvKind::Kernel { node, tag } => {
+                self.sc
+                    .prof
+                    .span(Domain::Sched, self.sc.engine.now(), node, "kernel_event", 0);
                 self.kernel.kernel_event(&mut self.sc, NodeId(node), tag);
             }
             EvKind::NetDeliver { msg_id } => {
@@ -738,6 +770,13 @@ impl Machine {
                         tag: msg.tag,
                     },
                 );
+                let dom = match msg.domain {
+                    NetDomain::Torus => Domain::Torus,
+                    NetDomain::Collective => Domain::Collective,
+                };
+                self.sc
+                    .prof
+                    .span(dom, self.sc.engine.now(), msg.dst_node.0, "deliver", 0);
                 match msg.domain {
                     NetDomain::Torus => self.comm.net_deliver(&mut self.sc, msg),
                     NetDomain::Collective => self.kernel.net_deliver(&mut self.sc, msg),
@@ -761,6 +800,12 @@ impl Machine {
                     u64::from(kind),
                     0,
                 );
+                // The IPI itself is a zero-cycle span; the stretch below
+                // accounts the IPI_OVERHEAD cycles, avoiding double
+                // counting in the Sched domain.
+                self.sc
+                    .prof
+                    .span(Domain::Sched, self.sc.engine.now(), node.0, "ipi", 0);
                 // The interrupted thread pays the IPI entry/exit cost.
                 self.sc
                     .stretch_running(core, IPI_OVERHEAD, u64::from(kind) | 0x1000);
@@ -770,6 +815,14 @@ impl Machine {
                 self.raise_fault(CoreId(core), kind);
             }
             EvKind::CollDone { tid, coll: _ } => {
+                let node = self.sc.threads[Tid(tid).idx()].node.0;
+                self.sc.prof.span(
+                    Domain::Collective,
+                    self.sc.engine.now(),
+                    node,
+                    "coll_done",
+                    0,
+                );
                 self.sc.defer_unblock(Tid(tid), Some(SysRet::Val(0)));
             }
             EvKind::Ras { idx } => self.on_ras_fault(idx),
@@ -797,6 +850,13 @@ impl Machine {
             TpKind::HwFault,
             "parity",
             u64::from(kind),
+            0,
+        );
+        self.sc.prof.span(
+            Domain::FaultRas,
+            self.sc.engine.now(),
+            node.0,
+            "hw_fault",
             0,
         );
         self.kernel.on_fault(&mut self.sc, core, kind);
@@ -827,6 +887,13 @@ impl Machine {
             ev.kind.name(),
             u64::from(ev.kind.code()),
             ev.arg,
+        );
+        self.sc.prof.span(
+            Domain::FaultRas,
+            self.sc.engine.now(),
+            node.0,
+            ev.kind.name(),
+            0,
         );
         match ev.kind {
             FaultKind::TorusDrop => {
@@ -888,6 +955,14 @@ impl Machine {
         self.sc
             .trace
             .record(self.sc.engine.now(), TraceEvent::OpEnd { tid: tid.0 });
+        let node = self.sc.threads[tid.idx()].node.0;
+        self.sc.prof.span(
+            Domain::EngineHeap,
+            self.sc.engine.now(),
+            node,
+            "op_retire",
+            until.saturating_sub(started),
+        );
         // Non-preemptive continuation: the same thread keeps its core and
         // fetches its next op immediately (CNK semantics; FWK timeslice
         // switches happen via kernel events).
@@ -1033,6 +1108,9 @@ impl Machine {
                     next.0 as u64,
                     0,
                 );
+                self.sc
+                    .prof
+                    .span(Domain::Sched, self.sc.engine.now(), node.0, "sched_pick", 0);
                 self.sc.dispatch(next);
             }
         }
@@ -1214,6 +1292,9 @@ impl Machine {
                     tid.0 as u64,
                     cost,
                 );
+                self.sc
+                    .prof
+                    .span(Domain::Sched, self.sc.engine.now(), node.0, "syscall", cost);
                 self.sc.threads[tid.idx()].pending_ret = Some(ret);
                 if cost == 0 {
                     Disp::Continue

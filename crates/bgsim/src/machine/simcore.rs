@@ -23,7 +23,7 @@ use crate::machine::thread::{Thread, ThreadState};
 use crate::machine::Workload;
 use crate::mem::PhysMem;
 use crate::rng::RngHub;
-use crate::telemetry::{Slot, Telemetry, TpKind};
+use crate::telemetry::{Domain, Profiler, Slot, Telemetry, TpKind};
 use crate::torus::Torus;
 use crate::trace::{Trace, TraceEvent};
 
@@ -98,6 +98,9 @@ pub struct SimCore {
     pub trace: Trace,
     /// The telemetry subsystem (no-op unless `cfg.telemetry`).
     pub tel: Telemetry,
+    /// The cycle-accounting profiler + flight recorder (no-op unless
+    /// `cfg.profiler`; on by default and determinism-neutral).
+    pub prof: Profiler,
     pub hub: RngHub,
     pub threads: Vec<Thread>,
     /// Per-node DRAM.
@@ -161,6 +164,11 @@ impl SimCore {
                 Telemetry::standard(cfg.nodes, cfg.chip.cores, cfg.telemetry_capacity)
             } else {
                 Telemetry::disabled()
+            },
+            prof: if cfg.profiler {
+                Profiler::standard(cfg.nodes, cfg.profiler_ring)
+            } else {
+                Profiler::disabled()
             },
             hub: hub.clone(),
             threads: Vec::new(),
@@ -347,6 +355,13 @@ impl SimCore {
             tag,
             cycles,
         );
+        self.prof.span(
+            Domain::Sched,
+            self.engine.now(),
+            node.0,
+            "noise_stretch",
+            cycles,
+        );
         // The reschedule path: cancel the superseded completion in O(1)
         // (no payload clone, no stale event left in the queue) and
         // schedule the new one in this node's event domain.
@@ -403,6 +418,7 @@ impl SimCore {
             tid.0 as u64,
             remaining,
         );
+        self.prof.span(Domain::Sched, now, node.0, "preempt", 0);
         Some(tid)
     }
 
@@ -474,6 +490,7 @@ impl SimCore {
         // node's domain, and `arrival` is at least one link latency out
         // (the lookahead floor, `MachineConfig::min_link_cycles`).
         let dst = msg.dst_node.0;
+        self.prof.msg_enqueued(msg.src_node.0, dst);
         self.msgs.insert(id, msg);
         let h = self
             .engine
@@ -505,6 +522,8 @@ impl SimCore {
         let hops = self.torus.hops(src, dst);
         let xfer = self.torus.transfer_cycles(bytes, hops);
         let id = self.next_msg_id();
+        self.prof
+            .span(Domain::Torus, self.engine.now(), src.0, "send", xfer);
         self.stats.torus_msgs += 1;
         self.stats.torus_bytes += bytes;
         self.stats.batched_packets += self.torus.packets(bytes).saturating_sub(1);
@@ -552,6 +571,8 @@ impl SimCore {
         );
         let xfer = self.coll.cn_ion_cycles(src, bytes);
         let id = self.next_msg_id();
+        self.prof
+            .span(Domain::Collective, self.engine.now(), src.0, "send", xfer);
         self.stats.coll_msgs += 1;
         self.stats.coll_bytes += bytes;
         self.stats.batched_packets += crate::collective::packets(bytes).saturating_sub(1);
@@ -593,7 +614,11 @@ impl SimCore {
 
     pub(crate) fn take_msg(&mut self, id: u64) -> Option<NetMsg> {
         self.msg_deliveries.remove(&id);
-        self.msgs.remove(&id)
+        let m = self.msgs.remove(&id);
+        if let Some(m) = &m {
+            self.prof.msg_retired(m.dst_node.0);
+        }
+        m
     }
 
     // ---- fault injection ---------------------------------------------------
@@ -656,7 +681,9 @@ impl SimCore {
             return false;
         };
         self.engine.cancel(h);
-        self.msgs.remove(&id);
+        if let Some(m) = self.msgs.remove(&id) {
+            self.prof.msg_retired(m.dst_node.0);
+        }
         true
     }
 
@@ -666,6 +693,8 @@ impl SimCore {
     pub fn fault_link_outage(&mut self, node: NodeId, domain: NetDomain, window: Cycle) {
         let now = self.engine.now();
         let until = now + window;
+        self.prof
+            .span(Domain::FaultRas, now, node.0, "link_outage", window);
         self.outages.push(LinkOutage {
             node,
             domain,
@@ -695,6 +724,13 @@ impl SimCore {
     /// Delay every in-flight message on `domain` touching `node` by
     /// `extra` cycles. Returns how many were affected.
     pub fn fault_delay_inflight(&mut self, node: NodeId, domain: NetDomain, extra: Cycle) -> u64 {
+        self.prof.span(
+            Domain::FaultRas,
+            self.engine.now(),
+            node.0,
+            "delay_inflight",
+            extra,
+        );
         let mut n = 0;
         for id in self.inflight_ids(node, domain) {
             let Some(&(_, arrival)) = self.msg_deliveries.get(&id) else {
@@ -713,6 +749,13 @@ impl SimCore {
     /// are XOR-mangled, so the receiver's decode fails and its own error
     /// path runs. Returns how many messages were hit.
     pub fn fault_corrupt_inflight(&mut self, node: NodeId, domain: NetDomain) -> u64 {
+        self.prof.span(
+            Domain::FaultRas,
+            self.engine.now(),
+            node.0,
+            "corrupt_inflight",
+            0,
+        );
         let mut n = 0;
         for id in self.inflight_ids(node, domain) {
             match domain {

@@ -4,8 +4,18 @@
 //! All output is hand-rolled JSON (the workspace carries no serde); the
 //! shapes are small and fixed, so escaping strings is the only subtlety.
 
-use super::metrics::{MetricKind, MetricsRegistry};
+use super::metrics::{MetricKind, MetricView, MetricsRegistry};
 use super::tracepoint::{TpKind, Tracepoint, NO_CORE};
+
+/// Registry views in deterministic (name-sorted) order. Registration
+/// order depends on code paths (bench post-processing registers extra
+/// metrics after boot), so exporters sort by name to keep CI diffs of
+/// two dumps byte-stable.
+fn sorted_views(reg: &MetricsRegistry) -> Vec<MetricView<'_>> {
+    let mut views: Vec<MetricView<'_>> = reg.iter().collect();
+    views.sort_by(|a, b| a.name.cmp(b.name));
+    views
+}
 
 /// Escape a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -84,11 +94,12 @@ pub fn chrome_trace_json(events: &[Tracepoint]) -> String {
 /// Render the registry as a gem5-style flat stats text dump: one
 /// `name.slot  value` line per scalar, histogram sub-statistics spelled
 /// out (`.count`, `.sum`, `.min`, `.max`, `.mean`, non-empty log2
-/// buckets as `.bucket<i>` covering `[2^(i-1), 2^i)`).
+/// buckets as `.bucket<i>` covering `[2^(i-1), 2^i)`). Metrics are
+/// emitted in name order so two dumps diff byte-stably.
 pub fn stats_txt(reg: &MetricsRegistry) -> String {
     let mut out = String::new();
     out.push_str("---------- Begin Simulation Statistics ----------\n");
-    for m in reg.iter() {
+    for m in sorted_views(reg) {
         match m.kind {
             MetricKind::Histogram => {
                 for (i, h) in m.hists.iter().enumerate() {
@@ -138,10 +149,11 @@ pub fn stats_txt(reg: &MetricsRegistry) -> String {
 /// values}` where `values` maps slot labels to scalars or histogram
 /// objects (`{count, sum, min, max, mean, buckets: {i: count}}`).
 /// Zero-valued slots are elided to keep dumps proportional to activity.
+/// Metrics are emitted in name order so two dumps diff byte-stably.
 pub fn stats_json(reg: &MetricsRegistry) -> String {
     let mut out = String::from("{");
     let mut first_metric = true;
-    for m in reg.iter() {
+    for m in sorted_views(reg) {
         if !first_metric {
             out.push(',');
         }

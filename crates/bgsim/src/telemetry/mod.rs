@@ -21,14 +21,67 @@
 mod divergence;
 mod export;
 mod metrics;
+mod profiler;
 mod tracepoint;
 
 pub use divergence::{first_divergence, DivergenceReport};
 pub use export::{chrome_trace_json, json_escape, stats_json, stats_txt};
 pub use metrics::{Hist, MetricId, MetricKind, MetricView, MetricsRegistry, Scope, Slot};
+pub use profiler::{
+    Domain, DomainStats, FlightRing, NodeHeat, ProfileSnapshot, Profiler, SpanRec, DOMAIN_COUNT,
+};
 pub use tracepoint::{TpKind, Tracepoint, NO_CORE};
 
 use crate::cycles::Cycle;
+
+/// Coverage signal for fuzzers: an FNV-1a hash over the registry's
+/// nonzero counter/histogram slots (name-sorted, so registration order
+/// cannot leak in), seeded with the high half of the trace digest as a
+/// coarse path prefix. Two runs that exercise different code paths —
+/// different syscall mixes, fault kinds, network traffic — land on
+/// different digests even when their final trace digests are unknown to
+/// the caller; bgcheck uses this as novelty feedback.
+pub fn coverage_digest(reg: &MetricsRegistry, trace_digest: u64) -> u64 {
+    fn mix(d: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *d ^= b as u64;
+            *d = d.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let mut views: Vec<MetricView<'_>> = reg.iter().collect();
+    views.sort_by(|a, b| a.name.cmp(b.name));
+    let mut d: u64 = 0xcbf2_9ce4_8422_2325;
+    mix(&mut d, trace_digest >> 32);
+    for m in views {
+        let name_h = crate::rng::fnv1a(m.name.as_bytes());
+        match m.kind {
+            MetricKind::Histogram => {
+                for (i, h) in m.hists.iter().enumerate() {
+                    if h.count() == 0 {
+                        continue;
+                    }
+                    mix(&mut d, name_h);
+                    mix(&mut d, i as u64);
+                    mix(&mut d, h.count());
+                    mix(&mut d, h.sum());
+                    mix(&mut d, h.min());
+                    mix(&mut d, h.max());
+                }
+            }
+            _ => {
+                for (i, v) in m.vals.iter().enumerate() {
+                    if *v == 0 {
+                        continue;
+                    }
+                    mix(&mut d, name_h);
+                    mix(&mut d, i as u64);
+                    mix(&mut d, *v);
+                }
+            }
+        }
+    }
+    d
+}
 
 /// Metric ids pre-registered at boot so simulator and kernel hooks pay
 /// no name lookups. Names follow a gem5-ish dotted convention; the
@@ -276,6 +329,29 @@ mod tests {
         assert_eq!(
             t.metrics.hist("noise.cycles", Slot::Core(1)).unwrap().max(),
             17
+        );
+    }
+
+    #[test]
+    fn coverage_digest_separates_counter_vectors() {
+        let mut a = Telemetry::standard(1, 4, 8);
+        let mut b = Telemetry::standard(1, 4, 8);
+        let base_a = coverage_digest(&a.metrics, 0);
+        assert_eq!(
+            base_a,
+            coverage_digest(&b.metrics, 0),
+            "identical registries hash identically"
+        );
+        a.count(a.ids.syscalls, Slot::Core(0), 1);
+        b.count(b.ids.preempts, Slot::Core(0), 1);
+        let da = coverage_digest(&a.metrics, 0);
+        let db = coverage_digest(&b.metrics, 0);
+        assert_ne!(da, db, "different counters, different digests");
+        assert_ne!(da, base_a);
+        // The trace-digest prefix feeds in too.
+        assert_ne!(
+            coverage_digest(&a.metrics, 0xdead_beef_0000_0000),
+            coverage_digest(&a.metrics, 0)
         );
     }
 

@@ -1,0 +1,445 @@
+//! Deterministic cycle-accounting profiler and crash flight recorder.
+//!
+//! The profiler attributes simulated cycles and event counts to
+//! coarse subsystems ([`Domain`]) and keeps per-node heat counters
+//! (events, cycles, messages, live/peak in-flight messages — the
+//! memory-accounting groundwork for rack-scale node layouts). It obeys
+//! the same determinism-neutrality contract as the rest of
+//! `bgsim::telemetry` — by construction, not by luck:
+//!
+//! * every recorded value is a simulated-cycle count or a plain count;
+//! * recording appends to profiler-private storage and never reads an
+//!   RNG stream, never schedules an event, and never mutates thread or
+//!   engine state;
+//! * all storage is allocated at construction, so the hot-path cost of
+//!   a span is an array index and two adds — and when the profiler is
+//!   disabled, a single branch.
+//!
+//! The same run with the profiler enabled and disabled therefore
+//! produces bit-identical trace digests, and the sim-side counters are
+//! identical across `--threads 1` vs. N (`ProfileSnapshot::merge` is a
+//! commutative sum, so shard completion order cannot leak in).
+//!
+//! Each domain also feeds a bounded [`FlightRing`] of recent spans —
+//! the crash flight recorder. On panic, invariant failure, or bgcheck
+//! mismatch, [`Profiler::flight_dump`] renders the rings so the repro
+//! artifact carries the last thing every subsystem did.
+
+use std::collections::VecDeque;
+
+use crate::cycles::Cycle;
+
+/// Cycle-accounting subsystems. `EngineHeap` and `FastPath` split op
+/// retirement by which driver retired it (the heap pop vs. the
+/// event-reduction fast path); the rest follow the tracepoint
+/// categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    EngineHeap,
+    FastPath,
+    Torus,
+    Collective,
+    Sched,
+    Ciod,
+    FaultRas,
+}
+
+/// Number of [`Domain`] variants (array sizing).
+pub const DOMAIN_COUNT: usize = 7;
+
+impl Domain {
+    /// Every domain, in stable display/export order.
+    pub const ALL: [Domain; DOMAIN_COUNT] = [
+        Domain::EngineHeap,
+        Domain::FastPath,
+        Domain::Torus,
+        Domain::Collective,
+        Domain::Sched,
+        Domain::Ciod,
+        Domain::FaultRas,
+    ];
+
+    /// Stable snake_case label used in report keys and monitor JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::EngineHeap => "engine_heap",
+            Domain::FastPath => "fast_path",
+            Domain::Torus => "torus",
+            Domain::Collective => "collective",
+            Domain::Sched => "sched",
+            Domain::Ciod => "ciod",
+            Domain::FaultRas => "fault_ras",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-domain accumulator: how many spans landed here and how many
+/// simulated cycles they covered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    pub events: u64,
+    pub cycles: u64,
+}
+
+/// Per-node heat counters. `live_msgs`/`peak_live_msgs` track in-flight
+/// messages addressed to the node — the peak is the node's high-water
+/// message allocation, the number a rack-scale SoA layout must size for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeHeat {
+    pub events: u64,
+    pub cycles: u64,
+    pub messages: u64,
+    pub live_msgs: u64,
+    pub peak_live_msgs: u64,
+}
+
+/// One recorded span: a named slice of simulated cycles attributed to a
+/// domain on a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    pub at: Cycle,
+    pub node: u32,
+    pub name: &'static str,
+    pub cycles: u64,
+}
+
+/// Bounded FIFO of recent spans for one domain. At capacity the oldest
+/// entry is evicted (and counted) — record order is never reordered.
+#[derive(Clone, Debug, Default)]
+pub struct FlightRing {
+    capacity: usize,
+    dropped: u64,
+    entries: VecDeque<SpanRec>,
+}
+
+impl FlightRing {
+    fn with_capacity(capacity: usize) -> FlightRing {
+        FlightRing {
+            capacity,
+            dropped: 0,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, s: SpanRec) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(s);
+    }
+
+    /// Retained spans, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &SpanRec> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Spans evicted (or refused, at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The per-machine profiler carried by `SimCore`. All recording methods
+/// are no-ops when disabled; hooks stay in place permanently and cost
+/// one predictable branch.
+pub struct Profiler {
+    enabled: bool,
+    domains: [DomainStats; DOMAIN_COUNT],
+    rings: [FlightRing; DOMAIN_COUNT],
+    nodes: Vec<NodeHeat>,
+}
+
+impl Profiler {
+    /// The no-op profiler (`MachineConfig::with_profiler(false)`).
+    pub fn disabled() -> Profiler {
+        Profiler {
+            enabled: false,
+            domains: [DomainStats::default(); DOMAIN_COUNT],
+            rings: std::array::from_fn(|_| FlightRing::with_capacity(0)),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// An enabled profiler for a machine shape, with `ring_capacity`
+    /// flight-recorder slots per domain.
+    pub fn standard(nodes: u32, ring_capacity: usize) -> Profiler {
+        Profiler {
+            enabled: true,
+            domains: [DomainStats::default(); DOMAIN_COUNT],
+            rings: std::array::from_fn(|_| FlightRing::with_capacity(ring_capacity)),
+            nodes: vec![NodeHeat::default(); nodes as usize],
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Attribute `cycles` simulated cycles at `at` on `node` to a
+    /// domain, and append the span to the domain's flight ring.
+    #[inline]
+    pub fn span(&mut self, d: Domain, at: Cycle, node: u32, name: &'static str, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ds = &mut self.domains[d.idx()];
+        ds.events += 1;
+        ds.cycles = ds.cycles.saturating_add(cycles);
+        if let Some(h) = self.nodes.get_mut(node as usize) {
+            h.events += 1;
+            h.cycles = h.cycles.saturating_add(cycles);
+        }
+        self.rings[d.idx()].push(SpanRec {
+            at,
+            node,
+            name,
+            cycles,
+        });
+    }
+
+    /// A message left `src` for `dst`: count it against the sender and
+    /// raise the destination's live/peak in-flight gauges.
+    #[inline]
+    pub fn msg_enqueued(&mut self, src: u32, dst: u32) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(h) = self.nodes.get_mut(src as usize) {
+            h.messages += 1;
+        }
+        if let Some(h) = self.nodes.get_mut(dst as usize) {
+            h.live_msgs += 1;
+            h.peak_live_msgs = h.peak_live_msgs.max(h.live_msgs);
+        }
+    }
+
+    /// A message addressed to `dst` was delivered or dropped.
+    #[inline]
+    pub fn msg_retired(&mut self, dst: u32) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(h) = self.nodes.get_mut(dst as usize) {
+            h.live_msgs = h.live_msgs.saturating_sub(1);
+        }
+    }
+
+    /// Accumulated stats for one domain.
+    pub fn domain(&self, d: Domain) -> DomainStats {
+        self.domains[d.idx()]
+    }
+
+    /// Per-node heat counters (empty when disabled).
+    pub fn node_heat(&self) -> &[NodeHeat] {
+        &self.nodes
+    }
+
+    /// The flight ring for one domain.
+    pub fn ring(&self, d: Domain) -> &FlightRing {
+        &self.rings[d.idx()]
+    }
+
+    /// Copy the sim-side counters out for reporting/merging.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            enabled: self.enabled,
+            domains: self.domains,
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    /// Render the flight recorder for a crash/mismatch artifact: every
+    /// domain's totals plus its most recent spans, oldest first.
+    pub fn flight_dump(&self) -> String {
+        if !self.enabled {
+            return String::from("flight recorder: profiler disabled\n");
+        }
+        let mut out = String::from("=== flight recorder (most recent spans per domain) ===\n");
+        for d in Domain::ALL {
+            let ds = self.domain(d);
+            let ring = self.ring(d);
+            out.push_str(&format!(
+                "[{}] events={} cycles={} retained={} evicted={}\n",
+                d.label(),
+                ds.events,
+                ds.cycles,
+                ring.len(),
+                ring.dropped()
+            ));
+            for s in ring.entries() {
+                out.push_str(&format!(
+                    "  at={:<14} node={:<5} cycles={:<12} {}\n",
+                    s.at, s.node, s.cycles, s.name
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Sim-side profiler counters, detached from the machine. Merging is a
+/// commutative sum (peak is a max), so folding shard snapshots in any
+/// order produces identical totals — the `--threads 1` vs. N guarantee.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    pub enabled: bool,
+    pub domains: [DomainStats; DOMAIN_COUNT],
+    pub nodes: Vec<NodeHeat>,
+}
+
+impl ProfileSnapshot {
+    /// Fold another snapshot in: sums for flows, max for peaks.
+    pub fn merge(&mut self, other: &ProfileSnapshot) {
+        self.enabled |= other.enabled;
+        for (a, b) in self.domains.iter_mut().zip(other.domains.iter()) {
+            a.events += b.events;
+            a.cycles = a.cycles.saturating_add(b.cycles);
+        }
+        if self.nodes.len() < other.nodes.len() {
+            self.nodes.resize(other.nodes.len(), NodeHeat::default());
+        }
+        for (a, b) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+            a.events += b.events;
+            a.cycles = a.cycles.saturating_add(b.cycles);
+            a.messages += b.messages;
+            a.live_msgs += b.live_msgs;
+            a.peak_live_msgs = a.peak_live_msgs.max(b.peak_live_msgs);
+        }
+    }
+
+    /// (label, stats) for every domain, in stable order.
+    pub fn domains_labeled(&self) -> impl Iterator<Item = (&'static str, DomainStats)> + '_ {
+        Domain::ALL
+            .iter()
+            .map(|d| (d.label(), self.domains[d.idx()]))
+    }
+
+    pub fn total_events(&self) -> u64 {
+        self.domains.iter().map(|d| d.events).sum()
+    }
+
+    pub fn total_cycles(&self) -> u64 {
+        self.domains
+            .iter()
+            .fold(0u64, |a, d| a.saturating_add(d.cycles))
+    }
+
+    /// Machine-wide message count (sum of per-node senders).
+    pub fn total_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.messages).sum()
+    }
+
+    /// Highest in-flight message count any node saw.
+    pub fn peak_live_msgs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.peak_live_msgs)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::disabled();
+        p.span(Domain::Torus, 10, 0, "send", 100);
+        p.msg_enqueued(0, 1);
+        assert!(!p.enabled());
+        assert_eq!(p.domain(Domain::Torus), DomainStats::default());
+        assert!(p.node_heat().is_empty());
+        assert!(p.ring(Domain::Torus).is_empty());
+    }
+
+    #[test]
+    fn spans_accumulate_per_domain_and_node() {
+        let mut p = Profiler::standard(2, 8);
+        p.span(Domain::FastPath, 5, 0, "op_retire", 1000);
+        p.span(Domain::FastPath, 9, 1, "op_retire", 500);
+        p.span(Domain::Sched, 9, 1, "preempt", 0);
+        let fp = p.domain(Domain::FastPath);
+        assert_eq!((fp.events, fp.cycles), (2, 1500));
+        assert_eq!(p.domain(Domain::Sched).events, 1);
+        assert_eq!(p.node_heat()[0].cycles, 1000);
+        assert_eq!(p.node_heat()[1].events, 2);
+    }
+
+    #[test]
+    fn message_heat_tracks_live_and_peak() {
+        let mut p = Profiler::standard(2, 4);
+        p.msg_enqueued(0, 1);
+        p.msg_enqueued(0, 1);
+        p.msg_retired(1);
+        p.msg_enqueued(1, 0);
+        assert_eq!(p.node_heat()[0].messages, 2);
+        assert_eq!(p.node_heat()[1].live_msgs, 1);
+        assert_eq!(p.node_heat()[1].peak_live_msgs, 2);
+        assert_eq!(p.node_heat()[0].live_msgs, 1);
+        // Retire below zero saturates instead of wrapping.
+        p.msg_retired(1);
+        p.msg_retired(1);
+        assert_eq!(p.node_heat()[1].live_msgs, 0);
+    }
+
+    /// The flight ring drops the *oldest* span at capacity and never
+    /// reorders the survivors — the ISSUE's ring contract.
+    #[test]
+    fn flight_ring_drops_oldest_without_reordering() {
+        let mut p = Profiler::standard(1, 3);
+        for i in 0..5u64 {
+            p.span(Domain::Ciod, i, 0, "fship", i * 10);
+        }
+        let ring = p.ring(Domain::Ciod);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let ats: Vec<u64> = ring.entries().map(|s| s.at).collect();
+        assert_eq!(ats, vec![2, 3, 4], "oldest evicted, order preserved");
+        assert!(p.flight_dump().contains("[ciod] events=5"));
+    }
+
+    /// Merging shard snapshots is order-invariant: sums commute and
+    /// peak-of-max equals max-of-peaks.
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let mut a = Profiler::standard(2, 4);
+        a.span(Domain::Torus, 1, 0, "send", 100);
+        a.msg_enqueued(0, 1);
+        let mut b = Profiler::standard(2, 4);
+        b.span(Domain::Torus, 2, 1, "send", 300);
+        b.span(Domain::Collective, 3, 0, "send", 50);
+        b.msg_enqueued(1, 0);
+        b.msg_enqueued(1, 0);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.domains[Domain::Torus.idx()].cycles, 400);
+        assert_eq!(ab.total_messages(), 3);
+        assert_eq!(ab.peak_live_msgs(), 2);
+    }
+}

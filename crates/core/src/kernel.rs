@@ -15,7 +15,7 @@ use bgsim::machine::{
 };
 use bgsim::noise::NoiseSource;
 use bgsim::op::{CloneArgs, Op};
-use bgsim::telemetry::{Slot, TpKind};
+use bgsim::telemetry::{Domain, Slot, TpKind};
 use bgsim::tlb::TlbEntry;
 use ciod::{service_cycles, Ciod, RetryPolicy, Vfs};
 use sysabi::{
@@ -326,6 +326,8 @@ impl Cnk {
             id,
             bytes,
         );
+        sc.prof
+            .span(Domain::Ciod, sc.now(), node.0, "fship_req", marshal);
         sc.coll_send(node, node, bytes, id * 4 + 1, payload, marshal);
     }
 
@@ -392,6 +394,8 @@ impl Cnk {
             id,
             attempt as u64,
         );
+        sc.prof
+            .span(Domain::Ciod, sc.now(), node.0, "fship_retry", backoff);
         sc.coll_send(node, node, bytes, id * 4 + 1, payload, marshal);
     }
 
@@ -447,6 +451,8 @@ impl Cnk {
             self.served.insert(id, reply.clone());
         }
         let bytes = reply.len() as u64;
+        sc.prof
+            .span(Domain::Ciod, sc.now(), msg.dst_node.0, "ion_service", delay);
         sc.coll_send(msg.dst_node, msg.src_node, bytes, id * 4 + 2, reply, delay);
     }
 
@@ -492,6 +498,13 @@ impl Cnk {
             TpKind::FshipRep,
             "reply",
             id,
+            latency,
+        );
+        sc.prof.span(
+            Domain::Ciod,
+            sc.now(),
+            msg.dst_node.0,
+            "fship_reply",
             latency,
         );
         let ret = ciod::wire::decode_ret(&msg.payload).unwrap_or(SysRet::Err(Errno::EIO));

@@ -11,7 +11,7 @@ use bgsim::machine::{
     SimCore, SyscallAction, Workload, WorkloadFactory,
 };
 use bgsim::op::{CloneArgs, Op};
-use bgsim::telemetry::{Slot, TpKind};
+use bgsim::telemetry::{Domain, Slot, TpKind};
 use bgsim::tlb::{TlbEntry, TLB_MISS_CYCLES};
 use ciod::{IoProxy, Vfs};
 use cnk::futex::FutexTable;
@@ -813,6 +813,16 @@ impl Kernel for Fwk {
                     src_idx as u64,
                     cost,
                 );
+                // Zero-cycle span: the stretch below accounts `cost`
+                // cycles in Sched, this names the daemon for the flight
+                // recorder without double counting.
+                sc.prof.span(
+                    Domain::Sched,
+                    sc.now(),
+                    node.0,
+                    self.cfg.noise[src_idx].name,
+                    0,
+                );
                 sc.stretch_running(core, cost, tag);
                 self.schedule_noise(sc, node, src_idx, core_local);
             }
@@ -866,6 +876,8 @@ impl Kernel for Fwk {
                     i as u64,
                     cost,
                 );
+                sc.prof
+                    .span(Domain::FaultRas, sc.now(), node.0, "ras_recovery", 0);
                 sc.stretch_running(core, cost, tag);
             }
             _ => {}

@@ -540,6 +540,79 @@ proptest! {
     }
 }
 
+// ---- profiler neutrality ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Observability must be free: the cycle-accounting profiler, on or
+    /// off, cannot change the trace digest or final cycle; and the
+    /// profile counters themselves are identical across the sequential
+    /// driver, the windowed driver, and a 4-thread shard pool.
+    #[test]
+    fn profiler_is_digest_neutral_and_mode_invariant(
+        prog in arb_program(),
+        seed in 0u64..1000,
+        kernel_pick in any::<bool>(),
+    ) {
+        let run = |windowed: bool, profiler: bool| {
+            let prog = prog.clone();
+            let kernel: Box<dyn bgsim::Kernel> = if kernel_pick {
+                Box::new(Cnk::with_defaults())
+            } else {
+                Box::new(Fwk::with_defaults())
+            };
+            let mut m = bgsim::machine::Machine::new(
+                MachineConfig::nodes(2)
+                    .with_seed(seed)
+                    .with_trace()
+                    .with_profiler(profiler),
+                kernel,
+                Box::new(dcmf::Dcmf::with_defaults()),
+            );
+            m.boot();
+            m.launch(
+                &sysabi::JobSpec::new(
+                    sysabi::AppImage::static_test("prof-fuzz"),
+                    2,
+                    sysabi::NodeMode::Smp,
+                ),
+                &mut |_r: sysabi::Rank| {
+                    let prog = prog.clone();
+                    let mut i = 0usize;
+                    bgsim::script::wl(move |env| {
+                        let _ = env.take_ret();
+                        if i >= prog.len() {
+                            return bgsim::Op::End;
+                        }
+                        let op = decode_op(prog[i], i as u64);
+                        i += 1;
+                        op
+                    })
+                },
+            )
+            .unwrap();
+            let out = if windowed { m.run_windowed() } else { m.run() };
+            (out.at(), m.trace_digest(), m.profile_snapshot())
+        };
+
+        let on = run(false, true);
+        let off = run(false, false);
+        prop_assert_eq!((on.0, on.1), (off.0, off.1), "profiler changed the simulation");
+        prop_assert!(!off.2.enabled, "with_profiler(false) run still profiled");
+        prop_assert!(on.2.enabled, "default-on profiler was off");
+        let win = run(true, true);
+        prop_assert_eq!((on.0, on.1), (win.0, win.1), "windowed driver diverged");
+        prop_assert_eq!(&on.2, &win.2, "profile counters differ across drivers");
+        // Shard pool: every worker reproduces the same snapshot.
+        let jobs: Vec<_> = (0..4).map(|_| || run(false, true)).collect();
+        for (i, r) in bench::par::run_shards(4, jobs).into_iter().enumerate() {
+            prop_assert_eq!((on.0, on.1), (r.0, r.1), "shard {} digest diverged", i);
+            prop_assert_eq!(&on.2, &r.2, "shard {} profile counters diverged", i);
+        }
+    }
+}
+
 // ---- VFS / ioproxy -------------------------------------------------------------
 
 proptest! {
