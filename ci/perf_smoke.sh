@@ -133,6 +133,68 @@ EOF
 
 echo "perf smoke OK: fast-path digests identical to the heap path"
 
+# ---- engine-backend / noise-model conformance --------------------------------
+# The calendar-queue event structure and closed-form noise sampling are
+# documented as digest-neutral host tuning. Run the FWQ figure across
+# the full {calendar,heap} × {closed-form,per-tick} × {--threads 1,4}
+# grid and fail if any digest.* or final_cycle.* field moves. These are
+# hard assertions; the printed per-backend sim_cycles_per_sec ratio is
+# informational only (shared runners are too noisy to gate on).
+ref=""
+for backend in calendar heap; do
+  for noise in cf pt; do
+    for threads in 1 4; do
+      tag="fwq_${backend}_${noise}_t${threads}"
+      noise_flag=""
+      [ "$noise" = pt ] && noise_flag="--no-closed-form-noise"
+      "$fwq" --threads "$threads" --engine "$backend" $noise_flag \
+        --force --stats-out "$out/$tag.json"
+      validate_schema "$out/$tag.json"
+      extract "$out/$tag.json" > "$out/$tag.keys"
+      if [ -z "$ref" ]; then
+        ref="$tag"
+      elif ! diff -u "$out/$ref.keys" "$out/$tag.keys"; then
+        echo "FAIL: $tag diverged from $ref" >&2
+        exit 1
+      fi
+    done
+  done
+done
+[ -s "$out/$ref.keys" ] || { echo "FAIL: no engine-matrix digests extracted" >&2; exit 1; }
+echo "perf smoke OK: $(grep -c '^digest\.' "$out/$ref.keys") digests identical across {calendar,heap} x {closed-form,per-tick} x {1,4 threads}"
+
+# Same backend diff on the Fig. 8 sweep: the near-neighbor workload
+# stresses the engine's cross-domain scheduling rather than FWQ's
+# compute-stretch regime.
+"$bin" --threads 1 --engine heap --force --stats-out "$out/fig8_bheap.json"
+extract "$out/fig8_bheap.json" > "$out/fig8_bheap.keys"
+if ! diff -u "$out/t1.keys" "$out/fig8_bheap.keys"; then
+  echo "FAIL: fig8 heap backend diverged from the calendar default" >&2
+  exit 1
+fi
+echo "perf smoke OK: fig8 digests identical across calendar/heap backends"
+
+# Reject-invalid-flag check: the bench CLI must refuse a bogus backend
+# with a clean error, not a panic or a silent default.
+if "$fwq" --engine splay --force --stats-out "$out/bogus.json" 2>"$out/bogus.err"; then
+  echo "FAIL: --engine splay was accepted" >&2
+  exit 1
+fi
+grep -qi "calendar" "$out/bogus.err" \
+  || { echo "FAIL: --engine splay error did not name the valid backends" >&2; exit 1; }
+echo "perf smoke OK: invalid --engine value rejected cleanly"
+
+python3 - "$out/fwq_calendar_cf_t1.json" "$out/fwq_heap_pt_t1.json" <<'EOF'
+import json, sys
+cal = json.load(open(sys.argv[1]))["scalars"]
+ref = json.load(open(sys.argv[2]))["scalars"]
+for kernel in ("cnk", "linux"):
+    key = f"host.{kernel}.sim_cycles_per_sec"
+    c, r = cal.get(key, 0.0), ref.get(key, 0.0)
+    ratio = c / r if r else float("nan")
+    print(f"{key}: calendar+closed-form {c:.3e}  heap+per-tick {r:.3e}  ratio {ratio:.2f}x")
+EOF
+
 # ---- RAS fault-injection smoke ----------------------------------------------
 # 1) A seeded fault schedule must itself be driver-invariant: fig8 with
 #    --fault-seed under --threads 1 and --threads 4 must agree on every

@@ -20,7 +20,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use bgcheck::runner::{mode_label, run_mode, CheckKernel, MODES};
+use bgcheck::runner::{run_mode, CheckKernel, MODES};
 use bgcheck::{check_program, generate, parse_script, shrink, to_script_with_pins, DigestPin};
 
 fn usage(msg: &str) -> ExitCode {
@@ -195,12 +195,12 @@ fn replay_file(path: &Path, record: bool) -> Result<(), String> {
     if record {
         let mut pins = Vec::new();
         for kernel in CheckKernel::ALL {
-            for (windowed, fast) in MODES {
-                let rec = run_mode(&rep.program, kernel, windowed, fast)
+            for mode in MODES {
+                let rec = run_mode(&rep.program, kernel, mode)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
                 pins.push(DigestPin {
                     kernel: kernel.label().to_string(),
-                    mode: mode_label(windowed, fast),
+                    mode: mode.label(),
                     digest: rec.digest,
                     final_cycle: rec.final_cycle,
                 });

@@ -1,14 +1,16 @@
 //! The differential runner: one program, every engine mode, one
 //! verdict.
 //!
-//! For each kernel the sequential fast-path run is the oracle; the
-//! windowed driver, the heap scheduler (fast path off), and a
-//! 3-way repetition through the shard pool must all reproduce its
+//! For each kernel the sequential fast-path calendar/closed-form run
+//! is the oracle; every other cell of the {seq,win} × {fast,heap} ×
+//! {calendar,binary-heap} × {closed-form,per-tick} matrix, plus a
+//! 3-way repetition through the shard pool, must reproduce its
 //! (outcome, final cycle, digest) triple exactly. Every run is also
 //! swept by `Machine::check_invariants` — a mode can agree with the
 //! oracle bit-for-bit and still fail the check if kernel bookkeeping
 //! leaked (futex waiters, pending CIOD replies, partition overlap).
 
+use bgsim::config::EngineBackend;
 use bgsim::machine::{Machine, RunOutcome};
 use bgsim::MachineConfig;
 
@@ -43,20 +45,73 @@ impl CheckKernel {
     }
 }
 
-/// The four single-machine modes as (windowed, fast-path) pairs. The
-/// first is the oracle.
-pub const MODES: [(bool, bool); 4] = [(false, true), (false, false), (true, true), (true, false)];
+/// One cell of the differential matrix: driver loop × scheduler path ×
+/// event-engine backend × noise-sampling strategy. Every knob here is
+/// documented as digest-neutral, so every cell must reproduce the
+/// oracle's (outcome, final cycle, digest) triple exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mode {
+    /// `run_windowed` instead of `run`.
+    pub windowed: bool,
+    /// Compute fast path on (off = the reference heap scheduler walk).
+    pub fast: bool,
+    /// Calendar-queue vs binary-heap event structure.
+    pub backend: EngineBackend,
+    /// Closed-form noise sampling vs the per-tick reference sampler.
+    pub closed_form_noise: bool,
+}
+
+impl Mode {
+    /// Stable label: `{seq,win}+{fast,heap}+{cal,bheap}+{cf,pt}`.
+    /// (`bheap` = binary-heap backend, distinct from the `heap`
+    /// scheduler-path leg.)
+    pub fn label(self) -> String {
+        format!(
+            "{}+{}+{}+{}",
+            if self.windowed { "win" } else { "seq" },
+            if self.fast { "fast" } else { "heap" },
+            match self.backend {
+                EngineBackend::Calendar => "cal",
+                EngineBackend::Heap => "bheap",
+            },
+            if self.closed_form_noise { "cf" } else { "pt" }
+        )
+    }
+}
+
+const fn mode(windowed: bool, fast: bool, backend: EngineBackend, closed_form_noise: bool) -> Mode {
+    Mode {
+        windowed,
+        fast,
+        backend,
+        closed_form_noise,
+    }
+}
+
+/// The full single-machine matrix: {seq,win} × {fast,heap} ×
+/// {calendar,binary-heap} × {closed-form,per-tick}. The first entry
+/// (seq+fast+cal+cf — the production default) is the oracle.
+pub const MODES: [Mode; 16] = [
+    mode(false, true, EngineBackend::Calendar, true),
+    mode(false, true, EngineBackend::Calendar, false),
+    mode(false, true, EngineBackend::Heap, true),
+    mode(false, true, EngineBackend::Heap, false),
+    mode(false, false, EngineBackend::Calendar, true),
+    mode(false, false, EngineBackend::Calendar, false),
+    mode(false, false, EngineBackend::Heap, true),
+    mode(false, false, EngineBackend::Heap, false),
+    mode(true, true, EngineBackend::Calendar, true),
+    mode(true, true, EngineBackend::Calendar, false),
+    mode(true, true, EngineBackend::Heap, true),
+    mode(true, true, EngineBackend::Heap, false),
+    mode(true, false, EngineBackend::Calendar, true),
+    mode(true, false, EngineBackend::Calendar, false),
+    mode(true, false, EngineBackend::Heap, true),
+    mode(true, false, EngineBackend::Heap, false),
+];
 
 /// Shard-pool width for the repetition leg.
 pub const SHARD_WAYS: usize = 3;
-
-pub fn mode_label(windowed: bool, fast: bool) -> String {
-    format!(
-        "{}+{}",
-        if windowed { "win" } else { "seq" },
-        if fast { "fast" } else { "heap" }
-    )
-}
 
 /// What one run produced.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -138,13 +193,15 @@ impl Failure {
 fn build_machine(
     p: &Program,
     kernel: CheckKernel,
-    fast: bool,
+    mode: Mode,
     keep_trace: bool,
 ) -> Result<Machine, String> {
     let mut cfg = MachineConfig::nodes(p.nodes)
         .with_seed(p.seed)
         .with_telemetry()
-        .with_fast_path(fast);
+        .with_fast_path(mode.fast)
+        .with_engine_backend(mode.backend)
+        .with_closed_form_noise(mode.closed_form_noise);
     if keep_trace {
         cfg = cfg.with_trace();
     }
@@ -164,16 +221,15 @@ fn build_machine(
 fn run_one(
     p: &Program,
     kernel: CheckKernel,
-    windowed: bool,
-    fast: bool,
+    mode: Mode,
     keep_trace: bool,
 ) -> Result<(RunRecord, Machine), String> {
-    let mut m = build_machine(p, kernel, fast, keep_trace)?;
+    let mut m = build_machine(p, kernel, mode, keep_trace)?;
     // A panic mid-run must not lose the flight recorder: catch it, fold
     // the dump into the error, and let the caller report it as a
     // checker failure instead of tearing down the process.
     let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        if windowed {
+        if mode.windowed {
             m.run_windowed()
         } else {
             m.run()
@@ -194,7 +250,7 @@ fn run_one(
     };
     let rec = RunRecord {
         kernel: kernel.label(),
-        mode: mode_label(windowed, fast),
+        mode: mode.label(),
         outcome: outcome_label(&out),
         final_cycle: out.at(),
         digest: m.trace_digest(),
@@ -205,25 +261,15 @@ fn run_one(
 }
 
 /// Public single-mode entry (replay/record paths).
-pub fn run_mode(
-    p: &Program,
-    kernel: CheckKernel,
-    windowed: bool,
-    fast: bool,
-) -> Result<RunRecord, String> {
-    run_one(p, kernel, windowed, fast, false).map(|(r, _)| r)
+pub fn run_mode(p: &Program, kernel: CheckKernel, mode: Mode) -> Result<RunRecord, String> {
+    run_one(p, kernel, mode, false).map(|(r, _)| r)
 }
 
 /// Re-run two modes with retained traces and render where they first
 /// diverge (entry index, both entries, surrounding context).
-fn diverge_report(
-    p: &Program,
-    kernel: CheckKernel,
-    a: (bool, bool),
-    b: (bool, bool),
-) -> Option<String> {
-    let (_, ma) = run_one(p, kernel, a.0, a.1, true).ok()?;
-    let (_, mb) = run_one(p, kernel, b.0, b.1, true).ok()?;
+fn diverge_report(p: &Program, kernel: CheckKernel, a: Mode, b: Mode) -> Option<String> {
+    let (_, ma) = run_one(p, kernel, a, true).ok()?;
+    let (_, mb) = run_one(p, kernel, b, true).ok()?;
     bgsim::first_divergence(&ma.sc.trace, &mb.sc.trace, 3).map(|d| d.render())
 }
 
@@ -252,11 +298,15 @@ impl Canary {
         Canary::CycleSkew,
     ];
 
-    /// The canary perturbs the (fwk, win+fast) leg — fwk because its
-    /// noise model consumes the machine seed, so a seed skew is
-    /// guaranteed digest-visible.
-    fn applies(kernel: CheckKernel, windowed: bool, fast: bool) -> bool {
-        kernel == CheckKernel::Fwk && windowed && fast
+    /// The canary perturbs exactly one leg — (fwk, win+fast+cal+cf) —
+    /// fwk because its noise model consumes the machine seed, so a seed
+    /// skew is guaranteed digest-visible.
+    fn applies(kernel: CheckKernel, mode: Mode) -> bool {
+        kernel == CheckKernel::Fwk
+            && mode.windowed
+            && mode.fast
+            && mode.backend == EngineBackend::Calendar
+            && mode.closed_form_noise
     }
 
     fn tamper_program(self, p: &Program) -> Program {
@@ -308,23 +358,20 @@ pub fn check_program_tampered(
     let mut records = Vec::new();
     for kernel in CheckKernel::ALL {
         let mut base: Option<RunRecord> = None;
-        for (windowed, fast) in MODES {
+        for m_spec in MODES {
             let (prog, tamper_rec) = match canary {
-                Some(c) if Canary::applies(kernel, windowed, fast) => {
-                    (c.tamper_program(p), Some(c))
-                }
+                Some(c) if Canary::applies(kernel, m_spec) => (c.tamper_program(p), Some(c)),
                 _ => (p.clone(), None),
             };
-            let (mut rec, m) =
-                run_one(&prog, kernel, windowed, fast, false).map_err(|e| Failure {
-                    kind: FailureKind::Error,
-                    kernel: kernel.label(),
-                    base_mode: mode_label(windowed, fast),
-                    mode: mode_label(windowed, fast),
-                    detail: e,
-                    divergence: None,
-                    flight: None,
-                })?;
+            let (mut rec, m) = run_one(&prog, kernel, m_spec, false).map_err(|e| Failure {
+                kind: FailureKind::Error,
+                kernel: kernel.label(),
+                base_mode: m_spec.label(),
+                mode: m_spec.label(),
+                detail: e,
+                divergence: None,
+                flight: None,
+            })?;
             if let Some(c) = tamper_rec {
                 c.tamper_record(&mut rec);
             }
@@ -344,7 +391,7 @@ pub fn check_program_tampered(
                 Some(b) => {
                     if rec.triple() != b.triple() {
                         let divergence = if b.digest != rec.digest && canary.is_none() {
-                            diverge_report(p, kernel, MODES[0], (windowed, fast))
+                            diverge_report(p, kernel, MODES[0], m_spec)
                         } else {
                             None
                         };
@@ -372,7 +419,7 @@ pub fn check_program_tampered(
         let jobs: Vec<_> = (0..SHARD_WAYS)
             .map(|_| {
                 let prog = p.clone();
-                move || run_one(&prog, kernel, false, true, false).map(|(r, _)| r)
+                move || run_one(&prog, kernel, MODES[0], false).map(|(r, _)| r)
             })
             .collect();
         let Some(b) = base else { continue };
@@ -426,16 +473,16 @@ mod tests {
             faults: Default::default(),
         };
         let recs = check_program(&p).expect("clean program must pass");
-        // 2 kernels × 4 modes.
-        assert_eq!(recs.len(), 8);
+        // 2 kernels × 16 modes.
+        assert_eq!(recs.len(), 32);
         // Within a kernel all digests agree; across kernels they differ.
-        assert!(recs[..4].windows(2).all(|w| w[0].digest == w[1].digest));
-        assert!(recs[4..].windows(2).all(|w| w[0].digest == w[1].digest));
-        assert_ne!(recs[0].digest, recs[4].digest);
+        assert!(recs[..16].windows(2).all(|w| w[0].digest == w[1].digest));
+        assert!(recs[16..].windows(2).all(|w| w[0].digest == w[1].digest));
+        assert_ne!(recs[0].digest, recs[16].digest);
         // Coverage digests are populated and distinguish the kernels
         // (different subsystems fire different counters).
         assert!(recs.iter().all(|r| r.coverage != 0));
-        assert_ne!(recs[0].coverage, recs[4].coverage);
+        assert_ne!(recs[0].coverage, recs[16].coverage);
     }
 
     #[test]

@@ -136,6 +136,32 @@ impl ChipConfig {
     }
 }
 
+/// Which priority-queue structure backs each event domain in
+/// [`crate::engine::Engine`]. Both back the same two-level merge and pop
+/// the same global `(cycle, seq)` order bit-for-bit; the choice is pure
+/// host-performance tuning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineBackend {
+    /// A calendar queue: a bucketed ring over the dense near-horizon
+    /// window with a `BinaryHeap` overflow for sparse/far-future events.
+    /// O(1) amortized insert/pop at steady event density — the default.
+    #[default]
+    Calendar,
+    /// The plain per-domain `BinaryHeap` of the original engine; the
+    /// reference structure the calendar is digest-pinned against.
+    Heap,
+}
+
+impl EngineBackend {
+    /// Stable label used in CLI parsing and report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineBackend::Calendar => "calendar",
+            EngineBackend::Heap => "heap",
+        }
+    }
+}
+
 /// The whole simulated machine.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -199,6 +225,23 @@ pub struct MachineConfig {
     /// default, and an empty schedule schedules no events at all — such
     /// runs are bit-identical to a build without fault injection.
     pub faults: crate::fault::FaultSchedule,
+    /// Event-queue structure backing each domain ([`EngineBackend`]).
+    /// Calendar by default; both settings pop bit-identically.
+    pub engine_backend: EngineBackend,
+    /// Sample kernel noise/daemon timers analytically from a virtual
+    /// timer wheel instead of scheduling one heap event per tick. Same
+    /// RNG stream, same firing order, bit-identical digests; `false`
+    /// falls back to the per-tick reference walker.
+    pub closed_form_noise: bool,
+    /// Let the windowed driver jump whole quiescent epochs to the next
+    /// pending event (the parsim-style `min_at + lookahead` anchor) even
+    /// when the per-op fast path is disabled. Digest-identical either
+    /// way; `false` reverts to fixed `now + lookahead` windows.
+    pub epoch_fast_forward: bool,
+    /// Dead-entry floor before the engine considers a wholesale
+    /// compaction sweep of a domain queue (it still also requires dead >
+    /// live). Tunable per backend; must be at least 1.
+    pub compact_min_dead: usize,
 }
 
 impl Default for MachineConfig {
@@ -224,6 +267,10 @@ impl Default for MachineConfig {
             profiler: true,
             profiler_ring: 64,
             faults: crate::fault::FaultSchedule::default(),
+            engine_backend: EngineBackend::default(),
+            closed_form_noise: true,
+            epoch_fast_forward: true,
+            compact_min_dead: 64,
         }
     }
 }
@@ -298,6 +345,35 @@ impl MachineConfig {
         self
     }
 
+    /// Select the event-queue structure ([`EngineBackend`]). Either
+    /// backend pops the same `(cycle, seq)` order bit-for-bit.
+    pub fn with_engine_backend(mut self, backend: EngineBackend) -> MachineConfig {
+        self.engine_backend = backend;
+        self
+    }
+
+    /// Toggle closed-form noise sampling (on by default). `false` is
+    /// the per-tick reference walker the closed form is pinned against.
+    pub fn with_closed_form_noise(mut self, on: bool) -> MachineConfig {
+        self.closed_form_noise = on;
+        self
+    }
+
+    /// Toggle epoch-grained quiescence fast-forward in the windowed
+    /// driver (on by default; digest-identical either way).
+    pub fn with_epoch_fast_forward(mut self, on: bool) -> MachineConfig {
+        self.epoch_fast_forward = on;
+        self
+    }
+
+    /// Tune the engine's dead-entry compaction floor (default 64).
+    /// Validation rejects 0 — a zero floor would compact on every
+    /// cancel and defeat lazy stale discard.
+    pub fn with_compact_min_dead(mut self, floor: usize) -> MachineConfig {
+        self.compact_min_dead = floor;
+        self
+    }
+
     pub fn total_cores(&self) -> u32 {
         self.nodes * self.chip.cores
     }
@@ -346,6 +422,9 @@ impl MachineConfig {
                     self.nodes
                 ));
             }
+        }
+        if self.compact_min_dead == 0 {
+            return Err("compact_min_dead must be at least 1".into());
         }
         Ok(())
     }
@@ -431,6 +510,25 @@ mod tests {
         assert_eq!(c.effective_lookahead(), 1, "explicit 0 clamps to 1");
         let c = c.with_lookahead(5000);
         assert_eq!(c.effective_lookahead(), 5000);
+    }
+
+    #[test]
+    fn engine_tuning_knobs() {
+        let c = MachineConfig::default();
+        assert_eq!(c.engine_backend, EngineBackend::Calendar);
+        assert!(c.closed_form_noise);
+        assert!(c.epoch_fast_forward);
+        assert_eq!(c.compact_min_dead, 64);
+        let c = c
+            .with_engine_backend(EngineBackend::Heap)
+            .with_closed_form_noise(false)
+            .with_epoch_fast_forward(false)
+            .with_compact_min_dead(8);
+        c.validate().unwrap();
+        assert_eq!(c.engine_backend.label(), "heap");
+        assert_eq!(EngineBackend::Calendar.label(), "calendar");
+        let bad = MachineConfig::default().with_compact_min_dead(0);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::config::EngineBackend;
 use crate::cycles::Cycle;
 
 /// An event payload. The machine layer interprets these; the engine only
@@ -143,15 +144,263 @@ pub struct EngineStats {
     pub fastforward_cycles: u64,
 }
 
-/// Don't bother compacting tiny queues; below this many dead entries the
-/// lazy pop-time discard is cheaper than a rebuild.
-const COMPACT_MIN_DEAD: usize = 64;
+/// Calendar-queue bucket count. Fixed; the bucket *width* adapts, so the
+/// window span (`width * CAL_BUCKETS`) tracks the event density.
+const CAL_BUCKETS: usize = 64;
+/// Narrowest bucket the dense-side resize will shrink to, in cycles.
+const CAL_MIN_WIDTH: Cycle = 64;
+/// Initial bucket width in cycles (~19 us at 850 MHz — the order of the
+/// kernels' quantum/daemon timers).
+const CAL_INIT_WIDTH: Cycle = 1 << 14;
+/// Consecutive refills recovering at most one key before the sparse-side
+/// resize doubles the bucket width.
+const CAL_SPARSE_REFILLS: u32 = 4;
+
+/// A calendar queue: a ring of `CAL_BUCKETS` buckets covering the dense
+/// near-horizon window `[base, base + width*CAL_BUCKETS)`, with a
+/// `BinaryHeap` *overflow* for sparse/far-future keys and a tiny *early*
+/// heap for keys behind the window base (restore races). Pops scan the
+/// ring cursor forward; when the window drains, the next overflow window
+/// is pulled in (`refill`), adapting the bucket width to the observed
+/// density. Yields exactly the `(at, seq)` min order a heap would.
+#[derive(Debug)]
+struct Calendar {
+    /// Cycle of bucket 0 of the current window (aligned to `width`).
+    base: Cycle,
+    /// Cycles per bucket.
+    width: Cycle,
+    /// First possibly non-empty bucket of the window.
+    cursor: usize,
+    /// Tiny per-bucket heaps: each holds only keys from one
+    /// `width`-cycle slice, so sifts stay shallow.
+    buckets: Vec<BinaryHeap<Reverse<Key>>>,
+    window_len: usize,
+    /// Keys before `base`. Strictly earlier than any window/overflow key
+    /// (the base only advances when the window is empty), so they always
+    /// win the peek.
+    early: BinaryHeap<Reverse<Key>>,
+    /// Keys at or beyond the window end — the sparse/far-future
+    /// fallback heap, drained window by window.
+    overflow: BinaryHeap<Reverse<Key>>,
+    /// Refills in a row that recovered at most one key.
+    sparse_refills: u32,
+    /// Bucket-width adaptations (either direction) so far.
+    resizes: u64,
+}
+
+impl Calendar {
+    fn new(capacity: usize) -> Calendar {
+        Calendar {
+            base: 0,
+            width: CAL_INIT_WIDTH,
+            cursor: CAL_BUCKETS,
+            buckets: (0..CAL_BUCKETS)
+                .map(|_| BinaryHeap::with_capacity(capacity.div_ceil(CAL_BUCKETS)))
+                .collect(),
+            window_len: 0,
+            early: BinaryHeap::new(),
+            overflow: BinaryHeap::with_capacity(capacity),
+            sparse_refills: 0,
+            resizes: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.window_len + self.early.len() + self.overflow.len()
+    }
+
+    fn span(&self) -> Cycle {
+        self.width.saturating_mul(CAL_BUCKETS as u64)
+    }
+
+    #[inline]
+    fn push(&mut self, k: Key) {
+        if self.len() == 0 {
+            // Empty calendar: re-anchor the window on the new key so the
+            // cursor never scans a stale region.
+            self.base = (k.at / self.width) * self.width;
+            self.cursor = 0;
+        }
+        if k.at < self.base {
+            self.early.push(Reverse(k));
+        } else if k.at - self.base >= self.span() {
+            self.overflow.push(Reverse(k));
+        } else {
+            let idx = ((k.at - self.base) / self.width) as usize;
+            self.buckets[idx].push(Reverse(k));
+            self.window_len += 1;
+            if idx < self.cursor {
+                self.cursor = idx;
+            }
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<Key> {
+        loop {
+            if let Some(&Reverse(k)) = self.early.peek() {
+                return Some(k);
+            }
+            while self.cursor < CAL_BUCKETS {
+                if let Some(&Reverse(k)) = self.buckets[self.cursor].peek() {
+                    return Some(k);
+                }
+                self.cursor += 1;
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Key> {
+        if self.early.peek().is_some() {
+            return self.early.pop().map(|Reverse(k)| k);
+        }
+        loop {
+            while self.cursor < CAL_BUCKETS {
+                if let Some(Reverse(k)) = self.buckets[self.cursor].pop() {
+                    self.window_len -= 1;
+                    return Some(k);
+                }
+                self.cursor += 1;
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    /// Advance the window to the next populated overflow region. Only
+    /// called with an empty window, which is what makes mid-flight
+    /// resizes safe: no placed key ever sees a changed width.
+    fn refill(&mut self) -> bool {
+        debug_assert_eq!(self.window_len, 0);
+        // Sparse-side resize: repeated refills recovering ≤1 key mean
+        // the span is far narrower than the event spacing — widen so a
+        // refill covers more future (heap-like cost, fewer refills).
+        if self.sparse_refills >= CAL_SPARSE_REFILLS {
+            self.width = self.width.saturating_mul(2);
+            self.sparse_refills = 0;
+            self.resizes += 1;
+        }
+        let Some(&Reverse(min)) = self.overflow.peek() else {
+            return false;
+        };
+        self.base = (min.at / self.width) * self.width;
+        self.cursor = 0;
+        let limit = self.base.saturating_add(self.span());
+        let mut moved = 0usize;
+        while let Some(&Reverse(k)) = self.overflow.peek() {
+            if k.at >= limit {
+                break;
+            }
+            self.overflow.pop();
+            self.buckets[((k.at - self.base) / self.width) as usize].push(Reverse(k));
+            self.window_len += 1;
+            moved += 1;
+        }
+        if moved <= 1 {
+            self.sparse_refills += 1;
+        } else {
+            self.sparse_refills = 0;
+        }
+        // Dense-side resize: a refill that floods the window means the
+        // buckets are too wide to spread the load — narrow them for the
+        // next window.
+        if moved > CAL_BUCKETS * 8 && self.width > CAL_MIN_WIDTH {
+            self.width = (self.width / 2).max(CAL_MIN_WIDTH);
+            self.resizes += 1;
+        }
+        true
+    }
+
+    /// Remove every key, in no particular order (wholesale compaction).
+    fn drain_all(&mut self) -> Vec<Key> {
+        let mut out = Vec::with_capacity(self.len());
+        for b in self.buckets.iter_mut() {
+            out.extend(b.drain().map(|Reverse(k)| k));
+        }
+        out.extend(self.early.drain().map(|Reverse(k)| k));
+        out.extend(self.overflow.drain().map(|Reverse(k)| k));
+        self.window_len = 0;
+        self.cursor = CAL_BUCKETS;
+        out
+    }
+}
+
+/// One domain's event queue — the structure under the heads merge. Both
+/// variants yield keys in exactly the same `(at, seq)` min order;
+/// [`EngineBackend`] picks the host-performance trade-off.
+#[derive(Debug)]
+enum DomainQueue {
+    Heap(BinaryHeap<Reverse<Key>>),
+    Calendar(Calendar),
+}
+
+impl DomainQueue {
+    fn new(backend: EngineBackend, capacity: usize) -> DomainQueue {
+        match backend {
+            EngineBackend::Heap => DomainQueue::Heap(BinaryHeap::with_capacity(capacity)),
+            EngineBackend::Calendar => DomainQueue::Calendar(Calendar::new(capacity)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DomainQueue::Heap(q) => q.len(),
+            DomainQueue::Calendar(c) => c.len(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, k: Key) {
+        match self {
+            DomainQueue::Heap(q) => q.push(Reverse(k)),
+            DomainQueue::Calendar(c) => c.push(k),
+        }
+    }
+
+    /// The minimum key, without removing it. `&mut` because the calendar
+    /// may advance its cursor or refill its window to find it.
+    #[inline]
+    fn peek(&mut self) -> Option<Key> {
+        match self {
+            DomainQueue::Heap(q) => q.peek().map(|&Reverse(k)| k),
+            DomainQueue::Calendar(c) => c.peek(),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Key> {
+        match self {
+            DomainQueue::Heap(q) => q.pop().map(|Reverse(k)| k),
+            DomainQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// Remove every key, in no particular order (wholesale compaction).
+    fn drain_all(&mut self) -> Vec<Key> {
+        match self {
+            DomainQueue::Heap(q) => q.drain().map(|Reverse(k)| k).collect(),
+            DomainQueue::Calendar(c) => c.drain_all(),
+        }
+    }
+
+    fn calendar_resizes(&self) -> u64 {
+        match self {
+            DomainQueue::Heap(_) => 0,
+            DomainQueue::Calendar(c) => c.resizes,
+        }
+    }
+}
 
 /// The event queue.
 #[derive(Debug)]
 pub struct Engine {
-    /// One min-heap of keys per domain.
-    queues: Vec<BinaryHeap<Reverse<Key>>>,
+    /// One ordered key queue per domain.
+    queues: Vec<DomainQueue>,
     /// Lazy merge front: at most one *candidate* head per domain, as
     /// `(at, seq, domain)`. Entries are validated against the owning
     /// queue's head at pop time; stale candidates are dropped then.
@@ -168,6 +417,11 @@ pub struct Engine {
     live: usize,
     dead: usize,
     stats: EngineStats,
+    backend: EngineBackend,
+    /// Dead-entry floor before a cancel considers wholesale compaction
+    /// (`MachineConfig::compact_min_dead`); below it the lazy pop-time
+    /// discard is cheaper than a rebuild.
+    compact_min_dead: usize,
 }
 
 impl Default for Engine {
@@ -184,12 +438,25 @@ impl Engine {
 
     /// An engine sharded into `domains` queues, each pre-sized for
     /// `capacity` pending events (so steady-state operation does not
-    /// reallocate). `domains` is clamped to at least 1.
+    /// reallocate). `domains` is clamped to at least 1. Uses the default
+    /// backend and compaction floor; see [`Engine::with_config`].
     pub fn with_shape(domains: u32, capacity: usize) -> Engine {
+        Engine::with_config(domains, capacity, EngineBackend::default(), 64)
+    }
+
+    /// The fully tunable constructor: queue structure per
+    /// [`EngineBackend`] and the dead-entry compaction floor (clamped to
+    /// at least 1).
+    pub fn with_config(
+        domains: u32,
+        capacity: usize,
+        backend: EngineBackend,
+        compact_min_dead: usize,
+    ) -> Engine {
         let domains = domains.max(1) as usize;
         Engine {
             queues: (0..domains)
-                .map(|_| BinaryHeap::with_capacity(capacity))
+                .map(|_| DomainQueue::new(backend, capacity))
                 .collect(),
             heads: BinaryHeap::with_capacity(domains),
             slots: Vec::with_capacity(domains * capacity),
@@ -200,7 +467,20 @@ impl Engine {
             live: 0,
             dead: 0,
             stats: EngineStats::default(),
+            backend,
+            compact_min_dead: compact_min_dead.max(1),
         }
+    }
+
+    /// The queue structure backing each domain.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
+    }
+
+    /// Calendar bucket-width adaptations so far, summed over domains
+    /// (always 0 on the heap backend).
+    pub fn calendar_resizes(&self) -> u64 {
+        self.queues.iter().map(|q| q.calendar_resizes()).sum()
     }
 
     /// Number of event domains.
@@ -269,10 +549,10 @@ impl Engine {
         });
         let d = (domain as usize).min(self.queues.len() - 1);
         let q = &mut self.queues[d];
-        q.push(Reverse(Key { at, seq, slot }));
+        q.push(Key { at, seq, slot });
         // Only refresh the merge front when this event became the
         // domain's head; otherwise the existing candidate still wins.
-        if let Some(&Reverse(top)) = q.peek() {
+        if let Some(top) = q.peek() {
             if top.seq == seq {
                 self.heads.push(Reverse((at, seq, d as u32)));
             }
@@ -293,7 +573,7 @@ impl Engine {
                 self.live -= 1;
                 self.dead += 1;
                 self.stats.cancelled += 1;
-                if self.dead >= COMPACT_MIN_DEAD && self.dead > self.live {
+                if self.dead >= self.compact_min_dead && self.dead > self.live {
                     self.compact();
                 }
                 true
@@ -370,7 +650,7 @@ impl Engine {
             dead: false,
         });
         let d = (domain as usize).min(self.queues.len() - 1);
-        self.queues[d].push(Reverse(Key { at, seq, slot }));
+        self.queues[d].push(Key { at, seq, slot });
         // Restores are rare (fast-path exit); unconditionally offering a
         // merge-front candidate is cheaper than disambiguating the dead
         // twin, and peek_valid drops stale candidates anyway.
@@ -396,7 +676,7 @@ impl Engine {
     fn peek_valid(&mut self) -> Option<(Cycle, u64, u32)> {
         while let Some(&Reverse((at, seq, d))) = self.heads.peek() {
             match self.queues[d as usize].peek() {
-                Some(&Reverse(k)) if k.at == at && k.seq == seq => return Some((at, seq, d)),
+                Some(k) if k.at == at && k.seq == seq => return Some((at, seq, d)),
                 _ => {
                     self.heads.pop();
                 }
@@ -410,8 +690,8 @@ impl Engine {
     fn pop_head(&mut self, domain: u32) -> Option<Event> {
         self.heads.pop();
         let q = &mut self.queues[domain as usize];
-        let Reverse(k) = q.pop().expect("validated head must exist");
-        if let Some(&Reverse(next)) = q.peek() {
+        let k = q.pop().expect("validated head must exist");
+        if let Some(next) = q.peek() {
             self.heads.push(Reverse((next.at, next.seq, domain)));
         }
         let entry = self.slots[k.slot as usize]
@@ -469,25 +749,40 @@ impl Engine {
         }
     }
 
-    /// Cycle of the next live pending event, without popping it.
+    /// `(cycle, seq)` of the next live pending event, without popping it
+    /// — the merge key callers need to interleave an external timer
+    /// stream (the closed-form noise wheel) against the engine.
     /// Cancelled entries encountered on the way are discarded.
-    pub fn peek_at(&mut self) -> Option<Cycle> {
+    pub fn peek_key(&mut self) -> Option<(Cycle, u64)> {
         loop {
-            let (at, _, d) = self.peek_valid()?;
-            let head_dead = {
-                let q = &self.queues[d as usize];
-                let Reverse(k) = q.peek().expect("validated head");
-                self.slots[k.slot as usize]
-                    .as_ref()
-                    .map(|e| e.dead)
-                    .unwrap_or(true)
-            };
+            let (at, seq, d) = self.peek_valid()?;
+            let k = self.queues[d as usize].peek().expect("validated head");
+            let head_dead = self.slots[k.slot as usize]
+                .as_ref()
+                .map(|e| e.dead)
+                .unwrap_or(true);
             if head_dead {
                 self.pop_head(d);
                 continue;
             }
-            return Some(at);
+            return Some((at, seq));
         }
+    }
+
+    /// Cycle of the next live pending event, without popping it.
+    /// Cancelled entries encountered on the way are discarded.
+    pub fn peek_at(&mut self) -> Option<Cycle> {
+        self.peek_key().map(|(at, _)| at)
+    }
+
+    /// Closed-form timer advance: move the clock to `at` exactly as
+    /// popping an event there would have, counting it as processed. The
+    /// caller owns the event's payload (it never entered a queue).
+    pub fn advance_virtual(&mut self, at: Cycle) {
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.last_event = at;
+        self.stats.processed += 1;
     }
 
     /// True if no live events are pending.
@@ -505,29 +800,32 @@ impl Engine {
     /// [`Engine::cancel`]; also callable directly.
     pub fn compact(&mut self) {
         self.stats.compactions += 1;
-        for q in self.queues.iter_mut() {
-            if q.is_empty() {
+        let Engine {
+            queues,
+            slots,
+            free,
+            ..
+        } = self;
+        for q in queues.iter_mut() {
+            if q.len() == 0 {
                 continue;
             }
-            let keep: Vec<Reverse<Key>> = q
-                .drain()
-                .filter(|&Reverse(k)| {
-                    let dead = self.slots[k.slot as usize]
-                        .as_ref()
-                        .map(|e| e.dead)
-                        .unwrap_or(true);
-                    if dead {
-                        self.slots[k.slot as usize] = None;
-                        self.free.push(k.slot);
-                    }
-                    !dead
-                })
-                .collect();
-            *q = BinaryHeap::from(keep);
+            for k in q.drain_all() {
+                let dead = slots[k.slot as usize]
+                    .as_ref()
+                    .map(|e| e.dead)
+                    .unwrap_or(true);
+                if dead {
+                    slots[k.slot as usize] = None;
+                    free.push(k.slot);
+                } else {
+                    q.push(k);
+                }
+            }
         }
         self.heads.clear();
-        for (d, q) in self.queues.iter().enumerate() {
-            if let Some(&Reverse(k)) = q.peek() {
+        for (d, q) in self.queues.iter_mut().enumerate() {
+            if let Some(k) = q.peek() {
                 self.heads.push(Reverse((k.at, k.seq, d as u32)));
             }
         }
@@ -808,6 +1106,165 @@ mod tests {
         e.restore(0, 10, s0, EvKind::Kernel { node: 0, tag: 99 });
         let first = e.pop().unwrap();
         assert!(matches!(first.kind, EvKind::Kernel { tag: 99, .. }));
+    }
+
+    #[test]
+    fn heap_and_calendar_backends_pop_identically() {
+        // The calendar backend must pop the exact (at, seq) stream the
+        // heap backend does, through schedules, ties, cancels, and a
+        // decommit/restore round trip.
+        let mut heap = Engine::with_config(4, 8, EngineBackend::Heap, 64);
+        let mut cal = Engine::with_config(4, 8, EngineBackend::Calendar, 64);
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut handles = Vec::new();
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let at = x % 3_000_000; // spans many calendar windows
+            let kind = EvKind::Kernel {
+                node: (i % 4) as u32,
+                tag: i,
+            };
+            let hh = heap.schedule_dom((i % 4) as u32, at, kind.clone());
+            let hc = cal.schedule_dom((i % 4) as u32, at, kind);
+            if i % 7 == 0 {
+                handles.push((hh, hc, at));
+            }
+        }
+        for tag in 1_000..1_010u64 {
+            // Deliberate same-cycle ties break by seq on both backends.
+            heap.schedule(1_500_000, EvKind::Kernel { node: 0, tag });
+            cal.schedule(1_500_000, EvKind::Kernel { node: 0, tag });
+        }
+        for (hh, hc, _) in handles.iter().take(30) {
+            assert_eq!(heap.cancel(*hh), cal.cancel(*hc));
+        }
+        let &(hh, hc, at) = handles.last().expect("handles sampled");
+        assert!(heap.is_live(hh));
+        let seq = hh.seq();
+        heap.decommit(hh);
+        cal.decommit(hc);
+        heap.restore(1, at, seq, EvKind::Kernel { node: 1, tag: 9_999 });
+        cal.restore(1, at, seq, EvKind::Kernel { node: 1, tag: 9_999 });
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.now(), cal.now());
+        assert_eq!(heap.stats().processed, cal.stats().processed);
+        assert_eq!(heap.stats().stale_discarded, cal.stats().stale_discarded);
+    }
+
+    #[test]
+    fn calendar_sparse_overflow_resizes_width() {
+        // Events spaced far beyond the window span park in the overflow
+        // heap; draining them one near-empty refill at a time trips the
+        // sparse-side resize, which doubles the bucket width.
+        let mut e = Engine::with_config(1, 0, EngineBackend::Calendar, 64);
+        let span = CAL_INIT_WIDTH * CAL_BUCKETS as u64;
+        let ats: Vec<u64> = (0..40u64).map(|i| i * span * 4).collect();
+        for (i, &at) in ats.iter().enumerate() {
+            e.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = e.pop() {
+            popped.push(ev.at);
+        }
+        assert_eq!(popped, ats);
+        assert!(
+            e.calendar_resizes() >= 1,
+            "sparse refills must widen buckets"
+        );
+    }
+
+    #[test]
+    fn calendar_dense_refill_narrows_width() {
+        let mut e = Engine::with_config(1, 0, EngineBackend::Calendar, 64);
+        // An early key anchors the window at 0 so the far cluster stays
+        // in overflow until it drains.
+        e.schedule(1, EvKind::Kernel { node: 0, tag: 9_999 });
+        let base = CAL_INIT_WIDTH * CAL_BUCKETS as u64 * 10;
+        let n = CAL_BUCKETS as u64 * 8 + 64;
+        for i in 0..n {
+            e.schedule(base + i * 7, EvKind::Kernel { node: 0, tag: i });
+        }
+        assert_eq!(e.pop().unwrap().at, 1);
+        // Draining the cluster pulls it into one flooded window (dense
+        // refill), which narrows the bucket width for the next one.
+        let mut last = 0;
+        for _ in 0..n {
+            let ev = e.pop().expect("cluster event");
+            assert!(ev.at >= last);
+            last = ev.at;
+        }
+        assert!(e.pop().is_none());
+        assert!(
+            e.calendar_resizes() >= 1,
+            "dense refill must narrow buckets"
+        );
+    }
+
+    #[test]
+    fn calendar_early_keys_pop_first() {
+        // A restore behind the window base (legal: restore only requires
+        // at >= now) lands in the early heap and still pops first.
+        let mut e = Engine::with_config(1, 0, EngineBackend::Calendar, 64);
+        e.schedule(10_000_000, EvKind::Kernel { node: 0, tag: 1 });
+        let h = e.schedule(10_000_001, EvKind::Kernel { node: 0, tag: 2 });
+        let seq = h.seq();
+        assert!(e.decommit(h));
+        e.restore(0, 5, seq, EvKind::Kernel { node: 0, tag: 2 });
+        assert_eq!(e.pop().unwrap().at, 5);
+        assert_eq!(e.pop().unwrap().at, 10_000_000);
+        assert!(e.pop().is_none(), "dead twin discarded silently");
+        assert_eq!(e.stats().stale_discarded, 1);
+    }
+
+    #[test]
+    fn compact_floor_is_tunable_per_backend() {
+        for backend in [EngineBackend::Heap, EngineBackend::Calendar] {
+            let mut e = Engine::with_config(1, 0, backend, 4);
+            let hs: Vec<EvHandle> = (0..10)
+                .map(|i| e.schedule(i, EvKind::Kernel { node: 0, tag: i }))
+                .collect();
+            for h in hs.iter().skip(4) {
+                e.cancel(*h);
+            }
+            assert!(
+                e.stats().compactions >= 1,
+                "{backend:?}: floor 4 must trigger"
+            );
+            let mut e = Engine::with_config(1, 0, backend, 1_000);
+            let hs: Vec<EvHandle> = (0..10)
+                .map(|i| e.schedule(i, EvKind::Kernel { node: 0, tag: i }))
+                .collect();
+            for h in hs {
+                e.cancel(h);
+            }
+            assert_eq!(
+                e.stats().compactions,
+                0,
+                "{backend:?}: floor 1000 must not trigger"
+            );
+            assert!(e.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn advance_virtual_matches_pop_clock() {
+        let mut popped = Engine::new();
+        popped.schedule(123, EvKind::Kernel { node: 0, tag: 0 });
+        popped.pop();
+        let mut virt = Engine::new();
+        virt.advance_virtual(123);
+        assert_eq!(virt.now(), popped.now());
+        assert_eq!(virt.last_event_cycle(), popped.last_event_cycle());
+        assert_eq!(virt.processed(), popped.processed());
     }
 
     #[test]

@@ -263,15 +263,22 @@ impl Machine {
         loop {
             let bound = {
                 let base = self.sc.now().saturating_add(lookahead);
-                if self.sc.cfg.fast_path {
+                if self.sc.cfg.fast_path || self.sc.cfg.epoch_fast_forward {
                     // Quiescence fast-forward at the window level: if the
                     // earliest pending event lies beyond the naive window,
                     // every epoch until then would pop nothing. Jump the
                     // window so it starts at that event — the same rule
                     // parsim uses for its horizon (`min_at + lookahead`).
                     // Pop order is untouched; only the number of empty
-                    // `ReachedCycle` epochs changes.
-                    match self.sc.engine.peek_at() {
+                    // `ReachedCycle` epochs changes. Virtual kernel
+                    // timers count as pending events for this purpose.
+                    let head = match (self.sc.engine.peek_at(), self.sc.vtimers.peek_key()) {
+                        (Some(e), Some((v, _))) => Some(e.min(v)),
+                        (Some(e), None) => Some(e),
+                        (None, Some((v, _))) => Some(v),
+                        (None, None) => None,
+                    };
+                    match head {
                         Some(at) if at > base => at.saturating_add(lookahead),
                         _ => base,
                     }
@@ -282,7 +289,7 @@ impl Machine {
             match self.run_inner(Some(bound)) {
                 RunOutcome::ReachedCycle { .. } => {
                     self.epochs += 1;
-                    if self.sc.engine.is_idle() {
+                    if self.sc.engine.is_idle() && self.sc.vtimers.is_empty() {
                         // Queue drained mid-window. Classify exactly as
                         // run() would, at the last processed event (the
                         // engine clock itself parked at the window
@@ -456,6 +463,31 @@ impl Machine {
                 self.run_fast(bound);
                 continue;
             }
+            // Virtual kernel timers (closed-form noise) live outside the
+            // heap but hold real slots in the global `(cycle, seq)` total
+            // order: their seq comes from the engine's own counter. Pop
+            // whichever source holds the earlier key, so the merged
+            // stream is bit-identical to the all-on-heap reference.
+            let vkey = self.sc.vtimers.peek_key();
+            let take_virtual = match vkey {
+                Some(v) => {
+                    bound.is_none_or(|b| v.0 <= b)
+                        && self.sc.engine.peek_key().is_none_or(|e| v < e)
+                }
+                None => false,
+            };
+            if take_virtual {
+                let (at, _seq, node, tag) = self.sc.vtimers.pop().expect("peeked above");
+                self.sc.engine.advance_virtual(at);
+                let nothing_running = self.sc.running.iter().all(Option::is_none);
+                if nothing_running {
+                    self.idle_kernel_events += 1;
+                } else {
+                    self.idle_kernel_events = 0;
+                }
+                self.handle(EvKind::Kernel { node, tag });
+                continue;
+            }
             let ev = match bound {
                 Some(b) => self.sc.engine.pop_until(b),
                 None => self.sc.engine.pop(),
@@ -531,6 +563,13 @@ impl Machine {
         if pending == 0 || pending > FAST_MAX_PENDING {
             return false;
         }
+        if !self.sc.vtimers.is_empty() {
+            // A virtual kernel timer (closed-form noise) is pending. It
+            // lives outside the heap, so `pending` cannot see it, yet it
+            // holds a slot in the global order — the fast path must not
+            // jump the clock past it.
+            return false;
+        }
         if !self.sc.dispatch_q.is_empty()
             || !self.sc.unblock_q.is_empty()
             || !self.sc.kill_q.is_empty()
@@ -599,6 +638,7 @@ impl Machine {
                 || !self.sc.unblock_q.is_empty()
                 || !self.sc.kill_q.is_empty()
                 || self.sc.engine.pending() != 0
+                || !self.sc.vtimers.is_empty()
                 || self.fast.is_empty()
             {
                 break;
@@ -616,26 +656,27 @@ impl Machine {
                 }
             }
             let s = self.fast.swap_remove(best);
-            // The staleness gate of `on_op_done`, checked *before* the
-            // clock moves: the heap path cancels a superseded completion
-            // and never advances time for it.
-            let stale = match self.sc.threads[s.tid.idx()].state {
-                ThreadState::Running { gen, .. } => gen != s.gen,
-                _ => true,
+            // The staleness gate of `on_op_done`: a superseded completion
+            // must not advance the clock (the heap path cancels it). One
+            // borrow covers the gate and the retirement bookkeeping; the
+            // clock moves only after the gate passes, and nothing before
+            // `advance_inline` observes the clock.
+            let busy = {
+                let t = &mut self.sc.threads[s.tid.idx()];
+                match t.state {
+                    ThreadState::Running { gen, until, started } if gen == s.gen => {
+                        debug_assert_eq!(until, s.until);
+                        let busy = until.saturating_sub(started);
+                        t.stats.busy_cycles += busy;
+                        t.state = ThreadState::Ready;
+                        t.pending_done = None;
+                        busy
+                    }
+                    _ => continue,
+                }
             };
-            if stale {
-                continue;
-            }
             self.sc.engine.advance_inline(s.until);
             self.idle_kernel_events = 0;
-            let t = &mut self.sc.threads[s.tid.idx()];
-            let ThreadState::Running { until, started, .. } = t.state else {
-                unreachable!("staleness gate checked Running");
-            };
-            debug_assert_eq!(until, s.until);
-            t.stats.busy_cycles += until.saturating_sub(started);
-            t.state = ThreadState::Ready;
-            t.pending_done = None;
             self.sc
                 .trace
                 .record(s.until, TraceEvent::OpEnd { tid: s.tid.0 });
@@ -644,13 +685,9 @@ impl Machine {
             // a windowed run defers a fast retirement across the window
             // bound but re-enters the regime with identical state, so
             // seq and windowed drivers attribute identically.
-            self.sc.prof.span(
-                Domain::FastPath,
-                s.until,
-                s.node,
-                "op_retire",
-                until.saturating_sub(started),
-            );
+            self.sc
+                .prof
+                .span(Domain::FastPath, s.until, s.node, "op_retire", busy);
             self.advance_thread(s.tid);
         }
         self.flush_fast();
@@ -1122,8 +1159,11 @@ impl Machine {
     /// inline (same cycle); timed ops schedule an `OpDone`.
     fn advance_thread(&mut self, tid: Tid) {
         loop {
-            {
-                let t = &self.sc.threads[tid.idx()];
+            // One borrow covers the liveness gate, the preemption-resume
+            // check, and the workload handoff (the `Option` dance frees
+            // the thread slot so `WlEnv` can borrow all of `sc`).
+            let mut wl = {
+                let t = &mut self.sc.threads[tid.idx()];
                 if !t.state.is_live() {
                     return;
                 }
@@ -1132,17 +1172,14 @@ impl Machine {
                     Some(tid),
                     "advance_thread without core ownership"
                 );
-            }
-            // Resume a preempted compute op without consulting the
-            // workload.
-            if let Some(rem) = self.sc.threads[tid.idx()].resume_cycles.take() {
-                self.start_run(tid, rem, true);
-                return;
-            }
-            let mut wl = self.sc.threads[tid.idx()]
-                .workload
-                .take()
-                .expect("live thread without workload");
+                // Resume a preempted compute op without consulting the
+                // workload.
+                if let Some(rem) = t.resume_cycles.take() {
+                    self.start_run(tid, rem, true);
+                    return;
+                }
+                t.workload.take().expect("live thread without workload")
+            };
             let op = {
                 let mut env = WlEnv {
                     sc: &mut self.sc,
@@ -1151,8 +1188,9 @@ impl Machine {
                 };
                 wl.next(&mut env)
             };
-            self.sc.threads[tid.idx()].workload = Some(wl);
-            self.sc.threads[tid.idx()].stats.ops += 1;
+            let t = &mut self.sc.threads[tid.idx()];
+            t.workload = Some(wl);
+            t.stats.ops += 1;
             match self.dispatch_op(tid, op) {
                 Disp::Continue => continue,
                 Disp::Scheduled | Disp::Released => return,
@@ -1161,10 +1199,14 @@ impl Machine {
     }
 
     fn dispatch_op(&mut self, tid: Tid, op: Op) -> Disp {
-        let opname = op.name();
         // The streaming flag covers exactly the duration of a Stream op.
+        // Conditional store: the flag only ever flips around Stream ops,
+        // so the hot compute loop reads and leaves it alone.
         let core = self.sc.threads[tid.idx()].core;
-        self.sc.streaming[core.idx()] = matches!(op, Op::Stream { .. });
+        let is_stream = matches!(op, Op::Stream { .. });
+        if self.sc.streaming[core.idx()] != is_stream {
+            self.sc.streaming[core.idx()] = is_stream;
+        }
         match op {
             // Exactly the `Op::is_compute` classes (the compiler keeps
             // this list exhaustive; the predicate keeps it honest for
@@ -1172,7 +1214,7 @@ impl Machine {
             Op::Compute { .. } | Op::Daxpy { .. } | Op::Stream { .. } | Op::Flops { .. } => {
                 debug_assert!(op.is_compute());
                 let cost = self.kernel.compute_cost(&mut self.sc, tid, &op);
-                self.trace_start(tid, opname, cost);
+                self.trace_start(tid, op.name(), cost);
                 self.start_run(tid, cost, true);
                 Disp::Scheduled
             }
@@ -1184,7 +1226,7 @@ impl Machine {
                 let r = self
                     .kernel
                     .mem_touch(&mut self.sc, tid, vaddr, bytes, write);
-                self.trace_start(tid, opname, r.cost);
+                self.trace_start(tid, "memtouch", r.cost);
                 if r.cost == 0 {
                     Disp::Continue
                 } else {
@@ -1223,6 +1265,7 @@ impl Machine {
                     }
                 };
                 let caps = self.kernel.comm_caps(&self.sc, tid);
+                let opname = cop.name();
                 let action = self.comm.issue(&mut self.sc, &caps, tid, rank, &cop);
                 match action {
                     CommAction::RunFor { cycles } => {
@@ -1346,7 +1389,7 @@ impl Machine {
             until: now + cost,
             started: now,
         };
-        if self.fast_active && self.sc.engine.pending() == 0 {
+        if self.fast_active && self.sc.engine.pending() == 0 && self.sc.vtimers.is_empty() {
             // Virtual insert: the completion joins the micro run queue
             // instead of the heap, carrying the sequence number the heap
             // would have assigned — so if it is ever flushed back

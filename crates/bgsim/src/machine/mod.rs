@@ -479,6 +479,13 @@ impl SeriesHandle {
         self.data.borrow_mut().push(value);
     }
 
+    /// Bulk append — one borrow for the whole batch, so a sampling loop
+    /// can buffer locally and flush once instead of paying the
+    /// `RefCell` round-trip per sample.
+    pub fn extend_from_slice(&self, values: &[f64]) {
+        self.data.borrow_mut().extend_from_slice(values);
+    }
+
     pub fn len(&self) -> usize {
         self.data.borrow().len()
     }

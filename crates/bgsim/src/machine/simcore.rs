@@ -89,6 +89,45 @@ struct LinkOutage {
     until: Cycle,
 }
 
+/// The closed-form timer wheel: recurring kernel timers (noise ticks,
+/// daemon wakes) sampled analytically instead of living as heap events.
+/// Entries carry engine-allocated sequence numbers, so the executor can
+/// interleave firings against the engine's pop stream in the exact
+/// `(cycle, seq)` total order the per-tick reference would produce.
+#[derive(Debug, Default)]
+pub struct VTimers {
+    /// `(at, seq, node, tag)` min-heap.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, u64, u32, u64)>>,
+}
+
+impl VTimers {
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `(cycle, seq)` of the next virtual firing, if any.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(Cycle, u64)> {
+        self.heap
+            .peek()
+            .map(|&std::cmp::Reverse((at, seq, _, _))| (at, seq))
+    }
+
+    fn push(&mut self, at: Cycle, seq: u64, node: u32, tag: u64) {
+        self.heap.push(std::cmp::Reverse((at, seq, node, tag)));
+    }
+
+    /// Remove and return the next `(at, seq, node, tag)` firing.
+    pub(crate) fn pop(&mut self) -> Option<(Cycle, u64, u32, u64)> {
+        self.heap.pop().map(|std::cmp::Reverse(v)| v)
+    }
+}
+
 pub struct SimCore {
     pub cfg: MachineConfig,
     pub engine: Engine,
@@ -128,6 +167,9 @@ pub struct SimCore {
     /// Threads of each process.
     pub proc_threads: HashMap<ProcId, Vec<Tid>>,
     pub stats: MachineStats,
+    /// Closed-form kernel timers (`cfg.closed_form_noise`); empty when
+    /// kernels schedule per-tick heap events instead.
+    pub vtimers: VTimers,
 
     // Deferral queues drained by the executor.
     pub(crate) dispatch_q: Vec<Tid>,
@@ -152,7 +194,12 @@ impl SimCore {
         SimCore {
             // One event domain per node, each queue pre-sized so
             // steady-state scheduling never reallocates.
-            engine: Engine::with_shape(cfg.nodes, cfg.event_capacity),
+            engine: Engine::with_config(
+                cfg.nodes,
+                cfg.event_capacity,
+                cfg.engine_backend,
+                cfg.compact_min_dead,
+            ),
             torus: Torus::new(&cfg),
             coll: CollectiveNet::new(&cfg),
             barrier: BarrierNet::new(&cfg),
@@ -190,6 +237,7 @@ impl SimCore {
             next_msg: 0,
             proc_threads: HashMap::new(),
             stats: MachineStats::default(),
+            vtimers: VTimers::default(),
             dispatch_q: Vec::new(),
             unblock_q: Vec::new(),
             kill_q: Vec::new(),
@@ -454,6 +502,19 @@ impl SimCore {
         let at = self.engine.now() + delta;
         self.engine
             .schedule_dom(node.0, at, EvKind::Kernel { node: node.0, tag })
+    }
+
+    /// Arm a kernel timer on the closed-form wheel instead of the
+    /// engine. It draws from the same global sequence counter, so the
+    /// firing keeps the exact position in the `(cycle, seq)` total order
+    /// [`SimCore::schedule_kernel_event_in`] would have given it; the
+    /// executor replays it through the ordinary `Kernel::kernel_event`
+    /// path. No handle: wheel timers cannot be cancelled, so they are
+    /// only for timers the kernel never cancels (noise/daemon re-arms).
+    pub fn schedule_virtual_kernel_event_in(&mut self, node: NodeId, tag: u64, delta: Cycle) {
+        let at = self.engine.now() + delta;
+        let seq = self.engine.alloc_seq();
+        self.vtimers.push(at, seq, node.0, tag);
     }
 
     /// Cancel a kernel-private event scheduled earlier; true if it was

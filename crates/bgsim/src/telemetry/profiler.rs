@@ -25,8 +25,6 @@
 //! mismatch, [`Profiler::flight_dump`] renders the rings so the repro
 //! artifact carries the last thing every subsystem did.
 
-use std::collections::VecDeque;
-
 use crate::cycles::Cycle;
 
 /// Cycle-accounting subsystems. `EngineHeap` and `FastPath` split op
@@ -110,11 +108,18 @@ pub struct SpanRec {
 
 /// Bounded FIFO of recent spans for one domain. At capacity the oldest
 /// entry is evicted (and counted) — record order is never reordered.
+///
+/// Stored as a flat overwrite ring (slot cursor instead of a deque):
+/// the steady-state push on the hot retire path is one store and a
+/// cursor bump, with no element shifting.
 #[derive(Clone, Debug, Default)]
 pub struct FlightRing {
     capacity: usize,
     dropped: u64,
-    entries: VecDeque<SpanRec>,
+    entries: Vec<SpanRec>,
+    /// Index of the oldest retained entry once the ring has wrapped;
+    /// equivalently the slot the next eviction overwrites.
+    head: usize,
 }
 
 impl FlightRing {
@@ -122,26 +127,32 @@ impl FlightRing {
         FlightRing {
             capacity,
             dropped: 0,
-            entries: VecDeque::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            head: 0,
         }
     }
 
     #[inline]
     fn push(&mut self, s: SpanRec) {
-        if self.capacity == 0 {
-            self.dropped += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(s);
             return;
         }
-        if self.entries.len() >= self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
+        self.dropped += 1;
+        if self.capacity == 0 {
+            return;
         }
-        self.entries.push_back(s);
+        self.entries[self.head] = s;
+        self.head += 1;
+        if self.head == self.capacity {
+            self.head = 0;
+        }
     }
 
     /// Retained spans, oldest first.
     pub fn entries(&self) -> impl Iterator<Item = &SpanRec> {
-        self.entries.iter()
+        let (older, newer) = self.entries.split_at(self.head);
+        newer.iter().chain(older.iter())
     }
 
     pub fn len(&self) -> usize {

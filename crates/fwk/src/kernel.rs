@@ -236,7 +236,20 @@ impl Fwk {
             src.next_delay(&mut self.noise_rng[node.idx()])
         };
         let tag = TAG_NOISE | ((src_idx as u64) << 8) | core_local as u64;
-        sc.schedule_kernel_event_in(node, tag, delay);
+        if sc.cfg.closed_form_noise {
+            // Closed-form sampling: the tick is armed as a virtual timer
+            // instead of a heap event. Same RNG draw above, same tag,
+            // and a sequence number from the engine's own counter — the
+            // executor replays it through the identical `kernel_event`
+            // path at the identical cycle, so the trace digest cannot
+            // tell the two representations apart. Noise ticks are never
+            // cancelled, which is what makes them safe to virtualize;
+            // timeslices and RAS recovery (cancellable / rare) stay on
+            // the heap.
+            sc.schedule_virtual_kernel_event_in(node, tag, delay);
+        } else {
+            sc.schedule_kernel_event_in(node, tag, delay);
+        }
     }
 
     fn post_signal(&mut self, sc: &mut SimCore, tid: Tid, sig: Sig) {

@@ -51,6 +51,11 @@ pub struct FwqSampler {
     series: SeriesHandle,
     remaining: u32,
     last_start: Option<u64>,
+    /// Samples buffered locally and flushed to the recorder series in one
+    /// batch: the sampler is the series' only writer, so batching keeps
+    /// content and order identical while taking the shared-handle
+    /// round-trip out of the per-quantum loop.
+    buf: Vec<f64>,
 }
 
 impl FwqSampler {
@@ -62,6 +67,7 @@ impl FwqSampler {
             series: rec.series_handle(&format!("fwq_core{core}")),
             remaining: cfg.samples,
             last_start: None,
+            buf: Vec::with_capacity(cfg.samples as usize),
         }
     }
 
@@ -72,17 +78,33 @@ impl FwqSampler {
         }
     }
 
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.series.extend_from_slice(&self.buf);
+            self.buf.clear();
+        }
+    }
+
     /// Drive the loop; `None` when all samples are recorded.
     pub fn step(&mut self, env: &mut WlEnv<'_>) -> Option<Op> {
         if let Some(t0) = self.last_start.take() {
-            self.series.push((env.now() - t0) as f64);
+            self.buf.push((env.now() - t0) as f64);
             self.remaining -= 1;
         }
         if self.remaining == 0 {
+            self.flush();
             return None;
         }
         self.last_start = Some(env.now());
         Some(self.sample_op())
+    }
+}
+
+impl Drop for FwqSampler {
+    fn drop(&mut self) {
+        // A bounded/aborted run drops the workload mid-loop; the samples
+        // taken so far still belong in the series.
+        self.flush();
     }
 }
 

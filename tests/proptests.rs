@@ -613,6 +613,92 @@ proptest! {
     }
 }
 
+// ---- engine-optimization equivalence ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The event-engine optimizations are pure host-performance tuning:
+    /// for ANY program, seed, and kernel, every cell of the
+    /// {calendar,heap} × {closed-form,per-tick} grid must produce the
+    /// same final cycle, the same trace digest, and bit-identical
+    /// profile.* counters. Closed-form noise in particular must be
+    /// indistinguishable from the per-tick reference sampler it
+    /// replaces — same RNG draws, same wakeups, same spans.
+    #[test]
+    fn engine_optimizations_are_digest_and_profile_neutral(
+        prog in arb_program(),
+        seed in 0u64..1000,
+        kernel_pick in any::<bool>(),
+    ) {
+        let run = |backend: bgsim::config::EngineBackend, closed_form: bool| {
+            let prog = prog.clone();
+            let kernel: Box<dyn bgsim::Kernel> = if kernel_pick {
+                Box::new(Cnk::with_defaults())
+            } else {
+                Box::new(Fwk::with_defaults())
+            };
+            let mut m = bgsim::machine::Machine::new(
+                MachineConfig::nodes(2)
+                    .with_seed(seed)
+                    .with_trace()
+                    .with_engine_backend(backend)
+                    .with_closed_form_noise(closed_form),
+                kernel,
+                Box::new(dcmf::Dcmf::with_defaults()),
+            );
+            m.boot();
+            m.launch(
+                &sysabi::JobSpec::new(
+                    sysabi::AppImage::static_test("engine-fuzz"),
+                    2,
+                    sysabi::NodeMode::Smp,
+                ),
+                &mut |_r: sysabi::Rank| {
+                    let prog = prog.clone();
+                    let mut i = 0usize;
+                    bgsim::script::wl(move |env| {
+                        let _ = env.take_ret();
+                        if i >= prog.len() {
+                            return bgsim::Op::End;
+                        }
+                        let op = decode_op(prog[i], i as u64);
+                        i += 1;
+                        op
+                    })
+                },
+            )
+            .unwrap();
+            let out = m.run();
+            (out.at(), m.trace_digest(), m.profile_snapshot())
+        };
+
+        use bgsim::config::EngineBackend;
+        let oracle = run(EngineBackend::Calendar, true);
+        for (backend, closed_form) in [
+            (EngineBackend::Calendar, false),
+            (EngineBackend::Heap, true),
+            (EngineBackend::Heap, false),
+        ] {
+            let got = run(backend, closed_form);
+            prop_assert_eq!(
+                (oracle.0, oracle.1),
+                (got.0, got.1),
+                "{:?}/closed_form={} diverged from calendar/closed-form",
+                backend,
+                closed_form
+            );
+            prop_assert_eq!(
+                &oracle.2,
+                &got.2,
+                "{:?}/closed_form={} profile counters diverged",
+                backend,
+                closed_form
+            );
+        }
+    }
+}
+
 // ---- VFS / ioproxy -------------------------------------------------------------
 
 proptest! {
