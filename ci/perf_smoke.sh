@@ -25,20 +25,23 @@ bgtop=./target/release/bgtop
 "$bin" --threads 4 --force --stats-out "$out/fig8_t4.json" \
   --monitor-out "$out/fig8_mon.jsonl"
 
-# Schema gate: every stats report must carry schema_version 2, at least
+# Schema gate: every stats report must carry schema_version 3, at least
 # one digest.* string, and host.* perf scalars — a report missing them
 # is not comparable and must be rejected, not silently diffed as empty.
+# v3 added the host.peak_rss_bytes / host.bytes_per_node memory block.
 validate_schema() {
   python3 - "$1" <<'EOF'
 import json, sys
 path = sys.argv[1]
 r = json.load(open(path))
 v = r.get("schema_version")
-assert v == 2, f"{path}: schema_version {v!r}, expected 2"
+assert v == 3, f"{path}: schema_version {v!r}, expected 3"
 assert any(k.startswith("digest.") for k in r.get("strings", {})), \
     f"{path}: no digest.* keys in strings"
 assert any(k.startswith("host.") for k in r.get("scalars", {})), \
     f"{path}: no host.* keys in scalars"
+assert "host.peak_rss_bytes" in r.get("scalars", {}), \
+    f"{path}: no host.peak_rss_bytes scalar"
 assert any(k.startswith("profile.") for k in r.get("scalars", {})), \
     f"{path}: no profile.* keys in scalars"
 EOF
@@ -257,6 +260,51 @@ print(f"FWK recovery daemons added noise: {fwk_fault} vs {fwk_clean} events")
 EOF
 
 echo "perf smoke OK: RAS fault smoke passed"
+
+# ---- rack-scale layout smoke -------------------------------------------------
+# Small fig_scale sweep (64 and 512 nodes keep the leg CI-sized; the
+# checked-in BENCH_scale.json is the full sweep on the reference host).
+# Gates: the lazy SoA/slab layout must be digest-identical to the eager
+# (pre-refactor) layout, digests must agree across --threads 1/4 shard
+# pools, and the report must carry the scale.* memory block.
+scale=./target/release/fig_scale
+[ -x "$scale" ] || { echo "error: $scale not built (cargo build --release first)" >&2; exit 1; }
+
+"$scale" 64 512 --threads 1 --force --stats-out "$out/scale_t1.json" >/dev/null
+"$scale" 64 512 --threads 4 --force --stats-out "$out/scale_t4.json" >/dev/null
+
+extract "$out/scale_t1.json" > "$out/scale_t1.keys"
+extract "$out/scale_t4.json" > "$out/scale_t4.keys"
+if ! diff -u "$out/scale_t1.keys" "$out/scale_t4.keys"; then
+  echo "FAIL: fig_scale diverged across --threads 1/4" >&2
+  exit 1
+fi
+[ -s "$out/scale_t1.keys" ] || { echo "FAIL: no fig_scale digests extracted" >&2; exit 1; }
+
+# fig_scale reports no profile.* block (telemetry stays off so the
+# memory figure is the layout's, not the profiler's) — validate its
+# schema and scale.* keys directly instead of via validate_schema.
+python3 - "$out/scale_t1.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+v = r.get("schema_version")
+assert v == 3, f"schema_version {v!r}, expected 3"
+s, g = r["scalars"], r["strings"]
+for n in (64, 512):
+    assert f"digest.n{n}" in g, f"missing digest.n{n}"
+    for k in ("resident_bytes", "bytes_per_node", "events_per_sec"):
+        assert f"scale.n{n}.{k}" in s, f"missing scale.n{n}.{k}"
+cmp = int(s["scale.compare_nodes"])
+assert g[f"digest.eager.n{cmp}"] == g[f"digest.n{cmp}"], \
+    "eager layout digest diverged from lazy"
+assert "host.peak_rss_bytes" in s, "missing host.peak_rss_bytes"
+red = s["scale.layout_reduction_x"]
+assert red >= 1.0, f"lazy layout uses MORE memory than eager ({red:.2f}x)"
+print(f"fig_scale: eager/lazy digests identical at {cmp} nodes, "
+      f"layout reduction {red:.1f}x, "
+      f"{s['scale.n512.bytes_per_node']:.0f} B/node at 512 nodes")
+EOF
+echo "perf smoke OK: rack-scale layout digests identical (eager/lazy, threads 1/4)"
 
 # 3) Panic-free kernel core: ciod, bgsim, cnk, and bgcheck all carry
 #    #![deny(clippy::unwrap_used)] in-source; a plain clippy run is the

@@ -81,5 +81,6 @@ fn main() {
     // Boot reports are closed-form (no simulation runs); `--trace-out`
     // still writes a valid empty trace for flag uniformity.
     bench::report::emit_traces_or_exit(&cli, &[("", bgsim::telemetry::chrome_trace_json(&[]))]);
+    report.host_mem(0);
     report.emit_or_exit(&cli);
 }

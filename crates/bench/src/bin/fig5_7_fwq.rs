@@ -185,5 +185,6 @@ fn main() {
     report.profile(&merged_profile);
     report.host_perf(cli.threads, total_wall, total_cycles, total_events);
     bench::report::emit_traces_or_exit(&cli, &trace_parts);
+    report.host_mem(1);
     report.emit_or_exit(&cli);
 }

@@ -170,6 +170,7 @@ fn main() {
     report.string("digest.all", &format!("{all_digest:016x}"));
     report.profile(&merged_profile);
     report.host_perf(threads, wall, total_cycles, total_events);
+    report.host_mem(64);
     report.emit_or_exit(&cli);
 }
 

@@ -116,5 +116,6 @@ fn main() {
     bench::report::emit_traces_or_exit(&cli, &trace_parts);
     report.profile(&merged_profile);
     report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
+    report.host_mem(16);
     report.emit_or_exit(&cli);
 }

@@ -116,6 +116,7 @@ fn main() {
     println!("the paper's Fig. 5 per-core asymmetry.");
     report.profile(&merged_profile);
     report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
+    report.host_mem(1);
     report.emit_or_exit(&cli);
 }
 

@@ -138,5 +138,6 @@ fn main() {
     println!("the penalty grows with node count (§V.A; Petrini et al.; Ferreira et al.).");
     report.profile(&merged_profile);
     report.host_perf(1, t0.elapsed().as_secs_f64(), total_cycles, total_events);
+    report.host_mem(64);
     report.emit_or_exit(&cli);
 }

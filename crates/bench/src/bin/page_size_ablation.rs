@@ -73,5 +73,6 @@ fn main() {
     // The partitioner sweep is closed-form (no machine runs); write a
     // valid empty trace so `--trace-out` behaves uniformly.
     bench::report::emit_traces_or_exit(&cli, &[("", bgsim::telemetry::chrome_trace_json(&[]))]);
+    report.host_mem(0);
     report.emit_or_exit(&cli);
 }

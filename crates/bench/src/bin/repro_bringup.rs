@@ -171,5 +171,6 @@ fn main() {
     println!("   => same cycle every run (cross-chip scans line up)");
     bench::report::emit_traces_or_exit(&cli, &[("", probe_trace)]);
     report.profile(&merged_profile);
+    report.host_mem(2);
     report.emit_or_exit(&cli);
 }

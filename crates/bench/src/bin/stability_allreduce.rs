@@ -95,5 +95,6 @@ fn main() {
             sf.stddev / sc.stddev
         );
     }
+    report.host_mem(16);
     report.emit_or_exit(&cli);
 }

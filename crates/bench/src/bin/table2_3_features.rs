@@ -57,5 +57,6 @@ fn main() {
     // No machine runs here; `--trace-out` still writes a valid (empty)
     // trace so the flag behaves uniformly across all bins.
     bench::report::emit_traces_or_exit(&cli, &[("", bgsim::telemetry::chrome_trace_json(&[]))]);
+    report.host_mem(0);
     report.emit_or_exit(&cli);
 }

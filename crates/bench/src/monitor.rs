@@ -411,7 +411,7 @@ mod tests {
     fn snapshot_line_parses_back_to_the_same_numbers() {
         let line = snapshot_json("fig8_throughput", 3, 5, 28, &sample_snapshot());
         let v = parse_json(&line).expect("line parses");
-        assert_eq!(v.path_num(&["schema_version"]), Some(2.0));
+        assert_eq!(v.path_num(&["schema_version"]), Some(f64::from(SCHEMA_VERSION)));
         assert_eq!(v.get("bench").and_then(Json::str), Some("fig8_throughput"));
         assert_eq!(v.path_num(&["done"]), Some(5.0));
         assert_eq!(

@@ -17,7 +17,10 @@ use crate::cli::Cli;
 /// `schema_version` line in the flat format). Bumped when the report
 /// layout changes shape; `ci/perf_smoke.sh` refuses reports that do
 /// not declare it.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added the `host.peak_rss_bytes` / `host.bytes_per_node` memory
+/// block ([`Report::host_mem`]).
+pub const SCHEMA_VERSION: u32 = 3;
 
 pub struct Report {
     name: String,
@@ -68,6 +71,21 @@ impl Report {
         if wall_seconds > 0.0 {
             self.scalar("host.sim_cycles_per_sec", sim_cycles as f64 / wall_seconds);
             self.scalar("host.events_per_sec", events as f64 / wall_seconds);
+        }
+        self
+    }
+
+    /// Record the standard host-memory block: the process's peak
+    /// resident set (high-water mark, so it covers the largest
+    /// configuration the bin ran) and, when `nodes` is known, the
+    /// amortized footprint per simulated node — the figure of merit for
+    /// the rack-scale memory layout. Host-side quantities: they vary
+    /// across machines and builds and are not digest material.
+    pub fn host_mem(&mut self, nodes: u64) -> &mut Report {
+        let rss = peak_rss_bytes();
+        self.scalar("host.peak_rss_bytes", rss as f64);
+        if nodes > 0 {
+            self.scalar("host.bytes_per_node", rss as f64 / nodes as f64);
         }
         self
     }
@@ -229,6 +247,28 @@ pub fn emit_traces_or_exit(cli: &Cli, parts: &[(&str, String)]) {
     }
 }
 
+/// The process's peak resident set size in bytes, from the kernel's
+/// high-water mark (`VmHWM` in `/proc/self/status`). Returns 0 when the
+/// procfs field is unavailable (non-Linux hosts), so reports degrade to
+/// "unmeasured" rather than failing the run.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// Refuse to clobber an existing output file unless `--force` was
 /// given. Shared by `--stats-out` (via [`Report::emit`]) and the bins'
 /// `--trace-out` writers, so a rerun cannot silently overwrite a
@@ -289,7 +329,7 @@ mod tests {
         let r = Report::new("x");
         assert!(r
             .to_json()
-            .starts_with("{\"bench\":\"x\",\"schema_version\":2,"));
+            .starts_with("{\"bench\":\"x\",\"schema_version\":3,"));
         assert!(r.to_stats_txt().starts_with("schema_version"));
     }
 
@@ -381,6 +421,25 @@ mod tests {
         cli.force = true;
         r.emit(&cli).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn host_mem_reports_rss_and_per_node_amortization() {
+        // On Linux VmHWM is always present for a live process; the
+        // fallback keeps the block harmless elsewhere.
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+        let mut r = Report::new("x");
+        r.host_mem(64);
+        let j = r.to_json();
+        assert!(j.contains("\"host.peak_rss_bytes\":"));
+        assert!(j.contains("\"host.bytes_per_node\":"));
+        // nodes == 0 records the RSS but skips the division.
+        let mut r0 = Report::new("x");
+        r0.host_mem(0);
+        assert!(!r0.to_json().contains("bytes_per_node"));
     }
 
     #[test]

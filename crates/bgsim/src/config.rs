@@ -205,8 +205,9 @@ pub struct MachineConfig {
     /// clamped to at least 1. Smaller windows mean more epoch barriers;
     /// windowing never changes results, only batching.
     pub lookahead: Option<u64>,
-    /// Pre-size each event domain's queue for this many pending events
-    /// (steady-state scheduling then never reallocates).
+    /// Steady-state pending events per domain. Queues grow lazily from
+    /// empty, so this is only used when `eager_layout` re-creates the
+    /// legacy pre-sized allocation.
     pub event_capacity: usize,
     /// Enable the event-reduction fast path (op coalescing + quiescence
     /// fast-forward). Digest-identical to the plain engine by
@@ -242,6 +243,13 @@ pub struct MachineConfig {
     /// compaction sweep of a domain queue (it still also requires dead >
     /// live). Tunable per backend; must be at least 1.
     pub compact_min_dead: usize,
+    /// Re-create the legacy eager memory layout: pre-sized per-domain
+    /// event queues, the one-shot `domains * capacity` slot reservation,
+    /// and fully materialized per-node/per-core columns (RNG streams,
+    /// futex tables, DAC files...). Reservation-only and therefore
+    /// digest-neutral; exists so the scale benchmarks can measure the
+    /// pre-refactor bytes/node against the lazy default. Off by default.
+    pub eager_layout: bool,
 }
 
 impl Default for MachineConfig {
@@ -271,6 +279,7 @@ impl Default for MachineConfig {
             closed_form_noise: true,
             epoch_fast_forward: true,
             compact_min_dead: 64,
+            eager_layout: false,
         }
     }
 }
@@ -363,6 +372,14 @@ impl MachineConfig {
     /// driver (on by default; digest-identical either way).
     pub fn with_epoch_fast_forward(mut self, on: bool) -> MachineConfig {
         self.epoch_fast_forward = on;
+        self
+    }
+
+    /// Toggle the legacy eager memory layout (off by default; see the
+    /// `eager_layout` field). Digest-neutral — only the memory
+    /// footprint changes.
+    pub fn with_eager_layout(mut self, on: bool) -> MachineConfig {
+        self.eager_layout = on;
         self
     }
 

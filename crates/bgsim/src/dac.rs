@@ -23,9 +23,12 @@ impl DacRange {
     }
 }
 
-/// The DAC register file of one core.
+/// The DAC register file of one core. The slot vector is allocated on
+/// the first `arm` — a machine-wide column of these (one per core) costs
+/// no heap for the cores that never arm a guard.
 #[derive(Clone, Debug)]
 pub struct DacFile {
+    pairs: u32,
     ranges: Vec<Option<DacRange>>,
 }
 
@@ -39,12 +42,13 @@ pub enum DacError {
 impl DacFile {
     pub fn new(pairs: u32) -> DacFile {
         DacFile {
-            ranges: vec![None; pairs as usize],
+            pairs,
+            ranges: Vec::new(),
         }
     }
 
     pub fn pairs(&self) -> usize {
-        self.ranges.len()
+        self.pairs as usize
     }
 
     /// Arm slot `slot` to watch `[lo, hi)`.
@@ -52,22 +56,30 @@ impl DacFile {
         if hi <= lo {
             return Err(DacError::EmptyRange);
         }
-        let s = self
-            .ranges
-            .get_mut(slot as usize)
-            .ok_or(DacError::BadSlot)?;
-        *s = Some(DacRange { lo, hi, slot });
+        if slot >= self.pairs {
+            return Err(DacError::BadSlot);
+        }
+        if self.ranges.len() < self.pairs as usize {
+            self.ranges.resize(self.pairs as usize, None);
+        }
+        self.ranges[slot as usize] = Some(DacRange { lo, hi, slot });
         Ok(())
     }
 
     /// Disarm slot `slot`.
     pub fn disarm(&mut self, slot: u32) -> Result<(), DacError> {
-        let s = self
-            .ranges
-            .get_mut(slot as usize)
-            .ok_or(DacError::BadSlot)?;
-        *s = None;
+        if slot >= self.pairs {
+            return Err(DacError::BadSlot);
+        }
+        if let Some(s) = self.ranges.get_mut(slot as usize) {
+            *s = None;
+        }
         Ok(())
+    }
+
+    /// Heap bytes currently reserved by this register file.
+    pub fn resident_bytes(&self) -> usize {
+        self.ranges.capacity() * std::mem::size_of::<Option<DacRange>>()
     }
 
     /// Check a data access; returns the slot that fired, if any.
@@ -129,6 +141,22 @@ mod tests {
         assert_eq!(d.arm(2, 0, 1), Err(DacError::BadSlot));
         assert_eq!(d.arm(0, 5, 5), Err(DacError::EmptyRange));
         assert_eq!(d.disarm(9), Err(DacError::BadSlot));
+    }
+
+    #[test]
+    fn unarmed_file_reserves_no_memory() {
+        let d = DacFile::new(4);
+        assert_eq!(d.resident_bytes(), 0);
+        assert_eq!(d.pairs(), 4);
+        assert_eq!(d.check(0x1000), None);
+        assert!(d.armed().is_empty());
+        // Disarming a never-armed slot is a no-op, not an allocation.
+        let mut d2 = DacFile::new(4);
+        assert_eq!(d2.disarm(1), Ok(()));
+        assert_eq!(d2.resident_bytes(), 0);
+        d2.arm(1, 1, 2).unwrap();
+        assert!(d2.resident_bytes() > 0);
+        assert_eq!(d2.check(1), Some(1));
     }
 
     #[test]

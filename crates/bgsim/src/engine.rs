@@ -155,6 +155,11 @@ const CAL_INIT_WIDTH: Cycle = 1 << 14;
 /// Consecutive refills recovering at most one key before the sparse-side
 /// resize doubles the bucket width.
 const CAL_SPARSE_REFILLS: u32 = 4;
+/// Keys a calendar holds in plain heap ("sparse") mode before it pays
+/// for the bucket ring. Below this, ring + heap cost the same bytes but
+/// the ring adds `CAL_BUCKETS` allocations per domain — and a rack has
+/// one domain per node, most holding a single pending event.
+const CAL_SPARSE_KEYS: usize = 64;
 
 /// A calendar queue: a ring of `CAL_BUCKETS` buckets covering the dense
 /// near-horizon window `[base, base + width*CAL_BUCKETS)`, with a
@@ -189,20 +194,57 @@ struct Calendar {
 }
 
 impl Calendar {
-    fn new(capacity: usize) -> Calendar {
+    /// An empty calendar. The bucket ring is **not** allocated here: an
+    /// idle domain (a node that never schedules) costs only the inline
+    /// struct, which is what lets a 100k-node engine fit in memory. The
+    /// ring materializes on the first key that lands in the window.
+    fn new() -> Calendar {
         Calendar {
             base: 0,
             width: CAL_INIT_WIDTH,
             cursor: CAL_BUCKETS,
-            buckets: (0..CAL_BUCKETS)
-                .map(|_| BinaryHeap::with_capacity(capacity.div_ceil(CAL_BUCKETS)))
-                .collect(),
+            buckets: Vec::new(),
             window_len: 0,
             early: BinaryHeap::new(),
-            overflow: BinaryHeap::with_capacity(capacity),
+            overflow: BinaryHeap::new(),
             sparse_refills: 0,
             resizes: 0,
         }
+    }
+
+    /// Allocate the bucket ring on first use. The per-bucket heaps start
+    /// unallocated too (`BinaryHeap::new`), so this is one `Vec` spine,
+    /// not `CAL_BUCKETS` arena reservations.
+    #[inline]
+    fn ensure_buckets(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = (0..CAL_BUCKETS).map(|_| BinaryHeap::new()).collect();
+        }
+    }
+
+    /// Heap bytes currently reserved by this calendar's containers.
+    fn resident_bytes(&self) -> usize {
+        let key = std::mem::size_of::<Reverse<Key>>();
+        self.buckets.capacity() * std::mem::size_of::<BinaryHeap<Reverse<Key>>>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * key)
+                .sum::<usize>()
+            + self.early.capacity() * key
+            + self.overflow.capacity() * key
+    }
+
+    /// Pre-reserve the legacy eager footprint (what `new` used to
+    /// allocate up front). Only the scale benchmarks call this, to
+    /// measure the pre-refactor layout against the lazy default.
+    fn materialize(&mut self, capacity: usize) {
+        self.ensure_buckets();
+        let per_bucket = capacity.div_ceil(CAL_BUCKETS);
+        for b in self.buckets.iter_mut() {
+            b.reserve(per_bucket);
+        }
+        self.overflow.reserve(capacity);
     }
 
     fn len(&self) -> usize {
@@ -215,6 +257,15 @@ impl Calendar {
 
     #[inline]
     fn push(&mut self, k: Key) {
+        // Sparse mode: until the ring is materialized the calendar *is*
+        // the overflow heap — identical min order, none of the ring's
+        // per-domain footprint. A rack has one domain per node, most
+        // holding a single pending event; `refill` materializes the ring
+        // only once the heap outgrows `CAL_SPARSE_KEYS`.
+        if self.buckets.is_empty() {
+            self.overflow.push(Reverse(k));
+            return;
+        }
         if self.len() == 0 {
             // Empty calendar: re-anchor the window on the new key so the
             // cursor never scans a stale region.
@@ -241,6 +292,15 @@ impl Calendar {
             if let Some(&Reverse(k)) = self.early.peek() {
                 return Some(k);
             }
+            if self.buckets.is_empty() {
+                if self.overflow.len() <= CAL_SPARSE_KEYS {
+                    return self.overflow.peek().map(|&Reverse(k)| k);
+                }
+                if !self.refill() {
+                    return None;
+                }
+                continue;
+            }
             while self.cursor < CAL_BUCKETS {
                 if let Some(&Reverse(k)) = self.buckets[self.cursor].peek() {
                     return Some(k);
@@ -259,6 +319,15 @@ impl Calendar {
             return self.early.pop().map(|Reverse(k)| k);
         }
         loop {
+            if self.buckets.is_empty() {
+                if self.overflow.len() <= CAL_SPARSE_KEYS {
+                    return self.overflow.pop().map(|Reverse(k)| k);
+                }
+                if !self.refill() {
+                    return None;
+                }
+                continue;
+            }
             while self.cursor < CAL_BUCKETS {
                 if let Some(Reverse(k)) = self.buckets[self.cursor].pop() {
                     self.window_len -= 1;
@@ -288,6 +357,7 @@ impl Calendar {
         let Some(&Reverse(min)) = self.overflow.peek() else {
             return false;
         };
+        self.ensure_buckets();
         self.base = (min.at / self.width) * self.width;
         self.cursor = 0;
         let limit = self.base.saturating_add(self.span());
@@ -340,10 +410,29 @@ enum DomainQueue {
 }
 
 impl DomainQueue {
-    fn new(backend: EngineBackend, capacity: usize) -> DomainQueue {
+    /// An empty queue. Neither variant allocates until its first push —
+    /// per-domain pre-sizing is what used to sink rack-scale configs.
+    fn new(backend: EngineBackend) -> DomainQueue {
         match backend {
-            EngineBackend::Heap => DomainQueue::Heap(BinaryHeap::with_capacity(capacity)),
-            EngineBackend::Calendar => DomainQueue::Calendar(Calendar::new(capacity)),
+            EngineBackend::Heap => DomainQueue::Heap(BinaryHeap::new()),
+            EngineBackend::Calendar => DomainQueue::Calendar(Calendar::new()),
+        }
+    }
+
+    /// Heap bytes currently reserved by this queue's containers.
+    fn resident_bytes(&self) -> usize {
+        match self {
+            DomainQueue::Heap(q) => q.capacity() * std::mem::size_of::<Reverse<Key>>(),
+            DomainQueue::Calendar(c) => c.resident_bytes(),
+        }
+    }
+
+    /// Pre-reserve the legacy eager per-domain footprint (scale-bench
+    /// comparison only; see [`Engine::materialize_eager`]).
+    fn materialize(&mut self, capacity: usize) {
+        match self {
+            DomainQueue::Heap(q) => q.reserve(capacity),
+            DomainQueue::Calendar(c) => c.materialize(capacity),
         }
     }
 
@@ -436,30 +525,33 @@ impl Engine {
         Engine::with_shape(1, 0)
     }
 
-    /// An engine sharded into `domains` queues, each pre-sized for
-    /// `capacity` pending events (so steady-state operation does not
-    /// reallocate). `domains` is clamped to at least 1. Uses the default
-    /// backend and compaction floor; see [`Engine::with_config`].
+    /// An engine sharded into `domains` queues. `capacity` is a
+    /// steady-state occupancy *hint* kept for API compatibility; queues
+    /// and the payload slab now start empty and grow geometrically on
+    /// demand, so idle domains cost nothing. `domains` is clamped to at
+    /// least 1. Uses the default backend and compaction floor; see
+    /// [`Engine::with_config`].
     pub fn with_shape(domains: u32, capacity: usize) -> Engine {
         Engine::with_config(domains, capacity, EngineBackend::default(), 64)
     }
 
     /// The fully tunable constructor: queue structure per
     /// [`EngineBackend`] and the dead-entry compaction floor (clamped to
-    /// at least 1).
+    /// at least 1). Nothing is pre-reserved: the old
+    /// `domains * capacity` slot reservation both overflowed on huge
+    /// shapes and sank rack-scale configs before the first event fired;
+    /// all containers grow geometrically from empty instead.
     pub fn with_config(
         domains: u32,
-        capacity: usize,
+        _capacity: usize,
         backend: EngineBackend,
         compact_min_dead: usize,
     ) -> Engine {
         let domains = domains.max(1) as usize;
         Engine {
-            queues: (0..domains)
-                .map(|_| DomainQueue::new(backend, capacity))
-                .collect(),
-            heads: BinaryHeap::with_capacity(domains),
-            slots: Vec::with_capacity(domains * capacity),
+            queues: (0..domains).map(|_| DomainQueue::new(backend)).collect(),
+            heads: BinaryHeap::new(),
+            slots: Vec::new(),
             free: Vec::new(),
             now: 0,
             last_event: 0,
@@ -470,6 +562,32 @@ impl Engine {
             backend,
             compact_min_dead: compact_min_dead.max(1),
         }
+    }
+
+    /// Re-create the legacy eager layout: every domain queue pre-sized
+    /// for `capacity` pending events and one `domains * capacity` slot
+    /// reservation (saturating, so huge shapes no longer overflow the
+    /// multiply). Only the scale benchmarks call this, to measure the
+    /// pre-refactor footprint against the lazy default; behavior is
+    /// reservation-only and therefore digest-neutral.
+    pub fn materialize_eager(&mut self, capacity: usize) {
+        for q in self.queues.iter_mut() {
+            q.materialize(capacity);
+        }
+        let total = self.queues.len().saturating_mul(capacity);
+        self.slots.reserve(total.saturating_sub(self.slots.len()));
+        self.heads.reserve(self.queues.len());
+    }
+
+    /// Heap bytes currently reserved by the engine: per-domain queues,
+    /// the payload slab, the free list, and the merge front. The
+    /// accounting hook behind `Machine::resident_bytes_estimate`.
+    pub fn resident_bytes(&self) -> usize {
+        self.queues.capacity() * std::mem::size_of::<DomainQueue>()
+            + self.queues.iter().map(|q| q.resident_bytes()).sum::<usize>()
+            + self.heads.capacity() * std::mem::size_of::<Reverse<(Cycle, u64, u32)>>()
+            + self.slots.capacity() * std::mem::size_of::<Option<SlabEntry>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
     }
 
     /// The queue structure backing each domain.
@@ -1034,6 +1152,34 @@ mod tests {
     }
 
     #[test]
+    fn idle_domains_reserve_no_queue_memory() {
+        for backend in [EngineBackend::Heap, EngineBackend::Calendar] {
+            let e = Engine::with_config(4096, 32, backend, 64);
+            // A freshly built engine holds only the queue spine: no
+            // per-domain heaps, no slot reservation.
+            let lazy = e.resident_bytes();
+            let spine = 4096 * std::mem::size_of::<DomainQueue>();
+            assert!(lazy <= spine, "{backend:?}: {lazy} > spine {spine}");
+            // The legacy eager layout is dramatically larger — this gap
+            // is what fig_scale measures as bytes/node.
+            let mut eager = Engine::with_config(4096, 32, backend, 64);
+            eager.materialize_eager(32);
+            assert!(
+                eager.resident_bytes() >= 5 * lazy,
+                "{backend:?}: eager {} vs lazy {lazy}",
+                eager.resident_bytes()
+            );
+        }
+        // Guard: a shape whose domains * capacity product would have
+        // overflowed the old one-shot reservation must now construct and
+        // run without reserving anything.
+        let mut huge = Engine::with_config(1024, usize::MAX / 4, EngineBackend::Heap, 64);
+        let h = huge.schedule_dom(7, 5, EvKind::Kernel { node: 7, tag: 0 });
+        assert!(huge.is_live(h));
+        assert_eq!(huge.pop().unwrap().at, 5);
+    }
+
+    #[test]
     fn last_event_cycle_ignores_parking() {
         let mut e = Engine::new();
         e.schedule(10, EvKind::Kernel { node: 0, tag: 1 });
@@ -1164,10 +1310,13 @@ mod tests {
     fn calendar_sparse_overflow_resizes_width() {
         // Events spaced far beyond the window span park in the overflow
         // heap; draining them one near-empty refill at a time trips the
-        // sparse-side resize, which doubles the bucket width.
+        // sparse-side resize, which doubles the bucket width. The count
+        // must exceed CAL_SPARSE_KEYS or the domain never leaves plain
+        // heap mode (see calendar_stays_in_heap_mode_below_threshold).
         let mut e = Engine::with_config(1, 0, EngineBackend::Calendar, 64);
         let span = CAL_INIT_WIDTH * CAL_BUCKETS as u64;
-        let ats: Vec<u64> = (0..40u64).map(|i| i * span * 4).collect();
+        let n = CAL_SPARSE_KEYS as u64 + 16;
+        let ats: Vec<u64> = (0..n).map(|i| i * span * 4).collect();
         for (i, &at) in ats.iter().enumerate() {
             e.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
         }
@@ -1180,6 +1329,37 @@ mod tests {
             e.calendar_resizes() >= 1,
             "sparse refills must widen buckets"
         );
+    }
+
+    #[test]
+    fn calendar_stays_in_heap_mode_below_threshold() {
+        // At or below CAL_SPARSE_KEYS live keys the calendar never
+        // materializes its bucket ring — it is a plain min-heap with a
+        // plain min-heap's footprint — yet pops the identical order.
+        let mut e = Engine::with_config(1, 0, EngineBackend::Calendar, 64);
+        let mut h = Engine::with_config(1, 0, EngineBackend::Heap, 64);
+        let span = CAL_INIT_WIDTH * CAL_BUCKETS as u64;
+        let mut ats: Vec<u64> = (0..CAL_SPARSE_KEYS as u64).map(|i| i * span).collect();
+        for (i, &at) in ats.iter().enumerate() {
+            e.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
+            h.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
+        }
+        // A sparse calendar's only key storage is its overflow heap, so
+        // its heap bytes match the heap backend's; a materialized ring
+        // would add CAL_BUCKETS BinaryHeaps on top.
+        assert!(
+            e.resident_bytes() <= h.resident_bytes() + CAL_BUCKETS,
+            "sparse domain allocated a bucket ring: calendar {} B vs heap {} B",
+            e.resident_bytes(),
+            h.resident_bytes()
+        );
+        let mut popped = Vec::new();
+        while let Some(ev) = e.pop() {
+            popped.push(ev.at);
+        }
+        ats.sort_unstable();
+        assert_eq!(popped, ats, "heap mode must preserve min order");
+        assert_eq!(e.calendar_resizes(), 0, "no refill may run in heap mode");
     }
 
     #[test]

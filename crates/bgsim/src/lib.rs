@@ -38,6 +38,7 @@ pub mod dac;
 pub mod engine;
 pub mod fault;
 pub mod features;
+pub mod idmap;
 pub mod machine;
 pub mod mem;
 pub mod noise;

@@ -166,6 +166,19 @@ impl Machine {
         crate::telemetry::coverage_digest(&self.sc.tel.metrics, self.sc.trace.digest())
     }
 
+    /// Approximate heap bytes resident for this machine: simulator state
+    /// (engine queues, payload slab, per-node/per-core columns), kernel
+    /// private state, and machine-level scratch (fast-path run queue,
+    /// fault schedule). The estimate counts container capacities, so it
+    /// tracks reservations as well as live entries; `fig_scale` divides it
+    /// by the node count to report bytes/node at each sweep point.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        self.sc.resident_bytes_estimate()
+            + self.kernel.resident_bytes()
+            + self.fast.capacity() * std::mem::size_of::<FastSlot>()
+            + self.fault_events.capacity() * std::mem::size_of::<FaultEvent>()
+    }
+
     /// Cold boot.
     pub fn boot(&mut self) -> &BootReport {
         assert!(!self.booted, "already booted");
@@ -348,6 +361,21 @@ impl Machine {
             v.push(format!(
                 "trace entry at cycle {last} is ahead of the engine clock {}",
                 self.sc.engine.now()
+            ));
+        }
+        // Live-thread counter vs a full recount: the executor maintains
+        // the O(1) counter at exit transitions, so drift means a state
+        // write bypassed them.
+        let recount = self
+            .sc
+            .threads
+            .iter()
+            .filter(|t| t.state.is_live())
+            .count();
+        if recount != self.sc.live_threads() {
+            v.push(format!(
+                "live-thread counter {} != recount {recount}",
+                self.sc.live_threads()
             ));
         }
         // Running-slot cross-check: an occupied core slot must name a
@@ -1060,6 +1088,7 @@ impl Machine {
             let pd = t.pending_done.take();
             t.state = ThreadState::Exited;
             t.exit_code = Some(code);
+            self.sc.live_count -= 1;
             self.cancel_pending_done(pd, core);
             if self.sc.running[core.idx()] == Some(tid) {
                 self.sc.running[core.idx()] = None;
@@ -1082,8 +1111,12 @@ impl Machine {
             let t = &mut self.sc.threads[tid.idx()];
             t.next_gen();
             let pd = t.pending_done.take();
+            let was_live = t.state.is_live();
             t.state = ThreadState::Exited;
             t.exit_code = Some(code);
+            if was_live {
+                self.sc.live_count -= 1;
+            }
             self.cancel_pending_done(pd, core);
         }
         if self.sc.running[core.idx()] == Some(tid) {

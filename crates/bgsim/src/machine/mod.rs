@@ -292,6 +292,14 @@ pub trait Kernel {
         Vec::new()
     }
 
+    /// Approximate heap bytes held by kernel-private state (process
+    /// tables, futex tables, I/O proxies...). Feeds
+    /// `Machine::resident_bytes_estimate`; an estimate, not allocator
+    /// truth. Default: unaccounted.
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+
     /// Data-plane address translation for `tid`.
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64>;
 

@@ -8,10 +8,6 @@
 //! through deferral queues the executor drains after each event, which
 //! keeps the borrow structure simple and the event order deterministic.
 
-use std::collections::HashMap;
-
-use rand::rngs::SmallRng;
-
 use sysabi::{CoreId, NodeId, ProcId, Sig, SysRet, Tid};
 
 use crate::barrier::BarrierNet;
@@ -19,10 +15,11 @@ use crate::collective::CollectiveNet;
 use crate::config::MachineConfig;
 use crate::cycles::Cycle;
 use crate::engine::{Engine, EvHandle, EvKind};
+use crate::idmap::IdMap;
 use crate::machine::thread::{Thread, ThreadState};
 use crate::machine::Workload;
 use crate::mem::PhysMem;
-use crate::rng::RngHub;
+use crate::rng::{LazyStreams, RngHub};
 use crate::telemetry::{Domain, Profiler, Slot, Telemetry, TpKind};
 use crate::torus::Torus;
 use crate::trace::{Trace, TraceEvent};
@@ -78,6 +75,16 @@ pub struct MachineStats {
 /// Extra per-message latency modeling the torus hardware's CRC-triggered
 /// link-level retransmit (token resend + re-traverse).
 pub const TORUS_RETRANSMIT: Cycle = 4_000;
+
+/// One in-flight message plus its scheduled delivery, stored together in
+/// the [`IdMap`] window (the two old side tables were always keyed by
+/// the same ids).
+#[derive(Debug)]
+struct Inflight {
+    msg: NetMsg,
+    delivery: EvHandle,
+    arrival: Cycle,
+}
 
 /// An injected link outage: all traffic on `domain` touching `node` is
 /// affected until cycle `until` (torus: delayed past the outage;
@@ -142,6 +149,10 @@ pub struct SimCore {
     pub prof: Profiler,
     pub hub: RngHub,
     pub threads: Vec<Thread>,
+    /// Count of threads whose state is live, maintained at the two
+    /// exit transitions so the per-event "all done?" check is O(1)
+    /// instead of a scan over the (rack-scale) thread table.
+    pub(crate) live_count: usize,
     /// Per-node DRAM.
     pub dram: Vec<PhysMem>,
     /// Per-global-core TLB.
@@ -153,19 +164,19 @@ pub struct SimCore {
     /// Per-global-core "currently executing a memory-streaming op" flag
     /// (drives the L2 bank-conflict model, §III).
     pub streaming: Vec<bool>,
-    /// Per-node DRAM-refresh jitter stream.
-    jitter: Vec<SmallRng>,
-    /// In-flight messages keyed by id.
-    msgs: HashMap<u64, NetMsg>,
-    /// Delivery event and arrival cycle of each in-flight message, so
-    /// fault injection can bounce/drop/delay traffic already on the wire.
-    msg_deliveries: HashMap<u64, (EvHandle, Cycle)>,
+    /// Per-node DRAM-refresh jitter streams, materialized on first draw.
+    jitter: LazyStreams,
+    /// In-flight messages (payload + delivery event + arrival cycle) in
+    /// a dense id-window: O(1) keyed access and ascending-id iteration,
+    /// so fault injection walks traffic in send order with no sort.
+    inflight: IdMap<Inflight>,
     /// Active injected link outages (empty unless faults fired; pruned
     /// lazily).
     outages: Vec<LinkOutage>,
     next_msg: u64,
-    /// Threads of each process.
-    pub proc_threads: HashMap<ProcId, Vec<Tid>>,
+    /// Threads of each process, indexed by `ProcId` (process ids are
+    /// allocated sequentially by the kernels).
+    pub proc_threads: Vec<Vec<Tid>>,
     pub stats: MachineStats,
     /// Closed-form kernel timers (`cfg.closed_form_noise`); empty when
     /// kernels schedule per-tick heap events instead.
@@ -188,18 +199,25 @@ impl SimCore {
         }
         let cores = cfg.total_cores() as usize;
         let hub = RngHub::new(cfg.seed);
-        let jitter = (0..cfg.nodes as u64)
-            .map(|n| hub.stream_for("dram-refresh", n))
-            .collect();
+        let mut engine = Engine::with_config(
+            cfg.nodes,
+            cfg.event_capacity,
+            cfg.engine_backend,
+            cfg.compact_min_dead,
+        );
+        let mut jitter = LazyStreams::new("dram-refresh");
+        if cfg.eager_layout {
+            // Scale-benchmark comparison mode: reproduce the legacy
+            // pre-sized layout (every domain queue reserved, every
+            // per-node stream materialized). Reservation-only, so it is
+            // digest-neutral by construction.
+            engine.materialize_eager(cfg.event_capacity);
+            jitter.materialize_eager(&hub, cfg.nodes as u64);
+        }
         SimCore {
-            // One event domain per node, each queue pre-sized so
-            // steady-state scheduling never reallocates.
-            engine: Engine::with_config(
-                cfg.nodes,
-                cfg.event_capacity,
-                cfg.engine_backend,
-                cfg.compact_min_dead,
-            ),
+            // One event domain per node; queues start empty and grow on
+            // first use, so idle nodes cost nothing.
+            engine,
             torus: Torus::new(&cfg),
             coll: CollectiveNet::new(&cfg),
             barrier: BarrierNet::new(&cfg),
@@ -219,6 +237,7 @@ impl SimCore {
             },
             hub: hub.clone(),
             threads: Vec::new(),
+            live_count: 0,
             dram: (0..cfg.nodes)
                 .map(|_| PhysMem::new(cfg.chip.dram_bytes))
                 .collect(),
@@ -231,11 +250,10 @@ impl SimCore {
             running: vec![None; cores],
             streaming: vec![false; cores],
             jitter,
-            msgs: HashMap::new(),
-            msg_deliveries: HashMap::new(),
+            inflight: IdMap::new(),
             outages: Vec::new(),
             next_msg: 0,
-            proc_threads: HashMap::new(),
+            proc_threads: Vec::new(),
             stats: MachineStats::default(),
             vtimers: VTimers::default(),
             dispatch_q: Vec::new(),
@@ -277,7 +295,11 @@ impl SimCore {
         let tid = Tid(self.threads.len() as u32);
         self.threads
             .push(Thread::new(tid, proc, node, core, workload));
-        self.proc_threads.entry(proc).or_default().push(tid);
+        self.live_count += 1;
+        if self.proc_threads.len() <= proc.idx() {
+            self.proc_threads.resize_with(proc.idx() + 1, Vec::new);
+        }
+        self.proc_threads[proc.idx()].push(tid);
         tid
     }
 
@@ -291,7 +313,9 @@ impl SimCore {
 
     /// Threads of a process.
     pub fn threads_of(&self, proc: ProcId) -> &[Tid] {
-        self.proc_threads.get(&proc).map_or(&[], |v| v.as_slice())
+        self.proc_threads
+            .get(proc.idx())
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Cores of `node` currently executing a streaming op.
@@ -310,9 +334,11 @@ impl SimCore {
             .count()
     }
 
-    /// Number of live (non-exited) threads.
+    /// Number of live (non-exited) threads. O(1): the executor keeps
+    /// the count current across exit transitions (cross-checked against
+    /// a full recount in `check_invariants`).
     pub fn live_threads(&self) -> usize {
-        self.threads.iter().filter(|t| t.state.is_live()).count()
+        self.live_count
     }
 
     /// Is the hardware core currently idle?
@@ -474,7 +500,8 @@ impl SimCore {
     /// noise; bounded < 0.006% of the FWQ quantum).
     pub fn refresh_jitter(&mut self, node: NodeId) -> u64 {
         let max = self.cfg.chip.dram_refresh_stall_max;
-        crate::rng::uniform_incl(&mut self.jitter[node.idx()], 0, max)
+        let rng = self.jitter.get(&self.hub, node.0 as u64);
+        crate::rng::uniform_incl(rng, 0, max)
     }
 
     // ---- kernel event scheduling -------------------------------------------
@@ -552,11 +579,17 @@ impl SimCore {
         // (the lookahead floor, `MachineConfig::min_link_cycles`).
         let dst = msg.dst_node.0;
         self.prof.msg_enqueued(msg.src_node.0, dst);
-        self.msgs.insert(id, msg);
         let h = self
             .engine
             .schedule_dom(dst, arrival, EvKind::NetDeliver { msg_id: id });
-        self.msg_deliveries.insert(id, (h, arrival));
+        self.inflight.insert(
+            id,
+            Inflight {
+                msg,
+                delivery: h,
+                arrival,
+            },
+        );
     }
 
     fn next_msg_id(&mut self) -> u64 {
@@ -674,8 +707,7 @@ impl SimCore {
     }
 
     pub(crate) fn take_msg(&mut self, id: u64) -> Option<NetMsg> {
-        self.msg_deliveries.remove(&id);
-        let m = self.msgs.remove(&id);
+        let m = self.inflight.remove(id).map(|e| e.msg);
         if let Some(m) = &m {
             self.prof.msg_retired(m.dst_node.0);
         }
@@ -699,52 +731,54 @@ impl SimCore {
             .max()
     }
 
-    /// Ids of in-flight messages on `domain` touching `node`, sorted for
-    /// deterministic iteration (the backing map is a `HashMap`).
+    /// Ids of in-flight messages on `domain` touching `node`, in
+    /// ascending-id (= send) order. The dense id-window iterates in that
+    /// order natively, so no sort is needed to keep fault injection
+    /// deterministic.
     pub fn inflight_ids(&self, node: NodeId, domain: NetDomain) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .msgs
-            .values()
-            .filter(|m| m.domain == domain && (m.src_node == node || m.dst_node == node))
-            .map(|m| m.id)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.inflight
+            .iter()
+            .filter(|(_, e)| {
+                e.msg.domain == domain && (e.msg.src_node == node || e.msg.dst_node == node)
+            })
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Mutable access to an in-flight message's contents (fault paths:
     /// payload corruption, short-write truncation).
     pub fn inflight_msg_mut(&mut self, id: u64) -> Option<&mut NetMsg> {
-        self.msgs.get_mut(&id)
+        self.inflight.get_mut(id).map(|e| &mut e.msg)
     }
 
     /// Cancel an in-flight message's delivery and reschedule it at `at`.
     /// Returns false if the message is no longer in flight.
     pub fn redeliver_at(&mut self, id: u64, at: Cycle) -> bool {
-        let Some(&(h, _)) = self.msg_deliveries.get(&id) else {
+        let Some(e) = self.inflight.get(id) else {
             return false;
         };
+        let (h, dst) = (e.delivery, e.msg.dst_node.0);
         if !self.engine.cancel(h) {
             return false;
         }
-        let dst = self.msgs[&id].dst_node.0;
         let nh = self
             .engine
             .schedule_dom(dst, at, EvKind::NetDeliver { msg_id: id });
-        self.msg_deliveries.insert(id, (nh, at));
+        if let Some(e) = self.inflight.get_mut(id) {
+            e.delivery = nh;
+            e.arrival = at;
+        }
         true
     }
 
     /// Drop an in-flight message outright: cancel its delivery and forget
     /// the payload. Returns false if it already arrived.
     pub fn drop_inflight(&mut self, id: u64) -> bool {
-        let Some((h, _)) = self.msg_deliveries.remove(&id) else {
+        let Some(e) = self.inflight.remove(id) else {
             return false;
         };
-        self.engine.cancel(h);
-        if let Some(m) = self.msgs.remove(&id) {
-            self.prof.msg_retired(m.dst_node.0);
-        }
+        self.engine.cancel(e.delivery);
+        self.prof.msg_retired(e.msg.dst_node.0);
         true
     }
 
@@ -764,7 +798,7 @@ impl SimCore {
         for id in self.inflight_ids(node, domain) {
             match domain {
                 NetDomain::Torus => {
-                    let arrival = self.msg_deliveries.get(&id).map_or(now, |&(_, at)| at);
+                    let arrival = self.inflight.get(id).map_or(now, |e| e.arrival);
                     if self.redeliver_at(id, arrival.max(until) + TORUS_RETRANSMIT) {
                         self.stats.torus_dropped += 1;
                         self.tel
@@ -794,7 +828,7 @@ impl SimCore {
         );
         let mut n = 0;
         for id in self.inflight_ids(node, domain) {
-            let Some(&(_, arrival)) = self.msg_deliveries.get(&id) else {
+            let Some(arrival) = self.inflight.get(id).map(|e| e.arrival) else {
                 continue;
             };
             if self.redeliver_at(id, arrival + extra) {
@@ -821,7 +855,7 @@ impl SimCore {
         for id in self.inflight_ids(node, domain) {
             match domain {
                 NetDomain::Torus => {
-                    let Some(&(_, arrival)) = self.msg_deliveries.get(&id) else {
+                    let Some(arrival) = self.inflight.get(id).map(|e| e.arrival) else {
                         continue;
                     };
                     if self.redeliver_at(id, arrival + TORUS_RETRANSMIT) {
@@ -832,7 +866,7 @@ impl SimCore {
                     }
                 }
                 NetDomain::Collective => {
-                    if let Some(m) = self.msgs.get_mut(&id) {
+                    if let Some(m) = self.inflight.get_mut(id).map(|e| &mut e.msg) {
                         for b in m.payload.iter_mut().skip(4) {
                             *b ^= 0xA5;
                         }
@@ -873,9 +907,50 @@ impl SimCore {
             };
             v.push((format!("thread{i}.state"), s));
         }
-        v.push(("net.inflight".to_string(), self.msgs.len() as u64));
+        v.push(("net.inflight".to_string(), self.inflight.len() as u64));
         v.push(("events.processed".to_string(), self.engine.processed()));
         v
+    }
+
+    // ---- memory accounting -------------------------------------------------
+
+    /// Approximate heap bytes resident in the simulator core: engine
+    /// queues and slab, per-node DRAM granules, per-core TLB/DAC arrays,
+    /// thread table, in-flight messages, RNG columns, and the profiler's
+    /// heat table. An estimate (container capacities, not allocator
+    /// metadata), but it moves with the layout — which is what the
+    /// scale benchmarks need to compare layouts honestly.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        let spine = |cap: usize, elem: usize| cap * elem;
+        let mut total = self.engine.resident_bytes();
+        total += spine(self.dram.capacity(), std::mem::size_of::<PhysMem>());
+        total += self.dram.iter().map(|m| m.resident_bytes()).sum::<usize>();
+        total += spine(self.tlbs.capacity(), std::mem::size_of::<crate::tlb::Tlb>());
+        total += self.tlbs.iter().map(|t| t.resident_bytes()).sum::<usize>();
+        total += spine(
+            self.dacs.capacity(),
+            std::mem::size_of::<crate::dac::DacFile>(),
+        );
+        total += self.dacs.iter().map(|d| d.resident_bytes()).sum::<usize>();
+        total += spine(self.running.capacity(), std::mem::size_of::<Option<Tid>>());
+        total += self.streaming.capacity();
+        total += spine(self.threads.capacity(), std::mem::size_of::<Thread>());
+        total += self.inflight.resident_bytes();
+        total += self
+            .inflight
+            .iter()
+            .map(|(_, e)| e.msg.payload.capacity())
+            .sum::<usize>();
+        total += spine(self.proc_threads.capacity(), std::mem::size_of::<Vec<Tid>>());
+        total += self
+            .proc_threads
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<Tid>())
+            .sum::<usize>();
+        total += self.jitter.resident_bytes();
+        total += self.prof.resident_bytes();
+        total += self.vtimers.heap.capacity() * std::mem::size_of::<(Cycle, u64, u32, u64)>();
+        total
     }
 }
 
@@ -954,7 +1029,7 @@ mod tests {
     fn torus_send_schedules_delivery() {
         let mut s = sc(2);
         let id = s.torus_send(NodeId(0), NodeId(1), 1024, 7, vec![], 0);
-        assert!(s.msgs.contains_key(&id));
+        assert!(s.inflight.contains(id));
         assert_eq!(s.stats.torus_msgs, 1);
         // The delivery event exists.
         assert_eq!(s.engine.pending(), 1);

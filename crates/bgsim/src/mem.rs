@@ -152,6 +152,13 @@ impl PhysMem {
     pub fn resident_granules(&self) -> usize {
         self.granules.len()
     }
+
+    /// Approximate heap bytes held: one boxed granule plus tree-node
+    /// overhead per resident granule. DRAM is sparse, so an untouched
+    /// node's memory image costs nothing.
+    pub fn resident_bytes(&self) -> usize {
+        self.granules.len() * (GRANULE as usize + 48)
+    }
 }
 
 /// Physical memory access error.

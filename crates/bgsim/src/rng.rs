@@ -55,6 +55,55 @@ impl RngHub {
     }
 }
 
+/// A lazily materialized column of per-entity streams (one per node,
+/// core, or I/O node). The seed of stream `i` is a pure function of
+/// `(master seed, name, i)` via [`RngHub::stream_for`], so nothing needs
+/// to exist until the first draw: an entity that never draws costs no
+/// memory, and the draw sequence is bit-identical to the old layout that
+/// eagerly stored one `SmallRng` per entity. Streams are only ever
+/// accessed by index (the map is never iterated), so the `HashMap`
+/// backing is determinism-neutral.
+#[derive(Clone, Debug)]
+pub struct LazyStreams {
+    name: &'static str,
+    streams: std::collections::HashMap<u64, SmallRng>,
+}
+
+impl LazyStreams {
+    pub fn new(name: &'static str) -> LazyStreams {
+        LazyStreams {
+            name,
+            streams: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The stream for entity `index`, materialized on first use.
+    pub fn get(&mut self, hub: &RngHub, index: u64) -> &mut SmallRng {
+        self.streams
+            .entry(index)
+            .or_insert_with(|| hub.stream_for(self.name, index))
+    }
+
+    /// Streams materialized so far.
+    pub fn materialized(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Force-materialize streams `0..n` (the scale benchmarks use this
+    /// to reproduce the legacy eager per-entity footprint).
+    pub fn materialize_eager(&mut self, hub: &RngHub, n: u64) {
+        for i in 0..n {
+            self.get(hub, i);
+        }
+    }
+
+    /// Heap bytes currently held by materialized streams (approximate:
+    /// entry payload only, not `HashMap` bucket overhead).
+    pub fn resident_bytes(&self) -> usize {
+        self.streams.capacity() * (std::mem::size_of::<(u64, SmallRng)>() + 8)
+    }
+}
+
 /// Draw from `[lo, hi]` inclusive; degenerate ranges return `lo`.
 pub fn uniform_incl(rng: &mut SmallRng, lo: u64, hi: u64) -> u64 {
     if hi <= lo {
@@ -118,6 +167,26 @@ mod tests {
             let v = uniform_incl(&mut r, 10, 20);
             assert!((10..=20).contains(&v));
         }
+    }
+
+    #[test]
+    fn lazy_streams_match_eager_columns() {
+        let hub = RngHub::new(0x5eed);
+        // The old layout: one eagerly seeded SmallRng per node.
+        let mut eager: Vec<SmallRng> = (0..8).map(|n| hub.stream_for("dram-refresh", n)).collect();
+        let mut lazy = LazyStreams::new("dram-refresh");
+        assert_eq!(lazy.materialized(), 0);
+        // Interleave draws across entities in a scattered order; every
+        // draw must match the eager column draw-for-draw.
+        for &n in &[3u64, 0, 3, 7, 1, 1, 3, 0, 5, 7] {
+            let want = eager[n as usize].gen::<u64>();
+            let got = lazy.get(&hub, n).gen::<u64>();
+            assert_eq!(want, got, "stream {n} diverged");
+        }
+        assert_eq!(lazy.materialized(), 5, "only touched entities exist");
+        lazy.materialize_eager(&hub, 8);
+        assert_eq!(lazy.materialized(), 8);
+        assert!(lazy.resident_bytes() > 0);
     }
 
     #[test]

@@ -205,6 +205,17 @@ impl Profiler {
         self.enabled
     }
 
+    /// Heap bytes currently reserved: the per-node heat table plus the
+    /// per-domain flight rings.
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<NodeHeat>()
+            + self
+                .rings
+                .iter()
+                .map(|r| r.entries.capacity() * std::mem::size_of::<SpanRec>())
+                .sum::<usize>()
+    }
+
     /// Attribute `cycles` simulated cycles at `at` on `node` to a
     /// domain, and append the span to the domain's flight ring.
     #[inline]

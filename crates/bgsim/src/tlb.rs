@@ -39,8 +39,16 @@ impl TlbEntry {
 }
 
 /// A per-core TLB with round-robin replacement over the unpinned ways.
+///
+/// The pinned static map (CNK §VI.B) is identical on every core of a
+/// process, so it lives in a shared, immutable `base` slice installed
+/// once per process and reference-counted across its cores — at rack
+/// scale the map costs one copy per process instead of one per core.
+/// Per-core state (demand fills, runtime pins) stays in `entries`.
 #[derive(Clone, Debug)]
 pub struct Tlb {
+    /// Shared pinned static map; `None` until a kernel installs one.
+    base: Option<std::sync::Arc<[TlbEntry]>>,
     entries: Vec<TlbEntry>,
     capacity: usize,
     victim: usize,
@@ -65,6 +73,7 @@ pub enum TlbError {
 impl Tlb {
     pub fn new(capacity: u32) -> Tlb {
         Tlb {
+            base: None,
             entries: Vec::new(),
             capacity: capacity as usize,
             victim: 0,
@@ -77,16 +86,26 @@ impl Tlb {
         self.capacity
     }
 
+    fn base_slice(&self) -> &[TlbEntry] {
+        self.base.as_deref().unwrap_or(&[])
+    }
+
+    /// Every installed entry, shared base first then per-core ways — the
+    /// hardware scan order (pins precede fills, as in the flat layout).
+    fn all(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.base_slice().iter().chain(self.entries.iter())
+    }
+
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.base_slice().len() + self.entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     pub fn pinned_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.pinned).count()
+        self.base_slice().len() + self.entries.iter().filter(|e| e.pinned).count()
     }
 
     fn validate(&self, e: &TlbEntry) -> Result<(), TlbError> {
@@ -97,11 +116,36 @@ impl Tlb {
             return Err(TlbError::Misaligned);
         }
         if self
-            .entries
-            .iter()
+            .all()
             .any(|x| e.vaddr < x.vaddr + x.size && x.vaddr < e.vaddr + e.size)
         {
             return Err(TlbError::Overlap);
+        }
+        Ok(())
+    }
+
+    /// Install a process's shared static map in one shot. The slice must
+    /// already be validated entry-by-entry (see [`Tlb::validate_map`]);
+    /// this only checks that the ways fit. Requires an empty base —
+    /// i.e. a freshly reset TLB at job launch.
+    pub fn install_base(&mut self, map: std::sync::Arc<[TlbEntry]>) -> Result<(), TlbError> {
+        debug_assert!(self.base.is_none(), "install_base on a live base");
+        if self.len() + map.len() > self.capacity {
+            return Err(TlbError::Full);
+        }
+        self.base = Some(map);
+        Ok(())
+    }
+
+    /// Validate a candidate static map exactly as a sequence of [`pin`]
+    /// calls on an empty TLB would: first offending entry wins, same
+    /// error, same order.
+    ///
+    /// [`pin`]: Tlb::pin
+    pub fn validate_map(map: &[TlbEntry], capacity: usize) -> Result<(), TlbError> {
+        let mut scratch = Tlb::new(capacity as u32);
+        for &e in map {
+            scratch.pin(e)?;
         }
         Ok(())
     }
@@ -110,7 +154,7 @@ impl Tlb {
     /// out of ways.
     pub fn pin(&mut self, e: TlbEntry) -> Result<(), TlbError> {
         self.validate(&e)?;
-        if self.entries.len() >= self.capacity {
+        if self.len() >= self.capacity {
             return Err(TlbError::Full);
         }
         self.entries.push(TlbEntry { pinned: true, ..e });
@@ -122,7 +166,7 @@ impl Tlb {
     pub fn fill(&mut self, e: TlbEntry) -> Result<(), TlbError> {
         self.validate(&e)?;
         let e = TlbEntry { pinned: false, ..e };
-        if self.entries.len() < self.capacity {
+        if self.len() < self.capacity {
             self.entries.push(e);
             return Ok(());
         }
@@ -141,7 +185,7 @@ impl Tlb {
     /// Translate, counting hit/miss. A miss returns `None`; the kernel's
     /// refill path decides what to do.
     pub fn lookup(&mut self, va: u64) -> Option<u64> {
-        match self.entries.iter().find_map(|e| e.translate(va)) {
+        match self.peek(va) {
             Some(pa) => {
                 self.hits += 1;
                 Some(pa)
@@ -155,26 +199,37 @@ impl Tlb {
 
     /// Translate without touching statistics (introspection).
     pub fn peek(&self, va: u64) -> Option<u64> {
-        self.entries.iter().find_map(|e| e.translate(va))
+        self.all().find_map(|e| e.translate(va))
     }
 
     /// Drop all unpinned entries (context switch on the FWK model —
-    /// the PPC450 TLB is not tagged).
+    /// the PPC450 TLB is not tagged). The shared base is all-pinned by
+    /// construction and survives.
     pub fn flush_unpinned(&mut self) {
         self.entries.retain(|e| e.pinned);
         self.victim = 0;
     }
 
-    /// Drop everything (chip reset).
+    /// Drop everything (chip reset), releasing this core's claim on the
+    /// shared base.
     pub fn reset(&mut self) {
+        self.base = None;
         self.entries.clear();
         self.victim = 0;
         self.hits = 0;
         self.misses = 0;
     }
 
-    pub fn entries(&self) -> &[TlbEntry] {
-        &self.entries
+    /// Heap bytes attributed to this core: its private ways plus its
+    /// amortized share of the process's base map (total map bytes split
+    /// over the cores currently holding a reference, so summing over the
+    /// cores counts each map once).
+    pub fn resident_bytes(&self) -> usize {
+        let sz = std::mem::size_of::<TlbEntry>();
+        let shared = self.base.as_ref().map_or(0, |b| {
+            (b.len() * sz).div_ceil(std::sync::Arc::strong_count(b))
+        });
+        self.entries.capacity() * sz + shared
     }
 }
 
@@ -255,6 +310,56 @@ mod tests {
         t.flush_unpinned();
         assert_eq!(t.len(), 1);
         assert!(t.peek(0).is_some());
+    }
+
+    #[test]
+    fn base_map_shared_and_scanned_first() {
+        use std::sync::Arc;
+        let map: Arc<[TlbEntry]> = vec![
+            TlbEntry { pinned: true, ..e(0, 0, 16 << 20) },
+            TlbEntry { pinned: true, ..e(16 << 20, 64 << 20, 1 << 20) },
+        ]
+        .into();
+        Tlb::validate_map(&map, 4).unwrap();
+        let mut a = Tlb::new(4);
+        let mut b = Tlb::new(4);
+        a.install_base(map.clone()).unwrap();
+        b.install_base(map.clone()).unwrap();
+        drop(map);
+        assert_eq!(a.lookup(16 << 20), Some(64 << 20));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.pinned_count(), 2);
+        // Overlapping a base entry is rejected like any pinned entry.
+        assert_eq!(a.fill(e(0, 128 << 20, 1 << 20)), Err(TlbError::Overlap));
+        // The map's bytes are split across the two holders.
+        let sz = std::mem::size_of::<TlbEntry>();
+        assert_eq!(a.resident_bytes() + b.resident_bytes(), 2 * sz);
+        // Flush keeps the base (it is all-pinned); reset releases it.
+        a.fill(e(256 << 20, 256 << 20, 1 << 20)).unwrap();
+        a.flush_unpinned();
+        assert_eq!(a.len(), 2);
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(b.resident_bytes(), 2 * sz);
+    }
+
+    #[test]
+    fn base_map_counts_against_capacity() {
+        use std::sync::Arc;
+        let map: Arc<[TlbEntry]> =
+            vec![TlbEntry { pinned: true, ..e(0, 0, 1 << 20) }].into();
+        let mut t = Tlb::new(2);
+        t.install_base(map).unwrap();
+        t.fill(e(1 << 20, 1 << 20, 1 << 20)).unwrap();
+        // Full: eviction walks only the private ways, never the base.
+        t.fill(e(2 << 20, 2 << 20, 1 << 20)).unwrap();
+        assert!(t.peek(0).is_some(), "base entry survived eviction");
+        assert!(t.peek(1 << 20).is_none());
+        assert!(t.peek(2 << 20).is_some());
+        assert_eq!(
+            Tlb::validate_map(&[e(0, 0, 1 << 20), e(0, 0, 1 << 20)], 4),
+            Err(TlbError::Overlap)
+        );
     }
 
     #[test]

@@ -4,10 +4,9 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-
 use bgsim::chip;
 use bgsim::engine::EvHandle;
+use bgsim::idmap::IdMap;
 use bgsim::fault::{FaultEvent, FaultKind};
 use bgsim::machine::{
     BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
@@ -15,8 +14,9 @@ use bgsim::machine::{
 };
 use bgsim::noise::NoiseSource;
 use bgsim::op::{CloneArgs, Op};
+use bgsim::rng::LazyStreams;
 use bgsim::telemetry::{Domain, Slot, TpKind};
-use bgsim::tlb::TlbEntry;
+use bgsim::tlb::{Tlb, TlbEntry};
 use ciod::{service_cycles, Ciod, RetryPolicy, Vfs};
 use sysabi::{
     CloneFlags, CoreId, Errno, FutexOp, JobSpec, MapFlags, NodeId, ProcId, Prot, Rank, Sig,
@@ -139,19 +139,38 @@ enum PendingIo {
 }
 
 /// The Compute Node Kernel.
+///
+/// Per-node and per-ION columns (`futexes`, `persist`, `ciods`, the RNG
+/// streams) materialize on first touch rather than at boot, so an idle
+/// node on a 100k-node rack costs no kernel-side heap. RNG streams are
+/// a pure function of `(master seed, name, index)`, so lazy creation is
+/// draw-for-draw identical to the old eager columns.
 pub struct Cnk {
     pub cfg: CnkConfig,
     sched: Scheduler,
+    /// Per-node futex tables, grown on first touch. Indexed sparsely: a
+    /// short vec means the tail nodes have never parked a waiter.
     futexes: Vec<FutexTable>,
+    /// Per-node persistent-memory registries, grown on first
+    /// `PersistOpen`. Contents survive reproducible resets (backed by
+    /// self-refreshed DRAM), so they are only dropped on a shape change.
     persist: Vec<PersistRegistry>,
-    procs: HashMap<ProcId, Process>,
+    /// Node count `persist` is provisioned for (shape-change detector).
+    persist_nodes: usize,
+    /// Processes keyed by `ProcId` — ids are allocated from `next_proc`
+    /// monotonically, so the dense window iterates in rank order.
+    procs: IdMap<Process>,
     next_proc: u32,
     vfs: Vfs,
+    /// CIOD daemons, grown on first attach/service per ION. Like
+    /// `persist`, ION state survives compute-chip resets.
     ciods: Vec<Ciod>,
-    ion_rng: Vec<SmallRng>,
-    pending_io: HashMap<u64, PendingReq>,
+    /// ION count `ciods` is provisioned for (shape-change detector).
+    ciod_count: usize,
+    ion_rng: LazyStreams,
+    pending_io: IdMap<PendingReq>,
     next_io: u64,
-    noise_rng: Vec<SmallRng>,
+    noise_rng: LazyStreams,
     /// Per-ION serialization point for BG/L-style I/O service.
     ion_busy_until: Vec<u64>,
     /// At-most-once cache on the I/O node: replies already sent, keyed
@@ -171,14 +190,16 @@ impl Cnk {
             sched: Scheduler::new(0, 1),
             futexes: Vec::new(),
             persist: Vec::new(),
-            procs: HashMap::new(),
+            persist_nodes: 0,
+            procs: IdMap::new(),
             next_proc: 0,
             vfs: Vfs::new(),
             ciods: Vec::new(),
-            ion_rng: Vec::new(),
-            pending_io: HashMap::new(),
+            ciod_count: 0,
+            ion_rng: LazyStreams::new("ion-service"),
+            pending_io: IdMap::new(),
             next_io: 0,
-            noise_rng: Vec::new(),
+            noise_rng: LazyStreams::new("cnk-injected-noise"),
             ion_busy_until: Vec::new(),
             served: HashMap::new(),
             ras_log: Vec::new(),
@@ -201,7 +222,7 @@ impl Cnk {
 
     /// The ioproxy console output of a process (job stdout).
     pub fn console_of(&self, sc: &SimCore, proc: ProcId) -> Option<Vec<u8>> {
-        let node = self.procs.get(&proc)?.node;
+        let node = self.procs.get(proc.0 as u64)?.node;
         let ion = sc.coll.io_node_of(node) as usize;
         self.ciods
             .get(ion)?
@@ -210,7 +231,39 @@ impl Cnk {
     }
 
     pub fn process(&self, proc: ProcId) -> Option<&Process> {
-        self.procs.get(&proc)
+        self.procs.get(proc.0 as u64)
+    }
+
+    /// The node's futex table, materialized on first touch. A free
+    /// function over the field so callers holding disjoint borrows of
+    /// other `Cnk` fields can still reach it.
+    fn futex_table(futexes: &mut Vec<FutexTable>, node: NodeId) -> &mut FutexTable {
+        if futexes.len() <= node.idx() {
+            futexes.resize_with(node.idx() + 1, FutexTable::new);
+        }
+        &mut futexes[node.idx()]
+    }
+
+    /// The ION's CIOD daemon, materialized on first touch.
+    fn ciod_at(ciods: &mut Vec<Ciod>, ion: usize) -> &mut Ciod {
+        while ciods.len() <= ion {
+            ciods.push(Ciod::new(ciods.len() as u32));
+        }
+        &mut ciods[ion]
+    }
+
+    /// The node's persist registry, materialized on first `PersistOpen`.
+    fn persist_at(
+        persist: &mut Vec<PersistRegistry>,
+        persist_reserve: u64,
+        dram_bytes: u64,
+        node: NodeId,
+    ) -> &mut PersistRegistry {
+        let lo = dram_bytes - persist_reserve;
+        if persist.len() <= node.idx() {
+            persist.resize_with(node.idx() + 1, || PersistRegistry::new(lo, dram_bytes));
+        }
+        &mut persist[node.idx()]
     }
 
     fn proc_of(&self, sc: &SimCore, tid: Tid) -> ProcId {
@@ -229,28 +282,53 @@ impl Cnk {
     }
 
     /// Pin a process's full static map into every one of its cores' TLBs.
+    ///
+    /// The map is identical on every core of the process, so the default
+    /// layout builds it once and Arc-shares it (`Tlb::install_base`) —
+    /// one copy per process, not per core, which is most of the TLB
+    /// footprint at rack scale. `eager_layout` keeps the legacy per-core
+    /// copies. Both paths validate the same entries in the same order,
+    /// so a bad map fails with an identical error either way.
     fn pin_map(&self, sc: &mut SimCore, proc: &Process) -> Result<(), LaunchError> {
-        for &core in &proc.cores {
-            for r in proc
-                .aspace
-                .map
-                .regions
-                .iter()
-                .chain(proc.aspace.persist.iter())
-            {
-                for &(ps, va) in &r.pages {
-                    let pa = r.paddr + (va - r.vaddr);
-                    sc.tlbs[core.idx()]
-                        .pin(TlbEntry {
-                            vaddr: va,
-                            paddr: pa,
-                            size: ps,
-                            pinned: true,
-                        })
-                        .map_err(|e| {
-                            LaunchError::NoMemory(format!("TLB pin failed on {core}: {e:?}"))
-                        })?;
+        let mut map = Vec::new();
+        for r in proc
+            .aspace
+            .map
+            .regions
+            .iter()
+            .chain(proc.aspace.persist.iter())
+        {
+            for &(ps, va) in &r.pages {
+                map.push(TlbEntry {
+                    vaddr: va,
+                    paddr: r.paddr + (va - r.vaddr),
+                    size: ps,
+                    pinned: true,
+                });
+            }
+        }
+        if sc.cfg.eager_layout {
+            for &core in &proc.cores {
+                for &entry in &map {
+                    sc.tlbs[core.idx()].pin(entry).map_err(|e| {
+                        LaunchError::NoMemory(format!("TLB pin failed on {core}: {e:?}"))
+                    })?;
                 }
+            }
+        } else {
+            let Some(&first) = proc.cores.first() else {
+                return Ok(());
+            };
+            Tlb::validate_map(&map, sc.tlbs[first.idx()].capacity()).map_err(|e| {
+                LaunchError::NoMemory(format!("TLB pin failed on {first}: {e:?}"))
+            })?;
+            let shared: std::sync::Arc<[TlbEntry]> = map.into();
+            for &core in &proc.cores {
+                sc.tlbs[core.idx()]
+                    .install_base(shared.clone())
+                    .map_err(|e| {
+                        LaunchError::NoMemory(format!("TLB pin failed on {core}: {e:?}"))
+                    })?;
             }
         }
         Ok(())
@@ -356,7 +434,7 @@ impl Cnk {
     /// backoff, or give up and fail the syscall with a clean `EIO`.
     fn io_timeout(&mut self, sc: &mut SimCore, node: NodeId, id: u64) {
         let policy = self.cfg.io_retry;
-        let Some(req) = self.pending_io.get_mut(&id) else {
+        let Some(req) = self.pending_io.get_mut(id) else {
             // Reply won the race; the timer is stale.
             return;
         };
@@ -364,7 +442,7 @@ impl Cnk {
         if policy.exhausted(req.attempts) {
             let req = self
                 .pending_io
-                .remove(&id)
+                .remove(id)
                 .expect("pending io vanished mid-timeout");
             self.ras(sc, node, "io-eio", id);
             let (PendingIo::Plain { tid } | PendingIo::MmapFill { tid, .. }) = req.io;
@@ -379,7 +457,7 @@ impl Cnk {
         let marshal = FSHIP_MARSHAL + bytes / 8 * FSHIP_PER_8B + backoff;
         let timer =
             sc.schedule_kernel_event_in(node, TAG_IO_RETRY | id, backoff + policy.timeout(attempt));
-        if let Some(req) = self.pending_io.get_mut(&id) {
+        if let Some(req) = self.pending_io.get_mut(id) {
             req.timer = Some(timer);
         }
         sc.tel.count(sc.tel.ids.ciod_retries, Slot::Node(node.0), 1);
@@ -427,7 +505,7 @@ impl Cnk {
         let ion = sc.coll.io_node_of(msg.src_node) as usize;
         let (ret, service) = match ciod::wire::decode_req(req_bytes) {
             Ok(req) => {
-                let ret = self.ciods[ion].service(&mut self.vfs, proc, &req);
+                let ret = Self::ciod_at(&mut self.ciods, ion).service(&mut self.vfs, proc, &req);
                 (ret, service_cycles(&req))
             }
             Err(_) => {
@@ -436,11 +514,14 @@ impl Cnk {
             }
         };
         // The ION runs Linux: its service time jitters.
-        let jitter = Ciod::service_jitter(&mut self.ion_rng[ion]);
+        let jitter = Ciod::service_jitter(self.ion_rng.get(&sc.hub, ion as u64));
         let mut delay = service + jitter;
         if self.cfg.bgl_io_mode {
             // BG/L-style single service thread: requests queue behind
             // each other on the I/O node.
+            if self.ion_busy_until.len() <= ion {
+                self.ion_busy_until.resize(ion + 1, 0);
+            }
             let now = sc.now();
             let start = self.ion_busy_until[ion].max(now);
             self.ion_busy_until[ion] = start + service;
@@ -461,7 +542,7 @@ impl Cnk {
         let id = msg.tag / 4;
         // Late duplicate (a retry raced the original reply): the request
         // already completed; drop silently.
-        let Some(req) = self.pending_io.get(&id) else {
+        let Some(req) = self.pending_io.get(id) else {
             return;
         };
         // A mangled reply (injected corruption) fails wire validation.
@@ -480,7 +561,7 @@ impl Cnk {
             ..
         } = self
             .pending_io
-            .remove(&id)
+            .remove(id)
             .expect("pending io vanished mid-reply");
         if let Some(h) = timer {
             sc.cancel_kernel_event(h);
@@ -520,7 +601,7 @@ impl Cnk {
                 SysRet::Data(data) => {
                     let proc = sc.thread(tid).proc;
                     let node = sc.thread(tid).node;
-                    if let Some(p) = self.procs.get(&proc) {
+                    if let Some(p) = self.procs.get(proc.0 as u64) {
                         if let Some(pa) = p.aspace.translate(vaddr) {
                             let _ = sc.dram[node.idx()].write(pa, &data);
                         }
@@ -538,7 +619,7 @@ impl Cnk {
     fn post_signal(&mut self, sc: &mut SimCore, tid: Tid, sig: Sig) {
         let proc_id = sc.thread(tid).proc;
         let node = sc.thread(tid).node;
-        let Some(p) = self.procs.get(&proc_id) else {
+        let Some(p) = self.procs.get(proc_id.0 as u64) else {
             return;
         };
         match p.disposition(sig) {
@@ -549,7 +630,10 @@ impl Cnk {
                 if matches!(
                     sc.thread(tid).state,
                     bgsim::ThreadState::Blocked(BlockKind::Futex)
-                ) && self.futexes[node.idx()].remove(tid)
+                ) && self
+                    .futexes
+                    .get_mut(node.idx())
+                    .is_some_and(|f| f.remove(tid))
                 {
                     sc.defer_unblock(tid, Some(SysRet::Err(Errno::EINTR)));
                 }
@@ -570,7 +654,7 @@ impl Cnk {
     fn schedule_noise(&mut self, sc: &mut SimCore, node: NodeId, src_idx: usize, core_local: u32) {
         let delay = {
             let src = &self.cfg.injected_noise[src_idx];
-            src.next_delay(&mut self.noise_rng[node.idx()])
+            src.next_delay(self.noise_rng.get(&sc.hub, node.0 as u64))
         };
         sc.schedule_kernel_event_in(node, ((src_idx as u64) << 8) | core_local as u64, delay);
     }
@@ -683,28 +767,30 @@ impl Kernel for Cnk {
         let nodes = sc.cfg.nodes as usize;
         let tpc = sc.cfg.chip.threads_per_core;
         self.sched = Scheduler::new(sc.cfg.total_cores() as usize, tpc);
-        self.futexes = (0..nodes).map(|_| FutexTable::new()).collect();
-        if self.persist.len() != nodes {
+        // Futex tables are per-boot state; drop and regrow on demand.
+        self.futexes.clear();
+        if self.persist_nodes != nodes {
             // Persist registries survive reproducible resets (backed by
-            // self-refreshed DRAM); create only on first boot.
-            let dram = sc.cfg.chip.dram_bytes;
-            self.persist = (0..nodes)
-                .map(|_| PersistRegistry::new(dram - self.cfg.persist_reserve, dram))
-                .collect();
+            // self-refreshed DRAM); re-provision only when the machine
+            // shape changes. Each node's registry materializes on its
+            // first PersistOpen.
+            self.persist.clear();
+            self.persist_nodes = nodes;
         }
         let ions = sc.cfg.io_nodes() as usize;
-        self.ion_busy_until = vec![0; ions];
-        if self.ciods.len() != ions {
-            self.ciods = (0..ions as u32).map(Ciod::new).collect();
-            self.ion_rng = (0..ions as u64)
-                .map(|i| sc.hub.stream_for("ion-service", i))
-                .collect();
+        self.ion_busy_until.clear();
+        if self.ciod_count != ions {
+            // ION state survives compute-chip resets; re-provision only
+            // on shape change. Daemons (and their service-jitter RNG
+            // streams) materialize on first attach/service.
+            self.ciods.clear();
+            self.ion_rng = LazyStreams::new("ion-service");
+            self.ciod_count = ions;
         }
-        // Research-mode injected noise (off by default).
+        // Research-mode injected noise (off by default). Streams restart
+        // from their seeds on every boot.
         if !self.cfg.injected_noise.is_empty() {
-            self.noise_rng = (0..nodes as u64)
-                .map(|n| sc.hub.stream_for("cnk-injected-noise", n))
-                .collect();
+            self.noise_rng = LazyStreams::new("cnk-injected-noise");
             for node in 0..nodes as u32 {
                 for (i, src) in self.cfg.injected_noise.clone().iter().enumerate() {
                     for core in 0..sc.cfg.chip.cores {
@@ -713,6 +799,25 @@ impl Kernel for Cnk {
                         }
                     }
                 }
+            }
+        }
+        if sc.cfg.eager_layout {
+            // Legacy footprint: materialize every per-node/per-ION
+            // column up front. Reservation only — lazily derived state
+            // is identical, so traces don't move.
+            self.futexes.resize_with(nodes, FutexTable::new);
+            let dram = sc.cfg.chip.dram_bytes;
+            let lo = dram - self.cfg.persist_reserve;
+            while self.persist.len() < nodes {
+                self.persist.push(PersistRegistry::new(lo, dram));
+            }
+            while self.ciods.len() < ions {
+                self.ciods.push(Ciod::new(self.ciods.len() as u32));
+            }
+            self.ion_rng.materialize_eager(&sc.hub, ions as u64);
+            self.ion_busy_until.resize(ions, 0);
+            if !self.cfg.injected_noise.is_empty() {
+                self.noise_rng.materialize_eager(&sc.hub, nodes as u64);
             }
         }
         self.booted = true;
@@ -737,17 +842,18 @@ impl Kernel for Cnk {
     ) -> Result<JobMap, LaunchError> {
         assert!(self.booted, "launch before boot");
         // Tear down the previous job: clear private memory (clean slate),
-        // unpin TLBs, detach proxies.
-        let old: Vec<ProcId> = self.procs.keys().copied().collect();
+        // unpin TLBs, detach proxies. `IdMap::keys` is ascending-id, so
+        // teardown runs in rank order.
+        let old: Vec<u64> = self.procs.keys().collect();
         for proc in old {
-            let Some(p) = self.procs.remove(&proc) else {
+            let Some(p) = self.procs.remove(proc) else {
                 continue;
             };
             for r in &p.aspace.map.regions {
                 let _ = sc.dram[p.node.idx()].clear_range(r.paddr, r.bytes);
             }
             let ion = sc.coll.io_node_of(p.node) as usize;
-            self.ciods[ion].detach_proc(proc.0);
+            Self::ciod_at(&mut self.ciods, ion).detach_proc(proc as u32);
         }
         for t in &mut sc.tlbs {
             t.reset();
@@ -869,8 +975,8 @@ impl Kernel for Cnk {
                 );
 
                 self.pin_map(sc, &p)?;
-                self.ciods[ion].attach_proc(&self.vfs, proc.0, p.uid, p.gid);
-                self.procs.insert(proc, p);
+                Self::ciod_at(&mut self.ciods, ion).attach_proc(&self.vfs, proc.0, p.uid, p.gid);
+                self.procs.insert(proc.0 as u64, p);
                 ranks.push(RankInfo {
                     rank,
                     proc,
@@ -899,7 +1005,7 @@ impl Kernel for Cnk {
 
         match req {
             SysReq::Brk { addr } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 let old = p.aspace.heap.brk_addr();
@@ -938,7 +1044,7 @@ impl Kernel for Cnk {
                 offset,
                 ..
             } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 match fd {
@@ -974,7 +1080,7 @@ impl Kernel for Cnk {
                 }
             }
             SysReq::Munmap { addr, len } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 match p.aspace.heap.munmap(*addr, *len) {
@@ -983,7 +1089,7 @@ impl Kernel for Cnk {
                 }
             }
             SysReq::Mprotect { addr, len, prot } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 // Record for the guard-page convention (§IV.C) even if
@@ -1000,7 +1106,7 @@ impl Kernel for Cnk {
                 Self::err(Errno::EINVAL, SYSCALL_BASE)
             }
             SysReq::SetTidAddress { addr } => {
-                if let Some(p) = self.procs.get_mut(&proc_id) {
+                if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
                     p.clear_tid_addr.insert(tid, *addr);
                 }
                 Self::done(SysRet::Val(tid.0 as i64), SYSCALL_BASE)
@@ -1015,7 +1121,7 @@ impl Kernel for Cnk {
                 if !sig.catchable() && !matches!(disposition, SigDisposition::Default) {
                     return Self::err(Errno::EINVAL, SYSCALL_BASE);
                 }
-                if let Some(p) = self.procs.get_mut(&proc_id) {
+                if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
                     p.sig.insert(*sig, *disposition);
                 }
                 Self::done(SysRet::Val(0), SYSCALL_BASE + 60)
@@ -1040,12 +1146,15 @@ impl Kernel for Cnk {
             // not allow fork/exec operations."
             SysReq::Fork | SysReq::Exec { .. } => Self::err(Errno::ENOSYS, SYSCALL_BASE),
             SysReq::PersistOpen { name, len } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 let granted = p.persist_grants.iter().any(|g| g == name);
                 let uid = p.uid;
-                match self.persist[node.idx()].open(name, *len, uid, granted) {
+                let dram = sc.cfg.chip.dram_bytes;
+                match Self::persist_at(&mut self.persist, self.cfg.persist_reserve, dram, node)
+                    .open(name, *len, uid, granted)
+                {
                     Ok(r) => {
                         let region = PersistRegistry::as_region(&r);
                         // Already attached? (re-open in the same job)
@@ -1053,7 +1162,7 @@ impl Kernel for Cnk {
                             return Self::done(SysRet::Val(r.vaddr as i64), SYSCALL_BASE + 300);
                         }
                         p.aspace.attach_persist(region.clone());
-                        let Some(p_immutable) = self.procs.get(&proc_id) else {
+                        let Some(p_immutable) = self.procs.get(proc_id.0 as u64) else {
                             return Self::err(Errno::ESRCH, SYSCALL_BASE + 300);
                         };
                         if let Err(e) = self.pin_region(sc, p_immutable, &region) {
@@ -1065,7 +1174,7 @@ impl Kernel for Cnk {
                 }
             }
             SysReq::QueryStaticMap => {
-                let Some(p) = self.procs.get(&proc_id) else {
+                let Some(p) = self.procs.get(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 Self::done(
@@ -1107,7 +1216,7 @@ impl Kernel for Cnk {
         if args.flags != CloneFlags::NPTL_THREAD_FLAGS {
             return (SysRet::Err(Errno::EINVAL), SYSCALL_BASE);
         }
-        let Some(p) = self.procs.get(&proc_id) else {
+        let Some(p) = self.procs.get(proc_id.0 as u64) else {
             return (SysRet::Err(Errno::ESRCH), SYSCALL_BASE);
         };
         let cores = p.cores.clone();
@@ -1142,7 +1251,7 @@ impl Kernel for Cnk {
         let tid = sc.create_thread(proc_id, node, core, child);
         let p = self
             .procs
-            .get_mut(&proc_id)
+            .get_mut(proc_id.0 as u64)
             .expect("invariant: spawn caller's process exists (it issued the clone)");
         p.live_threads += 1;
         if args.flags.contains(CloneFlags::CHILD_CLEARTID) {
@@ -1216,7 +1325,7 @@ impl Kernel for Cnk {
                 faulted: true,
             };
         }
-        let Some(p) = self.procs.get(&proc_id) else {
+        let Some(p) = self.procs.get(proc_id.0 as u64) else {
             return MemOpResult {
                 cost: 1,
                 faulted: false,
@@ -1269,16 +1378,22 @@ impl Kernel for Cnk {
         let proc_id = sc.thread(tid).proc;
         let node = sc.thread(tid).node;
         self.sched.release(core);
-        self.sched.unqueue(tid);
-        self.futexes[node.idx()].remove(tid);
-        if let Some(p) = self.procs.get_mut(&proc_id) {
+        self.sched.unqueue(core, tid);
+        if let Some(f) = self.futexes.get_mut(node.idx()) {
+            f.remove(tid);
+        }
+        if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
             p.live_threads = p.live_threads.saturating_sub(1);
             // CLONE_CHILD_CLEARTID: clear the tid word and wake joiners
             // (this is what makes pthread_join return).
             if let Some(addr) = p.clear_tid_addr.remove(&tid) {
                 if let Some(pa) = p.aspace.translate(addr) {
                     let _ = sc.dram[node.idx()].write_u32(pa, 0);
-                    let woken = self.futexes[node.idx()].wake(pa, u32::MAX, u32::MAX);
+                    let woken = self
+                        .futexes
+                        .get_mut(node.idx())
+                        .map(|f| f.wake(pa, u32::MAX, u32::MAX))
+                        .unwrap_or_default();
                     for t in woken {
                         sc.defer_unblock(t, Some(SysRet::Val(0)));
                     }
@@ -1306,7 +1421,7 @@ impl Kernel for Cnk {
         }
         let (cost, src_name) = {
             let src = &self.cfg.injected_noise[src_idx];
-            (src.cost(&mut self.noise_rng[node.idx()]), src.name)
+            (src.cost(self.noise_rng.get(&sc.hub, node.0 as u64)), src.name)
         };
         let core = sc.core_of(node, core_local);
         sc.tel.count(sc.tel.ids.daemon_wakes, Slot::Core(core.0), 1);
@@ -1339,7 +1454,7 @@ impl Kernel for Cnk {
         let Some(proc_id) = self.sched.home_proc(core) else {
             return;
         };
-        let Some(p) = self.procs.get(&proc_id) else {
+        let Some(p) = self.procs.get(proc_id.0 as u64) else {
             return;
         };
         if let Some(g) = p.guards.get(&p.main_tid) {
@@ -1453,7 +1568,7 @@ impl Kernel for Cnk {
         // still have its issuer waiting on it (a fatal machine check
         // tears the job down with requests legitimately in flight).
         let fatal = self.ras_log.iter().any(|r| r.code == "machine-check");
-        for (id, req) in &self.pending_io {
+        for (id, req) in self.pending_io.iter() {
             let (PendingIo::Plain { tid } | PendingIo::MmapFill { tid, .. }) = req.io;
             match sc.threads.get(tid.idx()) {
                 None => v.push(format!(
@@ -1479,7 +1594,8 @@ impl Kernel for Cnk {
         // Memory-partition conservation: within each process the static
         // map plus attached persistent regions must tile without
         // overlap, virtually and (for the map) physically.
-        for (pid, p) in &self.procs {
+        for (pid, p) in self.procs.iter() {
+            let pid = ProcId(pid as u32);
             let mut vspans: Vec<(u64, u64, &'static str)> = Vec::new();
             for r in &p.aspace.map.regions {
                 if r.bytes == 0 {
@@ -1520,7 +1636,7 @@ impl Kernel for Cnk {
             let live = sc
                 .threads
                 .iter()
-                .filter(|t| t.proc == *pid && t.state.is_live())
+                .filter(|t| t.proc == pid && t.state.is_live())
                 .count() as u32;
             if live != p.live_threads {
                 v.push(format!(
@@ -1539,7 +1655,20 @@ impl Kernel for Cnk {
 
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64> {
         let proc = sc.thread(tid).proc;
-        self.procs.get(&proc)?.aspace.translate(vaddr)
+        self.procs.get(proc.0 as u64)?.aspace.translate(vaddr)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.procs.resident_bytes()
+            + self.futexes.capacity() * std::mem::size_of::<FutexTable>()
+            + self.persist.capacity() * std::mem::size_of::<PersistRegistry>()
+            + self.ciods.capacity() * std::mem::size_of::<Ciod>()
+            + self.ion_rng.resident_bytes()
+            + self.noise_rng.resident_bytes()
+            + self.pending_io.resident_bytes()
+            + self.ion_busy_until.capacity() * std::mem::size_of::<u64>()
+            + self.ras_log.capacity() * std::mem::size_of::<RasRecord>()
+            + self.served.values().map(|r| r.capacity() + 48).sum::<usize>()
     }
 
     fn comm_caps(&self, _sc: &SimCore, _tid: Tid) -> CommCaps {
@@ -1565,13 +1694,13 @@ impl Cnk {
         uaddr: u64,
         op: FutexOp,
     ) -> SyscallAction {
-        let Some(p) = self.procs.get(&proc_id) else {
+        let Some(p) = self.procs.get(proc_id.0 as u64) else {
             return Self::err(Errno::ESRCH, SYSCALL_BASE);
         };
         let Some(pa) = p.aspace.translate(uaddr) else {
             return Self::err(Errno::EFAULT, SYSCALL_BASE + 40);
         };
-        let ft = &mut self.futexes[node.idx()];
+        let ft = Self::futex_table(&mut self.futexes, node);
         let cost = SYSCALL_BASE + 90;
         match op {
             FutexOp::Wait { expected } | FutexOp::WaitBitset { expected, .. } => {
@@ -1636,12 +1765,13 @@ impl Cnk {
                 }
                 let Some(tpa) = self
                     .procs
-                    .get(&proc_id)
+                    .get(proc_id.0 as u64)
                     .and_then(|p| p.aspace.translate(target_uaddr))
                 else {
                     return Self::err(Errno::EFAULT, cost);
                 };
-                let (woken, moved) = self.futexes[node.idx()].requeue(pa, wake, requeue, tpa);
+                let (woken, moved) =
+                    Self::futex_table(&mut self.futexes, node).requeue(pa, wake, requeue, tpa);
                 let total = woken.len() as i64 + moved as i64;
                 for t in woken {
                     sc.defer_unblock(t, Some(SysRet::Val(0)));

@@ -146,12 +146,14 @@ impl Scheduler {
         c.home_q.pop_front().or_else(|| c.remote_q.pop_front())
     }
 
-    /// Remove a thread from any queue (kill path).
-    pub fn unqueue(&mut self, tid: Tid) {
-        for c in &mut self.cores {
-            c.home_q.retain(|&t| t != tid);
-            c.remote_q.retain(|&t| t != tid);
-        }
+    /// Remove a thread from its core's queues (kill path). Fixed
+    /// affinity means a tid is only ever enqueued on its own core, so
+    /// the sweep stays O(core queue) instead of O(all cores) — at rack
+    /// scale the latter made every thread exit a full-machine scan.
+    pub fn unqueue(&mut self, core: CoreId, tid: Tid) {
+        let c = self.core_mut(core);
+        c.home_q.retain(|&t| t != tid);
+        c.remote_q.retain(|&t| t != tid);
     }
 
     /// Queued runnable threads on a core.
@@ -241,7 +243,7 @@ mod tests {
         s.assign_core(CoreId(1), ProcId(0));
         s.enqueue(CoreId(0), ProcId(0), Tid(1));
         s.enqueue(CoreId(1), ProcId(0), Tid(2));
-        s.unqueue(Tid(1));
+        s.unqueue(CoreId(0), Tid(1));
         assert_eq!(s.pick(CoreId(0)), None);
         assert_eq!(s.pick(CoreId(1)), Some(Tid(2)));
     }

@@ -2,15 +2,15 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rand::rngs::SmallRng;
-
 use bgsim::chip;
 use bgsim::engine::EvHandle;
+use bgsim::idmap::IdMap;
 use bgsim::machine::{
     BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
     SimCore, SyscallAction, Workload, WorkloadFactory,
 };
 use bgsim::op::{CloneArgs, Op};
+use bgsim::rng::LazyStreams;
 use bgsim::telemetry::{Domain, Slot, TpKind};
 use bgsim::tlb::{TlbEntry, TLB_MISS_CYCLES};
 use ciod::{IoProxy, Vfs};
@@ -89,32 +89,46 @@ struct FwkProcess {
     live_threads: u32,
 }
 
+/// First allocatable frame: physical pages above a 32 MB kernel image.
+const FRAME_BASE: u64 = (32 << 20) / PAGE;
+
 /// The Linux-like kernel.
+///
+/// Like CNK, the per-node and per-core columns materialize on first
+/// touch: an idle node on a large rack costs no kernel-side heap, and
+/// the RNG streams are pure functions of `(seed, name, node)`, so lazy
+/// creation draws the same sequences the old eager columns did.
 pub struct Fwk {
     pub cfg: FwkConfig,
-    procs: HashMap<ProcId, FwkProcess>,
+    /// Processes keyed by `ProcId` — ids allocated monotonically, so
+    /// iteration (teardown, parity-kill victim collection) runs in
+    /// allocation order instead of `HashMap` order.
+    procs: IdMap<FwkProcess>,
     next_proc: u32,
-    /// Per-core ready queues (no thread limit: overcommit allowed).
-    ready: HashMap<u32, VecDeque<Tid>>,
+    /// Per-core ready queues, indexed by global core id and grown on
+    /// first enqueue (no thread limit: overcommit allowed).
+    ready: Vec<VecDeque<Tid>>,
     /// Cores with a timeslice event in flight, keyed to the handle so a
     /// drained queue cancels the slice in O(1) instead of letting it
     /// surface as a stale pop (`sched.stale_timeslice`).
-    ts_pending: HashMap<u32, EvHandle>,
-    /// Absolute deadline of each core's most recent arm. Kept across a
-    /// cancel: contention returning before the old expiry re-arms at
-    /// the original deadline, so preemption times are bit-identical to
-    /// the count-and-discard scheme this replaces (where the in-flight
-    /// event simply kept its timestamp).
-    ts_deadline: HashMap<u32, u64>,
+    ts_pending: Vec<Option<EvHandle>>,
+    /// Absolute deadline of each core's most recent arm (0 = never).
+    /// Kept across a cancel: contention returning before the old expiry
+    /// re-arms at the original deadline, so preemption times are
+    /// bit-identical to the count-and-discard scheme this replaces
+    /// (where the in-flight event simply kept its timestamp).
+    ts_deadline: Vec<u64>,
+    /// Per-node futex tables, grown on first touch.
     futexes: Vec<FutexTable>,
-    /// Next free physical frame per node.
+    /// Next free physical frame per node, grown on first fault
+    /// (`FRAME_BASE` until then).
     next_frame: Vec<u64>,
     frame_limit: u64,
     /// The mounted network filesystem (shared by all nodes, like NFS).
     vfs: Vfs,
-    proxies: HashMap<u32, IoProxy>,
-    noise_rng: Vec<SmallRng>,
-    io_rng: Vec<SmallRng>,
+    proxies: IdMap<IoProxy>,
+    noise_rng: LazyStreams,
+    io_rng: LazyStreams,
     /// Dirty page-cache bytes per node, written back by the pdflush
     /// noise source (couples application I/O to compute-core noise —
     /// the coupling CNK's function shipping removes, §IV.A).
@@ -126,18 +140,18 @@ impl Fwk {
     pub fn new(cfg: FwkConfig) -> Fwk {
         Fwk {
             cfg,
-            procs: HashMap::new(),
+            procs: IdMap::new(),
             next_proc: 0,
-            ready: HashMap::new(),
-            ts_pending: HashMap::new(),
-            ts_deadline: HashMap::new(),
+            ready: Vec::new(),
+            ts_pending: Vec::new(),
+            ts_deadline: Vec::new(),
             futexes: Vec::new(),
             next_frame: Vec::new(),
             frame_limit: 0,
             vfs: Vfs::new(),
-            proxies: HashMap::new(),
-            noise_rng: Vec::new(),
-            io_rng: Vec::new(),
+            proxies: IdMap::new(),
+            noise_rng: LazyStreams::new("fwk-noise"),
+            io_rng: LazyStreams::new("fwk-io"),
             dirty_bytes: Vec::new(),
             booted: false,
         }
@@ -157,7 +171,25 @@ impl Fwk {
 
     /// Console output of a process.
     pub fn console_of(&self, proc: ProcId) -> Option<Vec<u8>> {
-        self.proxies.get(&proc.0).map(|p| p.console.clone())
+        self.proxies.get(proc.0 as u64).map(|p| p.console.clone())
+    }
+
+    /// The node's futex table, materialized on first touch. A free
+    /// function over the field so callers holding disjoint borrows of
+    /// other `Fwk` fields can still reach it.
+    fn futex_table(futexes: &mut Vec<FutexTable>, node: NodeId) -> &mut FutexTable {
+        if futexes.len() <= node.idx() {
+            futexes.resize_with(node.idx() + 1, FutexTable::new);
+        }
+        &mut futexes[node.idx()]
+    }
+
+    /// The core's ready queue, materialized on first enqueue.
+    fn readyq(ready: &mut Vec<VecDeque<Tid>>, core: u32) -> &mut VecDeque<Tid> {
+        if ready.len() <= core as usize {
+            ready.resize_with(core as usize + 1, VecDeque::new);
+        }
+        &mut ready[core as usize]
     }
 
     fn done(ret: SysRet, cost: u64) -> SyscallAction {
@@ -171,7 +203,10 @@ impl Fwk {
         }
     }
 
-    fn alloc_frame(next_frame: &mut [u64], limit: u64, node: NodeId) -> Option<u64> {
+    fn alloc_frame(next_frame: &mut Vec<u64>, limit: u64, node: NodeId) -> Option<u64> {
+        if next_frame.len() <= node.idx() {
+            next_frame.resize(node.idx() + 1, FRAME_BASE);
+        }
         let f = &mut next_frame[node.idx()];
         if *f >= limit {
             return None;
@@ -182,7 +217,7 @@ impl Fwk {
     }
 
     fn enqueue(&mut self, sc: &mut SimCore, core: CoreId, tid: Tid) {
-        self.ready.entry(core.0).or_default().push_back(tid);
+        Self::readyq(&mut self.ready, core.0).push_back(tid);
         // Contention: make sure the timeslice preemption runs.
         if !sc.core_idle(core) {
             self.arm_timeslice(sc, core);
@@ -194,36 +229,51 @@ impl Fwk {
     /// contention returning before that expiry re-arms at the original
     /// deadline — exactly when the old in-flight event would have fired.
     fn arm_timeslice(&mut self, sc: &mut SimCore, core: CoreId) {
-        if self.ts_pending.contains_key(&core.0) {
+        let ci = core.0 as usize;
+        if self.ts_pending.get(ci).is_some_and(|s| s.is_some()) {
             return;
         }
         let now = sc.now();
-        let at = match self.ts_deadline.get(&core.0) {
-            Some(&d) if d > now => d,
-            _ => now + self.cfg.timeslice,
+        let prev = self.ts_deadline.get(ci).copied().unwrap_or(0);
+        let at = if prev > now {
+            prev
+        } else {
+            now + self.cfg.timeslice
         };
         let node = sc.node_of_core(core);
         let h = sc.schedule_kernel_event(node, TAG_TIMESLICE | core.0 as u64, at);
-        self.ts_pending.insert(core.0, h);
-        self.ts_deadline.insert(core.0, at);
+        if self.ts_pending.len() <= ci {
+            self.ts_pending.resize_with(ci + 1, || None);
+        }
+        if self.ts_deadline.len() <= ci {
+            self.ts_deadline.resize(ci + 1, 0);
+        }
+        self.ts_pending[ci] = Some(h);
+        self.ts_deadline[ci] = at;
     }
 
     /// The core's ready queue drained: cancel the in-flight slice (O(1)
     /// in the event slab) so it never surfaces as a stale pop.
     fn cancel_timeslice(&mut self, sc: &mut SimCore, core_local: u32) {
-        if let Some(h) = self.ts_pending.remove(&core_local) {
+        if let Some(h) = self
+            .ts_pending
+            .get_mut(core_local as usize)
+            .and_then(|s| s.take())
+        {
             sc.cancel_kernel_event(h);
         }
     }
 
     /// Cancel slices whose queues are (now) empty — used after bulk
-    /// removals (`on_exit`'s retain, `launch`'s queue clear).
+    /// removals (`on_exit`'s retain, `launch`'s queue clear). Dense
+    /// per-core storage makes the cancel sweep run in core order.
     fn cancel_drained_timeslices(&mut self, sc: &mut SimCore) {
         let drained: Vec<u32> = self
             .ts_pending
-            .keys()
-            .copied()
-            .filter(|c| self.ready.get(c).is_none_or(|q| q.is_empty()))
+            .iter()
+            .enumerate()
+            .filter(|(c, s)| s.is_some() && self.ready.get(*c).is_none_or(|q| q.is_empty()))
+            .map(|(c, _)| c as u32)
             .collect();
         for c in drained {
             self.cancel_timeslice(sc, c);
@@ -233,7 +283,7 @@ impl Fwk {
     fn schedule_noise(&mut self, sc: &mut SimCore, node: NodeId, src_idx: usize, core_local: u32) {
         let delay = {
             let src = &self.cfg.noise[src_idx];
-            src.next_delay(&mut self.noise_rng[node.idx()])
+            src.next_delay(self.noise_rng.get(&sc.hub, node.0 as u64))
         };
         let tag = TAG_NOISE | ((src_idx as u64) << 8) | core_local as u64;
         if sc.cfg.closed_form_noise {
@@ -255,7 +305,7 @@ impl Fwk {
     fn post_signal(&mut self, sc: &mut SimCore, tid: Tid, sig: Sig) {
         let proc_id = sc.thread(tid).proc;
         let node = sc.thread(tid).node;
-        let Some(p) = self.procs.get(&proc_id) else {
+        let Some(p) = self.procs.get(proc_id.0 as u64) else {
             return;
         };
         match p.sig.get(&sig).copied().unwrap_or_default() {
@@ -264,7 +314,10 @@ impl Fwk {
                 if matches!(
                     sc.thread(tid).state,
                     bgsim::ThreadState::Blocked(BlockKind::Futex)
-                ) && self.futexes[node.idx()].remove(tid)
+                ) && self
+                    .futexes
+                    .get_mut(node.idx())
+                    .is_some_and(|f| f.remove(tid))
                 {
                     sc.defer_unblock(tid, Some(SysRet::Err(Errno::EINTR)));
                 }
@@ -278,13 +331,16 @@ impl Fwk {
         }
     }
 
-    fn io_cost(&mut self, node: NodeId, req: &SysReq) -> u64 {
+    fn io_cost(&mut self, sc: &SimCore, node: NodeId, req: &SysReq) -> u64 {
         // Writes land in the page cache and must be written back later
         // by pdflush — on the compute node's own cores.
+        if self.dirty_bytes.len() <= node.idx() {
+            self.dirty_bytes.resize(node.idx() + 1, 0);
+        }
         self.dirty_bytes[node.idx()] =
             self.dirty_bytes[node.idx()].saturating_add(req.outbound_bytes());
         let payload = req.outbound_bytes() + req.inbound_bytes();
-        let mut c = IO_BASE + payload / 4 + ciod::vfs_jitter(&mut self.io_rng[node.idx()]);
+        let mut c = IO_BASE + payload / 4 + ciod::vfs_jitter(self.io_rng.get(&sc.hub, node.0 as u64));
         if matches!(
             req,
             SysReq::Open { .. }
@@ -308,17 +364,14 @@ impl Kernel for Fwk {
 
     fn boot(&mut self, sc: &mut SimCore, _reproducible: bool) -> BootReport {
         let nodes = sc.cfg.nodes as usize;
-        self.futexes = (0..nodes).map(|_| FutexTable::new()).collect();
-        // Frames above a 32 MB kernel image.
-        self.next_frame = vec![(32 << 20) / PAGE; nodes];
+        // Per-node columns regrow on demand; RNG streams restart from
+        // their seeds each boot.
+        self.futexes.clear();
+        self.next_frame.clear();
         self.frame_limit = sc.cfg.chip.dram_bytes / PAGE;
-        self.noise_rng = (0..nodes as u64)
-            .map(|n| sc.hub.stream_for("fwk-noise", n))
-            .collect();
-        self.io_rng = (0..nodes as u64)
-            .map(|n| sc.hub.stream_for("fwk-io", n))
-            .collect();
-        self.dirty_bytes = vec![0; nodes];
+        self.noise_rng = LazyStreams::new("fwk-noise");
+        self.io_rng = LazyStreams::new("fwk-io");
+        self.dirty_bytes.clear();
         // A fault-injected machine boots with the RAS logging daemons
         // loaded too (guarded so a re-boot does not append twice).
         if !sc.cfg.faults.is_empty() && !self.cfg.noise.iter().any(|s| s.name == "mcelogd") {
@@ -334,6 +387,15 @@ impl Kernel for Fwk {
                     }
                 }
             }
+        }
+        if sc.cfg.eager_layout {
+            // Legacy footprint: materialize every per-node column up
+            // front. Reservation only — the traces don't move.
+            self.futexes.resize_with(nodes, FutexTable::new);
+            self.next_frame.resize(nodes, FRAME_BASE);
+            self.dirty_bytes.resize(nodes, 0);
+            self.noise_rng.materialize_eager(&sc.hub, nodes as u64);
+            self.io_rng.materialize_eager(&sc.hub, nodes as u64);
         }
         self.booted = true;
         crate::boot::boot_report(self.cfg.stripped)
@@ -356,10 +418,10 @@ impl Kernel for Fwk {
         factory: &mut dyn WorkloadFactory,
     ) -> Result<JobMap, LaunchError> {
         assert!(self.booted, "launch before boot");
-        let old: Vec<ProcId> = self.procs.keys().copied().collect();
+        let old: Vec<u64> = self.procs.keys().collect();
         for proc in old {
-            self.procs.remove(&proc);
-            self.proxies.remove(&proc.0);
+            self.procs.remove(proc);
+            self.proxies.remove(proc);
         }
         self.ready.clear();
         self.cancel_drained_timeslices(sc);
@@ -380,7 +442,7 @@ impl Kernel for Fwk {
                 let wl = factory.main_workload(rank);
                 let tid = sc.create_thread(proc, node_id, main_core, wl);
                 self.procs.insert(
-                    proc,
+                    proc.0 as u64,
                     FwkProcess {
                         node: node_id,
                         aspace: FwkAddressSpace::new(),
@@ -390,7 +452,7 @@ impl Kernel for Fwk {
                     },
                 );
                 self.proxies.insert(
-                    proc.0,
+                    proc.0 as u64,
                     IoProxy::new(proc.0, self.cfg.uid, self.cfg.gid, &self.vfs),
                 );
                 ranks.push(RankInfo {
@@ -411,8 +473,8 @@ impl Kernel for Fwk {
         // I/O is serviced locally: the compute node *is* a filesystem
         // client (the client-count problem of §VII.A).
         if req.is_io() {
-            let cost = self.io_cost(node, req);
-            let Some(proxy) = self.proxies.get_mut(&proc_id.0) else {
+            let cost = self.io_cost(sc, node, req);
+            let Some(proxy) = self.proxies.get_mut(proc_id.0 as u64) else {
                 return Self::err(Errno::ESRCH, SYSCALL_BASE);
             };
             let ret = proxy.execute(&mut self.vfs, req);
@@ -421,7 +483,7 @@ impl Kernel for Fwk {
 
         match req {
             SysReq::Brk { addr } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 let b = p.aspace.brk(*addr);
@@ -434,7 +496,7 @@ impl Kernel for Fwk {
                 offset,
                 ..
             } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 let Some(addr) = p.aspace.mmap(*len, *prot) else {
@@ -446,7 +508,7 @@ impl Kernel for Fwk {
                         // Full mmap support: copy the file content in
                         // eagerly (we do not model lazy file faults, but
                         // protection is enforced — the part CNK lacks).
-                        let Some(proxy) = self.proxies.get_mut(&proc_id.0) else {
+                        let Some(proxy) = self.proxies.get_mut(proc_id.0 as u64) else {
                             return Self::err(Errno::ESRCH, SYSCALL_BASE);
                         };
                         let data = match proxy.execute(
@@ -490,14 +552,14 @@ impl Kernel for Fwk {
                 }
             }
             SysReq::Munmap { addr, len } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 p.aspace.munmap(*addr, *len);
                 Self::done(SysRet::Val(0), SYSCALL_BASE + 300)
             }
             SysReq::Mprotect { addr, len, prot } => {
-                let Some(p) = self.procs.get_mut(&proc_id) else {
+                let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
                     return Self::err(Errno::ESRCH, SYSCALL_BASE);
                 };
                 p.aspace.mprotect(*addr, *len, *prot);
@@ -505,7 +567,7 @@ impl Kernel for Fwk {
             }
             SysReq::Clone { .. } => Self::err(Errno::EINVAL, SYSCALL_BASE),
             SysReq::SetTidAddress { addr } => {
-                if let Some(p) = self.procs.get_mut(&proc_id) {
+                if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
                     p.clear_tid.insert(tid, *addr);
                 }
                 Self::done(SysRet::Val(tid.0 as i64), SYSCALL_BASE)
@@ -513,14 +575,14 @@ impl Kernel for Fwk {
             SysReq::Futex { uaddr, op } => self.sys_futex(sc, tid, proc_id, node, *uaddr, *op),
             SysReq::SchedYield => {
                 let core = sc.thread(tid).core;
-                self.ready.entry(core.0).or_default().push_back(tid);
+                Self::readyq(&mut self.ready, core.0).push_back(tid);
                 SyscallAction::YieldCpu
             }
             SysReq::Sigaction { sig, disposition } => {
                 if !sig.catchable() && !matches!(disposition, SigDisposition::Default) {
                     return Self::err(Errno::EINVAL, SYSCALL_BASE);
                 }
-                if let Some(p) = self.procs.get_mut(&proc_id) {
+                if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
                     p.sig.insert(*sig, *disposition);
                 }
                 Self::done(SysRet::Val(0), SYSCALL_BASE + 90)
@@ -578,7 +640,8 @@ impl Kernel for Fwk {
                 for local in 0..sc.cfg.chip.cores {
                     let c = sc.core_of(node, local);
                     let q =
-                        self.ready.get(&c.0).map_or(0, |q| q.len()) + usize::from(!sc.core_idle(c));
+                        self.ready.get(c.0 as usize).map_or(0, |q| q.len())
+                            + usize::from(!sc.core_idle(c));
                     if q < best_q {
                         best_q = q;
                         best = c;
@@ -598,7 +661,7 @@ impl Kernel for Fwk {
             let proc = ProcId(self.next_proc);
             self.next_proc += 1;
             self.procs.insert(
-                proc,
+                proc.0 as u64,
                 FwkProcess {
                     node,
                     aspace: FwkAddressSpace::new(),
@@ -608,13 +671,13 @@ impl Kernel for Fwk {
                 },
             );
             self.proxies.insert(
-                proc.0,
+                proc.0 as u64,
                 IoProxy::new(proc.0, self.cfg.uid, self.cfg.gid, &self.vfs),
             );
             (proc, CLONE_COST * 4)
         };
         let tid = sc.create_thread(proc_id, node, core, child);
-        if let Some(p) = self.procs.get_mut(&proc_id) {
+        if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
             p.live_threads += 1;
             if args.flags.contains(CloneFlags::CHILD_CLEARTID) {
                 p.clear_tid.insert(tid, args.child_tid_addr);
@@ -664,7 +727,7 @@ impl Kernel for Fwk {
         let proc_id = sc.thread(tid).proc;
         let node = sc.thread(tid).node;
         let core = sc.thread(tid).core;
-        let Some(p) = self.procs.get_mut(&proc_id) else {
+        let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
             return MemOpResult {
                 cost: 1,
                 faulted: false,
@@ -705,7 +768,11 @@ impl Kernel for Fwk {
             let va = vp * PAGE;
             if sc.tlbs[core.idx()].lookup(va).is_none() {
                 tlb_misses += 1;
-                if let Some(pa) = self.procs[&proc_id].aspace.translate(va) {
+                if let Some(pa) = self
+                    .procs
+                    .get(proc_id.0 as u64)
+                    .and_then(|p| p.aspace.translate(va))
+                {
                     let _ = sc.tlbs[core.idx()].fill(TlbEntry {
                         vaddr: va,
                         paddr: pa & !(PAGE - 1),
@@ -754,7 +821,7 @@ impl Kernel for Fwk {
     }
 
     fn pick_next(&mut self, sc: &mut SimCore, core: CoreId) -> Option<Tid> {
-        let q = self.ready.get_mut(&core.0)?;
+        let q = self.ready.get_mut(core.0 as usize)?;
         let t = q.pop_front();
         if t.is_some() && q.is_empty() {
             self.cancel_timeslice(sc, core.0);
@@ -774,17 +841,23 @@ impl Kernel for Fwk {
     fn on_exit(&mut self, sc: &mut SimCore, tid: Tid) {
         let proc_id = sc.thread(tid).proc;
         let node = sc.thread(tid).node;
-        for q in self.ready.values_mut() {
+        for q in self.ready.iter_mut() {
             q.retain(|&t| t != tid);
         }
         self.cancel_drained_timeslices(sc);
-        self.futexes[node.idx()].remove(tid);
-        if let Some(p) = self.procs.get_mut(&proc_id) {
+        if let Some(f) = self.futexes.get_mut(node.idx()) {
+            f.remove(tid);
+        }
+        if let Some(p) = self.procs.get_mut(proc_id.0 as u64) {
             p.live_threads = p.live_threads.saturating_sub(1);
             if let Some(addr) = p.clear_tid.remove(&tid) {
                 if let Some(pa) = p.aspace.translate(addr) {
                     let _ = sc.dram[node.idx()].write_u32(pa, 0);
-                    let woken = self.futexes[node.idx()].wake(pa, u32::MAX, u32::MAX);
+                    let woken = self
+                        .futexes
+                        .get_mut(node.idx())
+                        .map(|f| f.wake(pa, u32::MAX, u32::MAX))
+                        .unwrap_or_default();
                     for t in woken {
                         sc.defer_unblock(t, Some(SysRet::Val(0)));
                     }
@@ -804,16 +877,18 @@ impl Kernel for Fwk {
                 }
                 let mut cost = {
                     let src = &self.cfg.noise[src_idx];
-                    src.cost(&mut self.noise_rng[node.idx()])
+                    src.cost(self.noise_rng.get(&sc.hub, node.0 as u64))
                 };
                 // The writeback daemon's firing grows with dirty data:
                 // ~1 extra cycle per 16 dirty bytes, split across its
-                // cores, capped at one long scan.
+                // cores, capped at one long scan. A node with no column
+                // yet has no dirty data — nothing to add.
                 if self.cfg.noise[src_idx].name == "pdflush" {
-                    let dirty = &mut self.dirty_bytes[node.idx()];
-                    let extra = (*dirty / 16).min(120_000);
-                    *dirty = dirty.saturating_sub(extra * 16);
-                    cost += extra;
+                    if let Some(dirty) = self.dirty_bytes.get_mut(node.idx()) {
+                        let extra = (*dirty / 16).min(120_000);
+                        *dirty = dirty.saturating_sub(extra * 16);
+                        cost += extra;
+                    }
                 }
                 let core = sc.core_of(node, core_local);
                 sc.tel.count(sc.tel.ids.daemon_wakes, Slot::Core(core.0), 1);
@@ -842,8 +917,10 @@ impl Kernel for Fwk {
             2 => {
                 // Timeslice expiry on a core.
                 let core = CoreId((tag & 0xffff_ffff) as u32);
-                self.ts_pending.remove(&core.0);
-                let queued = self.ready.get(&core.0).map_or(0, |q| q.len());
+                if let Some(slot) = self.ts_pending.get_mut(core.0 as usize) {
+                    *slot = None;
+                }
+                let queued = self.ready.get(core.0 as usize).map_or(0, |q| q.len());
                 if queued == 0 {
                     // Stale expiry: the contention that armed this slice
                     // drained before it fired. Counted so the event-queue
@@ -854,7 +931,7 @@ impl Kernel for Fwk {
                 }
                 let prev_proc = sc.running[core.idx()].map(|t| sc.thread(t).proc);
                 if let Some(preempted) = sc.preempt(core) {
-                    self.ready.entry(core.0).or_default().push_back(preempted);
+                    Self::readyq(&mut self.ready, core.0).push_back(preempted);
                 }
                 if sc.core_idle(core) {
                     if let Some(next) = self.pick_next(sc, core) {
@@ -868,7 +945,7 @@ impl Kernel for Fwk {
                     }
                 }
                 // Keep slicing while there is still contention.
-                if self.ready.get(&core.0).map_or(0, |q| q.len()) > 0 {
+                if self.ready.get(core.0 as usize).map_or(0, |q| q.len()) > 0 {
                     self.arm_timeslice(sc, core);
                 }
             }
@@ -933,7 +1010,7 @@ impl Kernel for Fwk {
             .procs
             .iter()
             .filter(|(_, p)| p.node == node)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| ProcId(id as u32))
             .collect();
         for proc in victims {
             sc.defer_kill(proc, 128 + Sig::Bus as i32);
@@ -948,7 +1025,7 @@ impl Kernel for Fwk {
         // runnable (Ready or never-dispatched Idle) thread, and no tid
         // sits in two queues at once.
         let mut queued: HashMap<Tid, usize> = HashMap::new();
-        for (core, q) in &self.ready {
+        for (core, q) in self.ready.iter().enumerate() {
             for tid in q {
                 *queued.entry(*tid).or_insert(0) += 1;
                 match sc.threads.get(tid.idx()) {
@@ -1014,11 +1091,12 @@ impl Kernel for Fwk {
         }
 
         // Per-process thread accounting and local-I/O proxy state.
-        for (pid, p) in &self.procs {
+        for (pid, p) in self.procs.iter() {
+            let pid = ProcId(pid as u32);
             let live = sc
                 .threads
                 .iter()
-                .filter(|t| t.proc == *pid && t.state.is_live())
+                .filter(|t| t.proc == pid && t.state.is_live())
                 .count() as u32;
             if live != p.live_threads {
                 v.push(format!(
@@ -1027,7 +1105,7 @@ impl Kernel for Fwk {
                 ));
             }
         }
-        for p in self.proxies.values() {
+        for (_, p) in self.proxies.iter() {
             for msg in p.check_fds(&self.vfs) {
                 v.push(format!("fwk ioproxy: {msg}"));
             }
@@ -1037,7 +1115,7 @@ impl Kernel for Fwk {
 
     fn translate(&self, sc: &SimCore, tid: Tid, vaddr: u64) -> Option<u64> {
         let proc = sc.thread(tid).proc;
-        self.procs.get(&proc)?.aspace.translate(vaddr)
+        self.procs.get(proc.0 as u64)?.aspace.translate(vaddr)
     }
 
     fn comm_caps(&self, _sc: &SimCore, _tid: Tid) -> CommCaps {
@@ -1050,6 +1128,24 @@ impl Kernel for Fwk {
 
     fn features(&self) -> bgsim::features::FeatureMatrix {
         crate::features::matrix()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.procs.resident_bytes()
+            + self.proxies.resident_bytes()
+            + self.ready.capacity() * std::mem::size_of::<VecDeque<Tid>>()
+            + self
+                .ready
+                .iter()
+                .map(|q| q.capacity() * std::mem::size_of::<Tid>())
+                .sum::<usize>()
+            + self.ts_pending.capacity() * std::mem::size_of::<Option<EvHandle>>()
+            + self.ts_deadline.capacity() * std::mem::size_of::<u64>()
+            + self.futexes.capacity() * std::mem::size_of::<FutexTable>()
+            + self.next_frame.capacity() * std::mem::size_of::<u64>()
+            + self.dirty_bytes.capacity() * std::mem::size_of::<u64>()
+            + self.noise_rng.resident_bytes()
+            + self.io_rng.resident_bytes()
     }
 }
 
@@ -1081,7 +1177,7 @@ impl Fwk {
         uaddr: u64,
         op: FutexOp,
     ) -> SyscallAction {
-        let Some(p) = self.procs.get_mut(&proc_id) else {
+        let Some(p) = self.procs.get_mut(proc_id.0 as u64) else {
             return Self::err(Errno::ESRCH, SYSCALL_BASE);
         };
         let nf = &mut self.next_frame;
@@ -1092,7 +1188,7 @@ impl Fwk {
         else {
             return Self::err(Errno::EFAULT, SYSCALL_BASE + 60);
         };
-        let ft = &mut self.futexes[node.idx()];
+        let ft = Self::futex_table(&mut self.futexes, node);
         let cost = SYSCALL_BASE + 140;
         match op {
             FutexOp::Wait { expected } | FutexOp::WaitBitset { expected, .. } => {
@@ -1155,7 +1251,7 @@ impl Fwk {
                         return Self::err(Errno::EAGAIN, cost);
                     }
                 }
-                let p = self.procs.get_mut(&proc_id).unwrap();
+                let p = self.procs.get_mut(proc_id.0 as u64).unwrap();
                 let nf = &mut self.next_frame;
                 let Some(tpa) = p
                     .aspace
@@ -1163,7 +1259,8 @@ impl Fwk {
                 else {
                     return Self::err(Errno::EFAULT, cost);
                 };
-                let (woken, moved) = self.futexes[node.idx()].requeue(pa, wake, requeue, tpa);
+                let (woken, moved) =
+                    Self::futex_table(&mut self.futexes, node).requeue(pa, wake, requeue, tpa);
                 let total = woken.len() as i64 + moved as i64;
                 for t in woken {
                     sc.defer_unblock(t, Some(SysRet::Val(0)));

@@ -699,6 +699,74 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `eager_layout` is reservation-only by contract: it re-materializes
+    /// the pre-refactor footprint (per-core TLB map copies, pre-sized
+    /// engine rings, materialized SoA columns and RNG streams) without
+    /// changing a single trace event. For ANY program, seed, and kernel
+    /// the digest, final cycle, and profile.* counters must be
+    /// bit-identical to the lazy default — this is what licenses
+    /// `fig_scale` to use the flag as the pre-refactor memory baseline.
+    #[test]
+    fn eager_layout_is_digest_and_profile_neutral(
+        prog in arb_program(),
+        seed in 0u64..1000,
+        kernel_pick in any::<bool>(),
+    ) {
+        let run = |eager: bool| {
+            let prog = prog.clone();
+            let kernel: Box<dyn bgsim::Kernel> = if kernel_pick {
+                Box::new(Cnk::with_defaults())
+            } else {
+                Box::new(Fwk::with_defaults())
+            };
+            let mut m = bgsim::machine::Machine::new(
+                MachineConfig::nodes(2)
+                    .with_seed(seed)
+                    .with_trace()
+                    .with_eager_layout(eager),
+                kernel,
+                Box::new(dcmf::Dcmf::with_defaults()),
+            );
+            m.boot();
+            m.launch(
+                &sysabi::JobSpec::new(
+                    sysabi::AppImage::static_test("layout-fuzz"),
+                    2,
+                    sysabi::NodeMode::Smp,
+                ),
+                &mut |_r: sysabi::Rank| {
+                    let prog = prog.clone();
+                    let mut i = 0usize;
+                    bgsim::script::wl(move |env| {
+                        let _ = env.take_ret();
+                        if i >= prog.len() {
+                            return bgsim::Op::End;
+                        }
+                        let op = decode_op(prog[i], i as u64);
+                        i += 1;
+                        op
+                    })
+                },
+            )
+            .unwrap();
+            let out = m.run();
+            (out.at(), m.trace_digest(), m.profile_snapshot())
+        };
+
+        let lazy = run(false);
+        let eager = run(true);
+        prop_assert_eq!(
+            (lazy.0, lazy.1),
+            (eager.0, eager.1),
+            "eager_layout changed the trace"
+        );
+        prop_assert_eq!(&lazy.2, &eager.2, "eager_layout changed profile counters");
+    }
+}
+
 // ---- VFS / ioproxy -------------------------------------------------------------
 
 proptest! {

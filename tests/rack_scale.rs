@@ -1,0 +1,46 @@
+//! Rack-scale memory-layout smoke (ROADMAP #1): boot a full rack (4096
+//! nodes) of CNK, run a short FWQ quantum on every node, and hold the
+//! lazy SoA/slab layout to a per-node resident budget. The budget is
+//! deliberately loose (~2x the measured figure) — it exists to catch a
+//! regression back to eager per-core/per-node materialization, not to
+//! pin an exact byte count.
+
+use bench::harness::KernelKind;
+use bgsim::machine::{Machine, Recorder, Workload};
+use bgsim::MachineConfig;
+use sysabi::{AppImage, JobSpec, NodeMode, Rank};
+use workloads::fwq::{FwqConfig, FwqSampler};
+
+const NODES: u32 = 4096;
+/// Lazy layout measures ~4.1 KiB/node after an FWQ quantum (the eager
+/// layout is ~15 KiB/node); fail well before we drift back toward it.
+const BYTES_PER_NODE_BUDGET: usize = 8 << 10;
+
+#[test]
+fn rack_of_4096_nodes_fits_the_lazy_budget() {
+    let cfg = MachineConfig::nodes(NODES).with_seed(0x5CA1E);
+    let mut m = Machine::new(
+        cfg,
+        KernelKind::Cnk.build(),
+        Box::new(dcmf::Dcmf::with_defaults()),
+    );
+    m.boot();
+    let rec = Recorder::new();
+    let rec2 = rec.clone();
+    m.launch(
+        &JobSpec::new(AppImage::static_test("fwq-rack"), NODES, NodeMode::Smp),
+        &mut move |_r: Rank| {
+            Box::new(FwqSampler::new(FwqConfig::quick(1), rec2.clone(), 0)) as Box<dyn Workload>
+        },
+    )
+    .unwrap();
+    let out = m.run();
+    assert!(out.completed(), "rack FWQ run did not complete: {out:?}");
+    let resident = m.resident_bytes_estimate();
+    let per_node = resident / NODES as usize;
+    assert!(
+        per_node <= BYTES_PER_NODE_BUDGET,
+        "lazy layout regressed: {per_node} B/node resident ({resident} B total at {NODES} nodes), \
+         budget {BYTES_PER_NODE_BUDGET} B/node"
+    );
+}
