@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Service smoke: boot bgserve, submit the same pinned-seed job twice,
+# and assert the second answer is a cache hit with a bit-identical
+# digest — confirmed by the server's --paranoid re-run. Then run the
+# in-process selfcheck (4 concurrent sessions differentially compared
+# against one-shot oracle runs) and verify the live monitor stream is
+# renderable by bgtop:
+#
+#   ./ci/serve_smoke.sh [artifacts-dir]
+set -euo pipefail
+
+out="${1:-serve-smoke}"
+mkdir -p "$out"
+
+bin=./target/release/bgserve
+bgtop=./target/release/bgtop
+[ -x "$bin" ] || { echo "error: $bin not built (cargo build --release first)" >&2; exit 1; }
+
+sock="$out/bgserve.sock"
+rm -f "$sock"
+
+# 1) Boot the service with paranoid cache verification and a live
+#    monitor stream; wait until it answers a ping.
+"$bin" serve --listen "unix:$sock" --threads 4 --paranoid \
+  --monitor-out "$out/monitor.jsonl" --force &
+server=$!
+trap 'kill "$server" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  "$bin" ping --listen "unix:$sock" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$bin" ping --listen "unix:$sock"
+
+# 2) The same pinned-seed job twice. Field extraction is on the --json
+#    output: {"job":..,"digest":"0x..","cached":..,"paranoid":".."}.
+field() { sed -n "s/.*\"$2\":\"\\?\\([^\",}]*\\)\"\\?[,}].*/\\1/p" <<<"$1"; }
+
+first=$("$bin" submit --listen "unix:$sock" --gen-seed 424242 --kernel cnk --json)
+second=$("$bin" submit --listen "unix:$sock" --gen-seed 424242 --kernel cnk --json)
+echo "$first"  | tee "$out/first.json"
+echo "$second" | tee "$out/second.json"
+
+[ "$(field "$first" cached)" = "false" ] \
+  || { echo "FAIL: first submission was not a fresh run" >&2; exit 1; }
+[ "$(field "$second" cached)" = "true" ] \
+  || { echo "FAIL: second submission was not a cache hit" >&2; exit 1; }
+[ -n "$(field "$first" digest)" ] \
+  || { echo "FAIL: no digest in first result" >&2; exit 1; }
+[ "$(field "$first" digest)" = "$(field "$second" digest)" ] \
+  || { echo "FAIL: cache hit digest differs from fresh run" >&2; exit 1; }
+[ "$(field "$first" final_cycle)" = "$(field "$second" final_cycle)" ] \
+  || { echo "FAIL: cache hit final cycle differs from fresh run" >&2; exit 1; }
+[ "$(field "$second" paranoid)" = "ok" ] \
+  || { echo "FAIL: paranoid re-run did not confirm the cached digest" >&2; exit 1; }
+echo "serve smoke OK: pinned-seed job twice, second from cache, digest bit-identical"
+
+# 3) The monitor stream the server published renders through bgtop.
+if [ -x "$bgtop" ]; then
+  "$bgtop" "$out/monitor.jsonl" --once --nodes 4 | tee "$out/bgtop-frame.txt" | head -5
+else
+  echo "note: $bgtop not built, skipping render check"
+fi
+
+"$bin" status --listen "unix:$sock" | tee "$out/status.txt"
+"$bin" shutdown --listen "unix:$sock"
+wait "$server"
+trap - EXIT
+
+# 4) The service leg of the differential matrix: 4 concurrent sessions,
+#    modes swept across the matrix, every triple compared against an
+#    in-process oracle run, every resubmission paranoid-verified.
+"$bin" selfcheck --sessions 4 --jobs 2 --threads 4 | tee "$out/selfcheck.txt"
+
+echo "serve smoke OK: cache identity + paranoid + concurrent selfcheck clean"

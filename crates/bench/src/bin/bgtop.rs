@@ -1,29 +1,42 @@
 //! `bgtop` — live state monitor for running benchmarks.
 //!
-//! Usage: `bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>]`
+//! Usage: `bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>]
+//! [--deadline-ms <n>]`
 //!
-//! Attach a benchmark with `--monitor-out <path>`; it appends one JSON
-//! line per finished work unit (shard, kernel, message size). `bgtop`
-//! tails that file and renders the most recent snapshot as a
+//! Attach a benchmark with `--monitor-out <path>` (or point at a
+//! `bgserve --monitor-out` stream); the writer publishes one JSON line
+//! per finished work unit (shard, kernel, message size, service job).
+//! `bgtop` tails that file and renders the most recent snapshot as a
 //! per-subsystem cycle-accounting table plus the hottest nodes. With
 //! `--once` it renders a single frame and exits (the CI demo mode);
 //! otherwise it polls until the snapshot reports all units done.
 //!
-//! A torn final line (the benchmark mid-append) is skipped in favor of
-//! the last complete one — the parser returns errors instead of
-//! panicking.
+//! Robustness rules, in order:
+//! * a torn final line (a writer mid-append on a non-atomic filesystem)
+//!   is skipped in favor of the last complete one — the parser returns
+//!   errors instead of panicking;
+//! * a line that parses but lacks numeric `seq`/`total` is *not* a
+//!   snapshot: it is skipped with a stderr warning (it used to default
+//!   `seq` to 0 and render the same stale frame forever);
+//! * if no new snapshot appears within `--deadline-ms` (default
+//!   30 000), `bgtop` exits nonzero instead of looping — a typo'd path,
+//!   a dead writer, or a seq-less stream cannot hang a CI job.
 
-use bench::monitor::{parse_json, render_snapshot, Json};
+use bench::monitor::{last_snapshot, malformed_snapshots, render_snapshot};
 
 struct Args {
     path: std::path::PathBuf,
     once: bool,
     interval_ms: u64,
     top_nodes: usize,
+    deadline_ms: u64,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>]");
+    eprintln!(
+        "usage: bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>] \
+         [--deadline-ms <n>]"
+    );
     std::process::exit(2);
 }
 
@@ -32,6 +45,7 @@ fn parse_args() -> Args {
     let mut once = false;
     let mut interval_ms = 500u64;
     let mut top_nodes = 8usize;
+    let mut deadline_ms = 30_000u64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +62,12 @@ fn parse_args() -> Args {
                 };
                 top_nodes = v;
             }
+            "--deadline-ms" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                deadline_ms = v;
+            }
             _ if a.starts_with("--") => usage(),
             _ => {
                 if path.replace(std::path::PathBuf::from(a)).is_some() {
@@ -62,25 +82,35 @@ fn parse_args() -> Args {
         once,
         interval_ms,
         top_nodes,
+        deadline_ms,
     }
-}
-
-/// The last complete (parseable) snapshot line in the file, if any.
-fn last_snapshot(text: &str) -> Option<Json> {
-    text.lines().rev().find_map(|l| parse_json(l.trim()).ok())
 }
 
 fn main() {
     let args = parse_args();
     let mut last_seq = -1.0f64;
     let mut waited_ms = 0u64;
+    let mut warned_malformed = 0usize;
     loop {
         let text = std::fs::read_to_string(&args.path).unwrap_or_default();
+        let malformed = malformed_snapshots(&text);
+        if malformed > warned_malformed {
+            eprintln!(
+                "bgtop: skipping {} line(s) in {} missing numeric seq/total",
+                malformed - warned_malformed,
+                args.path.display()
+            );
+            warned_malformed = malformed;
+        }
         match last_snapshot(&text) {
             Some(snap) => {
+                // last_snapshot only returns lines with numeric
+                // seq/total, so these lookups cannot silently default.
                 let seq = snap.path_num(&["seq"]).unwrap_or(0.0);
-                if seq != last_seq {
+                let fresh = seq != last_seq;
+                if fresh {
                     last_seq = seq;
+                    waited_ms = 0;
                     print!("{}", render_snapshot(&snap, args.top_nodes));
                     println!();
                 }
@@ -89,17 +119,35 @@ fn main() {
                 if args.once || (total.is_finite() && done >= total) {
                     return;
                 }
+                if !fresh {
+                    waited_ms += args.interval_ms;
+                    if waited_ms > args.deadline_ms {
+                        eprintln!(
+                            "bgtop: no new snapshot in {} within {} ms (last seq {}); \
+                             writer stalled or stream is stuck",
+                            args.path.display(),
+                            args.deadline_ms,
+                            seq
+                        );
+                        std::process::exit(1);
+                    }
+                }
             }
             None if args.once => {
                 eprintln!("bgtop: no complete snapshot in {}", args.path.display());
                 std::process::exit(1);
             }
             None => {
-                // File absent or still empty: keep waiting, but give up
-                // after 30 s so a typo'd path cannot hang forever.
+                // File absent, still empty, or all lines skipped: keep
+                // waiting up to the deadline so a typo'd path or a
+                // seq-less stream cannot hang forever.
                 waited_ms += args.interval_ms;
-                if waited_ms > 30_000 {
-                    eprintln!("bgtop: no snapshot appeared in {}", args.path.display());
+                if waited_ms > args.deadline_ms {
+                    eprintln!(
+                        "bgtop: no renderable snapshot appeared in {} within {} ms",
+                        args.path.display(),
+                        args.deadline_ms
+                    );
                     std::process::exit(1);
                 }
             }

@@ -58,7 +58,11 @@ fn scale_run(nodes: u32, eager: bool, tuning: &Tuning) -> ScaleRun {
     let cfg = tuning
         .apply(MachineConfig::nodes(nodes).with_seed(SEED))
         .with_eager_layout(eager);
-    let mut m = Machine::new(cfg, KernelKind::Cnk.build(), Box::new(Dcmf::with_defaults()));
+    let mut m = Machine::new(
+        cfg,
+        KernelKind::Cnk.build(),
+        Box::new(Dcmf::with_defaults()),
+    );
     m.boot();
     let rec = Recorder::new();
     let rec2 = rec.clone();
@@ -154,8 +158,7 @@ fn main() {
     for r in &runs {
         let bytes_per_node = r.resident_bytes as f64 / r.nodes as f64;
         let events_per_sec = r.events as f64 / r.wall_seconds.max(1e-9);
-        let node_cycles_per_sec =
-            r.final_cycle as f64 * r.nodes as f64 / r.wall_seconds.max(1e-9);
+        let node_cycles_per_sec = r.final_cycle as f64 * r.nodes as f64 / r.wall_seconds.max(1e-9);
         rows.push(vec![
             format!("{}", r.nodes),
             format!("{:016x}", r.digest),
@@ -166,7 +169,10 @@ fn main() {
             format!("{:.0}", bytes_per_node),
         ]);
         let k = format!("scale.n{}", r.nodes);
-        report.string(&format!("digest.n{}", r.nodes), &format!("{:016x}", r.digest));
+        report.string(
+            &format!("digest.n{}", r.nodes),
+            &format!("{:016x}", r.digest),
+        );
         report.scalar(&format!("final_cycle.n{}", r.nodes), r.final_cycle as f64);
         report.scalar(&format!("{k}.events"), r.events as f64);
         report.scalar(&format!("{k}.wall_seconds"), r.wall_seconds);

@@ -43,7 +43,9 @@
 //!
 //! Bad flag input is a usage error: message on stderr, exit code 2 —
 //! never a panic (`Cli::parse_from` returns the error for callers that
-//! want to handle it themselves, e.g. tests).
+//! want to handle it themselves, e.g. tests). Repeating a
+//! value-carrying flag (`--stats-out a --stats-out b`) is rejected the
+//! same way instead of silently keeping the last value.
 //!
 //! Hand-rolled because the workspace carries no external CLI dependency.
 
@@ -112,6 +114,23 @@ impl Cli {
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         let mut cli = Cli::default();
         let mut it = args.into_iter();
+        // Value-carrying flags may appear at most once. Letting a
+        // repeated `--stats-out a --stats-out b` silently take the last
+        // value hid real mistakes (a CI script concatenating flag sets
+        // clobbered its own output path); repetition is now a usage
+        // error, consistent with the `--threads 0` and malformed
+        // `--fault-script` rejections. Boolean toggles stay idempotent.
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut once = move |name: &'static str| -> Result<(), String> {
+            if seen.contains(&name) {
+                return Err(format!(
+                    "duplicate {name} flag: it may be given at most once \
+                     (an earlier value would be silently overridden)"
+                ));
+            }
+            seen.push(name);
+            Ok(())
+        };
         while let Some(a) = it.next() {
             let mut flag_with_value =
                 |prefix: &str, inline: Option<&str>| -> Result<PathBuf, String> {
@@ -132,6 +151,7 @@ impl Cli {
             } else if a == "--no-closed-form-noise" {
                 cli.closed_form_noise = false;
             } else if a == "--engine" || a.starts_with("--engine=") {
+                once("--engine")?;
                 let v = flag_with_value("--engine", a.strip_prefix("--engine="))?;
                 let s = v.to_string_lossy();
                 cli.engine_backend = match s.as_ref() {
@@ -144,6 +164,7 @@ impl Cli {
                     }
                 };
             } else if a == "--compact-min-dead" || a.starts_with("--compact-min-dead=") {
+                once("--compact-min-dead")?;
                 let v =
                     flag_with_value("--compact-min-dead", a.strip_prefix("--compact-min-dead="))?;
                 let s = v.to_string_lossy();
@@ -159,21 +180,25 @@ impl Cli {
                 }
                 cli.compact_min_dead = Some(n);
             } else if a == "--stats-out" || a.starts_with("--stats-out=") {
+                once("--stats-out")?;
                 cli.stats_out = Some(flag_with_value(
                     "--stats-out",
                     a.strip_prefix("--stats-out="),
                 )?);
             } else if a == "--trace-out" || a.starts_with("--trace-out=") {
+                once("--trace-out")?;
                 cli.trace_out = Some(flag_with_value(
                     "--trace-out",
                     a.strip_prefix("--trace-out="),
                 )?);
             } else if a == "--monitor-out" || a.starts_with("--monitor-out=") {
+                once("--monitor-out")?;
                 cli.monitor_out = Some(flag_with_value(
                     "--monitor-out",
                     a.strip_prefix("--monitor-out="),
                 )?);
             } else if a == "--threads" || a.starts_with("--threads=") {
+                once("--threads")?;
                 let v = flag_with_value("--threads", a.strip_prefix("--threads="))?;
                 let s = v.to_string_lossy();
                 let n: usize = s
@@ -184,6 +209,7 @@ impl Cli {
                 }
                 cli.threads = n;
             } else if a == "--fault-seed" || a.starts_with("--fault-seed=") {
+                once("--fault-seed")?;
                 let v = flag_with_value("--fault-seed", a.strip_prefix("--fault-seed="))?;
                 let s = v.to_string_lossy();
                 let n: u64 = s
@@ -191,6 +217,7 @@ impl Cli {
                     .map_err(|_| format!("--fault-seed requires an unsigned integer, got {s:?}"))?;
                 cli.fault_seed = Some(n);
             } else if a == "--fault-script" || a.starts_with("--fault-script=") {
+                once("--fault-script")?;
                 cli.fault_script = Some(flag_with_value(
                     "--fault-script",
                     a.strip_prefix("--fault-script="),
@@ -369,7 +396,10 @@ mod tests {
     #[test]
     fn compact_min_dead_rejects_zero_and_garbage() {
         assert_eq!(parse(&[]).compact_min_dead, None);
-        assert_eq!(parse(&["--compact-min-dead", "128"]).compact_min_dead, Some(128));
+        assert_eq!(
+            parse(&["--compact-min-dead", "128"]).compact_min_dead,
+            Some(128)
+        );
         assert_eq!(parse(&["--compact-min-dead=9"]).compact_min_dead, Some(9));
         // 0 would pass the parse but violate config validation; it is a
         // clean usage error here, not a panic later.
@@ -383,5 +413,30 @@ mod tests {
     fn rejects_garbage_fault_seed() {
         let e = parse_err(&["--fault-seed", "0x13"]);
         assert!(e.contains("unsigned integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_value_flags() {
+        // Last-value-wins used to silently drop the first path.
+        let e = parse_err(&["--stats-out", "a.json", "--stats-out", "b.json"]);
+        assert!(e.contains("duplicate --stats-out"), "{e}");
+        // Mixed spellings of the same flag are still duplicates.
+        let e = parse_err(&["--trace-out=t.json", "--trace-out", "u.json"]);
+        assert!(e.contains("duplicate --trace-out"), "{e}");
+        let e = parse_err(&["--monitor-out", "m", "--monitor-out", "n"]);
+        assert!(e.contains("duplicate --monitor-out"), "{e}");
+        let e = parse_err(&["--threads", "2", "--threads=4"]);
+        assert!(e.contains("duplicate --threads"), "{e}");
+        let e = parse_err(&["--engine", "heap", "--engine", "calendar"]);
+        assert!(e.contains("duplicate --engine"), "{e}");
+        let e = parse_err(&["--compact-min-dead=4", "--compact-min-dead=8"]);
+        assert!(e.contains("duplicate --compact-min-dead"), "{e}");
+        let e = parse_err(&["--fault-seed", "1", "--fault-seed", "2"]);
+        assert!(e.contains("duplicate --fault-seed"), "{e}");
+        let e = parse_err(&["--fault-script", "a", "--fault-script", "b"]);
+        assert!(e.contains("duplicate --fault-script"), "{e}");
+        // Boolean toggles stay idempotent (repeating them is harmless).
+        let c = parse(&["--json", "--json", "--force", "--force", "--no-fast-path"]);
+        assert!(c.json && c.force && !c.fast_path);
     }
 }

@@ -541,9 +541,8 @@ pub fn nn_throughput_run_tuned(
     // Telemetry is pure observation (no event scheduling, no RNG), so
     // turning it on here leaves the pinned BENCH_*.json digests intact —
     // `tests/fault_injection.rs` re-checks that every run.
-    let cfg = faults.apply(
-        tuning.apply(MachineConfig::nodes(nodes).with_seed(seed).with_telemetry()),
-    );
+    let cfg =
+        faults.apply(tuning.apply(MachineConfig::nodes(nodes).with_seed(seed).with_telemetry()));
     let torus = bgsim::torus::Torus::new(&cfg);
     let nb = torus.neighbors(NodeId(0)).len();
     let mut m = Machine::new(cfg, kind.build(), Box::new(Dcmf::with_defaults()));

@@ -1,11 +1,16 @@
 //! Live state monitoring for long benchmark runs.
 //!
 //! A bin that accepts `--monitor-out <path>` builds a [`Monitor`] and
-//! calls [`Monitor::publish`] as shards complete. Each publish appends
+//! calls [`Monitor::publish`] as shards complete. Each publish adds
 //! one JSON line describing overall progress plus the merged
 //! cycle-accounting profile so far (per-domain totals and per-node heat
 //! counters). `bgtop <path>` tails the file, parses the most recent
 //! line, and renders it as a per-subsystem / per-node table.
+//!
+//! Publishing rewrites the whole (small) file through
+//! [`crate::report::write_atomic`] — temp file in the same directory,
+//! renamed into place — so a reader never observes a torn final line
+//! and a crash mid-publish cannot leave a truncated file behind.
 //!
 //! This is strictly host-side observability: publishing reads finished
 //! [`ProfileSnapshot`]s, never the live simulation, so simulated
@@ -14,18 +19,21 @@
 //! therefore *not* deterministic — only the final line (all shards
 //! done) is, which is what the CI demo checks.
 
-use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bgsim::telemetry::{json_escape, ProfileSnapshot};
 
-use crate::report::SCHEMA_VERSION;
+use crate::report::{write_atomic, SCHEMA_VERSION};
 
-/// An append-only JSONL publisher bound to a `--monitor-out` path.
+/// A JSONL snapshot publisher bound to a `--monitor-out` path. Lines
+/// accumulate in memory and every publish rewrites the file atomically,
+/// so the on-disk view is always a whole number of complete lines.
 pub struct Monitor {
-    file: std::fs::File,
+    path: PathBuf,
+    lines: String,
     bench: String,
     seq: u64,
+    warned: bool,
 }
 
 impl Monitor {
@@ -34,10 +42,13 @@ impl Monitor {
     /// the caller (the bins exit nonzero like they do for stats).
     pub fn create(path: &Path, bench: &str, force: bool) -> std::io::Result<Monitor> {
         crate::report::guard_overwrite(path, force)?;
+        write_atomic(path, b"")?;
         Ok(Monitor {
-            file: std::fs::File::create(path)?,
+            path: path.to_path_buf(),
+            lines: String::new(),
             bench: bench.to_string(),
             seq: 0,
+            warned: false,
         })
     }
 
@@ -54,19 +65,47 @@ impl Monitor {
         }
     }
 
-    /// Append one snapshot line. `done`/`total` count finished work
-    /// units (shards, kernels, message sizes — whatever the bin
-    /// iterates); `snap` is the profile merged over everything finished
-    /// so far.
+    /// Add one snapshot line and atomically rewrite the file.
+    /// `done`/`total` count finished work units (shards, kernels,
+    /// message sizes — whatever the bin iterates); `snap` is the
+    /// profile merged over everything finished so far.
     pub fn publish(&mut self, done: usize, total: usize, snap: &ProfileSnapshot) {
         self.seq += 1;
         let line = snapshot_json(&self.bench, self.seq, done, total, snap);
-        // A failed append must not kill the benchmark mid-run; the
+        self.lines.push_str(&line);
+        self.lines.push('\n');
+        // A failed publish must not kill the benchmark mid-run; the
         // monitor is advisory. Note it once on stderr and move on.
-        if writeln!(self.file, "{line}").is_err() && self.seq == 1 {
+        if write_atomic(&self.path, self.lines.as_bytes()).is_err() && !self.warned {
+            self.warned = true;
             eprintln!("warning: monitor snapshot write failed; live view will be stale");
         }
     }
+}
+
+/// The most recent *renderable* snapshot in a monitor file: the last
+/// line that both parses as JSON and carries numeric `seq` and `total`
+/// fields. Torn lines (a writer crashed mid-append on a non-atomic
+/// filesystem) and foreign JSON simply don't qualify — the previous
+/// complete snapshot wins. Never panics on adversarial input.
+pub fn last_snapshot(text: &str) -> Option<Json> {
+    text.lines().rev().find_map(|l| {
+        let v = parse_json(l.trim()).ok()?;
+        (v.path_num(&["seq"]).is_some() && v.path_num(&["total"]).is_some()).then_some(v)
+    })
+}
+
+/// How many lines of `text` parse as JSON but are missing the numeric
+/// `seq`/`total` a snapshot must carry — `bgtop` warns on these instead
+/// of silently rendering a stale frame forever (a missing `seq` used to
+/// default to 0 and pin the display).
+pub fn malformed_snapshots(text: &str) -> usize {
+    text.lines()
+        .filter(|l| {
+            parse_json(l.trim())
+                .is_ok_and(|v| v.path_num(&["seq"]).is_none() || v.path_num(&["total"]).is_none())
+        })
+        .count()
 }
 
 /// Render one monitor snapshot as a single JSON line.
@@ -411,7 +450,10 @@ mod tests {
     fn snapshot_line_parses_back_to_the_same_numbers() {
         let line = snapshot_json("fig8_throughput", 3, 5, 28, &sample_snapshot());
         let v = parse_json(&line).expect("line parses");
-        assert_eq!(v.path_num(&["schema_version"]), Some(f64::from(SCHEMA_VERSION)));
+        assert_eq!(
+            v.path_num(&["schema_version"]),
+            Some(f64::from(SCHEMA_VERSION))
+        );
         assert_eq!(v.get("bench").and_then(Json::str), Some("fig8_throughput"));
         assert_eq!(v.path_num(&["done"]), Some(5.0));
         assert_eq!(
@@ -454,6 +496,28 @@ mod tests {
         let pos1 = view.find("\n1 ").expect("node 1 row");
         let pos0 = view.find("\n0 ").expect("node 0 row");
         assert!(pos1 < pos0, "{view}");
+    }
+
+    #[test]
+    fn last_snapshot_skips_torn_and_field_missing_lines() {
+        let good1 = snapshot_json("demo", 1, 1, 4, &sample_snapshot());
+        let good2 = snapshot_json("demo", 2, 2, 4, &sample_snapshot());
+        // A complete trailing line wins.
+        let text = format!("{good1}\n{good2}\n");
+        assert_eq!(last_snapshot(&text).unwrap().path_num(&["seq"]), Some(2.0));
+        // A torn final line falls back to the previous complete one.
+        let torn = format!("{good1}\n{}", &good2[..good2.len() / 2]);
+        assert_eq!(last_snapshot(&torn).unwrap().path_num(&["seq"]), Some(1.0));
+        // Valid JSON missing seq/total is not a snapshot: it is skipped
+        // (and counted) instead of rendering as a seq-0 frame forever.
+        let noseq = format!("{good1}\n{{\"bench\":\"demo\",\"done\":3}}\n");
+        assert_eq!(last_snapshot(&noseq).unwrap().path_num(&["seq"]), Some(1.0));
+        assert_eq!(malformed_snapshots(&noseq), 1);
+        assert_eq!(malformed_snapshots(&text), 0);
+        // A stream of only field-missing lines yields no snapshot.
+        assert!(last_snapshot("{\"a\":1}\n{\"b\":2}\n").is_none());
+        assert_eq!(malformed_snapshots("{\"a\":1}\n{\"b\":2}\n"), 2);
+        assert!(last_snapshot("").is_none());
     }
 
     #[test]

@@ -182,11 +182,11 @@ impl Report {
                 self.to_json()
             };
             guard_overwrite(path, cli.force)?;
-            let mut f = std::fs::File::create(path)?;
-            f.write_all(body.as_bytes())?;
-            if !body.ends_with('\n') {
-                f.write_all(b"\n")?;
+            let mut bytes = body.into_bytes();
+            if bytes.last() != Some(&b'\n') {
+                bytes.push(b'\n');
             }
+            write_atomic(path, &bytes)?;
             eprintln!("stats written to {}", path.display());
         }
         if cli.json && cli.stats_out.is_none() {
@@ -237,8 +237,7 @@ pub fn emit_traces_or_exit(cli: &Cli, parts: &[(&str, String)]) {
                 None => format!("{stem}.{suffix}"),
             });
         }
-        let write =
-            guard_overwrite(&p, cli.force).and_then(|()| std::fs::write(&p, body.as_bytes()));
+        let write = guard_overwrite(&p, cli.force).and_then(|()| write_atomic(&p, body.as_bytes()));
         if let Err(e) = write {
             eprintln!("error: writing trace to {}: {e}", p.display());
             std::process::exit(1);
@@ -267,6 +266,40 @@ pub fn peak_rss_bytes() -> u64 {
         }
     }
     0
+}
+
+/// Write `bytes` to `path` atomically: the content goes to a temp file
+/// in the same directory (so the final rename cannot cross a
+/// filesystem) and is renamed into place only once fully written. A
+/// crash mid-write leaves at worst a stale temp file, never a truncated
+/// `path` that a later reader parses as corrupt — every `--stats-out`/
+/// `--trace-out`/`--monitor-out` write and the `bgserve` result cache
+/// go through here.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{} has no file name", path.display()),
+        )
+    })?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
 }
 
 /// Refuse to clobber an existing output file unless `--force` was
@@ -375,6 +408,27 @@ mod tests {
             std::fs::read_to_string(dir.join("trace.cnk.json")).unwrap(),
             "[2]"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_content_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("bench_write_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one");
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // A path with no file name is a clean error, not a panic.
+        assert!(write_atomic(std::path::Path::new("/"), b"x").is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -185,6 +185,26 @@ impl Program {
         )
     }
 
+    /// Order- and content-sensitive digest of the op list — the
+    /// "program digest" leg of the service result-cache key. Two
+    /// programs with the same digest interpret identically on every
+    /// rank; op order, names, and arguments all perturb it.
+    pub fn ops_digest(&self) -> u64 {
+        let mut h = bgsim::config::DigestFold::new();
+        h.word(self.ops.len() as u64);
+        for op in &self.ops {
+            for b in op.name().bytes() {
+                h.word(b as u64);
+            }
+            let args = op.args();
+            h.word(args.len() as u64);
+            for a in args {
+                h.word(a);
+            }
+        }
+        h.finish()
+    }
+
     /// A workload factory interpreting this program on every rank.
     pub fn factory(&self) -> impl FnMut(Rank) -> Box<dyn bgsim::machine::Workload> {
         let ops = self.ops.clone();
@@ -497,6 +517,33 @@ mod tests {
         assert_eq!(a.faults.events, b.faults.events);
         let c = generate(0xBEF0);
         assert!(a.ops != c.ops || a.nodes != c.nodes || a.faults.events != c.faults.events);
+    }
+
+    #[test]
+    fn ops_digest_tracks_order_names_and_args() {
+        let base = Program {
+            nodes: 2,
+            seed: 1,
+            ops: vec![POp::Compute { cycles: 100 }, POp::Barrier],
+            faults: Default::default(),
+        };
+        let d = base.ops_digest();
+        // Seed and shape are NOT part of the ops digest (they key
+        // separately in the service cache).
+        let mut reseeded = base.clone();
+        reseeded.seed = 2;
+        reseeded.nodes = 4;
+        assert_eq!(reseeded.ops_digest(), d);
+        // Order, arguments, and op identity all are.
+        let mut swapped = base.clone();
+        swapped.ops.reverse();
+        assert_ne!(swapped.ops_digest(), d);
+        let mut retuned = base.clone();
+        retuned.ops[0] = POp::Compute { cycles: 101 };
+        assert_ne!(retuned.ops_digest(), d);
+        let mut renamed = base.clone();
+        renamed.ops[1] = POp::Gettid;
+        assert_ne!(renamed.ops_digest(), d);
     }
 
     #[test]

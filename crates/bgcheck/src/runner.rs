@@ -62,6 +62,12 @@ pub struct Mode {
 }
 
 impl Mode {
+    /// Inverse of [`Mode::label`]: resolve a mode by its stable label
+    /// (service job requests name their execution mode this way).
+    pub fn from_label(s: &str) -> Option<Mode> {
+        MODES.iter().copied().find(|m| m.label() == s)
+    }
+
     /// Stable label: `{seq,win}+{fast,heap}+{cal,bheap}+{cf,pt}`.
     /// (`bheap` = binary-heap backend, distinct from the `heap`
     /// scheduler-path leg.)
@@ -263,6 +269,20 @@ fn run_one(
 /// Public single-mode entry (replay/record paths).
 pub fn run_mode(p: &Program, kernel: CheckKernel, mode: Mode) -> Result<RunRecord, String> {
     run_one(p, kernel, mode, false).map(|(r, _)| r)
+}
+
+/// Single-mode entry that also returns the machine's cycle-accounting
+/// profile — the service path, which streams the profile back to the
+/// submitting client as a monitor snapshot.
+pub fn run_mode_with_profile(
+    p: &Program,
+    kernel: CheckKernel,
+    mode: Mode,
+) -> Result<(RunRecord, bgsim::ProfileSnapshot), String> {
+    run_one(p, kernel, mode, false).map(|(r, m)| {
+        let snap = m.profile_snapshot();
+        (r, snap)
+    })
 }
 
 /// Re-run two modes with retained traces and render where they first
@@ -483,6 +503,30 @@ mod tests {
         // (different subsystems fire different counters).
         assert!(recs.iter().all(|r| r.coverage != 0));
         assert_ne!(recs[0].coverage, recs[16].coverage);
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in MODES {
+            assert_eq!(Mode::from_label(&m.label()), Some(m));
+        }
+        assert_eq!(Mode::from_label("seq+fast+cal"), None);
+        assert_eq!(Mode::from_label(""), None);
+    }
+
+    #[test]
+    fn run_with_profile_matches_plain_run() {
+        let p = Program {
+            nodes: 2,
+            seed: 0x77,
+            ops: vec![POp::Compute { cycles: 4_000 }, POp::Barrier],
+            faults: Default::default(),
+        };
+        let plain = run_mode(&p, CheckKernel::Cnk, MODES[0]).expect("plain run");
+        let (rec, snap) =
+            run_mode_with_profile(&p, CheckKernel::Cnk, MODES[0]).expect("profiled run");
+        assert_eq!(rec.triple(), plain.triple());
+        assert!(snap.total_cycles() > 0, "profile must carry accounting");
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! `bgserve` — the simulation service CLI.
+//!
+//! ```text
+//! bgserve serve    --listen unix:/tmp/bgserve.sock [--threads N]
+//!                  [--grace-ms N] [--cache-cap N] [--cache-dir DIR]
+//!                  [--paranoid] [--monitor-out FILE] [--force]
+//! bgserve submit   --listen EP (--gen-seed N | --script FILE)
+//!                  [--kernel cnk|fwk] [--mode LABEL] [--json]
+//! bgserve ping     --listen EP
+//! bgserve status   --listen EP
+//! bgserve shutdown --listen EP
+//! bgserve selfcheck [--threads N] [--sessions N] [--jobs N] [--seed N]
+//! ```
+//!
+//! Like the shared bench CLI, repeated value flags are rejected rather
+//! than silently last-one-wins.
+
+use bench::monitor::Monitor;
+use bgcheck::program::{generate, Program};
+use bgcheck::runner::{CheckKernel, Mode, MODES};
+use bgserve::selfcheck::{self, SelfcheckOpts};
+use bgserve::server::{serve, Endpoint, ServeOpts};
+use bgserve::Client;
+
+fn die(msg: &str) -> ! {
+    eprintln!("bgserve: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bgserve serve --listen EP [--threads N] [--grace-ms N] \
+         [--cache-cap N]\n                [--cache-dir DIR] [--paranoid] \
+         [--monitor-out FILE] [--force]\n  bgserve submit --listen EP \
+         (--gen-seed N | --script FILE)\n                [--kernel cnk|fwk] \
+         [--mode LABEL] [--json]\n  bgserve ping|status|shutdown --listen EP\n  \
+         bgserve selfcheck [--threads N] [--sessions N] [--jobs N] [--seed N]\n\
+         \nEP is unix:PATH or tcp:HOST:PORT."
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser with the same duplicate-rejection contract as
+/// `bench::cli`: a value flag given twice is an error, not a silent
+/// override.
+struct Flags {
+    values: Vec<(String, String)>,
+    toggles: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], value_flags: &[&str], toggle_flags: &[&str]) -> Flags {
+        let mut values: Vec<(String, String)> = Vec::new();
+        let mut toggles = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if toggle_flags.contains(&a.as_str()) {
+                if !toggles.contains(a) {
+                    toggles.push(a.clone());
+                }
+            } else if value_flags.contains(&a.as_str()) {
+                if values.iter().any(|(k, _)| k == a) {
+                    die(&format!(
+                        "duplicate {a} flag: it may be given at most once \
+                         (an earlier value would be silently overridden)"
+                    ));
+                }
+                let Some(v) = it.next() else {
+                    die(&format!("{a} needs a value"));
+                };
+                values.push((a.clone(), v.clone()));
+            } else {
+                eprintln!("bgserve: unknown flag {a}");
+                usage();
+            }
+        }
+        Flags { values, toggles }
+    }
+
+    fn get(&self, k: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(f, _)| f == k)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, k: &str, default: u64) -> u64 {
+        match self.get(k) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("{k} must be a number, got {v:?}"))),
+        }
+    }
+
+    fn has(&self, k: &str) -> bool {
+        self.toggles.iter().any(|t| t == k)
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        let Some(ep) = self.get("--listen") else {
+            die("--listen is required");
+        };
+        Endpoint::parse(ep).unwrap_or_else(|e| die(&e))
+    }
+}
+
+fn serve_cmd(args: &[String]) {
+    let f = Flags::parse(
+        args,
+        &[
+            "--listen",
+            "--threads",
+            "--grace-ms",
+            "--cache-cap",
+            "--cache-dir",
+            "--monitor-out",
+        ],
+        &["--paranoid", "--force"],
+    );
+    let mut opts = ServeOpts::new(f.endpoint());
+    opts.threads = f.num("--threads", opts.threads as u64).max(1) as usize;
+    opts.grace_ms = f.num("--grace-ms", opts.grace_ms);
+    opts.cache_cap = f.num("--cache-cap", opts.cache_cap as u64).max(1) as usize;
+    opts.cache_dir = f.get("--cache-dir").map(std::path::PathBuf::from);
+    opts.paranoid = f.has("--paranoid");
+    if let Some(path) = f.get("--monitor-out") {
+        let m = Monitor::create(std::path::Path::new(path), "bgserve", f.has("--force"))
+            .unwrap_or_else(|e| die(&format!("--monitor-out {path}: {e}")));
+        opts.monitor = Some(m);
+    }
+    eprintln!(
+        "bgserve: serving on {} ({} threads, cache {}{}{})",
+        opts.endpoint.label(),
+        opts.threads,
+        opts.cache_cap,
+        if opts.cache_dir.is_some() {
+            ", persistent"
+        } else {
+            ""
+        },
+        if opts.paranoid { ", paranoid" } else { "" }
+    );
+    if let Err(e) = serve(opts) {
+        die(&e);
+    }
+}
+
+fn load_program(f: &Flags) -> Program {
+    match (f.get("--gen-seed"), f.get("--script")) {
+        (Some(_), Some(_)) => die("--gen-seed and --script are mutually exclusive"),
+        (Some(_), None) => generate(f.num("--gen-seed", 0)),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("--script {path}: {e}")));
+            bgcheck::script::parse_script(&text)
+                .unwrap_or_else(|e| die(&e))
+                .program
+        }
+        (None, None) => die("submit needs --gen-seed N or --script FILE"),
+    }
+}
+
+fn submit_cmd(args: &[String]) {
+    let f = Flags::parse(
+        args,
+        &["--listen", "--kernel", "--mode", "--gen-seed", "--script"],
+        &["--json"],
+    );
+    let kernel = match f.get("--kernel") {
+        None => CheckKernel::Cnk,
+        Some(k) => CheckKernel::from_label(k)
+            .unwrap_or_else(|| die(&format!("unknown kernel {k:?} (cnk or fwk)"))),
+    };
+    let mode = match f.get("--mode") {
+        None => MODES[0],
+        Some(m) => Mode::from_label(m).unwrap_or_else(|| die(&format!("unknown mode label {m:?}"))),
+    };
+    let program = load_program(&f);
+    let mut c = Client::connect(&f.endpoint()).unwrap_or_else(|e| die(&e));
+    let r = c.submit(kernel, mode, &program).unwrap_or_else(|e| die(&e));
+    for wmsg in &r.warnings {
+        eprintln!("bgserve: warning: {wmsg}");
+    }
+    if f.has("--json") {
+        println!(
+            "{{\"job\":{},\"outcome\":\"{}\",\"final_cycle\":\"{}\",\
+             \"digest\":\"0x{:016x}\",\"cached\":{},\"paranoid\":\"{}\",\"key\":\"{}\"}}",
+            r.job, r.outcome, r.final_cycle, r.digest, r.cached, r.paranoid, r.key
+        );
+    } else {
+        println!(
+            "job {} [{} {}] {} at cycle {} digest {:016x} ({}, paranoid {})",
+            r.job,
+            r.kernel,
+            r.mode,
+            r.outcome,
+            r.final_cycle,
+            r.digest,
+            if r.cached { "cache hit" } else { "fresh run" },
+            r.paranoid
+        );
+    }
+    if !r.warnings.is_empty() || r.paranoid == "mismatch" {
+        std::process::exit(1);
+    }
+}
+
+fn simple_cmd(args: &[String], which: &str) {
+    let f = Flags::parse(args, &["--listen"], &[]);
+    let mut c = Client::connect(&f.endpoint()).unwrap_or_else(|e| die(&e));
+    match which {
+        "ping" => {
+            let proto = c.ping().unwrap_or_else(|e| die(&e));
+            println!("pong (proto {proto})");
+        }
+        "status" => {
+            let v = c.status().unwrap_or_else(|e| die(&e));
+            let n = |k: &str| v.path_num(&[k]).unwrap_or(f64::NAN);
+            println!(
+                "submitted {} completed {} | cache: {} entries, {} hits, {} misses \
+                 | paranoid: {} checks, {} failures",
+                n("submitted"),
+                n("completed"),
+                n("cache_entries"),
+                n("cache_hits"),
+                n("cache_misses"),
+                n("paranoid_checks"),
+                n("paranoid_failures")
+            );
+        }
+        "shutdown" => {
+            c.shutdown().unwrap_or_else(|e| die(&e));
+            println!("server is shutting down");
+        }
+        _ => usage(),
+    }
+}
+
+fn selfcheck_cmd(args: &[String]) {
+    let f = Flags::parse(args, &["--threads", "--sessions", "--jobs", "--seed"], &[]);
+    let opts = SelfcheckOpts {
+        threads: f.num("--threads", 4).max(1) as usize,
+        sessions: f.num("--sessions", 4).max(1) as usize,
+        jobs_per_session: f.num("--jobs", 2).max(1) as usize,
+        base_seed: f.num("--seed", 1000),
+    };
+    match selfcheck::run(&opts) {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => die(&e),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(sub) = args.first() else { usage() };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "serve" => serve_cmd(rest),
+        "submit" => submit_cmd(rest),
+        "ping" | "status" | "shutdown" => simple_cmd(rest, sub),
+        "selfcheck" => selfcheck_cmd(rest),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,50 @@
+//! `bgserve` — simulation-as-a-service.
+//!
+//! On a real Blue Gene the compute nodes never accept jobs directly:
+//! a service node owns the machine, queues job submissions, boots
+//! partitions, and streams telemetry back to the submitter. This crate
+//! reproduces that control-system shape for the *simulated* machine: a
+//! persistent server accepts jobs — `(machine shape, seed, program,
+//! fault spec)` — over a Unix or TCP socket, multiplexes them onto a
+//! shared worker pool ([`bench::par::run_shards`]), and streams each
+//! session its job lifecycle as newline-delimited JSON (the same
+//! hand-rolled dialect `bgtop` already reads via
+//! [`bench::monitor::parse_json`] — no new dependencies).
+//!
+//! Because every simulation is deterministic, a completed job is a pure
+//! function of its inputs — so results are memoized in an LRU cache
+//! keyed by `(config digest, seed, program digest, fault digest)`
+//! ([`key::JobKey`]). Execution-mode knobs proven digest-neutral by
+//! `bgcheck` (fast path, engine backend, windowing, noise sampling) are
+//! deliberately **excluded** from the key: two requests for the same
+//! job in different modes share one cache entry, which turns the cache
+//! itself into a standing determinism check. `--paranoid` makes that
+//! check explicit: every cache hit is re-executed fresh and the stored
+//! triple `(outcome, final cycle, trace digest)` must match
+//! bit-for-bit.
+//!
+//! Module map:
+//! * [`key`] — the memoization key and what it deliberately omits;
+//! * [`cache`] — the LRU result cache, with an optional on-disk tier
+//!   written atomically via [`bench::report::write_atomic`];
+//! * [`proto`] — the wire protocol (requests, response events);
+//! * [`server`] — endpoint/bind/session/dispatcher machinery;
+//! * [`client`] — a small blocking client for the CLI and tests;
+//! * [`selfcheck`] — an in-process service-vs-oracle differential leg.
+
+// The server reads untrusted bytes off a socket; like the simulator
+// core it must never panic on bad input. Tests may still unwrap.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod client;
+pub mod key;
+pub mod proto;
+pub mod selfcheck;
+pub mod server;
+
+pub use cache::{CachedResult, ResultCache};
+pub use client::{Client, JobResult};
+pub use key::JobKey;
+pub use server::{spawn, Endpoint, ServeOpts, ServerHandle};

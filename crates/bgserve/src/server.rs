@@ -1,0 +1,584 @@
+//! The service node: endpoint plumbing, session threads, and the wave
+//! dispatcher that multiplexes every session's jobs onto one shared
+//! [`bench::par::run_shards`] worker pool.
+//!
+//! Layout mirrors the real machine's control system: the listener is
+//! the service node's front door (one thread per connected submitter),
+//! the dispatcher is the job scheduler (batching concurrent
+//! submissions into waves so the pool stays busy without oversubscribing
+//! the host), and the monitor file is the rack's status display —
+//! published atomically so `bgtop` can tail it live.
+//!
+//! Determinism note: batching shape never affects results. Each job is
+//! a self-contained simulation, and `run_shards` collects by index, so
+//! whether two jobs share a wave or run in different waves is invisible
+//! in their `(outcome, final cycle, digest)` triples — the selfcheck
+//! and integration tests assert exactly that against one-shot runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bench::monitor::{snapshot_json, Monitor};
+use bench::par::run_shards;
+use bgcheck::program::Program;
+use bgcheck::runner::{run_mode_with_profile, CheckKernel, Mode, RunRecord};
+use bgsim::telemetry::ProfileSnapshot;
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::key::JobKey;
+use crate::proto::{self, Request, StatusSnapshot, SubmitReq};
+
+/// Where the server listens (and clients connect).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// `unix:/path`, `tcp:host:port`, or a bare path (treated as unix).
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(p) = s.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(PathBuf::from(p)));
+        }
+        if let Some(a) = s.strip_prefix("tcp:") {
+            return Ok(Endpoint::Tcp(a.to_string()));
+        }
+        if s.is_empty() {
+            return Err("empty endpoint".to_string());
+        }
+        if s.contains('/') || !s.contains(':') {
+            return Ok(Endpoint::Unix(PathBuf::from(s)));
+        }
+        Err(format!(
+            "ambiguous endpoint {s:?}: prefix with unix: or tcp:"
+        ))
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            Endpoint::Unix(p) => format!("unix:{}", p.display()),
+            Endpoint::Tcp(a) => format!("tcp:{a}"),
+        }
+    }
+
+    /// Connect a client stream to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Unix(p) => std::os::unix::net::UnixStream::connect(p).map(Stream::Unix),
+            Endpoint::Tcp(a) => std::net::TcpStream::connect(a.as_str()).map(Stream::Tcp),
+        }
+    }
+}
+
+/// A connected byte stream of either flavor.
+pub enum Stream {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Stream {
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+fn bind(ep: &Endpoint) -> Result<Listener, String> {
+    match ep {
+        Endpoint::Unix(path) => {
+            match std::os::unix::net::UnixListener::bind(path) {
+                Ok(l) => Ok(Listener::Unix(l)),
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    // A previous server that died without cleanup leaves
+                    // a stale socket file. Live servers answer a connect;
+                    // stale ones refuse — only then reclaim the path.
+                    if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                        return Err(format!("{} is already being served", path.display()));
+                    }
+                    std::fs::remove_file(path)
+                        .map_err(|e| format!("removing stale socket: {e}"))?;
+                    std::os::unix::net::UnixListener::bind(path)
+                        .map(Listener::Unix)
+                        .map_err(|e| format!("bind {}: {e}", path.display()))
+                }
+                Err(e) => Err(format!("bind {}: {e}", path.display())),
+            }
+        }
+        Endpoint::Tcp(addr) => std::net::TcpListener::bind(addr.as_str())
+            .map(Listener::Tcp)
+            .map_err(|e| format!("bind {addr}: {e}")),
+    }
+}
+
+/// Server configuration.
+pub struct ServeOpts {
+    pub endpoint: Endpoint,
+    /// Worker-pool width (and maximum wave size).
+    pub threads: usize,
+    /// How long the dispatcher waits to batch concurrent submissions
+    /// into one wave before running a partial one.
+    pub grace_ms: u64,
+    pub cache_cap: usize,
+    /// Optional persistent cache tier directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Re-run every cache hit and verify the stored triple.
+    pub paranoid: bool,
+    /// Optional live monitor stream for `bgtop`.
+    pub monitor: Option<Monitor>,
+}
+
+impl ServeOpts {
+    pub fn new(endpoint: Endpoint) -> ServeOpts {
+        ServeOpts {
+            endpoint,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            grace_ms: 5,
+            cache_cap: 256,
+            cache_dir: None,
+            paranoid: false,
+            monitor: None,
+        }
+    }
+}
+
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    paranoid_checks: AtomicU64,
+    paranoid_failures: AtomicU64,
+}
+
+/// The monitor aggregate: profiles of every fresh run merged
+/// commutatively (same rule as shard merging), published atomically.
+struct MonitorAgg {
+    monitor: Option<Monitor>,
+    merged: ProfileSnapshot,
+}
+
+struct State {
+    endpoint: Endpoint,
+    paranoid: bool,
+    stop: AtomicBool,
+    next_job: AtomicU64,
+    cache: Mutex<ResultCache>,
+    stats: Stats,
+    monitor: Mutex<MonitorAgg>,
+}
+
+impl State {
+    fn status(&self) -> StatusSnapshot {
+        StatusSnapshot {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            cache_entries: self.cache.lock().map(|c| c.len() as u64).unwrap_or(0),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            paranoid_checks: self.stats.paranoid_checks.load(Ordering::Relaxed),
+            paranoid_failures: self.stats.paranoid_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count a finished job and refresh the monitor stream.
+    fn finish_job(&self, fresh_profile: Option<&ProfileSnapshot>) {
+        let done = self.stats.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.stats.submitted.load(Ordering::Relaxed);
+        if let Ok(mut agg) = self.monitor.lock() {
+            if let Some(p) = fresh_profile {
+                agg.merged.merge(p);
+            }
+            let snap = agg.merged.clone();
+            if let Some(m) = agg.monitor.as_mut() {
+                m.publish(done as usize, total as usize, &snap);
+            }
+        }
+    }
+}
+
+/// One queued job: the resolved program plus the session's reply slot.
+struct WorkItem {
+    program: Program,
+    kernel: CheckKernel,
+    mode: Mode,
+    reply: Sender<Result<(RunRecord, ProfileSnapshot), String>>,
+}
+
+/// The wave dispatcher: collect up to `threads` jobs (waiting at most
+/// `grace` for stragglers once the first arrives), run the wave through
+/// the shard pool, send each result home, repeat until every sender is
+/// gone.
+fn dispatcher(rx: Receiver<WorkItem>, threads: usize, grace: Duration) {
+    loop {
+        let first = match rx.recv() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut wave = vec![first];
+        let deadline = Instant::now() + grace;
+        while wave.len() < threads.max(1) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(w) => wave.push(w),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let jobs: Vec<_> = wave
+            .iter()
+            .map(|w| {
+                let p = w.program.clone();
+                let (k, m) = (w.kernel, w.mode);
+                move || run_mode_with_profile(&p, k, m)
+            })
+            .collect();
+        let results = run_shards(threads, jobs);
+        for (w, r) in wave.into_iter().zip(results) {
+            let _ = w.reply.send(r);
+        }
+    }
+}
+
+/// Enqueue one job and block for its result.
+fn dispatch(
+    work: &Sender<WorkItem>,
+    program: Program,
+    kernel: CheckKernel,
+    mode: Mode,
+) -> Result<(RunRecord, ProfileSnapshot), String> {
+    let (tx, rx) = mpsc::channel();
+    work.send(WorkItem {
+        program,
+        kernel,
+        mode,
+        reply: tx,
+    })
+    .map_err(|_| "dispatcher is gone".to_string())?;
+    rx.recv()
+        .map_err(|_| "dispatcher dropped the job".to_string())?
+}
+
+fn cached_of(rec: &RunRecord, profile: Option<ProfileSnapshot>) -> CachedResult {
+    CachedResult {
+        kernel: rec.kernel.to_string(),
+        mode: rec.mode.clone(),
+        outcome: rec.outcome.clone(),
+        final_cycle: rec.final_cycle,
+        digest: rec.digest,
+        coverage: rec.coverage,
+        profile,
+    }
+}
+
+fn send_line(w: &mut Stream, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn handle_submit(
+    state: &State,
+    work: &Sender<WorkItem>,
+    req: &SubmitReq,
+    w: &mut Stream,
+) -> std::io::Result<()> {
+    let program = match req.to_program() {
+        Ok(p) => p,
+        Err(e) => return send_line(w, &proto::error_line(&e)),
+    };
+    let key = JobKey::of(req.kernel, &program);
+    let (kd, key_hex) = (key.digest(), key.hex());
+    let job = state.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+    state.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    send_line(w, &proto::accepted_line(job, &key_hex))?;
+
+    let hit = state.cache.lock().ok().and_then(|mut c| c.get(kd));
+    if let Some(entry) = hit {
+        state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let mut paranoid = "off";
+        if state.paranoid {
+            state.stats.paranoid_checks.fetch_add(1, Ordering::Relaxed);
+            match dispatch(work, program, req.kernel, req.mode) {
+                Ok((rec, _)) => {
+                    let fresh = (rec.outcome.clone(), rec.final_cycle, rec.digest);
+                    if fresh == entry.triple() {
+                        paranoid = "ok";
+                    } else {
+                        paranoid = "mismatch";
+                        state
+                            .stats
+                            .paranoid_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_line(
+                            w,
+                            &proto::error_line(&format!(
+                                "paranoid mismatch on key {key_hex}: cached \
+                                 outcome={} cycle={} digest={:016x}, fresh \
+                                 outcome={} cycle={} digest={:016x}",
+                                entry.outcome,
+                                entry.final_cycle,
+                                entry.digest,
+                                rec.outcome,
+                                rec.final_cycle,
+                                rec.digest
+                            )),
+                        )?;
+                    }
+                }
+                Err(e) => {
+                    paranoid = "mismatch";
+                    state
+                        .stats
+                        .paranoid_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    send_line(
+                        w,
+                        &proto::error_line(&format!("paranoid re-run failed: {e}")),
+                    )?;
+                }
+            }
+        }
+        if let Some(p) = &entry.profile {
+            let snap = snapshot_json("bgserve", job, 1, 1, p);
+            send_line(w, &proto::telemetry_line(job, &snap))?;
+        }
+        // Publish the monitor update before the result line: a client
+        // that acts on the result must find the stream already current.
+        state.finish_job(None);
+        send_line(
+            w,
+            &proto::result_line(job, &entry, true, paranoid, &key_hex),
+        )?;
+        return Ok(());
+    }
+
+    state.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    match dispatch(work, program, req.kernel, req.mode) {
+        Ok((rec, snap)) => {
+            let entry = cached_of(&rec, Some(snap.clone()));
+            if let Ok(mut c) = state.cache.lock() {
+                c.insert(kd, entry.clone());
+            }
+            let line = snapshot_json("bgserve", job, 1, 1, &snap);
+            send_line(w, &proto::telemetry_line(job, &line))?;
+            state.finish_job(Some(&snap));
+            send_line(w, &proto::result_line(job, &entry, false, "off", &key_hex))?;
+            Ok(())
+        }
+        Err(e) => {
+            // Failed runs are not cached: the failure may be transient
+            // (e.g. resource pressure) and a retry should re-execute.
+            state.finish_job(None);
+            send_line(w, &proto::error_line(&e))
+        }
+    }
+}
+
+/// Wake the accept loop so it can observe the stop flag.
+fn poke(ep: &Endpoint) {
+    let _ = ep.connect();
+}
+
+fn session(stream: Stream, state: Arc<State>, work: Sender<WorkItem>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut w = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let res = match proto::parse_request(&line) {
+            Err(e) => send_line(&mut w, &proto::error_line(&e)),
+            Ok(Request::Ping) => send_line(&mut w, &proto::pong_line()),
+            Ok(Request::Status) => send_line(&mut w, &proto::status_line(&state.status())),
+            Ok(Request::Shutdown) => {
+                let _ = send_line(&mut w, &proto::shutting_down_line());
+                state.stop.store(true, Ordering::SeqCst);
+                poke(&state.endpoint);
+                return;
+            }
+            Ok(Request::Submit(req)) => handle_submit(&state, &work, &req, &mut w),
+        };
+        if res.is_err() {
+            break; // client went away mid-response
+        }
+    }
+}
+
+/// A running server. Dropping the handle does not stop the server; a
+/// client `shutdown` request (or [`ServerHandle::shutdown`]) does.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    accept: std::thread::JoinHandle<()>,
+    dispatch: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Ask the server to stop (via the protocol) and wait for it.
+    pub fn shutdown(self) -> Result<(), String> {
+        let mut c = crate::client::Client::connect(&self.endpoint)?;
+        c.shutdown()?;
+        self.join()
+    }
+
+    /// Wait for the server to exit (after a client-initiated shutdown).
+    pub fn join(self) -> Result<(), String> {
+        self.accept
+            .join()
+            .map_err(|_| "accept loop panicked".to_string())?;
+        self.dispatch
+            .join()
+            .map_err(|_| "dispatcher panicked".to_string())
+    }
+}
+
+/// Bind the endpoint and start serving in background threads. The
+/// listener is bound synchronously: once this returns, clients may
+/// connect.
+pub fn spawn(opts: ServeOpts) -> Result<ServerHandle, String> {
+    let listener = bind(&opts.endpoint)?;
+    let threads = opts.threads.max(1);
+    let grace = Duration::from_millis(opts.grace_ms);
+    let state = Arc::new(State {
+        endpoint: opts.endpoint.clone(),
+        paranoid: opts.paranoid,
+        stop: AtomicBool::new(false),
+        next_job: AtomicU64::new(0),
+        cache: Mutex::new(ResultCache::new(opts.cache_cap, opts.cache_dir)),
+        stats: Stats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            paranoid_checks: AtomicU64::new(0),
+            paranoid_failures: AtomicU64::new(0),
+        },
+        monitor: Mutex::new(MonitorAgg {
+            monitor: opts.monitor,
+            merged: ProfileSnapshot::default(),
+        }),
+    });
+
+    let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
+    let dispatch = std::thread::spawn(move || dispatcher(work_rx, threads, grace));
+
+    let endpoint = opts.endpoint;
+    let ep = endpoint.clone();
+    let accept = std::thread::spawn(move || {
+        let mut sessions = Vec::new();
+        loop {
+            let stream = match listener.accept() {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            if state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let st = Arc::clone(&state);
+            let tx = work_tx.clone();
+            sessions.push(std::thread::spawn(move || session(stream, st, tx)));
+        }
+        for h in sessions {
+            let _ = h.join();
+        }
+        drop(work_tx); // last sender: the dispatcher drains and exits
+        if let Endpoint::Unix(path) = &ep {
+            let _ = std::fs::remove_file(path);
+        }
+    });
+
+    Ok(ServerHandle {
+        endpoint,
+        accept,
+        dispatch,
+    })
+}
+
+/// Bind and serve until a client requests shutdown (the CLI entry).
+pub fn serve(opts: ServeOpts) -> Result<(), String> {
+    spawn(opts)?.join()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_grammar() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/tmp/x.sock")))
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/x.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/tmp/x.sock")))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7070"),
+            Ok(Endpoint::Tcp("127.0.0.1:7070".to_string()))
+        );
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("host:7070").is_err());
+        assert_eq!(
+            Endpoint::parse("bgserve.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("bgserve.sock")))
+        );
+    }
+}

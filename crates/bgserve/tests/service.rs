@@ -1,0 +1,306 @@
+//! End-to-end service tests over real sockets: cache-hit identity,
+//! paranoid verification, mode-neutral cache sharing, LRU eviction,
+//! TCP endpoints, protocol-error recovery, and the live monitor file.
+
+use std::path::PathBuf;
+
+use bgcheck::program::{generate, POp, Program};
+use bgcheck::runner::{run_mode, CheckKernel, MODES};
+use bgserve::server::{spawn, Endpoint, ServeOpts};
+use bgserve::Client;
+
+fn sock(tag: &str) -> Endpoint {
+    let p = std::env::temp_dir().join(format!("bgserve-test-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    Endpoint::Unix(p)
+}
+
+fn small_program(seed: u64) -> Program {
+    Program {
+        nodes: 2,
+        seed,
+        ops: vec![
+            POp::Compute { cycles: 5_000 },
+            POp::Gettid,
+            POp::Allreduce { bytes: 16 },
+        ],
+        faults: Default::default(),
+    }
+}
+
+#[test]
+fn pinned_seed_job_twice_is_bit_identical_and_cached() {
+    let ep = sock("twice");
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 2;
+    opts.paranoid = true;
+    let handle = spawn(opts).expect("spawn");
+
+    let p = small_program(0x2026);
+    let mut c = Client::connect(&ep).expect("connect");
+    let first = c.submit(CheckKernel::Cnk, MODES[0], &p).expect("first");
+    assert!(!first.cached, "first submission must be a fresh run");
+    assert_eq!(first.paranoid, "off");
+    assert!(
+        !first.telemetry.is_empty(),
+        "fresh runs must stream a telemetry snapshot"
+    );
+
+    let second = c.submit(CheckKernel::Cnk, MODES[0], &p).expect("second");
+    assert!(second.cached, "second submission must be a cache hit");
+    assert_eq!(second.paranoid, "ok", "paranoid re-run must confirm");
+    assert_eq!(
+        second.triple(),
+        first.triple(),
+        "triples must be bit-identical"
+    );
+    assert_eq!(second.key, first.key);
+    assert!(second.warnings.is_empty());
+
+    // The service answer matches the in-process oracle exactly.
+    let oracle = run_mode(&p, CheckKernel::Cnk, MODES[0]).expect("oracle");
+    assert_eq!(first.triple(), oracle.triple());
+
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_oneshots() {
+    let ep = sock("concurrent");
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 4;
+    opts.grace_ms = 2;
+    let handle = spawn(opts).expect("spawn");
+
+    let programs: Vec<Program> = (0..4).map(|i| generate(7000 + i)).collect();
+    let oracle: Vec<_> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            run_mode(p, CheckKernel::ALL[i % 2], MODES[0])
+                .expect("oracle")
+                .triple()
+        })
+        .collect();
+
+    // Four sessions at once, one job each.
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let ep = &ep;
+                s.spawn(move || {
+                    let mut c = Client::connect(ep).expect("connect");
+                    c.submit(CheckKernel::ALL[i % 2], MODES[0], p)
+                        .expect("submit")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.triple(),
+            oracle[i],
+            "concurrent session {i} diverged from its one-shot equivalent"
+        );
+    }
+
+    let mut c = Client::connect(&ep).expect("connect");
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+}
+
+#[test]
+fn digest_neutral_modes_share_one_cache_entry() {
+    let ep = sock("modes");
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 2;
+    opts.paranoid = true;
+    let handle = spawn(opts).expect("spawn");
+
+    let p = small_program(0xAB);
+    let mut c = Client::connect(&ep).expect("connect");
+    let seq = c.submit(CheckKernel::Fwk, MODES[0], &p).expect("seq");
+    assert!(!seq.cached);
+    // A windowed binary-heap run of the same job: different execution
+    // mode, same key — answered from the cache, paranoid-verified by a
+    // fresh run *in the requested mode*.
+    let win = c.submit(CheckKernel::Fwk, MODES[11], &p).expect("win");
+    assert!(win.cached, "digest-neutral mode must share the cache entry");
+    assert_eq!(win.paranoid, "ok");
+    assert_eq!(win.triple(), seq.triple());
+    assert_eq!(win.key, seq.key);
+    // A different kernel is a different job.
+    let cnk = c.submit(CheckKernel::Cnk, MODES[0], &p).expect("cnk");
+    assert!(!cnk.cached);
+    assert_ne!(cnk.key, seq.key);
+
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+}
+
+#[test]
+fn lru_eviction_forces_a_fresh_run() {
+    let ep = sock("lru");
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 1;
+    opts.cache_cap = 1;
+    let handle = spawn(opts).expect("spawn");
+
+    let a = small_program(1);
+    let b = small_program(2);
+    let mut c = Client::connect(&ep).expect("connect");
+    let a1 = c.submit(CheckKernel::Cnk, MODES[0], &a).expect("a1");
+    let _b1 = c.submit(CheckKernel::Cnk, MODES[0], &b).expect("b1"); // evicts a
+    let a2 = c.submit(CheckKernel::Cnk, MODES[0], &a).expect("a2");
+    assert!(!a2.cached, "evicted entry must re-run");
+    assert_eq!(a2.triple(), a1.triple(), "re-run must still be identical");
+
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+}
+
+#[test]
+fn tcp_endpoint_serves_the_same_protocol() {
+    // Port 0: the OS picks a free port; rebuild the endpoint from it.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+    let addr = probe.local_addr().expect("addr");
+    drop(probe);
+    let ep = Endpoint::Tcp(addr.to_string());
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 1;
+    let handle = spawn(opts).expect("spawn");
+
+    let mut c = Client::connect(&ep).expect("connect");
+    assert_eq!(c.ping().expect("ping"), bgserve::proto::PROTO_VERSION);
+    let r = c
+        .submit(CheckKernel::Cnk, MODES[0], &small_program(3))
+        .expect("submit");
+    assert_eq!(r.outcome, "completed");
+    let status = c.status().expect("status");
+    assert_eq!(status.path_num(&["submitted"]), Some(1.0));
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+}
+
+#[test]
+fn protocol_errors_do_not_poison_the_session() {
+    let ep = sock("proto-errors");
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 1;
+    let handle = spawn(opts).expect("spawn");
+
+    // Drive the raw protocol: garbage, then a bad submit, then a good
+    // ping — all on one connection.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = ep.connect().expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = BufReader::new(stream);
+    let mut line = String::new();
+    for (req, want) in [
+        ("{torn", "error"),
+        ("{\"op\":\"warp\"}", "error"),
+        (
+            "{\"op\":\"submit\",\"kernel\":\"cnk\",\"nodes\":2,\"seed\":1,\"ops\":[[\"no-such\"]]}",
+            "error",
+        ),
+        ("{\"op\":\"ping\"}", "pong"),
+    ] {
+        writeln!(w, "{req}").expect("write");
+        w.flush().expect("flush");
+        line.clear();
+        r.read_line(&mut line).expect("read");
+        let v = bench::monitor::parse_json(line.trim()).expect("parse");
+        assert_eq!(
+            v.get("event").and_then(|e| e.str()),
+            Some(want),
+            "request {req:?}"
+        );
+    }
+    writeln!(w, "{}", "{\"op\":\"shutdown\"}").expect("write");
+    w.flush().expect("flush");
+    line.clear();
+    r.read_line(&mut line).expect("read");
+    drop((r, w));
+    handle.join().expect("join");
+}
+
+#[test]
+fn monitor_stream_is_tailable_while_serving() {
+    let ep = sock("monitor");
+    let mon_path: PathBuf =
+        std::env::temp_dir().join(format!("bgserve-test-{}-monitor.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&mon_path);
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 2;
+    opts.monitor =
+        Some(bench::monitor::Monitor::create(&mon_path, "bgserve", true).expect("monitor"));
+    let handle = spawn(opts).expect("spawn");
+
+    let mut c = Client::connect(&ep).expect("connect");
+    for seed in 0..3 {
+        c.submit(CheckKernel::Cnk, MODES[0], &small_program(seed))
+            .expect("submit");
+    }
+    let text = std::fs::read_to_string(&mon_path).expect("read monitor");
+    let snap = bench::monitor::last_snapshot(&text).expect("snapshot");
+    assert_eq!(snap.path_num(&["done"]), Some(3.0));
+    assert_eq!(snap.path_num(&["total"]), Some(3.0));
+    assert_eq!(snap.get("bench").and_then(|b| b.str()), Some("bgserve"));
+    assert_eq!(bench::monitor::malformed_snapshots(&text), 0);
+    // The snapshot renders through the bgtop path without panicking.
+    let frame = bench::monitor::render_snapshot(&snap, 4);
+    assert!(frame.contains("bgserve"), "{frame}");
+
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+    let _ = std::fs::remove_file(&mon_path);
+}
+
+#[test]
+fn persistent_cache_survives_a_server_restart() {
+    let ep = sock("persist");
+    let dir = std::env::temp_dir().join(format!("bgserve-test-{}-cache", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = small_program(0x5151);
+
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 1;
+    opts.cache_dir = Some(dir.clone());
+    let handle = spawn(opts).expect("spawn");
+    let mut c = Client::connect(&ep).expect("connect");
+    let first = c.submit(CheckKernel::Cnk, MODES[0], &p).expect("first");
+    assert!(!first.cached);
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+
+    // A brand-new server over the same cache dir answers from disk.
+    let mut opts = ServeOpts::new(ep.clone());
+    opts.threads = 1;
+    opts.cache_dir = Some(dir.clone());
+    opts.paranoid = true;
+    let handle = spawn(opts).expect("respawn");
+    let mut c = Client::connect(&ep).expect("connect");
+    let second = c.submit(CheckKernel::Cnk, MODES[0], &p).expect("second");
+    assert!(second.cached, "disk tier must survive the restart");
+    assert_eq!(second.paranoid, "ok");
+    assert_eq!(second.triple(), first.triple());
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -26,6 +26,48 @@ impl UnitStatus {
     pub fn usable(self) -> bool {
         !matches!(self, UnitStatus::Absent)
     }
+
+    /// Stable numeric code for digest folding.
+    fn code(self) -> u64 {
+        match self {
+            UnitStatus::Present => 0,
+            UnitStatus::Absent => 1,
+            UnitStatus::Broken => 2,
+        }
+    }
+}
+
+/// FNV-1a folding over 64-bit words, for the semantic config digests
+/// that key memoized results ([`MachineConfig::semantic_digest`],
+/// [`crate::fault::FaultSchedule::digest`]). Same constants as
+/// [`crate::rng::fnv1a`], widened to one multiply per word.
+#[derive(Clone, Copy, Debug)]
+pub struct DigestFold(u64);
+
+impl DigestFold {
+    pub fn new() -> DigestFold {
+        DigestFold(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn word(&mut self, v: u64) -> &mut DigestFold {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        self
+    }
+
+    /// Fold a float by its bit pattern (bit-exact, no rounding).
+    pub fn f64(&mut self, v: f64) -> &mut DigestFold {
+        self.word(v.to_bits())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for DigestFold {
+    fn default() -> DigestFold {
+        DigestFold::new()
+    }
 }
 
 /// How physical addresses map onto the L2 cache banks (§III: "L2 Cache
@@ -133,6 +175,33 @@ impl ChipConfig {
             l3_unit: UnitStatus::Broken,
             ..ChipConfig::default()
         }
+    }
+
+    /// Fold every behavior-determining chip parameter into `h` (part of
+    /// [`MachineConfig::semantic_digest`]).
+    fn fold(&self, h: &mut DigestFold) {
+        h.word(self.cores as u64)
+            .word(self.threads_per_core as u64)
+            .word(self.dram_bytes)
+            .word(self.l1_bytes)
+            .word(self.l2_bytes)
+            .word(self.l3_bytes)
+            .word(self.l2_banks as u64)
+            .word(match self.l2_bank_map {
+                L2BankMap::Interleaved => 0,
+                L2BankMap::Blocked => 1,
+                L2BankMap::ConflictStress => 2,
+            })
+            .word(self.tlb_entries as u64)
+            .word(self.dac_pairs as u64)
+            .word(self.dram_refresh_interval)
+            .word(self.dram_refresh_stall_max)
+            .word(self.torus_unit.code())
+            .word(self.collective_unit.code())
+            .word(self.barrier_unit.code())
+            .word(self.dma_unit.code())
+            .word(self.l3_unit.code())
+            .word(self.fpu_unit.code());
     }
 }
 
@@ -420,6 +489,38 @@ impl MachineConfig {
         self.nodes.div_ceil(self.io_ratio)
     }
 
+    /// Digest of the machine *shape*: every parameter that can change
+    /// simulated behavior (chip geometry and unit health, node count,
+    /// torus dimensions, pset ratio, link timings). This is the
+    /// `config` component of a memoization key — two configs with equal
+    /// digests produce bit-identical runs for the same (seed, program,
+    /// faults).
+    ///
+    /// Deliberately **excluded**, because each is proven digest-neutral
+    /// by the differential checker (or is pure host-side
+    /// observability): `seed` and `faults` (separate key components),
+    /// `fast_path`, `engine_backend`, `closed_form_noise`,
+    /// `epoch_fast_forward`, `lookahead`, `compact_min_dead`,
+    /// `event_capacity`, `eager_layout`, and the trace/telemetry/
+    /// profiler toggles. Folding those in would fragment a result cache
+    /// across equivalent modes for no behavioral difference.
+    pub fn semantic_digest(&self) -> u64 {
+        let mut h = DigestFold::new();
+        self.chip.fold(&mut h);
+        let (x, y, z) = self.torus_dims;
+        h.word(self.nodes as u64)
+            .word(x as u64)
+            .word(y as u64)
+            .word(z as u64)
+            .word(self.io_ratio as u64)
+            .f64(self.torus_link_mbs)
+            .f64(self.torus_hop_ns)
+            .f64(self.collective_mbs)
+            .f64(self.collective_stage_ns)
+            .f64(self.barrier_ns);
+        h.finish()
+    }
+
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         let (x, y, z) = self.torus_dims;
@@ -546,6 +647,41 @@ mod tests {
         assert_eq!(EngineBackend::Calendar.label(), "calendar");
         let bad = MachineConfig::default().with_compact_min_dead(0);
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn semantic_digest_tracks_shape_not_tuning() {
+        let base = MachineConfig::nodes(8);
+        let d = base.semantic_digest();
+        assert_eq!(d, MachineConfig::nodes(8).semantic_digest());
+        // Digest-neutral knobs do not move the digest...
+        assert_eq!(
+            d,
+            MachineConfig::nodes(8)
+                .with_seed(999)
+                .with_fast_path(false)
+                .with_engine_backend(EngineBackend::Heap)
+                .with_closed_form_noise(false)
+                .with_telemetry()
+                .with_trace()
+                .with_eager_layout(true)
+                .with_lookahead(17)
+                .semantic_digest()
+        );
+        // ...but every shape change does.
+        assert_ne!(d, MachineConfig::nodes(4).semantic_digest());
+        let mut c = MachineConfig::nodes(8);
+        c.io_ratio = 32;
+        assert_ne!(d, c.semantic_digest());
+        let mut c = MachineConfig::nodes(8);
+        c.torus_link_mbs = 850.0;
+        assert_ne!(d, c.semantic_digest());
+        let mut c = MachineConfig::nodes(8);
+        c.chip.threads_per_core = 3;
+        assert_ne!(d, c.semantic_digest());
+        let mut c = MachineConfig::nodes(8);
+        c.chip.l3_unit = UnitStatus::Broken;
+        assert_ne!(d, c.semantic_digest());
     }
 
     #[test]

@@ -584,7 +584,11 @@ impl Engine {
     /// accounting hook behind `Machine::resident_bytes_estimate`.
     pub fn resident_bytes(&self) -> usize {
         self.queues.capacity() * std::mem::size_of::<DomainQueue>()
-            + self.queues.iter().map(|q| q.resident_bytes()).sum::<usize>()
+            + self
+                .queues
+                .iter()
+                .map(|q| q.resident_bytes())
+                .sum::<usize>()
             + self.heads.capacity() * std::mem::size_of::<Reverse<(Cycle, u64, u32)>>()
             + self.slots.capacity() * std::mem::size_of::<Option<SlabEntry>>()
             + self.free.capacity() * std::mem::size_of::<u32>()
@@ -1291,8 +1295,24 @@ mod tests {
         let seq = hh.seq();
         heap.decommit(hh);
         cal.decommit(hc);
-        heap.restore(1, at, seq, EvKind::Kernel { node: 1, tag: 9_999 });
-        cal.restore(1, at, seq, EvKind::Kernel { node: 1, tag: 9_999 });
+        heap.restore(
+            1,
+            at,
+            seq,
+            EvKind::Kernel {
+                node: 1,
+                tag: 9_999,
+            },
+        );
+        cal.restore(
+            1,
+            at,
+            seq,
+            EvKind::Kernel {
+                node: 1,
+                tag: 9_999,
+            },
+        );
         loop {
             let a = heap.pop();
             let b = cal.pop();
@@ -1318,7 +1338,13 @@ mod tests {
         let n = CAL_SPARSE_KEYS as u64 + 16;
         let ats: Vec<u64> = (0..n).map(|i| i * span * 4).collect();
         for (i, &at) in ats.iter().enumerate() {
-            e.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
+            e.schedule(
+                at,
+                EvKind::Kernel {
+                    node: 0,
+                    tag: i as u64,
+                },
+            );
         }
         let mut popped = Vec::new();
         while let Some(ev) = e.pop() {
@@ -1341,8 +1367,20 @@ mod tests {
         let span = CAL_INIT_WIDTH * CAL_BUCKETS as u64;
         let mut ats: Vec<u64> = (0..CAL_SPARSE_KEYS as u64).map(|i| i * span).collect();
         for (i, &at) in ats.iter().enumerate() {
-            e.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
-            h.schedule(at, EvKind::Kernel { node: 0, tag: i as u64 });
+            e.schedule(
+                at,
+                EvKind::Kernel {
+                    node: 0,
+                    tag: i as u64,
+                },
+            );
+            h.schedule(
+                at,
+                EvKind::Kernel {
+                    node: 0,
+                    tag: i as u64,
+                },
+            );
         }
         // A sparse calendar's only key storage is its overflow heap, so
         // its heap bytes match the heap backend's; a materialized ring
@@ -1367,7 +1405,13 @@ mod tests {
         let mut e = Engine::with_config(1, 0, EngineBackend::Calendar, 64);
         // An early key anchors the window at 0 so the far cluster stays
         // in overflow until it drains.
-        e.schedule(1, EvKind::Kernel { node: 0, tag: 9_999 });
+        e.schedule(
+            1,
+            EvKind::Kernel {
+                node: 0,
+                tag: 9_999,
+            },
+        );
         let base = CAL_INIT_WIDTH * CAL_BUCKETS as u64 * 10;
         let n = CAL_BUCKETS as u64 * 8 + 64;
         for i in 0..n {

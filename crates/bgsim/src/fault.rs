@@ -226,6 +226,22 @@ impl FaultSchedule {
         Ok(FaultSchedule { events })
     }
 
+    /// Digest of the schedule: every event's (cycle, node, kind, arg)
+    /// folded in order. The `faults` component of a memoization key —
+    /// an empty schedule has a stable digest of its own, so fault-free
+    /// jobs key consistently.
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::config::DigestFold::new();
+        h.word(self.events.len() as u64);
+        for ev in &self.events {
+            h.word(ev.at)
+                .word(ev.node as u64)
+                .word(ev.kind.code() as u64)
+                .word(ev.arg);
+        }
+        h.finish()
+    }
+
     /// The highest node index referenced (for config validation).
     pub fn max_node(&self) -> Option<u32> {
         self.events.iter().map(|e| e.node).max()
@@ -291,6 +307,32 @@ mod tests {
             assert_eq!(FaultKind::parse(k.name()), Some(k));
         }
         assert_eq!(FaultKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn schedule_digest_is_order_and_content_sensitive() {
+        let mut a = FaultSchedule::default();
+        let empty = a.digest();
+        assert_eq!(empty, FaultSchedule::default().digest());
+        a.push(FaultEvent {
+            at: 100,
+            node: 0,
+            kind: FaultKind::TorusDrop,
+            arg: 5,
+        });
+        assert_ne!(a.digest(), empty);
+        let mut b = FaultSchedule::default();
+        b.push(FaultEvent {
+            at: 100,
+            node: 0,
+            kind: FaultKind::TorusDrop,
+            arg: 6,
+        });
+        assert_ne!(a.digest(), b.digest());
+        // Same events, same digest.
+        let mut c = FaultSchedule::default();
+        c.push(a.events[0]);
+        assert_eq!(a.digest(), c.digest());
     }
 
     #[test]

@@ -366,12 +366,7 @@ impl Machine {
         // Live-thread counter vs a full recount: the executor maintains
         // the O(1) counter at exit transitions, so drift means a state
         // write bypassed them.
-        let recount = self
-            .sc
-            .threads
-            .iter()
-            .filter(|t| t.state.is_live())
-            .count();
+        let recount = self.sc.threads.iter().filter(|t| t.state.is_live()).count();
         if recount != self.sc.live_threads() {
             v.push(format!(
                 "live-thread counter {} != recount {recount}",
@@ -692,7 +687,11 @@ impl Machine {
             let busy = {
                 let t = &mut self.sc.threads[s.tid.idx()];
                 match t.state {
-                    ThreadState::Running { gen, until, started } if gen == s.gen => {
+                    ThreadState::Running {
+                        gen,
+                        until,
+                        started,
+                    } if gen == s.gen => {
                         debug_assert_eq!(until, s.until);
                         let busy = until.saturating_sub(started);
                         t.stats.busy_cycles += busy;

@@ -941,7 +941,10 @@ impl SimCore {
             .iter()
             .map(|(_, e)| e.msg.payload.capacity())
             .sum::<usize>();
-        total += spine(self.proc_threads.capacity(), std::mem::size_of::<Vec<Tid>>());
+        total += spine(
+            self.proc_threads.capacity(),
+            std::mem::size_of::<Vec<Tid>>(),
+        );
         total += self
             .proc_threads
             .iter()

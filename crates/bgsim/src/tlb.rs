@@ -316,8 +316,14 @@ mod tests {
     fn base_map_shared_and_scanned_first() {
         use std::sync::Arc;
         let map: Arc<[TlbEntry]> = vec![
-            TlbEntry { pinned: true, ..e(0, 0, 16 << 20) },
-            TlbEntry { pinned: true, ..e(16 << 20, 64 << 20, 1 << 20) },
+            TlbEntry {
+                pinned: true,
+                ..e(0, 0, 16 << 20)
+            },
+            TlbEntry {
+                pinned: true,
+                ..e(16 << 20, 64 << 20, 1 << 20)
+            },
         ]
         .into();
         Tlb::validate_map(&map, 4).unwrap();
@@ -346,8 +352,11 @@ mod tests {
     #[test]
     fn base_map_counts_against_capacity() {
         use std::sync::Arc;
-        let map: Arc<[TlbEntry]> =
-            vec![TlbEntry { pinned: true, ..e(0, 0, 1 << 20) }].into();
+        let map: Arc<[TlbEntry]> = vec![TlbEntry {
+            pinned: true,
+            ..e(0, 0, 1 << 20)
+        }]
+        .into();
         let mut t = Tlb::new(2);
         t.install_base(map).unwrap();
         t.fill(e(1 << 20, 1 << 20, 1 << 20)).unwrap();

@@ -6,8 +6,8 @@ use std::collections::HashMap;
 
 use bgsim::chip;
 use bgsim::engine::EvHandle;
-use bgsim::idmap::IdMap;
 use bgsim::fault::{FaultEvent, FaultKind};
+use bgsim::idmap::IdMap;
 use bgsim::machine::{
     BlockKind, BootReport, CommCaps, JobMap, Kernel, LaunchError, MemOpResult, NetMsg, RankInfo,
     SimCore, SyscallAction, Workload, WorkloadFactory, IPI_GUARD_REPOSITION,
@@ -319,9 +319,8 @@ impl Cnk {
             let Some(&first) = proc.cores.first() else {
                 return Ok(());
             };
-            Tlb::validate_map(&map, sc.tlbs[first.idx()].capacity()).map_err(|e| {
-                LaunchError::NoMemory(format!("TLB pin failed on {first}: {e:?}"))
-            })?;
+            Tlb::validate_map(&map, sc.tlbs[first.idx()].capacity())
+                .map_err(|e| LaunchError::NoMemory(format!("TLB pin failed on {first}: {e:?}")))?;
             let shared: std::sync::Arc<[TlbEntry]> = map.into();
             for &core in &proc.cores {
                 sc.tlbs[core.idx()]
@@ -1421,7 +1420,10 @@ impl Kernel for Cnk {
         }
         let (cost, src_name) = {
             let src = &self.cfg.injected_noise[src_idx];
-            (src.cost(self.noise_rng.get(&sc.hub, node.0 as u64)), src.name)
+            (
+                src.cost(self.noise_rng.get(&sc.hub, node.0 as u64)),
+                src.name,
+            )
         };
         let core = sc.core_of(node, core_local);
         sc.tel.count(sc.tel.ids.daemon_wakes, Slot::Core(core.0), 1);
@@ -1668,7 +1670,11 @@ impl Kernel for Cnk {
             + self.pending_io.resident_bytes()
             + self.ion_busy_until.capacity() * std::mem::size_of::<u64>()
             + self.ras_log.capacity() * std::mem::size_of::<RasRecord>()
-            + self.served.values().map(|r| r.capacity() + 48).sum::<usize>()
+            + self
+                .served
+                .values()
+                .map(|r| r.capacity() + 48)
+                .sum::<usize>()
     }
 
     fn comm_caps(&self, _sc: &SimCore, _tid: Tid) -> CommCaps {

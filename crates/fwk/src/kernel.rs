@@ -340,7 +340,8 @@ impl Fwk {
         self.dirty_bytes[node.idx()] =
             self.dirty_bytes[node.idx()].saturating_add(req.outbound_bytes());
         let payload = req.outbound_bytes() + req.inbound_bytes();
-        let mut c = IO_BASE + payload / 4 + ciod::vfs_jitter(self.io_rng.get(&sc.hub, node.0 as u64));
+        let mut c =
+            IO_BASE + payload / 4 + ciod::vfs_jitter(self.io_rng.get(&sc.hub, node.0 as u64));
         if matches!(
             req,
             SysReq::Open { .. }
@@ -639,9 +640,8 @@ impl Kernel for Fwk {
                 let mut best_q = usize::MAX;
                 for local in 0..sc.cfg.chip.cores {
                     let c = sc.core_of(node, local);
-                    let q =
-                        self.ready.get(c.0 as usize).map_or(0, |q| q.len())
-                            + usize::from(!sc.core_idle(c));
+                    let q = self.ready.get(c.0 as usize).map_or(0, |q| q.len())
+                        + usize::from(!sc.core_idle(c));
                     if q < best_q {
                         best_q = q;
                         best = c;
