@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Service smoke: boot bgserve, submit the same pinned-seed job twice,
 # and assert the second answer is a cache hit with a bit-identical
-# digest — confirmed by the server's --paranoid re-run. Then run the
-# in-process selfcheck (4 concurrent sessions differentially compared
-# against one-shot oracle runs) and verify the live monitor stream is
-# renderable by bgtop:
+# digest — confirmed by the server's --paranoid re-run. Then exercise
+# the live-job path (a tight --timeout-cycles budget must yield a
+# "timeout" reply that is never memoized, with the server still
+# serving), render the monitor stream — state-monitor tree included —
+# through bgtop, and run the in-process selfcheck (4 concurrent
+# sessions differentially compared against one-shot oracle runs):
 #
 #   ./ci/serve_smoke.sh [artifacts-dir]
 set -euo pipefail
@@ -54,9 +56,45 @@ echo "$second" | tee "$out/second.json"
   || { echo "FAIL: paranoid re-run did not confirm the cached digest" >&2; exit 1; }
 echo "serve smoke OK: pinned-seed job twice, second from cache, digest bit-identical"
 
-# 3) The monitor stream the server published renders through bgtop.
+# 3) The live-job leg: a fresh-seed job with an impossible cycle budget
+#    must come back "timeout", must NOT be memoized (the follow-up
+#    submission of the same job is a fresh run, and only then a cache
+#    hit), and the server keeps serving normal jobs on the same socket.
+to=$("$bin" submit --listen "unix:$sock" --gen-seed 515151 --kernel fwk \
+  --timeout-cycles 1 --json)
+echo "$to" | tee "$out/timeout.json"
+[ "$(field "$to" outcome)" = "timeout" ] \
+  || { echo "FAIL: tight cycle budget did not time out" >&2; exit 1; }
+[ "$(field "$to" cached)" = "false" ] \
+  || { echo "FAIL: timed-out job answered from cache" >&2; exit 1; }
+retry=$("$bin" submit --listen "unix:$sock" --gen-seed 515151 --kernel fwk --json)
+echo "$retry" | tee "$out/timeout-retry.json"
+[ "$(field "$retry" outcome)" = "completed" ] \
+  || { echo "FAIL: retry after timeout did not complete" >&2; exit 1; }
+[ "$(field "$retry" cached)" = "false" ] \
+  || { echo "FAIL: truncated timeout triple was memoized (poisoned cache)" >&2; exit 1; }
+replay=$("$bin" submit --listen "unix:$sock" --gen-seed 515151 --kernel fwk --json)
+[ "$(field "$replay" cached)" = "true" ] \
+  || { echo "FAIL: completed retry did not enter the cache" >&2; exit 1; }
+[ "$(field "$retry" digest)" = "$(field "$replay" digest)" ] \
+  || { echo "FAIL: cached replay digest differs from the fresh retry" >&2; exit 1; }
+status=$("$bin" status --listen "unix:$sock")
+grep -q "1 timeouts" <<<"$status" \
+  || { echo "FAIL: status did not count the timeout: $status" >&2; exit 1; }
+grep -q "0 session drops" <<<"$status" \
+  || { echo "FAIL: clean one-shot submits were miscounted as drops: $status" >&2; exit 1; }
+echo "serve smoke OK: timeout reported, never cached, server kept serving"
+
+# 4) The monitor stream the server published renders through bgtop,
+#    including the per-session state-monitor tree.
 if [ -x "$bgtop" ]; then
   "$bgtop" "$out/monitor.jsonl" --once --nodes 4 | tee "$out/bgtop-frame.txt" | head -5
+  "$bgtop" "$out/monitor.jsonl" --once --sessions --nodes 4 > "$out/bgtop-sessions.txt"
+  grep -q "sessions:" "$out/bgtop-sessions.txt" \
+    || { echo "FAIL: bgtop --sessions printed no session section" >&2; exit 1; }
+  grep -q "jobs/" "$out/bgtop-sessions.txt" \
+    || { echo "FAIL: bgtop --sessions shows no job nodes" >&2; exit 1; }
+  echo "serve smoke OK: bgtop --sessions renders the state-monitor tree"
 else
   echo "note: $bgtop not built, skipping render check"
 fi
@@ -66,9 +104,10 @@ fi
 wait "$server"
 trap - EXIT
 
-# 4) The service leg of the differential matrix: 4 concurrent sessions,
+# 5) The service leg of the differential matrix: 4 concurrent sessions,
 #    modes swept across the matrix, every triple compared against an
-#    in-process oracle run, every resubmission paranoid-verified.
+#    in-process oracle run, every resubmission paranoid-verified, plus
+#    the built-in timeout/no-poisoned-cache leg.
 "$bin" selfcheck --sessions 4 --jobs 2 --threads 4 | tee "$out/selfcheck.txt"
 
-echo "serve smoke OK: cache identity + paranoid + concurrent selfcheck clean"
+echo "serve smoke OK: cache identity + paranoid + live jobs + concurrent selfcheck clean"

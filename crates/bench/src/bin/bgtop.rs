@@ -1,15 +1,18 @@
 //! `bgtop` — live state monitor for running benchmarks.
 //!
-//! Usage: `bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>]
-//! [--deadline-ms <n>]`
+//! Usage: `bgtop <monitor.jsonl> [--once] [--sessions] [--interval-ms <n>]
+//! [--nodes <n>] [--deadline-ms <n>]`
 //!
 //! Attach a benchmark with `--monitor-out <path>` (or point at a
 //! `bgserve --monitor-out` stream); the writer publishes one JSON line
 //! per finished work unit (shard, kernel, message size, service job).
 //! `bgtop` tails that file and renders the most recent snapshot as a
 //! per-subsystem cycle-accounting table plus the hottest nodes. With
-//! `--once` it renders a single frame and exits (the CI demo mode);
-//! otherwise it polls until the snapshot reports all units done.
+//! `--once` it waits (up to the deadline) for the first complete frame,
+//! renders it, and exits (the CI demo mode); otherwise it polls until
+//! the snapshot reports all units done. `--sessions` additionally
+//! renders the embedded state-monitor tree (`bgserve`'s live
+//! `server → sessions/<id> → jobs/<id>` view) under each frame.
 //!
 //! Robustness rules, in order:
 //! * a torn final line (a writer mid-append on a non-atomic filesystem)
@@ -22,11 +25,12 @@
 //!   30 000), `bgtop` exits nonzero instead of looping — a typo'd path,
 //!   a dead writer, or a seq-less stream cannot hang a CI job.
 
-use bench::monitor::{last_snapshot, malformed_snapshots, render_snapshot};
+use bench::monitor::{last_snapshot, malformed_snapshots, render_snapshot, render_state};
 
 struct Args {
     path: std::path::PathBuf,
     once: bool,
+    sessions: bool,
     interval_ms: u64,
     top_nodes: usize,
     deadline_ms: u64,
@@ -34,7 +38,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bgtop <monitor.jsonl> [--once] [--interval-ms <n>] [--nodes <n>] \
+        "usage: bgtop <monitor.jsonl> [--once] [--sessions] [--interval-ms <n>] [--nodes <n>] \
          [--deadline-ms <n>]"
     );
     std::process::exit(2);
@@ -43,6 +47,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut path = None;
     let mut once = false;
+    let mut sessions = false;
     let mut interval_ms = 500u64;
     let mut top_nodes = 8usize;
     let mut deadline_ms = 30_000u64;
@@ -50,6 +55,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--once" => once = true,
+            "--sessions" => sessions = true,
             "--interval-ms" => {
                 let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
                     usage()
@@ -80,6 +86,7 @@ fn parse_args() -> Args {
     Args {
         path,
         once,
+        sessions,
         interval_ms,
         top_nodes,
         deadline_ms,
@@ -112,6 +119,12 @@ fn main() {
                     last_seq = seq;
                     waited_ms = 0;
                     print!("{}", render_snapshot(&snap, args.top_nodes));
+                    if args.sessions {
+                        match snap.get("state") {
+                            Some(state) => print!("\nsessions:\n{}", render_state(state)),
+                            None => println!("\nsessions: (no state tree in this stream)"),
+                        }
+                    }
                     println!();
                 }
                 let done = snap.path_num(&["done"]).unwrap_or(0.0);
@@ -133,14 +146,13 @@ fn main() {
                     }
                 }
             }
-            None if args.once => {
-                eprintln!("bgtop: no complete snapshot in {}", args.path.display());
-                std::process::exit(1);
-            }
             None => {
                 // File absent, still empty, or all lines skipped: keep
                 // waiting up to the deadline so a typo'd path or a
-                // seq-less stream cannot hang forever.
+                // seq-less stream cannot hang forever. `--once` waits
+                // here too — it used to exit(1) immediately, so a
+                // one-shot render racing a live writer showed nothing;
+                // now it renders the first complete frame, then exits.
                 waited_ms += args.interval_ms;
                 if waited_ms > args.deadline_ms {
                     eprintln!(

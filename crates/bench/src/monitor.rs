@@ -19,11 +19,83 @@
 //! therefore *not* deterministic — only the final line (all shards
 //! done) is, which is what the CI demo checks.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use bgsim::telemetry::{json_escape, ProfileSnapshot};
 
 use crate::report::{write_atomic, SCHEMA_VERSION};
+
+/// One node of a live state-monitor tree (the Ouisync `state_monitor`
+/// idiom): named values plus named children, shared across threads.
+/// `bgserve` hangs a `server → sessions/<id> → jobs/<id>` tree off its
+/// monitor and embeds a rendering of it in every published snapshot, so
+/// `bgtop --sessions` can show what every session is doing *right now*.
+///
+/// Cheap to clone (it is an `Arc`); locks are taken per node,
+/// parent-before-child only, so concurrent writers cannot deadlock.
+#[derive(Clone, Default)]
+pub struct StateNode(Arc<Mutex<NodeInner>>);
+
+#[derive(Default)]
+struct NodeInner {
+    values: BTreeMap<String, String>,
+    children: BTreeMap<String, StateNode>,
+}
+
+impl StateNode {
+    pub fn new() -> StateNode {
+        StateNode::default()
+    }
+
+    /// Fetch-or-create a child node.
+    pub fn child(&self, name: &str) -> StateNode {
+        let mut inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        inner.children.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Drop a child subtree (e.g. a session GC'd after close).
+    pub fn remove_child(&self, name: &str) {
+        let mut inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        inner.children.remove(name);
+    }
+
+    /// Set one live value on this node.
+    pub fn set(&self, key: &str, value: impl std::fmt::Display) {
+        let mut inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        inner.values.insert(key.to_string(), value.to_string());
+    }
+
+    /// Render the subtree as one JSON object:
+    /// `{"values":{...},"children":{"name":{...}}}` with keys in sorted
+    /// order (BTreeMap), so renders are stable for tests and diffs.
+    pub fn to_json(&self) -> String {
+        // Snapshot this node under its lock, then recurse *after*
+        // releasing it — child locks are only ever taken while no
+        // ancestor lock is held by this walker.
+        let (values, children) = {
+            let inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            (inner.values.clone(), inner.children.clone())
+        };
+        let mut out = String::from("{\"values\":{");
+        for (i, (k, v)) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("},\"children\":{");
+        for (i, (k, c)) in children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), c.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+}
 
 /// A JSONL snapshot publisher bound to a `--monitor-out` path. Lines
 /// accumulate in memory and every publish rewrites the file atomically,
@@ -81,6 +153,43 @@ impl Monitor {
             eprintln!("warning: monitor snapshot write failed; live view will be stale");
         }
     }
+
+    /// [`Monitor::publish`] with a state-monitor tree embedded: the
+    /// snapshot line gains a `"state"` object rendering `state` at
+    /// publish time. `None` degrades to a plain snapshot.
+    pub fn publish_with_state(
+        &mut self,
+        done: usize,
+        total: usize,
+        snap: &ProfileSnapshot,
+        state: Option<&StateNode>,
+    ) {
+        self.seq += 1;
+        let line = snapshot_json_with_state(&self.bench, self.seq, done, total, snap, state);
+        self.lines.push_str(&line);
+        self.lines.push('\n');
+        if write_atomic(&self.path, self.lines.as_bytes()).is_err() && !self.warned {
+            self.warned = true;
+            eprintln!("warning: monitor snapshot write failed; live view will be stale");
+        }
+    }
+
+    /// Append one *event* line — a complete JSON object carrying a
+    /// string `"event"` field (e.g. `{"event":"session-drop",...}`).
+    /// Event lines are not snapshots: `last_snapshot` skips them and
+    /// `malformed_snapshots` does not count them.
+    pub fn event(&mut self, line: &str) {
+        debug_assert!(
+            parse_json(line).is_ok_and(|v| v.get("event").and_then(Json::str).is_some()),
+            "monitor events must be JSON objects with a string \"event\" field"
+        );
+        self.lines.push_str(line);
+        self.lines.push('\n');
+        if write_atomic(&self.path, self.lines.as_bytes()).is_err() && !self.warned {
+            self.warned = true;
+            eprintln!("warning: monitor snapshot write failed; live view will be stale");
+        }
+    }
 }
 
 /// The most recent *renderable* snapshot in a monitor file: the last
@@ -98,12 +207,16 @@ pub fn last_snapshot(text: &str) -> Option<Json> {
 /// How many lines of `text` parse as JSON but are missing the numeric
 /// `seq`/`total` a snapshot must carry — `bgtop` warns on these instead
 /// of silently rendering a stale frame forever (a missing `seq` used to
-/// default to 0 and pin the display).
+/// default to 0 and pin the display). Event lines (a string `"event"`
+/// field — `session-drop` and friends) are a different record type in
+/// the same stream, not malformed snapshots.
 pub fn malformed_snapshots(text: &str) -> usize {
     text.lines()
         .filter(|l| {
-            parse_json(l.trim())
-                .is_ok_and(|v| v.path_num(&["seq"]).is_none() || v.path_num(&["total"]).is_none())
+            parse_json(l.trim()).is_ok_and(|v| {
+                v.get("event").and_then(Json::str).is_none()
+                    && (v.path_num(&["seq"]).is_none() || v.path_num(&["total"]).is_none())
+            })
         })
         .count()
 }
@@ -115,6 +228,19 @@ pub fn snapshot_json(
     done: usize,
     total: usize,
     snap: &ProfileSnapshot,
+) -> String {
+    snapshot_json_with_state(bench, seq, done, total, snap, None)
+}
+
+/// [`snapshot_json`] plus an optional embedded state-monitor tree
+/// (rendered as a top-level `"state"` object).
+pub fn snapshot_json_with_state(
+    bench: &str,
+    seq: u64,
+    done: usize,
+    total: usize,
+    snap: &ProfileSnapshot,
+    state: Option<&StateNode>,
 ) -> String {
     let mut out = format!(
         "{{\"schema_version\":{SCHEMA_VERSION},\"bench\":\"{}\",\"seq\":{seq},\
@@ -147,7 +273,11 @@ pub fn snapshot_json(
             n.events, n.cycles, n.messages, n.peak_live_msgs
         ));
     }
-    out.push_str("]}}");
+    out.push_str("]}");
+    if let Some(state) = state {
+        out.push_str(&format!(",\"state\":{}", state.to_json()));
+    }
+    out.push('}');
     out
 }
 
@@ -433,6 +563,41 @@ pub fn render_snapshot(snap: &Json, top_nodes: usize) -> String {
     out
 }
 
+/// Render a parsed `"state"` tree (the [`StateNode::to_json`] shape) as
+/// an indented terminal view for `bgtop --sessions`:
+///
+/// ```text
+/// server  submitted=3 ...
+///   sessions/0  peer=open
+///     jobs/1  phase=running cycle=...
+/// ```
+pub fn render_state(state: &Json) -> String {
+    let mut out = String::new();
+    render_state_node("server", state, 0, &mut out);
+    out
+}
+
+fn render_state_node(name: &str, node: &Json, depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(name);
+    if let Some(Json::Obj(values)) = node.get("values") {
+        for (k, v) in values {
+            let rendered = match v {
+                Json::Str(s) => s.clone(),
+                Json::Num(n) => format!("{n}"),
+                other => format!("{other:?}"),
+            };
+            out.push_str(&format!("  {k}={rendered}"));
+        }
+    }
+    out.push('\n');
+    if let Some(Json::Obj(children)) = node.get("children") {
+        for (k, c) in children {
+            render_state_node(k, c, depth + 1, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +683,64 @@ mod tests {
         assert!(last_snapshot("{\"a\":1}\n{\"b\":2}\n").is_none());
         assert_eq!(malformed_snapshots("{\"a\":1}\n{\"b\":2}\n"), 2);
         assert!(last_snapshot("").is_none());
+    }
+
+    #[test]
+    fn state_tree_embeds_renders_and_survives_event_lines() {
+        let tree = StateNode::new();
+        tree.set("endpoint", "unix:/tmp/x.sock");
+        let s0 = tree.child("sessions/0");
+        s0.set("peer", "open");
+        let j1 = s0.child("jobs/1");
+        j1.set("phase", "running");
+        j1.set("cycle", 12_345u64);
+        // The embedded snapshot parses back and carries the tree.
+        let line = snapshot_json_with_state("bgserve", 1, 0, 1, &sample_snapshot(), Some(&tree));
+        let v = parse_json(&line).expect("line parses");
+        let state = v.get("state").expect("state section");
+        assert_eq!(
+            state
+                .get("children")
+                .and_then(|c| c.get("sessions/0"))
+                .and_then(|s| s.get("children"))
+                .and_then(|c| c.get("jobs/1"))
+                .and_then(|j| j.get("values"))
+                .and_then(|vals| vals.get("phase"))
+                .and_then(Json::str),
+            Some("running")
+        );
+        let view = render_state(state);
+        assert!(view.contains("sessions/0  peer=open"), "{view}");
+        assert!(view.contains("jobs/1"), "{view}");
+        assert!(view.contains("phase=running"), "{view}");
+        // Value updates are visible to later renders via the shared Arc.
+        j1.set("phase", "done");
+        let line2 = snapshot_json_with_state("bgserve", 2, 1, 1, &sample_snapshot(), Some(&tree));
+        assert!(line2.contains("\"phase\":\"done\""));
+        s0.remove_child("jobs/1");
+        let line3 = snapshot_json_with_state("bgserve", 3, 1, 1, &sample_snapshot(), Some(&tree));
+        assert!(!line3.contains("jobs/1"));
+        // Event lines interleaved with snapshots are neither snapshots
+        // nor malformed.
+        let text = format!("{line}\n{{\"event\":\"session-drop\",\"session\":0}}\n{line2}\n");
+        assert_eq!(last_snapshot(&text).unwrap().path_num(&["seq"]), Some(2.0));
+        assert_eq!(malformed_snapshots(&text), 0);
+    }
+
+    #[test]
+    fn monitor_event_lines_append_to_the_file() {
+        let dir = std::env::temp_dir().join(format!("bench_monitor_ev_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mon.jsonl");
+        let mut m = Monitor::create(&path, "bgserve", false).unwrap();
+        m.publish_with_state(0, 1, &sample_snapshot(), Some(&StateNode::new()));
+        m.event("{\"event\":\"session-drop\",\"session\":3,\"jobs_cancelled\":1}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(malformed_snapshots(&text), 0);
+        let snap = last_snapshot(&text).unwrap();
+        assert!(snap.get("state").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! leaked (futex waiters, pending CIOD replies, partition overlap).
 
 use bgsim::config::EngineBackend;
-use bgsim::machine::{Machine, RunOutcome};
-use bgsim::MachineConfig;
+use bgsim::machine::{LiveHook, Machine, ProgressSink, RunOutcome};
+use bgsim::{CancelToken, MachineConfig};
 
 use crate::program::Program;
 
@@ -148,6 +148,7 @@ fn outcome_label(out: &RunOutcome) -> String {
         RunOutcome::ReachedCycle { .. } => "bound".to_string(),
         RunOutcome::Deadlock { blocked, .. } => format!("deadlock/{}", blocked.len()),
         RunOutcome::Idle { .. } => "idle".to_string(),
+        RunOutcome::Cancelled { cause, .. } => cause.label().to_string(),
     }
 }
 
@@ -283,6 +284,86 @@ pub fn run_mode_with_profile(
         let snap = m.profile_snapshot();
         (r, snap)
     })
+}
+
+/// Live-run knobs for [`run_mode_live`]: everything optional, and
+/// `LiveOpts::default()` reproduces `run_mode_with_profile` exactly.
+#[derive(Clone, Default)]
+pub struct LiveOpts {
+    /// Shared cancel flag polled between events.
+    pub cancel: Option<CancelToken>,
+    /// Simulated-cycle budget for the run.
+    pub timeout_cycles: Option<u64>,
+    /// Wall-clock budget in milliseconds (the one non-deterministic
+    /// knob — timed-out results must not be memoized).
+    pub timeout_wall_ms: Option<u64>,
+    /// Progress-report cadence in simulated cycles (0/None = no
+    /// reports; cancel/deadline polling still runs).
+    pub progress_cycles: Option<u64>,
+}
+
+impl LiveOpts {
+    fn into_hook(self, sink: Option<Box<dyn ProgressSink>>) -> LiveHook {
+        let mut hook = LiveHook::new().with_interval(self.progress_cycles.unwrap_or(0));
+        hook.sink = sink;
+        hook.cancel = self.cancel;
+        hook.timeout_cycles = self.timeout_cycles;
+        hook.timeout_wall = self.timeout_wall_ms.map(std::time::Duration::from_millis);
+        hook
+    }
+}
+
+/// The steerable service entry: like [`run_mode_with_profile`], but the
+/// run can stream progress to `sink` and be stopped early by a cancel
+/// token or deadline. A cancelled/timed-out run returns a normal
+/// `Ok` record whose outcome is `cancelled`/`timeout`; its invariant
+/// sweep is skipped (quiescence assumptions do not hold mid-run) and
+/// its triple must never be treated as the job's canonical answer.
+pub fn run_mode_live(
+    p: &Program,
+    kernel: CheckKernel,
+    mode: Mode,
+    opts: LiveOpts,
+    sink: Option<Box<dyn ProgressSink>>,
+) -> Result<(RunRecord, bgsim::ProfileSnapshot), String> {
+    let mut m = build_machine(p, kernel, mode, false)?;
+    m.attach_live_hook(opts.into_hook(sink));
+    let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if mode.windowed {
+            m.run_windowed()
+        } else {
+            m.run()
+        }
+    })) {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return Err(format!(
+                "run panicked: {msg}\nflight recorder:\n{}",
+                m.flight_dump()
+            ));
+        }
+    };
+    let interrupted = matches!(out, RunOutcome::Cancelled { .. });
+    let rec = RunRecord {
+        kernel: kernel.label(),
+        mode: mode.label(),
+        outcome: outcome_label(&out),
+        final_cycle: out.at(),
+        digest: m.trace_digest(),
+        violations: if interrupted {
+            Vec::new()
+        } else {
+            m.check_invariants()
+        },
+        coverage: m.coverage_digest(),
+    };
+    let snap = m.profile_snapshot();
+    Ok((rec, snap))
 }
 
 /// Re-run two modes with retained traces and render where they first

@@ -6,6 +6,8 @@
 //!                  [--paranoid] [--monitor-out FILE] [--force]
 //! bgserve submit   --listen EP (--gen-seed N | --script FILE)
 //!                  [--kernel cnk|fwk] [--mode LABEL] [--json]
+//!                  [--timeout-cycles N] [--timeout-wall-ms N] [--progress N]
+//! bgserve cancel   --listen EP --job N
 //! bgserve ping     --listen EP
 //! bgserve status   --listen EP
 //! bgserve shutdown --listen EP
@@ -18,6 +20,7 @@
 use bench::monitor::Monitor;
 use bgcheck::program::{generate, Program};
 use bgcheck::runner::{CheckKernel, Mode, MODES};
+use bgserve::proto::LiveReq;
 use bgserve::selfcheck::{self, SelfcheckOpts};
 use bgserve::server::{serve, Endpoint, ServeOpts};
 use bgserve::Client;
@@ -33,7 +36,9 @@ fn usage() -> ! {
          [--cache-cap N]\n                [--cache-dir DIR] [--paranoid] \
          [--monitor-out FILE] [--force]\n  bgserve submit --listen EP \
          (--gen-seed N | --script FILE)\n                [--kernel cnk|fwk] \
-         [--mode LABEL] [--json]\n  bgserve ping|status|shutdown --listen EP\n  \
+         [--mode LABEL] [--json]\n                [--timeout-cycles N] \
+         [--timeout-wall-ms N] [--progress N]\n  bgserve cancel --listen EP \
+         --job N\n  bgserve ping|status|shutdown --listen EP\n  \
          bgserve selfcheck [--threads N] [--sessions N] [--jobs N] [--seed N]\n\
          \nEP is unix:PATH or tcp:HOST:PORT."
     );
@@ -95,6 +100,15 @@ impl Flags {
 
     fn has(&self, k: &str) -> bool {
         self.toggles.iter().any(|t| t == k)
+    }
+
+    /// An optional numeric flag; zero is rejected (the protocol treats
+    /// these knobs as "absent or a positive budget/interval").
+    fn opt_num(&self, k: &str) -> Option<u64> {
+        self.get(k).map(|v| match v.parse() {
+            Ok(0) | Err(_) => die(&format!("{k} must be a positive number, got {v:?}")),
+            Ok(n) => n,
+        })
     }
 
     fn endpoint(&self) -> Endpoint {
@@ -164,7 +178,16 @@ fn load_program(f: &Flags) -> Program {
 fn submit_cmd(args: &[String]) {
     let f = Flags::parse(
         args,
-        &["--listen", "--kernel", "--mode", "--gen-seed", "--script"],
+        &[
+            "--listen",
+            "--kernel",
+            "--mode",
+            "--gen-seed",
+            "--script",
+            "--timeout-cycles",
+            "--timeout-wall-ms",
+            "--progress",
+        ],
         &["--json"],
     );
     let kernel = match f.get("--kernel") {
@@ -177,8 +200,30 @@ fn submit_cmd(args: &[String]) {
         Some(m) => Mode::from_label(m).unwrap_or_else(|| die(&format!("unknown mode label {m:?}"))),
     };
     let program = load_program(&f);
+    let live = LiveReq {
+        timeout_cycles: f.opt_num("--timeout-cycles"),
+        timeout_wall_ms: f.opt_num("--timeout-wall-ms"),
+        progress_cycles: f.opt_num("--progress"),
+    };
     let mut c = Client::connect(&f.endpoint()).unwrap_or_else(|e| die(&e));
-    let r = c.submit(kernel, mode, &program).unwrap_or_else(|e| die(&e));
+    let r = c
+        .submit_live(kernel, mode, &program, live)
+        .unwrap_or_else(|e| die(&e));
+    for p in &r.progress {
+        let n = |k: &str| {
+            p.get(k)
+                .and_then(|x| x.str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        eprintln!(
+            "bgserve: progress: cycle {} events {} (+{} ev / +{} cy)",
+            n("cycle"),
+            n("events"),
+            n("d_events"),
+            n("d_cycles")
+        );
+    }
     for wmsg in &r.warnings {
         eprintln!("bgserve: warning: {wmsg}");
     }
@@ -206,6 +251,21 @@ fn submit_cmd(args: &[String]) {
     }
 }
 
+fn cancel_cmd(args: &[String]) {
+    let f = Flags::parse(args, &["--listen", "--job"], &[]);
+    let Some(job) = f.opt_num("--job") else {
+        die("cancel needs --job N");
+    };
+    let mut c = Client::connect(&f.endpoint()).unwrap_or_else(|e| die(&e));
+    let cancelled = c.cancel(job).unwrap_or_else(|e| die(&e));
+    if cancelled {
+        println!("job {job} cancelled");
+    } else {
+        println!("job {job} was not in flight (already finished, or unknown)");
+        std::process::exit(1);
+    }
+}
+
 fn simple_cmd(args: &[String], which: &str) {
     let f = Flags::parse(args, &["--listen"], &[]);
     let mut c = Client::connect(&f.endpoint()).unwrap_or_else(|e| die(&e));
@@ -219,14 +279,18 @@ fn simple_cmd(args: &[String], which: &str) {
             let n = |k: &str| v.path_num(&[k]).unwrap_or(f64::NAN);
             println!(
                 "submitted {} completed {} | cache: {} entries, {} hits, {} misses \
-                 | paranoid: {} checks, {} failures",
+                 | paranoid: {} checks, {} failures | live: {} cancelled, \
+                 {} timeouts, {} session drops",
                 n("submitted"),
                 n("completed"),
                 n("cache_entries"),
                 n("cache_hits"),
                 n("cache_misses"),
                 n("paranoid_checks"),
-                n("paranoid_failures")
+                n("paranoid_failures"),
+                n("cancelled"),
+                n("timeouts"),
+                n("session_drops")
             );
         }
         "shutdown" => {
@@ -258,6 +322,7 @@ fn main() {
     match sub.as_str() {
         "serve" => serve_cmd(rest),
         "submit" => submit_cmd(rest),
+        "cancel" => cancel_cmd(rest),
         "ping" | "status" | "shutdown" => simple_cmd(rest, sub),
         "selfcheck" => selfcheck_cmd(rest),
         _ => usage(),

@@ -27,6 +27,9 @@ pub struct JobResult {
     pub key: String,
     /// Telemetry snapshots streamed before the result.
     pub telemetry: Vec<Json>,
+    /// Mid-run `progress` events streamed before the result (only for
+    /// jobs submitted with `progress_cycles`).
+    pub progress: Vec<Json>,
     /// Non-fatal error events streamed before the result (e.g. a
     /// paranoid mismatch report).
     pub warnings: Vec<String>,
@@ -113,6 +116,18 @@ impl Client {
         }
     }
 
+    /// Cancel a job by server-assigned id (from any session). Returns
+    /// whether the server still had the job in flight — `false` means
+    /// it already finished (or never existed) and nothing was done.
+    pub fn cancel(&mut self, job: u64) -> Result<bool, String> {
+        self.send(&proto::cancel_line(job))?;
+        let v = self.read_event()?;
+        match Self::event_name(&v).as_str() {
+            "cancel-ack" => Ok(matches!(v.get("cancelled"), Some(Json::Bool(true)))),
+            other => Err(format!("expected cancel-ack, got {other:?}")),
+        }
+    }
+
     /// Submit one job and collect its event stream through `result`.
     /// Protocol `error` events before `accepted` are fatal; after it,
     /// they are collected as warnings (a paranoid mismatch report
@@ -123,7 +138,21 @@ impl Client {
         mode: Mode,
         p: &Program,
     ) -> Result<JobResult, String> {
-        self.send(&proto::submit_line(kernel, mode, p))?;
+        self.submit_live(kernel, mode, p, proto::LiveReq::default())
+    }
+
+    /// [`Client::submit`] with live-run knobs: cancellation deadlines
+    /// (`timeout_cycles` / `timeout_wall_ms`) and a `progress_cycles`
+    /// streaming interval. Interrupted jobs still return `Ok` — the
+    /// outcome string is `"cancelled"` or `"timeout"`.
+    pub fn submit_live(
+        &mut self,
+        kernel: CheckKernel,
+        mode: Mode,
+        p: &Program,
+        live: proto::LiveReq,
+    ) -> Result<JobResult, String> {
+        self.send(&proto::submit_line_live(kernel, mode, p, live))?;
         let first = self.read_event()?;
         let job = match Self::event_name(&first).as_str() {
             "accepted" => u64_field(&first, "job")?,
@@ -137,6 +166,7 @@ impl Client {
             other => return Err(format!("expected accepted, got {other:?}")),
         };
         let mut telemetry = Vec::new();
+        let mut progress = Vec::new();
         let mut warnings = Vec::new();
         loop {
             let v = self.read_event()?;
@@ -146,6 +176,7 @@ impl Client {
                         telemetry.push(s.clone());
                     }
                 }
+                "progress" => progress.push(v),
                 "error" => {
                     warnings.push(
                         v.get("detail")
@@ -174,6 +205,7 @@ impl Client {
                         paranoid: s("paranoid")?,
                         key: s("key")?,
                         telemetry,
+                        progress,
                         warnings,
                     });
                 }

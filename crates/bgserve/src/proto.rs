@@ -20,9 +20,25 @@
 //! or `{"events":[[at,node,"kind",arg],...]}`.
 //!
 //! Responses are event lines: `pong`, `status`, `shutting-down`,
-//! `error`, and for a submission `accepted` → optional `telemetry`
-//! (an embedded monitor snapshot, renderable by `bgtop`'s code) →
-//! `result`.
+//! `error`, and for a submission `accepted` → zero or more `progress`
+//! lines (when the submit asked for `progress_cycles`) → optional
+//! `telemetry` (an embedded monitor snapshot, renderable by `bgtop`'s
+//! code) → `result`.
+//!
+//! Live-job extensions (all optional on `submit`):
+//!
+//! ```text
+//! {"op":"submit",...,"timeout_cycles":"2000000","timeout_wall_ms":5000,
+//!  "progress_cycles":"100000"}
+//! {"op":"cancel","job":3}
+//! ```
+//!
+//! `cancel` targets an in-flight job id on any session of the server
+//! and answers `{"event":"cancel-ack","job":3,"cancelled":true|false}`
+//! (`false`: the job already finished or the id is unknown). A
+//! cancelled or timed-out submission still ends with a `result` line —
+//! `outcome` is `cancelled`/`timeout`, and the result is **never**
+//! memoized in the cache.
 //!
 //! All u64 values that must survive the round trip exactly (seeds,
 //! cycles, digests) are rendered as *strings* — JSON numbers pass
@@ -77,6 +93,26 @@ pub enum Request {
     Status,
     Shutdown,
     Submit(SubmitReq),
+    /// Cancel an in-flight job by server-assigned id.
+    Cancel { job: u64 },
+}
+
+/// Live-job knobs on a submission (all optional; the default is the
+/// fire-and-forget PR-9 behavior).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveReq {
+    /// Simulated-cycle budget for the run.
+    pub timeout_cycles: Option<u64>,
+    /// Wall-clock budget in milliseconds.
+    pub timeout_wall_ms: Option<u64>,
+    /// Stream a `progress` line every this many simulated cycles.
+    pub progress_cycles: Option<u64>,
+}
+
+impl LiveReq {
+    pub fn is_default(&self) -> bool {
+        *self == LiveReq::default()
+    }
 }
 
 /// A job submission, still in wire terms (faults unresolved).
@@ -88,6 +124,7 @@ pub struct SubmitReq {
     pub seed: u64,
     pub ops: Vec<POp>,
     pub faults: FaultSpec,
+    pub live: LiveReq,
 }
 
 impl SubmitReq {
@@ -202,6 +239,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => FaultSpec::None,
                 Some(f) => parse_faults(f)?,
             };
+            let mut live = LiveReq::default();
+            for (key, slot) in [
+                ("timeout_cycles", &mut live.timeout_cycles),
+                ("timeout_wall_ms", &mut live.timeout_wall_ms),
+                ("progress_cycles", &mut live.progress_cycles),
+            ] {
+                if let Some(raw) = v.get(key) {
+                    let n =
+                        parse_u64(raw).ok_or_else(|| format!("{key} must be a u64 if present"))?;
+                    if n == 0 {
+                        return Err(format!("{key} must be nonzero if present"));
+                    }
+                    *slot = Some(n);
+                }
+            }
             Ok(Request::Submit(SubmitReq {
                 kernel,
                 mode,
@@ -209,7 +261,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 seed,
                 ops,
                 faults,
+                live,
             }))
+        }
+        "cancel" => {
+            let job = u64_field(&v, "job")?;
+            Ok(Request::Cancel { job })
         }
         other => Err(format!("unknown op {other:?}")),
     }
@@ -217,6 +274,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 
 /// Render a submit request line (the client side of `parse_request`).
 pub fn submit_line(kernel: CheckKernel, mode: Mode, p: &Program) -> String {
+    submit_line_live(kernel, mode, p, LiveReq::default())
+}
+
+/// [`submit_line`] with the live-job knobs rendered when present.
+pub fn submit_line_live(kernel: CheckKernel, mode: Mode, p: &Program, live: LiveReq) -> String {
     let mut out = format!(
         "{{\"op\":\"submit\",\"kernel\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"seed\":{},\"ops\":[",
         kernel.label(),
@@ -252,8 +314,55 @@ pub fn submit_line(kernel: CheckKernel, mode: Mode, p: &Program) -> String {
         }
         out.push_str("]}");
     }
+    for (key, val) in [
+        ("timeout_cycles", live.timeout_cycles),
+        ("timeout_wall_ms", live.timeout_wall_ms),
+        ("progress_cycles", live.progress_cycles),
+    ] {
+        if let Some(n) = val {
+            out.push_str(&format!(",\"{key}\":{}", u64_json(n)));
+        }
+    }
     out.push('}');
     out
+}
+
+pub fn cancel_line(job: u64) -> String {
+    format!("{{\"op\":\"cancel\",\"job\":{job}}}")
+}
+
+/// The reply to a `cancel`: `cancelled` is true iff the job was still
+/// in flight and its token was set by this request.
+pub fn cancel_ack_line(job: u64, cancelled: bool) -> String {
+    format!("{{\"event\":\"cancel-ack\",\"job\":{job},\"cancelled\":{cancelled}}}")
+}
+
+/// One streamed progress report for an in-flight job. Cumulative
+/// simulated position plus deltas since the previous report, and the
+/// profiler's cumulative heat totals (cheap stand-ins for the full
+/// snapshot, which still arrives once in the final `telemetry` line).
+#[allow(clippy::too_many_arguments)]
+pub fn progress_line(
+    job: u64,
+    cycle: u64,
+    events: u64,
+    d_cycles: u64,
+    d_events: u64,
+    live_threads: usize,
+    heat_events: u64,
+    heat_cycles: u64,
+) -> String {
+    format!(
+        "{{\"event\":\"progress\",\"job\":{job},\"cycle\":{},\"events\":{},\
+         \"d_cycles\":{},\"d_events\":{},\"live_threads\":{live_threads},\
+         \"heat_events\":{},\"heat_cycles\":{}}}",
+        u64_json(cycle),
+        u64_json(events),
+        u64_json(d_cycles),
+        u64_json(d_events),
+        u64_json(heat_events),
+        u64_json(heat_cycles),
+    )
 }
 
 pub fn ping_line() -> String {
@@ -327,20 +436,27 @@ pub struct StatusSnapshot {
     pub cache_misses: u64,
     pub paranoid_checks: u64,
     pub paranoid_failures: u64,
+    pub cancelled: u64,
+    pub timeouts: u64,
+    pub session_drops: u64,
 }
 
 pub fn status_line(s: &StatusSnapshot) -> String {
     format!(
         "{{\"event\":\"status\",\"proto\":{PROTO_VERSION},\"submitted\":{},\
          \"completed\":{},\"cache_entries\":{},\"cache_hits\":{},\
-         \"cache_misses\":{},\"paranoid_checks\":{},\"paranoid_failures\":{}}}",
+         \"cache_misses\":{},\"paranoid_checks\":{},\"paranoid_failures\":{},\
+         \"cancelled\":{},\"timeouts\":{},\"session_drops\":{}}}",
         s.submitted,
         s.completed,
         s.cache_entries,
         s.cache_hits,
         s.cache_misses,
         s.paranoid_checks,
-        s.paranoid_failures
+        s.paranoid_failures,
+        s.cancelled,
+        s.timeouts,
+        s.session_drops
     )
 }
 
@@ -398,6 +514,45 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn live_knobs_and_cancel_round_trip() {
+        let p = generate(1);
+        let live = LiveReq {
+            timeout_cycles: Some(u64::MAX - 7), // string-rendered: must survive
+            timeout_wall_ms: Some(2_500),
+            progress_cycles: Some(100_000),
+        };
+        let line = submit_line_live(CheckKernel::Cnk, MODES[0], &p, live);
+        let Request::Submit(req) = parse_request(&line).expect("parse") else {
+            panic!("not a submit");
+        };
+        assert_eq!(req.live, live);
+        // Absent knobs stay None, and plain submit_line renders none.
+        let plain = submit_line(CheckKernel::Cnk, MODES[0], &p);
+        assert!(!plain.contains("timeout"), "{plain}");
+        let Request::Submit(req) = parse_request(&plain).expect("parse") else {
+            panic!("not a submit");
+        };
+        assert!(req.live.is_default());
+        // Zero budgets are rejected (a 0-cycle timeout would cancel
+        // every job before its first event — always a client bug).
+        let bad = format!("{},\"timeout_cycles\":0}}", &plain[..plain.len() - 1]);
+        assert!(parse_request(&bad).is_err());
+        // Cancel round-trips.
+        let Request::Cancel { job } = parse_request(&cancel_line(42)).expect("parse") else {
+            panic!("not a cancel");
+        };
+        assert_eq!(job, 42);
+        assert!(parse_request("{\"op\":\"cancel\"}").is_err());
+        // Progress and ack lines parse as JSON with exact u64s.
+        let pl = progress_line(3, u64::MAX, 10, 5, 2, 8, 100, 200);
+        let v = bench::monitor::parse_json(&pl).expect("progress parses");
+        assert_eq!(v.get("cycle").and_then(parse_u64), Some(u64::MAX));
+        assert_eq!(v.path_num(&["live_threads"]), Some(8.0));
+        let ack = bench::monitor::parse_json(&cancel_ack_line(3, true)).expect("ack parses");
+        assert_eq!(ack.get("cancelled"), Some(&Json::Bool(true)));
     }
 
     #[test]

@@ -163,13 +163,66 @@ pub fn run(opts: &SelfcheckOpts) -> Result<String, String> {
     expect("cache_hits", total as u64)?;
     expect("paranoid_checks", total as u64)?;
     expect("paranoid_failures", 0)?;
+
+    // Phase 5: the live-job leg. A fresh program with an impossible
+    // cycle budget must come back `timeout` — and must NOT poison the
+    // cache: the follow-up submission is a fresh run matching the
+    // oracle, and only then does a resubmit hit the cache.
+    let live_program = generate(opts.base_seed + total as u64 + 999);
+    let live_req = crate::proto::LiveReq {
+        timeout_cycles: Some(1),
+        ..Default::default()
+    };
+    let t = c
+        .submit_live(kernel_for(0), MODES[0], &live_program, live_req)
+        .map_err(|e| format!("timeout leg submit: {e}"))?;
+    if t.outcome != "timeout" {
+        return Err(format!(
+            "timeout leg: outcome {:?} (expected \"timeout\")",
+            t.outcome
+        ));
+    }
+    if t.cached {
+        return Err("timeout leg: interrupted job answered from cache".to_string());
+    }
+    let live_oracle = run_mode(&live_program, kernel_for(0), MODES[0])
+        .map_err(|e| format!("timeout-leg oracle failed: {e}"))?
+        .triple();
+    let retry = c
+        .submit(kernel_for(0), MODES[0], &live_program)
+        .map_err(|e| format!("timeout leg retry: {e}"))?;
+    if retry.cached {
+        return Err("timeout leg: truncated triple was memoized (poisoned cache)".to_string());
+    }
+    if retry.triple() != live_oracle {
+        return Err(format!(
+            "timeout leg: retry triple {:?} != oracle {:?}",
+            retry.triple(),
+            live_oracle
+        ));
+    }
+    let replayed = c
+        .submit(kernel_for(0), MODES[0], &live_program)
+        .map_err(|e| format!("timeout leg replay: {e}"))?;
+    if !replayed.cached || replayed.paranoid != "ok" {
+        return Err(format!(
+            "timeout leg: replay cached={} paranoid={:?} (expected cache hit, \"ok\")",
+            replayed.cached, replayed.paranoid
+        ));
+    }
+    let status = c.status()?;
+    match status.path_num(&["timeouts"]) {
+        Some(1.0) => {}
+        got => return Err(format!("status: timeouts={got:?} (expected 1)")),
+    }
+
     c.shutdown()?;
     drop(c);
     handle.join()?;
 
     Ok(format!(
         "selfcheck ok: {} jobs × ({} sessions, {} threads), {} cache hits \
-         paranoid-verified, 0 mismatches",
+         paranoid-verified, 0 mismatches; timeout leg clean (no poisoned entry)",
         total, opts.sessions, opts.threads, total
     ))
 }

@@ -1,6 +1,6 @@
 //! The service node: endpoint plumbing, session threads, and the wave
 //! dispatcher that multiplexes every session's jobs onto one shared
-//! [`bench::par::run_shards`] worker pool.
+//! [`bench::par::run_shards_cancellable`] worker pool.
 //!
 //! Layout mirrors the real machine's control system: the listener is
 //! the service node's front door (one thread per connected submitter),
@@ -9,12 +9,35 @@
 //! the host), and the monitor file is the rack's status display —
 //! published atomically so `bgtop` can tail it live.
 //!
+//! Jobs are *live* (the CNK property that the service node can watch
+//! and steer running work, not just collect exit codes):
+//!
+//! * each submission gets a [`CancelToken`] registered under its job
+//!   id; `{"op":"cancel","job":N}` from any session sets it, and the
+//!   run winds down cleanly at its next poll;
+//! * per-job `timeout_cycles` / `timeout_wall_ms` budgets yield a
+//!   `timeout` outcome the same way;
+//! * `progress_cycles` streams `progress` lines mid-run;
+//! * a session whose peer disconnects (reader EOF or a failed write)
+//!   auto-cancels its in-flight jobs and logs one structured
+//!   `session-drop` monitor event;
+//! * cancelled/timed-out results are **never** memoized — the cache
+//!   only ever holds completed, deterministic triples;
+//! * a state-monitor tree (`server → sessions/<id> → jobs/<id>`) is
+//!   embedded in every published monitor snapshot for
+//!   `bgtop --sessions`.
+//!
 //! Determinism note: batching shape never affects results. Each job is
-//! a self-contained simulation, and `run_shards` collects by index, so
-//! whether two jobs share a wave or run in different waves is invisible
-//! in their `(outcome, final cycle, digest)` triples — the selfcheck
-//! and integration tests assert exactly that against one-shot runs.
+//! a self-contained simulation, and the shard pool collects by index,
+//! so whether two jobs share a wave or run in different waves is
+//! invisible in their `(outcome, final cycle, digest)` triples — the
+//! selfcheck and integration tests assert exactly that against
+//! one-shot runs. The progress hook is digest-, cycle-, and
+//! profile-neutral by construction (pinned by proptest), so a job
+//! submitted with `progress_cycles` reports the same triple as one
+//! without.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,15 +45,21 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use bench::monitor::{snapshot_json, Monitor};
-use bench::par::run_shards;
+use bench::monitor::{snapshot_json, Monitor, StateNode};
+use bench::par::run_shards_cancellable;
 use bgcheck::program::Program;
-use bgcheck::runner::{run_mode_with_profile, CheckKernel, Mode, RunRecord};
+use bgcheck::runner::{run_mode_live, LiveOpts, CheckKernel, Mode, RunRecord};
+use bgsim::machine::{CancelCause, ProgressCtl, ProgressReport, ProgressSink};
 use bgsim::telemetry::ProfileSnapshot;
+use bgsim::CancelToken;
 
 use crate::cache::{CachedResult, ResultCache};
 use crate::key::JobKey;
 use crate::proto::{self, Request, StatusSnapshot, SubmitReq};
+
+/// Minimum host time between mid-run monitor publishes triggered by
+/// progress reports (completions always publish immediately).
+const PROGRESS_PUBLISH_MS: u64 = 200;
 
 /// Where the server listens (and clients connect).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,9 +72,15 @@ impl Endpoint {
     /// `unix:/path`, `tcp:host:port`, or a bare path (treated as unix).
     pub fn parse(s: &str) -> Result<Endpoint, String> {
         if let Some(p) = s.strip_prefix("unix:") {
+            if p.is_empty() {
+                return Err("unix: endpoint is missing a socket path".to_string());
+            }
             return Ok(Endpoint::Unix(PathBuf::from(p)));
         }
         if let Some(a) = s.strip_prefix("tcp:") {
+            if a.is_empty() {
+                return Err("tcp: endpoint is missing a host:port address".to_string());
+            }
             return Ok(Endpoint::Tcp(a.to_string()));
         }
         if s.is_empty() {
@@ -196,6 +231,9 @@ struct Stats {
     cache_misses: AtomicU64,
     paranoid_checks: AtomicU64,
     paranoid_failures: AtomicU64,
+    cancelled: AtomicU64,
+    timeouts: AtomicU64,
+    session_drops: AtomicU64,
 }
 
 /// The monitor aggregate: profiles of every fresh run merged
@@ -203,6 +241,8 @@ struct Stats {
 struct MonitorAgg {
     monitor: Option<Monitor>,
     merged: ProfileSnapshot,
+    /// Throttle for mid-run (progress-driven) publishes.
+    last_progress_publish: Instant,
 }
 
 struct State {
@@ -210,9 +250,15 @@ struct State {
     paranoid: bool,
     stop: AtomicBool,
     next_job: AtomicU64,
+    next_session: AtomicU64,
     cache: Mutex<ResultCache>,
     stats: Stats,
     monitor: Mutex<MonitorAgg>,
+    /// Every in-flight job's cancel token, by server-assigned job id
+    /// (`{"op":"cancel"}` can target a job from any session).
+    registry: Mutex<HashMap<u64, CancelToken>>,
+    /// Root of the live state-monitor tree (the `server` node).
+    tree: StateNode,
 }
 
 impl State {
@@ -225,10 +271,14 @@ impl State {
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
             paranoid_checks: self.stats.paranoid_checks.load(Ordering::Relaxed),
             paranoid_failures: self.stats.paranoid_failures.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            session_drops: self.stats.session_drops.load(Ordering::Relaxed),
         }
     }
 
-    /// Count a finished job and refresh the monitor stream.
+    /// Count a finished job (completed, cancelled, or failed alike) and
+    /// refresh the monitor stream, state tree included.
     fn finish_job(&self, fresh_profile: Option<&ProfileSnapshot>) {
         let done = self.stats.completed.fetch_add(1, Ordering::Relaxed) + 1;
         let total = self.stats.submitted.load(Ordering::Relaxed);
@@ -238,25 +288,121 @@ impl State {
             }
             let snap = agg.merged.clone();
             if let Some(m) = agg.monitor.as_mut() {
-                m.publish(done as usize, total as usize, &snap);
+                m.publish_with_state(done as usize, total as usize, &snap, Some(&self.tree));
+            }
+        }
+    }
+
+    /// Publish the current aggregate + state tree without counting a
+    /// completion — the mid-run path, throttled so a fast progress
+    /// cadence cannot turn the monitor file into a hot loop.
+    fn publish_progress(&self) {
+        let done = self.stats.completed.load(Ordering::Relaxed);
+        let total = self.stats.submitted.load(Ordering::Relaxed);
+        if let Ok(mut agg) = self.monitor.lock() {
+            if agg.monitor.is_none()
+                || agg.last_progress_publish.elapsed() < Duration::from_millis(PROGRESS_PUBLISH_MS)
+            {
+                return;
+            }
+            agg.last_progress_publish = Instant::now();
+            let snap = agg.merged.clone();
+            if let Some(m) = agg.monitor.as_mut() {
+                m.publish_with_state(done as usize, total as usize, &snap, Some(&self.tree));
+            }
+        }
+    }
+
+    /// Append one structured event line to the monitor stream.
+    fn monitor_event(&self, line: &str) {
+        if let Ok(mut agg) = self.monitor.lock() {
+            if let Some(m) = agg.monitor.as_mut() {
+                m.event(line);
             }
         }
     }
 }
 
-/// One queued job: the resolved program plus the session's reply slot.
+/// Per-connection state shared between the session reader thread and
+/// its submit stewards: one writer (all response lines serialize
+/// through its mutex), the dead-peer latch, and this session's
+/// in-flight cancel tokens.
+struct SessionShared {
+    id: u64,
+    writer: Mutex<Stream>,
+    dead: AtomicBool,
+    jobs: Mutex<HashMap<u64, CancelToken>>,
+    node: StateNode,
+}
+
+/// Write one line to the session peer. On failure the peer is declared
+/// dead exactly once: every in-flight job of the session is cancelled
+/// and a single `session-drop` event lands in the monitor stream —
+/// instead of one write error per telemetry line.
+fn send_shared(state: &State, shared: &SessionShared, line: &str) -> std::io::Result<()> {
+    if shared.dead.load(Ordering::SeqCst) {
+        return Err(std::io::ErrorKind::BrokenPipe.into());
+    }
+    let res = match shared.writer.lock() {
+        Ok(mut w) => send_line(&mut w, line),
+        Err(_) => Err(std::io::ErrorKind::Other.into()),
+    };
+    if res.is_err() {
+        drop_session(state, shared);
+    }
+    res
+}
+
+/// Latch the session dead (idempotent), cancel its in-flight jobs, and
+/// record how it ended in the state tree + monitor stream.
+fn drop_session(state: &State, shared: &SessionShared) {
+    if shared.dead.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let tokens: Vec<CancelToken> = shared
+        .jobs
+        .lock()
+        .map(|j| j.values().cloned().collect())
+        .unwrap_or_default();
+    for t in &tokens {
+        t.cancel();
+    }
+    if tokens.is_empty() {
+        shared.node.set("peer", "closed");
+    } else {
+        shared.node.set("peer", "dropped");
+        state.stats.session_drops.fetch_add(1, Ordering::Relaxed);
+        state.monitor_event(&format!(
+            "{{\"event\":\"session-drop\",\"session\":{},\"jobs_cancelled\":{}}}",
+            shared.id,
+            tokens.len()
+        ));
+    }
+}
+
+/// One queued job: the resolved program, its live-run knobs (cancel
+/// token included), the progress sink, and the session's reply slot.
 struct WorkItem {
     program: Program,
     kernel: CheckKernel,
     mode: Mode,
-    reply: Sender<Result<(RunRecord, ProfileSnapshot), String>>,
+    live: LiveOpts,
+    sink: Option<Box<dyn ProgressSink>>,
+    /// `jobs/<id>` node to stamp with the wave id (absent for paranoid
+    /// re-runs, which have no client-visible job of their own).
+    node: Option<StateNode>,
+    /// `None`: the job's token was already cancelled when its wave
+    /// formed — it never ran.
+    reply: Sender<Option<Result<(RunRecord, ProfileSnapshot), String>>>,
 }
 
 /// The wave dispatcher: collect up to `threads` jobs (waiting at most
 /// `grace` for stragglers once the first arrives), run the wave through
 /// the shard pool, send each result home, repeat until every sender is
-/// gone.
+/// gone. Jobs whose cancel token is already set when the wave forms are
+/// skipped without simulating a cycle.
 fn dispatcher(rx: Receiver<WorkItem>, threads: usize, grace: Duration) {
+    let mut wave_id = 0u64;
     loop {
         let first = match rx.recv() {
             Ok(w) => w,
@@ -274,38 +420,69 @@ fn dispatcher(rx: Receiver<WorkItem>, threads: usize, grace: Duration) {
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        let jobs: Vec<_> = wave
-            .iter()
-            .map(|w| {
-                let p = w.program.clone();
-                let (k, m) = (w.kernel, w.mode);
-                move || run_mode_with_profile(&p, k, m)
-            })
-            .collect();
-        let results = run_shards(threads, jobs);
-        for (w, r) in wave.into_iter().zip(results) {
-            let _ = w.reply.send(r);
+        wave_id += 1;
+        let mut replies = Vec::with_capacity(wave.len());
+        let mut jobs = Vec::with_capacity(wave.len());
+        for w in wave {
+            if let Some(node) = &w.node {
+                node.set("wave", wave_id);
+                node.set("phase", "running");
+            }
+            replies.push(w.reply);
+            let token = w.live.cancel.clone().unwrap_or_default();
+            let (p, k, m, live, sink) = (w.program, w.kernel, w.mode, w.live, w.sink);
+            jobs.push((token, move || run_mode_live(&p, k, m, live, sink)));
+        }
+        let results = run_shards_cancellable(threads, jobs);
+        for (reply, r) in replies.into_iter().zip(results) {
+            let _ = reply.send(r);
         }
     }
 }
 
-/// Enqueue one job and block for its result.
+/// Enqueue one live job and block for its result. `Ok(None)`: the job
+/// was cancelled before its wave started.
+fn dispatch_live(
+    work: &Sender<WorkItem>,
+    program: Program,
+    kernel: CheckKernel,
+    mode: Mode,
+    live: LiveOpts,
+    sink: Option<Box<dyn ProgressSink>>,
+    node: Option<StateNode>,
+) -> Result<Option<(RunRecord, ProfileSnapshot)>, String> {
+    let (tx, rx) = mpsc::channel();
+    work.send(WorkItem {
+        program,
+        kernel,
+        mode,
+        live,
+        sink,
+        node,
+        reply: tx,
+    })
+    .map_err(|_| "dispatcher is gone".to_string())?;
+    match rx
+        .recv()
+        .map_err(|_| "dispatcher dropped the job".to_string())?
+    {
+        None => Ok(None),
+        Some(Ok(r)) => Ok(Some(r)),
+        Some(Err(e)) => Err(e),
+    }
+}
+
+/// Plain (non-cancellable) dispatch: the paranoid re-run path. The
+/// fresh run deliberately does *not* share the client job's cancel
+/// token — a cancelled verification would read as a paranoid mismatch.
 fn dispatch(
     work: &Sender<WorkItem>,
     program: Program,
     kernel: CheckKernel,
     mode: Mode,
 ) -> Result<(RunRecord, ProfileSnapshot), String> {
-    let (tx, rx) = mpsc::channel();
-    work.send(WorkItem {
-        program,
-        kernel,
-        mode,
-        reply: tx,
-    })
-    .map_err(|_| "dispatcher is gone".to_string())?;
-    rx.recv()
-        .map_err(|_| "dispatcher dropped the job".to_string())?
+    dispatch_live(work, program, kernel, mode, LiveOpts::default(), None, None)?
+        .ok_or_else(|| "job skipped without a cancel token".to_string())
 }
 
 fn cached_of(rec: &RunRecord, profile: Option<ProfileSnapshot>) -> CachedResult {
@@ -326,27 +503,118 @@ fn send_line(w: &mut Stream, line: &str) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Build the progress sink for one job: stream a `progress` line per
+/// report, mirror the position into the job's state node, and bail out
+/// (cancelling the run) the moment the peer is unreachable.
+fn progress_sink(
+    state: Arc<State>,
+    shared: Arc<SessionShared>,
+    jnode: StateNode,
+    job: u64,
+) -> Box<dyn ProgressSink> {
+    Box::new(move |r: &ProgressReport| {
+        jnode.set("cycle", r.cycle);
+        jnode.set("events", r.events);
+        jnode.set("live_threads", r.live_threads);
+        if shared.dead.load(Ordering::SeqCst) {
+            return ProgressCtl::Cancel(CancelCause::Requested);
+        }
+        let line = proto::progress_line(
+            job,
+            r.cycle,
+            r.events,
+            r.d_cycles,
+            r.d_events,
+            r.live_threads,
+            r.profile.total_events(),
+            r.profile.total_cycles(),
+        );
+        if send_shared(&state, &shared, &line).is_err() {
+            return ProgressCtl::Cancel(CancelCause::Requested);
+        }
+        state.publish_progress();
+        ProgressCtl::Continue
+    })
+}
+
+/// Run one submission end to end (a steward thread's body): register
+/// the cancel token, answer from the cache or dispatch a live run, and
+/// finish with a `result` line. Interrupted outcomes (`cancelled`,
+/// `timeout`) are reported but never cached.
 fn handle_submit(
-    state: &State,
+    state: &Arc<State>,
     work: &Sender<WorkItem>,
     req: &SubmitReq,
-    w: &mut Stream,
+    shared: &Arc<SessionShared>,
 ) -> std::io::Result<()> {
     let program = match req.to_program() {
         Ok(p) => p,
-        Err(e) => return send_line(w, &proto::error_line(&e)),
+        Err(e) => return send_shared(state, shared, &proto::error_line(&e)),
     };
     let key = JobKey::of(req.kernel, &program);
     let (kd, key_hex) = (key.digest(), key.hex());
     let job = state.next_job.fetch_add(1, Ordering::Relaxed) + 1;
     state.stats.submitted.fetch_add(1, Ordering::Relaxed);
-    send_line(w, &proto::accepted_line(job, &key_hex))?;
+
+    // Register the cancel token *before* `accepted` goes out: a client
+    // that cancels immediately after reading `accepted` must find it.
+    let token = CancelToken::new();
+    if let Ok(mut reg) = state.registry.lock() {
+        reg.insert(job, token.clone());
+    }
+    if let Ok(mut jobs) = shared.jobs.lock() {
+        jobs.insert(job, token.clone());
+    }
+    let jnode = shared.node.child(&format!("jobs/{job}"));
+    jnode.set("phase", "queued");
+    jnode.set("kernel", req.kernel.label());
+    jnode.set("mode", req.mode.label());
+
+    let res = handle_submit_inner(
+        state, work, req, shared, program, job, kd, &key_hex, &token, &jnode,
+    );
+
+    // Deregister BEFORE the final line goes out: the moment the client
+    // reads its result it may hang up, and a clean close racing a
+    // not-yet-deregistered job would be miscounted as a session drop.
+    if let Ok(mut reg) = state.registry.lock() {
+        reg.remove(&job);
+    }
+    if let Ok(mut jobs) = shared.jobs.lock() {
+        jobs.remove(&job);
+    }
+    match res {
+        Ok(final_line) => send_shared(state, shared, &final_line),
+        Err(e) => Err(e),
+    }
+}
+
+/// Everything between `accepted` and the job's final protocol line.
+/// Mid-job lines (telemetry, progress, paranoid warnings) are sent
+/// inline; the FINAL line is returned instead so the caller can
+/// deregister the job before it reaches the client.
+#[allow(clippy::too_many_arguments)]
+fn handle_submit_inner(
+    state: &Arc<State>,
+    work: &Sender<WorkItem>,
+    req: &SubmitReq,
+    shared: &Arc<SessionShared>,
+    program: Program,
+    job: u64,
+    kd: u64,
+    key_hex: &str,
+    token: &CancelToken,
+    jnode: &StateNode,
+) -> std::io::Result<String> {
+    send_shared(state, shared, &proto::accepted_line(job, key_hex))?;
 
     let hit = state.cache.lock().ok().and_then(|mut c| c.get(kd));
     if let Some(entry) = hit {
         state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        jnode.set("cache", "hit");
         let mut paranoid = "off";
         if state.paranoid {
+            jnode.set("phase", "paranoid");
             state.stats.paranoid_checks.fetch_add(1, Ordering::Relaxed);
             match dispatch(work, program, req.kernel, req.mode) {
                 Ok((rec, _)) => {
@@ -359,8 +627,9 @@ fn handle_submit(
                             .stats
                             .paranoid_failures
                             .fetch_add(1, Ordering::Relaxed);
-                        send_line(
-                            w,
+                        send_shared(
+                            state,
+                            shared,
                             &proto::error_line(&format!(
                                 "paranoid mismatch on key {key_hex}: cached \
                                  outcome={} cycle={} digest={:016x}, fresh \
@@ -381,8 +650,9 @@ fn handle_submit(
                         .stats
                         .paranoid_failures
                         .fetch_add(1, Ordering::Relaxed);
-                    send_line(
-                        w,
+                    send_shared(
+                        state,
+                        shared,
                         &proto::error_line(&format!("paranoid re-run failed: {e}")),
                     )?;
                 }
@@ -390,36 +660,83 @@ fn handle_submit(
         }
         if let Some(p) = &entry.profile {
             let snap = snapshot_json("bgserve", job, 1, 1, p);
-            send_line(w, &proto::telemetry_line(job, &snap))?;
+            send_shared(state, shared, &proto::telemetry_line(job, &snap))?;
         }
+        jnode.set("phase", "done");
         // Publish the monitor update before the result line: a client
         // that acts on the result must find the stream already current.
         state.finish_job(None);
-        send_line(
-            w,
-            &proto::result_line(job, &entry, true, paranoid, &key_hex),
-        )?;
-        return Ok(());
+        return Ok(proto::result_line(job, &entry, true, paranoid, key_hex));
     }
 
     state.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-    match dispatch(work, program, req.kernel, req.mode) {
-        Ok((rec, snap)) => {
+    jnode.set("cache", "miss");
+    let live = LiveOpts {
+        cancel: Some(token.clone()),
+        timeout_cycles: req.live.timeout_cycles,
+        timeout_wall_ms: req.live.timeout_wall_ms,
+        progress_cycles: req.live.progress_cycles,
+    };
+    let sink = req.live.progress_cycles.map(|_| {
+        progress_sink(
+            Arc::clone(state),
+            Arc::clone(shared),
+            jnode.clone(),
+            job,
+        )
+    });
+    match dispatch_live(
+        work,
+        program,
+        req.kernel,
+        req.mode,
+        live,
+        sink,
+        Some(jnode.clone()),
+    ) {
+        Ok(None) => {
+            // Cancelled while still queued: never simulated a cycle.
+            state.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            jnode.set("phase", "cancelled");
+            let entry = CachedResult {
+                kernel: req.kernel.label().to_string(),
+                mode: req.mode.label(),
+                outcome: "cancelled".to_string(),
+                final_cycle: 0,
+                digest: 0,
+                coverage: 0,
+                profile: None,
+            };
+            state.finish_job(None);
+            Ok(proto::result_line(job, &entry, false, "off", key_hex))
+        }
+        Ok(Some((rec, snap))) => {
+            let interrupted = rec.outcome == "cancelled" || rec.outcome == "timeout";
             let entry = cached_of(&rec, Some(snap.clone()));
-            if let Ok(mut c) = state.cache.lock() {
+            if interrupted {
+                // A cancelled/timed-out triple is a truncation artifact,
+                // not the job's answer — memoizing it would poison every
+                // future lookup of this key.
+                if rec.outcome == "timeout" {
+                    state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    state.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+            } else if let Ok(mut c) = state.cache.lock() {
                 c.insert(kd, entry.clone());
             }
+            jnode.set("phase", rec.outcome.clone());
             let line = snapshot_json("bgserve", job, 1, 1, &snap);
-            send_line(w, &proto::telemetry_line(job, &line))?;
+            send_shared(state, shared, &proto::telemetry_line(job, &line))?;
             state.finish_job(Some(&snap));
-            send_line(w, &proto::result_line(job, &entry, false, "off", &key_hex))?;
-            Ok(())
+            Ok(proto::result_line(job, &entry, false, "off", key_hex))
         }
         Err(e) => {
             // Failed runs are not cached: the failure may be transient
             // (e.g. resource pressure) and a retry should re-execute.
+            jnode.set("phase", "error");
             state.finish_job(None);
-            send_line(w, &proto::error_line(&e))
+            Ok(proto::error_line(&e))
         }
     }
 }
@@ -433,7 +750,20 @@ fn session(stream: Stream, state: Arc<State>, work: Sender<WorkItem>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut w = stream;
+    let sid = state.next_session.fetch_add(1, Ordering::Relaxed);
+    let node = state.tree.child(&format!("sessions/{sid}"));
+    node.set("peer", "open");
+    let shared = Arc::new(SessionShared {
+        id: sid,
+        writer: Mutex::new(stream),
+        dead: AtomicBool::new(false),
+        jobs: Mutex::new(HashMap::new()),
+        node,
+    });
+    // Submissions run in steward threads so the reader keeps consuming
+    // requests mid-job — that is what lets one connection interleave
+    // `status` and `cancel` with its own (or anyone's) running work.
+    let mut stewards: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let reader = BufReader::new(read_half);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -441,20 +771,53 @@ fn session(stream: Stream, state: Arc<State>, work: Sender<WorkItem>) {
             continue;
         }
         let res = match proto::parse_request(&line) {
-            Err(e) => send_line(&mut w, &proto::error_line(&e)),
-            Ok(Request::Ping) => send_line(&mut w, &proto::pong_line()),
-            Ok(Request::Status) => send_line(&mut w, &proto::status_line(&state.status())),
+            Err(e) => send_shared(&state, &shared, &proto::error_line(&e)),
+            Ok(Request::Ping) => send_shared(&state, &shared, &proto::pong_line()),
+            Ok(Request::Status) => {
+                send_shared(&state, &shared, &proto::status_line(&state.status()))
+            }
             Ok(Request::Shutdown) => {
-                let _ = send_line(&mut w, &proto::shutting_down_line());
+                let _ = send_shared(&state, &shared, &proto::shutting_down_line());
                 state.stop.store(true, Ordering::SeqCst);
                 poke(&state.endpoint);
-                return;
+                break;
             }
-            Ok(Request::Submit(req)) => handle_submit(&state, &work, &req, &mut w),
+            Ok(Request::Cancel { job }) => {
+                let token = state
+                    .registry
+                    .lock()
+                    .ok()
+                    .and_then(|reg| reg.get(&job).cloned());
+                let cancelled = match token {
+                    Some(t) => {
+                        t.cancel();
+                        true
+                    }
+                    None => false,
+                };
+                send_shared(&state, &shared, &proto::cancel_ack_line(job, cancelled))
+            }
+            Ok(Request::Submit(req)) => {
+                let st = Arc::clone(&state);
+                let sh = Arc::clone(&shared);
+                let wk = work.clone();
+                stewards.push(std::thread::spawn(move || {
+                    let _ = handle_submit(&st, &wk, &req, &sh);
+                }));
+                stewards.retain(|h| !h.is_finished());
+                Ok(())
+            }
         };
         if res.is_err() {
             break; // client went away mid-response
         }
+    }
+    // Reader EOF (peer closed or vanished) or shutdown: cancel whatever
+    // this session still has in flight, then wait for the stewards to
+    // wind those jobs down.
+    drop_session(&state, &shared);
+    for h in stewards {
+        let _ = h.join();
     }
 }
 
@@ -496,11 +859,15 @@ pub fn spawn(opts: ServeOpts) -> Result<ServerHandle, String> {
     let listener = bind(&opts.endpoint)?;
     let threads = opts.threads.max(1);
     let grace = Duration::from_millis(opts.grace_ms);
+    let tree = StateNode::new();
+    tree.set("endpoint", opts.endpoint.label());
+    tree.set("threads", threads);
     let state = Arc::new(State {
         endpoint: opts.endpoint.clone(),
         paranoid: opts.paranoid,
         stop: AtomicBool::new(false),
         next_job: AtomicU64::new(0),
+        next_session: AtomicU64::new(0),
         cache: Mutex::new(ResultCache::new(opts.cache_cap, opts.cache_dir)),
         stats: Stats {
             submitted: AtomicU64::new(0),
@@ -509,11 +876,17 @@ pub fn spawn(opts: ServeOpts) -> Result<ServerHandle, String> {
             cache_misses: AtomicU64::new(0),
             paranoid_checks: AtomicU64::new(0),
             paranoid_failures: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            session_drops: AtomicU64::new(0),
         },
         monitor: Mutex::new(MonitorAgg {
             monitor: opts.monitor,
             merged: ProfileSnapshot::default(),
+            last_progress_publish: Instant::now(),
         }),
+        registry: Mutex::new(HashMap::new()),
+        tree,
     });
 
     let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
@@ -580,5 +953,17 @@ mod tests {
             Endpoint::parse("bgserve.sock"),
             Ok(Endpoint::Unix(PathBuf::from("bgserve.sock")))
         );
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_empty_addresses() {
+        // "unix:" used to parse to an empty path and "tcp:" to an empty
+        // address — both failed much later with a confusing connect
+        // error. They are rejected up front now, with the missing part
+        // named.
+        let unix = Endpoint::parse("unix:").unwrap_err();
+        assert!(unix.contains("socket path"), "{unix}");
+        let tcp = Endpoint::parse("tcp:").unwrap_err();
+        assert!(tcp.contains("host:port"), "{tcp}");
     }
 }

@@ -56,9 +56,10 @@ pub use config::{ChipConfig, MachineConfig, UnitStatus};
 pub use cycles::{Cycle, CLOCK_MHZ};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
 pub use machine::{
-    BlockKind, BootReport, CommAction, CommCaps, CommModel, JobMap, Kernel, KernelEventTag,
-    LaunchError, Machine, NetDomain, NetMsg, RankInfo, Recorder, SimCore, SyscallAction, Thread,
-    ThreadState, WlEnv, Workload, WorkloadFactory,
+    BlockKind, BootReport, CancelCause, CancelToken, CommAction, CommCaps, CommModel, JobMap,
+    Kernel, KernelEventTag, LaunchError, LiveHook, Machine, NetDomain, NetMsg, ProgressCtl,
+    ProgressReport, ProgressSink, RankInfo, Recorder, SimCore, SyscallAction, Thread, ThreadState,
+    WlEnv, Workload, WorkloadFactory,
 };
 pub use op::{ApiLayer, CloneArgs, CommOp, Op, Protocol};
 pub use telemetry::{

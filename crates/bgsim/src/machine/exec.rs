@@ -7,6 +7,9 @@ use sysabi::{CoreId, JobSpec, NodeId, ProcId, Sig, SysReq, SysRet, Tid};
 use crate::cycles::Cycle;
 use crate::engine::EvKind;
 use crate::fault::{FaultEvent, FaultKind};
+use crate::machine::progress::{
+    CancelCause, CancelToken, LiveHook, LiveState, ProgressCtl, ProgressReport,
+};
 use crate::machine::simcore::{NetDomain, SimCore};
 use crate::machine::thread::ThreadState;
 use crate::machine::{
@@ -63,6 +66,11 @@ pub enum RunOutcome {
     Deadlock { at: Cycle, blocked: Vec<Tid> },
     /// Nothing to do (no job launched).
     Idle { at: Cycle },
+    /// The run was stopped early by its live hook: a cancel token, a
+    /// cycle/wall deadline, or a sink returning
+    /// [`ProgressCtl::Cancel`]. In-flight state is left intact (like
+    /// `ReachedCycle`), but quiescence invariants do not hold.
+    Cancelled { at: Cycle, cause: CancelCause },
 }
 
 impl RunOutcome {
@@ -71,7 +79,8 @@ impl RunOutcome {
             RunOutcome::Completed { at }
             | RunOutcome::ReachedCycle { at }
             | RunOutcome::Deadlock { at, .. }
-            | RunOutcome::Idle { at } => *at,
+            | RunOutcome::Idle { at }
+            | RunOutcome::Cancelled { at, .. } => *at,
         }
     }
 
@@ -102,6 +111,9 @@ pub struct Machine {
     /// The resolved fault schedule, sorted by `(at, node)`; `EvKind::Ras`
     /// events index into it. Empty when no faults are configured.
     fault_events: Vec<FaultEvent>,
+    /// Live-run control (progress sink, cancel token, deadlines);
+    /// `None` for ordinary runs, so the hook costs nothing when absent.
+    live: Option<Box<LiveState>>,
 }
 
 impl Machine {
@@ -122,7 +134,27 @@ impl Machine {
             fast: Vec::new(),
             fast_active: false,
             fault_events: Vec::new(),
+            live: None,
         }
+    }
+
+    /// Attach a live hook (progress sink, cancel token, deadlines) to
+    /// the next run. The cycle deadline is resolved against the current
+    /// clock; the hook stays attached across `run`/`run_windowed` calls
+    /// until replaced or cleared.
+    pub fn attach_live_hook(&mut self, hook: LiveHook) {
+        if hook.is_noop() {
+            self.live = None;
+            return;
+        }
+        let now = self.sc.engine.now();
+        let events = self.sc.engine.processed();
+        self.live = Some(Box::new(LiveState::new(hook, now, events)));
+    }
+
+    /// Detach any live hook.
+    pub fn clear_live_hook(&mut self) {
+        self.live = None;
     }
 
     pub fn now(&self) -> Cycle {
@@ -478,6 +510,9 @@ impl Machine {
                     blocked,
                 };
             }
+            if let Some(out) = self.poll_live() {
+                return out;
+            }
             // Quiescence fast path: when every pending event is a running
             // thread's own completion, retire them through the micro run
             // queue instead of the heap. Digest-identical by
@@ -540,6 +575,76 @@ impl Machine {
                 self.idle_kernel_events = 0;
             }
             self.handle(ev.kind);
+        }
+    }
+
+    // ---- live-run control ---------------------------------------------------
+
+    /// One live-hook poll at the event-loop head: cheap tick first, then
+    /// (when due) cancel token, deadlines, and the progress report.
+    /// Everything observed is read-only simulation state, so a hook
+    /// whose sink keeps returning `Continue` never perturbs the run —
+    /// the neutrality proptest pins this.
+    fn poll_live(&mut self) -> Option<RunOutcome> {
+        let now = self.sc.engine.now();
+        let live = self.live.as_deref_mut()?;
+        if !live.tick(now) {
+            return None;
+        }
+        live.due = false;
+        if live.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(RunOutcome::Cancelled {
+                at: now,
+                cause: CancelCause::Requested,
+            });
+        }
+        if live.deadline.is_some_and(|d| now >= d) {
+            return Some(RunOutcome::Cancelled {
+                at: now,
+                cause: CancelCause::TimeoutCycles,
+            });
+        }
+        if live
+            .wall_deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            return Some(RunOutcome::Cancelled {
+                at: now,
+                cause: CancelCause::TimeoutWall,
+            });
+        }
+        if now >= live.next_report_at {
+            let events = self.sc.engine.processed();
+            let report = ProgressReport {
+                cycle: now,
+                events,
+                d_events: events.saturating_sub(live.last_events),
+                d_cycles: now.saturating_sub(live.last_cycle),
+                live_threads: self.sc.live_threads(),
+                profile: self.sc.prof.snapshot(),
+            };
+            live.last_events = events;
+            live.last_cycle = now;
+            live.next_report_at = now.saturating_add(live.interval.max(1));
+            if let Some(sink) = live.sink.as_mut() {
+                if let ProgressCtl::Cancel(cause) = sink.on_progress(&report) {
+                    return Some(RunOutcome::Cancelled { at: now, cause });
+                }
+            }
+        }
+        None
+    }
+
+    /// Fast-path variant of the tick: when a live check falls due the
+    /// fast loop must break out (flushing survivors back to the heap)
+    /// so `poll_live` runs at the loop head. The flush/re-enter round
+    /// trip preserves `(cycle, seq)` keys, so it is digest- and
+    /// profile-invisible; only engine occupancy counters move.
+    fn live_check_due(&mut self) -> bool {
+        let now = self.sc.engine.now();
+        match self.live.as_deref_mut() {
+            Some(live) => live.tick(now),
+            None => false,
         }
     }
 
@@ -664,6 +769,9 @@ impl Machine {
                 || !self.sc.vtimers.is_empty()
                 || self.fast.is_empty()
             {
+                break;
+            }
+            if self.live_check_due() {
                 break;
             }
             let mut best = 0usize;

@@ -14,10 +14,12 @@
 //! "applications run on CNK out-of-the-box" (§V.B).
 
 mod exec;
+mod progress;
 mod simcore;
 mod thread;
 
 pub use exec::{Machine, RunOutcome};
+pub use progress::{CancelCause, CancelToken, LiveHook, ProgressCtl, ProgressReport, ProgressSink};
 pub use simcore::{MachineStats, NetDomain, NetMsg, SimCore};
 pub use thread::{BlockKind, RecvInfo, Thread, ThreadState, ThreadStats};
 

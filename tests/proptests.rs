@@ -767,6 +767,70 @@ proptest! {
     }
 }
 
+// ---- live progress hook neutrality --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The live progress hook is observability, not physics: for ANY
+    /// generated program, kernel, and execution mode, running with a
+    /// progress sink attached — at a hot (1k-cycle) or cold (64k-cycle)
+    /// interval — must leave the outcome, final cycle, trace digest,
+    /// and every profile.* counter bit-identical to the hook-free run.
+    /// This is the contract that lets `bgserve` stream intra-run
+    /// telemetry without forfeiting result-cache identity.
+    #[test]
+    fn progress_hook_is_digest_cycle_and_profile_neutral(
+        seed in 0u64..500,
+        kernel_pick in any::<bool>(),
+        mode_idx in 0usize..16,
+    ) {
+        use bgcheck::runner::{
+            run_mode_live, run_mode_with_profile, CheckKernel, LiveOpts, MODES,
+        };
+        use bgsim::machine::{ProgressCtl, ProgressReport, ProgressSink};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let p = bgcheck::program::generate(seed);
+        let kernel = if kernel_pick { CheckKernel::Cnk } else { CheckKernel::Fwk };
+        let mode = MODES[mode_idx % MODES.len()];
+        let (base, base_prof) = run_mode_with_profile(&p, kernel, mode)
+            .map_err(TestCaseError::fail)?;
+
+        for interval in [1_000u64, 64_000] {
+            let reports = Arc::new(AtomicU64::new(0));
+            let counter = Arc::clone(&reports);
+            let sink: Box<dyn ProgressSink> = Box::new(move |_rep: &ProgressReport| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                ProgressCtl::Continue
+            });
+            let opts = LiveOpts {
+                progress_cycles: Some(interval),
+                ..Default::default()
+            };
+            let (live, live_prof) = run_mode_live(&p, kernel, mode, opts, Some(sink))
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(
+                live.triple(),
+                base.triple(),
+                "progress interval {} changed the triple", interval
+            );
+            prop_assert_eq!(
+                &live_prof,
+                &base_prof,
+                "progress interval {} changed profile counters", interval
+            );
+            if interval == 1_000 {
+                prop_assert!(
+                    reports.load(Ordering::Relaxed) >= 1,
+                    "hot-interval run never reported progress"
+                );
+            }
+        }
+    }
+}
+
 // ---- VFS / ioproxy -------------------------------------------------------------
 
 proptest! {
